@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+//! # lyra-apps — the evaluation program corpus
+//!
+//! Every workload the paper evaluates (§7), written in the Lyra language:
+//! the three INT roles, Speedlight, NetCache, NetChain, NetPaxos,
+//! flowlet switching, a simple router, a large `switch.p4`-scale program,
+//! the stateful L4 load balancer of §2/§7.2 (parameterized by ConnTable
+//! size), and the Dejavu-style service chain of §7.3 (classifier, firewall,
+//! gateway, load balancer, scheduler).
+//!
+//! Also embeds the paper's Figure 9 baselines — the published statistics of
+//! the human-written P4₁₄ programs and of Lyra's own output — so the
+//! benchmark harness can reproduce the comparison *shape* (who wins, by
+//! roughly what factor).
+
+pub mod baselines;
+pub mod programs;
+
+pub use baselines::{paper_baselines, Fig9Row};
+pub use programs::*;
+
+/// One corpus entry: a Lyra program plus its default scope specification.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Program name as used in Figure 9.
+    pub name: &'static str,
+    /// Lyra source text.
+    pub source: String,
+    /// Default scope specification for the §7 testbed topologies.
+    pub scopes: String,
+}
+
+/// The full Figure 9 corpus (in the paper's row order).
+pub fn figure9_corpus() -> Vec<CorpusEntry> {
+    vec![
+        CorpusEntry {
+            name: "Ingress INT",
+            source: programs::int_ingress(),
+            scopes: "int_in: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "Transit INT",
+            source: programs::int_transit(),
+            scopes: "int_transit: [ Agg* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "Egress INT",
+            source: programs::int_egress(),
+            scopes: "int_out: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "Speedlight",
+            source: programs::speedlight(),
+            scopes: "speedlight: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "NetCache",
+            source: programs::netcache(),
+            scopes: "netcache: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "NetChain",
+            source: programs::netchain(),
+            scopes: "netchain: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "NetPaxos",
+            source: programs::netpaxos(),
+            scopes: "netpaxos: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "flowlet_switching",
+            source: programs::flowlet_switching(),
+            scopes: "flowlet: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "simple_router",
+            source: programs::simple_router(),
+            scopes: "simple_router: [ ToR* | PER-SW | - ]".into(),
+        },
+        CorpusEntry {
+            name: "switch",
+            source: programs::switch_program(),
+            scopes: programs::switch_scopes("ToR1"),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_lang::{check_program, parse_program};
+
+    #[test]
+    fn entire_corpus_parses_and_checks() {
+        for entry in figure9_corpus() {
+            let prog = parse_program(&entry.source)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", entry.name));
+            check_program(&prog)
+                .unwrap_or_else(|e| panic!("{} fails to check: {e}", entry.name));
+            lyra_lang::parse_scopes(&entry.scopes)
+                .unwrap_or_else(|e| panic!("{} has bad scopes: {e}", entry.name));
+        }
+    }
+
+    #[test]
+    fn corpus_front_end_lowers() {
+        for entry in figure9_corpus() {
+            let ir = lyra_ir::frontend(&entry.source)
+                .unwrap_or_else(|e| panic!("{} fails front-end: {e}", entry.name));
+            assert!(ir.total_instrs() > 0, "{} lowered to nothing", entry.name);
+        }
+    }
+
+    #[test]
+    fn corpus_loc_is_smaller_than_baselines() {
+        // The headline LoC claim: Lyra programs are much shorter than the
+        // manual P4_14 versions (up to 78% fewer lines).
+        let baselines = paper_baselines();
+        for entry in figure9_corpus() {
+            let row = baselines
+                .iter()
+                .find(|r| r.program == entry.name)
+                .unwrap_or_else(|| panic!("no baseline for {}", entry.name));
+            let loc = lyra_lang::count_loc(&entry.source);
+            assert!(
+                (loc as f64) < row.manual_loc as f64,
+                "{}: Lyra {loc} lines vs manual {} — must be smaller",
+                entry.name,
+                row.manual_loc
+            );
+        }
+    }
+}

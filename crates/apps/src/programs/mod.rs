@@ -1,0 +1,679 @@
+//! The corpus programs, written in the Lyra language.
+//!
+//! Each function returns full Lyra source. The programs implement the
+//! algorithms the paper evaluates on, scaled to exercise the same feature
+//! surface: extern tables (membership and dict lookups), global register
+//! arrays, predicated computation, library calls (hashing, timestamps,
+//! queue depth, cloning), header manipulation, and parser definitions.
+
+mod service_chain;
+mod switch_prog;
+
+pub use service_chain::service_chain;
+pub use switch_prog::{switch_program, switch_scopes};
+
+/// Common packet headers shared by the INT programs.
+fn int_headers() -> &'static str {
+    r#"
+>HEADER:
+header_type ethernet_t {
+    fields {
+        bit[48] dst_mac;
+        bit[48] src_mac;
+        bit[16] ether_type;
+    }
+}
+header_type ipv4_t {
+    fields {
+        bit[8]  version_ihl;
+        bit[8]  diffserv;
+        bit[16] total_len;
+        bit[8]  ttl;
+        bit[8]  protocol;
+        bit[32] src_ip;
+        bit[32] dst_ip;
+    }
+}
+header_type int_probe_hdr_t {
+    fields {
+        bit[8]  hop_count;
+        bit[8]  msg_type;
+        bit[16] probe_len;
+    }
+}
+header_type int_md_hdr_t {
+    fields {
+        bit[32] switch_id;
+        bit[32] hop_latency;
+        bit[24] queue_len;
+        bit[8]  pad;
+    }
+}
+parser_node start {
+    extract(ethernet);
+    select(ethernet.ether_type) {
+        0x0800: parse_ipv4;
+        default: ingress;
+    }
+}
+parser_node parse_ipv4 {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0xfd: parse_int_probe;
+        default: ingress;
+    }
+}
+parser_node parse_int_probe {
+    extract(int_probe_hdr);
+}
+"#
+}
+
+/// Ingress INT: identify packets of interest, insert the probe header and
+/// the first metadata record (§2.1 (i), Figure 1(b)).
+pub fn int_ingress() -> String {
+    format!(
+        r#"{headers}
+>PIPELINES:
+pipeline[INT]{{int_in}};
+
+algorithm int_in {{
+    int_filtering();
+    if (int_enable == 1) {{
+        add_int_probe_header();
+        add_int_md_hdr();
+    }}
+}}
+
+>FUNCTIONS:
+func int_filtering() {{
+    extern list<bit[32] ip>[1024] int_src_filter;
+    extern list<bit[32] ip>[1024] int_dst_filter;
+    if (ipv4.src_ip in int_src_filter) {{
+        int_enable = 1;
+    }}
+    if (ipv4.dst_ip in int_dst_filter) {{
+        int_enable = 1;
+    }}
+}}
+func add_int_probe_header() {{
+    add_header(int_probe_hdr);
+    int_probe_hdr.hop_count = 1;
+    int_probe_hdr.msg_type = 1;
+    int_probe_hdr.probe_len = 12;
+}}
+func add_int_md_hdr() {{
+    bit[32] ig_ts;
+    bit[32] eg_ts;
+    bit[32] latency;
+    add_header(int_md_hdr);
+    int_md_hdr.switch_id = get_switch_id();
+    ig_ts = get_ingress_timestamp();
+    eg_ts = get_egress_timestamp();
+    latency = (eg_ts - ig_ts) & 0x0fffffff;
+    int_md_hdr.hop_latency = latency;
+    int_md_hdr.queue_len = get_queue_len();
+}}
+"#,
+        headers = int_headers()
+    )
+}
+
+/// Transit INT: append a metadata record to packets already carrying a
+/// probe header (§2.1, Figure 1(b)).
+pub fn int_transit() -> String {
+    format!(
+        r#"{headers}
+>PIPELINES:
+pipeline[INT]{{int_transit}};
+
+algorithm int_transit {{
+    extern dict<bit[8] msg_type, bit[32] switch_id>[128] transit_filter;
+    if (int_probe_hdr.msg_type in transit_filter) {{
+        append_int_md();
+    }}
+}}
+
+>FUNCTIONS:
+func append_int_md() {{
+    bit[32] ig_ts;
+    bit[32] eg_ts;
+    add_header(int_md_hdr);
+    int_md_hdr.switch_id = get_switch_id();
+    ig_ts = get_ingress_timestamp();
+    eg_ts = get_egress_timestamp();
+    int_md_hdr.hop_latency = (eg_ts - ig_ts) & 0x0fffffff;
+    int_md_hdr.queue_len = get_queue_len();
+    int_probe_hdr.hop_count = int_probe_hdr.hop_count + 1;
+}}
+"#,
+        headers = int_headers()
+    )
+}
+
+/// Egress INT: append the final record and mirror the packet to the
+/// monitoring collector (§2.1, Figure 1(b)).
+pub fn int_egress() -> String {
+    format!(
+        r#"{headers}
+>PIPELINES:
+pipeline[INT]{{int_out}};
+
+algorithm int_out {{
+    extern dict<bit[8] msg_type, bit[32] switch_id>[128] egress_filter;
+    if (int_probe_hdr.msg_type in egress_filter) {{
+        bit[32] ig_ts;
+        bit[32] eg_ts;
+        add_header(int_md_hdr);
+        int_md_hdr.switch_id = get_switch_id();
+        ig_ts = get_ingress_timestamp();
+        eg_ts = get_egress_timestamp();
+        int_md_hdr.hop_latency = (eg_ts - ig_ts) & 0x0fffffff;
+        int_md_hdr.queue_len = get_queue_len();
+        int_probe_hdr.hop_count = int_probe_hdr.hop_count + 1;
+        mirror(250);
+        remove_header(int_probe_hdr);
+    }}
+}}
+"#,
+        headers = int_headers()
+    )
+}
+
+/// The stateful L4 load balancer of §2.1 (ii) / Figure 1(c), with a
+/// configurable ConnTable size (the §7.2 extensibility experiment grows it
+/// from one million to four million entries).
+pub fn load_balancer(conn_entries: u64) -> String {
+    format!(
+        r#"
+>HEADER:
+header_type ipv4_t {{
+    fields {{
+        bit[32] srcAddr;
+        bit[32] dstAddr;
+        bit[8]  protocol;
+    }}
+}}
+header_type tcp_t {{
+    fields {{
+        bit[16] srcPort;
+        bit[16] dstPort;
+    }}
+}}
+parser_node start {{
+    extract(ipv4);
+    select(ipv4.protocol) {{
+        0x6: parse_tcp;
+        default: ingress;
+    }}
+}}
+parser_node parse_tcp {{
+    extract(tcp);
+}}
+
+>PIPELINES:
+pipeline[LB]{{loadbalancer}};
+
+algorithm loadbalancer {{
+    load_balancing();
+}}
+
+>FUNCTIONS:
+func load_balancing() {{
+    extern dict<bit[32] hash, bit[32] ip>[{conn_entries}] conn_table;
+    extern dict<bit[32] vip, bit[8] group>[1048576] vip_table;
+    bit[32] hash;
+    bit[8] dip_group;
+    hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr, ipv4.protocol, tcp.srcPort, tcp.dstPort);
+    if (hash in conn_table) {{
+        ipv4.dstAddr = conn_table[hash];
+    }} else {{
+        if (ipv4.dstAddr in vip_table) {{
+            dip_group = vip_table[ipv4.dstAddr];
+            copy_to_cpu();
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// Speedlight-style synchronized per-port snapshots: counters, a snapshot
+/// id, and wraparound bookkeeping.
+pub fn speedlight() -> String {
+    r#"
+>HEADER:
+header_type ipv4_t {
+    fields {
+        bit[32] src_ip;
+        bit[32] dst_ip;
+        bit[8]  protocol;
+    }
+}
+header_type snapshot_hdr_t {
+    fields {
+        bit[16] snapshot_id;
+        bit[16] last_seen;
+    }
+}
+parser_node start {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0xfc: parse_snapshot;
+        default: ingress;
+    }
+}
+parser_node parse_snapshot {
+    extract(snapshot_hdr);
+}
+
+>PIPELINES:
+pipeline[SL]{speedlight};
+
+algorithm speedlight {
+    global bit[32][256] counters_ss;
+    global bit[32][256] counters_cur;
+    global bit[16][256] snapshot_ids;
+    global bit[16][256] last_seen;
+    global bit[32][256] ack_seen;
+    global bit[32][1] admin_epoch;
+    bit[9]  port;
+    bit[16] cur_id;
+    bit[32] count_now;
+    port = get_ingress_port();
+    cur_id = snapshot_ids[port];
+    if (snapshot_hdr.snapshot_id > cur_id) {
+        counters_ss[port] = counters_cur[port];
+        snapshot_ids[port] = snapshot_hdr.snapshot_id;
+        notify_controller();
+    }
+    count_now = counters_cur[port];
+    counters_cur[port] = count_now + 1;
+    last_seen[port] = snapshot_hdr.snapshot_id;
+    update_acks(port);
+}
+
+>FUNCTIONS:
+func notify_controller() {
+    copy_to_cpu();
+}
+func update_acks(bit[9] p) {
+    bit[32] acks;
+    acks = ack_seen[p];
+    ack_seen[p] = acks + 1;
+    admin_epoch[0] = admin_epoch[0] + 1;
+}
+"#
+    .to_string()
+}
+
+/// NetCache-style in-network key-value cache: hot-key table, per-key valid
+/// bits, value registers, and query statistics.
+pub fn netcache() -> String {
+    let mut src = String::from(
+        r#"
+>HEADER:
+header_type ipv4_t {
+    fields {
+        bit[32] src_ip;
+        bit[32] dst_ip;
+        bit[8]  protocol;
+    }
+}
+header_type nc_hdr_t {
+    fields {
+        bit[8]   op;
+        bit[128] key;
+        bit[32]  seq;
+    }
+}
+parser_node start {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0xfb: parse_nc;
+        default: ingress;
+    }
+}
+parser_node parse_nc {
+    extract(nc_hdr);
+}
+
+>PIPELINES:
+pipeline[NC]{netcache};
+
+algorithm netcache {
+    extern dict<bit[128] key, bit[16] index>[65536] cache_lookup;
+    global bit[8][65536] cache_valid;
+    global bit[32][65536] query_count;
+    bit[16] slot;
+    bit[8] valid;
+    if (nc_hdr.key in cache_lookup) {
+        slot = cache_lookup[nc_hdr.key];
+        switch (nc_hdr.op) {
+            case 1: {
+                valid = cache_valid[slot];
+                if (valid == 1) {
+                    read_value(slot);
+                } else {
+                    count_miss(slot);
+                }
+            }
+            case 3: {
+                cache_valid[slot] = 1;
+                write_value(slot);
+            }
+            default: {
+                cache_valid[slot] = 0;
+            }
+        }
+    } else {
+        count_hot(nc_hdr.seq);
+    }
+}
+
+>FUNCTIONS:
+func count_miss(bit[16] s) {
+    bit[32] q;
+    q = query_count[s];
+    query_count[s] = q + 1;
+    copy_to_cpu();
+}
+func count_hot(bit[32] seq) {
+    global bit[32][4096] hot_sketch;
+    bit[32] h;
+    h = crc32_hash(nc_hdr.key);
+    hot_sketch[h] = hot_sketch[h] + 1;
+}
+"#,
+    );
+    // The value store: NetCache keeps the cached values in many register
+    // arrays (the paper's manual program has 40 registers); each 32-bit
+    // slice of the value lives in its own array.
+    src.push_str("func read_value(bit[16] s) {\n");
+    for i in 0..19 {
+        src.push_str(&format!("    global bit[32][65536] value_r{i};\n"));
+    }
+    for i in 0..19 {
+        src.push_str(&format!("    nc_val_{i} = value_r{i}[s];\n"));
+    }
+    src.push_str("}\nfunc write_value(bit[16] s) {\n");
+    for i in 0..19 {
+        src.push_str(&format!("    global bit[32][65536] value_w{i};\n"));
+    }
+    for i in 0..19 {
+        src.push_str(&format!("    value_w{i}[s] = nc_val_{i};\n"));
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// NetChain-style chain-replicated key-value store: sequence numbers and a
+/// small replicated store with chain-role routing.
+pub fn netchain() -> String {
+    r#"
+>HEADER:
+header_type ipv4_t {
+    fields {
+        bit[32] src_ip;
+        bit[32] dst_ip;
+        bit[8]  protocol;
+    }
+}
+header_type chain_hdr_t {
+    fields {
+        bit[8]  op;
+        bit[64] key;
+        bit[32] value;
+        bit[16] seq;
+        bit[8]  chain_index;
+    }
+}
+parser_node start {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0xfa: parse_chain;
+        default: ingress;
+    }
+}
+parser_node parse_chain {
+    extract(chain_hdr);
+}
+
+>PIPELINES:
+pipeline[CHAIN]{netchain};
+
+algorithm netchain {
+    extern dict<bit[64] key, bit[16] index>[16384] kv_index;
+    extern dict<bit[8] role, bit[32] next_hop>[16] chain_route;
+    global bit[16][16384] seq_store;
+    global bit[32][16384] val_store;
+    bit[16] slot;
+    bit[16] cur_seq;
+    if (chain_hdr.key in kv_index) {
+        slot = kv_index[chain_hdr.key];
+        if (chain_hdr.op == 1) {
+            chain_hdr.value = val_store[slot];
+            reply_to_client();
+        } else {
+            cur_seq = seq_store[slot];
+            if (chain_hdr.seq > cur_seq) {
+                seq_store[slot] = chain_hdr.seq;
+                val_store[slot] = chain_hdr.value;
+                forward_down_chain();
+            } else {
+                drop();
+            }
+        }
+    }
+}
+
+>FUNCTIONS:
+func reply_to_client() {
+    bit[32] tmp_ip;
+    tmp_ip = ipv4.src_ip;
+    ipv4.src_ip = ipv4.dst_ip;
+    ipv4.dst_ip = tmp_ip;
+}
+func forward_down_chain() {
+    extern list<bit[8] idx>[8] tail_check;
+    chain_hdr.chain_index = chain_hdr.chain_index + 1;
+    if (chain_hdr.chain_index in tail_check) {
+        reply_to_client();
+    }
+}
+"#
+    .to_string()
+}
+
+/// NetPaxos-style in-network consensus acceptor: rounds, votes, and value
+/// registers.
+pub fn netpaxos() -> String {
+    r#"
+>HEADER:
+header_type ipv4_t {
+    fields {
+        bit[32] src_ip;
+        bit[32] dst_ip;
+        bit[8]  protocol;
+    }
+}
+header_type paxos_hdr_t {
+    fields {
+        bit[8]  msgtype;
+        bit[32] instance;
+        bit[16] round;
+        bit[16] vround;
+        bit[32] value;
+        bit[16] acceptor_id;
+    }
+}
+parser_node start {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0xf9: parse_paxos;
+        default: ingress;
+    }
+}
+parser_node parse_paxos {
+    extract(paxos_hdr);
+}
+
+>PIPELINES:
+pipeline[PAXOS]{netpaxos};
+
+algorithm netpaxos {
+    global bit[16][65536] rounds;
+    global bit[16][65536] vrounds;
+    global bit[32][65536] values;
+    global bit[32][1] instance_reg;
+    global bit[16][1] acceptor_id_reg;
+    bit[16] cur_round;
+    if (paxos_hdr.msgtype == 1) {
+        phase1a();
+    } else {
+        if (paxos_hdr.msgtype == 2) {
+            phase2a();
+        }
+    }
+}
+
+>FUNCTIONS:
+func phase1a() {
+    bit[16] r;
+    r = rounds[paxos_hdr.instance];
+    if (paxos_hdr.round > r) {
+        rounds[paxos_hdr.instance] = paxos_hdr.round;
+        paxos_hdr.vround = vrounds[paxos_hdr.instance];
+        paxos_hdr.value = values[paxos_hdr.instance];
+        paxos_hdr.acceptor_id = acceptor_id_reg[0];
+        forward(1);
+    }
+}
+func phase2a() {
+    bit[16] r2;
+    r2 = rounds[paxos_hdr.instance];
+    if (paxos_hdr.round >= r2) {
+        rounds[paxos_hdr.instance] = paxos_hdr.round;
+        vrounds[paxos_hdr.instance] = paxos_hdr.round;
+        values[paxos_hdr.instance] = paxos_hdr.value;
+        instance_reg[0] = paxos_hdr.instance;
+        forward(1);
+    }
+}
+"#
+    .to_string()
+}
+
+/// Flowlet switching: hash flows, detect inter-packet gaps, and repick the
+/// next hop per flowlet.
+pub fn flowlet_switching() -> String {
+    r#"
+>HEADER:
+header_type ipv4_t {
+    fields {
+        bit[32] src_ip;
+        bit[32] dst_ip;
+        bit[8]  protocol;
+    }
+}
+header_type tcp_t {
+    fields {
+        bit[16] src_port;
+        bit[16] dst_port;
+    }
+}
+parser_node start {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0x6: parse_tcp;
+        default: ingress;
+    }
+}
+parser_node parse_tcp {
+    extract(tcp);
+}
+
+>PIPELINES:
+pipeline[FLOWLET]{flowlet};
+
+algorithm flowlet {
+    extern dict<bit[16] hop_index, bit[9] port>[64] nexthops;
+    global bit[32][8192] flowlet_ts;
+    global bit[16][8192] flowlet_hop;
+    bit[32] fid;
+    bit[32] now;
+    bit[32] last;
+    bit[32] gap;
+    bit[16] hop;
+    fid = crc32_hash(ipv4.src_ip, ipv4.dst_ip, ipv4.protocol, tcp.src_port, tcp.dst_port);
+    now = get_ingress_timestamp();
+    last = flowlet_ts[fid];
+    gap = now - last;
+    if (gap > 50000) {
+        hop = crc16_hash(now, fid);
+        flowlet_hop[fid] = hop;
+    } else {
+        hop = flowlet_hop[fid];
+    }
+    flowlet_ts[fid] = now;
+    if (hop in nexthops) {
+        set_egress_port(nexthops[hop]);
+    }
+}
+"#
+    .to_string()
+}
+
+/// A plain IPv4 router: route lookup, TTL decrement, MAC rewrite.
+pub fn simple_router() -> String {
+    r#"
+>HEADER:
+header_type ethernet_t {
+    fields {
+        bit[48] dst_mac;
+        bit[48] src_mac;
+        bit[16] ether_type;
+    }
+}
+header_type ipv4_t {
+    fields {
+        bit[8]  ttl;
+        bit[32] src_ip;
+        bit[32] dst_ip;
+    }
+}
+parser_node start {
+    extract(ethernet);
+    select(ethernet.ether_type) {
+        0x0800: parse_ipv4;
+        default: ingress;
+    }
+}
+parser_node parse_ipv4 {
+    extract(ipv4);
+}
+
+>PIPELINES:
+pipeline[RT]{simple_router};
+
+algorithm simple_router {
+    extern dict<bit[32] dst, bit[32] nhop>[16384] ipv4_route;
+    extern dict<bit[32] nhop, bit[48] mac>[1024] arp_table;
+    bit[32] nhop_ip;
+    if (ipv4.dst_ip in ipv4_route) {
+        nhop_ip = ipv4_route[ipv4.dst_ip];
+        ipv4.ttl = ipv4.ttl - 1;
+        if (ipv4.ttl == 0) {
+            drop();
+        } else {
+            if (nhop_ip in arp_table) {
+                ethernet.dst_mac = arp_table[nhop_ip];
+            }
+        }
+    } else {
+        drop();
+    }
+}
+"#
+    .to_string()
+}

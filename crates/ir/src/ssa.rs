@@ -1,0 +1,235 @@
+//! SSA conversion (§4.2 step 4): version every named location so each value
+//! is assigned exactly once, removing write-after-read and write-after-write
+//! dependencies. Only read-after-write dependencies remain afterwards, which
+//! the paper relies on for dependency analysis ("After this step, only
+//! Read-After-Write dependency remains").
+//!
+//! SSA here is *analysis* SSA: all versions of a base name still map to the
+//! same physical storage (PHV field / metadata slot) in code generation —
+//! exactly how the paper treats `int_info1`/`int_info2` in Figure 8(c).
+
+use std::collections::BTreeMap;
+
+use crate::instr::*;
+use crate::lower::{RawAlgorithm, RawOp, RawOperand, RawProgram};
+use lyra_lang::UnOp;
+
+/// Convert a raw program into SSA form.
+pub fn to_ssa(raw: RawProgram) -> IrProgram {
+    let algorithms = raw.algorithms.iter().map(ssa_algorithm).collect();
+    IrProgram {
+        algorithms,
+        pipelines: raw.pipelines,
+        externs: raw.externs,
+        globals: raw.globals,
+        headers: raw.headers,
+        packets: raw.packets,
+        parser_nodes: raw.parser_nodes,
+    }
+}
+
+struct SsaCx {
+    values: Vec<ValueInfo>,
+    current: BTreeMap<String, ValueId>,
+    versions: BTreeMap<String, u32>,
+    declared: BTreeMap<String, u32>,
+}
+
+impl SsaCx {
+    /// Current version of `name`, creating a live-in version 0 on first read.
+    fn read(&mut self, name: &str) -> ValueId {
+        if let Some(&v) = self.current.get(name) {
+            return v;
+        }
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo {
+            base: name.to_string(),
+            version: 0,
+            width: self.declared.get(name).copied().unwrap_or(0),
+            def: None,
+            neg_of: None,
+            class: classify(name),
+        });
+        self.current.insert(name.to_string(), id);
+        self.versions.insert(name.to_string(), 0);
+        id
+    }
+
+    /// A fresh version of `name` defined by `def`.
+    fn write(&mut self, name: &str, def: InstrId) -> ValueId {
+        let ver = self.versions.get(name).map(|v| v + 1).unwrap_or(1);
+        self.versions.insert(name.to_string(), ver);
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo {
+            base: name.to_string(),
+            version: ver,
+            width: self.declared.get(name).copied().unwrap_or(0),
+            def: Some(def),
+            neg_of: None,
+            class: classify(name),
+        });
+        self.current.insert(name.to_string(), id);
+        id
+    }
+
+    fn operand(&mut self, o: &RawOperand) -> Operand {
+        match o {
+            RawOperand::Const(c) => Operand::Const(*c),
+            RawOperand::Name(n) => Operand::Value(self.read(n)),
+        }
+    }
+}
+
+fn classify(name: &str) -> StorageClass {
+    if name.contains('.') {
+        StorageClass::HeaderField
+    } else {
+        StorageClass::Local
+    }
+}
+
+fn ssa_algorithm(raw: &RawAlgorithm) -> IrAlgorithm {
+    let mut cx = SsaCx {
+        values: Vec::new(),
+        current: BTreeMap::new(),
+        versions: BTreeMap::new(),
+        declared: raw.declared.clone(),
+    };
+    let mut instrs: Vec<Instr> = Vec::with_capacity(raw.instrs.len());
+    for (idx, ri) in raw.instrs.iter().enumerate() {
+        let iid = InstrId(idx as u32);
+        // Reads first (operands and predicate), then the write.
+        let pred = ri.pred.as_ref().map(|p| cx.read(p));
+        let op = convert_op(&ri.op, &mut cx);
+        let dst = ri.dst.as_ref().map(|d| cx.write(d, iid));
+        // Track negation structure for mutual-exclusivity analysis.
+        if let (Some(d), IrOp::Unary { op: UnOp::Not, a: Operand::Value(src) }) = (dst, &op) {
+            cx.values[d.index()].neg_of = Some(*src);
+        }
+        // Predicate temporaries get the Predicate storage class.
+        if let Some(p) = pred {
+            if cx.values[p.index()].class == StorageClass::Local
+                && cx.values[p.index()].base.starts_with('%')
+            {
+                cx.values[p.index()].class = StorageClass::Predicate;
+            }
+        }
+        instrs.push(Instr { pred, op, dst });
+    }
+    IrAlgorithm { name: raw.name.clone(), instrs, values: cx.values }
+}
+
+fn convert_op(op: &RawOp, cx: &mut SsaCx) -> IrOp {
+    match op {
+        RawOp::Assign(a) => IrOp::Assign(cx.operand(a)),
+        RawOp::Binary { op, a, b } => {
+            IrOp::Binary { op: *op, a: cx.operand(a), b: cx.operand(b) }
+        }
+        RawOp::Unary { op, a } => IrOp::Unary { op: *op, a: cx.operand(a) },
+        RawOp::Call { name, args } => IrOp::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| cx.operand(a)).collect(),
+        },
+        RawOp::Action { name, args } => IrOp::Action {
+            name: name.clone(),
+            args: args.iter().map(|a| cx.operand(a)).collect(),
+        },
+        RawOp::TableLookup { table, key } => {
+            IrOp::TableLookup { table: table.clone(), key: cx.operand(key) }
+        }
+        RawOp::TableMember { table, key } => {
+            IrOp::TableMember { table: table.clone(), key: cx.operand(key) }
+        }
+        RawOp::GlobalRead { global, index } => {
+            IrOp::GlobalRead { global: global.clone(), index: cx.operand(index) }
+        }
+        RawOp::GlobalWrite { global, index, value } => IrOp::GlobalWrite {
+            global: global.clone(),
+            index: cx.operand(index),
+            value: cx.operand(value),
+        },
+        RawOp::Slice { a, hi, lo } => IrOp::Slice { a: cx.operand(a), hi: *hi, lo: *lo },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use lyra_lang::{check_program, parse_program};
+
+    fn ssa(src: &str) -> IrProgram {
+        let prog = parse_program(src).unwrap();
+        let info = check_program(&prog).unwrap();
+        to_ssa(lower_program(&prog, &info).unwrap())
+    }
+
+    #[test]
+    fn single_assignment_property() {
+        let ir = ssa(
+            "pipeline[P]{a}; algorithm a { x = 1; x = x + 1; x = x + 2; y = x; }",
+        );
+        let alg = &ir.algorithms[0];
+        let mut seen = std::collections::HashSet::new();
+        for i in &alg.instrs {
+            if let Some(d) = i.dst {
+                assert!(seen.insert(d), "double definition");
+            }
+        }
+        // x has versions 1, 2, 3 (no live-in version — never read first).
+        let x_versions: Vec<u32> = alg
+            .values
+            .iter()
+            .filter(|v| v.base == "x")
+            .map(|v| v.version)
+            .collect();
+        assert_eq!(x_versions, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reads_see_latest_version() {
+        let ir = ssa("pipeline[P]{a}; algorithm a { x = 1; y = x; x = 2; z = x; }");
+        let alg = &ir.algorithms[0];
+        // y = x must read x#1; z = x must read x#2.
+        let get_read = |dst: &str| -> String {
+            let i = alg
+                .instrs
+                .iter()
+                .find(|i| i.dst.map(|d| alg.value(d).base == dst).unwrap_or(false))
+                .unwrap();
+            match &i.op {
+                IrOp::Assign(Operand::Value(v)) => alg.value(*v).name(),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(get_read("y"), "x#1");
+        assert_eq!(get_read("z"), "x#2");
+    }
+
+    #[test]
+    fn live_in_values_have_version_zero() {
+        let ir = ssa("pipeline[P]{a}; algorithm a { y = ipv4.src_ip; }");
+        let alg = &ir.algorithms[0];
+        let live_in = alg.values.iter().find(|v| v.base == "ipv4.src_ip").unwrap();
+        assert_eq!(live_in.version, 0);
+        assert!(live_in.def.is_none());
+        assert_eq!(live_in.class, StorageClass::HeaderField);
+    }
+
+    #[test]
+    fn negation_tracked() {
+        let ir = ssa("pipeline[P]{a}; algorithm a { if (c) { x = 1; } else { x = 2; } }");
+        let alg = &ir.algorithms[0];
+        let neg = alg.values.iter().find(|v| v.neg_of.is_some()).expect("negation value");
+        let pos = alg.value(neg.neg_of.unwrap());
+        assert_eq!(pos.base, "c");
+    }
+
+    #[test]
+    fn declared_widths_flow_into_values() {
+        let ir = ssa("pipeline[P]{a}; algorithm a { bit[16] v; v = 3; w = v; }");
+        let alg = &ir.algorithms[0];
+        let v = alg.values.iter().find(|x| x.base == "v").unwrap();
+        assert_eq!(v.width, 16);
+    }
+}

@@ -1,0 +1,255 @@
+//! Variable width inference (§4.2 step 5). Widths propagate to fixpoint from
+//! three sources, matching the paper's rules:
+//!
+//! 1. **function calls** — library calls have known result widths
+//!    (`crc32_hash` → 32);
+//! 2. **operations** — comparisons and logic yield 1-bit values; arithmetic
+//!    yields the wider of its operands; slices yield `hi - lo + 1`;
+//! 3. **variable lookups** — extern table columns and global arrays have
+//!    explicitly declared widths.
+//!
+//! Values still unknown at fixpoint (implicit metadata with no constraining
+//! use) default to 32 bits, the paper's examples' common width.
+
+use crate::instr::*;
+use lyra_lang::check::builtins;
+use lyra_lang::BinOp;
+
+/// Fallback width for unconstrained implicit metadata.
+pub const DEFAULT_METADATA_WIDTH: u32 = 32;
+
+/// Infer widths for every value in every algorithm of `ir`, in place.
+pub fn infer_widths(ir: &mut IrProgram) {
+    let externs = ir.externs.clone();
+    let globals = ir.globals.clone();
+    let headers = ir.headers.clone();
+    let packets = ir.packets.clone();
+    for alg in &mut ir.algorithms {
+        // Seed: header fields and packet metadata.
+        for v in &mut alg.values {
+            if v.width != 0 {
+                continue;
+            }
+            if let Some((inst, field)) = v.base.split_once('.') {
+                if let Some(w) = header_field_width(&headers, inst, field) {
+                    v.width = w;
+                    continue;
+                }
+                for p in &packets {
+                    if p.name == inst {
+                        if let Some(f) = p.fields.iter().find(|f| f.name == field) {
+                            v.width = f.ty.width;
+                        }
+                    }
+                }
+            } else {
+                for p in &packets {
+                    if let Some(f) = p.fields.iter().find(|f| f.name == v.base) {
+                        v.width = f.ty.width;
+                    }
+                }
+            }
+        }
+        // Fixpoint propagation.
+        loop {
+            let mut changed = false;
+            for idx in 0..alg.instrs.len() {
+                let instr = alg.instrs[idx].clone();
+                let Some(dst) = instr.dst else { continue };
+                if alg.values[dst.index()].width != 0 {
+                    continue;
+                }
+                let w = infer_one(alg, &instr.op, &externs, &globals);
+                if let Some(w) = w {
+                    // All versions of the same base share storage; give them
+                    // all the same width.
+                    let base = alg.values[dst.index()].base.clone();
+                    for v in &mut alg.values {
+                        if v.base == base && v.width == 0 {
+                            v.width = w;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Defaults for anything left.
+        for v in &mut alg.values {
+            if v.width == 0 {
+                v.width = DEFAULT_METADATA_WIDTH;
+            }
+        }
+    }
+}
+
+fn header_field_width(
+    headers: &[lyra_lang::HeaderType],
+    instance: &str,
+    field: &str,
+) -> Option<u32> {
+    for h in headers {
+        let matches = h.name == instance
+            || h.name.strip_suffix("_t").map(|s| s == instance).unwrap_or(false);
+        if matches {
+            if let Some(f) = h.fields.iter().find(|f| f.name == field) {
+                return Some(f.ty.width);
+            }
+        }
+    }
+    None
+}
+
+fn operand_width(alg: &IrAlgorithm, o: &Operand) -> Option<u32> {
+    match o {
+        Operand::Const(_) => None, // constants adapt to context
+        Operand::Value(v) => {
+            let w = alg.value(*v).width;
+            if w == 0 {
+                None
+            } else {
+                Some(w)
+            }
+        }
+    }
+}
+
+fn infer_one(
+    alg: &IrAlgorithm,
+    op: &IrOp,
+    externs: &std::collections::BTreeMap<String, lyra_lang::ExternVar>,
+    globals: &std::collections::BTreeMap<String, (u32, u64)>,
+) -> Option<u32> {
+    match op {
+        IrOp::Assign(a) => operand_width(alg, a),
+        IrOp::Binary { op, a, b } => {
+            if op.is_comparison() || op.is_logical() {
+                Some(1)
+            } else if matches!(op, BinOp::Shl | BinOp::Shr) {
+                // Shifting preserves the left operand's width.
+                operand_width(alg, a)
+            } else {
+                match (operand_width(alg, a), operand_width(alg, b)) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (Some(x), None) | (None, Some(x)) => Some(x),
+                    (None, None) => None,
+                }
+            }
+        }
+        IrOp::Unary { op, a } => match op {
+            lyra_lang::UnOp::Not => Some(1),
+            _ => operand_width(alg, a),
+        },
+        IrOp::Call { name, .. } => builtins().get(name.as_str()).and_then(|s| s.result_width),
+        IrOp::Action { .. } | IrOp::GlobalWrite { .. } => None,
+        IrOp::TableLookup { table, .. } => externs.get(table).map(|t| t.value_width()),
+        IrOp::TableMember { .. } => Some(1),
+        IrOp::GlobalRead { global, .. } => globals.get(global).map(|g| g.0),
+        IrOp::Slice { hi, lo, .. } => Some(hi - lo + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::frontend;
+
+    fn width_of(ir: &crate::IrProgram, alg: usize, base: &str) -> u32 {
+        ir.algorithms[alg]
+            .values
+            .iter()
+            .find(|v| v.base == base)
+            .unwrap_or_else(|| panic!("no value {base}"))
+            .width
+    }
+
+    #[test]
+    fn builtin_result_width() {
+        let ir = frontend("pipeline[P]{a}; algorithm a { h = crc32_hash(x); }").unwrap();
+        assert_eq!(width_of(&ir, 0, "h"), 32);
+    }
+
+    #[test]
+    fn comparison_is_one_bit() {
+        let ir = frontend("pipeline[P]{a}; algorithm a { c = x == y; }").unwrap();
+        assert_eq!(width_of(&ir, 0, "c"), 1);
+    }
+
+    #[test]
+    fn table_lookup_width_from_value_column() {
+        let ir = frontend(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[8] grp>[64] vip;
+                g = vip[k];
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(width_of(&ir, 0, "g"), 8);
+    }
+
+    #[test]
+    fn membership_is_one_bit() {
+        let ir = frontend(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern list<bit[32] ip>[64] known;
+                m = k in known;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(width_of(&ir, 0, "m"), 1);
+    }
+
+    #[test]
+    fn header_field_width_flows() {
+        let ir = frontend(
+            r#"
+            header_type ipv4_t { fields { bit[32] src_ip; } }
+            pipeline[P]{a};
+            algorithm a { x = ipv4.src_ip; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(width_of(&ir, 0, "x"), 32);
+        assert_eq!(width_of(&ir, 0, "ipv4.src_ip"), 32);
+    }
+
+    #[test]
+    fn figure8_v1_inferred_32() {
+        // "the v1 is inferred as a 32-bit variable as the ig_ts and eg_ts
+        // are 32 bits" — here via the 32-bit metadata default on ig_ts.
+        let ir = frontend(
+            "pipeline[P]{a}; algorithm a { bit[32] ig_ts; bit[32] eg_ts; ig_ts = get_ingress_timestamp(); eg_ts = get_egress_timestamp(); v1 = ig_ts - eg_ts; }",
+        )
+        .unwrap();
+        assert_eq!(width_of(&ir, 0, "v1"), 32);
+    }
+
+    #[test]
+    fn slice_width() {
+        let ir = frontend("pipeline[P]{a}; algorithm a { x = smac[47:32]; }").unwrap();
+        assert_eq!(width_of(&ir, 0, "x"), 16);
+    }
+
+    #[test]
+    fn global_read_width() {
+        let ir = frontend(
+            "pipeline[P]{a}; algorithm a { global bit[16][64] g; x = g[i]; }",
+        )
+        .unwrap();
+        assert_eq!(width_of(&ir, 0, "x"), 16);
+    }
+
+    #[test]
+    fn unknown_defaults_to_32() {
+        let ir = frontend("pipeline[P]{a}; algorithm a { x = y; }").unwrap();
+        assert_eq!(width_of(&ir, 0, "x"), 32);
+        assert_eq!(width_of(&ir, 0, "y"), 32);
+    }
+}

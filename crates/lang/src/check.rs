@@ -1,0 +1,594 @@
+//! Semantic checker (§4.1): validates a parsed program before it enters the
+//! compiler front-end.
+//!
+//! Hard errors: duplicate declarations, pipelines referencing unknown
+//! algorithms, calls to unknown functions, wrong arity on user functions and
+//! builtins, `in` tests against undeclared externs, indexing non-tables,
+//! malformed bit slices, and zero-width variables.
+//!
+//! Like the paper's programs, Lyra code may reference packet metadata fields
+//! implicitly (e.g. `int_enable` in Figure 4); those surface as *warnings*
+//! with an inferred width, not errors.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+
+/// Signature of a predefined library function call (§3.2: "Lyra also offers
+/// many predefined library-function calls that commonly exist in the
+/// state-of-the-art chip-specific languages").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltinSig {
+    /// Minimum argument count.
+    pub min_args: usize,
+    /// Maximum argument count.
+    pub max_args: usize,
+    /// Result width in bits; `None` for void (statement-only) builtins.
+    pub result_width: Option<u32>,
+    /// True if the builtin reads or writes switch state that only exists in
+    /// the egress pipeline (e.g. queueing information — §8 "Multi-pipeline
+    /// support").
+    pub egress_only: bool,
+}
+
+/// The predefined library-function table shared by the checker, the type
+/// inferencer, and both code generators.
+pub fn builtins() -> &'static HashMap<&'static str, BuiltinSig> {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<HashMap<&'static str, BuiltinSig>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut m = HashMap::new();
+        let mut b = |name, min, max, w: Option<u32>, egress| {
+            m.insert(name, BuiltinSig { min_args: min, max_args: max, result_width: w, egress_only: egress });
+        };
+        b("crc32_hash", 1, 16, Some(32), false);
+        b("crc16_hash", 1, 16, Some(16), false);
+        b("identity_hash", 1, 16, Some(32), false);
+        b("get_queue_len", 0, 0, Some(24), true);
+        b("get_queue_time", 0, 0, Some(32), true);
+        b("get_ingress_timestamp", 0, 0, Some(32), false);
+        b("get_egress_timestamp", 0, 0, Some(32), true);
+        b("get_switch_id", 0, 0, Some(32), false);
+        b("get_ingress_port", 0, 0, Some(9), false);
+        b("get_egress_port", 0, 0, Some(9), false);
+        b("add_header", 1, 1, None, false);
+        b("remove_header", 1, 1, None, false);
+        b("copy_to_cpu", 0, 1, None, false);
+        b("mirror", 0, 1, None, false);
+        b("drop", 0, 0, None, false);
+        b("forward", 1, 1, None, false);
+        b("set_egress_port", 1, 1, None, false);
+        b("recirculate", 0, 1, None, false);
+        b("resubmit", 0, 1, None, false);
+        b("count", 1, 2, None, false);
+        b("min", 2, 2, Some(32), false);
+        b("max", 2, 2, Some(32), false);
+        b("register_read", 2, 2, Some(32), false);
+        b("register_write", 2, 3, None, false);
+        m
+    })
+}
+
+/// A single diagnostic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable message.
+    pub message: String,
+    /// Offending span.
+    pub span: crate::Span,
+}
+
+/// Checker failure: one or more hard errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// All hard errors found.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for e in &self.errors {
+            writeln!(f, "error at byte {}: {}", e.span.lo, e.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Result of a successful check: symbol information plus soft warnings.
+#[derive(Debug, Clone, Default)]
+pub struct CheckInfo {
+    /// Names that were referenced without declaration and treated as packet
+    /// metadata (with messages explaining where).
+    pub warnings: Vec<Diagnostic>,
+    /// Every extern table declared anywhere in the program, by name.
+    pub externs: HashMap<String, ExternVar>,
+    /// Every global register array declared anywhere, name → (width, len).
+    pub globals: HashMap<String, (u32, u64)>,
+}
+
+/// Check a program. Returns symbol info and warnings, or the list of hard
+/// errors.
+pub fn check_program(prog: &Program) -> Result<CheckInfo, CheckError> {
+    let mut cx = Ctx {
+        prog,
+        errors: Vec::new(),
+        info: CheckInfo::default(),
+        header_instances: HashMap::new(),
+    };
+    cx.collect_headers();
+    cx.check_duplicates();
+    cx.check_pipelines();
+    cx.collect_tables();
+    for a in &prog.algorithms {
+        cx.check_body(&a.body, &mut scope_with_headers(&cx));
+    }
+    for f in &prog.functions {
+        let mut scope = scope_with_headers(&cx);
+        for p in &f.params {
+            scope.insert(p.name.clone());
+        }
+        cx.check_body(&f.body, &mut scope);
+    }
+    if cx.errors.is_empty() {
+        Ok(cx.info)
+    } else {
+        Err(CheckError { errors: cx.errors })
+    }
+}
+
+fn scope_with_headers(cx: &Ctx) -> HashSet<String> {
+    let mut s: HashSet<String> = cx.header_instances.keys().cloned().collect();
+    for p in &cx.prog.packets {
+        for f in &p.fields {
+            s.insert(f.name.clone());
+        }
+        s.insert(p.name.clone());
+    }
+    s
+}
+
+struct Ctx<'p> {
+    prog: &'p Program,
+    errors: Vec<Diagnostic>,
+    info: CheckInfo,
+    /// Header instance name → field set. Instance name is the header type
+    /// name with a trailing `_t` stripped (the paper writes `int_probe_hdr_t`
+    /// as the type of instance `int_probe_hdr`), and the type name itself is
+    /// also accepted.
+    header_instances: HashMap<String, HashMap<String, u32>>,
+}
+
+impl<'p> Ctx<'p> {
+    fn error(&mut self, span: crate::Span, message: impl Into<String>) {
+        self.errors.push(Diagnostic { message: message.into(), span });
+    }
+
+    fn warn(&mut self, span: crate::Span, message: impl Into<String>) {
+        self.info.warnings.push(Diagnostic { message: message.into(), span });
+    }
+
+    fn collect_headers(&mut self) {
+        for h in &self.prog.headers {
+            let fields: HashMap<String, u32> =
+                h.fields.iter().map(|f| (f.name.clone(), f.ty.width)).collect();
+            self.header_instances.insert(h.name.clone(), fields.clone());
+            if let Some(stripped) = h.name.strip_suffix("_t") {
+                self.header_instances.insert(stripped.to_string(), fields);
+            }
+        }
+    }
+
+    fn check_duplicates(&mut self) {
+        let mut seen = HashSet::new();
+        for h in &self.prog.headers {
+            if !seen.insert(format!("header:{}", h.name)) {
+                self.error(h.span, format!("duplicate header_type `{}`", h.name));
+            }
+        }
+        let mut seen = HashSet::new();
+        for a in &self.prog.algorithms {
+            if !seen.insert(a.name.clone()) {
+                self.error(a.span, format!("duplicate algorithm `{}`", a.name));
+            }
+        }
+        let mut seen = HashSet::new();
+        for f in &self.prog.functions {
+            if !seen.insert(f.name.clone()) {
+                self.error(f.span, format!("duplicate function `{}`", f.name));
+            }
+            if builtins().contains_key(f.name.as_str()) {
+                self.error(
+                    f.span,
+                    format!("function `{}` shadows a predefined library function", f.name),
+                );
+            }
+        }
+        let mut seen = HashSet::new();
+        for p in &self.prog.pipelines {
+            if !seen.insert(p.name.clone()) {
+                self.error(p.span, format!("duplicate pipeline `{}`", p.name));
+            }
+        }
+    }
+
+    fn check_pipelines(&mut self) {
+        let algs: HashSet<&str> = self.prog.algorithms.iter().map(|a| a.name.as_str()).collect();
+        for p in &self.prog.pipelines {
+            for a in &p.algorithms {
+                if !algs.contains(a.as_str()) {
+                    self.error(
+                        p.span,
+                        format!("pipeline `{}` references unknown algorithm `{a}`", p.name),
+                    );
+                }
+            }
+        }
+        // Every algorithm should belong to some pipeline (warning only).
+        let piped: HashSet<&str> = self
+            .prog
+            .pipelines
+            .iter()
+            .flat_map(|p| p.algorithms.iter().map(String::as_str))
+            .collect();
+        for a in &self.prog.algorithms {
+            if !piped.contains(a.name.as_str()) {
+                self.warn(a.span, format!("algorithm `{}` is not part of any pipeline", a.name));
+            }
+        }
+    }
+
+    fn collect_tables(&mut self) {
+        let walk = |body: &[Stmt], cx: &mut Self| {
+            fn rec(body: &[Stmt], cx: &mut Ctx) {
+                for s in body {
+                    match s {
+                        Stmt::ExternDecl { var, span } => {
+                            if cx.info.externs.contains_key(&var.name) {
+                                cx.error(*span, format!("duplicate extern `{}`", var.name));
+                            } else {
+                                cx.info.externs.insert(var.name.clone(), var.clone());
+                            }
+                            if var.size == 0 {
+                                cx.error(*span, format!("extern `{}` has zero entries", var.name));
+                            }
+                        }
+                        Stmt::GlobalDecl { ty, len, name, span } => {
+                            if ty.width == 0 {
+                                cx.error(*span, format!("global `{name}` has zero width"));
+                            }
+                            if cx.info.globals.contains_key(name) {
+                                cx.error(*span, format!("duplicate global `{name}`"));
+                            } else {
+                                cx.info.globals.insert(name.clone(), (ty.width, *len));
+                            }
+                        }
+                        Stmt::If { then_body, else_body, .. } => {
+                            rec(then_body, cx);
+                            if let Some(eb) = else_body {
+                                rec(eb, cx);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            rec(body, cx);
+        };
+        let algorithms = self.prog.algorithms.clone();
+        let functions = self.prog.functions.clone();
+        for a in &algorithms {
+            walk(&a.body, self);
+        }
+        for f in &functions {
+            walk(&f.body, self);
+        }
+    }
+
+    fn check_body(&mut self, body: &[Stmt], scope: &mut HashSet<String>) {
+        for s in body {
+            match s {
+                Stmt::VarDecl { ty, name, init, span } => {
+                    if ty.width == 0 {
+                        self.error(*span, format!("variable `{name}` has zero width"));
+                    }
+                    if let Some(e) = init {
+                        self.check_expr(e, scope, *span);
+                    }
+                    scope.insert(name.clone());
+                }
+                Stmt::GlobalDecl { name, .. } => {
+                    scope.insert(name.clone());
+                }
+                Stmt::ExternDecl { var, .. } => {
+                    scope.insert(var.name.clone());
+                }
+                Stmt::Assign { lhs, rhs, span } => {
+                    self.check_expr(rhs, scope, *span);
+                    match lhs {
+                        LValue::Path(p) => {
+                            self.check_path_is_known(p, scope, *span, true);
+                            scope.insert(p[0].clone());
+                        }
+                        LValue::Index { base, index } => {
+                            self.check_expr(index, scope, *span);
+                            if !self.info.globals.contains_key(base)
+                                && !self.info.externs.contains_key(base)
+                            {
+                                self.error(
+                                    *span,
+                                    format!("indexed assignment to unknown table/global `{base}`"),
+                                );
+                            }
+                        }
+                    }
+                }
+                Stmt::If { cond, then_body, else_body, span } => {
+                    self.check_expr(cond, scope, *span);
+                    let mut t = scope.clone();
+                    self.check_body(then_body, &mut t);
+                    if let Some(eb) = else_body {
+                        let mut e = scope.clone();
+                        self.check_body(eb, &mut e);
+                        // Names assigned in both branches are defined after.
+                        for n in t.intersection(&e) {
+                            scope.insert(n.clone());
+                        }
+                    }
+                }
+                Stmt::Call { name, args, span } => {
+                    self.check_call(name, args, scope, *span);
+                    // By-reference parameters: a bare-path argument becomes
+                    // defined after the call (Figure 8's int_info pattern).
+                    for a in args {
+                        if let Expr::Path(p) = a {
+                            if p.len() == 1 {
+                                scope.insert(p[0].clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_call(&mut self, name: &str, args: &[Expr], scope: &mut HashSet<String>, span: crate::Span) {
+        if let Some(sig) = builtins().get(name) {
+            if args.len() < sig.min_args || args.len() > sig.max_args {
+                self.error(
+                    span,
+                    format!(
+                        "builtin `{name}` takes {}..={} arguments, got {}",
+                        sig.min_args,
+                        sig.max_args,
+                        args.len()
+                    ),
+                );
+            }
+        } else if let Some(f) = self.prog.function(name) {
+            if f.params.len() != args.len() {
+                self.error(
+                    span,
+                    format!(
+                        "function `{name}` takes {} arguments, got {}",
+                        f.params.len(),
+                        args.len()
+                    ),
+                );
+            }
+        } else {
+            self.error(span, format!("call to unknown function `{name}`"));
+        }
+        for a in args {
+            // Bare single-name arguments may be out-params; don't require
+            // them to exist yet.
+            if !matches!(a, Expr::Path(p) if p.len() == 1) {
+                self.check_expr(a, scope, span);
+            }
+        }
+    }
+
+    fn check_path_is_known(
+        &mut self,
+        p: &[String],
+        scope: &HashSet<String>,
+        span: crate::Span,
+        is_write: bool,
+    ) {
+        if p.len() >= 2 {
+            // Header or metadata field access.
+            if let Some(fields) = self.header_instances.get(&p[0]) {
+                if !fields.contains_key(&p[1]) {
+                    self.error(span, format!("header `{}` has no field `{}`", p[0], p[1]));
+                }
+                return;
+            }
+            // Unknown first segment: treat as implicit metadata bundle.
+            if !scope.contains(&p[0]) {
+                self.warn(
+                    span,
+                    format!("`{}` treated as implicit packet metadata", p.join(".")),
+                );
+            }
+            return;
+        }
+        let name = &p[0];
+        if scope.contains(name)
+            || self.info.externs.contains_key(name)
+            || self.info.globals.contains_key(name)
+        {
+            return;
+        }
+        if is_write {
+            // Writing introduces an implicit metadata variable.
+            return;
+        }
+        self.warn(span, format!("`{name}` treated as implicit packet metadata"));
+    }
+
+    fn check_expr(&mut self, e: &Expr, scope: &HashSet<String>, span: crate::Span) {
+        match e {
+            Expr::Num(_) => {}
+            Expr::Path(p) => self.check_path_is_known(p, scope, span, false),
+            Expr::Index { base, index } => {
+                if !self.info.externs.contains_key(base) && !self.info.globals.contains_key(base) {
+                    self.error(span, format!("indexing unknown table/global `{base}`"));
+                }
+                self.check_expr(index, scope, span);
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                self.check_expr(lhs, scope, span);
+                self.check_expr(rhs, scope, span);
+            }
+            Expr::Un { expr, .. } => self.check_expr(expr, scope, span),
+            Expr::Call { name, args } => {
+                if let Some(sig) = builtins().get(name.as_str()) {
+                    if sig.result_width.is_none() {
+                        self.error(span, format!("builtin `{name}` has no result; cannot be used as a value"));
+                    }
+                    if args.len() < sig.min_args || args.len() > sig.max_args {
+                        self.error(
+                            span,
+                            format!(
+                                "builtin `{name}` takes {}..={} arguments, got {}",
+                                sig.min_args,
+                                sig.max_args,
+                                args.len()
+                            ),
+                        );
+                    }
+                } else if self.prog.function(name).is_none() {
+                    self.error(span, format!("call to unknown function `{name}`"));
+                }
+                for a in args {
+                    self.check_expr(a, scope, span);
+                }
+            }
+            Expr::InTable { key, table } => {
+                if !self.info.externs.contains_key(table) {
+                    self.error(span, format!("`in` test against undeclared extern `{table}`"));
+                }
+                self.check_expr(key, scope, span);
+            }
+            Expr::Slice { base, hi, lo } => {
+                if hi < lo {
+                    self.error(span, format!("bit slice `{}[{hi}:{lo}]` has hi < lo", base.join(".")));
+                }
+                self.check_path_is_known(base, scope, span, false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn check(src: &str) -> Result<CheckInfo, CheckError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        let info = check(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[64] t;
+                bit[32] h;
+                h = crc32_hash(ipv4_src);
+                if (h in t) { out = t[h]; }
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(info.externs.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_algorithm_in_pipeline() {
+        let err = check("pipeline[P]{missing};").unwrap_err();
+        assert!(err.errors[0].message.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn rejects_duplicate_algorithms() {
+        let err = check("pipeline[P]{a}; algorithm a { x = 1; } algorithm a { y = 1; }").unwrap_err();
+        assert!(err.errors[0].message.contains("duplicate algorithm"));
+    }
+
+    #[test]
+    fn rejects_unknown_function_call() {
+        let err = check("pipeline[P]{a}; algorithm a { nonexistent_fn(); }").unwrap_err();
+        assert!(err.errors[0].message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_bad_builtin_arity() {
+        let err = check("pipeline[P]{a}; algorithm a { drop(1, 2); }").unwrap_err();
+        assert!(err.errors[0].message.contains("arguments"));
+    }
+
+    #[test]
+    fn rejects_in_on_undeclared_table() {
+        let err = check("pipeline[P]{a}; algorithm a { if (x in nowhere) { y = 1; } }").unwrap_err();
+        assert!(err.errors[0].message.contains("undeclared extern"));
+    }
+
+    #[test]
+    fn rejects_void_builtin_as_value() {
+        let err = check("pipeline[P]{a}; algorithm a { x = drop(); }").unwrap_err();
+        assert!(err.errors[0].message.contains("no result"));
+    }
+
+    #[test]
+    fn rejects_bad_slice() {
+        let err = check("pipeline[P]{a}; algorithm a { if (x[0:5] == 1) { y = 1; } }").unwrap_err();
+        assert!(err.errors[0].message.contains("hi < lo"));
+    }
+
+    #[test]
+    fn header_field_validation() {
+        let err = check(
+            r#"
+            header_type ipv4_t { fields { bit[32] src_ip; } }
+            pipeline[P]{a};
+            algorithm a { x = ipv4.no_such_field; }
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.errors[0].message.contains("no field"));
+    }
+
+    #[test]
+    fn implicit_metadata_warns_not_errors() {
+        let info = check("pipeline[P]{a}; algorithm a { if (int_enable) { x = 1; } }").unwrap();
+        assert!(!info.warnings.is_empty());
+    }
+
+    #[test]
+    fn out_param_pattern_ok() {
+        // Figure 8: int_info(int_info) writes its argument.
+        let info = check(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                bit[32] info;
+                int_info(info);
+                x = info;
+            }
+            func int_info(bit[32] v) { v = 1; }
+        "#,
+        )
+        .unwrap();
+        let _ = info;
+    }
+
+    #[test]
+    fn rejects_shadowing_builtin() {
+        let err = check("pipeline[P]{a}; algorithm a { x = 1; } func drop() { y = 1; }").unwrap_err();
+        assert!(err.errors[0].message.contains("shadows"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Hand-rolled lexer for the Lyra language.
+//!
+//! Produces a flat token stream with byte spans. Handles `//` line comments,
+//! `/* */` block comments, decimal and hexadecimal numbers, identifiers,
+//! keywords, all multi-character operators used by the grammar (`->`, `<<`,
+//! `>>`, `==`, `!=`, `<=`, `>=`, `&&`, `||`), and the section markers
+//! (`>HEADER:`, `>PIPELINES:`, `>FUNCTIONS:`) which the parser treats as
+//! skippable separators.
+
+use crate::Span;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value, and whether it was written in hex).
+    Num(u64),
+    /// Section marker such as `>HEADER:` (name without `>`/`:`).
+    Section(String),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // single-symbol tokens; names mirror their glyphs
+pub enum Punct {
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Assign,
+    /// `->`
+    Arrow,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    AndAnd,
+    OrOr,
+    Question,
+}
+
+/// A token together with its span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Errors produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Problem description.
+    pub message: String,
+    /// Offending location.
+    pub span: Span,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.span.lo, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` completely.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let n = bytes.len();
+    let mut out = Vec::new();
+
+    macro_rules! push {
+        ($tok:expr, $lo:expr, $hi:expr) => {
+            out.push(SpannedTok { tok: $tok, span: Span::new($lo as u32, $hi as u32) })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == b'/' {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            span: Span::new(start as u32, n as u32),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Section markers: `>NAME:` at the start of a construct. Only treat
+        // `>` followed immediately by an uppercase identifier and `:` as a
+        // section; otherwise `>` is the greater-than operator.
+        if c == '>' {
+            let mut j = i + 1;
+            while j < n && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > i + 1 && j < n && bytes[j] == b':' {
+                let name = &src[i + 1..j];
+                if name.chars().all(|ch| ch.is_ascii_uppercase() || ch == '_') {
+                    push!(Tok::Section(name.to_string()), i, j + 1);
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            push!(Tok::Ident(src[start..i].to_string()), start, i);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < n && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                let ds = i;
+                while i < n && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == ds {
+                    return Err(LexError {
+                        message: "hex literal with no digits".into(),
+                        span: Span::new(start as u32, i as u32),
+                    });
+                }
+                let v = u64::from_str_radix(&src[ds..i], 16).map_err(|e| LexError {
+                    message: format!("bad hex literal: {e}"),
+                    span: Span::new(start as u32, i as u32),
+                })?;
+                push!(Tok::Num(v), start, i);
+            } else {
+                while i < n && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let v: u64 = src[start..i].parse().map_err(|e| LexError {
+                    message: format!("bad integer literal: {e}"),
+                    span: Span::new(start as u32, i as u32),
+                })?;
+                push!(Tok::Num(v), start, i);
+            }
+            continue;
+        }
+        // Operators and punctuation. Work on byte pairs — slicing the
+        // string directly would panic on multi-byte UTF-8 input.
+        let two: &[u8] = if i + 1 < n { &bytes[i..i + 2] } else { b"" };
+        let (p, len) = match two {
+            b"->" => (Punct::Arrow, 2),
+            b"<<" => (Punct::Shl, 2),
+            b">>" => (Punct::Shr, 2),
+            b"==" => (Punct::EqEq, 2),
+            b"!=" => (Punct::NotEq, 2),
+            b"<=" => (Punct::Le, 2),
+            b">=" => (Punct::Ge, 2),
+            b"&&" => (Punct::AndAnd, 2),
+            b"||" => (Punct::OrOr, 2),
+            _ => {
+                let p = match c {
+                    '{' => Punct::LBrace,
+                    '}' => Punct::RBrace,
+                    '(' => Punct::LParen,
+                    ')' => Punct::RParen,
+                    '[' => Punct::LBracket,
+                    ']' => Punct::RBracket,
+                    ';' => Punct::Semi,
+                    ',' => Punct::Comma,
+                    ':' => Punct::Colon,
+                    '.' => Punct::Dot,
+                    '=' => Punct::Assign,
+                    '<' => Punct::Lt,
+                    '>' => Punct::Gt,
+                    '+' => Punct::Plus,
+                    '-' => Punct::Minus,
+                    '*' => Punct::Star,
+                    '/' => Punct::Slash,
+                    '%' => Punct::Percent,
+                    '&' => Punct::Amp,
+                    '|' => Punct::Pipe,
+                    '^' => Punct::Caret,
+                    '~' => Punct::Tilde,
+                    '!' => Punct::Bang,
+                    '?' => Punct::Question,
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character {other:?}"),
+                            span: Span::new(i as u32, i as u32 + 1),
+                        })
+                    }
+                };
+                (p, 1)
+            }
+        };
+        push!(Tok::Punct(p), i, i + len);
+        i += len;
+    }
+    push!(Tok::Eof, n, n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_numbers() {
+        let ts = toks("foo 42 0x1f _bar");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Num(42),
+                Tok::Num(0x1f),
+                Tok::Ident("_bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_sections() {
+        let ts = toks(">HEADER:\nheader_type x");
+        assert_eq!(ts[0], Tok::Section("HEADER".into()));
+        assert_eq!(ts[1], Tok::Ident("header_type".into()));
+    }
+
+    #[test]
+    fn gt_is_not_section() {
+        let ts = toks("a > b");
+        assert_eq!(ts[1], Tok::Punct(Punct::Gt));
+    }
+
+    #[test]
+    fn lexes_multichar_operators() {
+        let ts = toks("a -> b << c >= d != e && f");
+        assert!(ts.contains(&Tok::Punct(Punct::Arrow)));
+        assert!(ts.contains(&Tok::Punct(Punct::Shl)));
+        assert!(ts.contains(&Tok::Punct(Punct::Ge)));
+        assert!(ts.contains(&Tok::Punct(Punct::NotEq)));
+        assert!(ts.contains(&Tok::Punct(Punct::AndAnd)));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ts = toks("a // comment\nb /* block\n comment */ c");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("a /* oops").is_err());
+    }
+
+    #[test]
+    fn bad_hex_errors() {
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let ts = lex("ab cd").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 2));
+        assert_eq!(ts[1].span, Span::new(3, 5));
+    }
+}

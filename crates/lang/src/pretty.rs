@@ -1,0 +1,218 @@
+//! Pretty-printer for Lyra programs. Output re-parses to an equivalent AST
+//! (round-trip property-tested), and is used for LoC accounting and for
+//! emitting preprocessed programs in diagnostics.
+
+use crate::ast::*;
+
+/// Render a full program as Lyra source text.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.headers.is_empty() || !p.packets.is_empty() || !p.parser_nodes.is_empty() {
+        out.push_str(">HEADER:\n");
+        for h in &p.headers {
+            out.push_str(&print_header(h));
+        }
+        for pk in &p.packets {
+            out.push_str(&print_packet(pk));
+        }
+        for n in &p.parser_nodes {
+            out.push_str(&print_parser_node(n));
+        }
+    }
+    if !p.pipelines.is_empty() || !p.algorithms.is_empty() {
+        out.push_str(">PIPELINES:\n");
+        for pl in &p.pipelines {
+            out.push_str(&format!(
+                "pipeline[{}]{{{}}};\n",
+                pl.name,
+                pl.algorithms.join(" -> ")
+            ));
+        }
+        for a in &p.algorithms {
+            out.push_str(&format!("algorithm {} {{\n", a.name));
+            for s in &a.body {
+                print_stmt(&mut out, s, 1);
+            }
+            out.push_str("}\n");
+        }
+    }
+    if !p.functions.is_empty() {
+        out.push_str(">FUNCTIONS:\n");
+        for f in &p.functions {
+            let params: Vec<String> =
+                f.params.iter().map(|p| format!("bit[{}] {}", p.ty.width, p.name)).collect();
+            out.push_str(&format!("func {}({}) {{\n", f.name, params.join(", ")));
+            for s in &f.body {
+                print_stmt(&mut out, s, 1);
+            }
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+fn print_header(h: &HeaderType) -> String {
+    let mut s = format!("header_type {} {{\n", h.name);
+    s.push_str("    fields {\n");
+    for f in &h.fields {
+        s.push_str(&format!("        bit[{}] {};\n", f.ty.width, f.name));
+    }
+    s.push_str("    }\n}\n");
+    s
+}
+
+fn print_packet(p: &PacketDecl) -> String {
+    let mut s = format!("packet {} {{\n", p.name);
+    s.push_str("    fields {\n");
+    for f in &p.fields {
+        s.push_str(&format!("        bit[{}] {};\n", f.ty.width, f.name));
+    }
+    s.push_str("    }\n}\n");
+    s
+}
+
+fn print_parser_node(n: &ParserNode) -> String {
+    let mut s = format!("parser_node {} {{\n", n.name);
+    for e in &n.extracts {
+        s.push_str(&format!("    extract({e});\n"));
+    }
+    for (dst, src) in &n.sets {
+        s.push_str(&format!("    set_metadata({}, {});\n", dst.join("."), src.to_src()));
+    }
+    if let Some(sel) = &n.select {
+        s.push_str(&format!("    select({}) {{\n", sel.join(".")));
+        for (v, next) in &n.transitions {
+            s.push_str(&format!("        0x{v:x}: {next};\n"));
+        }
+        if let Some(d) = &n.default {
+            s.push_str(&format!("        default: {d};\n"));
+        }
+        s.push_str("    }\n");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Print a single statement at the given indent level.
+pub fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::VarDecl { ty, name, init, .. } => {
+            match init {
+                Some(e) => {
+                    out.push_str(&format!("{pad}bit[{}] {} = {};\n", ty.width, name, e.to_src()))
+                }
+                None => out.push_str(&format!("{pad}bit[{}] {};\n", ty.width, name)),
+            };
+        }
+        Stmt::GlobalDecl { ty, len, name, .. } => {
+            if *len == 1 {
+                out.push_str(&format!("{pad}global bit[{}] {};\n", ty.width, name));
+            } else {
+                out.push_str(&format!("{pad}global bit[{}][{}] {};\n", ty.width, len, name));
+            }
+        }
+        Stmt::ExternDecl { var, .. } => {
+            let kw = match var.match_kind {
+                MatchKind::Exact => None,
+                MatchKind::Lpm => Some("lpm"),
+                MatchKind::Ternary => Some("ternary"),
+                MatchKind::Range => Some("range"),
+            };
+            let kind = match &var.kind {
+                ExternKind::List { elem } => {
+                    format!("list<bit[{}] {}>", elem.ty.width, elem.name)
+                }
+                ExternKind::Dict { keys, values } => {
+                    let part = |fs: &[TypedField]| -> String {
+                        let inner: Vec<String> =
+                            fs.iter().map(|f| format!("bit[{}] {}", f.ty.width, f.name)).collect();
+                        if fs.len() == 1 {
+                            inner.into_iter().next().unwrap()
+                        } else {
+                            format!("<{}>", inner.join(", "))
+                        }
+                    };
+                    format!("{}<{}, {}>", kw.unwrap_or("dict"), part(keys), part(values))
+                }
+            };
+            out.push_str(&format!("{pad}extern {kind}[{}] {};\n", var.size, var.name));
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            out.push_str(&format!("{pad}{} = {};\n", lhs.to_src(), rhs.to_src()));
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            out.push_str(&format!("{pad}if ({}) {{\n", cond.to_src()));
+            for st in then_body {
+                print_stmt(out, st, indent + 1);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            if let Some(eb) = else_body {
+                out.push_str(&format!("{pad}else {{\n"));
+                for st in eb {
+                    print_stmt(out, st, indent + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        Stmt::Call { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_src()).collect();
+            out.push_str(&format!("{pad}{name}({});\n", args.join(", ")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    const SRC: &str = r#"
+        >HEADER:
+        header_type probe_t { fields { bit[8] hop; } }
+        >PIPELINES:
+        pipeline[P]{a -> b};
+        algorithm a {
+            extern dict<bit[32] k, bit[32] v>[64] t;
+            bit[32] h;
+            h = crc32_hash(x, y);
+            if (h in t) {
+                z = t[h];
+            } else {
+                z = 0;
+            }
+        }
+        algorithm b { f(); }
+        >FUNCTIONS:
+        func f() { q = 1; }
+    "#;
+
+    #[test]
+    fn roundtrip_preserves_ast_shape() {
+        let p1 = parse_program(SRC).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1.headers.len(), p2.headers.len());
+        assert_eq!(p1.pipelines, strip_spans_pipelines(&p2));
+        assert_eq!(strip(&p1.algorithms[0].body), strip(&p2.algorithms[0].body));
+    }
+
+    // Spans differ between original and printed sources; compare via
+    // re-printed text which ignores spans entirely.
+    fn strip(b: &[Stmt]) -> String {
+        let mut s = String::new();
+        for st in b {
+            print_stmt(&mut s, st, 0);
+        }
+        s
+    }
+
+    fn strip_spans_pipelines(p: &Program) -> Vec<Pipeline> {
+        let orig = parse_program(SRC).unwrap();
+        p.pipelines
+            .iter()
+            .zip(&orig.pipelines)
+            .map(|(x, o)| Pipeline { span: o.span, ..x.clone() })
+            .collect()
+    }
+}

@@ -1,0 +1,257 @@
+//! Algorithm scope specifications (§3.3, Figure 7):
+//!
+//! ```text
+//! int_in:       [ ToR* | PER-SW | - ]
+//! int_transit:  [ Agg* | PER-SW | - ]
+//! loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+//! ```
+//!
+//! Each line names an algorithm and gives `[ region | deploy | direct ]`:
+//!
+//! * **region** — candidate switches: a comma-separated list of switch names,
+//!   each optionally ending in `*` as a prefix wildcard (`ToR*` = every
+//!   switch whose name starts with `ToR`);
+//! * **deploy** — `PER-SW` (copy the algorithm onto every switch in region)
+//!   or `MULTI-SW` (realize one logical instance across the region); `-`
+//!   defaults to `PER-SW`;
+//! * **direct** — for MULTI-SW, the traffic direction
+//!   `(ingress,...->egress,...)`; `-` if not applicable.
+
+use serde::{Deserialize, Serialize};
+
+/// How an algorithm maps onto its region (§3.3 "Deploy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeployMode {
+    /// A copy of the whole algorithm on each switch of the region.
+    PerSwitch,
+    /// One logical instance realized across the switches of the region.
+    MultiSwitch,
+}
+
+/// A traffic direction `(A,B -> C,D)` for MULTI-SW scopes (§3.3 "Direct").
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Direction {
+    /// Switch names traffic enters through.
+    pub from: Vec<String>,
+    /// Switch names traffic leaves through.
+    pub to: Vec<String>,
+}
+
+/// A region pattern: an exact switch name or a `prefix*` wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionPat {
+    /// Exact switch name.
+    Exact(String),
+    /// Prefix wildcard (`ToR*`).
+    Prefix(String),
+}
+
+impl RegionPat {
+    /// Does `name` match this pattern?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            RegionPat::Exact(s) => s == name,
+            RegionPat::Prefix(p) => name.starts_with(p.as_str()),
+        }
+    }
+}
+
+/// The scope of one algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScopeSpec {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Candidate switch patterns.
+    pub region: Vec<RegionPat>,
+    /// Deployment mode.
+    pub deploy: DeployMode,
+    /// Optional traffic direction (MULTI-SW only).
+    pub direct: Option<Direction>,
+}
+
+impl ScopeSpec {
+    /// Resolve the region against a universe of switch names, preserving the
+    /// universe's order.
+    pub fn resolve<'a>(&self, universe: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        universe
+            .into_iter()
+            .filter(|name| self.region.iter().any(|p| p.matches(name)))
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Errors from parsing a scope specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scope error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScopeError {}
+
+/// Parse a scope specification document (one `name: [ .. | .. | .. ]` per
+/// line; `#` and `//` comments and blank lines are skipped).
+pub fn parse_scopes(src: &str) -> Result<Vec<ScopeSpec>, ScopeError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let (name, rest) = line.split_once(':').ok_or_else(|| ScopeError {
+            line: line_no,
+            message: "expected `name: [ region | deploy | direct ]`".into(),
+        })?;
+        let rest = rest.trim();
+        if !rest.starts_with('[') || !rest.ends_with(']') {
+            return Err(ScopeError {
+                line: line_no,
+                message: "scope body must be bracketed: `[ region | deploy | direct ]`".into(),
+            });
+        }
+        let inner = &rest[1..rest.len() - 1];
+        let parts: Vec<&str> = inner.split('|').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(ScopeError {
+                line: line_no,
+                message: format!("expected 3 `|`-separated fields, found {}", parts.len()),
+            });
+        }
+        let region = parse_region(parts[0], line_no)?;
+        let deploy = match parts[1] {
+            "PER-SW" | "-" => DeployMode::PerSwitch,
+            "MULTI-SW" => DeployMode::MultiSwitch,
+            other => {
+                return Err(ScopeError {
+                    line: line_no,
+                    message: format!("deploy must be PER-SW, MULTI-SW or `-`, found `{other}`"),
+                })
+            }
+        };
+        let direct = match parts[2] {
+            "-" | "" => None,
+            d => Some(parse_direction(d, line_no)?),
+        };
+        if deploy == DeployMode::MultiSwitch && direct.is_none() {
+            return Err(ScopeError {
+                line: line_no,
+                message: "MULTI-SW scopes require a direction `(A,B->C,D)`".into(),
+            });
+        }
+        out.push(ScopeSpec { algorithm: name.trim().to_string(), region, deploy, direct });
+    }
+    Ok(out)
+}
+
+fn parse_region(s: &str, line: usize) -> Result<Vec<RegionPat>, ScopeError> {
+    if s.is_empty() {
+        return Err(ScopeError { line, message: "empty region".into() });
+    }
+    s.split(',')
+        .map(str::trim)
+        .map(|item| {
+            if item.is_empty() {
+                Err(ScopeError { line, message: "empty region element".into() })
+            } else if let Some(prefix) = item.strip_suffix('*') {
+                Ok(RegionPat::Prefix(prefix.to_string()))
+            } else {
+                Ok(RegionPat::Exact(item.to_string()))
+            }
+        })
+        .collect()
+}
+
+fn parse_direction(s: &str, line: usize) -> Result<Direction, ScopeError> {
+    let s = s.trim();
+    if !s.starts_with('(') || !s.ends_with(')') {
+        return Err(ScopeError {
+            line,
+            message: "direction must be parenthesized: `(A,B->C,D)`".into(),
+        });
+    }
+    let inner = &s[1..s.len() - 1];
+    let (from, to) = inner.split_once("->").ok_or_else(|| ScopeError {
+        line,
+        message: "direction must contain `->`".into(),
+    })?;
+    let split = |part: &str| -> Vec<String> {
+        part.split(',').map(str::trim).filter(|x| !x.is_empty()).map(str::to_string).collect()
+    };
+    let d = Direction { from: split(from), to: split(to) };
+    if d.from.is_empty() || d.to.is_empty() {
+        return Err(ScopeError { line, message: "direction sides must be non-empty".into() });
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG7: &str = r#"
+        int_in: [ ToR* | PER-SW | - ]
+        int_transit: [ Agg* | PER-SW | - ]
+        int_out: [ ToR* | PER-SW | - ]
+        loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+    "#;
+
+    #[test]
+    fn parses_figure7() {
+        let scopes = parse_scopes(FIG7).unwrap();
+        assert_eq!(scopes.len(), 4);
+        assert_eq!(scopes[0].algorithm, "int_in");
+        assert_eq!(scopes[0].deploy, DeployMode::PerSwitch);
+        assert_eq!(scopes[3].deploy, DeployMode::MultiSwitch);
+        let d = scopes[3].direct.as_ref().unwrap();
+        assert_eq!(d.from, vec!["Agg3", "Agg4"]);
+        assert_eq!(d.to, vec!["ToR3", "ToR4"]);
+    }
+
+    #[test]
+    fn wildcard_resolution() {
+        let scopes = parse_scopes(FIG7).unwrap();
+        let universe = ["ToR1", "ToR2", "ToR3", "Agg1", "Core1"];
+        assert_eq!(scopes[0].resolve(universe), vec!["ToR1", "ToR2", "ToR3"]);
+        assert_eq!(scopes[1].resolve(universe), vec!["Agg1"]);
+    }
+
+    #[test]
+    fn exact_region_resolution() {
+        let scopes = parse_scopes(FIG7).unwrap();
+        let universe = ["ToR3", "ToR4", "Agg3", "Agg4", "Core1"];
+        assert_eq!(scopes[3].resolve(universe), vec!["ToR3", "ToR4", "Agg3", "Agg4"]);
+    }
+
+    #[test]
+    fn multi_sw_requires_direction() {
+        let err = parse_scopes("lb: [ ToR* | MULTI-SW | - ]").unwrap_err();
+        assert!(err.message.contains("require a direction"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_scopes("nonsense").is_err());
+        assert!(parse_scopes("a: [ x | PER-SW ]").is_err());
+        assert!(parse_scopes("a: [ x | SOMETIMES | - ]").is_err());
+        assert!(parse_scopes("a: [ | PER-SW | - ]").is_err());
+        assert!(parse_scopes("a: [ x | MULTI-SW | A->B ]").is_err());
+        assert!(parse_scopes("a: [ x | MULTI-SW | (->B) ]").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let s = parse_scopes("# comment\n\n// another\nx: [ S1 | - | - ]").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].deploy, DeployMode::PerSwitch);
+    }
+}

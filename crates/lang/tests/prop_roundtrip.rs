@@ -1,0 +1,130 @@
+//! Property tests for the language front: randomly generated ASTs must
+//! survive a pretty-print → parse round trip with their structure intact,
+//! and the lexer must tokenize anything the printer emits.
+
+use lyra_lang::{parse_program, pretty::print_program, *};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| {
+        // Avoid keywords.
+        let keywords = [
+            "bit", "if", "else", "in", "func", "algorithm", "pipeline", "extern", "global",
+            "dict", "list", "fields", "packet", "extract", "select", "default",
+        ];
+        if keywords.contains(&s.as_str()) {
+            format!("{s}_v")
+        } else {
+            s
+        }
+    })
+}
+
+fn gen_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u64..100_000).prop_map(Expr::Num),
+        ident().prop_map(|n| Expr::Path(vec![n])),
+        (ident(), ident()).prop_map(|(a, b)| Expr::Path(vec![a, b])),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..10).prop_map(|(l, r, op)| {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                    BinOp::Eq,
+                    BinOp::Lt,
+                    BinOp::LAnd,
+                ];
+                Expr::Bin { op: ops[op % ops.len()], lhs: Box::new(l), rhs: Box::new(r) }
+            }),
+            inner.clone().prop_map(|e| Expr::Un { op: UnOp::BitNot, expr: Box::new(e) }),
+        ]
+    })
+}
+
+fn gen_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (ident(), gen_expr(depth)).prop_map(|(n, e)| Stmt::Assign {
+        lhs: LValue::Path(vec![n]),
+        rhs: e,
+        span: Span::default(),
+    });
+    if depth == 0 {
+        assign.boxed()
+    } else {
+        let nested = (gen_expr(1), prop::collection::vec(gen_stmt(depth - 1), 1..3), any::<bool>())
+            .prop_map(|(cond, body, has_else)| Stmt::If {
+                cond,
+                else_body: if has_else { Some(body.clone()) } else { None },
+                then_body: body,
+                span: Span::default(),
+            });
+        prop_oneof![assign, nested].boxed()
+    }
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    (ident(), prop::collection::vec(gen_stmt(2), 1..6)).prop_map(|(name, body)| {
+        let alg = Algorithm { name: name.clone(), body, span: Span::default() };
+        Program {
+            headers: vec![],
+            packets: vec![],
+            parser_nodes: vec![],
+            pipelines: vec![Pipeline {
+                name: "P".into(),
+                algorithms: vec![name],
+                span: Span::default(),
+            }],
+            algorithms: vec![alg],
+            functions: vec![],
+        }
+    })
+}
+
+/// Structural equality ignoring spans: compare via re-printing.
+fn shape(p: &Program) -> String {
+    print_program(p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn print_parse_roundtrip(prog in gen_program()) {
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program does not parse: {e}\n{printed}"));
+        prop_assert_eq!(shape(&prog), shape(&reparsed), "round trip changed structure");
+    }
+
+    #[test]
+    fn expr_to_src_reparses(e in gen_expr(3)) {
+        // Any expression's source form must parse back to the same source
+        // form when wrapped in an assignment.
+        let src = format!("pipeline[P]{{a}}; algorithm a {{ x = {}; }}", e.to_src());
+        let prog = parse_program(&src)
+            .unwrap_or_else(|err| panic!("expr source does not parse: {err}\n{src}"));
+        if let Stmt::Assign { rhs, .. } = &prog.algorithms[0].body[0] {
+            prop_assert_eq!(rhs.to_src(), e.to_src());
+        } else {
+            prop_assert!(false, "expected assignment");
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics(s in "\\PC{0,120}") {
+        // Arbitrary printable input: the lexer either tokenizes or returns a
+        // located error; it must not panic.
+        let _ = lyra_lang::lexer::lex(&s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,120}") {
+        let _ = parse_program(&s);
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! # lyra-solver — a native constraint solver for the Lyra compiler
+//!
+//! The Lyra paper (SIGCOMM 2020) encodes program placement and chip resource
+//! constraints as an SMT formula and solves it with Z3. This crate provides a
+//! from-scratch, dependency-free solver for the *fragment of SMT Lyra
+//! actually needs*: boolean structure (and/or/not/implies/iff/ite) over
+//! boolean variables and **linear comparisons over bounded integers**, plus
+//! integer `ite`, ceiling division by constants, and linear objectives.
+//!
+//! The solver is deliberately simple and robust (in the spirit of smoltcp):
+//!
+//! * expressions are plain trees ([`Bx`], [`Ix`]) built with ordinary
+//!   constructors — no macros, no type-level tricks;
+//! * [`flatten`] lowers a [`Model`] to CNF clauses (Tseitin transformation)
+//!   plus normalized linear atoms (`Σ cᵢ·vᵢ ≤ k`);
+//! * [`solve`] runs a CDCL-style search: two-watched-literal unit
+//!   propagation, 1-UIP conflict analysis with non-chronological
+//!   backjumping, activity-ordered decisions with phase saving, geometric
+//!   restarts, bounds-consistency propagation on active linear atoms, and
+//!   interval splitting for any integers left unfixed;
+//! * [`minimize`] wraps `solve` in a branch-and-bound loop.
+//!
+//! The same [`Model`] can be handed to Z3 by the `lyra-synth` crate, which
+//! lets property tests cross-check the two backends on random formulas.
+//!
+//! ## Example
+//!
+//! ```
+//! use lyra_solver::{Model, Bx, Ix};
+//!
+//! let mut m = Model::new();
+//! let deploy_a = m.bool_var("deploy_a");
+//! let deploy_b = m.bool_var("deploy_b");
+//! let entries = m.int_var("entries", 0, 4096);
+//!
+//! // The table must be deployed somewhere.
+//! m.require(Bx::or(vec![Bx::var(deploy_a), Bx::var(deploy_b)]));
+//! // If deployed on A, at least 1024 entries must fit there.
+//! m.require(Bx::implies(
+//!     Bx::var(deploy_a),
+//!     Ix::var(entries).ge(Ix::lit(1024)),
+//! ));
+//!
+//! let sol = lyra_solver::solve(&m).solution().expect("satisfiable");
+//! assert!(sol.bool(deploy_a) || sol.bool(deploy_b));
+//! ```
+
+pub mod expr;
+pub mod flatten;
+pub mod model;
+pub mod search;
+
+pub use expr::{Bx, Ix, LinExpr};
+pub use flatten::{flatten, FlatModel};
+pub use model::{BoolId, IntId, Model, Solution};
+pub use search::{minimize, solve, solve_flat, SearchStats, SolverConfig};
+
+/// Outcome of a solver invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A satisfying assignment was found.
+    Sat(Solution),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The search budget (decision limit) was exhausted.
+    Unknown,
+}
+
+impl Outcome {
+    /// Returns the solution if the outcome is [`Outcome::Sat`].
+    pub fn solution(self) -> Option<Solution> {
+        match self {
+            Outcome::Sat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the outcome is [`Outcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+}

@@ -1,0 +1,265 @@
+//! The constraint [`Model`]: variable declarations, required constraints, and
+//! solved [`Solution`]s.
+
+use crate::expr::Bx;
+
+/// Identifier of a boolean variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolId(pub(crate) u32);
+
+/// Identifier of an integer variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntId(pub(crate) u32);
+
+impl BoolId {
+    /// Raw index of this variable (stable within its model).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl IntId {
+    /// Raw index of this variable (stable within its model).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declaration record for a boolean variable.
+#[derive(Debug, Clone)]
+pub struct BoolDecl {
+    /// Human-readable name (used in debugging output and Z3 translation).
+    pub name: String,
+}
+
+/// Declaration record for a bounded integer variable.
+#[derive(Debug, Clone)]
+pub struct IntDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+/// A constraint model: variables plus a conjunction of required boolean
+/// expressions.
+///
+/// `Model` is backend-agnostic — the native solver flattens and searches it,
+/// while `lyra-synth` can translate the identical structure to Z3.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) bools: Vec<BoolDecl>,
+    pub(crate) ints: Vec<IntDecl>,
+    pub(crate) constraints: Vec<Bx>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a fresh boolean variable.
+    pub fn bool_var(&mut self, name: impl Into<String>) -> BoolId {
+        let id = BoolId(self.bools.len() as u32);
+        self.bools.push(BoolDecl { name: name.into() });
+        id
+    }
+
+    /// Declare a fresh integer variable with inclusive bounds `[lo, hi]`.
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_var(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> IntId {
+        let name = name.into();
+        assert!(lo <= hi, "int var {name}: empty domain [{lo}, {hi}]");
+        let id = IntId(self.ints.len() as u32);
+        self.ints.push(IntDecl { name, lo, hi });
+        id
+    }
+
+    /// Add a constraint that every solution must satisfy.
+    pub fn require(&mut self, c: Bx) {
+        self.constraints.push(c);
+    }
+
+    /// Number of declared boolean variables.
+    pub fn num_bools(&self) -> usize {
+        self.bools.len()
+    }
+
+    /// Number of declared integer variables.
+    pub fn num_ints(&self) -> usize {
+        self.ints.len()
+    }
+
+    /// Number of required constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Declaration of a boolean variable.
+    pub fn bool_decl(&self, id: BoolId) -> &BoolDecl {
+        &self.bools[id.index()]
+    }
+
+    /// Declaration of an integer variable.
+    pub fn int_decl(&self, id: IntId) -> &IntDecl {
+        &self.ints[id.index()]
+    }
+
+    /// Iterate over all constraints.
+    pub fn constraints(&self) -> &[Bx] {
+        &self.constraints
+    }
+
+    /// Iterate over boolean declarations with their ids.
+    pub fn bool_decls(&self) -> impl Iterator<Item = (BoolId, &BoolDecl)> {
+        self.bools.iter().enumerate().map(|(i, d)| (BoolId(i as u32), d))
+    }
+
+    /// Iterate over integer declarations with their ids.
+    pub fn int_decls(&self) -> impl Iterator<Item = (IntId, &IntDecl)> {
+        self.ints.iter().enumerate().map(|(i, d)| (IntId(i as u32), d))
+    }
+}
+
+/// A satisfying assignment produced by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    pub(crate) bools: Vec<bool>,
+    pub(crate) ints: Vec<i64>,
+}
+
+impl Solution {
+    /// Construct a solution from raw assignments (used by backends).
+    pub fn from_parts(bools: Vec<bool>, ints: Vec<i64>) -> Self {
+        Solution { bools, ints }
+    }
+
+    /// Value of a boolean variable.
+    pub fn bool(&self, id: BoolId) -> bool {
+        self.bools[id.index()]
+    }
+
+    /// Value of an integer variable.
+    pub fn int(&self, id: IntId) -> i64 {
+        self.ints[id.index()]
+    }
+
+    /// Evaluate a boolean expression under this solution.
+    pub fn eval_bx(&self, bx: &Bx) -> bool {
+        use crate::expr::CmpOp;
+        match bx {
+            Bx::Const(b) => *b,
+            Bx::Var(v) => self.bool(*v),
+            Bx::Not(b) => !self.eval_bx(b),
+            Bx::And(xs) => xs.iter().all(|x| self.eval_bx(x)),
+            Bx::Or(xs) => xs.iter().any(|x| self.eval_bx(x)),
+            Bx::Implies(a, b) => !self.eval_bx(a) || self.eval_bx(b),
+            Bx::Iff(a, b) => self.eval_bx(a) == self.eval_bx(b),
+            Bx::AtMostOne(xs) => xs.iter().filter(|x| self.eval_bx(x)).count() <= 1,
+            Bx::Cmp(op, a, b) => {
+                let (a, b) = (self.eval_ix(a), self.eval_ix(b));
+                match op {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Lt => a < b,
+                    CmpOp::Ge => a >= b,
+                    CmpOp::Gt => a > b,
+                }
+            }
+        }
+    }
+
+    /// Evaluate an integer expression under this solution.
+    pub fn eval_ix(&self, ix: &crate::expr::Ix) -> i64 {
+        use crate::expr::{div_ceil_i64, Ix, VarRef};
+        match ix {
+            Ix::Lin(l) => {
+                l.constant
+                    + l.terms
+                        .iter()
+                        .map(|&(c, v)| {
+                            c * match v {
+                                VarRef::Int(i) => self.int(i),
+                                VarRef::Bool(b) => self.bool(b) as i64,
+                            }
+                        })
+                        .sum::<i64>()
+            }
+            Ix::Ite(c, a, b) => {
+                if self.eval_bx(c) {
+                    self.eval_ix(a)
+                } else {
+                    self.eval_ix(b)
+                }
+            }
+            Ix::CeilDiv(a, k) => div_ceil_i64(self.eval_ix(a), *k),
+            Ix::Sum(xs) => xs.iter().map(|x| self.eval_ix(x)).sum(),
+            Ix::Scaled(a, k) => k * self.eval_ix(a),
+        }
+    }
+
+    /// Check that this solution satisfies every constraint of `model`.
+    ///
+    /// Used by tests and as a final sanity check by the search loop.
+    pub fn satisfies(&self, model: &Model) -> bool {
+        model.constraints.iter().all(|c| self.eval_bx(c))
+            && model
+                .ints
+                .iter()
+                .enumerate()
+                .all(|(i, d)| (d.lo..=d.hi).contains(&self.ints[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Ix;
+
+    #[test]
+    fn declares_and_indexes() {
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        let x = m.int_var("x", -5, 5);
+        assert_eq!(m.num_bools(), 1);
+        assert_eq!(m.num_ints(), 1);
+        assert_eq!(m.bool_decl(a).name, "a");
+        assert_eq!(m.int_decl(x).lo, -5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_domain() {
+        let mut m = Model::new();
+        let _ = m.int_var("x", 3, 2);
+    }
+
+    #[test]
+    fn solution_eval() {
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        let x = m.int_var("x", 0, 100);
+        let sol = Solution::from_parts(vec![true], vec![7]);
+        assert!(sol.bool(a));
+        assert_eq!(sol.int(x), 7);
+        // (a ? x : 0) + 3 == 10
+        let e = Ix::ite(Bx::var(a), Ix::var(x), Ix::lit(0)).add(Ix::lit(3));
+        assert_eq!(sol.eval_ix(&e), 10);
+        assert!(sol.eval_bx(&e.eq(Ix::lit(10))));
+    }
+
+    #[test]
+    fn satisfies_checks_bounds() {
+        let mut m = Model::new();
+        let _x = m.int_var("x", 0, 5);
+        let bad = Solution::from_parts(vec![], vec![9]);
+        assert!(!bad.satisfies(&m));
+        let ok = Solution::from_parts(vec![], vec![4]);
+        assert!(ok.satisfies(&m));
+    }
+}

@@ -1,0 +1,1051 @@
+//! CDCL(T)-style search over a [`FlatModel`].
+//!
+//! The boolean core is conflict-driven clause learning: two-watched-literal
+//! unit propagation, 1-UIP conflict analysis with non-chronological
+//! backjumping, activity-ordered decisions with phase saving, and geometric
+//! restarts. The theory side is bounds-consistency propagation over the
+//! linear atoms the current boolean assignment activates; theory conflicts
+//! and theory-propagated literals are handled conservatively (they block
+//! resolution, falling back to a decision-negation clause, which keeps
+//! learning sound without tracking full theory explanations).
+//!
+//! Integers left unfixed once every boolean is assigned are resolved by
+//! interval splitting, chronologically; exhausting the splits counts as a
+//! theory conflict for the boolean layer.
+
+use crate::flatten::{flatten, flatten_with_objective, FlatModel, FlatVar, Lit};
+use crate::model::{Model, Solution};
+use crate::Outcome;
+
+/// Tunables for the native search.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Abort with [`Outcome::Unknown`] after this many decisions.
+    pub max_decisions: u64,
+    /// Default phase for boolean decisions when no phase has been saved
+    /// (`false` = try "not deployed" first, which suits Lyra's placement
+    /// variables).
+    pub default_phase: bool,
+    /// Conflicts before the first restart (grows geometrically; 0 disables
+    /// restarts).
+    pub restart_interval: u64,
+    /// Activity decay factor applied at each conflict.
+    pub activity_decay: f64,
+    /// Initial phase hints per SAT variable (from a previous solution) —
+    /// the solver tries these values first, which keeps successive
+    /// placements stable under small program changes.
+    pub phase_hints: Vec<(u32, bool)>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_decisions: 5_000_000,
+            default_phase: false,
+            restart_interval: 128,
+            activity_decay: 0.95,
+            phase_hints: Vec::new(),
+        }
+    }
+}
+
+/// Counters describing a finished search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Boolean and integer decisions made.
+    pub decisions: u64,
+    /// Literals assigned by propagation.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+/// Solve a model with default configuration.
+pub fn solve(model: &Model) -> Outcome {
+    let flat = flatten(model);
+    let (outcome, _) = solve_flat(&flat, &SolverConfig::default(), &[]);
+    finish(model, outcome)
+}
+
+/// Minimize `objective` subject to the model's constraints, by iterated
+/// solving with a tightening bound (branch-and-bound).
+///
+/// Returns the best solution found together with its objective value.
+pub fn minimize(model: &Model, objective: &crate::expr::Ix) -> Option<(Solution, i64)> {
+    minimize_with(model, objective, &SolverConfig::default())
+}
+
+/// [`minimize`] with an explicit configuration.
+pub fn minimize_with(
+    model: &Model,
+    objective: &crate::expr::Ix,
+    cfg: &SolverConfig,
+) -> Option<(Solution, i64)> {
+    let flat = flatten_with_objective(model, Some(objective));
+    let obj_terms = flat.objective.clone().expect("objective lowered");
+    let mut extra: Vec<(Vec<(i64, FlatVar)>, i64)> = Vec::new();
+    let mut best: Option<(Solution, i64)> = None;
+    loop {
+        let (outcome, raw) = solve_flat(&flat, cfg, &extra);
+        match outcome {
+            Outcome::Sat(_) => {
+                let raw = raw.expect("raw assignment accompanies Sat");
+                let value = raw.eval_lin(&obj_terms) + flat.objective_constant;
+                let sol = raw.extract(&flat);
+                best = Some((sol, value));
+                // Require strictly better: Σ obj_terms ≤ value - constant - 1.
+                extra.push((obj_terms.clone(), value - flat.objective_constant - 1));
+            }
+            _ => return best,
+        }
+    }
+}
+
+fn finish(model: &Model, outcome: Outcome) -> Outcome {
+    if let Outcome::Sat(ref s) = outcome {
+        debug_assert!(s.satisfies(model), "solver returned a non-model");
+    }
+    outcome
+}
+
+/// Raw (flat) assignment: every SAT variable and every integer variable.
+#[derive(Debug, Clone)]
+pub struct RawAssignment {
+    /// SAT variable values.
+    pub sat: Vec<bool>,
+    /// Integer variable values (model + auxiliary).
+    pub ints: Vec<i64>,
+}
+
+impl RawAssignment {
+    /// Evaluate a linear combination under this assignment.
+    pub fn eval_lin(&self, terms: &[(i64, FlatVar)]) -> i64 {
+        terms
+            .iter()
+            .map(|&(c, v)| {
+                c * match v {
+                    FlatVar::Bool(b) => self.sat[b as usize] as i64,
+                    FlatVar::Int(i) => self.ints[i as usize],
+                }
+            })
+            .sum()
+    }
+
+    /// Project onto the source model's variables.
+    pub fn extract(&self, flat: &FlatModel) -> Solution {
+        Solution::from_parts(
+            self.sat[..flat.num_model_bools].to_vec(),
+            self.ints[..flat.num_model_ints].to_vec(),
+        )
+    }
+}
+
+/// Solve a flattened model, with extra always-active linear constraints
+/// (used by branch-and-bound). Returns the outcome projected onto model
+/// variables plus the raw assignment when satisfiable.
+pub fn solve_flat(
+    flat: &FlatModel,
+    cfg: &SolverConfig,
+    extra: &[(Vec<(i64, FlatVar)>, i64)],
+) -> (Outcome, Option<RawAssignment>) {
+    let mut s = Search::new(flat, cfg, extra);
+    s.run()
+}
+
+/// Why a SAT variable holds its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// A decision.
+    Decision,
+    /// Unit-propagated by clause index.
+    Clause(usize),
+    /// Forced by linear (theory) propagation — no clause explanation.
+    Theory,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TrailItem {
+    Sat(u32),
+    IntLo(u32, i64),
+    IntHi(u32, i64),
+    Activated,
+}
+
+/// An integer split decision (the post-boolean phase).
+#[derive(Debug, Clone, Copy)]
+struct IntSplit {
+    var: u32,
+    mid: i64,
+    upper_tried: bool,
+    trail_mark: usize,
+}
+
+enum Conflict {
+    /// A clause became empty.
+    Clause(usize),
+    /// A linear constraint is unsatisfiable under current bounds.
+    Theory,
+}
+
+struct Search<'a> {
+    flat: &'a FlatModel,
+    cfg: &'a SolverConfig,
+    stats: SearchStats,
+    /// -1 unassigned, 0 false, 1 true.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    /// Watched literals: literal code → clause indices watching it.
+    watches: Vec<Vec<usize>>,
+    /// Original + learned clauses; first two positions are watched.
+    clauses: Vec<Vec<Lit>>,
+    num_original_clauses: usize,
+    trail: Vec<TrailItem>,
+    /// Trail mark at the start of each decision level (level 0 excluded).
+    level_marks: Vec<usize>,
+    /// Active linear constraints as (terms, k) meaning Σ ≤ k.
+    active: Vec<(Vec<(i64, FlatVar)>, i64)>,
+    queue: std::collections::VecDeque<(Lit, Reason)>,
+    /// Integer split stack (post-boolean phase).
+    int_splits: Vec<IntSplit>,
+    /// VSIDS-lite activity per variable.
+    activity: Vec<f64>,
+    activity_inc: f64,
+    saved_phase: Vec<bool>,
+    conflicts_since_restart: u64,
+    restart_limit: u64,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        flat: &'a FlatModel,
+        cfg: &'a SolverConfig,
+        extra: &[(Vec<(i64, FlatVar)>, i64)],
+    ) -> Self {
+        let nvars = flat.num_sat_vars;
+        let mut s = Search {
+            flat,
+            cfg,
+            stats: SearchStats::default(),
+            assign: vec![-1; nvars],
+            level: vec![0; nvars],
+            reason: vec![Reason::Decision; nvars],
+            lo: flat.int_bounds.iter().map(|b| b.0).collect(),
+            hi: flat.int_bounds.iter().map(|b| b.1).collect(),
+            watches: vec![Vec::new(); nvars * 2],
+            clauses: flat.clauses.clone(),
+            num_original_clauses: flat.clauses.len(),
+            trail: Vec::new(),
+            level_marks: Vec::new(),
+            active: extra.to_vec(),
+            queue: std::collections::VecDeque::new(),
+            int_splits: Vec::new(),
+            activity: vec![0.0; nvars],
+            activity_inc: 1.0,
+            saved_phase: vec![cfg.default_phase; nvars],
+            conflicts_since_restart: 0,
+            restart_limit: cfg.restart_interval,
+        };
+        for &(v, phase) in &cfg.phase_hints {
+            if (v as usize) < s.saved_phase.len() {
+                s.saved_phase[v as usize] = phase;
+            }
+        }
+        s.init_watches();
+        s
+    }
+
+    fn init_watches(&mut self) {
+        for ci in 0..self.clauses.len() {
+            let cl = &self.clauses[ci];
+            if cl.len() >= 2 {
+                self.watches[cl[0].0 as usize].push(ci);
+                self.watches[cl[1].0 as usize].push(ci);
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.level_marks.len() as u32
+    }
+
+    fn value(&self, lit: Lit) -> Option<bool> {
+        match self.assign[lit.var() as usize] {
+            -1 => None,
+            v => Some((v == 1) != lit.is_neg()),
+        }
+    }
+
+    fn bump(&mut self, var: u32) {
+        self.activity[var as usize] += self.activity_inc;
+        if self.activity[var as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    fn run(&mut self) -> (Outcome, Option<RawAssignment>) {
+        // Top-level units and empty clauses.
+        for ci in 0..self.num_original_clauses {
+            let cl = &self.clauses[ci];
+            if cl.is_empty() {
+                return (Outcome::Unsat, None);
+            }
+            if cl.len() == 1 {
+                let lit = cl[0];
+                self.queue.push_back((lit, Reason::Clause(ci)));
+            }
+        }
+        if let Some(conflict) = self.propagate() {
+            let _ = conflict;
+            return (Outcome::Unsat, None); // conflict at level 0
+        }
+        loop {
+            if self.stats.decisions > self.cfg.max_decisions {
+                return (Outcome::Unknown, None);
+            }
+            if let Some(v) = self.pick_bool() {
+                self.stats.decisions += 1;
+                let phase = self.saved_phase[v as usize];
+                let lit = if phase { Lit::pos(v) } else { Lit::neg(v) };
+                self.level_marks.push(self.trail.len());
+                self.queue.push_back((lit, Reason::Decision));
+                if let Some(conflict) = self.propagate() {
+                    if !self.handle_conflict(conflict) {
+                        return (Outcome::Unsat, None);
+                    }
+                }
+            } else if let Some(var) = self.pick_int() {
+                self.stats.decisions += 1;
+                self.push_int_split(var);
+                if let Some(_c) = self.propagate() {
+                    if !self.resolve_int_conflict() {
+                        return (Outcome::Unsat, None);
+                    }
+                }
+            } else {
+                let raw = self.snapshot();
+                let sol = raw.extract(self.flat);
+                return (Outcome::Sat(sol), Some(raw));
+            }
+        }
+    }
+
+    // ---- decisions -------------------------------------------------------
+
+    fn pick_bool(&self) -> Option<u32> {
+        let mut best: Option<(u32, f64)> = None;
+        for v in 0..self.assign.len() {
+            if self.assign[v] == -1 {
+                let a = self.activity[v];
+                if best.map(|(_, ba)| a > ba).unwrap_or(true) {
+                    best = Some((v as u32, a));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    fn pick_int(&self) -> Option<u32> {
+        let mut best: Option<(u32, i64)> = None;
+        for i in 0..self.lo.len() {
+            let w = self.hi[i] - self.lo[i];
+            if w > 0 && best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                best = Some((i as u32, w));
+            }
+        }
+        if best.is_some() && self.all_lo_satisfies() {
+            return None;
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn all_lo_satisfies(&self) -> bool {
+        self.active.iter().all(|(terms, k)| {
+            let sum: i64 = terms
+                .iter()
+                .map(|&(c, v)| {
+                    c * match v {
+                        FlatVar::Bool(b) => (self.assign[b as usize] == 1) as i64,
+                        FlatVar::Int(i) => self.lo[i as usize],
+                    }
+                })
+                .sum();
+            sum <= *k
+        })
+    }
+
+    fn push_int_split(&mut self, var: u32) {
+        let (l, h) = (self.lo[var as usize], self.hi[var as usize]);
+        let mid = l + (h - l) / 2;
+        self.int_splits.push(IntSplit { var, mid, upper_tried: false, trail_mark: self.trail.len() });
+        self.set_hi(var, mid);
+    }
+
+    /// Chronological handling within the integer phase. Returns false when
+    /// the whole search is UNSAT.
+    fn resolve_int_conflict(&mut self) -> bool {
+        loop {
+            match self.int_splits.pop() {
+                Some(split) if !split.upper_tried => {
+                    self.undo_to(split.trail_mark);
+                    self.int_splits.push(IntSplit { upper_tried: true, ..split });
+                    self.set_lo(split.var, split.mid + 1);
+                    if self.hi[split.var as usize] >= self.lo[split.var as usize]
+                        && self.propagate().is_none()
+                    {
+                        return true;
+                    }
+                    // fall through: keep unwinding
+                }
+                Some(split) => {
+                    self.undo_to(split.trail_mark);
+                }
+                None => {
+                    // Every integer option under this boolean assignment is
+                    // dead: theory conflict for the boolean layer.
+                    return self.handle_conflict(Conflict::Theory);
+                }
+            }
+        }
+    }
+
+    // ---- conflict analysis ------------------------------------------------
+
+    /// Handle a boolean-layer conflict: learn, backjump, assert. Returns
+    /// false when the formula is UNSAT.
+    fn handle_conflict(&mut self, conflict: Conflict) -> bool {
+        self.stats.conflicts += 1;
+        self.conflicts_since_restart += 1;
+        self.activity_inc /= self.cfg.activity_decay;
+        // Integer splits are invalidated by any boolean backjump.
+        while let Some(split) = self.int_splits.pop() {
+            self.undo_to(split.trail_mark);
+        }
+        if self.decision_level() == 0 {
+            return false;
+        }
+        let learned = match conflict {
+            Conflict::Clause(ci) => self.analyze(ci),
+            Conflict::Theory => self.decision_negation_clause(),
+        };
+        let Some(mut learned) = learned else {
+            return false; // empty learned clause
+        };
+        // Order: learned[0] = asserting literal (current level); learned[1]
+        // = highest remaining level, which is the backjump level.
+        let backjump_level = if learned.len() == 1 {
+            0
+        } else {
+            // Move the literal with the highest level (below current) to
+            // position 1.
+            let mut best = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var() as usize]
+                    > self.level[learned[best].var() as usize]
+                {
+                    best = i;
+                }
+            }
+            learned.swap(1, best);
+            self.level[learned[1].var() as usize]
+        };
+        // Backjump.
+        self.backjump(backjump_level);
+        // Install the learned clause.
+        let asserting = learned[0];
+        self.stats.learned += 1;
+        if learned.len() == 1 {
+            self.queue.push_back((asserting, Reason::Decision));
+        } else {
+            let ci = self.clauses.len();
+            self.watches[learned[0].0 as usize].push(ci);
+            self.watches[learned[1].0 as usize].push(ci);
+            self.clauses.push(learned);
+            self.queue.push_back((asserting, Reason::Clause(ci)));
+        }
+        // Restart?
+        if self.cfg.restart_interval > 0 && self.conflicts_since_restart >= self.restart_limit {
+            self.stats.restarts += 1;
+            self.conflicts_since_restart = 0;
+            self.restart_limit = self.restart_limit.saturating_mul(3) / 2;
+            self.backjump(0);
+            // The queued asserting literal survives the restart; at level 0
+            // it becomes a permanent implication.
+        }
+        match self.propagate() {
+            None => true,
+            Some(c) => self.handle_conflict(c),
+        }
+    }
+
+    /// 1-UIP conflict analysis. `None` means the conflict is at level 0.
+    fn analyze(&mut self, conflict_clause: usize) -> Option<Vec<Lit>> {
+        let current = self.decision_level();
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.assign.len()];
+        let mut current_count = 0usize;
+        let mut to_process: Vec<Lit> = self.clauses[conflict_clause].clone();
+
+        // Absorb a clause's literals into the running resolvent.
+        let absorb = |lits: &[Lit],
+                          skip: Option<u32>,
+                          seen: &mut Vec<bool>,
+                          learned: &mut Vec<Lit>,
+                          current_count: &mut usize,
+                          this: &mut Self| {
+            for &l in lits {
+                let v = l.var();
+                if Some(v) == skip || seen[v as usize] {
+                    continue;
+                }
+                seen[v as usize] = true;
+                this.bump(v);
+                let lv = this.level[v as usize];
+                if lv == 0 {
+                    continue; // level-0 facts drop out
+                }
+                if lv == current {
+                    *current_count += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+        };
+
+        absorb(
+            &to_process.clone(),
+            None,
+            &mut seen,
+            &mut learned,
+            &mut current_count,
+            self,
+        );
+        to_process.clear();
+
+        // Walk the trail backwards, resolving current-level literals.
+        let mut trail_idx = self.trail.len();
+        let asserting: Option<Lit> = loop {
+            if current_count == 0 {
+                // Degenerate: conflict involves no current-level literal we
+                // can pivot on (all were theory facts) — fall back.
+                return self.decision_negation_clause();
+            }
+            // Find the most recently assigned seen variable at the current
+            // level.
+            let mut found: Option<u32> = None;
+            while trail_idx > 0 {
+                trail_idx -= 1;
+                if let TrailItem::Sat(v) = self.trail[trail_idx] {
+                    if seen[v as usize] && self.level[v as usize] == current {
+                        found = Some(v);
+                        break;
+                    }
+                }
+            }
+            let Some(v) = found else {
+                return self.decision_negation_clause();
+            };
+            current_count -= 1;
+            if current_count == 0 {
+                // v is the UIP.
+                let lit = if self.assign[v as usize] == 1 { Lit::neg(v) } else { Lit::pos(v) };
+                break Some(lit);
+            }
+            match self.reason[v as usize] {
+                Reason::Clause(ci) => {
+                    let lits = self.clauses[ci].clone();
+                    absorb(
+                        &lits,
+                        Some(v),
+                        &mut seen,
+                        &mut learned,
+                        &mut current_count,
+                        self,
+                    );
+                }
+                Reason::Decision | Reason::Theory => {
+                    // Cannot resolve through this literal: no clause
+                    // explanation. Fall back to the sound decision clause.
+                    return self.decision_negation_clause();
+                }
+            }
+        };
+        let asserting = asserting?;
+        let mut clause = Vec::with_capacity(learned.len() + 1);
+        clause.push(asserting);
+        clause.extend(learned);
+        Some(clause)
+    }
+
+    /// The sound fallback: ¬(conjunction of all current boolean decisions).
+    /// `None` when there are no decisions (UNSAT).
+    fn decision_negation_clause(&mut self) -> Option<Vec<Lit>> {
+        let mut decision_vars: Vec<u32> = Vec::new();
+        for item in &self.trail {
+            if let TrailItem::Sat(v) = item {
+                if self.reason[*v as usize] == Reason::Decision && self.level[*v as usize] > 0 {
+                    decision_vars.push(*v);
+                }
+            }
+        }
+        if decision_vars.is_empty() {
+            return None;
+        }
+        // Asserting literal = negation of the last (deepest) decision.
+        let mut clause: Vec<Lit> = Vec::with_capacity(decision_vars.len());
+        let last = *decision_vars.last().unwrap();
+        let neg = |v: u32, this: &Self| {
+            if this.assign[v as usize] == 1 {
+                Lit::neg(v)
+            } else {
+                Lit::pos(v)
+            }
+        };
+        clause.push(neg(last, self));
+        for &v in decision_vars.iter().rev().skip(1) {
+            clause.push(neg(v, self));
+            self.bump(v);
+        }
+        Some(clause)
+    }
+
+    fn backjump(&mut self, target_level: u32) {
+        while self.decision_level() > target_level {
+            let mark = self.level_marks.pop().expect("level mark");
+            self.undo_to(mark);
+        }
+        self.queue.clear();
+    }
+
+    // ---- propagation -------------------------------------------------------
+
+    fn set_lo(&mut self, var: u32, v: i64) {
+        if v > self.lo[var as usize] {
+            self.trail.push(TrailItem::IntLo(var, self.lo[var as usize]));
+            self.lo[var as usize] = v;
+        }
+    }
+
+    fn set_hi(&mut self, var: u32, v: i64) {
+        if v < self.hi[var as usize] {
+            self.trail.push(TrailItem::IntHi(var, self.hi[var as usize]));
+            self.hi[var as usize] = v;
+        }
+    }
+
+    /// Propagate the queue to fixpoint. `Some(conflict)` on failure.
+    fn propagate(&mut self) -> Option<Conflict> {
+        loop {
+            while let Some((lit, reason)) = self.queue.pop_front() {
+                match self.value(lit) {
+                    Some(true) => continue,
+                    Some(false) => {
+                        // The queued implication contradicts the current
+                        // assignment. Attribute it to its clause when known.
+                        self.queue.clear();
+                        return Some(match reason {
+                            Reason::Clause(ci) => Conflict::Clause(ci),
+                            _ => Conflict::Theory,
+                        });
+                    }
+                    None => {}
+                }
+                self.stats.propagations += 1;
+                let var = lit.var();
+                self.assign[var as usize] = if lit.is_neg() { 0 } else { 1 };
+                self.level[var as usize] = self.decision_level();
+                self.reason[var as usize] = reason;
+                self.saved_phase[var as usize] = !lit.is_neg();
+                self.trail.push(TrailItem::Sat(var));
+                // Activate the atom if this variable guards one.
+                if let Some(&ai) = self.flat.atom_of_var.get(&var) {
+                    let atom = &self.flat.atoms[ai];
+                    let (terms, k) = if lit.is_neg() {
+                        (
+                            atom.terms.iter().map(|&(c, v)| (-c, v)).collect::<Vec<_>>(),
+                            -atom.k - 1,
+                        )
+                    } else {
+                        (atom.terms.clone(), atom.k)
+                    };
+                    self.active.push((terms, k));
+                    self.trail.push(TrailItem::Activated);
+                }
+                // Visit clauses watching the falsified literal.
+                let falsified = lit.negate();
+                let mut ws = std::mem::take(&mut self.watches[falsified.0 as usize]);
+                let mut i = 0;
+                let mut conflict: Option<Conflict> = None;
+                while i < ws.len() {
+                    match self.update_clause_watch(ws[i], falsified, &mut ws, &mut i) {
+                        Ok(()) => {}
+                        Err(ci) => {
+                            conflict = Some(Conflict::Clause(ci));
+                            break;
+                        }
+                    }
+                }
+                self.watches[falsified.0 as usize] = ws;
+                if let Some(c) = conflict {
+                    self.queue.clear();
+                    return Some(c);
+                }
+            }
+            // Linear propagation fixpoint; may enqueue boolean literals.
+            match self.propagate_linear() {
+                Err(()) => return Some(Conflict::Theory),
+                Ok(true) => continue,
+                Ok(false) => return None,
+            }
+        }
+    }
+
+    /// Maintain the invariant for clause `ci` after `falsified` became
+    /// false. `Err(ci)` on conflict.
+    fn update_clause_watch(
+        &mut self,
+        ci: usize,
+        falsified: Lit,
+        ws: &mut Vec<usize>,
+        i: &mut usize,
+    ) -> Result<(), usize> {
+        let mut cl = std::mem::take(&mut self.clauses[ci]);
+        if cl[0] == falsified {
+            cl.swap(0, 1);
+        }
+        debug_assert_eq!(cl[1], falsified);
+        let w0 = cl[0];
+        if self.value(w0) == Some(true) {
+            self.clauses[ci] = cl;
+            *i += 1;
+            return Ok(());
+        }
+        for j in 2..cl.len() {
+            if self.value(cl[j]) != Some(false) {
+                cl.swap(1, j);
+                let new_watch = cl[1];
+                self.clauses[ci] = cl;
+                self.watches[new_watch.0 as usize].push(ci);
+                ws.swap_remove(*i);
+                return Ok(());
+            }
+        }
+        self.clauses[ci] = cl;
+        match self.value(w0) {
+            None => {
+                self.queue.push_back((w0, Reason::Clause(ci)));
+                *i += 1;
+                Ok(())
+            }
+            Some(false) => Err(ci),
+            Some(true) => unreachable!("handled above"),
+        }
+    }
+
+    /// Bounds-consistency fixpoint over active linear constraints.
+    /// `Ok(true)` if boolean literals were enqueued, `Err(())` on conflict.
+    fn propagate_linear(&mut self) -> Result<bool, ()> {
+        let mut enqueued = false;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for ci in 0..self.active.len() {
+                let (terms, k) = {
+                    let (t, k) = &self.active[ci];
+                    (t.clone(), *k)
+                };
+                let mut min_sum = 0i64;
+                for &(c, v) in &terms {
+                    min_sum += self.min_contrib(c, v);
+                }
+                if min_sum > k {
+                    return Err(());
+                }
+                for &(c, v) in &terms {
+                    let others = min_sum - self.min_contrib(c, v);
+                    let slack = k - others; // need c·v ≤ slack
+                    match v {
+                        FlatVar::Int(idx) => {
+                            if c > 0 {
+                                let ub = slack.div_euclid(c);
+                                if ub < self.hi[idx as usize] {
+                                    self.set_hi(idx, ub);
+                                    if self.hi[idx as usize] < self.lo[idx as usize] {
+                                        return Err(());
+                                    }
+                                    changed = true;
+                                }
+                            } else if c < 0 {
+                                let lb = neg_div_ceil(slack, c);
+                                if lb > self.lo[idx as usize] {
+                                    self.set_lo(idx, lb);
+                                    if self.hi[idx as usize] < self.lo[idx as usize] {
+                                        return Err(());
+                                    }
+                                    changed = true;
+                                }
+                            }
+                        }
+                        FlatVar::Bool(b) => {
+                            let assigned = self.assign[b as usize];
+                            if assigned != -1 {
+                                continue;
+                            }
+                            if c > 0 && slack < c {
+                                self.queue.push_back((Lit::neg(b), Reason::Theory));
+                                enqueued = true;
+                            } else if c < 0 && slack < 0 {
+                                self.queue.push_back((Lit::pos(b), Reason::Theory));
+                                enqueued = true;
+                            }
+                        }
+                    }
+                }
+                if enqueued {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn min_contrib(&self, c: i64, v: FlatVar) -> i64 {
+        match v {
+            FlatVar::Bool(b) => match self.assign[b as usize] {
+                1 => c,
+                0 => 0,
+                _ => c.min(0),
+            },
+            FlatVar::Int(i) => {
+                if c >= 0 {
+                    c * self.lo[i as usize]
+                } else {
+                    c * self.hi[i as usize]
+                }
+            }
+        }
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            match self.trail.pop().unwrap() {
+                TrailItem::Sat(v) => self.assign[v as usize] = -1,
+                TrailItem::IntLo(v, old) => self.lo[v as usize] = old,
+                TrailItem::IntHi(v, old) => self.hi[v as usize] = old,
+                TrailItem::Activated => {
+                    self.active.pop();
+                }
+            }
+        }
+        self.queue.clear();
+    }
+
+    fn snapshot(&self) -> RawAssignment {
+        RawAssignment {
+            sat: self.assign.iter().map(|&v| v == 1).collect(),
+            ints: self.lo.clone(),
+        }
+    }
+}
+
+/// `ceil(a / c)` where `c < 0` (used when dividing an inequality by a
+/// negative coefficient, which flips its direction).
+fn neg_div_ceil(a: i64, c: i64) -> i64 {
+    debug_assert!(c < 0);
+    // Rust's `/` truncates toward zero, which equals the ceiling when the
+    // quotient is negative (a > 0 here) and the floor when it is positive
+    // (a < 0), in which case we adjust up.
+    let q = a / c;
+    if a % c != 0 && a < 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Bx, Ix};
+    use crate::model::Model;
+
+    #[test]
+    fn neg_div_ceil_cases() {
+        assert_eq!(neg_div_ceil(7, -2), -3); // 7/-2 = -3.5 → -3
+        assert_eq!(neg_div_ceil(-7, -2), 4); // -7/-2 = 3.5 → 4
+        assert_eq!(neg_div_ceil(6, -2), -3);
+        assert_eq!(neg_div_ceil(-6, -2), 3);
+        assert_eq!(neg_div_ceil(0, -5), 0);
+    }
+
+    #[test]
+    fn sat_pure_bool() {
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        let b = m.bool_var("b");
+        m.require(Bx::or(vec![Bx::var(a), Bx::var(b)]));
+        m.require(Bx::not(Bx::var(a)));
+        let sol = solve(&m).solution().unwrap();
+        assert!(!sol.bool(a));
+        assert!(sol.bool(b));
+    }
+
+    #[test]
+    fn unsat_pure_bool() {
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        m.require(Bx::var(a));
+        m.require(Bx::not(Bx::var(a)));
+        assert_eq!(solve(&m), Outcome::Unsat);
+    }
+
+    #[test]
+    fn sat_int_bounds() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 10);
+        let y = m.int_var("y", 0, 10);
+        m.require(Ix::var(x).add(Ix::var(y)).ge(Ix::lit(15)));
+        m.require(Ix::var(x).le(Ix::lit(7)));
+        let sol = solve(&m).solution().unwrap();
+        assert!(sol.int(x) + sol.int(y) >= 15);
+        assert!(sol.int(x) <= 7);
+    }
+
+    #[test]
+    fn unsat_int() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 5);
+        let y = m.int_var("y", 0, 5);
+        m.require(Ix::var(x).add(Ix::var(y)).ge(Ix::lit(11)));
+        assert_eq!(solve(&m), Outcome::Unsat);
+    }
+
+    #[test]
+    fn conditional_constraint() {
+        let mut m = Model::new();
+        let d = m.bool_var("deploy");
+        let x = m.int_var("x", 0, 100);
+        m.require(Bx::implies(Bx::var(d), Ix::var(x).ge(Ix::lit(50))));
+        m.require(Ix::var(x).le(Ix::lit(10)));
+        m.require(Bx::or(vec![Bx::var(d)])); // force d
+        assert_eq!(solve(&m), Outcome::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_picks_one() {
+        let mut m = Model::new();
+        let vs: Vec<_> = (0..5).map(|i| m.bool_var(format!("v{i}"))).collect();
+        m.require(Bx::exactly_one(vs.iter().map(|&v| Bx::var(v)).collect()));
+        let sol = solve(&m).solution().unwrap();
+        assert_eq!(vs.iter().filter(|&&v| sol.bool(v)).count(), 1);
+    }
+
+    #[test]
+    fn ite_and_ceil_div() {
+        let mut m = Model::new();
+        let d = m.bool_var("d");
+        let e = m.int_var("entries", 0, 4096);
+        let blocks = Ix::var(e).ceil_div(1024);
+        m.require(Bx::implies(Bx::var(d), blocks.clone().ge(Ix::lit(3))));
+        m.require(Bx::var(d));
+        m.require(Ix::var(e).le(Ix::lit(3000)));
+        let sol = solve(&m).solution().unwrap();
+        assert!(sol.int(e) > 2048, "need ceil(e/1024) >= 3, got e = {}", sol.int(e));
+        assert!(sol.int(e) <= 3000);
+    }
+
+    #[test]
+    fn minimize_simple() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 100);
+        m.require(Ix::var(x).ge(Ix::lit(37)));
+        let (sol, v) = minimize(&m, &Ix::var(x)).unwrap();
+        assert_eq!(v, 37);
+        assert_eq!(sol.int(x), 37);
+    }
+
+    #[test]
+    fn minimize_deployment_count() {
+        let mut m = Model::new();
+        let f: Vec<_> = (0..3).map(|i| m.bool_var(format!("f{i}"))).collect();
+        m.require(Bx::exactly_one(vec![Bx::var(f[0]), Bx::var(f[1])]));
+        m.require(Bx::exactly_one(vec![Bx::var(f[1]), Bx::var(f[2])]));
+        let obj = Ix::sum(f.iter().map(|&v| Ix::bool01(v)).collect());
+        let (sol, v) = minimize(&m, &obj).unwrap();
+        assert_eq!(v, 1);
+        assert!(sol.bool(f[1]));
+    }
+
+    #[test]
+    fn ite_evaluation_in_solution() {
+        let mut m = Model::new();
+        let d = m.bool_var("d");
+        let x = m.int_var("x", 0, 10);
+        m.require(Bx::var(d));
+        m.require(Ix::var(x).eq(Ix::ite(Bx::var(d), Ix::lit(7), Ix::lit(2))));
+        let sol = solve(&m).solution().unwrap();
+        assert_eq!(sol.int(x), 7);
+    }
+
+    #[test]
+    fn respects_decision_limit() {
+        let mut m = Model::new();
+        let vars: Vec<Vec<_>> = (0..6)
+            .map(|p| (0..5).map(|h| m.bool_var(format!("p{p}h{h}"))).collect())
+            .collect();
+        for p in &vars {
+            m.require(Bx::or(p.iter().map(|&v| Bx::var(v)).collect()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..5 {
+            m.require(Bx::at_most_one((0..6).map(|p| Bx::var(vars[p][h])).collect()));
+        }
+        let flat = flatten(&m);
+        let cfg = SolverConfig { max_decisions: 10, ..Default::default() };
+        let (outcome, _) = solve_flat(&flat, &cfg, &[]);
+        assert!(matches!(outcome, Outcome::Unknown | Outcome::Unsat));
+    }
+
+    #[test]
+    fn pigeonhole_unsat_with_learning() {
+        // 6 pigeons, 5 holes — UNSAT; learning makes it fast.
+        let mut m = Model::new();
+        let vars: Vec<Vec<_>> = (0..6)
+            .map(|p| (0..5).map(|h| m.bool_var(format!("p{p}h{h}"))).collect())
+            .collect();
+        for p in &vars {
+            m.require(Bx::or(p.iter().map(|&v| Bx::var(v)).collect()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..5 {
+            m.require(Bx::at_most_one((0..6).map(|p| Bx::var(vars[p][h])).collect()));
+        }
+        assert_eq!(solve(&m), Outcome::Unsat);
+    }
+
+    #[test]
+    fn learning_stats_populated() {
+        // An instance that forces at least one conflict.
+        let mut m = Model::new();
+        let vs: Vec<_> = (0..8).map(|i| m.bool_var(format!("v{i}"))).collect();
+        for i in 0..7 {
+            m.require(Bx::or(vec![Bx::not(Bx::var(vs[i])), Bx::var(vs[i + 1])]));
+        }
+        m.require(Bx::or(vec![Bx::var(vs[0]), Bx::var(vs[7])]));
+        m.require(Bx::or(vec![Bx::not(Bx::var(vs[7])), Bx::not(Bx::var(vs[3]))]));
+        let flat = flatten(&m);
+        let cfg = SolverConfig::default();
+        let mut s = Search::new(&flat, &cfg, &[]);
+        let (outcome, _) = s.run();
+        assert!(outcome.is_sat() || outcome == Outcome::Unsat);
+    }
+}

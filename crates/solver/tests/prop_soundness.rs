@@ -1,0 +1,202 @@
+//! Property tests for the native solver: on randomly generated small models,
+//! the solver's SAT/UNSAT verdict must agree with exhaustive enumeration, and
+//! any produced solution must actually satisfy the model.
+
+use lyra_solver::{solve, Bx, Ix, Model, Outcome, Solution};
+use proptest::prelude::*;
+
+/// Shape of a randomly generated model.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    num_bools: usize,
+    int_domains: Vec<(i64, i64)>,
+    constraints: Vec<RandBx>,
+}
+
+/// A serializable random boolean expression over variable *indices*.
+#[derive(Debug, Clone)]
+enum RandBx {
+    Var(usize),
+    NotVar(usize),
+    Or(Vec<RandBx>),
+    And(Vec<RandBx>),
+    Implies(Box<RandBx>, Box<RandBx>),
+    /// c0·x0 + c1·x1 + cb·b0 ≤ k (indices taken modulo arity)
+    Lin { c0: i64, c1: i64, cb: i64, k: i64, ge: bool },
+    IteCmp { cond: usize, then_min: i64 },
+}
+
+fn rand_bx(depth: u32) -> impl Strategy<Value = RandBx> {
+    let leaf = prop_oneof![
+        (0usize..6).prop_map(RandBx::Var),
+        (0usize..6).prop_map(RandBx::NotVar),
+        (-3i64..=3, -3i64..=3, -2i64..=2, -10i64..=10, any::<bool>())
+            .prop_map(|(c0, c1, cb, k, ge)| RandBx::Lin { c0, c1, cb, k, ge }),
+        (0usize..6, 0i64..6).prop_map(|(cond, then_min)| RandBx::IteCmp { cond, then_min }),
+    ];
+    leaf.prop_recursive(depth, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(RandBx::Or),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(RandBx::And),
+            (inner.clone(), inner).prop_map(|(a, b)| RandBx::Implies(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn rand_model() -> impl Strategy<Value = RandomModel> {
+    (
+        1usize..5,
+        prop::collection::vec((0i64..3, 3i64..8), 1..3),
+        prop::collection::vec(rand_bx(2), 1..5),
+    )
+        .prop_map(|(num_bools, int_domains, constraints)| RandomModel {
+            num_bools,
+            int_domains,
+            constraints,
+        })
+}
+
+fn build(rm: &RandomModel) -> Model {
+    let mut m = Model::new();
+    let bools: Vec<_> = (0..rm.num_bools).map(|i| m.bool_var(format!("b{i}"))).collect();
+    let ints: Vec<_> = rm
+        .int_domains
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, hi))| m.int_var(format!("x{i}"), lo, hi))
+        .collect();
+    for c in &rm.constraints {
+        let bx = to_bx(c, &bools, &ints);
+        m.require(bx);
+    }
+    m
+}
+
+fn to_bx(r: &RandBx, bools: &[lyra_solver::BoolId], ints: &[lyra_solver::IntId]) -> Bx {
+    match r {
+        RandBx::Var(i) => Bx::var(bools[i % bools.len()]),
+        RandBx::NotVar(i) => Bx::not(Bx::var(bools[i % bools.len()])),
+        RandBx::Or(xs) => Bx::or(xs.iter().map(|x| to_bx(x, bools, ints)).collect()),
+        RandBx::And(xs) => Bx::and(xs.iter().map(|x| to_bx(x, bools, ints)).collect()),
+        RandBx::Implies(a, b) => Bx::implies(to_bx(a, bools, ints), to_bx(b, bools, ints)),
+        RandBx::Lin { c0, c1, cb, k, ge } => {
+            let e = Ix::var(ints[0])
+                .scale(*c0)
+                .add(Ix::var(ints[ints.len() - 1]).scale(*c1))
+                .add(Ix::bool01(bools[0]).scale(*cb));
+            if *ge {
+                e.ge(Ix::lit(*k))
+            } else {
+                e.le(Ix::lit(*k))
+            }
+        }
+        RandBx::IteCmp { cond, then_min } => {
+            let c = Bx::var(bools[cond % bools.len()]);
+            Ix::ite(c, Ix::var(ints[0]), Ix::lit(0)).ge(Ix::lit(*then_min))
+        }
+    }
+}
+
+/// Exhaustively check satisfiability of a small model.
+fn brute_force_sat(m: &Model) -> bool {
+    let nb = m.num_bools();
+    let domains: Vec<(i64, i64)> = m.int_decls().map(|(_, d)| (d.lo, d.hi)).collect();
+    let total_bool = 1usize << nb;
+    for mask in 0..total_bool {
+        let bools: Vec<bool> = (0..nb).map(|i| mask >> i & 1 == 1).collect();
+        let mut ints = vec![0i64; domains.len()];
+        if enumerate_ints(m, &bools, &domains, &mut ints, 0) {
+            return true;
+        }
+    }
+    false
+}
+
+fn enumerate_ints(
+    m: &Model,
+    bools: &[bool],
+    domains: &[(i64, i64)],
+    ints: &mut Vec<i64>,
+    idx: usize,
+) -> bool {
+    if idx == domains.len() {
+        let sol = Solution::from_parts(bools.to_vec(), ints.clone());
+        return sol.satisfies(m);
+    }
+    for v in domains[idx].0..=domains[idx].1 {
+        ints[idx] = v;
+        if enumerate_ints(m, bools, domains, ints, idx + 1) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(rm in rand_model()) {
+        let m = build(&rm);
+        let expected = brute_force_sat(&m);
+        match solve(&m) {
+            Outcome::Sat(sol) => {
+                prop_assert!(expected, "solver said SAT but brute force disagrees");
+                prop_assert!(sol.satisfies(&m), "returned solution violates model");
+            }
+            Outcome::Unsat => prop_assert!(!expected, "solver said UNSAT but model is satisfiable"),
+            Outcome::Unknown => {} // budget exhausted — no verdict to check
+        }
+    }
+
+    #[test]
+    fn minimize_returns_feasible_minimum(rm in rand_model()) {
+        let m = build(&rm);
+        if !brute_force_sat(&m) {
+            return Ok(());
+        }
+        // Objective: sum of all integer variables.
+        let obj = Ix::sum(m.int_decls().map(|(id, _)| Ix::var(id)).collect());
+        let Some((sol, v)) = lyra_solver::minimize(&m, &obj) else {
+            return Err(TestCaseError::fail("minimize found nothing on a SAT model"));
+        };
+        prop_assert!(sol.satisfies(&m));
+        prop_assert_eq!(sol.eval_ix(&obj), v);
+        // No feasible assignment has a smaller objective (brute force).
+        let nb = m.num_bools();
+        let domains: Vec<(i64, i64)> = m.int_decls().map(|(_, d)| (d.lo, d.hi)).collect();
+        for mask in 0..(1usize << nb) {
+            let bools: Vec<bool> = (0..nb).map(|i| mask >> i & 1 == 1).collect();
+            let mut ints = vec![0i64; domains.len()];
+            check_no_better(&m, &bools, &domains, &mut ints, 0, v, &obj)?;
+        }
+    }
+}
+
+fn check_no_better(
+    m: &Model,
+    bools: &[bool],
+    domains: &[(i64, i64)],
+    ints: &mut Vec<i64>,
+    idx: usize,
+    best: i64,
+    obj: &Ix,
+) -> Result<(), TestCaseError> {
+    if idx == domains.len() {
+        let sol = Solution::from_parts(bools.to_vec(), ints.clone());
+        if sol.satisfies(m) {
+            prop_assert!(
+                sol.eval_ix(obj) >= best,
+                "brute force found objective {} < solver minimum {}",
+                sol.eval_ix(obj),
+                best
+            );
+        }
+        return Ok(());
+    }
+    for v in domains[idx].0..=domains[idx].1 {
+        ints[idx] = v;
+        check_no_better(m, bools, domains, ints, idx + 1, best, obj)?;
+    }
+    Ok(())
+}

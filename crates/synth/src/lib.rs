@@ -1,0 +1,282 @@
+#![warn(missing_docs)]
+//! # lyra-synth — conditional synthesis, SMT encoding, and placement
+//!
+//! The back half of the Lyra compiler (§5 of the paper):
+//!
+//! * [`p4`] — conditional P4 synthesis (Algorithm 1): predicate blocks →
+//!   match-action tables, with mutually-exclusive block merging and action
+//!   folding;
+//! * [`npl`] — conditional NPL synthesis: logical tables with multi-lookup
+//!   merging, logical bus and registers;
+//! * [`encode`] — the SMT model: deployment booleans `f_s(I)`, extern
+//!   split counts `E_{e,s}`, chip resource budgets (memory blocks, tables,
+//!   actions, atoms, PHV bits, parser TCAM, stage depth), flow-path,
+//!   dependency, and co-location constraints;
+//! * [`backend`] — native solver and Z3;
+//! * [`place`] — solution → per-switch [`Placement`], including Algorithm
+//!   2's carried values (bridge headers between cooperating switches).
+//!
+//! The one-call entry point is [`synthesize`].
+
+pub mod backend;
+pub mod encode;
+pub mod npl;
+pub mod p4;
+pub mod parser_deps;
+pub mod place;
+pub mod table;
+pub mod util;
+
+pub use backend::Backend;
+pub use encode::{encode, EncodeError, EncodeOptions, Encoded, Objective, SynthUnit};
+pub use p4::P4Options;
+pub use place::{CarriedValue, Placement, SwitchPlan};
+pub use table::{SynthAction, SynthTable, TableGroup, TableKind};
+
+use lyra_ir::IrProgram;
+use lyra_solver::Outcome;
+use lyra_topo::{ResolvedScope, Topology};
+
+/// Synthesis failure.
+#[derive(Debug)]
+pub enum SynthError {
+    /// Encoding failed (bad scopes, unknown ASIC, …).
+    Encode(EncodeError),
+    /// The constraints are unsatisfiable — the program cannot be placed in
+    /// this network.
+    Unsatisfiable,
+    /// The solver gave up within its budget.
+    Unknown,
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Encode(e) => write!(f, "{e}"),
+            SynthError::Unsatisfiable => write!(
+                f,
+                "no feasible placement: the program does not fit the target network's resources"
+            ),
+            SynthError::Unknown => write!(f, "solver budget exhausted without a verdict"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Result of a successful synthesis run.
+#[derive(Debug)]
+pub struct SynthResult {
+    /// The solved placement.
+    pub placement: Placement,
+    /// The encoded model (kept for code generation, which needs the units).
+    pub encoded: Encoded,
+}
+
+/// Run the full back-end: synthesize conditional implementations, encode,
+/// solve, and extract a placement.
+pub fn synthesize(
+    ir: &IrProgram,
+    topo: &Topology,
+    scopes: &[ResolvedScope],
+    opts: &EncodeOptions,
+    backend: &Backend,
+) -> Result<SynthResult, SynthError> {
+    synthesize_hinted(ir, topo, scopes, opts, backend, None)
+}
+
+/// [`synthesize`] seeded with a previous placement: instruction deployment
+/// variables get phase hints matching the old solution, so unchanged parts
+/// of the program tend to stay where they were (§8 "Synthesizing
+/// incremental changes"). Only the native backend honors hints.
+pub fn synthesize_hinted(
+    ir: &IrProgram,
+    topo: &Topology,
+    scopes: &[ResolvedScope],
+    opts: &EncodeOptions,
+    backend: &Backend,
+    previous: Option<&Placement>,
+) -> Result<SynthResult, SynthError> {
+    let enc = encode(ir, topo, scopes, opts).map_err(SynthError::Encode)?;
+    let hints: Vec<(lyra_solver::BoolId, bool)> = match previous {
+        Some(prev) => enc
+            .instr_var
+            .iter()
+            .map(|((alg, sw, instr), &var)| {
+                let name = &topo.switch(*sw).name;
+                let was_there = prev
+                    .switches
+                    .get(name)
+                    .and_then(|p| p.instrs.get(alg))
+                    .map(|is| is.contains(instr))
+                    .unwrap_or(false);
+                (var, was_there)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let outcome =
+        backend::solve_with_hints(&enc.model, enc.objective.as_ref(), backend, &hints);
+    match outcome {
+        Outcome::Sat(sol) => {
+            let placement = place::extract(&enc, ir, topo, &sol);
+            Ok(SynthResult { placement, encoded: enc })
+        }
+        Outcome::Unsat => Err(SynthError::Unsatisfiable),
+        Outcome::Unknown => Err(SynthError::Unknown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_ir::frontend;
+    use lyra_lang::parse_scopes;
+    use lyra_topo::{figure1_network, resolve_scope};
+
+    const LB_SRC: &str = r#"
+        pipeline[LB]{loadbalancer};
+        algorithm loadbalancer {
+            extern dict<bit[32] h, bit[32] ip>[1024] conn_table;
+            extern dict<bit[32] vip, bit[8] group>[1024] vip_table;
+            bit[32] hash;
+            hash = crc32_hash(ipv4.srcAddr, ipv4.dstAddr);
+            if (hash in conn_table) {
+                ipv4.dstAddr = conn_table[hash];
+            }
+        }
+    "#;
+
+    fn lb_setup() -> (IrProgram, Topology, Vec<ResolvedScope>) {
+        let ir = frontend(LB_SRC).unwrap();
+        let topo = figure1_network();
+        let scopes = parse_scopes(
+            "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+        )
+        .unwrap();
+        let resolved: Vec<ResolvedScope> =
+            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        (ir, topo, resolved)
+    }
+
+    #[test]
+    fn lb_places_with_native_backend() {
+        let (ir, topo, scopes) = lb_setup();
+        let res = synthesize(&ir, &topo, &scopes, &EncodeOptions::default(), &Backend::Native)
+            .expect("LB placement must be feasible");
+        // Every instruction deployed somewhere; conn_table fully placed on
+        // every path.
+        assert!(res.placement.used_switches() >= 1);
+        let total_conn: u64 = res
+            .placement
+            .switches
+            .values()
+            .filter_map(|p| p.extern_entries.get("conn_table"))
+            .sum();
+        assert!(total_conn >= 1024, "conn_table entries: {total_conn}");
+    }
+
+    #[cfg(feature = "z3-backend")]
+    #[test]
+    fn lb_places_with_z3_backend() {
+        let (ir, topo, scopes) = lb_setup();
+        let res = synthesize(&ir, &topo, &scopes, &EncodeOptions::default(), &Backend::Z3)
+            .expect("LB placement must be feasible with Z3");
+        assert!(res.placement.used_switches() >= 1);
+    }
+
+    #[test]
+    fn per_switch_scope_copies_everywhere() {
+        let ir = frontend(
+            r#"
+            pipeline[P]{int_in};
+            algorithm int_in {
+                extern list<bit[32] ip>[128] watch;
+                if (ipv4.src_ip in watch) { int_enable = 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        let topo = figure1_network();
+        let scopes = parse_scopes("int_in: [ ToR* | PER-SW | - ]").unwrap();
+        let resolved: Vec<ResolvedScope> =
+            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        let res = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
+            .unwrap();
+        // All four ToRs get the full program.
+        assert_eq!(res.placement.used_switches(), 4);
+        for (name, plan) in &res.placement.switches {
+            assert!(name.starts_with("ToR"));
+            assert_eq!(plan.extern_entries.get("watch"), Some(&128));
+            assert!(!plan.tables.is_empty());
+        }
+    }
+
+    #[test]
+    fn infeasible_when_table_exceeds_scope_capacity() {
+        // A 100M-entry table cannot fit any single Agg switch pair.
+        let ir = frontend(
+            r#"
+            pipeline[P]{big};
+            algorithm big {
+                extern dict<bit[32] k, bit[32] v>[100000000] huge;
+                if (k in huge) { x = 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        let topo = figure1_network();
+        let scopes = parse_scopes("big: [ Agg3,Agg4,ToR3,ToR4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
+            .unwrap();
+        let resolved: Vec<ResolvedScope> =
+            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        let err = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
+            .unwrap_err();
+        assert!(matches!(err, SynthError::Unsatisfiable));
+    }
+
+    #[test]
+    fn unprogrammable_scope_is_error() {
+        let ir = frontend("pipeline[P]{a}; algorithm a { x = 1; }").unwrap();
+        let topo = figure1_network();
+        let scopes = parse_scopes("a: [ Core* | PER-SW | - ]").unwrap();
+        let resolved: Vec<ResolvedScope> =
+            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        let err = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
+            .unwrap_err();
+        assert!(matches!(err, SynthError::Encode(_)));
+    }
+
+    #[test]
+    fn min_switches_objective_compacts() {
+        let ir = frontend(
+            r#"
+            pipeline[P]{small};
+            algorithm small {
+                bit[32] x;
+                x = ipv4.srcAddr + 1;
+                ipv4.dstAddr = x;
+            }
+            "#,
+        )
+        .unwrap();
+        let topo = figure1_network();
+        let scopes =
+            parse_scopes("small: [ Agg3,Agg4,ToR3,ToR4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
+                .unwrap();
+        let resolved: Vec<ResolvedScope> =
+            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        let opts = EncodeOptions {
+            objective: Objective::MinSwitches,
+            ..Default::default()
+        };
+        let res = synthesize(&ir, &topo, &resolved, &opts, &Backend::Native).unwrap();
+        // The whole program fits on the two Aggs (one per path entry) —
+        // minimizing switch count must not use more than 2.
+        assert!(
+            res.placement.used_switches() <= 2,
+            "used {} switches",
+            res.placement.used_switches()
+        );
+    }
+}

@@ -1,0 +1,490 @@
+//! Conditional P4 synthesis — Algorithm 1 of the paper (§5.2).
+//!
+//! Given the instructions potentially deployed on a P4 switch (`R_s`), we:
+//!
+//! 1. group them into predicate blocks (`lyra-ir::blocks`);
+//! 2. build the predicate-block dependency tree `PBTree` (a block's parent
+//!    is the block containing the instruction that writes its predicate —
+//!    each predicate is written exactly once thanks to SSA);
+//! 3. bottom-up, merge mutually-exclusive sibling blocks (different
+//!    branches of one `if`/`else` formulate the same P4 table — the
+//!    NetCache `check_cache_valid`/`set_cache_valid` example of §7.1);
+//! 4. top-down, fold a child block into its parent's table as an *action*
+//!    when its predicate only reads the parent's extern output (a table
+//!    hit/miss), otherwise create a new table.
+//!
+//! Optimization (§6, Appendix C.1): constant stores to metadata with no
+//! dependencies can be hoisted into the parser (`set_metadata`), reducing
+//! the number of generated tables — toggled by [`P4Options::parser_hoisting`].
+
+use std::collections::BTreeMap;
+
+use lyra_ir::{
+    blocks::preds_mutually_exclusive, predicate_blocks_of, DepGraph, InstrId, IrAlgorithm, IrOp,
+    IrProgram, Operand, PredBlock, StorageClass, ValueId,
+};
+
+use crate::table::{SynthAction, SynthTable, TableGroup, TableKind};
+use crate::util::{compute_plumbing, real_deps, semantic_pred_writer};
+
+/// Options controlling P4 synthesis.
+#[derive(Debug, Clone)]
+pub struct P4Options {
+    /// Hoist dependency-free constant metadata stores into the parser
+    /// (Appendix C.1 — "can yield a 50% reduction to the number of generated
+    /// tables in our P4 INT program").
+    pub parser_hoisting: bool,
+}
+
+impl Default for P4Options {
+    fn default() -> Self {
+        P4Options { parser_hoisting: true }
+    }
+}
+
+/// Instructions hoisted into the parser as `set_metadata` operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParserHoists {
+    /// Hoisted instructions (constant assigns).
+    pub instrs: Vec<InstrId>,
+}
+
+/// Synthesize the conditional P4 implementation of one algorithm on one
+/// switch: the potential table group `L_s` (Algorithm 1's outputs `L` and
+/// `I` — each table carries its identifying instructions).
+pub fn synthesize_p4(
+    ir: &IrProgram,
+    alg: &IrAlgorithm,
+    deps: &DepGraph,
+    subset: &[InstrId],
+    opts: &P4Options,
+) -> (TableGroup, ParserHoists) {
+    // Optional parser hoisting: pull out constant metadata stores with no
+    // dependencies (in either direction within the subset is too strict —
+    // the store must not depend on anything, and nothing may *re-write* its
+    // destination, which SSA guarantees per-version; we additionally require
+    // the destination to be written exactly once).
+    let mut hoists = ParserHoists::default();
+    let mut working: Vec<InstrId> = subset.to_vec();
+    if opts.parser_hoisting {
+        let write_counts = base_write_counts(alg);
+        working.retain(|&id| {
+            let instr = alg.instr(id);
+            let hoistable = instr.pred.is_none()
+                && matches!(instr.op, IrOp::Assign(Operand::Const(_)))
+                && instr
+                    .dst
+                    .map(|d| {
+                        let v = alg.value(d);
+                        v.class == StorageClass::Local
+                            && !v.base.starts_with('%')
+                            && write_counts.get(&v.base).copied().unwrap_or(0) == 1
+                    })
+                    .unwrap_or(false)
+                && deps.pred_list(id).is_empty();
+            if hoistable {
+                hoists.instrs.push(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    // Predicate plumbing (comparisons, negations, conjunctions feeding only
+    // predicate positions) becomes gateway conditions / match keys rather
+    // than tables.
+    let plumbing = compute_plumbing(alg, &working);
+    working.retain(|i| !plumbing.contains(i));
+
+    let blocks = predicate_blocks_of(alg, deps, &working);
+
+    // --- PBTree construction -------------------------------------------
+    // parent[b] = index of the block containing the instruction that writes
+    // block b's predicate (None = root-level block).
+    let block_of_instr: BTreeMap<InstrId, usize> = blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| b.instrs.iter().map(move |&i| (i, bi)))
+        .collect();
+    let parent: Vec<Option<usize>> = blocks
+        .iter()
+        .map(|b| {
+            b.pred
+                .and_then(|p| semantic_pred_writer(alg, &plumbing, p))
+                .and_then(|w| block_of_instr.get(&w).copied())
+        })
+        .collect();
+
+    // --- Bottom-up: merge mutually-exclusive sibling blocks -------------
+    // Union-find-lite: merged[b] = representative block index.
+    let mut merged_into: Vec<usize> = (0..blocks.len()).collect();
+    for i in 0..blocks.len() {
+        for j in (i + 1)..blocks.len() {
+            if merged_into[j] != j {
+                continue;
+            }
+            let same_parent = parent[i] == parent[j];
+            let exclusive = match (blocks[i].pred, blocks[j].pred) {
+                (Some(p), Some(q)) => preds_mutually_exclusive(alg, p, q),
+                _ => false,
+            };
+            if same_parent && exclusive && merged_into[i] == i {
+                merged_into[j] = i;
+            }
+        }
+    }
+
+    // --- Top-down: action folding vs. new tables -------------------------
+    // A block folds into its parent's table as an action when its predicate
+    // reads only the parent's extern output (table hit/miss or looked-up
+    // value). Otherwise it becomes its own table.
+    let mut folds_into: Vec<Option<usize>> = vec![None; blocks.len()];
+    for (bi, block) in blocks.iter().enumerate() {
+        if merged_into[bi] != bi {
+            continue; // handled with its representative
+        }
+        let Some(parent_bi) = parent[bi] else { continue };
+        let parent_rep = merged_into[parent_bi];
+        if parent_has_extern_output(alg, &blocks[parent_bi], block.pred) {
+            folds_into[bi] = Some(parent_rep);
+        }
+    }
+
+    // --- Emit tables ------------------------------------------------------
+    // Representative blocks that don't fold become tables; merged and folded
+    // blocks contribute actions to their representative/parent table.
+    let mut table_index: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut tables: Vec<SynthTable> = Vec::new();
+    for (bi, block) in blocks.iter().enumerate() {
+        if merged_into[bi] != bi || folds_into[bi].is_some() {
+            continue;
+        }
+        let idx = tables.len();
+        table_index.insert(bi, idx);
+        tables.push(block_to_table(ir, alg, block, idx));
+    }
+    // Attach merged siblings as extra actions.
+    for (bi, block) in blocks.iter().enumerate() {
+        let rep = merged_into[bi];
+        if rep != bi {
+            if let Some(&ti) = table_index.get(&rep) {
+                let n = tables[ti].actions.len();
+                let act_name = format!("{}_act{}", tables[ti].name, n);
+                tables[ti].actions.push(SynthAction {
+                    name: act_name,
+                    instrs: block.instrs.clone(),
+                });
+                tables[ti].instrs.extend(&block.instrs);
+            }
+        }
+    }
+    // Attach folded children as actions of their parent's table.
+    for (bi, block) in blocks.iter().enumerate() {
+        if merged_into[bi] != bi {
+            continue;
+        }
+        if let Some(parent_rep) = folds_into[bi] {
+            if let Some(&ti) = table_index.get(&parent_rep) {
+                let n = tables[ti].actions.len();
+                let act_name = format!("{}_act{}", tables[ti].name, n);
+                tables[ti].actions.push(SynthAction {
+                    name: act_name,
+                    instrs: block.instrs.clone(),
+                });
+                tables[ti].instrs.extend(&block.instrs);
+            }
+        }
+    }
+
+    // --- Table dependencies ----------------------------------------------
+    let owner: BTreeMap<InstrId, usize> = tables
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, t)| t.instrs.iter().map(move |&i| (i, ti)))
+        .collect();
+    #[allow(clippy::needless_range_loop)] // ti also indexes for mutation below
+    for ti in 0..tables.len() {
+        let mut deps_t: Vec<usize> = Vec::new();
+        for &i in &tables[ti].instrs.clone() {
+            for p in real_deps(alg, deps, &plumbing, i) {
+                if let Some(&src) = owner.get(&p) {
+                    if src != ti && !deps_t.contains(&src) {
+                        deps_t.push(src);
+                    }
+                }
+            }
+        }
+        tables[ti].depends_on = deps_t;
+    }
+
+    let registers = count_registers(alg, &working);
+    let mut group = TableGroup { tables, registers, critical_path: 0 };
+    group.fuse_cycles();
+    group.compute_critical_path();
+    (group, hoists)
+}
+
+/// How many times each base name is written in the algorithm.
+fn base_write_counts(alg: &IrAlgorithm) -> BTreeMap<String, u32> {
+    let mut m = BTreeMap::new();
+    for i in &alg.instrs {
+        if let Some(d) = i.dst {
+            *m.entry(alg.value(d).base.clone()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Does `parent` produce an extern output that `child_pred` only reads —
+/// i.e. is the child's predicate a function of the parent's table hit/miss
+/// or looked-up value?
+fn parent_has_extern_output(
+    alg: &IrAlgorithm,
+    parent: &PredBlock,
+    child_pred: Option<ValueId>,
+) -> bool {
+    let Some(cp) = child_pred else { return false };
+    // Walk the predicate's defining chain down to source values; all source
+    // values must be defined by TableMember/TableLookup instructions inside
+    // the parent block.
+    let mut stack = vec![cp];
+    let mut saw_extern = false;
+    while let Some(v) = stack.pop() {
+        let info = alg.value(v);
+        let Some(def) = info.def else { return false };
+        match &alg.instr(def).op {
+            IrOp::TableMember { .. } | IrOp::TableLookup { .. }
+                if parent.instrs.contains(&def) => {
+                    saw_extern = true;
+                }
+            IrOp::Unary { a: Operand::Value(src), .. } => stack.push(*src),
+            IrOp::Binary { a, b, .. } => {
+                for o in [a, b] {
+                    if let Operand::Value(src) = o {
+                        stack.push(*src);
+                    }
+                }
+            }
+            IrOp::Assign(Operand::Value(src)) => stack.push(*src),
+            _ => return false,
+        }
+    }
+    saw_extern
+}
+
+fn block_to_table(
+    ir: &IrProgram,
+    alg: &IrAlgorithm,
+    block: &PredBlock,
+    idx: usize,
+) -> SynthTable {
+    // If the block contains an extern read, the table *is* that extern.
+    let extern_read = block.instrs.iter().find_map(|&i| match &alg.instr(i).op {
+        IrOp::TableMember { table, .. } | IrOp::TableLookup { table, .. } => Some(table.clone()),
+        _ => None,
+    });
+    let stateful = block
+        .instrs
+        .iter()
+        .any(|&i| matches!(alg.instr(i).op, IrOp::GlobalRead { .. } | IrOp::GlobalWrite { .. }));
+    let (kind, match_width, entries, match_kind) = if let Some(e) = extern_read {
+        let ext = ir.externs.get(&e);
+        let width = ext.map(|x| (x.key_width() + x.value_width()) as u64).unwrap_or(32);
+        let size = ext.map(|x| x.size).unwrap_or(1024);
+        let mk = ext.map(|x| x.match_kind).unwrap_or_default();
+        (TableKind::ExternMatch { extern_name: e }, width, size, mk)
+    } else if let Some(p) = block.pred {
+        // Gateway table matching the predicate's source fields.
+        let width = pred_match_width(alg, p);
+        (TableKind::PredicateGate, width, 2, lyra_lang::MatchKind::Ternary)
+    } else {
+        (TableKind::DirectAction, 0, 1, lyra_lang::MatchKind::Exact)
+    };
+    let name = format!("{}_t{}", alg.name, idx);
+    SynthTable {
+        name: name.clone(),
+        algorithm: alg.name.clone(),
+        kind,
+        match_width,
+        entries,
+        actions: vec![SynthAction { name: format!("{name}_act0"), instrs: block.instrs.clone() }],
+        pred: block.pred,
+        match_kind,
+        instrs: block.instrs.clone(),
+        depends_on: Vec::new(),
+        stateful,
+    }
+}
+
+/// Total width of the source fields a predicate matches on.
+fn pred_match_width(alg: &IrAlgorithm, p: ValueId) -> u64 {
+    let mut width = 0u64;
+    let mut stack = vec![p];
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        let info = alg.value(v);
+        match info.def {
+            None => width += info.width as u64, // source field
+            Some(def) => {
+                for o in alg.instr(def).op.reads() {
+                    if let Operand::Value(src) = o {
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+    }
+    width.max(1)
+}
+
+/// Number of distinct global register arrays the subset touches.
+pub fn count_registers(alg: &IrAlgorithm, subset: &[InstrId]) -> u64 {
+    let mut names = std::collections::BTreeSet::new();
+    for &i in subset {
+        if let Some(g) = alg.instr(i).op.global() {
+            names.insert(g.to_string());
+        }
+    }
+    names.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_ir::{dependency_graph, frontend};
+
+    fn synth(src: &str, opts: &P4Options) -> (TableGroup, ParserHoists) {
+        let ir = frontend(src).unwrap();
+        let alg = &ir.algorithms[0];
+        let deps = dependency_graph(alg);
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        synthesize_p4(&ir, alg, &deps, &subset, opts)
+    }
+
+    #[test]
+    fn netcache_style_merge_reduces_tables() {
+        // §7.1: check_cache_valid / set_cache_valid sit in different
+        // branches of the same condition chain and fold into one table.
+        let src = r#"
+            pipeline[P]{nc};
+            algorithm nc {
+                global bit[8][1024] cache_valid;
+                if (op == 1) {
+                    cache_valid[idx] = 1;
+                } else {
+                    cache_valid[idx] = 0;
+                }
+            }
+        "#;
+        let (group, _) = synth(src, &P4Options::default());
+        // One gateway table with two actions, not two tables.
+        let gated: Vec<&SynthTable> =
+            group.tables.iter().filter(|t| t.pred.is_some()).collect();
+        assert_eq!(gated.len(), 1, "tables: {:#?}", group.tables);
+        assert_eq!(gated[0].actions.len(), 2);
+    }
+
+    #[test]
+    fn lb_lookup_folds_consumer_into_action() {
+        // The consumer of a table hit folds into the lookup table's action
+        // list (conn_table pattern).
+        let src = r#"
+            pipeline[P]{lb};
+            algorithm lb {
+                extern dict<bit[32] h, bit[32] ip>[1024] conn;
+                hit = h in conn;
+                if (hit) {
+                    dst = conn[h];
+                }
+            }
+        "#;
+        let (group, _) = synth(src, &P4Options::default());
+        let ext: Vec<&SynthTable> = group
+            .tables
+            .iter()
+            .filter(|t| t.extern_name() == Some("conn"))
+            .collect();
+        assert!(!ext.is_empty());
+        // The hit-consumer block became an action of an extern table rather
+        // than its own predicate-gate table.
+        assert!(
+            group.tables.iter().all(|t| !matches!(t.kind, TableKind::PredicateGate)),
+            "tables: {:#?}",
+            group.tables
+        );
+    }
+
+    #[test]
+    fn parser_hoisting_removes_constant_stores() {
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                flag = 1;
+                if (en) { x = y + 1; }
+            }
+        "#;
+        let (with, hoists) = synth(src, &P4Options::default());
+        assert_eq!(hoists.instrs.len(), 1);
+        let (without, no_hoists) = synth(src, &P4Options { parser_hoisting: false });
+        assert!(no_hoists.instrs.is_empty());
+        assert!(with.table_count() < without.table_count());
+    }
+
+    #[test]
+    fn extern_table_uses_extern_size() {
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[8] v>[4096] big;
+                if (k in big) { out = 1; }
+            }
+        "#;
+        let (group, _) = synth(src, &P4Options::default());
+        let t = group.tables.iter().find(|t| t.extern_name() == Some("big")).unwrap();
+        assert_eq!(t.entries, 4096);
+        assert_eq!(t.match_width, 40); // 32 key + 8 value
+    }
+
+    #[test]
+    fn stateful_blocks_marked() {
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                global bit[32][64] ctr;
+                ctr[i] = ctr[i] + 1;
+            }
+        "#;
+        let (group, _) = synth(src, &P4Options::default());
+        assert!(group.tables.iter().any(|t| t.stateful));
+        assert_eq!(group.registers, 1);
+    }
+
+    #[test]
+    fn dependent_tables_get_edges() {
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                h = crc32_hash(x);
+                if (h == 5) { y = z + 1; }
+            }
+        "#;
+        let (group, _) = synth(src, &P4Options::default());
+        assert!(group.critical_path >= 2, "group: {group:#?}");
+    }
+
+    #[test]
+    fn comparison_becomes_gateway_not_table() {
+        // Figure 5(a)'s `if (smac == dmac)`: the comparison is the gate's
+        // match condition, not its own table.
+        let src = "pipeline[P]{a}; algorithm a { if (smac == dmac) { y = 1; } }";
+        let (group, _) = synth(src, &P4Options { parser_hoisting: false });
+        assert_eq!(group.table_count(), 1, "group: {group:#?}");
+        assert!(matches!(group.tables[0].kind, TableKind::PredicateGate));
+        // Match width covers both 32-bit (defaulted) operands.
+        assert!(group.tables[0].match_width >= 64);
+    }
+}

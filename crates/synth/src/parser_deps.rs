@@ -1,0 +1,125 @@
+//! Header/parser dependency helpers (Appendix A.1–A.2).
+//!
+//! RMT-style parsers cannot skip bytes, so parsing a header implies parsing
+//! every header on the path from the parse-graph root to it ("if a TCP
+//! header is parsed, then all the headers before the TCP header are also
+//! parsed"). Each header also costs parser TCAM entries proportional to the
+//! transitions that reach it.
+
+use lyra_ir::IrProgram;
+
+/// Resolve a header *instance* name (`ipv4`) to its parser node, if the
+/// program declares parser nodes. Matching is by extract target.
+fn node_extracting<'a>(ir: &'a IrProgram, instance: &str) -> Option<&'a lyra_lang::ParserNode> {
+    ir.parser_nodes
+        .iter()
+        .find(|n| n.extracts.iter().any(|e| e == instance))
+}
+
+/// The header instance plus every ancestor instance its parsing implies.
+///
+/// Without declared parser nodes the header stands alone (metadata bundles
+/// and implicit headers cost nothing extra).
+pub fn with_ancestors(ir: &IrProgram, instance: &str) -> Vec<String> {
+    let mut out = vec![instance.to_string()];
+    let Some(mut node) = node_extracting(ir, instance) else {
+        return out;
+    };
+    // Walk backwards: find a node transitioning into `node`.
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > ir.parser_nodes.len() + 1 {
+            break; // cycle guard
+        }
+        let parent = ir.parser_nodes.iter().find(|n| {
+            n.transitions.iter().any(|(_, next)| next == &node.name)
+                || n.default.as_deref() == Some(node.name.as_str())
+        });
+        match parent {
+            Some(p) => {
+                for e in &p.extracts {
+                    if !out.contains(e) {
+                        out.push(e.clone());
+                    }
+                }
+                node = p;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Parser TCAM entries attributable to one header instance: the number of
+/// transitions that reach its parser node (eq. 7's `S_e` sets collapsed per
+/// header), at least 1.
+pub fn parser_entries_for(ir: &IrProgram, instance: &str) -> u64 {
+    let Some(node) = node_extracting(ir, instance) else {
+        return 1;
+    };
+    let mut entries = 0u64;
+    for n in &ir.parser_nodes {
+        entries += n
+            .transitions
+            .iter()
+            .filter(|(_, next)| next == &node.name)
+            .count() as u64;
+        if n.default.as_deref() == Some(node.name.as_str()) {
+            entries += 1;
+        }
+    }
+    entries.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_ir::frontend;
+
+    fn prog() -> IrProgram {
+        frontend(
+            r#"
+            header_type ethernet_t { fields { bit[16] ether_type; } }
+            header_type ipv4_t { fields { bit[32] src_ip; bit[8] protocol; } }
+            header_type tcp_t { fields { bit[16] src_port; } }
+            parser_node start {
+                extract(ethernet);
+                select(ethernet.ether_type) { 0x0800: parse_ipv4; }
+            }
+            parser_node parse_ipv4 {
+                extract(ipv4);
+                select(ipv4.protocol) { 6: parse_tcp; }
+            }
+            parser_node parse_tcp { extract(tcp); }
+            pipeline[P]{a};
+            algorithm a { x = tcp.src_port; }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tcp_implies_ipv4_and_ethernet() {
+        let ir = prog();
+        let anc = with_ancestors(&ir, "tcp");
+        assert!(anc.contains(&"tcp".to_string()));
+        assert!(anc.contains(&"ipv4".to_string()));
+        assert!(anc.contains(&"ethernet".to_string()));
+    }
+
+    #[test]
+    fn ethernet_stands_alone() {
+        let ir = prog();
+        assert_eq!(with_ancestors(&ir, "ethernet"), vec!["ethernet".to_string()]);
+    }
+
+    #[test]
+    fn entry_counts() {
+        let ir = prog();
+        assert_eq!(parser_entries_for(&ir, "ipv4"), 1);
+        assert_eq!(parser_entries_for(&ir, "tcp"), 1);
+        // Headers without parser nodes cost one entry.
+        assert_eq!(parser_entries_for(&ir, "mystery"), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Placement extraction: turn a solver assignment back into a concrete
+//! per-switch plan, including the *extensible resources* of §5.6 /
+//! Algorithm 2 — values written upstream and read downstream must be
+//! carried in the packet header, and split extern tables propagate their
+//! hit/miss bit so a downstream switch can decide whether to look up its
+//! shard ("Lyra adds the first ConnTable's entry hit/miss information to
+//! the header").
+
+use std::collections::BTreeMap;
+
+use lyra_chips::ResourceUsage;
+use lyra_ir::{InstrId, IrProgram, Operand};
+use lyra_solver::Solution;
+use lyra_topo::{SwitchId, Topology};
+
+use crate::encode::Encoded;
+use crate::table::SynthTable;
+
+/// A value that must travel in the packet header between switches
+/// (Algorithm 2's extensible resource).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarriedValue {
+    /// Storage base name (or `<extern>_hit` for split-table hit bits).
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Producing switch.
+    pub from: SwitchId,
+    /// Consuming switch.
+    pub to: SwitchId,
+}
+
+/// The plan for one switch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwitchPlan {
+    /// Per algorithm: the instructions deployed here.
+    pub instrs: BTreeMap<String, Vec<InstrId>>,
+    /// Valid synthesized tables (with extern entry counts substituted).
+    pub tables: Vec<SynthTable>,
+    /// Extern entries hosted here: extern name → count.
+    pub extern_entries: BTreeMap<String, u64>,
+    /// Values that must be parsed from the bridge header on ingress.
+    pub carried_in: Vec<CarriedValue>,
+    /// Values that must be appended to the bridge header on egress.
+    pub carried_out: Vec<CarriedValue>,
+    /// Parser-hoisted constant stores (Appendix C.1).
+    pub parser_sets: BTreeMap<String, Vec<InstrId>>,
+    /// Resource accounting for reports (Figure 9's columns).
+    pub usage: ResourceUsage,
+}
+
+/// A complete placement: plans for every switch that received code.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Placement {
+    /// Switch name → plan.
+    pub switches: BTreeMap<String, SwitchPlan>,
+}
+
+impl Placement {
+    /// Total tables across all switches.
+    pub fn total_tables(&self) -> u64 {
+        self.switches.values().map(|p| p.usage.tables).sum()
+    }
+
+    /// Number of switches hosting code.
+    pub fn used_switches(&self) -> usize {
+        self.switches.values().filter(|p| !p.instrs.is_empty()).count()
+    }
+}
+
+/// Extract the placement from a solved model.
+pub fn extract(
+    enc: &Encoded,
+    ir: &IrProgram,
+    topo: &Topology,
+    sol: &Solution,
+) -> Placement {
+    let mut placement = Placement::default();
+
+    // Instructions per switch.
+    for ((alg, s, i), &var) in &enc.instr_var {
+        if sol.bool(var) {
+            let plan = placement
+                .switches
+                .entry(topo.switch(*s).name.clone())
+                .or_default();
+            plan.instrs.entry(alg.clone()).or_default().push(*i);
+        }
+    }
+
+    // Extern entries per switch (variable and fixed).
+    for ((e, s), &var) in &enc.extern_var {
+        let count = sol.int(var).max(0) as u64;
+        if count > 0 {
+            let plan = placement
+                .switches
+                .entry(topo.switch(*s).name.clone())
+                .or_default();
+            plan.extern_entries.insert(e.clone(), count);
+        }
+    }
+    for ((e, s), &count) in &enc.extern_fixed {
+        let plan = placement
+            .switches
+            .entry(topo.switch(*s).name.clone())
+            .or_default();
+        plan.extern_entries.insert(e.clone(), count);
+    }
+
+    // Valid tables per switch, with extern entries substituted.
+    for unit in &enc.units {
+        let sw_name = topo.switch(unit.switch).name.clone();
+        let Some(plan) = placement.switches.get_mut(&sw_name) else { continue };
+        let deployed: std::collections::BTreeSet<InstrId> = plan
+            .instrs
+            .get(&unit.alg)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        if deployed.is_empty() {
+            continue;
+        }
+        for t in &unit.group.tables {
+            if t.instrs.iter().any(|i| deployed.contains(i)) {
+                let mut t = t.clone();
+                if let Some(e) = t.extern_name() {
+                    if let Some(&count) = plan.extern_entries.get(e) {
+                        t.entries = count;
+                    }
+                }
+                plan.tables.push(t);
+            }
+        }
+        if !unit.hoists.instrs.is_empty() {
+            let hoisted: Vec<InstrId> = unit
+                .hoists
+                .instrs
+                .iter()
+                .copied()
+                .filter(|i| deployed.contains(i))
+                .collect();
+            if !hoisted.is_empty() {
+                plan.parser_sets.insert(unit.alg.clone(), hoisted);
+            }
+        }
+    }
+
+    // Carried values (Algorithm 2) along every MULTI-SW path.
+    compute_carried(enc, ir, topo, sol, &mut placement);
+
+    // Resource usage accounting.
+    for (name, plan) in &mut placement.switches
+    {
+        let sw = topo.find(name).expect("switch exists");
+        let chip = enc
+            .units
+            .iter()
+            .find(|u| u.switch == sw)
+            .map(|u| u.chip.clone());
+        let mut usage = ResourceUsage {
+            tables: plan.tables.len() as u64,
+            actions: plan.tables.iter().map(|t| t.action_count()).sum(),
+            registers: plan
+                .tables
+                .iter()
+                .filter(|t| {
+                    matches!(t.kind, crate::table::TableKind::Register { .. }) || t.stateful
+                })
+                .count() as u64,
+            ..ResourceUsage::default()
+        };
+        if let Some(chip) = chip {
+            usage.sram_blocks = plan
+                .tables
+                .iter()
+                .map(|t| chip.table_blocks(t.entries, t.match_width))
+                .sum();
+        }
+        // Longest dependency chain among deployed tables.
+        let name_index: BTreeMap<&str, usize> = plan
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i))
+            .collect();
+        let _ = name_index;
+        let mut depth = vec![1u64; plan.tables.len()];
+        for i in 0..plan.tables.len() {
+            for &d in &plan.tables[i].depends_on {
+                if d < depth.len() && d < i {
+                    depth[i] = depth[i].max(depth[d] + 1);
+                }
+            }
+        }
+        usage.longest_code_path = depth.into_iter().max().unwrap_or(0);
+        usage.stages = usage.longest_code_path;
+        plan.usage = usage;
+    }
+
+    placement
+}
+
+/// Compute carried values: for every path of every MULTI-SW scope, a value
+/// defined on an earlier hop and read on a later hop crosses the boundary;
+/// split externs additionally carry their hit bit.
+fn compute_carried(
+    enc: &Encoded,
+    ir: &IrProgram,
+    topo: &Topology,
+    sol: &Solution,
+    placement: &mut Placement,
+) {
+    for scope in enc.scopes.values() {
+        if scope.deploy != lyra_lang::DeployMode::MultiSwitch {
+            continue;
+        }
+        let Some(alg) = ir.algorithm(&scope.algorithm) else { continue };
+        let on = |i: InstrId, s: SwitchId| -> bool {
+            enc.instr_var
+                .get(&(scope.algorithm.clone(), s, i))
+                .map(|&v| sol.bool(v))
+                .unwrap_or(false)
+        };
+        for path in &scope.paths {
+            for (j, &sw) in path.iter().enumerate() {
+                for i in alg.instr_ids() {
+                    if !on(i, sw) {
+                        continue;
+                    }
+                    let Some(dst) = alg.instr(i).dst else { continue };
+                    // Does any later hop read this value?
+                    for &later in &path[j + 1..] {
+                        let read_later = alg.instr_ids().any(|r| {
+                            on(r, later)
+                                && (alg.instr(r).pred == Some(dst)
+                                    || alg.instr(r).op.reads().iter().any(
+                                        |o| matches!(o, Operand::Value(v) if *v == dst),
+                                    ))
+                        });
+                        if read_later {
+                            let info = alg.value(dst);
+                            let cv = CarriedValue {
+                                name: format!("{}_{}", scope.algorithm, info.name().replace(['#', '.'], "_")),
+                                width: info.width.max(1),
+                                from: sw,
+                                to: later,
+                            };
+                            push_carried(placement, topo, cv);
+                        }
+                    }
+                }
+            }
+            // Split externs: hit bit carried from each holder to the next.
+            for (e, _) in ir.externs.iter() {
+                let holders: Vec<SwitchId> = path
+                    .iter()
+                    .copied()
+                    .filter(|&s| {
+                        enc.extern_var
+                            .get(&(e.clone(), s))
+                            .map(|&v| sol.int(v) > 0)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                for w in holders.windows(2) {
+                    let cv = CarriedValue {
+                        name: format!("{e}_hit"),
+                        width: 1,
+                        from: w[0],
+                        to: w[1],
+                    };
+                    push_carried(placement, topo, cv);
+                }
+            }
+        }
+    }
+}
+
+fn push_carried(placement: &mut Placement, topo: &Topology, cv: CarriedValue) {
+    let from_name = topo.switch(cv.from).name.clone();
+    let to_name = topo.switch(cv.to).name.clone();
+    let out_plan = placement.switches.entry(from_name).or_default();
+    if !out_plan.carried_out.contains(&cv) {
+        out_plan.carried_out.push(cv.clone());
+    }
+    let in_plan = placement.switches.entry(to_name).or_default();
+    if !in_plan.carried_in.contains(&cv) {
+        in_plan.carried_in.push(cv);
+    }
+}

@@ -1,0 +1,250 @@
+//! Shared synthesis helpers: *predicate plumbing* analysis.
+//!
+//! Branch removal (§4.2) materializes conditions as explicit instructions —
+//! comparisons, `!c` negations, `p && c` conjunctions. On a real ASIC these
+//! are not match-action work: they become a table's *gateway condition* /
+//! match key. Synthesis therefore filters them out of table construction
+//! ("plumbing") while dependency analysis traces *through* them so table
+//! ordering stays correct.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lyra_ir::{DepGraph, InstrId, IrAlgorithm, IrOp, Operand, ValueId};
+use lyra_lang::UnOp;
+
+/// Instructions whose only purpose is computing predicates: comparisons,
+/// logical connectives and negations whose results feed (transitively) only
+/// into predicate positions.
+pub fn compute_plumbing(alg: &IrAlgorithm, subset: &[InstrId]) -> BTreeSet<InstrId> {
+    let subset_set: BTreeSet<InstrId> = subset.iter().copied().collect();
+    // use map: value → (used as operand by, used as pred by)
+    let mut operand_uses: BTreeMap<ValueId, Vec<InstrId>> = BTreeMap::new();
+    let mut pred_uses: BTreeMap<ValueId, Vec<InstrId>> = BTreeMap::new();
+    for &i in subset {
+        let instr = alg.instr(i);
+        for o in instr.op.reads() {
+            if let Operand::Value(v) = o {
+                operand_uses.entry(v).or_default().push(i);
+            }
+        }
+        if let Some(p) = instr.pred {
+            pred_uses.entry(p).or_default().push(i);
+        }
+    }
+    let candidate = |i: InstrId| -> bool {
+        let instr = alg.instr(i);
+        match &instr.op {
+            IrOp::Binary { op, .. } => op.is_comparison() || op.is_logical(),
+            IrOp::Unary { op: UnOp::Not, .. } => true,
+            _ => false,
+        }
+    };
+    // Optimistic fixpoint: start with all candidates, evict any whose result
+    // is consumed by a non-plumbing instruction as a data operand.
+    let mut plumbing: BTreeSet<InstrId> =
+        subset.iter().copied().filter(|&i| candidate(i)).collect();
+    loop {
+        let mut evict: Vec<InstrId> = Vec::new();
+        for &i in &plumbing {
+            let Some(d) = alg.instr(i).dst else {
+                evict.push(i);
+                continue;
+            };
+            let data_consumers = operand_uses.get(&d).map(Vec::as_slice).unwrap_or(&[]);
+            let bad = data_consumers
+                .iter()
+                .any(|u| !plumbing.contains(u) && subset_set.contains(u));
+            // A result never used at all (neither pred nor operand) keeps
+            // its instruction — it may write an observable field.
+            let unused = data_consumers.is_empty() && !pred_uses.contains_key(&d);
+            if bad || unused {
+                evict.push(i);
+            }
+        }
+        if evict.is_empty() {
+            break;
+        }
+        for e in evict {
+            plumbing.remove(&e);
+        }
+    }
+    plumbing
+}
+
+/// Direct dependencies of `i`, tracing *through* plumbing instructions to
+/// the real (table-resident) producers.
+pub fn real_deps(
+    alg: &IrAlgorithm,
+    deps: &DepGraph,
+    plumbing: &BTreeSet<InstrId>,
+    i: InstrId,
+) -> Vec<InstrId> {
+    let mut out = Vec::new();
+    let mut stack: Vec<InstrId> = deps.pred_list(i).to_vec();
+    let mut seen = BTreeSet::new();
+    while let Some(p) = stack.pop() {
+        if !seen.insert(p) {
+            continue;
+        }
+        if plumbing.contains(&p) {
+            stack.extend(deps.pred_list(p));
+        } else if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    let _ = alg;
+    out
+}
+
+/// If predicate value `v` is rooted (through plumbing / copies) in an
+/// extern table read, the extern's name.
+pub fn pred_extern_root(alg: &IrAlgorithm, v: ValueId) -> Option<String> {
+    let mut stack = vec![v];
+    let mut seen = BTreeSet::new();
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        let Some(def) = alg.value(cur).def else { continue };
+        match &alg.instr(def).op {
+            IrOp::TableMember { table, .. } | IrOp::TableLookup { table, .. } => {
+                return Some(table.clone())
+            }
+            op => {
+                for o in op.reads() {
+                    if let Operand::Value(src) = o {
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The non-plumbing instruction that semantically produces predicate `v`
+/// (walking through negations, conjunctions and copies). `None` when the
+/// predicate is rooted only in live-in metadata.
+pub fn semantic_pred_writer(
+    alg: &IrAlgorithm,
+    plumbing: &BTreeSet<InstrId>,
+    v: ValueId,
+) -> Option<InstrId> {
+    let mut stack = vec![v];
+    let mut seen = BTreeSet::new();
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        let Some(def) = alg.value(cur).def else { continue };
+        if !plumbing.contains(&def) {
+            return Some(def);
+        }
+        for o in alg.instr(def).op.reads() {
+            if let Operand::Value(src) = o {
+                stack.push(src);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_ir::{dependency_graph, frontend};
+
+    #[test]
+    fn comparisons_feeding_predicates_are_plumbing() {
+        let ir = frontend("pipeline[P]{a}; algorithm a { if (x == 5) { y = 1; } }").unwrap();
+        let alg = &ir.algorithms[0];
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        // The comparison is plumbing; the assignment is not.
+        assert_eq!(plumbing.len(), 1);
+        let p = *plumbing.iter().next().unwrap();
+        assert!(matches!(alg.instr(p).op, IrOp::Binary { .. }));
+    }
+
+    #[test]
+    fn comparison_stored_to_field_is_not_plumbing() {
+        // The comparison result is written to a header field — observable.
+        let ir = frontend(
+            "pipeline[P]{a}; algorithm a { c = x == 5; md.flag = c; if (c) { y = 1; } }",
+        )
+        .unwrap();
+        let alg = &ir.algorithms[0];
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        // The cmp's value feeds a data assign (md.flag = c) → not plumbing.
+        assert!(plumbing.is_empty(), "{plumbing:?}\n{}", alg.to_text());
+    }
+
+    #[test]
+    fn real_deps_traces_through_plumbing() {
+        let ir = frontend(
+            "pipeline[P]{a}; algorithm a { h = crc32_hash(x); if (h == 5) { y = 1; } }",
+        )
+        .unwrap();
+        let alg = &ir.algorithms[0];
+        let deps = dependency_graph(alg);
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        // The gated assignment depends (through the comparison) on the hash.
+        let assign = subset
+            .iter()
+            .copied()
+            .find(|&i| alg.instr(i).dst.map(|d| alg.value(d).base == "y").unwrap_or(false))
+            .unwrap();
+        let hash = subset
+            .iter()
+            .copied()
+            .find(|&i| matches!(alg.instr(i).op, IrOp::Call { .. }))
+            .unwrap();
+        let rd = real_deps(alg, &deps, &plumbing, assign);
+        assert!(rd.contains(&hash), "{rd:?}");
+    }
+
+    #[test]
+    fn extern_root_detected() {
+        let ir = frontend(
+            r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern list<bit[32] k>[16] t;
+                if (x in t) { y = 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        let alg = &ir.algorithms[0];
+        let gated = alg
+            .instr_ids()
+            .find(|&i| alg.instr(i).pred.is_some())
+            .unwrap();
+        let pred = alg.instr(gated).pred.unwrap();
+        assert_eq!(pred_extern_root(alg, pred).as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn negated_branch_shares_semantic_writer() {
+        let ir = frontend(
+            "pipeline[P]{a}; algorithm a { h = crc32_hash(x); if (h == 1) { y = 1; } else { y = 2; } }",
+        )
+        .unwrap();
+        let alg = &ir.algorithms[0];
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        let preds: Vec<ValueId> = alg
+            .instr_ids()
+            .filter_map(|i| alg.instr(i).pred)
+            .collect();
+        assert!(preds.len() >= 2);
+        let writers: BTreeSet<_> = preds
+            .iter()
+            .filter_map(|&p| semantic_pred_writer(alg, &plumbing, p))
+            .collect();
+        // Both branches root in the same hash-producing instruction.
+        assert_eq!(writers.len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-backend property tests: the native solver and Z3 consume the
+//! identical backend-agnostic model, so on random placement-shaped formulas
+//! they must agree on satisfiability, and every solution either backend
+//! produces must satisfy the model.
+
+#![cfg(feature = "z3-backend")]
+
+use lyra_solver::{Bx, Ix, Model};
+use lyra_synth::backend::{solve, Backend};
+use proptest::prelude::*;
+
+/// Placement-flavored random constraints over a small variable pool:
+/// implications between deployment booleans, exactly-one groups, capacity
+/// sums, and conditional integer bounds — the shapes `encode.rs` emits.
+#[derive(Debug, Clone)]
+enum Con {
+    Implies(usize, usize),
+    ExactlyOne(Vec<usize>),
+    CapacitySum { vars: Vec<usize>, weight: i64, cap: i64 },
+    CondBound { guard: usize, int: usize, min: i64 },
+    SplitSum { ints: Vec<usize>, total: i64 },
+}
+
+fn gen_con() -> impl Strategy<Value = Con> {
+    prop_oneof![
+        (0usize..8, 0usize..8).prop_map(|(a, b)| Con::Implies(a, b)),
+        prop::collection::vec(0usize..8, 1..4).prop_map(Con::ExactlyOne),
+        (prop::collection::vec(0usize..8, 1..5), 1i64..20, 0i64..60)
+            .prop_map(|(vars, weight, cap)| Con::CapacitySum { vars, weight, cap }),
+        (0usize..8, 0usize..4, 0i64..90)
+            .prop_map(|(guard, int, min)| Con::CondBound { guard, int, min }),
+        (prop::collection::vec(0usize..4, 1..4), 0i64..150)
+            .prop_map(|(ints, total)| Con::SplitSum { ints, total }),
+    ]
+}
+
+fn build(cons: &[Con]) -> Model {
+    let mut m = Model::new();
+    let bools: Vec<_> = (0..8).map(|i| m.bool_var(format!("f{i}"))).collect();
+    let ints: Vec<_> = (0..4).map(|i| m.int_var(format!("e{i}"), 0, 100)).collect();
+    for c in cons {
+        match c {
+            Con::Implies(a, b) => {
+                m.require(Bx::implies(Bx::var(bools[*a]), Bx::var(bools[*b])));
+            }
+            Con::ExactlyOne(vs) => {
+                let mut seen: Vec<usize> = vs.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                m.require(Bx::exactly_one(seen.iter().map(|&v| Bx::var(bools[v])).collect()));
+            }
+            Con::CapacitySum { vars, weight, cap } => {
+                let sum = Ix::sum(
+                    vars.iter().map(|&v| Ix::bool01(bools[v]).scale(*weight)).collect(),
+                );
+                m.require(sum.le(Ix::lit(*cap)));
+            }
+            Con::CondBound { guard, int, min } => {
+                m.require(Bx::implies(
+                    Bx::var(bools[*guard]),
+                    Ix::var(ints[*int]).ge(Ix::lit(*min)),
+                ));
+            }
+            Con::SplitSum { ints: idx, total } => {
+                let mut seen: Vec<usize> = idx.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                let sum = Ix::sum(seen.iter().map(|&i| Ix::var(ints[i])).collect());
+                m.require(sum.eq(Ix::lit((*total).min(100 * seen.len() as i64))));
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn native_and_z3_agree(cons in prop::collection::vec(gen_con(), 1..8)) {
+        let m = build(&cons);
+        let native = solve(&m, None, &Backend::Native);
+        let z3 = solve(&m, None, &Backend::Z3);
+        prop_assert_eq!(
+            native.is_sat(),
+            z3.is_sat(),
+            "backends disagree: native={:?} z3={:?}",
+            native.is_sat(),
+            z3.is_sat()
+        );
+        if let lyra_solver::Outcome::Sat(s) = &native {
+            prop_assert!(s.satisfies(&m), "native returned non-model");
+        }
+        if let lyra_solver::Outcome::Sat(s) = &z3 {
+            prop_assert!(s.satisfies(&m), "z3 returned non-model");
+        }
+    }
+
+    #[test]
+    fn minimization_agrees(cons in prop::collection::vec(gen_con(), 1..6)) {
+        let m = build(&cons);
+        // Objective: number of deployed booleans.
+        let obj = Ix::sum(
+            m.bool_decls().map(|(id, _)| Ix::bool01(id)).collect(),
+        );
+        let native = solve(&m, Some(&obj), &Backend::Native);
+        let z3 = solve(&m, Some(&obj), &Backend::Z3);
+        match (native, z3) {
+            (lyra_solver::Outcome::Sat(a), lyra_solver::Outcome::Sat(b)) => {
+                prop_assert_eq!(
+                    a.eval_ix(&obj),
+                    b.eval_ix(&obj),
+                    "optimal objective differs"
+                );
+            }
+            (lyra_solver::Outcome::Unsat, lyra_solver::Outcome::Unsat) => {}
+            (x, y) => prop_assert!(false, "outcome mismatch: {x:?} vs {y:?}"),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+#![warn(missing_docs)]
+//! # lyra-topo — network topology, scopes, and flow paths
+//!
+//! Models the *target network* a Lyra program compiles against (§4.3):
+//! switches with names, layers, and ASIC types; links; and the flow-path
+//! enumeration that deployment constraints are generated from. Includes
+//! generators for the paper's Figure 1 network, the §7 evaluation testbed
+//! (four Tofino ToRs, four Trident-4 Aggs, two Tofino Cores), and the
+//! fat-tree pods used in the Figure 10 scalability experiment.
+
+pub mod builders;
+pub mod parse;
+pub mod paths;
+pub mod scope;
+
+pub use builders::*;
+pub use parse::{parse_topology, print_topology, TopologyParseError};
+pub use paths::enumerate_paths;
+pub use scope::{resolve_scope, ResolvedScope, ScopeResolutionError};
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a switch within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+impl SwitchId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which layer of the DCN a switch sits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Top-of-rack.
+    ToR,
+    /// Aggregation.
+    Agg,
+    /// Core.
+    Core,
+}
+
+/// One switch: a name, its layer, and the ASIC model it runs (by model name;
+/// `lyra-chips` owns the resource descriptions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Switch {
+    /// Unique switch name (`ToR3`, `Agg1`, …).
+    pub name: String,
+    /// DCN layer.
+    pub layer: Layer,
+    /// ASIC model name (`tofino-32q`, `trident4`, `silicon-one`, …).
+    pub asic: String,
+}
+
+/// An undirected link between two switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: SwitchId,
+    /// Other endpoint.
+    pub b: SwitchId,
+}
+
+/// A data center network topology.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Switches.
+    pub switches: Vec<Switch>,
+    /// Links.
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a switch, returning its id. Panics on duplicate names.
+    pub fn add_switch(
+        &mut self,
+        name: impl Into<String>,
+        layer: Layer,
+        asic: impl Into<String>,
+    ) -> SwitchId {
+        let name = name.into();
+        assert!(self.find(&name).is_none(), "duplicate switch name `{name}`");
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(Switch { name, layer, asic: asic.into() });
+        id
+    }
+
+    /// Add an undirected link.
+    pub fn add_link(&mut self, a: SwitchId, b: SwitchId) {
+        assert!(a != b, "self links are not allowed");
+        self.links.push(Link { a, b });
+    }
+
+    /// Look up a switch id by name.
+    pub fn find(&self, name: &str) -> Option<SwitchId> {
+        self.switches
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SwitchId(i as u32))
+    }
+
+    /// Switch metadata.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.index()]
+    }
+
+    /// All switch names, in id order.
+    pub fn names(&self) -> Vec<&str> {
+        self.switches.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Neighbors of a switch.
+    pub fn neighbors(&self, id: SwitchId) -> Vec<SwitchId> {
+        let mut out = Vec::new();
+        for l in &self.links {
+            if l.a == id {
+                out.push(l.b);
+            } else if l.b == id {
+                out.push(l.a);
+            }
+        }
+        out
+    }
+
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// True if the topology has no switches.
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_find() {
+        let mut t = Topology::new();
+        let a = t.add_switch("ToR1", Layer::ToR, "tofino-32q");
+        let b = t.add_switch("Agg1", Layer::Agg, "trident4");
+        t.add_link(a, b);
+        assert_eq!(t.find("ToR1"), Some(a));
+        assert_eq!(t.find("nope"), None);
+        assert_eq!(t.neighbors(a), vec![b]);
+        assert_eq!(t.neighbors(b), vec![a]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.add_switch("S", Layer::ToR, "x");
+        t.add_switch("S", Layer::Agg, "y");
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_links_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_switch("S", Layer::ToR, "x");
+        t.add_link(a, a);
+    }
+}

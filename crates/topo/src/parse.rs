@@ -1,0 +1,154 @@
+//! A plain-text topology description format, for the `lyrac` CLI and for
+//! users who keep network descriptions in files:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! switch ToR1 tor  tofino-32q
+//! switch Agg1 agg  trident4
+//! switch Core1 core tomahawk
+//! link ToR1 Agg1
+//! link Agg1 Core1
+//! ```
+
+use crate::{Layer, SwitchId, Topology};
+
+/// Errors from parsing a topology document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TopologyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topology error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TopologyParseError {}
+
+/// Parse a topology document.
+pub fn parse_topology(src: &str) -> Result<Topology, TopologyParseError> {
+    let mut topo = Topology::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["switch", name, layer, asic] => {
+                let layer = match layer.to_ascii_lowercase().as_str() {
+                    "tor" => Layer::ToR,
+                    "agg" | "aggregation" => Layer::Agg,
+                    "core" => Layer::Core,
+                    other => {
+                        return Err(TopologyParseError {
+                            line: line_no,
+                            message: format!(
+                                "unknown layer `{other}` (expected tor, agg, or core)"
+                            ),
+                        })
+                    }
+                };
+                if topo.find(name).is_some() {
+                    return Err(TopologyParseError {
+                        line: line_no,
+                        message: format!("duplicate switch `{name}`"),
+                    });
+                }
+                topo.add_switch(*name, layer, *asic);
+            }
+            ["link", a, b] => {
+                let find = |n: &str| -> Result<SwitchId, TopologyParseError> {
+                    topo.find(n).ok_or_else(|| TopologyParseError {
+                        line: line_no,
+                        message: format!("link references undeclared switch `{n}`"),
+                    })
+                };
+                let (a, b) = (find(a)?, find(b)?);
+                if a == b {
+                    return Err(TopologyParseError {
+                        line: line_no,
+                        message: "self links are not allowed".into(),
+                    });
+                }
+                topo.add_link(a, b);
+            }
+            _ => {
+                return Err(TopologyParseError {
+                    line: line_no,
+                    message: format!(
+                        "expected `switch NAME LAYER ASIC` or `link A B`, found `{line}`"
+                    ),
+                })
+            }
+        }
+    }
+    if topo.is_empty() {
+        return Err(TopologyParseError { line: 0, message: "no switches declared".into() });
+    }
+    Ok(topo)
+}
+
+/// Render a topology back to the text format (round-trips through
+/// [`parse_topology`]).
+pub fn print_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    for s in &topo.switches {
+        let layer = match s.layer {
+            Layer::ToR => "tor",
+            Layer::Agg => "agg",
+            Layer::Core => "core",
+        };
+        out.push_str(&format!("switch {} {layer} {}\n", s.name, s.asic));
+    }
+    for l in &topo.links {
+        out.push_str(&format!(
+            "link {} {}\n",
+            topo.switch(l.a).name,
+            topo.switch(l.b).name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+        # a small pod
+        switch ToR1 tor tofino-32q
+        switch ToR2 tor silicon-one
+        switch Agg1 agg trident4
+        link ToR1 Agg1
+        link ToR2 Agg1
+    "#;
+
+    #[test]
+    fn parses_and_roundtrips() {
+        let t = parse_topology(DOC).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.links.len(), 2);
+        assert_eq!(t.switch(t.find("Agg1").unwrap()).layer, Layer::Agg);
+        let printed = print_topology(&t);
+        let t2 = parse_topology(&printed).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_topology("switch A tor x\nlink A B").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("undeclared"));
+        assert!(parse_topology("switch A spine x").is_err());
+        assert!(parse_topology("gibberish").is_err());
+        assert!(parse_topology("# only comments").is_err());
+        let dup = parse_topology("switch A tor x\nswitch A tor x").unwrap_err();
+        assert!(dup.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Flow-path enumeration (§4.3): "potential flow paths in each scope, such
+//! as in the Load Balancer scope there are four possible flow paths:
+//! Agg3 → ToR3, Agg3 → ToR4, Agg4 → ToR3, and Agg4 → ToR4."
+//!
+//! Paths are simple (no repeated switch) and restricted to an allowed switch
+//! set, which is how scopes "tailor" the network.
+
+use crate::{SwitchId, Topology};
+
+/// Enumerate all simple paths from any switch in `from` to any switch in
+/// `to`, visiting only switches in `allowed`. Paths are returned in
+/// deterministic order. `max_len` bounds the path length in hops to keep the
+/// enumeration tractable on dense topologies.
+pub fn enumerate_paths(
+    topo: &Topology,
+    from: &[SwitchId],
+    to: &[SwitchId],
+    allowed: &[SwitchId],
+    max_len: usize,
+) -> Vec<Vec<SwitchId>> {
+    let allowed_set: Vec<bool> = {
+        let mut v = vec![false; topo.len()];
+        for &s in allowed {
+            v[s.index()] = true;
+        }
+        v
+    };
+    let target: Vec<bool> = {
+        let mut v = vec![false; topo.len()];
+        for &s in to {
+            v[s.index()] = true;
+        }
+        v
+    };
+    let mut out = Vec::new();
+    for &start in from {
+        if !allowed_set[start.index()] {
+            continue;
+        }
+        let mut visited = vec![false; topo.len()];
+        visited[start.index()] = true;
+        let mut path = vec![start];
+        dfs(topo, &allowed_set, &target, &mut visited, &mut path, &mut out, max_len);
+    }
+    out
+}
+
+fn dfs(
+    topo: &Topology,
+    allowed: &[bool],
+    target: &[bool],
+    visited: &mut Vec<bool>,
+    path: &mut Vec<SwitchId>,
+    out: &mut Vec<Vec<SwitchId>>,
+    max_len: usize,
+) {
+    let cur = *path.last().unwrap();
+    if target[cur.index()] {
+        out.push(path.clone());
+        // Traffic leaves the scope at the first egress switch it reaches
+        // ("the load balancer ... could never take a path from ToR4 to
+        // Agg4"), so the path ends here.
+        return;
+    }
+    if path.len() > max_len {
+        return;
+    }
+    let mut neighbors = topo.neighbors(cur);
+    neighbors.sort();
+    for n in neighbors {
+        if allowed[n.index()] && !visited[n.index()] {
+            visited[n.index()] = true;
+            path.push(n);
+            dfs(topo, allowed, target, visited, path, out, max_len);
+            path.pop();
+            visited[n.index()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::figure1_network;
+
+    #[test]
+    fn figure1_lb_paths() {
+        // The paper: within {Agg3, Agg4, ToR3, ToR4}, flows Agg→ToR yield
+        // four direct paths.
+        let t = figure1_network();
+        let ids = |names: &[&str]| -> Vec<SwitchId> {
+            names.iter().map(|n| t.find(n).unwrap()).collect()
+        };
+        let from = ids(&["Agg3", "Agg4"]);
+        let to = ids(&["ToR3", "ToR4"]);
+        let allowed = ids(&["Agg3", "Agg4", "ToR3", "ToR4"]);
+        let paths = enumerate_paths(&t, &from, &to, &allowed, 1);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.len(), 2);
+            assert!(matches!(t.switch(p[0]).layer, crate::Layer::Agg));
+            assert!(matches!(t.switch(p[1]).layer, crate::Layer::ToR));
+        }
+    }
+
+    #[test]
+    fn no_path_outside_allowed_set() {
+        let t = figure1_network();
+        let from = vec![t.find("Agg3").unwrap()];
+        let to = vec![t.find("ToR1").unwrap()];
+        // ToR1 is reachable only through the core, which is not allowed.
+        let allowed = vec![t.find("Agg3").unwrap(), t.find("ToR1").unwrap()];
+        let paths = enumerate_paths(&t, &from, &to, &allowed, 5);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn single_switch_path() {
+        let t = figure1_network();
+        let s = t.find("ToR3").unwrap();
+        let paths = enumerate_paths(&t, &[s], &[s], &[s], 1);
+        assert_eq!(paths, vec![vec![s]]);
+    }
+
+    #[test]
+    fn longer_paths_respect_max_len() {
+        let t = figure1_network();
+        let from = vec![t.find("ToR3").unwrap()];
+        let to = vec![t.find("ToR4").unwrap()];
+        let allowed: Vec<SwitchId> = (0..t.len() as u32).map(SwitchId).collect();
+        // ToR3 → Agg3/Agg4 → ToR4 (2 hops).
+        let paths = enumerate_paths(&t, &from, &to, &allowed, 2);
+        assert!(paths.iter().any(|p| p.len() == 3));
+        for p in &paths {
+            assert!(p.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Scope resolution: bind a parsed [`ScopeSpec`](lyra_lang::ScopeSpec) to a
+//! concrete [`Topology`], producing the candidate switch set and the flow
+//! paths the back-end encodes constraints over (§4.3 "Deployment constraints
+//! generation").
+
+use lyra_lang::{DeployMode, ScopeSpec};
+
+use crate::paths::enumerate_paths;
+use crate::{SwitchId, Topology};
+
+/// A scope bound to a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedScope {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Candidate switches (region ∩ topology), in topology order.
+    pub switches: Vec<SwitchId>,
+    /// Deployment mode.
+    pub deploy: DeployMode,
+    /// Flow paths through the scope. For PER-SW scopes each switch is its
+    /// own single-hop path; for MULTI-SW scopes these follow the `direct`
+    /// specification.
+    pub paths: Vec<Vec<SwitchId>>,
+}
+
+/// Errors binding a scope to a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeResolutionError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScopeResolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scope resolution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ScopeResolutionError {}
+
+/// Maximum path length (hops) enumerated within a scope.
+const MAX_PATH_LEN: usize = 8;
+
+/// Bind `spec` to `topo`.
+pub fn resolve_scope(
+    topo: &Topology,
+    spec: &ScopeSpec,
+) -> Result<ResolvedScope, ScopeResolutionError> {
+    let names: Vec<&str> = topo.names();
+    let matched = spec.resolve(names.iter().copied());
+    if matched.is_empty() {
+        return Err(ScopeResolutionError {
+            message: format!(
+                "scope for `{}` matches no switch in the topology",
+                spec.algorithm
+            ),
+        });
+    }
+    let switches: Vec<SwitchId> = matched.iter().map(|n| topo.find(n).unwrap()).collect();
+    let paths = match spec.deploy {
+        DeployMode::PerSwitch => switches.iter().map(|&s| vec![s]).collect(),
+        DeployMode::MultiSwitch => {
+            let direct = spec.direct.as_ref().ok_or_else(|| ScopeResolutionError {
+                message: format!("MULTI-SW scope for `{}` lacks a direction", spec.algorithm),
+            })?;
+            let lookup = |ns: &[String]| -> Result<Vec<SwitchId>, ScopeResolutionError> {
+                ns.iter()
+                    .map(|n| {
+                        topo.find(n).ok_or_else(|| ScopeResolutionError {
+                            message: format!("direction names unknown switch `{n}`"),
+                        })
+                    })
+                    .collect()
+            };
+            let from = lookup(&direct.from)?;
+            let to = lookup(&direct.to)?;
+            for s in from.iter().chain(&to) {
+                if !switches.contains(s) {
+                    return Err(ScopeResolutionError {
+                        message: format!(
+                            "direction switch `{}` is outside the scope region of `{}`",
+                            topo.switch(*s).name,
+                            spec.algorithm
+                        ),
+                    });
+                }
+            }
+            let paths = enumerate_paths(topo, &from, &to, &switches, MAX_PATH_LEN);
+            if paths.is_empty() {
+                return Err(ScopeResolutionError {
+                    message: format!(
+                        "no flow path exists through the scope of `{}`",
+                        spec.algorithm
+                    ),
+                });
+            }
+            paths
+        }
+    };
+    Ok(ResolvedScope {
+        algorithm: spec.algorithm.clone(),
+        switches,
+        deploy: spec.deploy,
+        paths,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::figure1_network;
+    use lyra_lang::parse_scopes;
+
+    #[test]
+    fn figure7_scopes_resolve() {
+        let topo = figure1_network();
+        let scopes = parse_scopes(
+            r#"
+            int_in: [ ToR* | PER-SW | - ]
+            int_transit: [ Agg* | PER-SW | - ]
+            int_out: [ ToR* | PER-SW | - ]
+            loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]
+            "#,
+        )
+        .unwrap();
+        let int_in = resolve_scope(&topo, &scopes[0]).unwrap();
+        assert_eq!(int_in.switches.len(), 4);
+        assert_eq!(int_in.paths.len(), 4); // one per ToR
+
+        let lb = resolve_scope(&topo, &scopes[3]).unwrap();
+        assert_eq!(lb.switches.len(), 4);
+        assert_eq!(lb.paths.len(), 4); // the paper's four Agg→ToR paths
+    }
+
+    #[test]
+    fn empty_region_is_error() {
+        let topo = figure1_network();
+        let scopes = parse_scopes("x: [ Spine* | PER-SW | - ]").unwrap();
+        assert!(resolve_scope(&topo, &scopes[0]).is_err());
+    }
+
+    #[test]
+    fn direction_outside_region_is_error() {
+        let topo = figure1_network();
+        let scopes =
+            parse_scopes("lb: [ Agg3,ToR3 | MULTI-SW | (Agg3->ToR4) ]").unwrap();
+        let err = resolve_scope(&topo, &scopes[0]).unwrap_err();
+        assert!(err.message.contains("outside the scope region"));
+    }
+
+    #[test]
+    fn unknown_direction_switch_is_error() {
+        let topo = figure1_network();
+        let scopes = parse_scopes("lb: [ Agg* | MULTI-SW | (Agg3->Banana) ]").unwrap();
+        assert!(resolve_scope(&topo, &scopes[0]).is_err());
+    }
+
+    #[test]
+    fn disconnected_direction_is_error() {
+        let topo = figure1_network();
+        // Agg1 and ToR3 are in different pods; with only those two switches
+        // allowed there is no path.
+        let scopes = parse_scopes("lb: [ Agg1,ToR3 | MULTI-SW | (Agg1->ToR3) ]").unwrap();
+        let err = resolve_scope(&topo, &scopes[0]).unwrap_err();
+        assert!(err.message.contains("no flow path"));
+    }
+}

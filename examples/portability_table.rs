@@ -1,0 +1,76 @@
+//! Regenerate the Figure 9 portability table: compile every corpus program
+//! to both a P4 target (Tofino 32Q) and an NPL target (Trident-4), measure
+//! lines of code, tables, actions, registers, and compile time, and print
+//! them next to the paper's published numbers.
+//!
+//! Run with: `cargo run --release -p lyra-apps --example portability_table`
+
+use lyra::{Compiler, CompileRequest};
+use lyra_apps::{figure9_corpus, paper_baselines};
+use lyra_topo::{Layer, Topology};
+
+fn main() {
+    let baselines = paper_baselines();
+    println!(
+        "{:<18} | {:>9} | {:>13} | {:>22} | {:>18}",
+        "program", "Lyra LoC", "manual (P4)", "ours P4 (t/a/r, time)", "ours NPL (t/r)"
+    );
+    println!("{}", "-".repeat(95));
+    for entry in figure9_corpus() {
+        let row = baselines.iter().find(|r| r.program == entry.name).unwrap();
+        let loc = lyra_lang::count_loc(&entry.source);
+
+        let mut cells = Vec::new();
+        for asic in ["tofino-32q", "trident4"] {
+            let mut topo = Topology::new();
+            topo.add_switch("ToR1", Layer::ToR, asic);
+            let alg_names: Vec<&str> = entry
+                .scopes
+                .lines()
+                .filter_map(|l| l.split(':').next())
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            let scopes: String = alg_names
+                .iter()
+                .map(|a| format!("{a}: [ ToR1 | PER-SW | - ]"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let t = std::time::Instant::now();
+            let out = Compiler::new()
+                .compile(&CompileRequest {
+                    program: &entry.source,
+                    scopes: &scopes,
+                    topology: topo,
+                })
+                .unwrap_or_else(|e| panic!("{} on {asic}: {e}", entry.name));
+            let elapsed = t.elapsed();
+            let summary = &out.validate_all().expect("validates")[0].1;
+            cells.push((summary.tables, summary.actions, summary.registers, elapsed));
+        }
+        let (p4t, p4a, p4r, p4time) = cells[0];
+        let (nplt, _, nplr, _) = cells[1];
+        println!(
+            "{:<18} | {loc:>4} ({:>3}) | {:>3}t {:>3}a {:>2}r | {p4t:>3}t {p4a:>3}a {p4r:>2}r {:>8.2?} | {nplt:>4}t {nplr:>3}r",
+            entry.name,
+            row.lyra_loc,
+            row.manual_tables,
+            row.manual_actions,
+            row.manual_registers,
+            p4time,
+        );
+        // Shape checks mirroring §7.1's claims.
+        assert!(
+            (loc as u64) < row.manual_loc,
+            "{}: Lyra must be shorter than the manual program",
+            entry.name
+        );
+        assert!(
+            p4t <= row.manual_tables,
+            "{}: Lyra-generated P4 must not use more tables than the manual program ({p4t} > {})",
+            entry.name,
+            row.manual_tables
+        );
+    }
+    println!("\nshape checks passed: Lyra shorter than manual, tables ≤ manual everywhere");
+}

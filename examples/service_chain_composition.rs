@@ -1,0 +1,52 @@
+//! The §7.3 composition case study: a five-algorithm service chain
+//! (classifier → firewall → gateway → load balancer → scheduler) compiled
+//! while the scope shrinks from the whole testbed to a single switch.
+//! Smaller scopes are harder — the whole chain must be compressed into one
+//! ASIC's resources. The paper reports under five seconds per compile.
+//!
+//! Run with: `cargo run --release -p lyra-apps --example service_chain_composition`
+
+use lyra::{Compiler, CompileRequest};
+use lyra_apps::programs;
+use lyra_topo::evaluation_testbed;
+
+fn main() {
+    let program = programs::service_chain();
+    let algs = ["classifier", "firewall", "gateway", "chain_lb", "scheduler"];
+    // From all eight programmable edge switches down to one ToR.
+    let regions = ["ToR*,Agg*", "ToR*", "ToR1,ToR2", "ToR1"];
+    for region in regions {
+        let scopes: String = algs
+            .iter()
+            .map(|a| format!("{a}: [ {region} | PER-SW | - ]"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let t = std::time::Instant::now();
+        let out = Compiler::new()
+            .compile(&CompileRequest {
+                program: &program,
+                scopes: &scopes,
+                topology: evaluation_testbed(),
+            })
+            .unwrap_or_else(|e| panic!("composition in region `{region}` failed: {e}"));
+        let elapsed = t.elapsed();
+        println!(
+            "region {region:<12} → {} switch(es), compiled in {elapsed:?} (paper target: <5 s)",
+            out.placement.used_switches()
+        );
+        // §7.3: per-algorithm resources are prefix-isolated — every table
+        // name begins with its algorithm's name, so co-resident programs
+        // cannot collide.
+        for plan in out.placement.switches.values() {
+            for table in &plan.tables {
+                assert!(
+                    algs.iter().any(|a| table.name.starts_with(a)),
+                    "table {} lacks its algorithm prefix",
+                    table.name
+                );
+            }
+        }
+        assert!(elapsed.as_secs() < 5, "composition exceeded the paper's 5 s target");
+    }
+    println!("\nall compositions compiled; per-algorithm table prefixes verified");
+}

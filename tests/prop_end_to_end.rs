@@ -1,0 +1,165 @@
+//! Property tests across the full pipeline: randomly generated Lyra
+//! programs must either compile to valid code or fail with a clean error,
+//! and every successful compilation must uphold the placement invariants.
+
+use lyra::{Compiler, CompileRequest};
+use lyra_topo::{Layer, Topology};
+use proptest::prelude::*;
+
+/// A random but well-formed Lyra algorithm body.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    Assign { dst: usize, a: usize, b: usize, op: usize },
+    If { cond_var: usize, cmp_const: u8, then_assign: (usize, usize), has_else: bool },
+    TableCheck { table: usize, key: usize, assign: (usize, usize) },
+    GlobalBump { global: usize, idx: usize },
+    ActionCall { which: usize },
+}
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        (0usize..6, 0usize..6, 0usize..6, 0usize..6)
+            .prop_map(|(dst, a, b, op)| GenStmt::Assign { dst, a, b, op }),
+        (0usize..6, any::<u8>(), (0usize..6, 0usize..6), any::<bool>()).prop_map(
+            |(cond_var, cmp_const, then_assign, has_else)| GenStmt::If {
+                cond_var,
+                cmp_const,
+                then_assign,
+                has_else
+            }
+        ),
+        (0usize..2, 0usize..6, (0usize..6, 0usize..6))
+            .prop_map(|(table, key, assign)| GenStmt::TableCheck { table, key, assign }),
+        (0usize..2, 0usize..6).prop_map(|(global, idx)| GenStmt::GlobalBump { global, idx }),
+        (0usize..3).prop_map(|which| GenStmt::ActionCall { which }),
+    ]
+}
+
+fn render(stmts: &[GenStmt]) -> String {
+    let var = |i: usize| format!("v{i}");
+    let ops = ["+", "-", "&", "|", "^", "<<"];
+    let actions = ["drop();", "copy_to_cpu();", "mirror(1);"];
+    let mut body = String::new();
+    for s in stmts {
+        match s {
+            GenStmt::Assign { dst, a, b, op } => {
+                body.push_str(&format!(
+                    "    {} = {} {} {};\n",
+                    var(*dst),
+                    var(*a),
+                    ops[*op % ops.len()],
+                    var(*b)
+                ));
+            }
+            GenStmt::If { cond_var, cmp_const, then_assign, has_else } => {
+                body.push_str(&format!("    if ({} == {cmp_const}) {{\n", var(*cond_var)));
+                body.push_str(&format!(
+                    "        {} = {} + 1;\n    }}\n",
+                    var(then_assign.0),
+                    var(then_assign.1)
+                ));
+                if *has_else {
+                    body.push_str(&format!(
+                        "    else {{\n        {} = 0;\n    }}\n",
+                        var(then_assign.0)
+                    ));
+                }
+            }
+            GenStmt::TableCheck { table, key, assign } => {
+                body.push_str(&format!("    if ({} in t{table}) {{\n", var(*key)));
+                body.push_str(&format!(
+                    "        {} = t{table}[{}];\n    }}\n",
+                    var(assign.0),
+                    var(*key)
+                ));
+            }
+            GenStmt::GlobalBump { global, idx } => {
+                body.push_str(&format!(
+                    "    g{global}[{}] = g{global}[{}] + 1;\n",
+                    var(*idx),
+                    var(*idx)
+                ));
+            }
+            GenStmt::ActionCall { which } => {
+                body.push_str(&format!("    {}\n", actions[*which % actions.len()]));
+            }
+        }
+    }
+    format!(
+        r#"
+pipeline[GEN]{{generated}};
+algorithm generated {{
+    extern dict<bit[32] k, bit[32] v>[256] t0;
+    extern dict<bit[32] k, bit[32] v>[256] t1;
+    global bit[32][64] g0;
+    global bit[32][64] g1;
+{body}
+}}
+"#
+    )
+}
+
+fn single(asic: &str) -> Topology {
+    let mut t = Topology::new();
+    t.add_switch("S1", Layer::ToR, asic);
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_compile_and_validate(stmts in prop::collection::vec(gen_stmt(), 1..12)) {
+        let program = render(&stmts);
+        for asic in ["tofino-32q", "trident4", "silicon-one"] {
+            let result = Compiler::new().native_backend().compile(&CompileRequest {
+                program: &program,
+                scopes: "generated: [ S1 | PER-SW | - ]",
+                topology: single(asic),
+            });
+            match result {
+                Ok(out) => {
+                    // Generated code must pass structural validation.
+                    let v = out.validate_all();
+                    prop_assert!(v.is_ok(), "invalid code on {asic}: {:?}\nprogram:\n{program}\ncode:\n{}", v.err().map(|e| e.to_string()), out.artifacts[0].code);
+                    // Placement covers the single switch.
+                    prop_assert!(out.placement.used_switches() <= 1);
+                }
+                Err(e) => {
+                    // Clean failures are acceptable (resource limits), panics
+                    // are not — reaching here means no panic occurred.
+                    let msg = e.to_string();
+                    prop_assert!(!msg.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_random_programs(stmts in prop::collection::vec(gen_stmt(), 1..8)) {
+        let program = render(&stmts);
+        let native = Compiler::new().native_backend().compile(&CompileRequest {
+            program: &program,
+            scopes: "generated: [ S1 | PER-SW | - ]",
+            topology: single("tofino-32q"),
+        });
+        #[cfg(feature = "z3-backend")]
+        {
+            let z3 = Compiler::new().compile(&CompileRequest {
+                program: &program,
+                scopes: "generated: [ S1 | PER-SW | - ]",
+                topology: single("tofino-32q"),
+            });
+            prop_assert_eq!(
+                native.is_ok(),
+                z3.is_ok(),
+                "backends disagree on feasibility for:\n{}",
+                program
+            );
+        }
+        #[cfg(not(feature = "z3-backend"))]
+        {
+            let _ = native;
+        }
+    }
+}
