@@ -96,8 +96,7 @@ mod tests {
         for entry in figure9_corpus() {
             let prog = parse_program(&entry.source)
                 .unwrap_or_else(|e| panic!("{} fails to parse: {e}", entry.name));
-            check_program(&prog)
-                .unwrap_or_else(|e| panic!("{} fails to check: {e}", entry.name));
+            check_program(&prog).unwrap_or_else(|e| panic!("{} fails to check: {e}", entry.name));
             lyra_lang::parse_scopes(&entry.scopes)
                 .unwrap_or_else(|e| panic!("{} has bad scopes: {e}", entry.name));
         }

@@ -18,27 +18,135 @@ type TableSpec = (&'static str, u64, u32, u32);
 
 const FEATURES: &[(&str, &[TableSpec])] = &[
     // (algorithm, [(table, entries, key_width_field_count, value_width)])
-    ("validate_outer", &[("port_vlan_mapping", 4096, 1, 16), ("spanning_tree", 1024, 1, 8), ("port_properties", 256, 1, 16)]),
-    ("ingress_port_map", &[("port_mapping", 256, 1, 16), ("lag_select", 512, 1, 16)]),
-    ("ingress_l2", &[("smac_table", 16384, 1, 16), ("dmac_table", 16384, 1, 16), ("learn_notify", 1024, 1, 8)]),
-    ("ingress_l3", &[("ipv4_host", 16384, 1, 16), ("ipv4_lpm", 8192, 1, 16), ("urpf_check", 4096, 1, 8)]),
-    ("ingress_ipv6", &[("ipv6_host", 8192, 2, 16), ("ipv6_lpm", 4096, 2, 16), ("ipv6_urpf", 2048, 2, 8)]),
-    ("tunnel_decap", &[("tunnel_lookup", 4096, 1, 16), ("vni_mapping", 4096, 1, 16), ("inner_validate", 512, 1, 8)]),
-    ("tunnel_encap", &[("tunnel_rewrite", 4096, 1, 16), ("tunnel_dst", 2048, 1, 32), ("tunnel_smac", 512, 1, 48)]),
-    ("ingress_acl", &[("mac_acl", 2048, 1, 8), ("ip_acl", 4096, 2, 8), ("racl", 2048, 1, 8), ("system_acl", 512, 1, 8)]),
-    ("qos_map", &[("dscp_map", 256, 1, 8), ("tc_map", 64, 1, 8), ("cos_map", 64, 1, 8)]),
-    ("meter_police", &[("meter_index", 1024, 1, 16), ("meter_action", 256, 1, 8)]),
-    ("nat_ingress", &[("nat_src", 4096, 1, 32), ("nat_dst", 4096, 1, 32), ("nat_twice", 1024, 2, 32)]),
-    ("ecmp_select", &[("ecmp_group", 1024, 1, 16), ("ecmp_member", 8192, 1, 16)]),
-    ("wcmp_select", &[("wcmp_group", 512, 1, 16), ("wcmp_weight", 2048, 1, 16)]),
-    ("nexthop_resolve", &[("nexthop", 16384, 1, 32), ("rewrite_mac", 8192, 1, 48)]),
-    ("multicast", &[("mcast_group", 1024, 1, 16), ("rid_table", 1024, 1, 16), ("mcast_prune", 512, 1, 8)]),
+    (
+        "validate_outer",
+        &[
+            ("port_vlan_mapping", 4096, 1, 16),
+            ("spanning_tree", 1024, 1, 8),
+            ("port_properties", 256, 1, 16),
+        ],
+    ),
+    (
+        "ingress_port_map",
+        &[("port_mapping", 256, 1, 16), ("lag_select", 512, 1, 16)],
+    ),
+    (
+        "ingress_l2",
+        &[
+            ("smac_table", 16384, 1, 16),
+            ("dmac_table", 16384, 1, 16),
+            ("learn_notify", 1024, 1, 8),
+        ],
+    ),
+    (
+        "ingress_l3",
+        &[
+            ("ipv4_host", 16384, 1, 16),
+            ("ipv4_lpm", 8192, 1, 16),
+            ("urpf_check", 4096, 1, 8),
+        ],
+    ),
+    (
+        "ingress_ipv6",
+        &[
+            ("ipv6_host", 8192, 2, 16),
+            ("ipv6_lpm", 4096, 2, 16),
+            ("ipv6_urpf", 2048, 2, 8),
+        ],
+    ),
+    (
+        "tunnel_decap",
+        &[
+            ("tunnel_lookup", 4096, 1, 16),
+            ("vni_mapping", 4096, 1, 16),
+            ("inner_validate", 512, 1, 8),
+        ],
+    ),
+    (
+        "tunnel_encap",
+        &[
+            ("tunnel_rewrite", 4096, 1, 16),
+            ("tunnel_dst", 2048, 1, 32),
+            ("tunnel_smac", 512, 1, 48),
+        ],
+    ),
+    (
+        "ingress_acl",
+        &[
+            ("mac_acl", 2048, 1, 8),
+            ("ip_acl", 4096, 2, 8),
+            ("racl", 2048, 1, 8),
+            ("system_acl", 512, 1, 8),
+        ],
+    ),
+    (
+        "qos_map",
+        &[
+            ("dscp_map", 256, 1, 8),
+            ("tc_map", 64, 1, 8),
+            ("cos_map", 64, 1, 8),
+        ],
+    ),
+    (
+        "meter_police",
+        &[("meter_index", 1024, 1, 16), ("meter_action", 256, 1, 8)],
+    ),
+    (
+        "nat_ingress",
+        &[
+            ("nat_src", 4096, 1, 32),
+            ("nat_dst", 4096, 1, 32),
+            ("nat_twice", 1024, 2, 32),
+        ],
+    ),
+    (
+        "ecmp_select",
+        &[("ecmp_group", 1024, 1, 16), ("ecmp_member", 8192, 1, 16)],
+    ),
+    (
+        "wcmp_select",
+        &[("wcmp_group", 512, 1, 16), ("wcmp_weight", 2048, 1, 16)],
+    ),
+    (
+        "nexthop_resolve",
+        &[("nexthop", 16384, 1, 32), ("rewrite_mac", 8192, 1, 48)],
+    ),
+    (
+        "multicast",
+        &[
+            ("mcast_group", 1024, 1, 16),
+            ("rid_table", 1024, 1, 16),
+            ("mcast_prune", 512, 1, 8),
+        ],
+    ),
     ("storm_control", &[("storm_policy", 512, 1, 8)]),
-    ("sflow_sample", &[("sflow_session", 128, 1, 16), ("sflow_rate", 128, 1, 32)]),
+    (
+        "sflow_sample",
+        &[("sflow_session", 128, 1, 16), ("sflow_rate", 128, 1, 32)],
+    ),
     ("int_watch", &[("int_watchlist", 1024, 1, 8)]),
-    ("egress_vlan", &[("egress_vlan_xlate", 4096, 1, 16), ("vlan_decap", 256, 1, 8)]),
-    ("egress_acl", &[("egress_ip_acl", 2048, 2, 8), ("egress_mac_acl", 1024, 1, 8)]),
-    ("egress_rewrite", &[("smac_rewrite", 1024, 1, 48), ("mtu_check", 256, 1, 16), ("ttl_rewrite", 64, 1, 8)]),
+    (
+        "egress_vlan",
+        &[
+            ("egress_vlan_xlate", 4096, 1, 16),
+            ("vlan_decap", 256, 1, 8),
+        ],
+    ),
+    (
+        "egress_acl",
+        &[
+            ("egress_ip_acl", 2048, 2, 8),
+            ("egress_mac_acl", 1024, 1, 8),
+        ],
+    ),
+    (
+        "egress_rewrite",
+        &[
+            ("smac_rewrite", 1024, 1, 48),
+            ("mtu_check", 256, 1, 16),
+            ("ttl_rewrite", 64, 1, 8),
+        ],
+    ),
     ("mirror_session", &[("mirror_table", 256, 1, 16)]),
 ];
 
@@ -215,7 +323,11 @@ mod tests {
         lyra_lang::check_program(&prog).expect("switch checks");
         // Dozens of tables across the feature modules.
         let info = lyra_lang::check_program(&prog).unwrap();
-        assert!(info.externs.len() >= 25, "only {} tables", info.externs.len());
+        assert!(
+            info.externs.len() >= 25,
+            "only {} tables",
+            info.externs.len()
+        );
         assert_eq!(prog.pipelines.len(), 1);
         assert_eq!(prog.pipelines[0].algorithms.len(), super::FEATURES.len());
     }

@@ -11,9 +11,9 @@
 //!  * the single-switch scope really does host all five algorithms;
 //!  * per-algorithm resources are prefix-isolated (no shared tables).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::programs;
+use lyra_bench::Harness;
 use lyra_topo::evaluation_testbed;
 
 const ALGS: [&str; 5] = ["classifier", "firewall", "gateway", "chain_lb", "scheduler"];
@@ -43,10 +43,17 @@ fn print_study() {
             "scope {region:<12}: {elapsed:>8.1?}, {} switch(es) programmed",
             out.placement.used_switches()
         );
-        assert!(elapsed.as_secs() < 5, "compile exceeded the paper's 5 s bound");
+        assert!(
+            elapsed.as_secs() < 5,
+            "compile exceeded the paper's 5 s bound"
+        );
         if region == "ToR1" {
             let plan = out.placement.switches.get("ToR1").expect("ToR1 programmed");
-            assert_eq!(plan.instrs.len(), ALGS.len(), "all five algorithms on one switch");
+            assert_eq!(
+                plan.instrs.len(),
+                ALGS.len(),
+                "all five algorithms on one switch"
+            );
             for t in &plan.tables {
                 assert!(
                     ALGS.iter().any(|a| t.name.starts_with(a)),
@@ -58,27 +65,20 @@ fn print_study() {
     }
 }
 
-fn bench_comp(c: &mut Criterion) {
+fn main() {
     print_study();
     let program = programs::service_chain();
-    let mut group = c.benchmark_group("composition");
-    group.sample_size(10);
+    let harness = Harness::new().samples(10);
     for region in ["ToR*,Agg*", "ToR1"] {
         let scopes = scopes_for(region);
-        group.bench_function(format!("scope_{region}"), |b| {
-            b.iter(|| {
-                Compiler::new()
-                    .compile(&CompileRequest {
-                        program: &program,
-                        scopes: &scopes,
-                        topology: evaluation_testbed(),
-                    })
-                    .unwrap()
-            })
+        harness.bench(&format!("composition/scope_{region}"), || {
+            Compiler::new()
+                .compile(&CompileRequest {
+                    program: &program,
+                    scopes: &scopes,
+                    topology: evaluation_testbed(),
+                })
+                .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_comp);
-criterion_main!(benches);

@@ -13,13 +13,12 @@
 //!    about 3 M);
 //!  * the split produces carried hit/miss bridge fields.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::programs;
+use lyra_bench::Harness;
 use lyra_topo::figure1_network;
 
-const SCOPES: &str =
-    "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+const SCOPES: &str = "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
 
 fn run_case(conn_entries: u64) -> (std::time::Duration, usize, bool) {
     let program = programs::load_balancer(conn_entries);
@@ -52,35 +51,38 @@ fn print_study() {
         let (elapsed, holders, bridged) = run_case(entries);
         println!(
             "ConnTable {entries:>9}: {elapsed:>8.1?}, table on {holders} switch(es){}",
-            if bridged { ", hit/miss bridged between switches" } else { "" }
+            if bridged {
+                ", hit/miss bridged between switches"
+            } else {
+                ""
+            }
         );
-        assert!(elapsed.as_secs() < 10, "recompile exceeded the paper's 10 s bound");
+        assert!(
+            elapsed.as_secs() < 10,
+            "recompile exceeded the paper's 10 s bound"
+        );
     }
     let (_, holders_4m, bridged_4m) = run_case(4_000_000);
     assert!(holders_4m >= 2, "4M entries must split across switches");
-    assert!(bridged_4m, "a split ConnTable must bridge hit/miss information");
+    assert!(
+        bridged_4m,
+        "a split ConnTable must bridge hit/miss information"
+    );
 }
 
-fn bench_ext(c: &mut Criterion) {
+fn main() {
     print_study();
-    let mut group = c.benchmark_group("ext_conntable");
-    group.sample_size(10);
+    let harness = Harness::new().samples(10);
     for entries in [1_000_000u64, 2_500_000, 4_000_000] {
         let program = programs::load_balancer(entries);
-        group.bench_function(format!("conn_{entries}"), |b| {
-            b.iter(|| {
-                Compiler::new()
-                    .compile(&CompileRequest {
-                        program: &program,
-                        scopes: SCOPES,
-                        topology: figure1_network(),
-                    })
-                    .unwrap()
-            })
+        harness.bench(&format!("ext_conntable/conn_{entries}"), || {
+            Compiler::new()
+                .compile(&CompileRequest {
+                    program: &program,
+                    scopes: SCOPES,
+                    topology: figure1_network(),
+                })
+                .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ext);
-criterion_main!(benches);

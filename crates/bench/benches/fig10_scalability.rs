@@ -12,9 +12,9 @@
 //!    synthesis run;
 //!  * NPL/Trident-4 compiles faster than P4/Tofino at the same k.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::programs;
+use lyra_bench::Harness;
 use lyra_topo::{fat_tree_pod, Topology};
 use std::time::{Duration, Instant};
 
@@ -26,9 +26,21 @@ struct Case {
 
 fn cases() -> Vec<Case> {
     vec![
-        Case { name: "LB(MULTI-SW)", program: programs::load_balancer(1_000_000), multi: true },
-        Case { name: "NetCache(PER-SW)", program: programs::netcache(), multi: false },
-        Case { name: "NetCache(MULTI-SW)", program: programs::netcache(), multi: true },
+        Case {
+            name: "LB(MULTI-SW)",
+            program: programs::load_balancer(1_000_000),
+            multi: true,
+        },
+        Case {
+            name: "NetCache(PER-SW)",
+            program: programs::netcache(),
+            multi: false,
+        },
+        Case {
+            name: "NetCache(MULTI-SW)",
+            program: programs::netcache(),
+            multi: true,
+        },
     ]
 }
 
@@ -45,7 +57,11 @@ fn scopes_for(k: usize, program: &str, multi: bool) -> String {
     if multi {
         let aggs: Vec<String> = (1..=k / 2).map(|i| format!("Agg{i}")).collect();
         let tors: Vec<String> = (1..=k / 2).map(|i| format!("ToR{i}")).collect();
-        format!("{alg}: [ ToR*,Agg* | MULTI-SW | ({}->{}) ]", aggs.join(","), tors.join(","))
+        format!(
+            "{alg}: [ ToR*,Agg* | MULTI-SW | ({}->{}) ]",
+            aggs.join(","),
+            tors.join(",")
+        )
     } else {
         format!("{alg}: [ ToR*,Agg* | PER-SW | - ]")
     }
@@ -54,7 +70,11 @@ fn scopes_for(k: usize, program: &str, multi: bool) -> String {
 fn compile_once(program: &str, scopes: &str, topo: Topology) -> Duration {
     let t = Instant::now();
     Compiler::new()
-        .compile(&CompileRequest { program, scopes, topology: topo })
+        .compile(&CompileRequest {
+            program,
+            scopes,
+            topology: topo,
+        })
         .expect("fig10 workload compiles");
     t.elapsed()
 }
@@ -62,9 +82,10 @@ fn compile_once(program: &str, scopes: &str, topo: Topology) -> Duration {
 fn print_series() {
     println!("\n=== Figure 10 (scalability): compile time vs pod size ===");
     let ks = [4usize, 8, 16, 32];
-    for (asic_tor, asic_agg, label) in
-        [("tofino-32q", "tofino-32q", "Tofino/P4"), ("trident4", "trident4", "Trident-4/NPL")]
-    {
+    for (asic_tor, asic_agg, label) in [
+        ("tofino-32q", "tofino-32q", "Tofino/P4"),
+        ("trident4", "trident4", "Trident-4/NPL"),
+    ] {
         println!("--- {label} ---");
         let mut rows: Vec<(String, Vec<Duration>)> = Vec::new();
         for case in cases() {
@@ -115,34 +136,25 @@ fn print_series() {
         &scopes_for(k, &lb.program, true),
         fat_tree_pod(k, "trident4", "trident4"),
     );
-    println!(
-        "\nk=32 LB(MULTI-SW): P4 {p4:?} vs NPL {npl:?} (paper: NPL ≈ 2× faster)"
-    );
+    println!("\nk=32 LB(MULTI-SW): P4 {p4:?} vs NPL {npl:?} (paper: NPL ≈ 2× faster)");
 }
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     print_series();
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10);
+    let harness = Harness::new().samples(10);
     for case in cases() {
         for &k in &[4usize, 16] {
             let topo = fat_tree_pod(k, "tofino-32q", "trident4");
             let scopes = scopes_for(k, &case.program, case.multi);
-            group.bench_function(format!("{}@k{k}", case.name), |b| {
-                b.iter(|| {
-                    Compiler::new()
-                        .compile(&CompileRequest {
-                            program: &case.program,
-                            scopes: &scopes,
-                            topology: topo.clone(),
-                        })
-                        .unwrap()
-                })
+            harness.bench(&format!("fig10/{}@k{k}", case.name), || {
+                Compiler::new()
+                    .compile(&CompileRequest {
+                        program: &case.program,
+                        scopes: &scopes,
+                        topology: topo.clone(),
+                    })
+                    .unwrap()
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

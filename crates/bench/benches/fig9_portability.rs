@@ -11,9 +11,9 @@
 //!  * the NetCache reduction is the largest (the paper's 87.5% headline);
 //!  * NPL needs no more logical tables than P4 needs tables (multi-lookup).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::{figure9_corpus, paper_baselines};
+use lyra_bench::Harness;
 use lyra_topo::{Layer, Topology};
 
 fn single(asic: &str) -> Topology {
@@ -86,8 +86,14 @@ fn print_table() {
     }
     // NetCache shows the biggest table reduction, as in the paper.
     let reduction = |name: &str| -> f64 {
-        let entry = figure9_corpus().into_iter().find(|e| e.name == name).unwrap();
-        let row = paper_baselines().into_iter().find(|r| r.program == name).unwrap();
+        let entry = figure9_corpus()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap();
+        let row = paper_baselines()
+            .into_iter()
+            .find(|r| r.program == name)
+            .unwrap();
         let out = Compiler::new()
             .compile(&CompileRequest {
                 program: &entry.source,
@@ -109,29 +115,22 @@ fn print_table() {
     assert!(nc >= 0.5, "NetCache reduction should be dramatic, got {nc}");
 }
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     print_table();
-    let mut group = c.benchmark_group("fig9_compile");
-    group.sample_size(10);
+    let harness = Harness::new().samples(10);
     for entry in figure9_corpus() {
         for asic in ["tofino-32q", "trident4"] {
             let scopes = single_scopes(&entry.scopes);
             let topo = single(asic);
-            group.bench_function(format!("{}@{asic}", entry.name), |b| {
-                b.iter(|| {
-                    Compiler::new()
-                        .compile(&CompileRequest {
-                            program: &entry.source,
-                            scopes: &scopes,
-                            topology: topo.clone(),
-                        })
-                        .unwrap()
-                })
+            harness.bench(&format!("fig9_compile/{}@{asic}", entry.name), || {
+                Compiler::new()
+                    .compile(&CompileRequest {
+                        program: &entry.source,
+                        scopes: &scopes,
+                        topology: topo.clone(),
+                    })
+                    .unwrap()
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -10,8 +10,8 @@
 //! * **MinSwitches objective** (Appendix C.2): minimizing the number of
 //!   switches hosting code, traded against plain feasibility search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lyra::{Compiler, CompileRequest, Objective};
+use lyra::{CompileRequest, Compiler, Objective};
+use lyra_bench::Harness;
 use lyra_topo::{figure1_network, Layer, Topology};
 
 /// An INT-flavored program with several constant metadata initializations
@@ -43,7 +43,7 @@ fn single(asic: &str) -> Topology {
 
 fn tables_with_hoisting(on: bool) -> u64 {
     let out = Compiler::new()
-        .parser_hoisting(on)
+        .with_parser_hoisting(on)
         .compile(&CompileRequest {
             program: HOIST_PROGRAM,
             scopes: "int_like: [ ToR1 | PER-SW | - ]",
@@ -55,7 +55,7 @@ fn tables_with_hoisting(on: bool) -> u64 {
 
 fn switches_with_objective(objective: Objective) -> usize {
     let out = Compiler::new()
-        .objective(objective)
+        .with_objective(objective)
         .compile(&CompileRequest {
             program: SPREAD_PROGRAM,
             scopes: "small: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
@@ -81,7 +81,7 @@ algorithm staged {
 "#;
     let t = std::time::Instant::now();
     Compiler::new()
-        .stage_detail(on)
+        .with_stage_detail(on)
         .compile(&CompileRequest {
             program,
             scopes: "staged: [ ToR1 | PER-SW | - ]",
@@ -103,11 +103,15 @@ fn print_ablation() {
 
     let feasible = switches_with_objective(Objective::Feasible);
     let minimized = switches_with_objective(Objective::MinSwitches);
-    println!(
-        "MinSwitches objective: {minimized} switches vs {feasible} with plain feasibility"
+    println!("MinSwitches objective: {minimized} switches vs {feasible} with plain feasibility");
+    assert!(
+        minimized <= feasible,
+        "objective must not use more switches"
     );
-    assert!(minimized <= feasible, "objective must not use more switches");
-    assert!(minimized <= 2, "the tiny program fits the two path-entry switches");
+    assert!(
+        minimized <= 2,
+        "the tiny program fits the two path-entry switches"
+    );
 
     let coarse = stage_detail_time(false);
     let detail = stage_detail_time(true);
@@ -116,23 +120,18 @@ fn print_ablation() {
     );
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     print_ablation();
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+    let harness = Harness::new().samples(10);
     for on in [true, false] {
-        group.bench_function(format!("hoisting_{on}"), |b| {
-            b.iter(|| tables_with_hoisting(on))
+        harness.bench(&format!("ablation/hoisting_{on}"), || {
+            tables_with_hoisting(on)
         });
     }
-    group.bench_function("objective_feasible", |b| {
-        b.iter(|| switches_with_objective(Objective::Feasible))
+    harness.bench("ablation/objective_feasible", || {
+        switches_with_objective(Objective::Feasible)
     });
-    group.bench_function("objective_min_switches", |b| {
-        b.iter(|| switches_with_objective(Objective::MinSwitches))
+    harness.bench("ablation/objective_min_switches", || {
+        switches_with_objective(Objective::MinSwitches)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,2 +1,57 @@
 //! Benchmark harness crate — see the `benches/` directory; one bench per
-//! table/figure of the paper. This library target is intentionally empty.
+//! table/figure of the paper.
+//!
+//! The workspace builds offline with no external crates, so this library
+//! provides the small timing harness the benches share: warm-up, a fixed
+//! sample count, and min/median/max wall-clock reporting. Benches are
+//! `harness = false` binaries; each prints its paper-figure table, asserts
+//! its shape checks, and then times its hot paths through [`Harness`].
+
+use std::time::{Duration, Instant};
+
+/// A minimal sampling timer: runs each benchmark once to warm up, then
+/// `samples` more times, and prints `min / median / max`.
+pub struct Harness {
+    samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness taking 10 samples per benchmark.
+    pub fn new() -> Self {
+        Harness { samples: 10 }
+    }
+
+    /// Set the number of timed samples.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time `f`, print a result line, and return the median.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Duration {
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        println!(
+            "bench {name:<40} min {:>9.1?}  median {:>9.1?}  max {:>9.1?}  ({} samples)",
+            times[0],
+            median,
+            times[times.len() - 1],
+            self.samples
+        );
+        median
+    }
+}

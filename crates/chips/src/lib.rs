@@ -24,10 +24,8 @@ pub mod phv;
 pub use models::*;
 pub use phv::{packing_strategies, PackingStrategy};
 
-use serde::{Deserialize, Serialize};
-
 /// The chip-specific language a model is programmed in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetLang {
     /// P4_14.
     P414,
@@ -49,7 +47,7 @@ impl TargetLang {
 }
 
 /// A class of memory blocks within a stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemBlock {
     /// Number of blocks per stage.
     pub blocks: u64,
@@ -82,7 +80,7 @@ impl MemBlock {
 
 /// One PHV word class: `count` words of `width` bits (Appendix A.3 — RMT has
 /// 64×8b, 96×16b, 64×32b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhvClass {
     /// Word width in bits.
     pub width: u32,
@@ -95,7 +93,7 @@ pub struct PhvClass {
 /// The fields mirror the constraints of §5.4 and Appendix A. Models are
 /// plain data — the SMT encoding in `lyra-synth` reads them; nothing here is
 /// behavioral.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipModel {
     /// Model name (`tofino-32q`, `trident4`, …).
     pub name: String,
@@ -193,7 +191,7 @@ impl ChipModel {
 /// Resource usage summary of a synthesized per-switch program — what
 /// Figure 9 reports per program (tables, actions, registers) plus memory
 /// accounting.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResourceUsage {
     /// Number of match-action (or logical) tables.
     pub tables: u64,
@@ -220,7 +218,11 @@ mod tests {
     fn word_packing_math_matches_paper_example() {
         // Appendix A.4: a 48-bit MAC in 80-bit-wide 1K blocks — one entry per
         // row unpacked; packing two blocks (160b) fits three per row.
-        let blk = MemBlock { blocks: 106, entries: 1024, width: 80 };
+        let blk = MemBlock {
+            blocks: 106,
+            entries: 1024,
+            width: 80,
+        };
         // 1024 entries × 48b: packed = ceil(1024/1024)*48/80 → ceil(48/80)=1.
         assert_eq!(blk.blocks_needed_packed(1024, 48), 1);
         // 3072 entries × 48b packed: rows=3, 3*48=144 → ceil(144/80)=2 blocks.
@@ -231,7 +233,11 @@ mod tests {
 
     #[test]
     fn zero_sized_tables_take_no_blocks() {
-        let blk = MemBlock { blocks: 10, entries: 1024, width: 80 };
+        let blk = MemBlock {
+            blocks: 10,
+            entries: 1024,
+            width: 80,
+        };
         assert_eq!(blk.blocks_needed_packed(0, 48), 0);
         assert_eq!(blk.blocks_needed_unpacked(1024, 0), 0);
     }

@@ -21,12 +21,29 @@ pub fn rmt_reference() -> ChipModel {
         programmable: true,
         stages: 32,
         max_tables_per_stage: 8,
-        sram: MemBlock { blocks: 106, entries: 1024, width: 80 },
-        tcam: MemBlock { blocks: 16, entries: 2048, width: 40 },
+        sram: MemBlock {
+            blocks: 106,
+            entries: 1024,
+            width: 80,
+        },
+        tcam: MemBlock {
+            blocks: 16,
+            entries: 2048,
+            width: 40,
+        },
         phv: vec![
-            PhvClass { width: 8, count: 64 },
-            PhvClass { width: 16, count: 96 },
-            PhvClass { width: 32, count: 64 },
+            PhvClass {
+                width: 8,
+                count: 64,
+            },
+            PhvClass {
+                width: 16,
+                count: 96,
+            },
+            PhvClass {
+                width: 32,
+                count: 64,
+            },
         ],
         parser_tcam_entries: 256,
         atoms_per_stage: 4,
@@ -48,12 +65,29 @@ pub fn tofino_32q() -> ChipModel {
         programmable: true,
         stages: 24,
         max_tables_per_stage: 8,
-        sram: MemBlock { blocks: 106, entries: 1024, width: 80 },
-        tcam: MemBlock { blocks: 24, entries: 2048, width: 44 },
+        sram: MemBlock {
+            blocks: 106,
+            entries: 1024,
+            width: 80,
+        },
+        tcam: MemBlock {
+            blocks: 24,
+            entries: 2048,
+            width: 44,
+        },
         phv: vec![
-            PhvClass { width: 8, count: 64 },
-            PhvClass { width: 16, count: 96 },
-            PhvClass { width: 32, count: 64 },
+            PhvClass {
+                width: 8,
+                count: 64,
+            },
+            PhvClass {
+                width: 16,
+                count: 96,
+            },
+            PhvClass {
+                width: 32,
+                count: 64,
+            },
         ],
         parser_tcam_entries: 256,
         atoms_per_stage: 4,
@@ -86,11 +120,25 @@ pub fn trident4() -> ChipModel {
         programmable: true,
         stages: 16,
         max_tables_per_stage: 12,
-        sram: MemBlock { blocks: 96, entries: 2048, width: 128 },
-        tcam: MemBlock { blocks: 16, entries: 1024, width: 80 },
+        sram: MemBlock {
+            blocks: 96,
+            entries: 2048,
+            width: 128,
+        },
+        tcam: MemBlock {
+            blocks: 16,
+            entries: 1024,
+            width: 80,
+        },
         phv: vec![
-            PhvClass { width: 16, count: 128 },
-            PhvClass { width: 32, count: 96 },
+            PhvClass {
+                width: 16,
+                count: 128,
+            },
+            PhvClass {
+                width: 32,
+                count: 96,
+            },
         ],
         parser_tcam_entries: 192,
         atoms_per_stage: 8,
@@ -112,12 +160,29 @@ pub fn silicon_one() -> ChipModel {
         programmable: true,
         stages: 20,
         max_tables_per_stage: 8,
-        sram: MemBlock { blocks: 88, entries: 1024, width: 96 },
-        tcam: MemBlock { blocks: 20, entries: 2048, width: 48 },
+        sram: MemBlock {
+            blocks: 88,
+            entries: 1024,
+            width: 96,
+        },
+        tcam: MemBlock {
+            blocks: 20,
+            entries: 2048,
+            width: 48,
+        },
         phv: vec![
-            PhvClass { width: 8, count: 48 },
-            PhvClass { width: 16, count: 96 },
-            PhvClass { width: 32, count: 72 },
+            PhvClass {
+                width: 8,
+                count: 48,
+            },
+            PhvClass {
+                width: 16,
+                count: 96,
+            },
+            PhvClass {
+                width: 32,
+                count: 72,
+            },
         ],
         parser_tcam_entries: 224,
         atoms_per_stage: 4,
@@ -143,8 +208,16 @@ pub fn tomahawk() -> ChipModel {
         programmable: false,
         stages: 0,
         max_tables_per_stage: 0,
-        sram: MemBlock { blocks: 0, entries: 0, width: 1 },
-        tcam: MemBlock { blocks: 0, entries: 0, width: 1 },
+        sram: MemBlock {
+            blocks: 0,
+            entries: 0,
+            width: 1,
+        },
+        tcam: MemBlock {
+            blocks: 0,
+            entries: 0,
+            width: 1,
+        },
         phv: Vec::new(),
         parser_tcam_entries: 0,
         atoms_per_stage: 0,
@@ -173,7 +246,13 @@ pub fn by_name(name: &str) -> Option<ChipModel> {
 
 /// All programmable models, for sweep-style tests.
 pub fn all_programmable() -> Vec<ChipModel> {
-    vec![rmt_reference(), tofino_32q(), tofino_64q(), trident4(), silicon_one()]
+    vec![
+        rmt_reference(),
+        tofino_32q(),
+        tofino_64q(),
+        trident4(),
+        silicon_one(),
+    ]
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@ pub struct PackingStrategy {
 impl PackingStrategy {
     /// Total bits this strategy provides.
     pub fn capacity(&self, classes: &[PhvClass]) -> u32 {
-        self.counts.iter().zip(classes).map(|(c, k)| c * k.width).sum()
+        self.counts
+            .iter()
+            .zip(classes)
+            .map(|(c, k)| c * k.width)
+            .sum()
     }
 
     /// Total words consumed.
@@ -49,9 +53,10 @@ pub fn packing_strategies(len: u32, classes: &[PhvClass]) -> Vec<PackingStrategy
         let cap = s.capacity(classes);
         debug_assert!(cap >= len);
         // Minimal: removing one word of any used class drops below len.
-        s.counts.iter().enumerate().all(|(i, &c)| {
-            c == 0 || cap - classes[i].width < len
-        })
+        s.counts
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c == 0 || cap - classes[i].width < len)
     });
     out.sort_by_key(|s| (s.words(), s.counts.clone()));
     out.dedup();
@@ -68,7 +73,9 @@ fn enumerate(
     if idx == classes.len() {
         let cap: u32 = counts.iter().zip(classes).map(|(c, k)| c * k.width).sum();
         if cap >= len {
-            out.push(PackingStrategy { counts: counts.clone() });
+            out.push(PackingStrategy {
+                counts: counts.clone(),
+            });
         }
         return;
     }
@@ -95,9 +102,7 @@ mod tests {
         // Appendix A.3: a 48-bit MAC can use six 8b words, three 16b words,
         // one 32b + one 16b, etc.
         let strategies = packing_strategies(48, &rmt_classes());
-        let has = |a: u32, b: u32, c: u32| {
-            strategies.iter().any(|s| s.counts == vec![a, b, c])
-        };
+        let has = |a: u32, b: u32, c: u32| strategies.iter().any(|s| s.counts == vec![a, b, c]);
         assert!(has(6, 0, 0), "six 8-bit words");
         assert!(has(0, 3, 0), "three 16-bit words");
         assert!(has(0, 1, 1), "one 16-bit + one 32-bit word");

@@ -114,7 +114,13 @@ impl<'a> Render<'a> {
 /// Make a base name identifier-safe (`%t3` → `t3`).
 pub fn sanitize(base: &str) -> String {
     base.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .trim_start_matches('_')
         .to_string()
@@ -127,7 +133,8 @@ pub fn metadata_fields(alg: &IrAlgorithm, instrs: &[lyra_ir::InstrId]) -> Vec<(S
     let mut add = |v: lyra_ir::ValueId| {
         let info = alg.value(v);
         if !info.base.contains('.') {
-            seen.entry(sanitize(&info.base)).or_insert(info.width.max(1));
+            seen.entry(sanitize(&info.base))
+                .or_insert(info.width.max(1));
         }
     };
     for &i in instrs {

@@ -49,16 +49,33 @@ mod tests {
             "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
         )
         .unwrap();
-        let resolved: Vec<_> = scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
-        let res =
-            synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native).unwrap();
+        let resolved: Vec<_> = scopes
+            .iter()
+            .map(|s| resolve_scope(&topo, s).unwrap())
+            .collect();
+        let res = synthesize(
+            &ir,
+            &topo,
+            &resolved,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .unwrap();
         let artifacts = generate(&ir, &topo, &res).unwrap();
         assert!(!artifacts.is_empty());
         for a in &artifacts {
             let summary = crate::validate::validate(a).unwrap_or_else(|e| {
-                panic!("artifact for {} failed validation: {e}\n{}", a.switch, a.code)
+                panic!(
+                    "artifact for {} failed validation: {e}\n{}",
+                    a.switch, a.code
+                )
             });
-            assert!(summary.tables >= 1, "{} has no tables\n{}", a.switch, a.code);
+            assert!(
+                summary.tables >= 1,
+                "{} has no tables\n{}",
+                a.switch,
+                a.code
+            );
             assert!(!a.control_plane.is_empty());
         }
     }

@@ -70,7 +70,9 @@ fn check_braces(code: &str) -> Result<(), ValidateError> {
         }
     }
     if depth != 0 {
-        return Err(ValidateError { message: format!("{depth} unclosed braces") });
+        return Err(ValidateError {
+            message: format!("{depth} unclosed braces"),
+        });
     }
     Ok(())
 }

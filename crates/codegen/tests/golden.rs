@@ -4,7 +4,7 @@
 //! conn_table P4 shape, hash field lists, register primitives, bridge
 //! headers).
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_topo::{Layer, Topology};
 
 fn single(asic: &str) -> Topology {
@@ -117,7 +117,10 @@ fn figure2_npl_two_lookups() {
     assert!(npl.contains(".lookup(1);"), "{npl}");
 
     let p4 = compile_on(program, "int_filter", "tofino-32q");
-    assert!(p4.matches("\ntable ").count() >= 2, "P4 needs two tables:\n{p4}");
+    assert!(
+        p4.matches("\ntable ").count() >= 2,
+        "P4 needs two tables:\n{p4}"
+    );
 }
 
 #[test]
@@ -157,16 +160,16 @@ fn bridge_header_emitted_for_split_placement() {
         .native_backend()
         .compile(&CompileRequest {
             program: &programs::load_balancer(4_000_000),
-            scopes:
-                "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
             topology: figure1_network(),
         })
         .unwrap();
     // At least one artifact declares the bridge header carrying the
     // hit/miss bit between cooperating switches.
-    let bridged = out.artifacts.iter().any(|a| {
-        a.code.contains("lyra_bridge") || a.code.contains("bridge_")
-    });
+    let bridged = out
+        .artifacts
+        .iter()
+        .any(|a| a.code.contains("lyra_bridge") || a.code.contains("bridge_"));
     assert!(bridged, "no artifact declares the bridge header");
 }
 
@@ -202,8 +205,20 @@ fn egress_only_builtins_land_in_egress_control() {
     "#;
     let code = compile_on(program, "qlen", "tofino-32q");
     // Extract the two control bodies.
-    let ingress = code.split("control ingress {").nth(1).unwrap().split('}').next().unwrap();
-    let egress = code.split("control egress {").nth(1).unwrap().split('}').next().unwrap();
+    let ingress = code
+        .split("control ingress {")
+        .nth(1)
+        .unwrap()
+        .split('}')
+        .next()
+        .unwrap();
+    let egress = code
+        .split("control egress {")
+        .nth(1)
+        .unwrap()
+        .split('}')
+        .next()
+        .unwrap();
     assert!(
         !ingress.contains("apply(qlen_t0)") || !ingress.is_empty(),
         "sanity: ingress body parsed"
@@ -211,7 +226,10 @@ fn egress_only_builtins_land_in_egress_control() {
     // The queue-length table is applied in egress; the plain computation in
     // ingress.
     let q_table_in_egress = egress.lines().any(|l| l.trim().starts_with("apply("));
-    assert!(q_table_in_egress, "egress control must apply the queue-length table:\n{code}");
+    assert!(
+        q_table_in_egress,
+        "egress control must apply the queue-length table:\n{code}"
+    );
     assert!(
         ingress.lines().any(|l| l.trim().starts_with("apply(")),
         "ingress still applies the rest:\n{code}"

@@ -2,21 +2,35 @@
 //!
 //! ```text
 //! lyrac --program prog.lyra --scopes scopes.txt --topology topo.txt \
-//!       [--out DIR] [--backend z3|native] [--objective min-switches] \
-//!       [--no-parser-hoisting]
+//!       [--out DIR] [--objective min-switches] [--no-parser-hoisting] \
+//!       [--diag-format human|json] [--emit-stats FILE]
 //! ```
 //!
 //! Reads a Lyra program, an algorithm scope specification (§3.3 syntax),
 //! and a topology description; writes one chip-specific program plus a
 //! Python control-plane stub per target switch under `--out` (default
 //! `lyra-out/`), and prints a placement summary.
+//!
+//! Diagnostics render rustc-style with source snippets by default;
+//! `--diag-format json` emits one JSON object on stdout with the failing
+//! phase and every diagnostic (code, message, spans, notes) for editor and
+//! CI integration. `--emit-stats FILE` writes the compile session record
+//! (phase timings, solver search statistics, per-switch resource
+//! utilization) as JSON.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lyra::{Backend, CompileRequest, Compiler, Objective};
+use lyra::{Backend, CompileError, CompileRequest, Compiler, Objective};
 use lyra_chips::TargetLang;
+use lyra_diag::json::{Object, Value};
 use lyra_topo::parse_topology;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DiagFormat {
+    Human,
+    Json,
+}
 
 struct Args {
     program: PathBuf,
@@ -26,14 +40,17 @@ struct Args {
     backend: Backend,
     objective: Objective,
     parser_hoisting: bool,
+    diag_format: DiagFormat,
+    emit_stats: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lyrac --program FILE --scopes FILE --topology FILE\n\
-         \x20            [--out DIR] [--backend z3|native]\n\
+         \x20            [--out DIR] [--backend native]\n\
          \x20            [--objective feasible|min-switches|max-use=SWITCH]\n\
-         \x20            [--no-parser-hoisting]"
+         \x20            [--no-parser-hoisting]\n\
+         \x20            [--diag-format human|json] [--emit-stats FILE]"
     );
     std::process::exit(2);
 }
@@ -46,6 +63,8 @@ fn parse_args() -> Args {
     let mut backend = Backend::default();
     let mut objective = Objective::Feasible;
     let mut parser_hoisting = true;
+    let mut diag_format = DiagFormat::Human;
+    let mut emit_stats = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,8 +79,6 @@ fn parse_args() -> Args {
             "--backend" => {
                 backend = match value(&mut it).as_str() {
                     "native" => Backend::Native,
-                    #[cfg(feature = "z3-backend")]
-                    "z3" => Backend::Z3,
                     other => {
                         eprintln!("unknown backend `{other}`");
                         usage()
@@ -82,6 +99,17 @@ fn parse_args() -> Args {
                 };
             }
             "--no-parser-hoisting" => parser_hoisting = false,
+            "--diag-format" => {
+                diag_format = match value(&mut it).as_str() {
+                    "human" => DiagFormat::Human,
+                    "json" => DiagFormat::Json,
+                    other => {
+                        eprintln!("unknown diagnostic format `{other}`");
+                        usage()
+                    }
+                }
+            }
+            "--emit-stats" => emit_stats = Some(PathBuf::from(value(&mut it))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -92,7 +120,50 @@ fn parse_args() -> Args {
     let (Some(program), Some(scopes), Some(topology)) = (program, scopes, topology) else {
         usage()
     };
-    Args { program, scopes, topology, out, backend, objective, parser_hoisting }
+    Args {
+        program,
+        scopes,
+        topology,
+        out,
+        backend,
+        objective,
+        parser_hoisting,
+        diag_format,
+        emit_stats,
+    }
+}
+
+/// An I/O or input failure outside the compile pipeline proper.
+fn tool_error(args: &Args, message: String) -> ExitCode {
+    match args.diag_format {
+        DiagFormat::Human => eprintln!("lyrac: {message}"),
+        DiagFormat::Json => {
+            let mut o = Object::new();
+            o.push("phase", Value::String("driver".into()));
+            let mut d = Object::new();
+            d.push("severity", Value::String("error".into()));
+            d.push("message", Value::String(message));
+            o.push("diagnostics", Value::Array(vec![Value::Object(d)]));
+            println!("{}", Value::Object(o).to_pretty());
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn report_compile_error(args: &Args, req: &CompileRequest, err: &CompileError) -> ExitCode {
+    match args.diag_format {
+        DiagFormat::Human => {
+            eprint!("{}", err.render(&req.source_map()));
+            let n = err.diagnostics().len();
+            eprintln!(
+                "lyrac: {} failed with {n} error{}",
+                err.phase_name(),
+                if n == 1 { "" } else { "s" }
+            );
+        }
+        DiagFormat::Json => println!("{}", err.to_json().to_pretty()),
+    }
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
@@ -100,22 +171,43 @@ fn main() -> ExitCode {
     let read = |p: &PathBuf| -> Result<String, String> {
         std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
     };
-    let run = || -> Result<(), String> {
+    let inputs = (|| -> Result<(String, String, lyra_topo::Topology), String> {
         let program = read(&args.program)?;
         let scopes = read(&args.scopes)?;
         let topo_src = read(&args.topology)?;
         let topology = parse_topology(&topo_src).map_err(|e| e.to_string())?;
+        Ok((program, scopes, topology))
+    })();
+    let (program, scopes, topology) = match inputs {
+        Ok(t) => t,
+        Err(e) => return tool_error(&args, e),
+    };
 
-        let out = Compiler::new()
-            .backend(args.backend.clone())
-            .objective(args.objective.clone())
-            .parser_hoisting(args.parser_hoisting)
-            .compile(&CompileRequest { program: &program, scopes: &scopes, topology })
-            .map_err(|e| e.to_string())?;
+    let req = CompileRequest::new(&program, &scopes, topology);
+    let out = match Compiler::new()
+        .with_backend(args.backend.clone())
+        .with_objective(args.objective.clone())
+        .with_parser_hoisting(args.parser_hoisting)
+        .compile(&req)
+    {
+        Ok(out) => out,
+        Err(e) => return report_compile_error(&args, &req, &e),
+    };
 
-        for w in &out.warnings {
-            eprintln!("warning: {w}");
+    let sources = req.source_map();
+    for w in &out.warnings {
+        match args.diag_format {
+            DiagFormat::Human => eprint!("{}", sources.render(w)),
+            DiagFormat::Json => println!("{}", w.to_json().to_pretty()),
         }
+    }
+    if let Some(path) = &args.emit_stats {
+        let json = out.session().to_json().to_pretty();
+        if let Err(e) = std::fs::write(path, json) {
+            return tool_error(&args, format!("cannot write {}: {e}", path.display()));
+        }
+    }
+    let run = || -> Result<(), String> {
         std::fs::create_dir_all(&args.out)
             .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
         for a in &out.artifacts {
@@ -130,43 +222,31 @@ fn main() -> ExitCode {
             std::fs::write(&ctl_path, &a.control_plane)
                 .map_err(|e| format!("cannot write {}: {e}", ctl_path.display()))?;
         }
+        out.validate_all().map_err(|e| e.to_string())?;
         println!(
             "compiled {} algorithm(s) onto {} switch(es) in {:?}",
             out.ir.algorithms.len(),
             out.placement.used_switches(),
             out.stats.total
         );
-        for (switch, plan) in &out.placement.switches {
-            if plan.instrs.is_empty() {
-                continue;
-            }
-            let tables: Vec<String> = plan
-                .extern_entries
-                .iter()
-                .map(|(t, n)| format!("{t}({n})"))
-                .collect();
+        for u in &out.utilization {
             println!(
-                "  {switch}: {} tables, {} actions{}",
-                plan.usage.tables,
-                plan.usage.actions,
-                if tables.is_empty() {
-                    String::new()
-                } else {
-                    format!(", extern entries: {}", tables.join(" "))
-                }
+                "  {}: {}/{} tables, {}/{} stages, {}/{} SRAM blocks, {} extern entries",
+                u.switch,
+                u.tables.0,
+                u.tables.1,
+                u.stages.0,
+                u.stages.1,
+                u.sram_blocks.0,
+                u.sram_blocks.1,
+                u.extern_entries
             );
-        }
-        for (switch, summary) in out.validate_all().map_err(|e| e.to_string())? {
-            let _ = (switch, summary); // validation enforced; details in files
         }
         println!("artifacts written to {}", args.out.display());
         Ok(())
     };
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("lyrac: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => tool_error(&args, e),
     }
 }

@@ -36,26 +36,56 @@
 //! "#;
 //! let scopes = "filter: [ ToR* | PER-SW | - ]";
 //! let out = Compiler::new()
-//!     .compile(&CompileRequest {
-//!         program,
-//!         scopes,
-//!         topology: figure1_network(),
-//!     })
+//!     .compile(&CompileRequest::new(program, scopes, figure1_network()))
 //!     .expect("compiles");
 //! assert_eq!(out.artifacts.len(), 4); // one program per ToR switch
+//! ```
+//!
+//! ## Diagnostics
+//!
+//! Every failure carries structured [`lyra_diag::Diagnostic`]s with stable
+//! `LYR0xxx` codes and byte spans into the program or scope source; render
+//! them with [`CompileError::render`] against
+//! [`CompileRequest::source_map`]:
+//!
+//! ```
+//! use lyra::{Compiler, CompileRequest};
+//! use lyra_topo::figure1_network;
+//!
+//! let req = CompileRequest::new(
+//!     "pipeline[P]{a}; algorithm a { x = undefined_fn(); }",
+//!     "a: [ ToR* | PER-SW | - ]",
+//!     figure1_network(),
+//! );
+//! let err = Compiler::new().compile(&req).unwrap_err();
+//! let rendered = err.render(&req.source_map());
+//! assert!(rendered.contains("error[LYR0103]"));
+//! assert!(rendered.contains("^^^")); // the offending span, rustc-style
 //! ```
 
 pub mod runtime;
 
 pub use runtime::{Runtime, RuntimeError};
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use lyra_codegen::{Artifact, CodeSummary};
+pub use lyra_diag::{Diagnostic, Phase, SourceId, SourceMap};
+pub use lyra_solver::SearchStats;
 pub use lyra_synth::{Backend, EncodeOptions, Objective, P4Options, Placement};
 
+use lyra_diag::codes;
+use lyra_diag::json::{Object, Value};
 use lyra_ir::IrProgram;
 use lyra_topo::{resolve_scope, ResolvedScope, Topology};
+
+/// [`SourceId`] of the Lyra program source inside
+/// [`CompileRequest::source_map`].
+pub const PROGRAM_SOURCE: SourceId = SourceId(0);
+/// [`SourceId`] of the scope specification inside
+/// [`CompileRequest::source_map`].
+pub const SCOPES_SOURCE: SourceId = SourceId(1);
 
 /// A compilation request: the three inputs of Figure 3.
 pub struct CompileRequest<'a> {
@@ -67,17 +97,181 @@ pub struct CompileRequest<'a> {
     pub topology: Topology,
 }
 
+impl<'a> CompileRequest<'a> {
+    /// Bundle the three compiler inputs.
+    pub fn new(program: &'a str, scopes: &'a str, topology: Topology) -> Self {
+        CompileRequest {
+            program,
+            scopes,
+            topology,
+        }
+    }
+
+    /// A [`SourceMap`] over this request's two text inputs, for rendering
+    /// diagnostics: the program registers as [`PROGRAM_SOURCE`], the scope
+    /// specification as [`SCOPES_SOURCE`].
+    pub fn source_map(&self) -> SourceMap {
+        let mut sm = SourceMap::new();
+        let p = sm.add("<program>", self.program);
+        let s = sm.add("<scopes>", self.scopes);
+        debug_assert_eq!((p, s), (PROGRAM_SOURCE, SCOPES_SOURCE));
+        sm
+    }
+}
+
 /// Wall-clock timing of each compiler phase.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CompileStats {
-    /// Parse + check + lower + SSA + inference.
-    pub frontend: Duration,
+    /// Parsing the program source.
+    pub parse: Duration,
+    /// Semantic checking.
+    pub check: Duration,
+    /// Lowering to the context-aware IR (SSA + inference).
+    pub lower: Duration,
+    /// Scope parsing and topology resolution.
+    pub scopes: Duration,
     /// Synthesis + encoding + solving.
     pub synth: Duration,
     /// Translation to chip-specific code.
     pub codegen: Duration,
     /// End-to-end.
     pub total: Duration,
+}
+
+impl CompileStats {
+    /// Front-end total (parse + check + lower), the paper's "checker +
+    /// preprocessor + code analyzer" grouping.
+    pub fn frontend(&self) -> Duration {
+        self.parse + self.check + self.lower
+    }
+
+    /// Phase/duration pairs in pipeline order.
+    pub fn phases(&self) -> [(Phase, Duration); 6] {
+        [
+            (Phase::Parse, self.parse),
+            (Phase::Check, self.check),
+            (Phase::Lower, self.lower),
+            (Phase::Scopes, self.scopes),
+            (Phase::Solve, self.synth),
+            (Phase::Codegen, self.codegen),
+        ]
+    }
+}
+
+/// Resource utilization of one switch in the solved placement, against its
+/// chip's budgets — Figure 9's per-program columns, as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceUtilization {
+    /// Switch name.
+    pub switch: String,
+    /// ASIC model name.
+    pub asic: String,
+    /// Match-action tables placed / chip capacity.
+    pub tables: (u64, u64),
+    /// SRAM blocks consumed / chip capacity.
+    pub sram_blocks: (u64, u64),
+    /// Pipeline stages used (longest dependency chain) / stages available.
+    pub stages: (u64, u64),
+    /// Actions placed / chip capacity.
+    pub actions: (u64, u64),
+    /// Extern table entries hosted on this switch.
+    pub extern_entries: u64,
+}
+
+impl ResourceUtilization {
+    fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.push("switch", Value::String(self.switch.clone()));
+        o.push("asic", Value::String(self.asic.clone()));
+        for (key, (used, cap)) in [
+            ("tables", self.tables),
+            ("sram_blocks", self.sram_blocks),
+            ("stages", self.stages),
+            ("actions", self.actions),
+        ] {
+            let mut pair = Object::new();
+            pair.push("used", Value::Number(used as f64));
+            pair.push("cap", Value::Number(cap as f64));
+            o.push(key, Value::Object(pair));
+        }
+        o.push("extern_entries", Value::Number(self.extern_entries as f64));
+        Value::Object(o)
+    }
+}
+
+/// Observability record of one compile run: phase timings, solver effort,
+/// and per-switch resource utilization. Obtain one from
+/// [`CompileOutput::session`]; serialize it with [`CompileSession::to_json`]
+/// (this is what `lyrac --emit-stats` writes).
+///
+/// ```
+/// use lyra::{Compiler, CompileRequest};
+/// use lyra_topo::figure1_network;
+///
+/// let out = Compiler::new()
+///     .compile(&CompileRequest::new(
+///         "pipeline[P]{a}; algorithm a { x = 1; }",
+///         "a: [ ToR1 | PER-SW | - ]",
+///         figure1_network(),
+///     ))
+///     .unwrap();
+/// let session = out.session();
+/// assert!(session.stats.total >= session.stats.synth);
+/// let json = session.to_json().to_pretty();
+/// assert!(json.contains("\"solver\""));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompileSession {
+    /// Per-phase wall-clock timings.
+    pub stats: CompileStats,
+    /// Aggregated solver search statistics (summed across every solver
+    /// invocation the compile made).
+    pub solver: SearchStats,
+    /// Per-switch resource utilization of the solved placement.
+    pub utilization: Vec<ResourceUtilization>,
+}
+
+impl CompileSession {
+    /// Serialize to a JSON value (phases in microseconds).
+    pub fn to_json(&self) -> Value {
+        let mut phases = Object::new();
+        for (ph, d) in self.stats.phases() {
+            phases.push(ph.as_str(), Value::Number(d.as_micros() as f64));
+        }
+        phases.push("total", Value::Number(self.stats.total.as_micros() as f64));
+        let mut solver = Object::new();
+        solver.push("decisions", Value::Number(self.solver.decisions as f64));
+        solver.push(
+            "propagations",
+            Value::Number(self.solver.propagations as f64),
+        );
+        solver.push("conflicts", Value::Number(self.solver.conflicts as f64));
+        solver.push("learned", Value::Number(self.solver.learned as f64));
+        solver.push("restarts", Value::Number(self.solver.restarts as f64));
+        let mut o = Object::new();
+        o.push("phases_us", Value::Object(phases));
+        o.push("solver", Value::Object(solver));
+        o.push(
+            "utilization",
+            Value::Array(self.utilization.iter().map(|u| u.to_json()).collect()),
+        );
+        Value::Object(o)
+    }
+}
+
+/// Event sink for compile-phase progress. Implement this to observe a
+/// compilation as it runs (progress bars, tracing, CI timing) without the
+/// compiler depending on any logging framework; register it with
+/// [`Compiler::with_observer`].
+pub trait CompileObserver: Send + Sync {
+    /// A phase is about to run.
+    fn on_phase_start(&self, phase: Phase) {
+        let _ = phase;
+    }
+    /// A phase finished.
+    fn on_phase_end(&self, phase: Phase, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
 }
 
 /// A successful compilation.
@@ -95,16 +289,36 @@ pub struct CompileOutput {
     pub ir: IrProgram,
     /// Phase timings.
     pub stats: CompileStats,
-    /// Checker warnings (implicit metadata and similar).
-    pub warnings: Vec<String>,
+    /// Aggregated solver search statistics.
+    pub solver: SearchStats,
+    /// Per-switch resource utilization against chip budgets.
+    pub utilization: Vec<ResourceUtilization>,
+    /// Checker warnings (implicit metadata and similar), as structured
+    /// diagnostics spanned into the program source.
+    pub warnings: Vec<Diagnostic>,
 }
 
 impl CompileOutput {
+    /// The observability record of this run (timings, solver effort,
+    /// utilization) — see [`CompileSession`].
+    pub fn session(&self) -> CompileSession {
+        CompileSession {
+            stats: self.stats,
+            solver: self.solver,
+            utilization: self.utilization.clone(),
+        }
+    }
+
     /// Validate every artifact and return per-switch summaries.
     pub fn validate_all(&self) -> Result<Vec<(String, CodeSummary)>, CompileError> {
         let mut out = Vec::new();
         for a in &self.artifacts {
-            let s = lyra_codegen::validate(a).map_err(|e| CompileError::Codegen(e.to_string()))?;
+            let s = lyra_codegen::validate(a).map_err(|e| {
+                CompileError::Codegen(vec![Diagnostic::error(
+                    codes::VALIDATE,
+                    format!("{} ({}): {e}", a.switch, a.asic),
+                )])
+            })?;
             out.push((a.switch.clone(), s));
         }
         Ok(out)
@@ -116,66 +330,116 @@ impl CompileOutput {
     }
 }
 
-/// Compilation failure, by phase.
+/// Compilation failure, by phase. Every variant carries the structured
+/// diagnostics of that phase; use [`CompileError::render`] with the
+/// request's [`CompileRequest::source_map`] for rustc-style snippets, or
+/// [`CompileError::to_json`] for machine consumption.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CompileError {
     /// Front-end failure (parse / check / lower).
-    Frontend(String),
+    Frontend(Vec<Diagnostic>),
     /// Scope parsing or resolution failure.
-    Scope(String),
+    Scope(Vec<Diagnostic>),
     /// Synthesis / solving failure (including infeasible placements).
-    Synth(String),
+    Synth(Vec<Diagnostic>),
     /// Code generation or validation failure.
-    Codegen(String),
+    Codegen(Vec<Diagnostic>),
+}
+
+impl CompileError {
+    /// The diagnostics carried by this error.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            CompileError::Frontend(d)
+            | CompileError::Scope(d)
+            | CompileError::Synth(d)
+            | CompileError::Codegen(d) => d,
+        }
+    }
+
+    /// Name of the failing phase group.
+    pub fn phase_name(&self) -> &'static str {
+        match self {
+            CompileError::Frontend(_) => "front-end",
+            CompileError::Scope(_) => "scope",
+            CompileError::Synth(_) => "synthesis",
+            CompileError::Codegen(_) => "codegen",
+        }
+    }
+
+    /// Render every diagnostic with source snippets (rustc-style).
+    pub fn render(&self, sources: &SourceMap) -> String {
+        sources.render_all(self.diagnostics())
+    }
+
+    /// Serialize as `{"phase": ..., "diagnostics": [...]}`.
+    pub fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.push("phase", Value::String(self.phase_name().to_string()));
+        o.push(
+            "diagnostics",
+            Value::Array(self.diagnostics().iter().map(|d| d.to_json()).collect()),
+        );
+        Value::Object(o)
+    }
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CompileError::Frontend(m) => write!(f, "front-end: {m}"),
-            CompileError::Scope(m) => write!(f, "scope: {m}"),
-            CompileError::Synth(m) => write!(f, "synthesis: {m}"),
-            CompileError::Codegen(m) => write!(f, "codegen: {m}"),
+        write!(f, "{}: ", self.phase_name())?;
+        for (i, d) in self.diagnostics().iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{}", d.message)?;
         }
+        Ok(())
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.diagnostics()
+            .first()
+            .map(|d| d as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// The compiler: configuration plus a [`Compiler::compile`] entry point.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Compiler {
     backend: Backend,
     encode: EncodeOptions,
+    observer: Option<Arc<dyn CompileObserver>>,
 }
 
 impl Compiler {
-    /// A compiler with default options (Z3 backend when the `z3-backend`
-    /// feature is on — the paper's configuration — otherwise the native
-    /// solver).
+    /// A compiler with default options (native solver, feasibility
+    /// objective, parser hoisting on).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Select the solver backend.
-    pub fn backend(mut self, backend: Backend) -> Self {
+    pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
     }
 
-    /// Use the native solver.
+    /// Use the native solver (the default; kept for call-site clarity).
     pub fn native_backend(self) -> Self {
-        self.backend(Backend::Native)
+        self.with_backend(Backend::Native)
     }
 
     /// Set the optimization objective (§6).
-    pub fn objective(mut self, objective: Objective) -> Self {
+    pub fn with_objective(mut self, objective: Objective) -> Self {
         self.encode.objective = objective;
         self
     }
 
     /// Toggle the Appendix C.1 parser-hoisting optimization.
-    pub fn parser_hoisting(mut self, on: bool) -> Self {
+    pub fn with_parser_hoisting(mut self, on: bool) -> Self {
         self.encode.p4.parser_hoisting = on;
         self
     }
@@ -183,22 +447,57 @@ impl Compiler {
     /// Allow one recirculation pass per switch, doubling the usable stage
     /// depth (§8). Code generation emits the `recirculate` call on plans
     /// that need the second pass.
-    pub fn allow_recirculation(mut self, on: bool) -> Self {
+    pub fn with_recirculation(mut self, on: bool) -> Self {
         self.encode.allow_recirculation = on;
         self
     }
 
     /// Enable the full per-stage assignment encoding (eqs. 13–15): exact
     /// start/end stages and per-stage entry distribution per table.
-    pub fn stage_detail(mut self, on: bool) -> Self {
+    pub fn with_stage_detail(mut self, on: bool) -> Self {
         self.encode.stage_detail = on;
         self
     }
 
+    /// Register an event sink receiving phase start/end notifications.
+    pub fn with_observer(mut self, observer: Arc<dyn CompileObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Deprecated alias of [`Compiler::with_backend`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_backend`")]
+    pub fn backend(self, backend: Backend) -> Self {
+        self.with_backend(backend)
+    }
+
+    /// Deprecated alias of [`Compiler::with_objective`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_objective`")]
+    pub fn objective(self, objective: Objective) -> Self {
+        self.with_objective(objective)
+    }
+
+    /// Deprecated alias of [`Compiler::with_parser_hoisting`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_parser_hoisting`")]
+    pub fn parser_hoisting(self, on: bool) -> Self {
+        self.with_parser_hoisting(on)
+    }
+
+    /// Deprecated alias of [`Compiler::with_recirculation`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_recirculation`")]
+    pub fn allow_recirculation(self, on: bool) -> Self {
+        self.with_recirculation(on)
+    }
+
+    /// Deprecated alias of [`Compiler::with_stage_detail`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_stage_detail`")]
+    pub fn stage_detail(self, on: bool) -> Self {
+        self.with_stage_detail(on)
+    }
+
     /// Recompile after a program change, seeded with the previous solved
     /// placement so unchanged instructions tend to stay on their switches
-    /// (§8 "Synthesizing incremental changes"). Hints are honored by the
-    /// native backend; the Z3 backend falls back to a fresh solve.
+    /// (§8 "Synthesizing incremental changes").
     pub fn compile_incremental(
         &self,
         req: &CompileRequest,
@@ -212,48 +511,115 @@ impl Compiler {
         self.compile_inner(req, None)
     }
 
+    /// Run `f` as phase `ph`, notifying the observer and timing it.
+    fn phase<T>(&self, ph: Phase, f: impl FnOnce() -> T) -> (T, Duration) {
+        if let Some(obs) = &self.observer {
+            obs.on_phase_start(ph);
+        }
+        let t = Instant::now();
+        let out = f();
+        let elapsed = t.elapsed();
+        if let Some(obs) = &self.observer {
+            obs.on_phase_end(ph, elapsed);
+        }
+        (out, elapsed)
+    }
+
     fn compile_inner(
         &self,
         req: &CompileRequest,
         previous: Option<&Placement>,
     ) -> Result<CompileOutput, CompileError> {
         let t0 = Instant::now();
+        let mut stats = CompileStats::default();
 
         // --- Front-end (checker + preprocessor + code analyzer) ------------
-        let prog = lyra_lang::parse_program(req.program)
-            .map_err(|e| CompileError::Frontend(e.to_string()))?;
-        let info = lyra_lang::check_program(&prog)
-            .map_err(|e| CompileError::Frontend(e.to_string()))?;
-        let warnings: Vec<String> =
-            info.warnings.iter().map(|w| w.message.clone()).collect();
-        let ir = lyra_ir::frontend_ast(&prog)
-            .map_err(|e| CompileError::Frontend(e.to_string()))?;
-        let t_frontend = t0.elapsed();
+        let (prog, t_parse) = self.phase(Phase::Parse, || {
+            lyra_lang::parse_program(req.program).map_err(|e| {
+                CompileError::Frontend(vec![e.to_diagnostic().attach_source(PROGRAM_SOURCE)])
+            })
+        });
+        stats.parse = t_parse;
+        let prog = prog?;
 
-        // --- Scopes -----------------------------------------------------------
-        let scope_specs = lyra_lang::parse_scopes(req.scopes)
-            .map_err(|e| CompileError::Scope(e.to_string()))?;
-        if scope_specs.is_empty() {
-            return Err(CompileError::Scope("no algorithm scopes specified".into()));
-        }
-        // Every algorithm reachable from a pipeline needs a scope.
-        for p in &ir.pipelines {
-            for a in &p.algorithms {
-                if !scope_specs.iter().any(|s| &s.algorithm == a) {
-                    return Err(CompileError::Scope(format!(
-                        "algorithm `{a}` (pipeline `{}`) has no scope",
-                        p.name
-                    )));
+        let (info, t_check) = self.phase(Phase::Check, || {
+            lyra_lang::check_program(&prog).map_err(|e| {
+                CompileError::Frontend(
+                    e.errors
+                        .iter()
+                        .map(|d| d.clone().attach_source(PROGRAM_SOURCE))
+                        .collect(),
+                )
+            })
+        });
+        stats.check = t_check;
+        let info = info?;
+        let warnings: Vec<Diagnostic> = info
+            .warnings
+            .iter()
+            .map(|w| w.clone().attach_source(PROGRAM_SOURCE))
+            .collect();
+
+        let (ir, t_lower) = self.phase(Phase::Lower, || {
+            lyra_ir::frontend_ast(&prog).map_err(|e| {
+                CompileError::Frontend(
+                    e.to_diagnostics()
+                        .into_iter()
+                        .map(|d| d.attach_source(PROGRAM_SOURCE))
+                        .collect(),
+                )
+            })
+        });
+        stats.lower = t_lower;
+        let ir = ir?;
+
+        // --- Scopes --------------------------------------------------------
+        let (resolved, t_scopes) = self.phase(Phase::Scopes, || {
+            let scope_specs = lyra_lang::parse_scopes(req.scopes).map_err(|e| {
+                CompileError::Scope(vec![e.to_diagnostic().attach_source(SCOPES_SOURCE)])
+            })?;
+            if scope_specs.is_empty() {
+                return Err(CompileError::Scope(vec![Diagnostic::error(
+                    codes::SCOPE_MISSING,
+                    "no algorithm scopes specified",
+                )
+                .with_note(
+                    "every pipeline algorithm needs a `name: [ region | mode | paths ]` line",
+                )]));
+            }
+            // Every algorithm reachable from a pipeline needs a scope.
+            let mut missing: Vec<Diagnostic> = Vec::new();
+            for p in &ir.pipelines {
+                for a in &p.algorithms {
+                    if !scope_specs.iter().any(|s| &s.algorithm == a) {
+                        missing.push(
+                            Diagnostic::error(
+                                codes::SCOPE_MISSING,
+                                format!("algorithm `{a}` (pipeline `{}`) has no scope", p.name),
+                            )
+                            .with_note(format!(
+                                "add a line like `{a}: [ ToR* | PER-SW | - ]` to the scope \
+                                 specification"
+                            )),
+                        );
+                    }
                 }
             }
-        }
-        let resolved: Vec<ResolvedScope> = scope_specs
-            .iter()
-            .map(|s| resolve_scope(&req.topology, s))
-            .collect::<Result<_, _>>()
-            .map_err(|e| CompileError::Scope(e.to_string()))?;
+            if !missing.is_empty() {
+                return Err(CompileError::Scope(missing));
+            }
+            scope_specs
+                .iter()
+                .map(|s| resolve_scope(&req.topology, s))
+                .collect::<Result<Vec<ResolvedScope>, _>>()
+                .map_err(|e| {
+                    CompileError::Scope(vec![e.to_diagnostic().attach_source(SCOPES_SOURCE)])
+                })
+        });
+        stats.scopes = t_scopes;
+        let resolved = resolved?;
 
-        // --- Back-end -----------------------------------------------------------
+        // --- Back-end ------------------------------------------------------
         // PER-SW-only workloads decompose per switch: every switch of a
         // scope hosts the full algorithm independently, so identical
         // (ASIC, algorithm-set) groups share one synthesis run. This is the
@@ -265,9 +631,12 @@ impl Compiler {
             .all(|s| s.deploy == lyra_lang::DeployMode::PerSwitch)
             && matches!(self.encode.objective, Objective::Feasible);
         let t1 = Instant::now();
-        let (placement, artifacts, t_synth, t_codegen) = if all_per_sw {
+        let (placement, artifacts, solver, t_synth, t_codegen) = if all_per_sw {
             self.compile_per_switch(&ir, req, &resolved)?
         } else {
+            if let Some(obs) = &self.observer {
+                obs.on_phase_start(Phase::Solve);
+            }
             let synth = lyra_synth::synthesize_hinted(
                 &ir,
                 &req.topology,
@@ -276,13 +645,21 @@ impl Compiler {
                 &self.backend,
                 previous,
             )
-            .map_err(|e| CompileError::Synth(e.to_string()))?;
+            .map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
             let t_synth = t1.elapsed();
-            let t2 = Instant::now();
-            let artifacts = lyra_codegen::generate(&ir, &req.topology, &synth)
-                .map_err(|e| CompileError::Codegen(e.to_string()))?;
-            (synth.placement, artifacts, t_synth, t2.elapsed())
+            if let Some(obs) = &self.observer {
+                obs.on_phase_end(Phase::Solve, t_synth);
+            }
+            let solver = synth.stats;
+            let (artifacts, t_codegen) = self.phase(Phase::Codegen, || {
+                lyra_codegen::generate(&ir, &req.topology, &synth).map_err(|e| {
+                    CompileError::Codegen(vec![Diagnostic::error(codes::CODEGEN, e.to_string())])
+                })
+            });
+            (synth.placement, artifacts?, solver, t_synth, t_codegen)
         };
+        stats.synth = t_synth;
+        stats.codegen = t_codegen;
 
         let flow_paths = resolved
             .iter()
@@ -300,17 +677,16 @@ impl Compiler {
                 )
             })
             .collect();
+        stats.total = t0.elapsed();
+        let utilization = utilization_of(&placement, &req.topology);
         Ok(CompileOutput {
             artifacts,
             placement,
             flow_paths,
             ir,
-            stats: CompileStats {
-                frontend: t_frontend,
-                synth: t_synth,
-                codegen: t_codegen,
-                total: t0.elapsed(),
-            },
+            stats,
+            solver,
+            utilization,
             warnings,
         })
     }
@@ -318,14 +694,18 @@ impl Compiler {
     /// PER-SW fast path: group scope switches by (ASIC model, set of
     /// algorithms), synthesize one representative per group, and replicate
     /// the plan to every member.
+    #[allow(clippy::type_complexity)]
     fn compile_per_switch(
         &self,
         ir: &IrProgram,
         req: &CompileRequest,
         resolved: &[ResolvedScope],
-    ) -> Result<(Placement, Vec<Artifact>, Duration, Duration), CompileError> {
+    ) -> Result<(Placement, Vec<Artifact>, SearchStats, Duration, Duration), CompileError> {
         use std::collections::BTreeMap;
         let t1 = Instant::now();
+        if let Some(obs) = &self.observer {
+            obs.on_phase_start(Phase::Solve);
+        }
 
         // Switch → algorithms scoped there.
         let mut algs_on: BTreeMap<lyra_topo::SwitchId, Vec<&ResolvedScope>> = BTreeMap::new();
@@ -335,21 +715,16 @@ impl Compiler {
             }
         }
         // Group key: (asic, sorted algorithm names).
-        let mut groups: BTreeMap<(String, Vec<String>), Vec<lyra_topo::SwitchId>> =
-            BTreeMap::new();
+        let mut groups: BTreeMap<(String, Vec<String>), Vec<lyra_topo::SwitchId>> = BTreeMap::new();
         for (&s, scopes) in &algs_on {
-            let mut names: Vec<String> =
-                scopes.iter().map(|sc| sc.algorithm.clone()).collect();
+            let mut names: Vec<String> = scopes.iter().map(|sc| sc.algorithm.clone()).collect();
             names.sort();
             let asic = req.topology.switch(s).asic.clone();
             groups.entry((asic, names)).or_default().push(s);
         }
 
-        // Synthesize one representative per group. With the native backend
-        // the groups run on crossbeam scoped threads ("Lyra can generate the
-        // program for each switch in parallel" — §7.2); the Z3 backend runs
-        // sequentially because the bundled solver context is not shared
-        // across threads.
+        // Synthesize one representative per group, on scoped threads ("Lyra
+        // can generate the program for each switch in parallel" — §7.2).
         type GroupKey = (String, Vec<String>);
         let group_list: Vec<(&GroupKey, &Vec<lyra_topo::SwitchId>)> = groups.iter().collect();
         let rep_scopes_of = |rep: lyra_topo::SwitchId| -> Vec<ResolvedScope> {
@@ -363,11 +738,10 @@ impl Compiler {
                 })
                 .collect()
         };
-        let parallel = matches!(self.backend, Backend::Native) && group_list.len() > 1;
-        let mut synth_results: Vec<Result<lyra_synth::SynthResult, String>> =
+        let mut synth_results: Vec<Result<lyra_synth::SynthResult, lyra_synth::SynthError>> =
             Vec::with_capacity(group_list.len());
-        if parallel {
-            let results = crossbeam::thread::scope(|s| {
+        if group_list.len() > 1 {
+            let results = std::thread::scope(|s| {
                 let handles: Vec<_> = group_list
                     .iter()
                     .map(|(_, members)| {
@@ -376,36 +750,43 @@ impl Compiler {
                         let encode = &self.encode;
                         let backend = &self.backend;
                         let topology = &req.topology;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             lyra_synth::synthesize(ir, topology, &scopes, encode, backend)
-                                .map_err(|e| e.to_string())
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("synthesis thread")).collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("synthesis thread"))
+                    .collect::<Vec<_>>()
+            });
             synth_results.extend(results);
         } else {
             for (_, members) in &group_list {
                 let rep = members[0];
                 let scopes = rep_scopes_of(rep);
-                synth_results.push(
-                    lyra_synth::synthesize(ir, &req.topology, &scopes, &self.encode, &self.backend)
-                        .map_err(|e| e.to_string()),
-                );
+                synth_results.push(lyra_synth::synthesize(
+                    ir,
+                    &req.topology,
+                    &scopes,
+                    &self.encode,
+                    &self.backend,
+                ));
             }
         }
 
         let mut placement = Placement::default();
         let mut artifacts = Vec::new();
+        let mut solver = SearchStats::default();
         let mut t_codegen = Duration::ZERO;
         for ((_, members), synth) in group_list.iter().zip(synth_results) {
             let rep = members[0];
-            let synth = synth.map_err(CompileError::Synth)?;
+            let synth = synth.map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
+            solver.absorb(synth.stats);
             let tc = Instant::now();
-            let rep_artifacts = lyra_codegen::generate(ir, &req.topology, &synth)
-                .map_err(|e| CompileError::Codegen(e.to_string()))?;
+            let rep_artifacts = lyra_codegen::generate(ir, &req.topology, &synth).map_err(|e| {
+                CompileError::Codegen(vec![Diagnostic::error(codes::CODEGEN, e.to_string())])
+            })?;
             let rep_name = req.topology.switch(rep).name.clone();
             let rep_plan = synth.placement.switches.get(&rep_name).cloned();
             for &member in members.iter() {
@@ -426,8 +807,41 @@ impl Compiler {
             t_codegen += tc.elapsed();
         }
         let t_synth = t1.elapsed().saturating_sub(t_codegen);
-        Ok((placement, artifacts, t_synth, t_codegen))
+        if let Some(obs) = &self.observer {
+            obs.on_phase_end(Phase::Solve, t_synth);
+            obs.on_phase_start(Phase::Codegen);
+            obs.on_phase_end(Phase::Codegen, t_codegen);
+        }
+        Ok((placement, artifacts, solver, t_synth, t_codegen))
     }
+}
+
+/// Compute per-switch utilization of a placement against chip budgets.
+fn utilization_of(placement: &Placement, topo: &Topology) -> Vec<ResourceUtilization> {
+    let mut out = Vec::new();
+    for (name, plan) in &placement.switches {
+        let Some(id) = topo.find(name) else { continue };
+        let Some(chip) = lyra_chips::by_name(&topo.switch(id).asic) else {
+            continue;
+        };
+        let u = &plan.usage;
+        out.push(ResourceUtilization {
+            switch: name.clone(),
+            asic: chip.name.clone(),
+            tables: (
+                u.tables,
+                chip.stages as u64 * chip.max_tables_per_stage as u64,
+            ),
+            sram_blocks: (u.sram_blocks, chip.total_sram_blocks()),
+            stages: (u.stages.max(u.longest_code_path), chip.stages as u64),
+            actions: (
+                u.actions,
+                chip.stages as u64 * chip.max_actions_per_stage as u64,
+            ),
+            extern_entries: plan.extern_entries.values().sum(),
+        });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -461,11 +875,7 @@ mod tests {
     fn compiles_int_plus_lb_composition() {
         let out = Compiler::new()
             .native_backend()
-            .compile(&CompileRequest {
-                program: INT_LB,
-                scopes: SCOPES,
-                topology: figure1_network(),
-            })
+            .compile(&CompileRequest::new(INT_LB, SCOPES, figure1_network()))
             .unwrap();
         // INT on all 4 ToRs; LB somewhere in its scope.
         assert!(out.artifacts.len() >= 4);
@@ -490,38 +900,141 @@ mod tests {
     fn missing_scope_is_reported() {
         let err = Compiler::new()
             .native_backend()
-            .compile(&CompileRequest {
-                program: INT_LB,
-                scopes: "int_in: [ ToR* | PER-SW | - ]",
-                topology: figure1_network(),
-            })
+            .compile(&CompileRequest::new(
+                INT_LB,
+                "int_in: [ ToR* | PER-SW | - ]",
+                figure1_network(),
+            ))
             .unwrap_err();
         assert!(matches!(err, CompileError::Scope(_)));
         assert!(err.to_string().contains("loadbalancer"));
+        let diags = err.diagnostics();
+        assert_eq!(diags[0].code, Some(codes::SCOPE_MISSING));
     }
 
     #[test]
-    fn parse_errors_surface_as_frontend() {
-        let err = Compiler::new()
-            .compile(&CompileRequest {
-                program: "algorithm { broken",
-                scopes: "x: [ ToR* | - | - ]",
-                topology: figure1_network(),
-            })
-            .unwrap_err();
+    fn parse_errors_surface_as_frontend_with_span() {
+        let req = CompileRequest::new(
+            "algorithm { broken",
+            "x: [ ToR* | - | - ]",
+            figure1_network(),
+        );
+        let err = Compiler::new().compile(&req).unwrap_err();
         assert!(matches!(err, CompileError::Frontend(_)));
+        let d = &err.diagnostics()[0];
+        assert!(d.code.is_some());
+        assert!(d.primary_span().is_some(), "parse errors must carry a span");
+        // Rendering against the request's sources produces a snippet.
+        let rendered = err.render(&req.source_map());
+        assert!(rendered.contains("-->"), "rendered: {rendered}");
     }
 
     #[test]
-    fn stats_are_populated() {
+    fn check_errors_span_the_program_source() {
+        let req = CompileRequest::new(
+            "pipeline[P]{a}; algorithm a { x = undefined_fn(); }",
+            "a: [ ToR* | PER-SW | - ]",
+            figure1_network(),
+        );
+        let err = Compiler::new().compile(&req).unwrap_err();
+        let d = &err.diagnostics()[0];
+        assert_eq!(d.code, Some(codes::UNKNOWN_FUNCTION));
+        let span = d.primary_span().expect("span");
+        assert!(req.program[span.lo as usize..span.hi as usize].contains("undefined_fn"));
+    }
+
+    #[test]
+    fn scope_errors_span_the_scope_source() {
+        let req = CompileRequest::new(
+            "pipeline[P]{a}; algorithm a { x = 1; }",
+            "a: [ NoSuchSwitch | PER-SW | - ]",
+            figure1_network(),
+        );
+        let err = Compiler::new().compile(&req).unwrap_err();
+        assert!(matches!(err, CompileError::Scope(_)));
+        let d = &err.diagnostics()[0];
+        let label = d.labels.first().expect("label");
+        assert_eq!(label.source, Some(SCOPES_SOURCE));
+    }
+
+    #[test]
+    fn stats_and_session_are_populated() {
         let out = Compiler::new()
             .native_backend()
-            .compile(&CompileRequest {
-                program: "pipeline[P]{a}; algorithm a { x = 1; }",
-                scopes: "a: [ ToR1 | PER-SW | - ]",
-                topology: figure1_network(),
-            })
+            .compile(&CompileRequest::new(
+                "pipeline[P]{a}; algorithm a { x = 1; }",
+                "a: [ ToR1 | PER-SW | - ]",
+                figure1_network(),
+            ))
             .unwrap();
         assert!(out.stats.total >= out.stats.synth);
+        assert!(!out.utilization.is_empty());
+        let json = out.session().to_json();
+        let phases = json.get("phases_us").expect("phases_us");
+        assert!(phases.get("total").is_some());
+        assert!(json
+            .get("solver")
+            .and_then(|s| s.get("decisions"))
+            .is_some());
+    }
+
+    #[test]
+    fn observer_sees_every_phase() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<(Phase, bool)>>);
+        impl CompileObserver for Recorder {
+            fn on_phase_start(&self, phase: Phase) {
+                self.0.lock().unwrap().push((phase, false));
+            }
+            fn on_phase_end(&self, phase: Phase, _elapsed: Duration) {
+                self.0.lock().unwrap().push((phase, true));
+            }
+        }
+        let rec = Arc::new(Recorder::default());
+        Compiler::new()
+            .with_observer(rec.clone())
+            .compile(&CompileRequest::new(
+                "pipeline[P]{a}; algorithm a { x = 1; }",
+                "a: [ ToR1 | PER-SW | - ]",
+                figure1_network(),
+            ))
+            .unwrap();
+        let events = rec.0.lock().unwrap();
+        for ph in [
+            Phase::Parse,
+            Phase::Check,
+            Phase::Lower,
+            Phase::Scopes,
+            Phase::Solve,
+        ] {
+            assert!(
+                events.contains(&(ph, false)) && events.contains(&(ph, true)),
+                "missing events for {ph:?}: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_placements_carry_family_diagnostics() {
+        let err = Compiler::new()
+            .native_backend()
+            .compile(&CompileRequest::new(
+                r#"
+                pipeline[P]{big};
+                algorithm big {
+                    extern dict<bit[32] k, bit[32] v>[100000000] huge;
+                    if (k in huge) { x = 1; }
+                }
+                "#,
+                "big: [ Agg3,Agg4,ToR3,ToR4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+                figure1_network(),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Synth(_)));
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Some(codes::INFEASIBLE_MEMORY)));
     }
 }

@@ -57,7 +57,11 @@ impl<'a> Runtime<'a> {
             }
             shards.insert(switch.clone(), dp);
         }
-        Runtime { output, shards, installed: BTreeMap::new() }
+        Runtime {
+            output,
+            shards,
+            installed: BTreeMap::new(),
+        }
     }
 
     /// Capacity of `table` on `switch` per the solved placement.
@@ -138,9 +142,7 @@ impl<'a> Runtime<'a> {
             });
             let Some(sw) = slot else {
                 return Err(RuntimeError {
-                    message: format!(
-                        "table `{table}` is full along path {path:?}"
-                    ),
+                    message: format!("table `{table}` is full along path {path:?}"),
                 });
             };
             self.shards
@@ -236,8 +238,7 @@ mod tests {
                         }
                     }
                 "#,
-                scopes:
-                    "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+                scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
                 topology: figure1_network(),
             })
             .unwrap()
@@ -248,7 +249,9 @@ mod tests {
         let out = lb_output();
         let mut rt = Runtime::new(&out);
         let switches = rt.install("conn_table", 42, 0x0a000001).unwrap();
-        assert!(switches.iter().all(|sw| rt.installed_on(sw, "conn_table") >= 1));
+        assert!(switches
+            .iter()
+            .all(|sw| rt.installed_on(sw, "conn_table") >= 1));
 
         // A packet with the installed hash gets rewritten on its path.
         let mut pkt = PacketState::new();
@@ -256,7 +259,10 @@ mod tests {
         pkt.set("ipv4.dstAddr", 0x02000001);
         let (end, effects) = rt.inject(&["Agg3", "ToR3"], pkt).unwrap();
         assert_eq!(end.get("ipv4.dstAddr"), 0x0a000001);
-        assert!(effects.is_empty(), "hit path must not punt to CPU: {effects:?}");
+        assert!(
+            effects.is_empty(),
+            "hit path must not punt to CPU: {effects:?}"
+        );
     }
 
     #[test]

@@ -52,16 +52,16 @@ pub fn predicate_blocks_of(
     for &id in subset {
         let instr = alg.instr(id);
         let fits = match blocks.last() {
-            Some(b) => {
-                b.pred == instr.pred
-                    && !b.instrs.iter().any(|&m| deps.depends(id, m))
-            }
+            Some(b) => b.pred == instr.pred && !b.instrs.iter().any(|&m| deps.depends(id, m)),
             None => false,
         };
         if fits {
             blocks.last_mut().unwrap().instrs.push(id);
         } else {
-            blocks.push(PredBlock { pred: instr.pred, instrs: vec![id] });
+            blocks.push(PredBlock {
+                pred: instr.pred,
+                instrs: vec![id],
+            });
         }
     }
     blocks
@@ -77,12 +77,24 @@ pub fn preds_mutually_exclusive(alg: &IrAlgorithm, a: ValueId, b: ValueId) -> bo
     // mutually-exclusive right legs (recursively).
     if let (Some(da), Some(db)) = (alg.value(a).def, alg.value(b).def) {
         if let (
-            IrOp::Binary { op: lyra_lang::BinOp::LAnd, a: la, b: ra },
-            IrOp::Binary { op: lyra_lang::BinOp::LAnd, a: lb, b: rb },
+            IrOp::Binary {
+                op: lyra_lang::BinOp::LAnd,
+                a: la,
+                b: ra,
+            },
+            IrOp::Binary {
+                op: lyra_lang::BinOp::LAnd,
+                a: lb,
+                b: rb,
+            },
         ) = (&alg.instr(da).op, &alg.instr(db).op)
         {
-            if let (Operand::Value(la), Operand::Value(ra), Operand::Value(lb), Operand::Value(rb)) =
-                (la, ra, lb, rb)
+            if let (
+                Operand::Value(la),
+                Operand::Value(ra),
+                Operand::Value(lb),
+                Operand::Value(rb),
+            ) = (la, ra, lb, rb)
             {
                 if same_storage(alg, *la, *lb) {
                     return preds_mutually_exclusive(alg, *ra, *rb);
@@ -177,7 +189,12 @@ mod tests {
             .filter(|b| b.pred.is_some())
             .map(|b| b.instrs.len())
             .collect();
-        assert_eq!(sizes, vec![1, 2, 1], "blocks: {blocks:?}\n{}", alg.to_text());
+        assert_eq!(
+            sizes,
+            vec![1, 2, 1],
+            "blocks: {blocks:?}\n{}",
+            alg.to_text()
+        );
     }
 
     #[test]
@@ -193,10 +210,8 @@ mod tests {
 
     #[test]
     fn if_else_blocks_are_mutually_exclusive() {
-        let ir = frontend(
-            "pipeline[P]{a}; algorithm a { if (c) { x = 1; } else { x = 2; } }",
-        )
-        .unwrap();
+        let ir =
+            frontend("pipeline[P]{a}; algorithm a { if (c) { x = 1; } else { x = 2; } }").unwrap();
         let alg = &ir.algorithms[0];
         let deps = dependency_graph(alg);
         let blocks = predicate_blocks(alg, &deps);
@@ -238,10 +253,7 @@ mod tests {
 
     #[test]
     fn dependent_blocks_classified() {
-        let ir = frontend(
-            "pipeline[P]{a}; algorithm a { c = x == 1; if (c) { y = 2; } }",
-        )
-        .unwrap();
+        let ir = frontend("pipeline[P]{a}; algorithm a { c = x == 1; if (c) { y = 2; } }").unwrap();
         let alg = &ir.algorithms[0];
         let deps = dependency_graph(alg);
         let blocks = predicate_blocks(alg, &deps);
@@ -266,10 +278,8 @@ mod tests {
 
     #[test]
     fn unrelated_conditional_blocks_no_correlation() {
-        let ir = frontend(
-            "pipeline[P]{a}; algorithm a { if (c1) { x = 1; } if (c2) { y = 2; } }",
-        )
-        .unwrap();
+        let ir = frontend("pipeline[P]{a}; algorithm a { if (c1) { x = 1; } if (c2) { y = 2; } }")
+            .unwrap();
         let alg = &ir.algorithms[0];
         let deps = dependency_graph(alg);
         let blocks = predicate_blocks(alg, &deps);

@@ -68,12 +68,13 @@ pub fn dependency_graph(alg: &IrAlgorithm) -> DepGraph {
     let n = alg.instrs.len();
     let mut succs = vec![Vec::new(); n];
     let mut preds = vec![Vec::new(); n];
-    let add_edge = |succs: &mut Vec<Vec<InstrId>>, preds: &mut Vec<Vec<InstrId>>, a: InstrId, b: InstrId| {
-        if a != b && !succs[a.index()].contains(&b) {
-            succs[a.index()].push(b);
-            preds[b.index()].push(a);
-        }
-    };
+    let add_edge =
+        |succs: &mut Vec<Vec<InstrId>>, preds: &mut Vec<Vec<InstrId>>, a: InstrId, b: InstrId| {
+            if a != b && !succs[a.index()].contains(&b) {
+                succs[a.index()].push(b);
+                preds[b.index()].push(a);
+            }
+        };
 
     // Def-use edges via SSA values (including predicate reads).
     for (bi, instr) in alg.instrs.iter().enumerate() {
@@ -119,9 +120,7 @@ pub fn dependency_graph(alg: &IrAlgorithm) -> DepGraph {
             // if/else stores to the same field mergeable into one table).
             let exclusive = |other: InstrId| -> bool {
                 match (alg.instr(other).pred, instr.pred) {
-                    (Some(p), Some(q)) => {
-                        crate::blocks::preds_mutually_exclusive(alg, p, q)
-                    }
+                    (Some(p), Some(q)) => crate::blocks::preds_mutually_exclusive(alg, p, q),
                     _ => false,
                 }
             };

@@ -3,14 +3,13 @@
 use std::collections::BTreeMap;
 
 use lyra_lang::{BinOp, ExternVar, HeaderType, PacketDecl, ParserNode, Pipeline, UnOp};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an SSA value within one [`IrAlgorithm`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ValueId(pub u32);
 
 /// Identifier of an instruction within one [`IrAlgorithm`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstrId(pub u32);
 
 impl ValueId {
@@ -28,7 +27,7 @@ impl InstrId {
 }
 
 /// Where an SSA value's storage lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageClass {
     /// A local/metadata variable (PHV-resident).
     Local,
@@ -39,7 +38,7 @@ pub enum StorageClass {
 }
 
 /// Metadata about one SSA value.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueInfo {
     /// Storage base name (`ipv4.src_ip`, `int_info`, `%t3`). All versions of
     /// a base share the same physical storage after code generation.
@@ -69,7 +68,7 @@ impl ValueInfo {
 }
 
 /// An instruction operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operand {
     /// Immediate constant.
     Const(u64),
@@ -78,7 +77,7 @@ pub enum Operand {
 }
 
 /// Instruction operations. Each carries at most one operator (§4.2 step 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IrOp {
     /// `dst = a`.
     Assign(Operand),
@@ -191,7 +190,7 @@ impl IrOp {
 
 /// One IR instruction: an optional predicate guard, the operation, and an
 /// optional destination value.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instr {
     /// Predicate guard: the instruction only takes effect when this 1-bit
     /// value is true (§4.2 step 2 "branch removal").
@@ -203,7 +202,7 @@ pub struct Instr {
 }
 
 /// An algorithm lowered to predicated straight-line SSA code.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IrAlgorithm {
     /// Algorithm name.
     pub name: String,
@@ -256,7 +255,11 @@ impl IrAlgorithm {
                 IrOp::TableLookup { table, key } => format!("{table}[{}]", opnd(key)),
                 IrOp::TableMember { table, key } => format!("{} in {table}", opnd(key)),
                 IrOp::GlobalRead { global, index } => format!("{global}[{}]", opnd(index)),
-                IrOp::GlobalWrite { global, index, value } => {
+                IrOp::GlobalWrite {
+                    global,
+                    index,
+                    value,
+                } => {
                     format!("{global}[{}] <- {}", opnd(index), opnd(value))
                 }
                 IrOp::Slice { a, hi, lo } => format!("{}[{hi}:{lo}]", opnd(a)),
@@ -268,7 +271,7 @@ impl IrAlgorithm {
 }
 
 /// The whole program in context-aware IR form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IrProgram {
     /// Lowered algorithms.
     pub algorithms: Vec<IrAlgorithm>,

@@ -68,7 +68,10 @@ impl DataPlaneState {
 
     /// Install a table entry.
     pub fn install(&mut self, table: &str, key: u64, value: u64) -> &mut Self {
-        self.externs.entry(table.to_string()).or_default().insert(key, value);
+        self.externs
+            .entry(table.to_string())
+            .or_default()
+            .insert(key, value);
         self
     }
 
@@ -194,7 +197,10 @@ pub fn execute(
             }
             IrOp::Action { name, args } => {
                 let vals: Vec<u64> = args.iter().map(|a| read(pkt, a)).collect();
-                effects.push(Effect::Action { name: name.clone(), args: vals });
+                effects.push(Effect::Action {
+                    name: name.clone(),
+                    args: vals,
+                });
             }
             IrOp::TableMember { table, key } => {
                 let k = read(pkt, key);
@@ -225,7 +231,11 @@ pub fn execute(
                     .unwrap_or(0);
                 write(pkt, v);
             }
-            IrOp::GlobalWrite { global, index, value } => {
+            IrOp::GlobalWrite {
+                global,
+                index,
+                value,
+            } => {
                 let i = read(pkt, index) as usize;
                 let v = read(pkt, value);
                 let arr = dp.globals.entry(global.clone()).or_default();
@@ -276,9 +286,7 @@ mod tests {
 
     #[test]
     fn branches_respect_predicates() {
-        let a = alg(
-            "pipeline[P]{a}; algorithm a { if (c == 1) { x = 10; } else { x = 20; } }",
-        );
+        let a = alg("pipeline[P]{a}; algorithm a { if (c == 1) { x = 10; } else { x = 20; } }");
         let mut dp = DataPlaneState::new();
         let mut p1 = PacketState::new();
         p1.set("c", 1);
@@ -301,8 +309,7 @@ mod tests {
 
     #[test]
     fn table_hit_and_miss() {
-        let a = alg(
-            r#"
+        let a = alg(r#"
             pipeline[P]{a};
             algorithm a {
                 extern dict<bit[32] k, bit[32] v>[16] t;
@@ -310,8 +317,7 @@ mod tests {
                     out = t[key];
                 }
             }
-            "#,
-        );
+            "#);
         let mut dp = DataPlaneState::new();
         dp.install("t", 42, 777);
         let mut hitp = PacketState::new();
@@ -326,9 +332,7 @@ mod tests {
 
     #[test]
     fn globals_persist_across_packets() {
-        let a = alg(
-            "pipeline[P]{a}; algorithm a { global bit[32][4] ctr; ctr[0] = ctr[0] + 1; }",
-        );
+        let a = alg("pipeline[P]{a}; algorithm a { global bit[32][4] ctr; ctr[0] = ctr[0] + 1; }");
         let mut dp = DataPlaneState::new();
         dp.global("ctr", 4);
         for _ in 0..3 {
@@ -340,9 +344,7 @@ mod tests {
 
     #[test]
     fn effects_recorded_not_performed() {
-        let a = alg(
-            "pipeline[P]{a}; algorithm a { if (bad == 1) { drop(); } }",
-        );
+        let a = alg("pipeline[P]{a}; algorithm a { if (bad == 1) { drop(); } }");
         let mut dp = DataPlaneState::new();
         let mut pkt = PacketState::new();
         pkt.set("bad", 1);
@@ -358,16 +360,14 @@ mod tests {
     fn split_lookup_is_sticky() {
         // The same lookup executed on two "switches" with complementary
         // shards behaves like one lookup over the full table.
-        let a = alg(
-            r#"
+        let a = alg(r#"
             pipeline[P]{a};
             algorithm a {
                 extern dict<bit[32] k, bit[32] v>[16] t;
                 hit = key in t;
                 if (hit) { out = t[key]; }
             }
-            "#,
-        );
+            "#);
         let ids: Vec<InstrId> = a.instr_ids().collect();
         // Shard 1 has no entry for key 5; shard 2 does.
         let mut shard1 = DataPlaneState::new();

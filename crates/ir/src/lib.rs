@@ -22,17 +22,17 @@
 //! The result, [`IrProgram`], is the paper's "context-aware IR".
 
 pub mod blocks;
-pub mod interp;
 pub mod deps;
 pub mod instr;
+pub mod interp;
 pub mod lower;
 pub mod ssa;
 pub mod types;
 
 pub use blocks::{predicate_blocks, predicate_blocks_of, PredBlock};
-pub use interp::{execute, execute_all, DataPlaneState, Effect, PacketState};
 pub use deps::{dependency_graph, DepGraph};
 pub use instr::*;
+pub use interp::{execute, execute_all, DataPlaneState, Effect, PacketState};
 pub use lower::{lower_program, LowerError, RawInstr, RawOp, RawOperand};
 pub use ssa::to_ssa;
 pub use types::infer_widths;
@@ -60,7 +60,31 @@ impl std::fmt::Display for FrontendError {
     }
 }
 
-impl std::error::Error for FrontendError {}
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Parse(e) => Some(e),
+            FrontendError::Check(e) => Some(e),
+            FrontendError::Lower(e) => Some(e),
+        }
+    }
+}
+
+impl FrontendError {
+    /// Flatten to structured diagnostics. Parse and check errors carry
+    /// spans; lowering errors (`LYR0112`) are span-less because the IR has
+    /// already left the source text behind.
+    pub fn to_diagnostics(&self) -> Vec<lyra_diag::Diagnostic> {
+        use lyra_diag::{codes, Diagnostic};
+        match self {
+            FrontendError::Parse(e) => vec![e.to_diagnostic()],
+            FrontendError::Check(e) => e.errors.clone(),
+            FrontendError::Lower(e) => {
+                vec![Diagnostic::error(codes::LOWER, e.message.clone())]
+            }
+        }
+    }
+}
 
 /// Run the complete front-end on Lyra source text: parse, check, lower,
 /// SSA-convert, infer widths. This is the paper's Figure 3 front half.
@@ -119,6 +143,9 @@ mod tests {
             .iter()
             .filter(|v| v.base.ends_with("info") && !v.base.contains('.'))
             .count();
-        assert!(info_versions >= 3, "expected SSA versions of info, got {info_versions}");
+        assert!(
+            info_versions >= 3,
+            "expected SSA versions of info, got {info_versions}"
+        );
     }
 }

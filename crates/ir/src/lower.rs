@@ -166,12 +166,20 @@ pub fn lower_program(prog: &Program, info: &CheckInfo) -> Result<RawProgram, Low
             inline_sites: 0,
         };
         cx.body(&a.body, &None, &BTreeMap::new())?;
-        algorithms.push(RawAlgorithm { name: a.name.clone(), instrs: cx.instrs, declared: cx.declared });
+        algorithms.push(RawAlgorithm {
+            name: a.name.clone(),
+            instrs: cx.instrs,
+            declared: cx.declared,
+        });
     }
     Ok(RawProgram {
         algorithms,
         pipelines: prog.pipelines.clone(),
-        externs: info.externs.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        externs: info
+            .externs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
         globals: info.globals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
         headers: prog.headers.clone(),
         packets: prog.packets.clone(),
@@ -196,7 +204,11 @@ impl<'p> Lowerer<'p> {
     }
 
     fn emit(&mut self, pred: &Option<String>, op: RawOp, dst: Option<String>) {
-        self.instrs.push(RawInstr { pred: pred.clone(), op, dst });
+        self.instrs.push(RawInstr {
+            pred: pred.clone(),
+            op,
+            dst,
+        });
     }
 
     /// Rename a (possibly dotted) path through the inline substitution map.
@@ -238,37 +250,46 @@ impl<'p> Lowerer<'p> {
             }
             // Program-level tables were collected by the checker.
             Stmt::GlobalDecl { .. } | Stmt::ExternDecl { .. } => Ok(()),
-            Stmt::Assign { lhs, rhs, .. } => {
-                match lhs {
-                    LValue::Path(p) => {
-                        let dst = self.rename(p, subst);
-                        self.assign_expr(dst, rhs, pred, subst)?;
+            Stmt::Assign { lhs, rhs, .. } => match lhs {
+                LValue::Path(p) => {
+                    let dst = self.rename(p, subst);
+                    self.assign_expr(dst, rhs, pred, subst)?;
+                    Ok(())
+                }
+                LValue::Index { base, index } => {
+                    let v = self.expr(rhs, pred, subst)?;
+                    let idx = self.expr(index, pred, subst)?;
+                    if self.info.globals.contains_key(base) {
+                        self.emit(
+                            pred,
+                            RawOp::GlobalWrite {
+                                global: base.clone(),
+                                index: idx,
+                                value: v,
+                            },
+                            None,
+                        );
                         Ok(())
-                    }
-                    LValue::Index { base, index } => {
-                        let v = self.expr(rhs, pred, subst)?;
-                        let idx = self.expr(index, pred, subst)?;
-                        if self.info.globals.contains_key(base) {
-                            self.emit(
-                                pred,
-                                RawOp::GlobalWrite { global: base.clone(), index: idx, value: v },
-                                None,
-                            );
-                            Ok(())
-                        } else if self.info.externs.contains_key(base) {
-                            Err(LowerError {
-                                message: format!(
-                                    "extern table `{base}` is control-plane managed; the data \
+                    } else if self.info.externs.contains_key(base) {
+                        Err(LowerError {
+                            message: format!(
+                                "extern table `{base}` is control-plane managed; the data \
                                      plane cannot write it (§5.8)"
-                                ),
-                            })
-                        } else {
-                            Err(LowerError { message: format!("unknown indexed target `{base}`") })
-                        }
+                            ),
+                        })
+                    } else {
+                        Err(LowerError {
+                            message: format!("unknown indexed target `{base}`"),
+                        })
                     }
                 }
-            }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let c = self.expr(cond, pred, subst)?;
                 // Materialize the condition as a named 1-bit value.
                 let cname = match c {
@@ -301,7 +322,10 @@ impl<'p> Lowerer<'p> {
                     let neg = self.fresh();
                     self.emit(
                         &None,
-                        RawOp::Unary { op: UnOp::Not, a: RawOperand::Name(cname) },
+                        RawOp::Unary {
+                            op: UnOp::Not,
+                            a: RawOperand::Name(cname),
+                        },
                         Some(neg.clone()),
                     );
                     let else_pred = match pred {
@@ -330,7 +354,14 @@ impl<'p> Lowerer<'p> {
                     for a in args {
                         ops.push(self.expr(a, pred, subst)?);
                     }
-                    self.emit(pred, RawOp::Action { name: name.clone(), args: ops }, None);
+                    self.emit(
+                        pred,
+                        RawOp::Action {
+                            name: name.clone(),
+                            args: ops,
+                        },
+                        None,
+                    );
                     return Ok(());
                 }
                 self.inline_call(name, args, pred, subst)
@@ -366,24 +397,54 @@ impl<'p> Lowerer<'p> {
                     ),
                 })?;
                 if sig.result_width.is_none() {
-                    return Err(LowerError { message: format!("builtin `{name}` returns no value") });
+                    return Err(LowerError {
+                        message: format!("builtin `{name}` returns no value"),
+                    });
                 }
                 let mut ops = Vec::new();
                 for a in args {
                     ops.push(self.expr(a, pred, subst)?);
                 }
-                self.emit(pred, RawOp::Call { name: name.clone(), args: ops }, Some(dst));
+                self.emit(
+                    pred,
+                    RawOp::Call {
+                        name: name.clone(),
+                        args: ops,
+                    },
+                    Some(dst),
+                );
             }
             Expr::InTable { key, table } => {
                 let k = self.expr(key, pred, subst)?;
-                self.emit(pred, RawOp::TableMember { table: table.clone(), key: k }, Some(dst));
+                self.emit(
+                    pred,
+                    RawOp::TableMember {
+                        table: table.clone(),
+                        key: k,
+                    },
+                    Some(dst),
+                );
             }
             Expr::Index { base, index } => {
                 let idx = self.expr(index, pred, subst)?;
                 if self.info.externs.contains_key(base) {
-                    self.emit(pred, RawOp::TableLookup { table: base.clone(), key: idx }, Some(dst));
+                    self.emit(
+                        pred,
+                        RawOp::TableLookup {
+                            table: base.clone(),
+                            key: idx,
+                        },
+                        Some(dst),
+                    );
                 } else if self.info.globals.contains_key(base) {
-                    self.emit(pred, RawOp::GlobalRead { global: base.clone(), index: idx }, Some(dst));
+                    self.emit(
+                        pred,
+                        RawOp::GlobalRead {
+                            global: base.clone(),
+                            index: idx,
+                        },
+                        Some(dst),
+                    );
                 } else {
                     return Err(LowerError {
                         message: format!("indexing unknown table/global `{base}`"),
@@ -392,7 +453,15 @@ impl<'p> Lowerer<'p> {
             }
             Expr::Slice { base, hi, lo } => {
                 let a = RawOperand::Name(self.rename(base, subst));
-                self.emit(pred, RawOp::Slice { a, hi: *hi, lo: *lo }, Some(dst));
+                self.emit(
+                    pred,
+                    RawOp::Slice {
+                        a,
+                        hi: *hi,
+                        lo: *lo,
+                    },
+                    Some(dst),
+                );
             }
             Expr::Num(_) | Expr::Path(_) => {
                 let v = self.expr(e, pred, subst)?;
@@ -497,7 +566,14 @@ impl<'p> Lowerer<'p> {
                     ops.push(self.expr(a, pred, subst)?);
                 }
                 let t = self.fresh();
-                self.emit(pred, RawOp::Call { name: name.clone(), args: ops }, Some(t.clone()));
+                self.emit(
+                    pred,
+                    RawOp::Call {
+                        name: name.clone(),
+                        args: ops,
+                    },
+                    Some(t.clone()),
+                );
                 Ok(RawOperand::Name(t))
             }
             Expr::InTable { key, table } => {
@@ -505,7 +581,10 @@ impl<'p> Lowerer<'p> {
                 let t = self.fresh();
                 self.emit(
                     pred,
-                    RawOp::TableMember { table: table.clone(), key: k },
+                    RawOp::TableMember {
+                        table: table.clone(),
+                        key: k,
+                    },
                     Some(t.clone()),
                 );
                 Ok(RawOperand::Name(t))
@@ -516,13 +595,19 @@ impl<'p> Lowerer<'p> {
                 if self.info.externs.contains_key(base) {
                     self.emit(
                         pred,
-                        RawOp::TableLookup { table: base.clone(), key: idx },
+                        RawOp::TableLookup {
+                            table: base.clone(),
+                            key: idx,
+                        },
                         Some(t.clone()),
                     );
                 } else if self.info.globals.contains_key(base) {
                     self.emit(
                         pred,
-                        RawOp::GlobalRead { global: base.clone(), index: idx },
+                        RawOp::GlobalRead {
+                            global: base.clone(),
+                            index: idx,
+                        },
                         Some(t.clone()),
                     );
                 } else {
@@ -535,7 +620,15 @@ impl<'p> Lowerer<'p> {
             Expr::Slice { base, hi, lo } => {
                 let a = RawOperand::Name(self.rename(base, subst));
                 let t = self.fresh();
-                self.emit(pred, RawOp::Slice { a, hi: *hi, lo: *lo }, Some(t.clone()));
+                self.emit(
+                    pred,
+                    RawOp::Slice {
+                        a,
+                        hi: *hi,
+                        lo: *lo,
+                    },
+                    Some(t.clone()),
+                );
                 Ok(RawOperand::Name(t))
             }
         }
@@ -550,7 +643,11 @@ fn collect_locals(body: &[Stmt]) -> Vec<String> {
         for s in body {
             match s {
                 Stmt::VarDecl { name, .. } => out.push(name.clone()),
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     rec(then_body, out);
                     if let Some(eb) = else_body {
                         rec(eb, out);
@@ -579,9 +676,7 @@ mod tests {
 
     #[test]
     fn flattens_multi_operator_expressions() {
-        let raw = lower(
-            "pipeline[P]{a}; algorithm a { x = (ig_ts - eg_ts) & 0x0fffffff; }",
-        );
+        let raw = lower("pipeline[P]{a}; algorithm a { x = (ig_ts - eg_ts) & 0x0fffffff; }");
         let instrs = &raw.algorithms[0].instrs;
         // sub into temp, then and into x — exactly two single-operator ops.
         assert_eq!(instrs.len(), 2);
@@ -592,33 +687,47 @@ mod tests {
 
     #[test]
     fn branch_removal_applies_predicates() {
-        let raw = lower(
-            "pipeline[P]{a}; algorithm a { if (en) { x = 1; y = 2; } else { x = 3; } }",
-        );
+        let raw =
+            lower("pipeline[P]{a}; algorithm a { if (en) { x = 1; y = 2; } else { x = 3; } }");
         let instrs = &raw.algorithms[0].instrs;
         // then-branch: two instrs predicated on `en`; a Not; else predicated
         // on the negation.
-        let then_instrs: Vec<_> = instrs.iter().filter(|i| i.pred.as_deref() == Some("en")).collect();
+        let then_instrs: Vec<_> = instrs
+            .iter()
+            .filter(|i| i.pred.as_deref() == Some("en"))
+            .collect();
         assert_eq!(then_instrs.len(), 2);
         let not_instr = instrs
             .iter()
             .find(|i| matches!(i.op, RawOp::Unary { op: UnOp::Not, .. }))
             .expect("negation emitted");
         let neg_name = not_instr.dst.clone().unwrap();
-        assert!(instrs.iter().any(|i| i.pred.as_deref() == Some(neg_name.as_str())));
+        assert!(instrs
+            .iter()
+            .any(|i| i.pred.as_deref() == Some(neg_name.as_str())));
     }
 
     #[test]
     fn nested_branches_conjoin_predicates() {
-        let raw = lower(
-            "pipeline[P]{a}; algorithm a { if (p) { if (q) { x = 1; } } }",
-        );
+        let raw = lower("pipeline[P]{a}; algorithm a { if (p) { if (q) { x = 1; } } }");
         let instrs = &raw.algorithms[0].instrs;
         // The innermost assignment's predicate must be an And of p and q.
-        let assign = instrs.iter().find(|i| i.dst.as_deref() == Some("x")).unwrap();
+        let assign = instrs
+            .iter()
+            .find(|i| i.dst.as_deref() == Some("x"))
+            .unwrap();
         let pred_name = assign.pred.clone().unwrap();
-        let pred_def = instrs.iter().find(|i| i.dst.as_deref() == Some(pred_name.as_str())).unwrap();
-        assert!(matches!(pred_def.op, RawOp::Binary { op: BinOp::LAnd, .. }));
+        let pred_def = instrs
+            .iter()
+            .find(|i| i.dst.as_deref() == Some(pred_name.as_str()))
+            .unwrap();
+        assert!(matches!(
+            pred_def.op,
+            RawOp::Binary {
+                op: BinOp::LAnd,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -652,15 +761,18 @@ mod tests {
             .filter_map(|i| i.dst.clone())
             .filter(|d| d.contains("scratch"))
             .collect();
-        assert_eq!(scratch_names.len(), 2, "locals must be renamed per inline site");
+        assert_eq!(
+            scratch_names.len(),
+            2,
+            "locals must be renamed per inline site"
+        );
     }
 
     #[test]
     fn recursion_is_rejected() {
-        let prog = parse_program(
-            "pipeline[P]{a}; algorithm a { f(x); } func f(bit[8] v) { f(v); }",
-        )
-        .unwrap();
+        let prog =
+            parse_program("pipeline[P]{a}; algorithm a { f(x); } func f(bit[8] v) { f(v); }")
+                .unwrap();
         let info = check_program(&prog).unwrap();
         let err = lower_program(&prog, &info).unwrap_err();
         assert!(err.message.contains("recursive"));
@@ -713,7 +825,10 @@ mod tests {
         );
         let instrs = &raw.algorithms[0].instrs;
         assert!(matches!(instrs[0].op, RawOp::TableMember { .. }));
-        let lookup = instrs.iter().find(|i| matches!(i.op, RawOp::TableLookup { .. })).unwrap();
+        let lookup = instrs
+            .iter()
+            .find(|i| matches!(i.op, RawOp::TableLookup { .. }))
+            .unwrap();
         assert!(lookup.dst.is_some());
         // the lookup is predicated on the membership result
         assert!(lookup.pred.is_some());

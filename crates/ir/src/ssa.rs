@@ -103,7 +103,14 @@ fn ssa_algorithm(raw: &RawAlgorithm) -> IrAlgorithm {
         let op = convert_op(&ri.op, &mut cx);
         let dst = ri.dst.as_ref().map(|d| cx.write(d, iid));
         // Track negation structure for mutual-exclusivity analysis.
-        if let (Some(d), IrOp::Unary { op: UnOp::Not, a: Operand::Value(src) }) = (dst, &op) {
+        if let (
+            Some(d),
+            IrOp::Unary {
+                op: UnOp::Not,
+                a: Operand::Value(src),
+            },
+        ) = (dst, &op)
+        {
             cx.values[d.index()].neg_of = Some(*src);
         }
         // Predicate temporaries get the Predicate storage class.
@@ -116,16 +123,25 @@ fn ssa_algorithm(raw: &RawAlgorithm) -> IrAlgorithm {
         }
         instrs.push(Instr { pred, op, dst });
     }
-    IrAlgorithm { name: raw.name.clone(), instrs, values: cx.values }
+    IrAlgorithm {
+        name: raw.name.clone(),
+        instrs,
+        values: cx.values,
+    }
 }
 
 fn convert_op(op: &RawOp, cx: &mut SsaCx) -> IrOp {
     match op {
         RawOp::Assign(a) => IrOp::Assign(cx.operand(a)),
-        RawOp::Binary { op, a, b } => {
-            IrOp::Binary { op: *op, a: cx.operand(a), b: cx.operand(b) }
-        }
-        RawOp::Unary { op, a } => IrOp::Unary { op: *op, a: cx.operand(a) },
+        RawOp::Binary { op, a, b } => IrOp::Binary {
+            op: *op,
+            a: cx.operand(a),
+            b: cx.operand(b),
+        },
+        RawOp::Unary { op, a } => IrOp::Unary {
+            op: *op,
+            a: cx.operand(a),
+        },
         RawOp::Call { name, args } => IrOp::Call {
             name: name.clone(),
             args: args.iter().map(|a| cx.operand(a)).collect(),
@@ -134,21 +150,32 @@ fn convert_op(op: &RawOp, cx: &mut SsaCx) -> IrOp {
             name: name.clone(),
             args: args.iter().map(|a| cx.operand(a)).collect(),
         },
-        RawOp::TableLookup { table, key } => {
-            IrOp::TableLookup { table: table.clone(), key: cx.operand(key) }
-        }
-        RawOp::TableMember { table, key } => {
-            IrOp::TableMember { table: table.clone(), key: cx.operand(key) }
-        }
-        RawOp::GlobalRead { global, index } => {
-            IrOp::GlobalRead { global: global.clone(), index: cx.operand(index) }
-        }
-        RawOp::GlobalWrite { global, index, value } => IrOp::GlobalWrite {
+        RawOp::TableLookup { table, key } => IrOp::TableLookup {
+            table: table.clone(),
+            key: cx.operand(key),
+        },
+        RawOp::TableMember { table, key } => IrOp::TableMember {
+            table: table.clone(),
+            key: cx.operand(key),
+        },
+        RawOp::GlobalRead { global, index } => IrOp::GlobalRead {
+            global: global.clone(),
+            index: cx.operand(index),
+        },
+        RawOp::GlobalWrite {
+            global,
+            index,
+            value,
+        } => IrOp::GlobalWrite {
             global: global.clone(),
             index: cx.operand(index),
             value: cx.operand(value),
         },
-        RawOp::Slice { a, hi, lo } => IrOp::Slice { a: cx.operand(a), hi: *hi, lo: *lo },
+        RawOp::Slice { a, hi, lo } => IrOp::Slice {
+            a: cx.operand(a),
+            hi: *hi,
+            lo: *lo,
+        },
     }
 }
 
@@ -166,9 +193,7 @@ mod tests {
 
     #[test]
     fn single_assignment_property() {
-        let ir = ssa(
-            "pipeline[P]{a}; algorithm a { x = 1; x = x + 1; x = x + 2; y = x; }",
-        );
+        let ir = ssa("pipeline[P]{a}; algorithm a { x = 1; x = x + 1; x = x + 2; y = x; }");
         let alg = &ir.algorithms[0];
         let mut seen = std::collections::HashSet::new();
         for i in &alg.instrs {
@@ -220,7 +245,11 @@ mod tests {
     fn negation_tracked() {
         let ir = ssa("pipeline[P]{a}; algorithm a { if (c) { x = 1; } else { x = 2; } }");
         let alg = &ir.algorithms[0];
-        let neg = alg.values.iter().find(|v| v.neg_of.is_some()).expect("negation value");
+        let neg = alg
+            .values
+            .iter()
+            .find(|v| v.neg_of.is_some())
+            .expect("negation value");
         let pos = alg.value(neg.neg_of.unwrap());
         assert_eq!(pos.base, "c");
     }

@@ -92,7 +92,10 @@ fn header_field_width(
 ) -> Option<u32> {
     for h in headers {
         let matches = h.name == instance
-            || h.name.strip_suffix("_t").map(|s| s == instance).unwrap_or(false);
+            || h.name
+                .strip_suffix("_t")
+                .map(|s| s == instance)
+                .unwrap_or(false);
         if matches {
             if let Some(f) = h.fields.iter().find(|f| f.name == field) {
                 return Some(f.ty.width);
@@ -239,10 +242,8 @@ mod tests {
 
     #[test]
     fn global_read_width() {
-        let ir = frontend(
-            "pipeline[P]{a}; algorithm a { global bit[16][64] g; x = g[i]; }",
-        )
-        .unwrap();
+        let ir =
+            frontend("pipeline[P]{a}; algorithm a { global bit[16][64] g; x = g[i]; }").unwrap();
         assert_eq!(width_of(&ir, 0, "x"), 16);
     }
 

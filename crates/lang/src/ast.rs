@@ -2,10 +2,9 @@
 //! with every construct the paper's examples use).
 
 use crate::Span;
-use serde::{Deserialize, Serialize};
 
 /// A complete Lyra program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     /// `header_type` declarations.
     pub headers: Vec<HeaderType>,
@@ -39,14 +38,14 @@ impl Program {
 }
 
 /// A bit-vector type `bit[w]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitTy {
     /// Width in bits.
     pub width: u32,
 }
 
 /// A named, typed field (header field, function parameter, table column).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypedField {
     /// The field's bit type.
     pub ty: BitTy,
@@ -58,7 +57,7 @@ pub struct TypedField {
 ///
 /// The `fields { ... }` wrapper is optional in our parser since Figure 4
 /// writes fields directly inside the braces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeaderType {
     /// Header type name (e.g. `int_probe_hdr_t`).
     pub name: String,
@@ -77,7 +76,7 @@ impl HeaderType {
 
 /// A `packet name { fields { ... } }` declaration — the metadata bundle that
 /// travels with a packet through the one-big-pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketDecl {
     /// Packet name.
     pub name: String,
@@ -88,7 +87,7 @@ pub struct PacketDecl {
 }
 
 /// A parser state: extract a header, then select the next state on a field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParserNode {
     /// State name (e.g. `parse_ipv4`).
     pub name: String,
@@ -108,7 +107,7 @@ pub struct ParserNode {
 }
 
 /// A one-big-pipeline: an ordered chain of algorithm names.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
     /// Pipeline name (e.g. `INT`).
     pub name: String,
@@ -119,7 +118,7 @@ pub struct Pipeline {
 }
 
 /// An `algorithm name { ... }` declaration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Algorithm {
     /// Algorithm name.
     pub name: String,
@@ -132,7 +131,7 @@ pub struct Algorithm {
 /// A `func name(params) { ... }` declaration. Parameters are by-reference:
 /// assignments to a parameter are visible to the caller after inlining
 /// (Figure 8 relies on this).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name.
     pub name: String,
@@ -145,7 +144,7 @@ pub struct Function {
 }
 
 /// The kind of an `extern` table variable (§3.4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExternKind {
     /// `extern list<bit[32] ip>[1024] name;` — membership set.
     List {
@@ -164,7 +163,7 @@ pub enum ExternKind {
 
 /// How an extern table matches its key (Appendix D: different ASICs offer
 /// different match capabilities, and Lyra converts between them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatchKind {
     /// Exact match (hash/SRAM-resident).
     #[default]
@@ -196,7 +195,7 @@ impl MatchKind {
 }
 
 /// An `extern` declaration: a control-plane-managed table (§3.4, §5.8).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExternVar {
     /// Table name.
     pub name: String,
@@ -227,7 +226,7 @@ impl ExternVar {
 }
 
 /// A statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `bit[8] x;` or `bit[8] x = e;`
     VarDecl {
@@ -304,7 +303,7 @@ impl Stmt {
 }
 
 /// An assignable location.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LValue {
     /// A (possibly dotted) path: `x` or `ipv4.dstAddr`.
     Path(Vec<String>),
@@ -328,7 +327,7 @@ impl LValue {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -371,7 +370,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators producing 1-bit results.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for boolean connectives.
@@ -405,7 +407,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Logical not `!`.
     Not,
@@ -416,7 +418,7 @@ pub enum UnOp {
 }
 
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// Integer literal.
     Num(u64),
@@ -540,8 +542,14 @@ mod tests {
         let h = HeaderType {
             name: "h".into(),
             fields: vec![
-                TypedField { ty: BitTy { width: 8 }, name: "a".into() },
-                TypedField { ty: BitTy { width: 24 }, name: "b".into() },
+                TypedField {
+                    ty: BitTy { width: 8 },
+                    name: "a".into(),
+                },
+                TypedField {
+                    ty: BitTy { width: 24 },
+                    name: "b".into(),
+                },
             ],
             span: Span::default(),
         };
@@ -555,10 +563,19 @@ mod tests {
             match_kind: MatchKind::Exact,
             kind: ExternKind::Dict {
                 keys: vec![
-                    TypedField { ty: BitTy { width: 32 }, name: "src".into() },
-                    TypedField { ty: BitTy { width: 32 }, name: "dst".into() },
+                    TypedField {
+                        ty: BitTy { width: 32 },
+                        name: "src".into(),
+                    },
+                    TypedField {
+                        ty: BitTy { width: 32 },
+                        name: "dst".into(),
+                    },
                 ],
-                values: vec![TypedField { ty: BitTy { width: 8 }, name: "p".into() }],
+                values: vec![TypedField {
+                    ty: BitTy { width: 8 },
+                    name: "p".into(),
+                }],
             },
             size: 1024,
         };

@@ -12,6 +12,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use lyra_diag::{codes, Code, Diagnostic};
+
 use crate::ast::*;
 
 /// Signature of a predefined library function call (§3.2: "Lyra also offers
@@ -39,7 +41,15 @@ pub fn builtins() -> &'static HashMap<&'static str, BuiltinSig> {
     TABLE.get_or_init(|| {
         let mut m = HashMap::new();
         let mut b = |name, min, max, w: Option<u32>, egress| {
-            m.insert(name, BuiltinSig { min_args: min, max_args: max, result_width: w, egress_only: egress });
+            m.insert(
+                name,
+                BuiltinSig {
+                    min_args: min,
+                    max_args: max,
+                    result_width: w,
+                    egress_only: egress,
+                },
+            );
         };
         b("crc32_hash", 1, 16, Some(32), false);
         b("crc16_hash", 1, 16, Some(16), false);
@@ -69,17 +79,9 @@ pub fn builtins() -> &'static HashMap<&'static str, BuiltinSig> {
     })
 }
 
-/// A single diagnostic message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Human-readable message.
-    pub message: String,
-    /// Offending span.
-    pub span: crate::Span,
-}
-
-/// Checker failure: one or more hard errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Checker failure: one or more hard errors, each a structured
+/// [`Diagnostic`] with a stable `LYR01xx` code and the offending span.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckError {
     /// All hard errors found.
     pub errors: Vec<Diagnostic>,
@@ -88,19 +90,25 @@ pub struct CheckError {
 impl std::fmt::Display for CheckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for e in &self.errors {
-            writeln!(f, "error at byte {}: {}", e.span.lo, e.message)?;
+            writeln!(f, "{e}")?;
         }
         Ok(())
     }
 }
 
-impl std::error::Error for CheckError {}
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.errors
+            .first()
+            .map(|d| d as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// Result of a successful check: symbol information plus soft warnings.
 #[derive(Debug, Clone, Default)]
 pub struct CheckInfo {
-    /// Names that were referenced without declaration and treated as packet
-    /// metadata (with messages explaining where).
+    /// Soft warnings (`LYR015x`), e.g. names referenced without declaration
+    /// and treated as packet metadata.
     pub warnings: Vec<Diagnostic>,
     /// Every extern table declared anywhere in the program, by name.
     pub externs: HashMap<String, ExternVar>,
@@ -161,18 +169,24 @@ struct Ctx<'p> {
 }
 
 impl<'p> Ctx<'p> {
-    fn error(&mut self, span: crate::Span, message: impl Into<String>) {
-        self.errors.push(Diagnostic { message: message.into(), span });
+    fn error(&mut self, code: Code, span: crate::Span, message: impl Into<String>) {
+        self.errors
+            .push(Diagnostic::error(code, message).with_anonymous_span(span));
     }
 
-    fn warn(&mut self, span: crate::Span, message: impl Into<String>) {
-        self.info.warnings.push(Diagnostic { message: message.into(), span });
+    fn warn(&mut self, code: Code, span: crate::Span, message: impl Into<String>) {
+        self.info
+            .warnings
+            .push(Diagnostic::warning(code, message).with_anonymous_span(span));
     }
 
     fn collect_headers(&mut self) {
         for h in &self.prog.headers {
-            let fields: HashMap<String, u32> =
-                h.fields.iter().map(|f| (f.name.clone(), f.ty.width)).collect();
+            let fields: HashMap<String, u32> = h
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.width))
+                .collect();
             self.header_instances.insert(h.name.clone(), fields.clone());
             if let Some(stripped) = h.name.strip_suffix("_t") {
                 self.header_instances.insert(stripped.to_string(), fields);
@@ -184,41 +198,67 @@ impl<'p> Ctx<'p> {
         let mut seen = HashSet::new();
         for h in &self.prog.headers {
             if !seen.insert(format!("header:{}", h.name)) {
-                self.error(h.span, format!("duplicate header_type `{}`", h.name));
+                self.error(
+                    codes::DUPLICATE_DEF,
+                    h.span,
+                    format!("duplicate header_type `{}`", h.name),
+                );
             }
         }
         let mut seen = HashSet::new();
         for a in &self.prog.algorithms {
             if !seen.insert(a.name.clone()) {
-                self.error(a.span, format!("duplicate algorithm `{}`", a.name));
+                self.error(
+                    codes::DUPLICATE_DEF,
+                    a.span,
+                    format!("duplicate algorithm `{}`", a.name),
+                );
             }
         }
         let mut seen = HashSet::new();
         for f in &self.prog.functions {
             if !seen.insert(f.name.clone()) {
-                self.error(f.span, format!("duplicate function `{}`", f.name));
+                self.error(
+                    codes::DUPLICATE_DEF,
+                    f.span,
+                    format!("duplicate function `{}`", f.name),
+                );
             }
             if builtins().contains_key(f.name.as_str()) {
                 self.error(
+                    codes::SHADOWS_BUILTIN,
                     f.span,
-                    format!("function `{}` shadows a predefined library function", f.name),
+                    format!(
+                        "function `{}` shadows a predefined library function",
+                        f.name
+                    ),
                 );
             }
         }
         let mut seen = HashSet::new();
         for p in &self.prog.pipelines {
             if !seen.insert(p.name.clone()) {
-                self.error(p.span, format!("duplicate pipeline `{}`", p.name));
+                self.error(
+                    codes::DUPLICATE_DEF,
+                    p.span,
+                    format!("duplicate pipeline `{}`", p.name),
+                );
             }
         }
     }
 
     fn check_pipelines(&mut self) {
-        let algs: HashSet<&str> = self.prog.algorithms.iter().map(|a| a.name.as_str()).collect();
+        let algs: HashSet<&str> = self
+            .prog
+            .algorithms
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         for p in &self.prog.pipelines {
             for a in &p.algorithms {
                 if !algs.contains(a.as_str()) {
                     self.error(
+                        codes::UNKNOWN_ALGORITHM,
                         p.span,
                         format!("pipeline `{}` references unknown algorithm `{a}`", p.name),
                     );
@@ -234,7 +274,11 @@ impl<'p> Ctx<'p> {
             .collect();
         for a in &self.prog.algorithms {
             if !piped.contains(a.name.as_str()) {
-                self.warn(a.span, format!("algorithm `{}` is not part of any pipeline", a.name));
+                self.warn(
+                    codes::UNUSED_ALGORITHM,
+                    a.span,
+                    format!("algorithm `{}` is not part of any pipeline", a.name),
+                );
             }
         }
     }
@@ -246,25 +290,50 @@ impl<'p> Ctx<'p> {
                     match s {
                         Stmt::ExternDecl { var, span } => {
                             if cx.info.externs.contains_key(&var.name) {
-                                cx.error(*span, format!("duplicate extern `{}`", var.name));
+                                cx.error(
+                                    codes::DUPLICATE_DEF,
+                                    *span,
+                                    format!("duplicate extern `{}`", var.name),
+                                );
                             } else {
                                 cx.info.externs.insert(var.name.clone(), var.clone());
                             }
                             if var.size == 0 {
-                                cx.error(*span, format!("extern `{}` has zero entries", var.name));
+                                cx.error(
+                                    codes::ZERO_WIDTH,
+                                    *span,
+                                    format!("extern `{}` has zero entries", var.name),
+                                );
                             }
                         }
-                        Stmt::GlobalDecl { ty, len, name, span } => {
+                        Stmt::GlobalDecl {
+                            ty,
+                            len,
+                            name,
+                            span,
+                        } => {
                             if ty.width == 0 {
-                                cx.error(*span, format!("global `{name}` has zero width"));
+                                cx.error(
+                                    codes::ZERO_WIDTH,
+                                    *span,
+                                    format!("global `{name}` has zero width"),
+                                );
                             }
                             if cx.info.globals.contains_key(name) {
-                                cx.error(*span, format!("duplicate global `{name}`"));
+                                cx.error(
+                                    codes::DUPLICATE_DEF,
+                                    *span,
+                                    format!("duplicate global `{name}`"),
+                                );
                             } else {
                                 cx.info.globals.insert(name.clone(), (ty.width, *len));
                             }
                         }
-                        Stmt::If { then_body, else_body, .. } => {
+                        Stmt::If {
+                            then_body,
+                            else_body,
+                            ..
+                        } => {
                             rec(then_body, cx);
                             if let Some(eb) = else_body {
                                 rec(eb, cx);
@@ -289,9 +358,18 @@ impl<'p> Ctx<'p> {
     fn check_body(&mut self, body: &[Stmt], scope: &mut HashSet<String>) {
         for s in body {
             match s {
-                Stmt::VarDecl { ty, name, init, span } => {
+                Stmt::VarDecl {
+                    ty,
+                    name,
+                    init,
+                    span,
+                } => {
                     if ty.width == 0 {
-                        self.error(*span, format!("variable `{name}` has zero width"));
+                        self.error(
+                            codes::ZERO_WIDTH,
+                            *span,
+                            format!("variable `{name}` has zero width"),
+                        );
                     }
                     if let Some(e) = init {
                         self.check_expr(e, scope, *span);
@@ -317,6 +395,7 @@ impl<'p> Ctx<'p> {
                                 && !self.info.externs.contains_key(base)
                             {
                                 self.error(
+                                    codes::BAD_INDEX,
                                     *span,
                                     format!("indexed assignment to unknown table/global `{base}`"),
                                 );
@@ -324,7 +403,12 @@ impl<'p> Ctx<'p> {
                         }
                     }
                 }
-                Stmt::If { cond, then_body, else_body, span } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                } => {
                     self.check_expr(cond, scope, *span);
                     let mut t = scope.clone();
                     self.check_body(then_body, &mut t);
@@ -353,10 +437,17 @@ impl<'p> Ctx<'p> {
         }
     }
 
-    fn check_call(&mut self, name: &str, args: &[Expr], scope: &mut HashSet<String>, span: crate::Span) {
+    fn check_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        scope: &mut HashSet<String>,
+        span: crate::Span,
+    ) {
         if let Some(sig) = builtins().get(name) {
             if args.len() < sig.min_args || args.len() > sig.max_args {
                 self.error(
+                    codes::ARITY_MISMATCH,
                     span,
                     format!(
                         "builtin `{name}` takes {}..={} arguments, got {}",
@@ -369,6 +460,7 @@ impl<'p> Ctx<'p> {
         } else if let Some(f) = self.prog.function(name) {
             if f.params.len() != args.len() {
                 self.error(
+                    codes::ARITY_MISMATCH,
                     span,
                     format!(
                         "function `{name}` takes {} arguments, got {}",
@@ -378,7 +470,11 @@ impl<'p> Ctx<'p> {
                 );
             }
         } else {
-            self.error(span, format!("call to unknown function `{name}`"));
+            self.error(
+                codes::UNKNOWN_FUNCTION,
+                span,
+                format!("call to unknown function `{name}`"),
+            );
         }
         for a in args {
             // Bare single-name arguments may be out-params; don't require
@@ -400,13 +496,18 @@ impl<'p> Ctx<'p> {
             // Header or metadata field access.
             if let Some(fields) = self.header_instances.get(&p[0]) {
                 if !fields.contains_key(&p[1]) {
-                    self.error(span, format!("header `{}` has no field `{}`", p[0], p[1]));
+                    self.error(
+                        codes::UNKNOWN_FIELD,
+                        span,
+                        format!("header `{}` has no field `{}`", p[0], p[1]),
+                    );
                 }
                 return;
             }
             // Unknown first segment: treat as implicit metadata bundle.
             if !scope.contains(&p[0]) {
                 self.warn(
+                    codes::IMPLICIT_METADATA,
                     span,
                     format!("`{}` treated as implicit packet metadata", p.join(".")),
                 );
@@ -424,7 +525,11 @@ impl<'p> Ctx<'p> {
             // Writing introduces an implicit metadata variable.
             return;
         }
-        self.warn(span, format!("`{name}` treated as implicit packet metadata"));
+        self.warn(
+            codes::IMPLICIT_METADATA,
+            span,
+            format!("`{name}` treated as implicit packet metadata"),
+        );
     }
 
     fn check_expr(&mut self, e: &Expr, scope: &HashSet<String>, span: crate::Span) {
@@ -433,7 +538,11 @@ impl<'p> Ctx<'p> {
             Expr::Path(p) => self.check_path_is_known(p, scope, span, false),
             Expr::Index { base, index } => {
                 if !self.info.externs.contains_key(base) && !self.info.globals.contains_key(base) {
-                    self.error(span, format!("indexing unknown table/global `{base}`"));
+                    self.error(
+                        codes::BAD_INDEX,
+                        span,
+                        format!("indexing unknown table/global `{base}`"),
+                    );
                 }
                 self.check_expr(index, scope, span);
             }
@@ -445,10 +554,15 @@ impl<'p> Ctx<'p> {
             Expr::Call { name, args } => {
                 if let Some(sig) = builtins().get(name.as_str()) {
                     if sig.result_width.is_none() {
-                        self.error(span, format!("builtin `{name}` has no result; cannot be used as a value"));
+                        self.error(
+                            codes::VOID_AS_VALUE,
+                            span,
+                            format!("builtin `{name}` has no result; cannot be used as a value"),
+                        );
                     }
                     if args.len() < sig.min_args || args.len() > sig.max_args {
                         self.error(
+                            codes::ARITY_MISMATCH,
                             span,
                             format!(
                                 "builtin `{name}` takes {}..={} arguments, got {}",
@@ -459,7 +573,11 @@ impl<'p> Ctx<'p> {
                         );
                     }
                 } else if self.prog.function(name).is_none() {
-                    self.error(span, format!("call to unknown function `{name}`"));
+                    self.error(
+                        codes::UNKNOWN_FUNCTION,
+                        span,
+                        format!("call to unknown function `{name}`"),
+                    );
                 }
                 for a in args {
                     self.check_expr(a, scope, span);
@@ -467,13 +585,21 @@ impl<'p> Ctx<'p> {
             }
             Expr::InTable { key, table } => {
                 if !self.info.externs.contains_key(table) {
-                    self.error(span, format!("`in` test against undeclared extern `{table}`"));
+                    self.error(
+                        codes::UNKNOWN_EXTERN,
+                        span,
+                        format!("`in` test against undeclared extern `{table}`"),
+                    );
                 }
                 self.check_expr(key, scope, span);
             }
             Expr::Slice { base, hi, lo } => {
                 if hi < lo {
-                    self.error(span, format!("bit slice `{}[{hi}:{lo}]` has hi < lo", base.join(".")));
+                    self.error(
+                        codes::BAD_SLICE,
+                        span,
+                        format!("bit slice `{}[{hi}:{lo}]` has hi < lo", base.join(".")),
+                    );
                 }
                 self.check_path_is_known(base, scope, span, false);
             }
@@ -515,7 +641,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_algorithms() {
-        let err = check("pipeline[P]{a}; algorithm a { x = 1; } algorithm a { y = 1; }").unwrap_err();
+        let err =
+            check("pipeline[P]{a}; algorithm a { x = 1; } algorithm a { y = 1; }").unwrap_err();
         assert!(err.errors[0].message.contains("duplicate algorithm"));
     }
 
@@ -533,7 +660,8 @@ mod tests {
 
     #[test]
     fn rejects_in_on_undeclared_table() {
-        let err = check("pipeline[P]{a}; algorithm a { if (x in nowhere) { y = 1; } }").unwrap_err();
+        let err =
+            check("pipeline[P]{a}; algorithm a { if (x in nowhere) { y = 1; } }").unwrap_err();
         assert!(err.errors[0].message.contains("undeclared extern"));
     }
 
@@ -588,7 +716,8 @@ mod tests {
 
     #[test]
     fn rejects_shadowing_builtin() {
-        let err = check("pipeline[P]{a}; algorithm a { x = 1; } func drop() { y = 1; }").unwrap_err();
+        let err =
+            check("pipeline[P]{a}; algorithm a { x = 1; } func drop() { y = 1; }").unwrap_err();
         assert!(err.errors[0].message.contains("shadows"));
     }
 }

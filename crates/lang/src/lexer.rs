@@ -101,7 +101,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
 
     macro_rules! push {
         ($tok:expr, $lo:expr, $hi:expr) => {
-            out.push(SpannedTok { tok: $tok, span: Span::new($lo as u32, $hi as u32) })
+            out.push(SpannedTok {
+                tok: $tok,
+                span: Span::new($lo as u32, $hi as u32),
+            })
         };
     }
 

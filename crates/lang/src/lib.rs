@@ -49,39 +49,9 @@ pub use check::{check_program, CheckError};
 pub use parser::{parse_program, ParseError};
 pub use scope::{parse_scopes, DeployMode, Direction, ScopeError, ScopeSpec};
 
-/// A half-open byte span into the source text, used for diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
-pub struct Span {
-    /// Start byte offset.
-    pub lo: u32,
-    /// End byte offset (exclusive).
-    pub hi: u32,
-}
-
-impl Span {
-    /// Construct a span.
-    pub fn new(lo: u32, hi: u32) -> Self {
-        Span { lo, hi }
-    }
-
-    /// The 1-based line/column of `self.lo` within `src`.
-    pub fn line_col(&self, src: &str) -> (usize, usize) {
-        let mut line = 1;
-        let mut col = 1;
-        for (i, ch) in src.char_indices() {
-            if i as u32 >= self.lo {
-                break;
-            }
-            if ch == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-        }
-        (line, col)
-    }
-}
+// The span type is shared across the whole workspace via `lyra-diag` so a
+// single `SourceMap` can render snippets for diagnostics from any phase.
+pub use lyra_diag::Span;
 
 /// Count the *logic* lines of code of a Lyra source: non-empty, non-comment
 /// lines, excluding header/parser definitions. This matches the paper's

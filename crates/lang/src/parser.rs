@@ -28,7 +28,11 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, span } => write!(
+            ParseError::Unexpected {
+                found,
+                expected,
+                span,
+            } => write!(
                 f,
                 "parse error at byte {}: expected {expected}, found {found}",
                 span.lo
@@ -42,6 +46,34 @@ impl std::error::Error for ParseError {}
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError::Lex(e)
+    }
+}
+
+impl ParseError {
+    /// The span of the offending source region.
+    pub fn span(&self) -> Span {
+        match self {
+            ParseError::Lex(e) => e.span,
+            ParseError::Unexpected { span, .. } => *span,
+        }
+    }
+
+    /// Convert to a structured diagnostic (`LYR0001` for lex errors,
+    /// `LYR0002` for parse errors). The span's source id is attached by
+    /// the driver.
+    pub fn to_diagnostic(&self) -> lyra_diag::Diagnostic {
+        use lyra_diag::{codes, Diagnostic};
+        match self {
+            ParseError::Lex(e) => {
+                Diagnostic::error(codes::LEX, e.message.clone()).with_anonymous_span(e.span)
+            }
+            ParseError::Unexpected {
+                found,
+                expected,
+                span,
+            } => Diagnostic::error(codes::PARSE, format!("expected {expected}, found {found}"))
+                .with_anonymous_span(*span),
+        }
     }
 }
 
@@ -200,7 +232,11 @@ impl Parser {
         let name = self.eat_ident()?;
         let fields = self.field_block()?;
         let hi = self.toks[self.pos.saturating_sub(1)].span.hi;
-        Ok(HeaderType { name, fields, span: Span::new(lo, hi) })
+        Ok(HeaderType {
+            name,
+            fields,
+            span: Span::new(lo, hi),
+        })
     }
 
     fn packet_decl(&mut self) -> Result<PacketDecl, ParseError> {
@@ -209,7 +245,11 @@ impl Parser {
         let name = self.eat_ident()?;
         let fields = self.field_block()?;
         let hi = self.toks[self.pos.saturating_sub(1)].span.hi;
-        Ok(PacketDecl { name, fields, span: Span::new(lo, hi) })
+        Ok(PacketDecl {
+            name,
+            fields,
+            span: Span::new(lo, hi),
+        })
     }
 
     fn parser_node(&mut self) -> Result<ParserNode, ParseError> {
@@ -288,7 +328,11 @@ impl Parser {
         self.eat_punct(Punct::RBrace)?;
         self.eat_punct(Punct::Semi)?;
         let hi = self.toks[self.pos.saturating_sub(1)].span.hi;
-        Ok(Pipeline { name, algorithms, span: Span::new(lo, hi) })
+        Ok(Pipeline {
+            name,
+            algorithms,
+            span: Span::new(lo, hi),
+        })
     }
 
     fn algorithm(&mut self) -> Result<Algorithm, ParseError> {
@@ -297,7 +341,11 @@ impl Parser {
         let name = self.eat_ident()?;
         let body = self.block()?;
         let hi = self.toks[self.pos.saturating_sub(1)].span.hi;
-        Ok(Algorithm { name, body, span: Span::new(lo, hi) })
+        Ok(Algorithm {
+            name,
+            body,
+            span: Span::new(lo, hi),
+        })
     }
 
     fn function(&mut self) -> Result<Function, ParseError> {
@@ -316,7 +364,12 @@ impl Parser {
         self.eat_punct(Punct::RParen)?;
         let body = self.block()?;
         let hi = self.toks[self.pos.saturating_sub(1)].span.hi;
-        Ok(Function { name, params, body, span: Span::new(lo, hi) })
+        Ok(Function {
+            name,
+            params,
+            body,
+            span: Span::new(lo, hi),
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -342,7 +395,12 @@ impl Parser {
             };
             self.eat_punct(Punct::Semi)?;
             let hi = self.toks[self.pos - 1].span.hi;
-            return Ok(Stmt::VarDecl { ty, name, init, span: Span::new(lo, hi) });
+            return Ok(Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                span: Span::new(lo, hi),
+            });
         }
         if self.at_kw("global") {
             self.bump();
@@ -358,12 +416,20 @@ impl Parser {
             let name = self.eat_ident()?;
             self.eat_punct(Punct::Semi)?;
             let hi = self.toks[self.pos - 1].span.hi;
-            return Ok(Stmt::GlobalDecl { ty, len, name, span: Span::new(lo, hi) });
+            return Ok(Stmt::GlobalDecl {
+                ty,
+                len,
+                name,
+                span: Span::new(lo, hi),
+            });
         }
         if self.at_kw("extern") {
             let var = self.extern_decl()?;
             let hi = self.toks[self.pos - 1].span.hi;
-            return Ok(Stmt::ExternDecl { var, span: Span::new(lo, hi) });
+            return Ok(Stmt::ExternDecl {
+                var,
+                span: Span::new(lo, hi),
+            });
         }
         if self.at_kw("if") {
             return self.if_stmt();
@@ -387,14 +453,21 @@ impl Parser {
             self.eat_punct(Punct::RParen)?;
             self.eat_punct(Punct::Semi)?;
             let hi = self.toks[self.pos - 1].span.hi;
-            return Ok(Stmt::Call { name: first, args, span: Span::new(lo, hi) });
+            return Ok(Stmt::Call {
+                name: first,
+                args,
+                span: Span::new(lo, hi),
+            });
         }
         // lvalue: path or index
         let lhs = if self.at_punct(Punct::LBracket) {
             self.bump();
             let index = self.expr()?;
             self.eat_punct(Punct::RBracket)?;
-            LValue::Index { base: first, index: Box::new(index) }
+            LValue::Index {
+                base: first,
+                index: Box::new(index),
+            }
         } else {
             let mut path = vec![first];
             while self.at_punct(Punct::Dot) {
@@ -407,7 +480,11 @@ impl Parser {
         let rhs = self.expr()?;
         self.eat_punct(Punct::Semi)?;
         let hi = self.toks[self.pos - 1].span.hi;
-        Ok(Stmt::Assign { lhs, rhs, span: Span::new(lo, hi) })
+        Ok(Stmt::Assign {
+            lhs,
+            rhs,
+            span: Span::new(lo, hi),
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -428,7 +505,12 @@ impl Parser {
             None
         };
         let hi = self.toks[self.pos - 1].span.hi;
-        Ok(Stmt::If { cond, then_body, else_body, span: Span::new(lo, hi) })
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span: Span::new(lo, hi),
+        })
     }
 
     /// `switch (e) { case N: { ... } ... default: { ... } }` — syntax sugar
@@ -470,7 +552,12 @@ impl Parser {
                 lhs: Box::new(scrutinee.clone()),
                 rhs: Box::new(Expr::Num(v)),
             };
-            let stmt = Stmt::If { cond, then_body: body, else_body: tail, span };
+            let stmt = Stmt::If {
+                cond,
+                then_body: body,
+                else_body: tail,
+                span,
+            };
             tail = Some(vec![stmt]);
         }
         match tail {
@@ -517,7 +604,12 @@ impl Parser {
         self.eat_punct(Punct::RBracket)?;
         let name = self.eat_ident()?;
         self.eat_punct(Punct::Semi)?;
-        Ok(ExternVar { name, kind, match_kind, size })
+        Ok(ExternVar {
+            name,
+            kind,
+            match_kind,
+            size,
+        })
     }
 
     /// If the next token is `<<`, split it into two `<` tokens. Needed for
@@ -528,8 +620,17 @@ impl Parser {
             let span = self.toks[self.pos].span;
             let lo = Span::new(span.lo, span.lo + 1);
             let hi = Span::new(span.lo + 1, span.hi);
-            self.toks[self.pos] = SpannedTok { tok: Tok::Punct(Punct::Lt), span: lo };
-            self.toks.insert(self.pos + 1, SpannedTok { tok: Tok::Punct(Punct::Lt), span: hi });
+            self.toks[self.pos] = SpannedTok {
+                tok: Tok::Punct(Punct::Lt),
+                span: lo,
+            };
+            self.toks.insert(
+                self.pos + 1,
+                SpannedTok {
+                    tok: Tok::Punct(Punct::Lt),
+                    span: hi,
+                },
+            );
         }
     }
 
@@ -569,7 +670,11 @@ impl Parser {
         while self.at_punct(Punct::OrOr) {
             self.bump();
             let rhs = self.land()?;
-            lhs = Expr::Bin { op: BinOp::LOr, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::LOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -579,7 +684,11 @@ impl Parser {
         while self.at_punct(Punct::AndAnd) {
             self.bump();
             let rhs = self.bitor()?;
-            lhs = Expr::Bin { op: BinOp::LAnd, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::LAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -589,7 +698,11 @@ impl Parser {
         while self.at_punct(Punct::Pipe) {
             self.bump();
             let rhs = self.bitxor()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -599,7 +712,11 @@ impl Parser {
         while self.at_punct(Punct::Caret) {
             self.bump();
             let rhs = self.bitand()?;
-            lhs = Expr::Bin { op: BinOp::Xor, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Xor,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -609,7 +726,11 @@ impl Parser {
         while self.at_punct(Punct::Amp) {
             self.bump();
             let rhs = self.equality()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -626,7 +747,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.relational()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -637,7 +762,10 @@ impl Parser {
             if self.at_kw("in") {
                 self.bump();
                 let table = self.eat_ident()?;
-                lhs = Expr::InTable { key: Box::new(lhs), table };
+                lhs = Expr::InTable {
+                    key: Box::new(lhs),
+                    table,
+                };
                 continue;
             }
             let op = if self.at_punct(Punct::Lt) {
@@ -653,7 +781,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.shift()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -670,7 +802,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -687,7 +823,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -706,7 +846,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -724,7 +868,10 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let expr = self.unary()?;
-            return Ok(Expr::Un { op, expr: Box::new(expr) });
+            return Ok(Expr::Un {
+                op,
+                expr: Box::new(expr),
+            });
         }
         self.primary()
     }
@@ -766,15 +913,22 @@ impl Parser {
                 // Index or slice?
                 if self.at_punct(Punct::LBracket) {
                     // Slice if `[num:num]`, else index.
-                    if let (Tok::Num(hi), Tok::Punct(Punct::Colon)) =
-                        (self.peek2().clone(), self.toks[(self.pos + 2).min(self.toks.len() - 1)].tok.clone())
-                    {
+                    if let (Tok::Num(hi), Tok::Punct(Punct::Colon)) = (
+                        self.peek2().clone(),
+                        self.toks[(self.pos + 2).min(self.toks.len() - 1)]
+                            .tok
+                            .clone(),
+                    ) {
                         self.bump(); // [
                         self.bump(); // hi
                         self.bump(); // :
                         let lo = self.eat_num()? as u32;
                         self.eat_punct(Punct::RBracket)?;
-                        return Ok(Expr::Slice { base: path, hi: hi as u32, lo });
+                        return Ok(Expr::Slice {
+                            base: path,
+                            hi: hi as u32,
+                            lo,
+                        });
                     }
                     if path.len() == 1 {
                         self.bump();
@@ -839,7 +993,10 @@ mod tests {
         assert_eq!(p.headers.len(), 1);
         assert_eq!(p.packets.len(), 1);
         assert_eq!(p.pipelines.len(), 2);
-        assert_eq!(p.pipelines[0].algorithms, vec!["int_in", "int_transit", "int_out"]);
+        assert_eq!(
+            p.pipelines[0].algorithms,
+            vec!["int_in", "int_transit", "int_out"]
+        );
         assert_eq!(p.algorithms.len(), 4);
         assert_eq!(p.functions.len(), 1);
         let f = &p.functions[0];
@@ -901,8 +1058,18 @@ mod tests {
             }
         "#;
         let p = parse_program(src).unwrap();
-        if let Stmt::If { else_body: Some(eb), .. } = &p.algorithms[0].body[0] {
-            assert!(matches!(&eb[0], Stmt::If { else_body: Some(_), .. }));
+        if let Stmt::If {
+            else_body: Some(eb),
+            ..
+        } = &p.algorithms[0].body[0]
+        {
+            assert!(matches!(
+                &eb[0],
+                Stmt::If {
+                    else_body: Some(_),
+                    ..
+                }
+            ));
         } else {
             panic!("bad structure");
         }
@@ -925,7 +1092,10 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         assert_eq!(p.parser_nodes.len(), 2);
-        assert_eq!(p.parser_nodes[0].transitions, vec![(0x0800, "parse_ipv4".to_string())]);
+        assert_eq!(
+            p.parser_nodes[0].transitions,
+            vec![(0x0800, "parse_ipv4".to_string())]
+        );
         assert_eq!(p.parser_nodes[0].default.as_deref(), Some("ingress"));
         assert_eq!(p.parser_nodes[1].sets.len(), 1);
     }
@@ -942,7 +1112,13 @@ mod tests {
         if let Stmt::If { cond, .. } = &p.algorithms[0].body[0] {
             assert!(matches!(cond, Expr::Bin { op: BinOp::Eq, .. }));
         }
-        assert!(matches!(&p.algorithms[0].body[1], Stmt::Assign { lhs: LValue::Index { .. }, .. }));
+        assert!(matches!(
+            &p.algorithms[0].body[1],
+            Stmt::Assign {
+                lhs: LValue::Index { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -979,13 +1155,21 @@ mod switch_tests {
         "#;
         let p = parse_program(src).unwrap();
         // Outer if: op == 1.
-        let Stmt::If { cond, else_body, .. } = &p.algorithms[0].body[0] else {
+        let Stmt::If {
+            cond, else_body, ..
+        } = &p.algorithms[0].body[0]
+        else {
             panic!("expected if");
         };
         assert_eq!(cond.to_src(), "(op == 1)");
         // else contains the op == 2 case, which has the default as else.
         let inner = else_body.as_ref().unwrap();
-        let Stmt::If { cond: c2, else_body: e2, .. } = &inner[0] else {
+        let Stmt::If {
+            cond: c2,
+            else_body: e2,
+            ..
+        } = &inner[0]
+        else {
             panic!("expected nested if");
         };
         assert_eq!(c2.to_src(), "(op == 2)");

@@ -39,8 +39,11 @@ pub fn print_program(p: &Program) -> String {
     if !p.functions.is_empty() {
         out.push_str(">FUNCTIONS:\n");
         for f in &p.functions {
-            let params: Vec<String> =
-                f.params.iter().map(|p| format!("bit[{}] {}", p.ty.width, p.name)).collect();
+            let params: Vec<String> = f
+                .params
+                .iter()
+                .map(|p| format!("bit[{}] {}", p.ty.width, p.name))
+                .collect();
             out.push_str(&format!("func {}({}) {{\n", f.name, params.join(", ")));
             for s in &f.body {
                 print_stmt(&mut out, s, 1);
@@ -77,7 +80,11 @@ fn print_parser_node(n: &ParserNode) -> String {
         s.push_str(&format!("    extract({e});\n"));
     }
     for (dst, src) in &n.sets {
-        s.push_str(&format!("    set_metadata({}, {});\n", dst.join("."), src.to_src()));
+        s.push_str(&format!(
+            "    set_metadata({}, {});\n",
+            dst.join("."),
+            src.to_src()
+        ));
     }
     if let Some(sel) = &n.select {
         s.push_str(&format!("    select({}) {{\n", sel.join(".")));
@@ -99,9 +106,12 @@ pub fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
     match s {
         Stmt::VarDecl { ty, name, init, .. } => {
             match init {
-                Some(e) => {
-                    out.push_str(&format!("{pad}bit[{}] {} = {};\n", ty.width, name, e.to_src()))
-                }
+                Some(e) => out.push_str(&format!(
+                    "{pad}bit[{}] {} = {};\n",
+                    ty.width,
+                    name,
+                    e.to_src()
+                )),
                 None => out.push_str(&format!("{pad}bit[{}] {};\n", ty.width, name)),
             };
         }
@@ -109,7 +119,10 @@ pub fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
             if *len == 1 {
                 out.push_str(&format!("{pad}global bit[{}] {};\n", ty.width, name));
             } else {
-                out.push_str(&format!("{pad}global bit[{}][{}] {};\n", ty.width, len, name));
+                out.push_str(&format!(
+                    "{pad}global bit[{}][{}] {};\n",
+                    ty.width, len, name
+                ));
             }
         }
         Stmt::ExternDecl { var, .. } => {
@@ -125,8 +138,10 @@ pub fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
                 }
                 ExternKind::Dict { keys, values } => {
                     let part = |fs: &[TypedField]| -> String {
-                        let inner: Vec<String> =
-                            fs.iter().map(|f| format!("bit[{}] {}", f.ty.width, f.name)).collect();
+                        let inner: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("bit[{}] {}", f.ty.width, f.name))
+                            .collect();
                         if fs.len() == 1 {
                             inner.into_iter().next().unwrap()
                         } else {
@@ -141,7 +156,12 @@ pub fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
         Stmt::Assign { lhs, rhs, .. } => {
             out.push_str(&format!("{pad}{} = {};\n", lhs.to_src(), rhs.to_src()));
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             out.push_str(&format!("{pad}if ({}) {{\n", cond.to_src()));
             for st in then_body {
                 print_stmt(out, st, indent + 1);
@@ -191,7 +211,8 @@ mod tests {
     fn roundtrip_preserves_ast_shape() {
         let p1 = parse_program(SRC).unwrap();
         let printed = print_program(&p1);
-        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let p2 =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(p1.headers.len(), p2.headers.len());
         assert_eq!(p1.pipelines, strip_spans_pipelines(&p2));
         assert_eq!(strip(&p1.algorithms[0].body), strip(&p2.algorithms[0].body));
@@ -212,7 +233,10 @@ mod tests {
         p.pipelines
             .iter()
             .zip(&orig.pipelines)
-            .map(|(x, o)| Pipeline { span: o.span, ..x.clone() })
+            .map(|(x, o)| Pipeline {
+                span: o.span,
+                ..x.clone()
+            })
             .collect()
     }
 }

@@ -17,10 +17,10 @@
 //! * **direct** — for MULTI-SW, the traffic direction
 //!   `(ingress,...->egress,...)`; `-` if not applicable.
 
-use serde::{Deserialize, Serialize};
+use lyra_diag::{codes, Diagnostic, Span};
 
 /// How an algorithm maps onto its region (§3.3 "Deploy").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeployMode {
     /// A copy of the whole algorithm on each switch of the region.
     PerSwitch,
@@ -29,7 +29,7 @@ pub enum DeployMode {
 }
 
 /// A traffic direction `(A,B -> C,D)` for MULTI-SW scopes (§3.3 "Direct").
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Direction {
     /// Switch names traffic enters through.
     pub from: Vec<String>,
@@ -38,7 +38,7 @@ pub struct Direction {
 }
 
 /// A region pattern: an exact switch name or a `prefix*` wildcard.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegionPat {
     /// Exact switch name.
     Exact(String),
@@ -57,7 +57,7 @@ impl RegionPat {
 }
 
 /// The scope of one algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScopeSpec {
     /// Algorithm name.
     pub algorithm: String,
@@ -67,6 +67,9 @@ pub struct ScopeSpec {
     pub deploy: DeployMode,
     /// Optional traffic direction (MULTI-SW only).
     pub direct: Option<Direction>,
+    /// Byte span of this scope's line within the scope source, so later
+    /// phases (scope resolution over the topology) can point back at it.
+    pub span: Span,
 }
 
 impl ScopeSpec {
@@ -86,6 +89,8 @@ impl ScopeSpec {
 pub struct ScopeError {
     /// 1-based line number.
     pub line: usize,
+    /// Byte span of the offending line within the scope source.
+    pub span: Span,
     /// Problem description.
     pub message: String,
 }
@@ -98,70 +103,98 @@ impl std::fmt::Display for ScopeError {
 
 impl std::error::Error for ScopeError {}
 
+impl ScopeError {
+    /// Convert to a structured diagnostic (code `LYR0201`). The span's
+    /// source id is attached by the driver.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::error(codes::SCOPE_SYNTAX, self.message.clone()).with_anonymous_span(self.span)
+    }
+}
+
 /// Parse a scope specification document (one `name: [ .. | .. | .. ]` per
 /// line; `#` and `//` comments and blank lines are skipped).
 pub fn parse_scopes(src: &str) -> Result<Vec<ScopeSpec>, ScopeError> {
     let mut out = Vec::new();
+    let mut offset = 0u32;
     for (i, raw) in src.lines().enumerate() {
         let line_no = i + 1;
+        // Span of the trimmed content of this line.
+        let leading = (raw.len() - raw.trim_start().len()) as u32;
+        let span = Span::new(offset + leading, offset + leading + raw.trim().len() as u32);
+        offset += raw.len() as u32 + 1;
+        let err = |message: String| ScopeError {
+            line: line_no,
+            span,
+            message,
+        };
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
             continue;
         }
-        let (name, rest) = line.split_once(':').ok_or_else(|| ScopeError {
-            line: line_no,
-            message: "expected `name: [ region | deploy | direct ]`".into(),
-        })?;
+        let (name, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err("expected `name: [ region | deploy | direct ]`".into()))?;
         let rest = rest.trim();
         if !rest.starts_with('[') || !rest.ends_with(']') {
-            return Err(ScopeError {
-                line: line_no,
-                message: "scope body must be bracketed: `[ region | deploy | direct ]`".into(),
-            });
+            return Err(err(
+                "scope body must be bracketed: `[ region | deploy | direct ]`".into(),
+            ));
         }
         let inner = &rest[1..rest.len() - 1];
         let parts: Vec<&str> = inner.split('|').map(str::trim).collect();
         if parts.len() != 3 {
-            return Err(ScopeError {
-                line: line_no,
-                message: format!("expected 3 `|`-separated fields, found {}", parts.len()),
-            });
+            return Err(err(format!(
+                "expected 3 `|`-separated fields, found {}",
+                parts.len()
+            )));
         }
-        let region = parse_region(parts[0], line_no)?;
+        let region = parse_region(parts[0], line_no, span)?;
         let deploy = match parts[1] {
             "PER-SW" | "-" => DeployMode::PerSwitch,
             "MULTI-SW" => DeployMode::MultiSwitch,
             other => {
-                return Err(ScopeError {
-                    line: line_no,
-                    message: format!("deploy must be PER-SW, MULTI-SW or `-`, found `{other}`"),
-                })
+                return Err(err(format!(
+                    "deploy must be PER-SW, MULTI-SW or `-`, found `{other}`"
+                )))
             }
         };
         let direct = match parts[2] {
             "-" | "" => None,
-            d => Some(parse_direction(d, line_no)?),
+            d => Some(parse_direction(d, line_no, span)?),
         };
         if deploy == DeployMode::MultiSwitch && direct.is_none() {
-            return Err(ScopeError {
-                line: line_no,
-                message: "MULTI-SW scopes require a direction `(A,B->C,D)`".into(),
-            });
+            return Err(err(
+                "MULTI-SW scopes require a direction `(A,B->C,D)`".into()
+            ));
         }
-        out.push(ScopeSpec { algorithm: name.trim().to_string(), region, deploy, direct });
+        out.push(ScopeSpec {
+            algorithm: name.trim().to_string(),
+            region,
+            deploy,
+            direct,
+            span,
+        });
     }
     Ok(out)
 }
 
-fn parse_region(s: &str, line: usize) -> Result<Vec<RegionPat>, ScopeError> {
+fn parse_region(s: &str, line: usize, span: Span) -> Result<Vec<RegionPat>, ScopeError> {
     if s.is_empty() {
-        return Err(ScopeError { line, message: "empty region".into() });
+        return Err(ScopeError {
+            line,
+            span,
+            message: "empty region".into(),
+        });
     }
     s.split(',')
         .map(str::trim)
         .map(|item| {
             if item.is_empty() {
-                Err(ScopeError { line, message: "empty region element".into() })
+                Err(ScopeError {
+                    line,
+                    span,
+                    message: "empty region element".into(),
+                })
             } else if let Some(prefix) = item.strip_suffix('*') {
                 Ok(RegionPat::Prefix(prefix.to_string()))
             } else {
@@ -171,25 +204,38 @@ fn parse_region(s: &str, line: usize) -> Result<Vec<RegionPat>, ScopeError> {
         .collect()
 }
 
-fn parse_direction(s: &str, line: usize) -> Result<Direction, ScopeError> {
+fn parse_direction(s: &str, line: usize, span: Span) -> Result<Direction, ScopeError> {
     let s = s.trim();
     if !s.starts_with('(') || !s.ends_with(')') {
         return Err(ScopeError {
             line,
+            span,
             message: "direction must be parenthesized: `(A,B->C,D)`".into(),
         });
     }
     let inner = &s[1..s.len() - 1];
     let (from, to) = inner.split_once("->").ok_or_else(|| ScopeError {
         line,
+        span,
         message: "direction must contain `->`".into(),
     })?;
     let split = |part: &str| -> Vec<String> {
-        part.split(',').map(str::trim).filter(|x| !x.is_empty()).map(str::to_string).collect()
+        part.split(',')
+            .map(str::trim)
+            .filter(|x| !x.is_empty())
+            .map(str::to_string)
+            .collect()
     };
-    let d = Direction { from: split(from), to: split(to) };
+    let d = Direction {
+        from: split(from),
+        to: split(to),
+    };
     if d.from.is_empty() || d.to.is_empty() {
-        return Err(ScopeError { line, message: "direction sides must be non-empty".into() });
+        return Err(ScopeError {
+            line,
+            span,
+            message: "direction sides must be non-empty".into(),
+        });
     }
     Ok(d)
 }
@@ -229,7 +275,10 @@ mod tests {
     fn exact_region_resolution() {
         let scopes = parse_scopes(FIG7).unwrap();
         let universe = ["ToR3", "ToR4", "Agg3", "Agg4", "Core1"];
-        assert_eq!(scopes[3].resolve(universe), vec!["ToR3", "ToR4", "Agg3", "Agg4"]);
+        assert_eq!(
+            scopes[3].resolve(universe),
+            vec!["ToR3", "ToR4", "Agg3", "Agg4"]
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Expressions are plain owned trees. They are cheap to build relative to the
 //! cost of solving, and keeping them as ordinary `enum`s makes the flattening
-//! pass and the Z3 translation in `lyra-synth` straightforward to audit.
+//! pass in the native solver straightforward to audit.
 
 use crate::model::{BoolId, IntId};
 
@@ -36,12 +36,18 @@ pub struct LinExpr {
 impl LinExpr {
     /// The constant expression `k`.
     pub fn constant(k: i64) -> Self {
-        LinExpr { constant: k, terms: Vec::new() }
+        LinExpr {
+            constant: k,
+            terms: Vec::new(),
+        }
     }
 
     /// The expression `1·v`.
     pub fn var(v: VarRef) -> Self {
-        LinExpr { constant: 0, terms: vec![(1, v)] }
+        LinExpr {
+            constant: 0,
+            terms: vec![(1, v)],
+        }
     }
 
     /// Merge duplicate variables and drop zero coefficients.
@@ -368,11 +374,17 @@ mod tests {
     fn bx_simplifications() {
         assert_eq!(Bx::and(vec![]), Bx::Const(true));
         assert_eq!(Bx::or(vec![]), Bx::Const(false));
-        assert_eq!(Bx::and(vec![Bx::Const(false), Bx::Const(true)]), Bx::Const(false));
+        assert_eq!(
+            Bx::and(vec![Bx::Const(false), Bx::Const(true)]),
+            Bx::Const(false)
+        );
         assert_eq!(Bx::or(vec![Bx::Const(true)]), Bx::Const(true));
         assert_eq!(Bx::not(Bx::Const(true)), Bx::Const(false));
         assert_eq!(Bx::not(Bx::not(Bx::Const(false))), Bx::Const(false));
-        assert_eq!(Bx::implies(Bx::Const(false), Bx::Const(false)), Bx::Const(true));
+        assert_eq!(
+            Bx::implies(Bx::Const(false), Bx::Const(false)),
+            Bx::Const(true)
+        );
     }
 
     #[test]

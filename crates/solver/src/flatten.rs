@@ -167,10 +167,7 @@ fn expand(bx: Bx) -> Bx {
             let mut pairs = Vec::new();
             for i in 0..xs.len() {
                 for j in (i + 1)..xs.len() {
-                    pairs.push(Bx::or(vec![
-                        Bx::not(xs[i].clone()),
-                        Bx::not(xs[j].clone()),
-                    ]));
+                    pairs.push(Bx::or(vec![Bx::not(xs[i].clone()), Bx::not(xs[j].clone())]));
                 }
             }
             Bx::and(pairs)
@@ -316,11 +313,18 @@ impl<'m> Flattener<'m> {
     fn atom_le(&mut self, lin: &LinExpr, k: i64) -> Lit {
         let lin = lin.clone().normalize();
         let rhs = k - lin.constant;
-        let terms: Vec<(i64, FlatVar)> =
-            lin.terms.iter().map(|&(c, v)| (c, self.flat_var(v))).collect();
+        let terms: Vec<(i64, FlatVar)> = lin
+            .terms
+            .iter()
+            .map(|&(c, v)| (c, self.flat_var(v)))
+            .collect();
         // Constant atoms fold to true/false immediately.
         if terms.is_empty() {
-            return if 0 <= rhs { self.true_lit } else { self.true_lit.negate() };
+            return if 0 <= rhs {
+                self.true_lit
+            } else {
+                self.true_lit.negate()
+            };
         }
         // Bound-implied atoms also fold.
         let (lo, hi) = self.flat.lin_bounds(&terms);
@@ -337,7 +341,11 @@ impl<'m> Flattener<'m> {
         let v = self.fresh_var();
         self.atom_cache.insert(key, v);
         let idx = self.flat.atoms.len();
-        self.flat.atoms.push(LinAtom { var: v, terms, k: rhs });
+        self.flat.atoms.push(LinAtom {
+            var: v,
+            terms,
+            k: rhs,
+        });
         self.flat.atom_of_var.insert(v, idx);
         Lit::pos(v)
     }

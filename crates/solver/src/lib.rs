@@ -21,8 +21,9 @@
 //!   interval splitting for any integers left unfixed;
 //! * [`minimize`] wraps `solve` in a branch-and-bound loop.
 //!
-//! The same [`Model`] can be handed to Z3 by the `lyra-synth` crate, which
-//! lets property tests cross-check the two backends on random formulas.
+//! Every entry point reports [`SearchStats`] (decisions, propagations,
+//! conflicts, learned clauses, restarts) so the compile driver can expose
+//! solver effort per compilation.
 //!
 //! ## Example
 //!

@@ -28,7 +28,7 @@ impl IntId {
 /// Declaration record for a boolean variable.
 #[derive(Debug, Clone)]
 pub struct BoolDecl {
-    /// Human-readable name (used in debugging output and Z3 translation).
+    /// Human-readable name (used in debugging output and diagnostics).
     pub name: String,
 }
 
@@ -47,7 +47,7 @@ pub struct IntDecl {
 /// expressions.
 ///
 /// `Model` is backend-agnostic — the native solver flattens and searches it,
-/// while `lyra-synth` can translate the identical structure to Z3.
+/// and an external SMT backend could translate the identical structure.
 #[derive(Debug, Clone, Default)]
 pub struct Model {
     pub(crate) bools: Vec<BoolDecl>,
@@ -116,12 +116,18 @@ impl Model {
 
     /// Iterate over boolean declarations with their ids.
     pub fn bool_decls(&self) -> impl Iterator<Item = (BoolId, &BoolDecl)> {
-        self.bools.iter().enumerate().map(|(i, d)| (BoolId(i as u32), d))
+        self.bools
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (BoolId(i as u32), d))
     }
 
     /// Iterate over integer declarations with their ids.
     pub fn int_decls(&self) -> impl Iterator<Item = (IntId, &IntDecl)> {
-        self.ints.iter().enumerate().map(|(i, d)| (IntId(i as u32), d))
+        self.ints
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (IntId(i as u32), d))
     }
 }
 

@@ -50,6 +50,10 @@ impl Default for SolverConfig {
 }
 
 /// Counters describing a finished search.
+///
+/// Returned by every solver entry point and aggregated across
+/// branch-and-bound iterations by [`minimize_with`]; the compile driver
+/// surfaces them on `CompileOutput` so long solves are observable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Boolean and integer decisions made.
@@ -64,10 +68,22 @@ pub struct SearchStats {
     pub restarts: u64,
 }
 
+impl SearchStats {
+    /// Accumulate another run's counters into this one (used when a solve
+    /// is a sequence of searches, e.g. branch-and-bound minimization).
+    pub fn absorb(&mut self, other: SearchStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.learned += other.learned;
+        self.restarts += other.restarts;
+    }
+}
+
 /// Solve a model with default configuration.
 pub fn solve(model: &Model) -> Outcome {
     let flat = flatten(model);
-    let (outcome, _) = solve_flat(&flat, &SolverConfig::default(), &[]);
+    let (outcome, _, _) = solve_flat(&flat, &SolverConfig::default(), &[]);
     finish(model, outcome)
 }
 
@@ -76,21 +92,26 @@ pub fn solve(model: &Model) -> Outcome {
 ///
 /// Returns the best solution found together with its objective value.
 pub fn minimize(model: &Model, objective: &crate::expr::Ix) -> Option<(Solution, i64)> {
-    minimize_with(model, objective, &SolverConfig::default())
+    minimize_with(model, objective, &SolverConfig::default()).0
 }
 
 /// [`minimize`] with an explicit configuration.
+///
+/// Also returns the [`SearchStats`] summed over every branch-and-bound
+/// iteration, so callers can report total solver effort.
 pub fn minimize_with(
     model: &Model,
     objective: &crate::expr::Ix,
     cfg: &SolverConfig,
-) -> Option<(Solution, i64)> {
+) -> (Option<(Solution, i64)>, SearchStats) {
     let flat = flatten_with_objective(model, Some(objective));
     let obj_terms = flat.objective.clone().expect("objective lowered");
     let mut extra: Vec<(Vec<(i64, FlatVar)>, i64)> = Vec::new();
     let mut best: Option<(Solution, i64)> = None;
+    let mut total = SearchStats::default();
     loop {
-        let (outcome, raw) = solve_flat(&flat, cfg, &extra);
+        let (outcome, raw, stats) = solve_flat(&flat, cfg, &extra);
+        total.absorb(stats);
         match outcome {
             Outcome::Sat(_) => {
                 let raw = raw.expect("raw assignment accompanies Sat");
@@ -100,7 +121,7 @@ pub fn minimize_with(
                 // Require strictly better: Σ obj_terms ≤ value - constant - 1.
                 extra.push((obj_terms.clone(), value - flat.objective_constant - 1));
             }
-            _ => return best,
+            _ => return (best, total),
         }
     }
 }
@@ -146,14 +167,15 @@ impl RawAssignment {
 
 /// Solve a flattened model, with extra always-active linear constraints
 /// (used by branch-and-bound). Returns the outcome projected onto model
-/// variables plus the raw assignment when satisfiable.
+/// variables, the raw assignment when satisfiable, and the search counters.
 pub fn solve_flat(
     flat: &FlatModel,
     cfg: &SolverConfig,
     extra: &[(Vec<(i64, FlatVar)>, i64)],
-) -> (Outcome, Option<RawAssignment>) {
+) -> (Outcome, Option<RawAssignment>, SearchStats) {
     let mut s = Search::new(flat, cfg, extra);
-    s.run()
+    let (outcome, raw) = s.run();
+    (outcome, raw, s.stats)
 }
 
 /// Why a SAT variable holds its value.
@@ -386,7 +408,12 @@ impl<'a> Search<'a> {
     fn push_int_split(&mut self, var: u32) {
         let (l, h) = (self.lo[var as usize], self.hi[var as usize]);
         let mid = l + (h - l) / 2;
-        self.int_splits.push(IntSplit { var, mid, upper_tried: false, trail_mark: self.trail.len() });
+        self.int_splits.push(IntSplit {
+            var,
+            mid,
+            upper_tried: false,
+            trail_mark: self.trail.len(),
+        });
         self.set_hi(var, mid);
     }
 
@@ -397,7 +424,10 @@ impl<'a> Search<'a> {
             match self.int_splits.pop() {
                 Some(split) if !split.upper_tried => {
                     self.undo_to(split.trail_mark);
-                    self.int_splits.push(IntSplit { upper_tried: true, ..split });
+                    self.int_splits.push(IntSplit {
+                        upper_tried: true,
+                        ..split
+                    });
                     self.set_lo(split.var, split.mid + 1);
                     if self.hi[split.var as usize] >= self.lo[split.var as usize]
                         && self.propagate().is_none()
@@ -449,8 +479,7 @@ impl<'a> Search<'a> {
             // position 1.
             let mut best = 1;
             for i in 2..learned.len() {
-                if self.level[learned[i].var() as usize]
-                    > self.level[learned[best].var() as usize]
+                if self.level[learned[i].var() as usize] > self.level[learned[best].var() as usize]
                 {
                     best = i;
                 }
@@ -497,11 +526,11 @@ impl<'a> Search<'a> {
 
         // Absorb a clause's literals into the running resolvent.
         let absorb = |lits: &[Lit],
-                          skip: Option<u32>,
-                          seen: &mut Vec<bool>,
-                          learned: &mut Vec<Lit>,
-                          current_count: &mut usize,
-                          this: &mut Self| {
+                      skip: Option<u32>,
+                      seen: &mut Vec<bool>,
+                      learned: &mut Vec<Lit>,
+                      current_count: &mut usize,
+                      this: &mut Self| {
             for &l in lits {
                 let v = l.var();
                 if Some(v) == skip || seen[v as usize] {
@@ -557,7 +586,11 @@ impl<'a> Search<'a> {
             current_count -= 1;
             if current_count == 0 {
                 // v is the UIP.
-                let lit = if self.assign[v as usize] == 1 { Lit::neg(v) } else { Lit::pos(v) };
+                let lit = if self.assign[v as usize] == 1 {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                };
                 break Some(lit);
             }
             match self.reason[v as usize] {
@@ -630,14 +663,16 @@ impl<'a> Search<'a> {
 
     fn set_lo(&mut self, var: u32, v: i64) {
         if v > self.lo[var as usize] {
-            self.trail.push(TrailItem::IntLo(var, self.lo[var as usize]));
+            self.trail
+                .push(TrailItem::IntLo(var, self.lo[var as usize]));
             self.lo[var as usize] = v;
         }
     }
 
     fn set_hi(&mut self, var: u32, v: i64) {
         if v < self.hi[var as usize] {
-            self.trail.push(TrailItem::IntHi(var, self.hi[var as usize]));
+            self.trail
+                .push(TrailItem::IntHi(var, self.hi[var as usize]));
             self.hi[var as usize] = v;
         }
     }
@@ -959,7 +994,11 @@ mod tests {
         m.require(Bx::var(d));
         m.require(Ix::var(e).le(Ix::lit(3000)));
         let sol = solve(&m).solution().unwrap();
-        assert!(sol.int(e) > 2048, "need ceil(e/1024) >= 3, got e = {}", sol.int(e));
+        assert!(
+            sol.int(e) > 2048,
+            "need ceil(e/1024) >= 3, got e = {}",
+            sol.int(e)
+        );
         assert!(sol.int(e) <= 3000);
     }
 
@@ -1007,11 +1046,17 @@ mod tests {
         }
         #[allow(clippy::needless_range_loop)]
         for h in 0..5 {
-            m.require(Bx::at_most_one((0..6).map(|p| Bx::var(vars[p][h])).collect()));
+            m.require(Bx::at_most_one(
+                (0..6).map(|p| Bx::var(vars[p][h])).collect(),
+            ));
         }
         let flat = flatten(&m);
-        let cfg = SolverConfig { max_decisions: 10, ..Default::default() };
-        let (outcome, _) = solve_flat(&flat, &cfg, &[]);
+        let cfg = SolverConfig {
+            max_decisions: 10,
+            ..Default::default()
+        };
+        let (outcome, _, stats) = solve_flat(&flat, &cfg, &[]);
+        assert!(stats.decisions > 0);
         assert!(matches!(outcome, Outcome::Unknown | Outcome::Unsat));
     }
 
@@ -1027,7 +1072,9 @@ mod tests {
         }
         #[allow(clippy::needless_range_loop)]
         for h in 0..5 {
-            m.require(Bx::at_most_one((0..6).map(|p| Bx::var(vars[p][h])).collect()));
+            m.require(Bx::at_most_one(
+                (0..6).map(|p| Bx::var(vars[p][h])).collect(),
+            ));
         }
         assert_eq!(solve(&m), Outcome::Unsat);
     }
@@ -1041,7 +1088,10 @@ mod tests {
             m.require(Bx::or(vec![Bx::not(Bx::var(vs[i])), Bx::var(vs[i + 1])]));
         }
         m.require(Bx::or(vec![Bx::var(vs[0]), Bx::var(vs[7])]));
-        m.require(Bx::or(vec![Bx::not(Bx::var(vs[7])), Bx::not(Bx::var(vs[3]))]));
+        m.require(Bx::or(vec![
+            Bx::not(Bx::var(vs[7])),
+            Bx::not(Bx::var(vs[3])),
+        ]));
         let flat = flatten(&m);
         let cfg = SolverConfig::default();
         let mut s = Search::new(&flat, &cfg, &[]);

@@ -1,19 +1,46 @@
 //! Property tests for the native solver: on randomly generated small models,
 //! the solver's SAT/UNSAT verdict must agree with exhaustive enumeration, and
 //! any produced solution must actually satisfy the model.
+//!
+//! Randomness comes from a seeded xorshift generator (the workspace builds
+//! offline with no external crates), so every run explores the identical
+//! case set — failures reproduce from the printed case index alone.
 
 use lyra_solver::{solve, Bx, Ix, Model, Outcome, Solution};
-use proptest::prelude::*;
 
-/// Shape of a randomly generated model.
-#[derive(Debug, Clone)]
-struct RandomModel {
-    num_bools: usize,
-    int_domains: Vec<(i64, i64)>,
-    constraints: Vec<RandBx>,
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
 }
 
-/// A serializable random boolean expression over variable *indices*.
+/// A random boolean expression over variable *indices*.
 #[derive(Debug, Clone)]
 enum RandBx {
     Var(usize),
@@ -22,51 +49,73 @@ enum RandBx {
     And(Vec<RandBx>),
     Implies(Box<RandBx>, Box<RandBx>),
     /// c0·x0 + c1·x1 + cb·b0 ≤ k (indices taken modulo arity)
-    Lin { c0: i64, c1: i64, cb: i64, k: i64, ge: bool },
-    IteCmp { cond: usize, then_min: i64 },
+    Lin {
+        c0: i64,
+        c1: i64,
+        cb: i64,
+        k: i64,
+        ge: bool,
+    },
+    IteCmp {
+        cond: usize,
+        then_min: i64,
+    },
 }
 
-fn rand_bx(depth: u32) -> impl Strategy<Value = RandBx> {
-    let leaf = prop_oneof![
-        (0usize..6).prop_map(RandBx::Var),
-        (0usize..6).prop_map(RandBx::NotVar),
-        (-3i64..=3, -3i64..=3, -2i64..=2, -10i64..=10, any::<bool>())
-            .prop_map(|(c0, c1, cb, k, ge)| RandBx::Lin { c0, c1, cb, k, ge }),
-        (0usize..6, 0i64..6).prop_map(|(cond, then_min)| RandBx::IteCmp { cond, then_min }),
-    ];
-    leaf.prop_recursive(depth, 16, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(RandBx::Or),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(RandBx::And),
-            (inner.clone(), inner).prop_map(|(a, b)| RandBx::Implies(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_bx(rng: &mut Rng, depth: u32) -> RandBx {
+    let pick = if depth == 0 {
+        rng.below(4)
+    } else {
+        rng.below(7)
+    };
+    match pick {
+        0 => RandBx::Var(rng.below(6) as usize),
+        1 => RandBx::NotVar(rng.below(6) as usize),
+        2 => RandBx::Lin {
+            c0: rng.range(-3, 3),
+            c1: rng.range(-3, 3),
+            cb: rng.range(-2, 2),
+            k: rng.range(-10, 10),
+            ge: rng.bool(),
+        },
+        3 => RandBx::IteCmp {
+            cond: rng.below(6) as usize,
+            then_min: rng.range(0, 5),
+        },
+        4 => RandBx::Or(
+            (0..rng.range(1, 3))
+                .map(|_| gen_bx(rng, depth - 1))
+                .collect(),
+        ),
+        5 => RandBx::And(
+            (0..rng.range(1, 3))
+                .map(|_| gen_bx(rng, depth - 1))
+                .collect(),
+        ),
+        _ => RandBx::Implies(
+            Box::new(gen_bx(rng, depth - 1)),
+            Box::new(gen_bx(rng, depth - 1)),
+        ),
+    }
 }
 
-fn rand_model() -> impl Strategy<Value = RandomModel> {
-    (
-        1usize..5,
-        prop::collection::vec((0i64..3, 3i64..8), 1..3),
-        prop::collection::vec(rand_bx(2), 1..5),
-    )
-        .prop_map(|(num_bools, int_domains, constraints)| RandomModel {
-            num_bools,
-            int_domains,
-            constraints,
-        })
-}
-
-fn build(rm: &RandomModel) -> Model {
+fn gen_model(rng: &mut Rng) -> Model {
+    let num_bools = rng.range(1, 4) as usize;
+    let num_ints = rng.range(1, 2) as usize;
     let mut m = Model::new();
-    let bools: Vec<_> = (0..rm.num_bools).map(|i| m.bool_var(format!("b{i}"))).collect();
-    let ints: Vec<_> = rm
-        .int_domains
-        .iter()
-        .enumerate()
-        .map(|(i, &(lo, hi))| m.int_var(format!("x{i}"), lo, hi))
+    let bools: Vec<_> = (0..num_bools)
+        .map(|i| m.bool_var(format!("b{i}")))
         .collect();
-    for c in &rm.constraints {
-        let bx = to_bx(c, &bools, &ints);
+    let ints: Vec<_> = (0..num_ints)
+        .map(|i| {
+            let lo = rng.range(0, 2);
+            let hi = rng.range(3, 7);
+            m.int_var(format!("x{i}"), lo, hi)
+        })
+        .collect();
+    let num_constraints = rng.range(1, 4);
+    for _ in 0..num_constraints {
+        let bx = to_bx(&gen_bx(rng, 2), &bools, &ints);
         m.require(bx);
     }
     m
@@ -132,47 +181,60 @@ fn enumerate_ints(
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn solver_agrees_with_brute_force(rm in rand_model()) {
-        let m = build(&rm);
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for case in 0..256 {
+        let m = gen_model(&mut rng);
         let expected = brute_force_sat(&m);
         match solve(&m) {
             Outcome::Sat(sol) => {
-                prop_assert!(expected, "solver said SAT but brute force disagrees");
-                prop_assert!(sol.satisfies(&m), "returned solution violates model");
+                assert!(
+                    expected,
+                    "case {case}: solver said SAT but brute force disagrees"
+                );
+                assert!(
+                    sol.satisfies(&m),
+                    "case {case}: returned solution violates model"
+                );
             }
-            Outcome::Unsat => prop_assert!(!expected, "solver said UNSAT but model is satisfiable"),
+            Outcome::Unsat => {
+                assert!(
+                    !expected,
+                    "case {case}: solver said UNSAT but model is satisfiable"
+                )
+            }
             Outcome::Unknown => {} // budget exhausted — no verdict to check
         }
     }
+}
 
-    #[test]
-    fn minimize_returns_feasible_minimum(rm in rand_model()) {
-        let m = build(&rm);
+#[test]
+fn minimize_returns_feasible_minimum() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for case in 0..128 {
+        let m = gen_model(&mut rng);
         if !brute_force_sat(&m) {
-            return Ok(());
+            continue;
         }
         // Objective: sum of all integer variables.
         let obj = Ix::sum(m.int_decls().map(|(id, _)| Ix::var(id)).collect());
-        let Some((sol, v)) = lyra_solver::minimize(&m, &obj) else {
-            return Err(TestCaseError::fail("minimize found nothing on a SAT model"));
-        };
-        prop_assert!(sol.satisfies(&m));
-        prop_assert_eq!(sol.eval_ix(&obj), v);
+        let (sol, v) = lyra_solver::minimize(&m, &obj)
+            .unwrap_or_else(|| panic!("case {case}: minimize found nothing on a SAT model"));
+        assert!(sol.satisfies(&m), "case {case}");
+        assert_eq!(sol.eval_ix(&obj), v, "case {case}");
         // No feasible assignment has a smaller objective (brute force).
         let nb = m.num_bools();
         let domains: Vec<(i64, i64)> = m.int_decls().map(|(_, d)| (d.lo, d.hi)).collect();
         for mask in 0..(1usize << nb) {
             let bools: Vec<bool> = (0..nb).map(|i| mask >> i & 1 == 1).collect();
             let mut ints = vec![0i64; domains.len()];
-            check_no_better(&m, &bools, &domains, &mut ints, 0, v, &obj)?;
+            check_no_better(&m, &bools, &domains, &mut ints, 0, v, &obj, case);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_no_better(
     m: &Model,
     bools: &[bool],
@@ -181,22 +243,22 @@ fn check_no_better(
     idx: usize,
     best: i64,
     obj: &Ix,
-) -> Result<(), TestCaseError> {
+    case: usize,
+) {
     if idx == domains.len() {
         let sol = Solution::from_parts(bools.to_vec(), ints.clone());
         if sol.satisfies(m) {
-            prop_assert!(
+            assert!(
                 sol.eval_ix(obj) >= best,
-                "brute force found objective {} < solver minimum {}",
+                "case {case}: brute force found objective {} < solver minimum {}",
                 sol.eval_ix(obj),
                 best
             );
         }
-        return Ok(());
+        return;
     }
     for v in domains[idx].0..=domains[idx].1 {
         ints[idx] = v;
-        check_no_better(m, bools, domains, ints, idx + 1, best, obj)?;
+        check_no_better(m, bools, domains, ints, idx + 1, best, obj, case);
     }
-    Ok(())
 }

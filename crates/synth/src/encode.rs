@@ -32,9 +32,9 @@ use std::collections::BTreeMap;
 
 use lyra_chips::{by_name, ChipModel, TargetLang};
 use lyra_ir::{dependency_graph, DepGraph, InstrId, IrProgram};
+use lyra_lang::DeployMode;
 use lyra_solver::{Bx, Ix, Model};
 use lyra_topo::{ResolvedScope, SwitchId, Topology};
-use lyra_lang::DeployMode;
 
 use crate::npl::{synthesize_npl, NplExtras};
 use crate::p4::{synthesize_p4, P4Options, ParserHoists};
@@ -79,6 +79,22 @@ pub struct EncodeOptions {
 pub struct EncodeError {
     /// Problem description.
     pub message: String,
+    /// Stable diagnostic code classifying the failure.
+    pub code: lyra_diag::Code,
+}
+
+impl EncodeError {
+    fn new(code: lyra_diag::Code, message: impl Into<String>) -> Self {
+        EncodeError {
+            message: message.into(),
+            code,
+        }
+    }
+
+    /// Render this error as a structured [`lyra_diag::Diagnostic`].
+    pub fn to_diagnostic(&self) -> lyra_diag::Diagnostic {
+        lyra_diag::Diagnostic::error(self.code, self.message.clone())
+    }
 }
 
 impl std::fmt::Display for EncodeError {
@@ -147,13 +163,19 @@ pub fn encode(
         switch_used: BTreeMap::new(),
         objective: None,
         deps: BTreeMap::new(),
-        scopes: scopes.iter().map(|s| (s.algorithm.clone(), s.clone())).collect(),
+        scopes: scopes
+            .iter()
+            .map(|s| (s.algorithm.clone(), s.clone()))
+            .collect(),
     };
 
     // --- Per-algorithm: variables, synthesis, placement constraints ------
     for scope in scopes {
-        let alg = ir.algorithm(&scope.algorithm).ok_or_else(|| EncodeError {
-            message: format!("scope references unknown algorithm `{}`", scope.algorithm),
+        let alg = ir.algorithm(&scope.algorithm).ok_or_else(|| {
+            EncodeError::new(
+                lyra_diag::codes::SCOPE_UNKNOWN_ALGORITHM,
+                format!("scope references unknown algorithm `{}`", scope.algorithm),
+            )
         })?;
         let deps = dependency_graph(alg);
         let all_instrs: Vec<InstrId> = alg.instr_ids().collect();
@@ -162,20 +184,27 @@ pub fn encode(
         let mut prog_switches: Vec<(SwitchId, ChipModel)> = Vec::new();
         for &s in &scope.switches {
             let asic = &topo.switch(s).asic;
-            let chip = by_name(asic).ok_or_else(|| EncodeError {
-                message: format!("unknown ASIC model `{asic}` on switch {}", topo.switch(s).name),
+            let chip = by_name(asic).ok_or_else(|| {
+                EncodeError::new(
+                    lyra_diag::codes::UNKNOWN_ASIC,
+                    format!(
+                        "unknown ASIC model `{asic}` on switch {}",
+                        topo.switch(s).name
+                    ),
+                )
             })?;
             if chip.programmable {
                 prog_switches.push((s, chip));
             }
         }
         if prog_switches.is_empty() {
-            return Err(EncodeError {
-                message: format!(
+            return Err(EncodeError::new(
+                lyra_diag::codes::NO_PROGRAMMABLE,
+                format!(
                     "scope of `{}` contains no programmable switch",
                     scope.algorithm
                 ),
-            });
+            ));
         }
 
         for &(s, _) in &prog_switches {
@@ -230,7 +259,14 @@ pub fn encode(
                     }
                 }
                 encode_multi_switch_placement(
-                    &mut model, &enc, ir, scope, alg, &deps, &all_instrs, &prog_switches,
+                    &mut model,
+                    &enc,
+                    ir,
+                    scope,
+                    alg,
+                    &deps,
+                    &all_instrs,
+                    &prog_switches,
                 )?;
             }
         }
@@ -282,8 +318,11 @@ pub fn encode(
             enc.objective = Some(Ix::sum(terms));
         }
         Objective::MaxUseOf(name) => {
-            let target = topo.find(name).ok_or_else(|| EncodeError {
-                message: format!("MaxUseOf names unknown switch `{name}`"),
+            let target = topo.find(name).ok_or_else(|| {
+                EncodeError::new(
+                    lyra_diag::codes::ENCODE,
+                    format!("MaxUseOf names unknown switch `{name}`"),
+                )
             })?;
             // Minimize deployments on every switch except the target
             // (Appendix C.2: "assigning a much bigger weight for that
@@ -321,8 +360,7 @@ fn encode_stage_detail(
     let mut starts: Vec<lyra_solver::IntId> = Vec::new();
     let mut ends: Vec<lyra_solver::IntId> = Vec::new();
     for (ti, t) in unit.group.tables.iter().enumerate() {
-        let b_start =
-            model.int_var(format!("bstart[{}][{}]", sw_name, t.name), 1, nstages);
+        let b_start = model.int_var(format!("bstart[{}][{}]", sw_name, t.name), 1, nstages);
         let b_end = model.int_var(format!("bend[{}][{}]", sw_name, t.name), 1, nstages);
         model.require(Ix::var(b_start).le(Ix::var(b_end)));
         starts.push(b_start);
@@ -330,11 +368,7 @@ fn encode_stage_detail(
         let entries = t.entries.max(1) as i64;
         let mut sum_terms: Vec<Ix> = Vec::new();
         for j in 1..=nstages {
-            let e_tj = model.int_var(
-                format!("E[{}][{}][s{}]", sw_name, t.name, j),
-                0,
-                entries,
-            );
+            let e_tj = model.int_var(format!("E[{}][{}][s{}]", sw_name, t.name, j), 0, entries);
             // Entries exist only within [b_start, b_end] (eq. 13).
             model.require(Bx::implies(
                 Ix::lit(j).lt(Ix::var(b_start)),
@@ -349,9 +383,15 @@ fn encode_stage_detail(
             // of M_t bits, gated by validity.
             let m = t.match_width.max(1) as i64;
             let (h, w) = if t.match_kind.uses_tcam() {
-                (chip.tcam.entries.max(1) as i64, chip.tcam.width.max(1) as i64)
+                (
+                    chip.tcam.entries.max(1) as i64,
+                    chip.tcam.width.max(1) as i64,
+                )
             } else {
-                (chip.sram.entries.max(1) as i64, chip.sram.width.max(1) as i64)
+                (
+                    chip.sram.entries.max(1) as i64,
+                    chip.sram.width.max(1) as i64,
+                )
             };
             let blocks = if chip.word_packing && !t.match_kind.uses_tcam() {
                 Ix::var(e_tj).ceil_div(h).scale(m).ceil_div(w)
@@ -369,8 +409,7 @@ fn encode_stage_detail(
                 Ix::lit(j).le(Ix::var(b_end)),
                 Bx::var(table_valid[ti]),
             ]);
-            per_stage_tabs[(j - 1) as usize]
-                .push(Ix::ite(occupies, Ix::lit(1), Ix::lit(0)));
+            per_stage_tabs[(j - 1) as usize].push(Ix::ite(occupies, Ix::lit(1), Ix::lit(0)));
         }
         // A valid table's entries must all be placed (eq. 13's ≥ E_t).
         model.require(Bx::implies(
@@ -385,10 +424,7 @@ fn encode_stage_detail(
                 continue;
             }
             let both = Bx::and(vec![Bx::var(table_valid[ti]), Bx::var(table_valid[d])]);
-            model.require(Bx::implies(
-                both,
-                Ix::var(starts[ti]).gt(Ix::var(ends[d])),
-            ));
+            model.require(Bx::implies(both, Ix::var(starts[ti]).gt(Ix::var(ends[d]))));
         }
     }
     // Per-stage budgets. With recirculation the stage index wraps modulo
@@ -434,22 +470,24 @@ fn encode_multi_switch_placement(
 
     // Partition instructions: extern readers co-locate with entries; the
     // rest obey exactly-once-per-path.
-    let reader_of = |i: InstrId| -> Option<String> {
-        alg.instr(i).op.table().map(str::to_string)
-    };
+    let reader_of = |i: InstrId| -> Option<String> { alg.instr(i).op.table().map(str::to_string) };
 
     for path in &scope.paths {
         // Only programmable switches can host anything; a path hop through
         // a fixed-function switch is transit-only.
-        let hops: Vec<SwitchId> =
-            path.iter().copied().filter(|s| prog_set.contains(s)).collect();
+        let hops: Vec<SwitchId> = path
+            .iter()
+            .copied()
+            .filter(|s| prog_set.contains(s))
+            .collect();
         if hops.is_empty() {
-            return Err(EncodeError {
-                message: format!(
+            return Err(EncodeError::new(
+                lyra_diag::codes::NO_PROGRAMMABLE,
+                format!(
                     "a flow path of `{}` crosses no programmable switch",
                     scope.algorithm
                 ),
-            });
+            ));
         }
         for &i in all_instrs {
             match reader_of(i) {
@@ -469,7 +507,10 @@ fn encode_multi_switch_placement(
                     // path sum to the full size.
                     let size = ir.externs.get(&e).map(|x| x.size).unwrap_or(1024);
                     let sum = Ix::sum(
-                        hops.iter().filter_map(|&s| evar(&e, s)).map(Ix::var).collect(),
+                        hops.iter()
+                            .filter_map(|&s| evar(&e, s))
+                            .map(Ix::var)
+                            .collect(),
                     );
                     model.require(sum.eq(Ix::lit(size as i64)));
                 }
@@ -596,7 +637,9 @@ fn encode_switch_resources(
 
         for &ui in unit_ids {
             let unit = &enc.units[ui];
-            let alg = ir.algorithm(&unit.alg).expect("unit names a lowered algorithm");
+            let alg = ir
+                .algorithm(&unit.alg)
+                .expect("unit names a lowered algorithm");
 
             // Table validity and per-table resources.
             let mut table_valid: Vec<lyra_solver::BoolId> = Vec::new();
@@ -690,10 +733,7 @@ fn encode_switch_resources(
                 .collect();
             for (ti, t) in unit.group.tables.iter().enumerate() {
                 for &d in &t.depends_on {
-                    let both = Bx::and(vec![
-                        Bx::var(table_valid[ti]),
-                        Bx::var(table_valid[d]),
-                    ]);
+                    let both = Bx::and(vec![Bx::var(table_valid[ti]), Bx::var(table_valid[d])]);
                     model.require(Bx::implies(
                         both,
                         Ix::var(depth[ti]).ge(Ix::var(depth[d]).add(Ix::lit(1))),
@@ -715,7 +755,9 @@ fn encode_switch_resources(
             // `lyra-chips::phv` at codegen time). Header fields are keyed
             // switch-wide, locals per algorithm.
             for i in alg.instr_ids() {
-                let Some(&fv) = enc.instr_var.get(&(unit.alg.clone(), s, i)) else { continue };
+                let Some(&fv) = enc.instr_var.get(&(unit.alg.clone(), s, i)) else {
+                    continue;
+                };
                 let instr = alg.instr(i);
                 let mut values: Vec<lyra_ir::ValueId> = Vec::new();
                 for o in instr.op.reads() {
@@ -746,7 +788,9 @@ fn encode_switch_resources(
             // instruction touches (plus parser-graph ancestors — eqs. 6–8).
             let mut header_touch: BTreeMap<String, Vec<Bx>> = BTreeMap::new();
             for i in alg.instr_ids() {
-                let Some(&fv) = enc.instr_var.get(&(unit.alg.clone(), s, i)) else { continue };
+                let Some(&fv) = enc.instr_var.get(&(unit.alg.clone(), s, i)) else {
+                    continue;
+                };
                 let instr = alg.instr(i);
                 let mut values: Vec<lyra_ir::ValueId> = Vec::new();
                 for o in instr.op.reads() {
@@ -781,9 +825,7 @@ fn encode_switch_resources(
 
         let phv_terms: Vec<Ix> = phv_touch
             .into_values()
-            .map(|(width, touches)| {
-                Ix::ite(Bx::or(touches), Ix::lit(width as i64), Ix::lit(0))
-            })
+            .map(|(width, touches)| Ix::ite(Bx::or(touches), Ix::lit(width as i64), Ix::lit(0)))
             .collect();
 
         // Budgets.
@@ -804,9 +846,7 @@ fn encode_switch_resources(
         let phv_bits: i64 = chip.phv.iter().map(|c| (c.width * c.count) as i64).sum();
         model.require(Ix::sum(phv_terms).le(Ix::lit(phv_bits)));
         if !parser_terms.is_empty() {
-            model.require(
-                Ix::sum(parser_terms).le(Ix::lit(chip.parser_tcam_entries as i64)),
-            );
+            model.require(Ix::sum(parser_terms).le(Ix::lit(chip.parser_tcam_entries as i64)));
         }
 
         // used_s ↔ any deployment on s.

@@ -1,0 +1,261 @@
+//! Infeasibility explanation: when the solver proves the placement model
+//! UNSAT, re-examine the encoded instance with cheap *necessary-condition*
+//! checks per constraint family and report which family is provably violated
+//! — "extern `huge` cannot fit on flow path Agg3→ToR3" beats a bare UNSAT.
+//!
+//! Every check here is sound: it only fires when the corresponding family of
+//! constraints is violated by *every* assignment (capacities are summed over
+//! an entire flow path, ignoring all other families). When no single family
+//! is provably at fault, a generic [`codes::INFEASIBLE`] diagnostic is
+//! produced instead, naming the families that interact.
+
+use std::collections::BTreeSet;
+
+use lyra_chips::ChipModel;
+use lyra_diag::{codes, Diagnostic};
+use lyra_ir::IrProgram;
+use lyra_lang::{ExternVar, MatchKind};
+use lyra_topo::{SwitchId, Topology};
+
+use crate::encode::{EncodeOptions, Encoded, SynthUnit};
+
+/// Maximum entries of `x` that `chip` could hold if the extern had the whole
+/// chip to itself — an upper bound used for necessary-condition checks.
+fn extern_capacity(chip: &ChipModel, x: &ExternVar) -> u64 {
+    let width = x.key_width().max(1) as u64;
+    if x.match_kind.uses_tcam() {
+        let words = width.div_ceil(chip.tcam.width.max(1));
+        let rows = chip.total_tcam_blocks() / words.max(1) * chip.tcam.entries;
+        let expansion = if x.match_kind == MatchKind::Range && !chip.supports_range_match {
+            chip.range_expansion.max(1)
+        } else {
+            1
+        };
+        rows / expansion
+    } else {
+        chip.max_entries(width)
+    }
+}
+
+/// Total distinct PHV bits the algorithm needs when fully deployed (every
+/// storage base it touches, counted once at its widest use).
+fn algorithm_phv_bits(alg: &lyra_ir::IrAlgorithm) -> u64 {
+    let mut widths: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+    for i in alg.instr_ids() {
+        let instr = alg.instr(i);
+        let mut values: Vec<lyra_ir::ValueId> = Vec::new();
+        for o in instr.op.reads() {
+            if let lyra_ir::Operand::Value(v) = o {
+                values.push(v);
+            }
+        }
+        if let Some(d) = instr.dst {
+            values.push(d);
+        }
+        if let Some(p) = instr.pred {
+            values.push(p);
+        }
+        for v in values {
+            let info = alg.value(v);
+            let w = widths.entry(info.base.clone()).or_insert(0);
+            *w = (*w).max(info.width);
+        }
+    }
+    widths.values().map(|&w| w as u64).sum()
+}
+
+fn path_name(topo: &Topology, hops: &[SwitchId]) -> String {
+    hops.iter()
+        .map(|&s| topo.switch(s).name.as_str())
+        .collect::<Vec<_>>()
+        .join("→")
+}
+
+/// Explain why an encoded instance has no feasible placement.
+///
+/// Returns one diagnostic per provably violated constraint family
+/// ([`codes::INFEASIBLE_MEMORY`], [`codes::INFEASIBLE_STAGES`],
+/// [`codes::INFEASIBLE_PHV`], [`codes::INFEASIBLE_TABLES`]), each naming the
+/// offending algorithm, switch or flow path, and table. Falls back to a
+/// single generic [`codes::INFEASIBLE`] diagnostic when the failure arises
+/// from the interaction of several families.
+pub fn explain_infeasible(
+    enc: &Encoded,
+    ir: &IrProgram,
+    topo: &Topology,
+    opts: &EncodeOptions,
+) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut seen: BTreeSet<(&'static str, String, String)> = BTreeSet::new();
+    let passes: u64 = if opts.allow_recirculation { 2 } else { 1 };
+
+    let unit_for = |alg: &str, s: SwitchId| -> Option<&SynthUnit> {
+        enc.units.iter().find(|u| u.alg == alg && u.switch == s)
+    };
+
+    for scope in enc.scopes.values() {
+        let Some(alg) = ir.algorithm(&scope.algorithm) else {
+            continue;
+        };
+        for path in &scope.paths {
+            // Programmable hops of this path (the ones that got units).
+            let hops: Vec<(SwitchId, &SynthUnit)> = path
+                .iter()
+                .filter_map(|&s| unit_for(&scope.algorithm, s).map(|u| (s, u)))
+                .collect();
+            if hops.is_empty() {
+                continue;
+            }
+            let pname = path_name(topo, &hops.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+
+            // Memory blocks (eq. 11): each extern's entries must fit,
+            // summed across the path's programmable switches even if every
+            // switch were empty otherwise.
+            for (name, x) in &ir.externs {
+                let used = hops[0]
+                    .1
+                    .group
+                    .tables
+                    .iter()
+                    .any(|t| t.extern_name() == Some(name));
+                if !used {
+                    continue;
+                }
+                let capacity: u64 = hops.iter().map(|&(_, u)| extern_capacity(&u.chip, x)).sum();
+                if x.size > capacity && seen.insert(("mem", scope.algorithm.clone(), name.clone()))
+                {
+                    out.push(
+                        Diagnostic::error(
+                            codes::INFEASIBLE_MEMORY,
+                            format!(
+                                "extern `{name}` ({} entries) cannot fit on flow path \
+                                 {pname} of `{}`: at most {capacity} entries of this \
+                                 match width fit across its programmable switches",
+                                x.size, scope.algorithm
+                            ),
+                        )
+                        .with_note("violated constraint family: memory blocks (eq. 11)")
+                        .with_note(
+                            hops.iter()
+                                .map(|&(s, u)| {
+                                    format!(
+                                        "{} ({}): {} entries max",
+                                        topo.switch(s).name,
+                                        u.chip.name,
+                                        extern_capacity(&u.chip, x)
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join("; "),
+                        ),
+                    );
+                }
+            }
+
+            // Stage depth (eqs. 13–14): the longest table dependency chain
+            // must fit in the summed stage budget of the path.
+            let stage_budget: u64 = hops
+                .iter()
+                .map(|&(_, u)| u.chip.stages.max(1) as u64 * passes)
+                .sum();
+            let chain = hops[0].1.group.critical_path;
+            if chain > stage_budget
+                && seen.insert(("stages", scope.algorithm.clone(), pname.clone()))
+            {
+                out.push(
+                    Diagnostic::error(
+                        codes::INFEASIBLE_STAGES,
+                        format!(
+                            "`{}` needs a dependency chain of {chain} pipeline stages but \
+                             flow path {pname} offers only {stage_budget}",
+                            scope.algorithm
+                        ),
+                    )
+                    .with_note("violated constraint family: stage depth (eqs. 13–14)")
+                    .with_note(if opts.allow_recirculation {
+                        "budget already includes one recirculation pass"
+                    } else {
+                        "enabling recirculation would double each switch's budget"
+                    }),
+                );
+            }
+
+            // Table count: every non-empty table must be valid on at least
+            // one hop of every path.
+            let tables_needed = hops[0]
+                .1
+                .group
+                .tables
+                .iter()
+                .filter(|t| !t.instrs.is_empty())
+                .count() as u64;
+            let table_cap: u64 = hops
+                .iter()
+                .map(|&(_, u)| u.chip.stages as u64 * u.chip.max_tables_per_stage as u64)
+                .sum();
+            if tables_needed > table_cap
+                && seen.insert(("tables", scope.algorithm.clone(), pname.clone()))
+            {
+                out.push(
+                    Diagnostic::error(
+                        codes::INFEASIBLE_TABLES,
+                        format!(
+                            "`{}` synthesizes {tables_needed} tables but flow path {pname} \
+                             can host at most {table_cap}",
+                            scope.algorithm
+                        ),
+                    )
+                    .with_note("violated constraint family: per-stage table budget"),
+                );
+            }
+
+            // PHV bits (eqs. 9–10): every value the algorithm touches must
+            // live in some hop's PHV.
+            let phv_needed = algorithm_phv_bits(alg);
+            let phv_cap: u64 = hops
+                .iter()
+                .map(|&(_, u)| {
+                    u.chip
+                        .phv
+                        .iter()
+                        .map(|c| (c.width * c.count) as u64)
+                        .sum::<u64>()
+                })
+                .sum();
+            if phv_needed > phv_cap && seen.insert(("phv", scope.algorithm.clone(), pname.clone()))
+            {
+                out.push(
+                    Diagnostic::error(
+                        codes::INFEASIBLE_PHV,
+                        format!(
+                            "`{}` touches {phv_needed} bits of header/metadata state but \
+                             flow path {pname} has only {phv_cap} PHV bits",
+                            scope.algorithm
+                        ),
+                    )
+                    .with_note("violated constraint family: PHV capacity (eqs. 9–10)"),
+                );
+            }
+        }
+    }
+
+    if out.is_empty() {
+        let algs: Vec<&str> = enc.scopes.keys().map(|s| s.as_str()).collect();
+        out.push(
+            Diagnostic::error(
+                codes::INFEASIBLE,
+                format!(
+                    "no feasible placement for {}: the program does not fit the target \
+                     network's resources",
+                    algs.join(", ")
+                ),
+            )
+            .with_note(
+                "no single constraint family is provably at fault; the interaction of \
+                 memory blocks, stage depth, table budgets, PHV capacity, flow-path and \
+                 co-location constraints rules out every placement",
+            ),
+        );
+    }
+    out
+}

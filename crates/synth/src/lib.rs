@@ -12,14 +12,17 @@
 //!   split counts `E_{e,s}`, chip resource budgets (memory blocks, tables,
 //!   actions, atoms, PHV bits, parser TCAM, stage depth), flow-path,
 //!   dependency, and co-location constraints;
-//! * [`backend`] — native solver and Z3;
+//! * [`backend`] — the native CDCL(T) solver;
 //! * [`place`] — solution → per-switch [`Placement`], including Algorithm
-//!   2's carried values (bridge headers between cooperating switches).
+//!   2's carried values (bridge headers between cooperating switches);
+//! * [`explain`] — post-UNSAT necessary-condition analysis naming the
+//!   violated constraint family (memory, stages, PHV, tables).
 //!
 //! The one-call entry point is [`synthesize`].
 
 pub mod backend;
 pub mod encode;
+pub mod explain;
 pub mod npl;
 pub mod p4;
 pub mod parser_deps;
@@ -29,40 +32,94 @@ pub mod util;
 
 pub use backend::Backend;
 pub use encode::{encode, EncodeError, EncodeOptions, Encoded, Objective, SynthUnit};
+pub use explain::explain_infeasible;
 pub use p4::P4Options;
 pub use place::{CarriedValue, Placement, SwitchPlan};
 pub use table::{SynthAction, SynthTable, TableGroup, TableKind};
 
+use lyra_diag::{codes, Diagnostic};
 use lyra_ir::IrProgram;
-use lyra_solver::Outcome;
+use lyra_solver::{Outcome, SearchStats};
 use lyra_topo::{ResolvedScope, Topology};
 
 /// Synthesis failure.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SynthError {
     /// Encoding failed (bad scopes, unknown ASIC, …).
     Encode(EncodeError),
     /// The constraints are unsatisfiable — the program cannot be placed in
-    /// this network.
-    Unsatisfiable,
-    /// The solver gave up within its budget.
-    Unknown,
+    /// this network. Carries diagnostics naming the violated constraint
+    /// family plus the solver statistics of the refutation.
+    Infeasible {
+        /// Explanation of the infeasibility, one diagnostic per provably
+        /// violated constraint family (see [`explain_infeasible`]).
+        diagnostics: Vec<Diagnostic>,
+        /// Search effort spent proving UNSAT.
+        stats: SearchStats,
+    },
+    /// The solver exhausted its decision budget without a verdict —
+    /// distinct from [`SynthError::Infeasible`]: the program may still be
+    /// placeable with a larger budget.
+    BudgetExhausted {
+        /// Search effort spent before giving up.
+        stats: SearchStats,
+    },
+}
+
+impl SynthError {
+    /// Structured diagnostics for this failure.
+    pub fn to_diagnostics(&self) -> Vec<Diagnostic> {
+        match self {
+            SynthError::Encode(e) => vec![e.to_diagnostic()],
+            SynthError::Infeasible { diagnostics, .. } => diagnostics.clone(),
+            SynthError::BudgetExhausted { stats } => vec![Diagnostic::error(
+                codes::SOLVER_BUDGET,
+                format!(
+                    "solver budget exhausted after {} decisions without a verdict",
+                    stats.decisions
+                ),
+            )
+            .with_note(
+                "the placement problem was neither solved nor refuted; retry with a \
+                 larger decision budget",
+            )],
+        }
+    }
 }
 
 impl std::fmt::Display for SynthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthError::Encode(e) => write!(f, "{e}"),
-            SynthError::Unsatisfiable => write!(
-                f,
-                "no feasible placement: the program does not fit the target network's resources"
-            ),
-            SynthError::Unknown => write!(f, "solver budget exhausted without a verdict"),
+            SynthError::Infeasible { diagnostics, .. } => {
+                write!(
+                    f,
+                    "no feasible placement: the program does not fit the target network's resources"
+                )?;
+                for d in diagnostics {
+                    write!(f, "; {}", d.message)?;
+                }
+                Ok(())
+            }
+            SynthError::BudgetExhausted { .. } => {
+                write!(f, "solver budget exhausted without a verdict")
+            }
         }
     }
 }
 
-impl std::error::Error for SynthError {}
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Encode(e) => Some(e),
+            SynthError::Infeasible { diagnostics, .. } => diagnostics
+                .first()
+                .map(|d| d as &(dyn std::error::Error + 'static)),
+            SynthError::BudgetExhausted { .. } => None,
+        }
+    }
+}
 
 /// Result of a successful synthesis run.
 #[derive(Debug)]
@@ -71,6 +128,8 @@ pub struct SynthResult {
     pub placement: Placement,
     /// The encoded model (kept for code generation, which needs the units).
     pub encoded: Encoded,
+    /// Solver search statistics for this run.
+    pub stats: SearchStats,
 }
 
 /// Run the full back-end: synthesize conditional implementations, encode,
@@ -115,15 +174,22 @@ pub fn synthesize_hinted(
             .collect(),
         None => Vec::new(),
     };
-    let outcome =
+    let (outcome, stats) =
         backend::solve_with_hints(&enc.model, enc.objective.as_ref(), backend, &hints);
     match outcome {
         Outcome::Sat(sol) => {
             let placement = place::extract(&enc, ir, topo, &sol);
-            Ok(SynthResult { placement, encoded: enc })
+            Ok(SynthResult {
+                placement,
+                encoded: enc,
+                stats,
+            })
         }
-        Outcome::Unsat => Err(SynthError::Unsatisfiable),
-        Outcome::Unknown => Err(SynthError::Unknown),
+        Outcome::Unsat => Err(SynthError::Infeasible {
+            diagnostics: explain::explain_infeasible(&enc, ir, topo, opts),
+            stats,
+        }),
+        Outcome::Unknown => Err(SynthError::BudgetExhausted { stats }),
     }
 }
 
@@ -154,16 +220,24 @@ mod tests {
             "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
         )
         .unwrap();
-        let resolved: Vec<ResolvedScope> =
-            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        let resolved: Vec<ResolvedScope> = scopes
+            .iter()
+            .map(|s| resolve_scope(&topo, s).unwrap())
+            .collect();
         (ir, topo, resolved)
     }
 
     #[test]
     fn lb_places_with_native_backend() {
         let (ir, topo, scopes) = lb_setup();
-        let res = synthesize(&ir, &topo, &scopes, &EncodeOptions::default(), &Backend::Native)
-            .expect("LB placement must be feasible");
+        let res = synthesize(
+            &ir,
+            &topo,
+            &scopes,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .expect("LB placement must be feasible");
         // Every instruction deployed somewhere; conn_table fully placed on
         // every path.
         assert!(res.placement.used_switches() >= 1);
@@ -176,13 +250,21 @@ mod tests {
         assert!(total_conn >= 1024, "conn_table entries: {total_conn}");
     }
 
-    #[cfg(feature = "z3-backend")]
     #[test]
-    fn lb_places_with_z3_backend() {
+    fn synthesis_reports_solver_stats() {
         let (ir, topo, scopes) = lb_setup();
-        let res = synthesize(&ir, &topo, &scopes, &EncodeOptions::default(), &Backend::Z3)
-            .expect("LB placement must be feasible with Z3");
-        assert!(res.placement.used_switches() >= 1);
+        let res = synthesize(
+            &ir,
+            &topo,
+            &scopes,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .expect("LB placement must be feasible");
+        assert!(
+            res.stats.decisions + res.stats.propagations > 0,
+            "solving a non-trivial model must record search effort"
+        );
     }
 
     #[test]
@@ -199,10 +281,18 @@ mod tests {
         .unwrap();
         let topo = figure1_network();
         let scopes = parse_scopes("int_in: [ ToR* | PER-SW | - ]").unwrap();
-        let resolved: Vec<ResolvedScope> =
-            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
-        let res = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
-            .unwrap();
+        let resolved: Vec<ResolvedScope> = scopes
+            .iter()
+            .map(|s| resolve_scope(&topo, s).unwrap())
+            .collect();
+        let res = synthesize(
+            &ir,
+            &topo,
+            &resolved,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .unwrap();
         // All four ToRs get the full program.
         assert_eq!(res.placement.used_switches(), 4);
         for (name, plan) in &res.placement.switches {
@@ -226,13 +316,32 @@ mod tests {
         )
         .unwrap();
         let topo = figure1_network();
-        let scopes = parse_scopes("big: [ Agg3,Agg4,ToR3,ToR4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
-            .unwrap();
-        let resolved: Vec<ResolvedScope> =
-            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
-        let err = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
-            .unwrap_err();
-        assert!(matches!(err, SynthError::Unsatisfiable));
+        let scopes =
+            parse_scopes("big: [ Agg3,Agg4,ToR3,ToR4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
+                .unwrap();
+        let resolved: Vec<ResolvedScope> = scopes
+            .iter()
+            .map(|s| resolve_scope(&topo, s).unwrap())
+            .collect();
+        let err = synthesize(
+            &ir,
+            &topo,
+            &resolved,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .unwrap_err();
+        let SynthError::Infeasible { diagnostics, .. } = err else {
+            panic!("expected Infeasible, got {err:?}");
+        };
+        // The explanation must name the violated family (memory) and the
+        // offending extern.
+        assert!(
+            diagnostics.iter().any(|d| {
+                d.code == Some(lyra_diag::codes::INFEASIBLE_MEMORY) && d.message.contains("huge")
+            }),
+            "diagnostics: {diagnostics:?}"
+        );
     }
 
     #[test]
@@ -240,10 +349,18 @@ mod tests {
         let ir = frontend("pipeline[P]{a}; algorithm a { x = 1; }").unwrap();
         let topo = figure1_network();
         let scopes = parse_scopes("a: [ Core* | PER-SW | - ]").unwrap();
-        let resolved: Vec<ResolvedScope> =
-            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
-        let err = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
-            .unwrap_err();
+        let resolved: Vec<ResolvedScope> = scopes
+            .iter()
+            .map(|s| resolve_scope(&topo, s).unwrap())
+            .collect();
+        let err = synthesize(
+            &ir,
+            &topo,
+            &resolved,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .unwrap_err();
         assert!(matches!(err, SynthError::Encode(_)));
     }
 
@@ -264,8 +381,10 @@ mod tests {
         let scopes =
             parse_scopes("small: [ Agg3,Agg4,ToR3,ToR4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
                 .unwrap();
-        let resolved: Vec<ResolvedScope> =
-            scopes.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
+        let resolved: Vec<ResolvedScope> = scopes
+            .iter()
+            .map(|s| resolve_scope(&topo, s).unwrap())
+            .collect();
         let opts = EncodeOptions {
             objective: Objective::MinSwitches,
             ..Default::default()

@@ -112,9 +112,14 @@ pub fn synthesize_npl(
                 lookups: n_lookups,
                 extern_name: Some(ext_name.clone()),
             },
-            match_width: ext.map(|x| (x.key_width() + x.value_width()) as u64).unwrap_or(32),
+            match_width: ext
+                .map(|x| (x.key_width() + x.value_width()) as u64)
+                .unwrap_or(32),
             entries: ext.map(|x| x.size).unwrap_or(1024),
-            actions: vec![SynthAction { name: format!("{name}_assign"), instrs: lookups.clone() }],
+            actions: vec![SynthAction {
+                name: format!("{name}_assign"),
+                instrs: lookups.clone(),
+            }],
             pred: None,
             match_kind: ext.map(|x| x.match_kind).unwrap_or_default(),
             instrs: lookups.clone(),
@@ -134,10 +139,15 @@ pub fn synthesize_npl(
             tables.push(SynthTable {
                 name: name.clone(),
                 algorithm: alg.name.clone(),
-                kind: TableKind::Register { global: global.clone() },
+                kind: TableKind::Register {
+                    global: global.clone(),
+                },
                 match_width: width as u64,
                 entries: 1,
-                actions: vec![SynthAction { name: format!("{name}_rw"), instrs: ops.clone() }],
+                actions: vec![SynthAction {
+                    name: format!("{name}_rw"),
+                    instrs: ops.clone(),
+                }],
                 pred: None,
                 match_kind: lyra_lang::MatchKind::Exact,
                 instrs: ops.clone(),
@@ -150,10 +160,15 @@ pub fn synthesize_npl(
             tables.push(SynthTable {
                 name: name.clone(),
                 algorithm: alg.name.clone(),
-                kind: TableKind::Register { global: global.clone() },
+                kind: TableKind::Register {
+                    global: global.clone(),
+                },
                 match_width: width as u64,
                 entries: len,
-                actions: vec![SynthAction { name: format!("{name}_rw"), instrs: ops.clone() }],
+                actions: vec![SynthAction {
+                    name: format!("{name}_rw"),
+                    instrs: ops.clone(),
+                }],
                 pred: None,
                 match_kind: lyra_lang::MatchKind::Exact,
                 instrs: ops.clone(),
@@ -175,7 +190,10 @@ pub fn synthesize_npl(
             kind: TableKind::DirectAction,
             match_width: 0,
             entries: 1,
-            actions: vec![SynthAction { name: format!("{name}_body"), instrs: layer.clone() }],
+            actions: vec![SynthAction {
+                name: format!("{name}_body"),
+                instrs: layer.clone(),
+            }],
             pred: None,
             match_kind: lyra_lang::MatchKind::Exact,
             instrs: layer.clone(),
@@ -231,10 +249,20 @@ pub fn synthesize_npl(
         }
     }
 
-    let mut group = TableGroup { tables, registers, critical_path: 0 };
+    let mut group = TableGroup {
+        tables,
+        registers,
+        critical_path: 0,
+    };
     group.fuse_cycles();
     group.compute_critical_path();
-    (group, NplExtras { bus_vars: bus_vars.into_iter().collect(), bus_instrs })
+    (
+        group,
+        NplExtras {
+            bus_vars: bus_vars.into_iter().collect(),
+            bus_instrs,
+        },
+    )
 }
 
 /// Partition instructions into dependency layers (instructions in one layer

@@ -38,7 +38,9 @@ pub struct P4Options {
 
 impl Default for P4Options {
     fn default() -> Self {
-        P4Options { parser_hoisting: true }
+        P4Options {
+            parser_hoisting: true,
+        }
     }
 }
 
@@ -144,7 +146,9 @@ pub fn synthesize_p4(
         if merged_into[bi] != bi {
             continue; // handled with its representative
         }
-        let Some(parent_bi) = parent[bi] else { continue };
+        let Some(parent_bi) = parent[bi] else {
+            continue;
+        };
         let parent_rep = merged_into[parent_bi];
         if parent_has_extern_output(alg, &blocks[parent_bi], block.pred) {
             folds_into[bi] = Some(parent_rep);
@@ -219,7 +223,11 @@ pub fn synthesize_p4(
     }
 
     let registers = count_registers(alg, &working);
-    let mut group = TableGroup { tables, registers, critical_path: 0 };
+    let mut group = TableGroup {
+        tables,
+        registers,
+        critical_path: 0,
+    };
     group.fuse_cycles();
     group.compute_critical_path();
     (group, hoists)
@@ -254,11 +262,13 @@ fn parent_has_extern_output(
         let info = alg.value(v);
         let Some(def) = info.def else { return false };
         match &alg.instr(def).op {
-            IrOp::TableMember { .. } | IrOp::TableLookup { .. }
-                if parent.instrs.contains(&def) => {
-                    saw_extern = true;
-                }
-            IrOp::Unary { a: Operand::Value(src), .. } => stack.push(*src),
+            IrOp::TableMember { .. } | IrOp::TableLookup { .. } if parent.instrs.contains(&def) => {
+                saw_extern = true;
+            }
+            IrOp::Unary {
+                a: Operand::Value(src),
+                ..
+            } => stack.push(*src),
             IrOp::Binary { a, b, .. } => {
                 for o in [a, b] {
                     if let Operand::Value(src) = o {
@@ -273,31 +283,35 @@ fn parent_has_extern_output(
     saw_extern
 }
 
-fn block_to_table(
-    ir: &IrProgram,
-    alg: &IrAlgorithm,
-    block: &PredBlock,
-    idx: usize,
-) -> SynthTable {
+fn block_to_table(ir: &IrProgram, alg: &IrAlgorithm, block: &PredBlock, idx: usize) -> SynthTable {
     // If the block contains an extern read, the table *is* that extern.
     let extern_read = block.instrs.iter().find_map(|&i| match &alg.instr(i).op {
         IrOp::TableMember { table, .. } | IrOp::TableLookup { table, .. } => Some(table.clone()),
         _ => None,
     });
-    let stateful = block
-        .instrs
-        .iter()
-        .any(|&i| matches!(alg.instr(i).op, IrOp::GlobalRead { .. } | IrOp::GlobalWrite { .. }));
+    let stateful = block.instrs.iter().any(|&i| {
+        matches!(
+            alg.instr(i).op,
+            IrOp::GlobalRead { .. } | IrOp::GlobalWrite { .. }
+        )
+    });
     let (kind, match_width, entries, match_kind) = if let Some(e) = extern_read {
         let ext = ir.externs.get(&e);
-        let width = ext.map(|x| (x.key_width() + x.value_width()) as u64).unwrap_or(32);
+        let width = ext
+            .map(|x| (x.key_width() + x.value_width()) as u64)
+            .unwrap_or(32);
         let size = ext.map(|x| x.size).unwrap_or(1024);
         let mk = ext.map(|x| x.match_kind).unwrap_or_default();
         (TableKind::ExternMatch { extern_name: e }, width, size, mk)
     } else if let Some(p) = block.pred {
         // Gateway table matching the predicate's source fields.
         let width = pred_match_width(alg, p);
-        (TableKind::PredicateGate, width, 2, lyra_lang::MatchKind::Ternary)
+        (
+            TableKind::PredicateGate,
+            width,
+            2,
+            lyra_lang::MatchKind::Ternary,
+        )
     } else {
         (TableKind::DirectAction, 0, 1, lyra_lang::MatchKind::Exact)
     };
@@ -308,7 +322,10 @@ fn block_to_table(
         kind,
         match_width,
         entries,
-        actions: vec![SynthAction { name: format!("{name}_act0"), instrs: block.instrs.clone() }],
+        actions: vec![SynthAction {
+            name: format!("{name}_act0"),
+            instrs: block.instrs.clone(),
+        }],
         pred: block.pred,
         match_kind,
         instrs: block.instrs.clone(),
@@ -382,8 +399,7 @@ mod tests {
         "#;
         let (group, _) = synth(src, &P4Options::default());
         // One gateway table with two actions, not two tables.
-        let gated: Vec<&SynthTable> =
-            group.tables.iter().filter(|t| t.pred.is_some()).collect();
+        let gated: Vec<&SynthTable> = group.tables.iter().filter(|t| t.pred.is_some()).collect();
         assert_eq!(gated.len(), 1, "tables: {:#?}", group.tables);
         assert_eq!(gated[0].actions.len(), 2);
     }
@@ -412,7 +428,10 @@ mod tests {
         // The hit-consumer block became an action of an extern table rather
         // than its own predicate-gate table.
         assert!(
-            group.tables.iter().all(|t| !matches!(t.kind, TableKind::PredicateGate)),
+            group
+                .tables
+                .iter()
+                .all(|t| !matches!(t.kind, TableKind::PredicateGate)),
             "tables: {:#?}",
             group.tables
         );
@@ -429,7 +448,12 @@ mod tests {
         "#;
         let (with, hoists) = synth(src, &P4Options::default());
         assert_eq!(hoists.instrs.len(), 1);
-        let (without, no_hoists) = synth(src, &P4Options { parser_hoisting: false });
+        let (without, no_hoists) = synth(
+            src,
+            &P4Options {
+                parser_hoisting: false,
+            },
+        );
         assert!(no_hoists.instrs.is_empty());
         assert!(with.table_count() < without.table_count());
     }
@@ -444,7 +468,11 @@ mod tests {
             }
         "#;
         let (group, _) = synth(src, &P4Options::default());
-        let t = group.tables.iter().find(|t| t.extern_name() == Some("big")).unwrap();
+        let t = group
+            .tables
+            .iter()
+            .find(|t| t.extern_name() == Some("big"))
+            .unwrap();
         assert_eq!(t.entries, 4096);
         assert_eq!(t.match_width, 40); // 32 key + 8 value
     }
@@ -481,7 +509,12 @@ mod tests {
         // Figure 5(a)'s `if (smac == dmac)`: the comparison is the gate's
         // match condition, not its own table.
         let src = "pipeline[P]{a}; algorithm a { if (smac == dmac) { y = 1; } }";
-        let (group, _) = synth(src, &P4Options { parser_hoisting: false });
+        let (group, _) = synth(
+            src,
+            &P4Options {
+                parser_hoisting: false,
+            },
+        );
         assert_eq!(group.table_count(), 1, "group: {group:#?}");
         assert!(matches!(group.tables[0].kind, TableKind::PredicateGate));
         // Match width covers both 32-bit (defaulted) operands.

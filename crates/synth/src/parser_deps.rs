@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn ethernet_stands_alone() {
         let ir = prog();
-        assert_eq!(with_ancestors(&ir, "ethernet"), vec!["ethernet".to_string()]);
+        assert_eq!(
+            with_ancestors(&ir, "ethernet"),
+            vec!["ethernet".to_string()]
+        );
     }
 
     #[test]

@@ -64,17 +64,15 @@ impl Placement {
 
     /// Number of switches hosting code.
     pub fn used_switches(&self) -> usize {
-        self.switches.values().filter(|p| !p.instrs.is_empty()).count()
+        self.switches
+            .values()
+            .filter(|p| !p.instrs.is_empty())
+            .count()
     }
 }
 
 /// Extract the placement from a solved model.
-pub fn extract(
-    enc: &Encoded,
-    ir: &IrProgram,
-    topo: &Topology,
-    sol: &Solution,
-) -> Placement {
+pub fn extract(enc: &Encoded, ir: &IrProgram, topo: &Topology, sol: &Solution) -> Placement {
     let mut placement = Placement::default();
 
     // Instructions per switch.
@@ -110,7 +108,9 @@ pub fn extract(
     // Valid tables per switch, with extern entries substituted.
     for unit in &enc.units {
         let sw_name = topo.switch(unit.switch).name.clone();
-        let Some(plan) = placement.switches.get_mut(&sw_name) else { continue };
+        let Some(plan) = placement.switches.get_mut(&sw_name) else {
+            continue;
+        };
         let deployed: std::collections::BTreeSet<InstrId> = plan
             .instrs
             .get(&unit.alg)
@@ -148,8 +148,7 @@ pub fn extract(
     compute_carried(enc, ir, topo, sol, &mut placement);
 
     // Resource usage accounting.
-    for (name, plan) in &mut placement.switches
-    {
+    for (name, plan) in &mut placement.switches {
         let sw = topo.find(name).expect("switch exists");
         let chip = enc
             .units
@@ -213,7 +212,9 @@ fn compute_carried(
         if scope.deploy != lyra_lang::DeployMode::MultiSwitch {
             continue;
         }
-        let Some(alg) = ir.algorithm(&scope.algorithm) else { continue };
+        let Some(alg) = ir.algorithm(&scope.algorithm) else {
+            continue;
+        };
         let on = |i: InstrId, s: SwitchId| -> bool {
             enc.instr_var
                 .get(&(scope.algorithm.clone(), s, i))
@@ -226,20 +227,29 @@ fn compute_carried(
                     if !on(i, sw) {
                         continue;
                     }
-                    let Some(dst) = alg.instr(i).dst else { continue };
+                    let Some(dst) = alg.instr(i).dst else {
+                        continue;
+                    };
                     // Does any later hop read this value?
                     for &later in &path[j + 1..] {
                         let read_later = alg.instr_ids().any(|r| {
                             on(r, later)
                                 && (alg.instr(r).pred == Some(dst)
-                                    || alg.instr(r).op.reads().iter().any(
-                                        |o| matches!(o, Operand::Value(v) if *v == dst),
-                                    ))
+                                    || alg
+                                        .instr(r)
+                                        .op
+                                        .reads()
+                                        .iter()
+                                        .any(|o| matches!(o, Operand::Value(v) if *v == dst)))
                         });
                         if read_later {
                             let info = alg.value(dst);
                             let cv = CarriedValue {
-                                name: format!("{}_{}", scope.algorithm, info.name().replace(['#', '.'], "_")),
+                                name: format!(
+                                    "{}_{}",
+                                    scope.algorithm,
+                                    info.name().replace(['#', '.'], "_")
+                                ),
                                 width: info.width.max(1),
                                 from: sw,
                                 to: later,

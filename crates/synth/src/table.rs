@@ -7,10 +7,9 @@
 
 use lyra_ir::{InstrId, ValueId};
 use lyra_lang::MatchKind;
-use serde::{Deserialize, Serialize};
 
 /// How a synthesized table matches.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableKind {
     /// Exact-match on an extern table's key columns.
     ExternMatch {
@@ -37,7 +36,7 @@ pub enum TableKind {
 }
 
 /// One action of a synthesized table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SynthAction {
     /// Action name (unique within the program, prefixed by algorithm —
     /// §7.3: "all the generated variables and tables for algorithm firewall
@@ -48,7 +47,7 @@ pub struct SynthAction {
 }
 
 /// A conditionally synthesized table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SynthTable {
     /// Table name (algorithm-prefixed).
     pub name: String,
@@ -85,7 +84,10 @@ impl SynthTable {
     pub fn extern_name(&self) -> Option<&str> {
         match &self.kind {
             TableKind::ExternMatch { extern_name } => Some(extern_name),
-            TableKind::NplLogical { extern_name: Some(e), .. } => Some(e),
+            TableKind::NplLogical {
+                extern_name: Some(e),
+                ..
+            } => Some(e),
             _ => None,
         }
     }
@@ -94,7 +96,7 @@ impl SynthTable {
 /// A per-switch *conditional implementation*: the potential table group
 /// `L_s` plus the instruction set `R_s` it was derived from (§5.2's
 /// Algorithm 1 outputs).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableGroup {
     /// Tables, in dependency order.
     pub tables: Vec<SynthTable>,
@@ -261,7 +263,10 @@ mod tests {
             kind: TableKind::DirectAction,
             match_width: 0,
             entries: 1,
-            actions: vec![SynthAction { name: format!("{name}_act"), instrs: vec![] }],
+            actions: vec![SynthAction {
+                name: format!("{name}_act"),
+                instrs: vec![],
+            }],
             pred: None,
             match_kind: MatchKind::Exact,
             instrs: vec![],
@@ -273,7 +278,11 @@ mod tests {
     #[test]
     fn critical_path_computation() {
         let mut g = TableGroup {
-            tables: vec![mk_table("a", vec![]), mk_table("b", vec![0]), mk_table("c", vec![1])],
+            tables: vec![
+                mk_table("a", vec![]),
+                mk_table("b", vec![0]),
+                mk_table("c", vec![1]),
+            ],
             registers: 0,
             critical_path: 0,
         };
@@ -284,8 +293,7 @@ mod tests {
     }
 
     #[test]
-    fn independent_tables_path_one()
-    {
+    fn independent_tables_path_one() {
         let mut g = TableGroup {
             tables: vec![mk_table("a", vec![]), mk_table("b", vec![])],
             registers: 0,

@@ -105,7 +105,9 @@ pub fn pred_extern_root(alg: &IrAlgorithm, v: ValueId) -> Option<String> {
         if !seen.insert(cur) {
             continue;
         }
-        let Some(def) = alg.value(cur).def else { continue };
+        let Some(def) = alg.value(cur).def else {
+            continue;
+        };
         match &alg.instr(def).op {
             IrOp::TableMember { table, .. } | IrOp::TableLookup { table, .. } => {
                 return Some(table.clone())
@@ -136,7 +138,9 @@ pub fn semantic_pred_writer(
         if !seen.insert(cur) {
             continue;
         }
-        let Some(def) = alg.value(cur).def else { continue };
+        let Some(def) = alg.value(cur).def else {
+            continue;
+        };
         if !plumbing.contains(&def) {
             return Some(def);
         }
@@ -169,10 +173,9 @@ mod tests {
     #[test]
     fn comparison_stored_to_field_is_not_plumbing() {
         // The comparison result is written to a header field — observable.
-        let ir = frontend(
-            "pipeline[P]{a}; algorithm a { c = x == 5; md.flag = c; if (c) { y = 1; } }",
-        )
-        .unwrap();
+        let ir =
+            frontend("pipeline[P]{a}; algorithm a { c = x == 5; md.flag = c; if (c) { y = 1; } }")
+                .unwrap();
         let alg = &ir.algorithms[0];
         let subset: Vec<InstrId> = alg.instr_ids().collect();
         let plumbing = compute_plumbing(alg, &subset);
@@ -182,10 +185,9 @@ mod tests {
 
     #[test]
     fn real_deps_traces_through_plumbing() {
-        let ir = frontend(
-            "pipeline[P]{a}; algorithm a { h = crc32_hash(x); if (h == 5) { y = 1; } }",
-        )
-        .unwrap();
+        let ir =
+            frontend("pipeline[P]{a}; algorithm a { h = crc32_hash(x); if (h == 5) { y = 1; } }")
+                .unwrap();
         let alg = &ir.algorithms[0];
         let deps = dependency_graph(alg);
         let subset: Vec<InstrId> = alg.instr_ids().collect();
@@ -194,7 +196,12 @@ mod tests {
         let assign = subset
             .iter()
             .copied()
-            .find(|&i| alg.instr(i).dst.map(|d| alg.value(d).base == "y").unwrap_or(false))
+            .find(|&i| {
+                alg.instr(i)
+                    .dst
+                    .map(|d| alg.value(d).base == "y")
+                    .unwrap_or(false)
+            })
             .unwrap();
         let hash = subset
             .iter()
@@ -235,10 +242,7 @@ mod tests {
         let alg = &ir.algorithms[0];
         let subset: Vec<InstrId> = alg.instr_ids().collect();
         let plumbing = compute_plumbing(alg, &subset);
-        let preds: Vec<ValueId> = alg
-            .instr_ids()
-            .filter_map(|i| alg.instr(i).pred)
-            .collect();
+        let preds: Vec<ValueId> = alg.instr_ids().filter_map(|i| alg.instr(i).pred).collect();
         assert!(preds.len() >= 2);
         let writers: BTreeSet<_> = preds
             .iter()

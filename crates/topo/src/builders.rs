@@ -78,7 +78,10 @@ pub fn evaluation_testbed() -> Topology {
 /// is the number of ports per switch and also equals the total number of
 /// switches deployed".
 pub fn fat_tree_pod(k: usize, tor_asic: &str, agg_asic: &str) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree pod requires even k >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree pod requires even k >= 2, got {k}"
+    );
     let mut t = Topology::new();
     let aggs: Vec<SwitchId> = (1..=k / 2)
         .map(|i| t.add_switch(format!("Agg{i}"), Layer::Agg, agg_asic))
@@ -97,7 +100,10 @@ pub fn fat_tree_pod(k: usize, tor_asic: &str, agg_asic: &str) -> Topology {
 /// A full k-ary fat tree (k pods plus a core layer) — used by examples and
 /// extension tests beyond the paper's pod-level experiment.
 pub fn fat_tree(k: usize, tor_asic: &str, agg_asic: &str, core_asic: &str) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat tree requires even k >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree requires even k >= 2, got {k}"
+    );
     let mut t = Topology::new();
     let num_core = (k / 2) * (k / 2);
     let cores: Vec<SwitchId> = (1..=num_core)

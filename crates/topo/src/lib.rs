@@ -18,10 +18,8 @@ pub use parse::{parse_topology, print_topology, TopologyParseError};
 pub use paths::enumerate_paths;
 pub use scope::{resolve_scope, ResolvedScope, ScopeResolutionError};
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a switch within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchId(pub u32);
 
 impl SwitchId {
@@ -32,7 +30,7 @@ impl SwitchId {
 }
 
 /// Which layer of the DCN a switch sits in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layer {
     /// Top-of-rack.
     ToR,
@@ -44,7 +42,7 @@ pub enum Layer {
 
 /// One switch: a name, its layer, and the ASIC model it runs (by model name;
 /// `lyra-chips` owns the resource descriptions).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Switch {
     /// Unique switch name (`ToR3`, `Agg1`, …).
     pub name: String,
@@ -55,7 +53,7 @@ pub struct Switch {
 }
 
 /// An undirected link between two switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
     /// One endpoint.
     pub a: SwitchId,
@@ -64,7 +62,7 @@ pub struct Link {
 }
 
 /// A data center network topology.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Topology {
     /// Switches.
     pub switches: Vec<Switch>,
@@ -88,7 +86,11 @@ impl Topology {
         let name = name.into();
         assert!(self.find(&name).is_none(), "duplicate switch name `{name}`");
         let id = SwitchId(self.switches.len() as u32);
-        self.switches.push(Switch { name, layer, asic: asic.into() });
+        self.switches.push(Switch {
+            name,
+            layer,
+            asic: asic.into(),
+        });
         id
     }
 

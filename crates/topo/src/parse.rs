@@ -89,7 +89,10 @@ pub fn parse_topology(src: &str) -> Result<Topology, TopologyParseError> {
         }
     }
     if topo.is_empty() {
-        return Err(TopologyParseError { line: 0, message: "no switches declared".into() });
+        return Err(TopologyParseError {
+            line: 0,
+            message: "no switches declared".into(),
+        });
     }
     Ok(topo)
 }

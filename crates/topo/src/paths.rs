@@ -40,7 +40,15 @@ pub fn enumerate_paths(
         let mut visited = vec![false; topo.len()];
         visited[start.index()] = true;
         let mut path = vec![start];
-        dfs(topo, &allowed_set, &target, &mut visited, &mut path, &mut out, max_len);
+        dfs(
+            topo,
+            &allowed_set,
+            &target,
+            &mut visited,
+            &mut path,
+            &mut out,
+            max_len,
+        );
     }
     out
 }

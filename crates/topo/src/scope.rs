@@ -3,6 +3,7 @@
 //! paths the back-end encodes constraints over (§4.3 "Deployment constraints
 //! generation").
 
+use lyra_diag::{codes, Code, Diagnostic, Span};
 use lyra_lang::{DeployMode, ScopeSpec};
 
 use crate::paths::enumerate_paths;
@@ -28,6 +29,10 @@ pub struct ResolvedScope {
 pub struct ScopeResolutionError {
     /// Problem description.
     pub message: String,
+    /// Stable diagnostic code (`LYR0204`..`LYR0207`).
+    pub code: Code,
+    /// The scope line this error refers to, within the scope source.
+    pub span: Option<Span>,
 }
 
 impl std::fmt::Display for ScopeResolutionError {
@@ -37,6 +42,18 @@ impl std::fmt::Display for ScopeResolutionError {
 }
 
 impl std::error::Error for ScopeResolutionError {}
+
+impl ScopeResolutionError {
+    /// Convert to a structured diagnostic; the span's source id (the scope
+    /// file) is attached by the driver.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let d = Diagnostic::error(self.code, self.message.clone());
+        match self.span {
+            Some(sp) => d.with_anonymous_span(sp),
+            None => d,
+        }
+    }
+}
 
 /// Maximum path length (hops) enumerated within a scope.
 const MAX_PATH_LEN: usize = 8;
@@ -54,6 +71,8 @@ pub fn resolve_scope(
                 "scope for `{}` matches no switch in the topology",
                 spec.algorithm
             ),
+            code: codes::SCOPE_EMPTY_REGION,
+            span: Some(spec.span),
         });
     }
     let switches: Vec<SwitchId> = matched.iter().map(|n| topo.find(n).unwrap()).collect();
@@ -62,12 +81,16 @@ pub fn resolve_scope(
         DeployMode::MultiSwitch => {
             let direct = spec.direct.as_ref().ok_or_else(|| ScopeResolutionError {
                 message: format!("MULTI-SW scope for `{}` lacks a direction", spec.algorithm),
+                code: codes::SCOPE_SYNTAX,
+                span: Some(spec.span),
             })?;
             let lookup = |ns: &[String]| -> Result<Vec<SwitchId>, ScopeResolutionError> {
                 ns.iter()
                     .map(|n| {
                         topo.find(n).ok_or_else(|| ScopeResolutionError {
                             message: format!("direction names unknown switch `{n}`"),
+                            code: codes::SCOPE_UNKNOWN_SWITCH,
+                            span: Some(spec.span),
                         })
                     })
                     .collect()
@@ -82,6 +105,8 @@ pub fn resolve_scope(
                             topo.switch(*s).name,
                             spec.algorithm
                         ),
+                        code: codes::SCOPE_OUTSIDE_REGION,
+                        span: Some(spec.span),
                     });
                 }
             }
@@ -92,6 +117,8 @@ pub fn resolve_scope(
                         "no flow path exists through the scope of `{}`",
                         spec.algorithm
                     ),
+                    code: codes::SCOPE_NO_PATH,
+                    span: Some(spec.span),
                 });
             }
             paths
@@ -142,8 +169,7 @@ mod tests {
     #[test]
     fn direction_outside_region_is_error() {
         let topo = figure1_network();
-        let scopes =
-            parse_scopes("lb: [ Agg3,ToR3 | MULTI-SW | (Agg3->ToR4) ]").unwrap();
+        let scopes = parse_scopes("lb: [ Agg3,ToR3 | MULTI-SW | (Agg3->ToR4) ]").unwrap();
         let err = resolve_scope(&topo, &scopes[0]).unwrap_err();
         assert!(err.message.contains("outside the scope region"));
     }

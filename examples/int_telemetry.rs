@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p lyra-apps --example int_telemetry`
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::programs;
 use lyra_topo::figure1_network;
 
@@ -64,6 +64,12 @@ fn main() {
     let mut langs: Vec<&str> = out.artifacts.iter().map(|a| a.lang.name()).collect();
     langs.sort();
     langs.dedup();
-    println!("\nlanguages generated from one Lyra source: {}", langs.join(", "));
-    assert!(langs.len() >= 2, "heterogeneous deployment must target multiple languages");
+    println!(
+        "\nlanguages generated from one Lyra source: {}",
+        langs.join(", ")
+    );
+    assert!(
+        langs.len() >= 2,
+        "heterogeneous deployment must target multiple languages"
+    );
 }

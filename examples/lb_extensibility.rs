@@ -5,13 +5,12 @@
 //!
 //! Run with: `cargo run --release -p lyra-apps --example lb_extensibility`
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::programs;
 use lyra_topo::figure1_network;
 
 fn main() {
-    let scopes =
-        "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+    let scopes = "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
     for conn_entries in [1_000_000u64, 2_500_000, 4_000_000] {
         let program = programs::load_balancer(conn_entries);
         let t = std::time::Instant::now();
@@ -36,8 +35,7 @@ fn main() {
                 .iter()
                 .map(|(t, n)| format!("{t}={n}"))
                 .collect();
-            let bridges: Vec<&str> =
-                plan.carried_in.iter().map(|c| c.name.as_str()).collect();
+            let bridges: Vec<&str> = plan.carried_in.iter().map(|c| c.name.as_str()).collect();
             println!(
                 "    {switch:<6} holds [{}]{}",
                 shards.join(", "),
@@ -55,7 +53,10 @@ fn main() {
             .values()
             .filter_map(|p| p.extern_entries.get("conn_table"))
             .sum();
-        assert!(total >= conn_entries, "entries lost: {total} < {conn_entries}");
+        assert!(
+            total >= conn_entries,
+            "entries lost: {total} < {conn_entries}"
+        );
         println!();
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p lyra-apps --example portability_table`
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::{figure9_corpus, paper_baselines};
 use lyra_topo::{Layer, Topology};
 

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release -p lyra-apps --example quickstart`
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_topo::figure1_network;
 
 const PROGRAM: &str = r#"
@@ -47,7 +47,11 @@ fn main() {
         })
         .expect("quickstart program compiles");
 
-    println!("compiled in {:?} ({} artifacts)\n", out.stats.total, out.artifacts.len());
+    println!(
+        "compiled in {:?} ({} artifacts)\n",
+        out.stats.total,
+        out.artifacts.len()
+    );
     for a in &out.artifacts {
         println!("==== {} ({} / {}) ====", a.switch, a.asic, a.lang.name());
         println!("{}", a.code);

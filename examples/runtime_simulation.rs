@@ -31,8 +31,7 @@ fn main() {
     let out = Compiler::new()
         .compile(&CompileRequest {
             program: LB,
-            scopes:
-                "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
             topology: figure1_network(),
         })
         .expect("LB compiles");

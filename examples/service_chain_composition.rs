@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p lyra-apps --example service_chain_composition`
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_apps::programs;
 use lyra_topo::evaluation_testbed;
 
@@ -46,7 +46,10 @@ fn main() {
                 );
             }
         }
-        assert!(elapsed.as_secs() < 5, "composition exceeded the paper's 5 s target");
+        assert!(
+            elapsed.as_secs() < 5,
+            "composition exceeded the paper's 5 s target"
+        );
     }
     println!("\nall compositions compiled; per-algorithm table prefixes verified");
 }

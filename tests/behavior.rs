@@ -23,7 +23,11 @@ fn compile_single(program: &str, algs: &[&str], asic: &str) -> lyra::CompileOutp
         .join("\n");
     Compiler::new()
         .native_backend()
-        .compile(&CompileRequest { program, scopes: &scopes, topology: single(asic) })
+        .compile(&CompileRequest {
+            program,
+            scopes: &scopes,
+            topology: single(asic),
+        })
         .expect("program compiles")
 }
 
@@ -57,7 +61,9 @@ fn netchain_rejects_stale_sequence_numbers() {
 
     // Write seq 10 → accepted.
     let mut p1 = PacketState::new();
-    p1.set("chain_key", 0xAB).set("chain_seq", 10).set("chain_value", 111);
+    p1.set("chain_key", 0xAB)
+        .set("chain_seq", 10)
+        .set("chain_value", 111);
     let (_, fx1) = rt.inject(&["ToR1"], p1).unwrap();
     assert!(fx1.is_empty(), "fresh write must not drop: {fx1:?}");
     assert_eq!(rt.global("ToR1", "seq_store", 5), Some(10));
@@ -65,17 +71,26 @@ fn netchain_rejects_stale_sequence_numbers() {
 
     // Stale write seq 7 → dropped, state unchanged.
     let mut p2 = PacketState::new();
-    p2.set("chain_key", 0xAB).set("chain_seq", 7).set("chain_value", 222);
+    p2.set("chain_key", 0xAB)
+        .set("chain_seq", 7)
+        .set("chain_value", 222);
     let (_, fx2) = rt.inject(&["ToR1"], p2).unwrap();
     assert!(
-        fx2.iter().any(|e| matches!(e, Effect::Action { name, .. } if name == "drop")),
+        fx2.iter()
+            .any(|e| matches!(e, Effect::Action { name, .. } if name == "drop")),
         "stale write must drop: {fx2:?}"
     );
-    assert_eq!(rt.global("ToR1", "val_store", 5), Some(111), "stale write must not apply");
+    assert_eq!(
+        rt.global("ToR1", "val_store", 5),
+        Some(111),
+        "stale write must not apply"
+    );
 
     // Newer write seq 12 → accepted.
     let mut p3 = PacketState::new();
-    p3.set("chain_key", 0xAB).set("chain_seq", 12).set("chain_value", 333);
+    p3.set("chain_key", 0xAB)
+        .set("chain_seq", 12)
+        .set("chain_value", 333);
     rt.inject(&["ToR1"], p3).unwrap();
     assert_eq!(rt.global("ToR1", "val_store", 5), Some(333));
 }
@@ -142,13 +157,17 @@ fn router_drops_on_ttl_expiry() {
     let mut p2 = PacketState::new();
     p2.set("ipv4.dst_ip", 0x0a00_0001).set("ipv4.ttl", 1);
     let (_, fx2) = rt.inject(&["ToR1"], p2).unwrap();
-    assert!(fx2.iter().any(|e| matches!(e, Effect::Action { name, .. } if name == "drop")));
+    assert!(fx2
+        .iter()
+        .any(|e| matches!(e, Effect::Action { name, .. } if name == "drop")));
 
     // No route → dropped.
     let mut p3 = PacketState::new();
     p3.set("ipv4.dst_ip", 0x0c00_0001).set("ipv4.ttl", 64);
     let (_, fx3) = rt.inject(&["ToR1"], p3).unwrap();
-    assert!(fx3.iter().any(|e| matches!(e, Effect::Action { name, .. } if name == "drop")));
+    assert!(fx3
+        .iter()
+        .any(|e| matches!(e, Effect::Action { name, .. } if name == "drop")));
 }
 
 #[test]

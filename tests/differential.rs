@@ -18,7 +18,29 @@ use lyra_ir::{execute, execute_all, frontend, DataPlaneState, InstrId, PacketSta
 use lyra_lang::parse_scopes;
 use lyra_synth::{synthesize, Backend, EncodeOptions};
 use lyra_topo::{figure1_network, resolve_scope};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG (the workspace builds offline with no
+/// external crates; seeded runs explore the identical case set).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// Compile `program` under `scopes` on the Figure 1 network and return,
 /// per flow path, the ordered per-switch instruction subsets plus the
@@ -35,9 +57,18 @@ fn place(program: &str, scopes: &str) -> Placed {
     let ir = frontend(program).expect("front-end");
     let topo = figure1_network();
     let specs = parse_scopes(scopes).expect("scopes");
-    let resolved: Vec<_> = specs.iter().map(|s| resolve_scope(&topo, s).unwrap()).collect();
-    let result = synthesize(&ir, &topo, &resolved, &EncodeOptions::default(), &Backend::Native)
-        .expect("feasible");
+    let resolved: Vec<_> = specs
+        .iter()
+        .map(|s| resolve_scope(&topo, s).unwrap())
+        .collect();
+    let result = synthesize(
+        &ir,
+        &topo,
+        &resolved,
+        &EncodeOptions::default(),
+        &Backend::Native,
+    )
+    .expect("feasible");
     let alg = ir.algorithms[0].clone();
     let alg_name = alg.name.clone();
     let mut paths = Vec::new();
@@ -159,7 +190,13 @@ fn lb_split_preserves_semantics() {
         full.install("vip_table", 0x0200_0000 + k, k % 8);
     }
     // Hits, misses, and VIP fallbacks.
-    for (h, dst) in [(0u64, 1u64), (7, 2), (14, 0x0200_0003), (5, 0x0200_0001), (999, 42)] {
+    for (h, dst) in [
+        (0u64, 1u64),
+        (7, 2),
+        (14, 0x0200_0003),
+        (5, 0x0200_0001),
+        (999, 42),
+    ] {
         let mut pkt = PacketState::new();
         pkt.set("flow_h", h);
         pkt.set("ipv4.dstAddr", dst);
@@ -196,29 +233,28 @@ fn computation_chain_preserves_semantics() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn random_packets_through_split_lb(
-        flow_h in 0u64..500,
-        dst in 0u64..0x0300_0000,
-        table_keys in prop::collection::btree_set(0u64..500, 1..40),
-    ) {
-        const LB: &str = r#"
-            pipeline[LB]{loadbalancer};
-            algorithm loadbalancer {
-                extern dict<bit[32] h, bit[32] ip>[64] conn_table;
-                if (flow_h in conn_table) {
-                    ipv4.dstAddr = conn_table[flow_h];
-                    conn_hit = 1;
-                }
+#[test]
+fn random_packets_through_split_lb() {
+    const LB: &str = r#"
+        pipeline[LB]{loadbalancer};
+        algorithm loadbalancer {
+            extern dict<bit[32] h, bit[32] ip>[64] conn_table;
+            if (flow_h in conn_table) {
+                ipv4.dstAddr = conn_table[flow_h];
+                conn_hit = 1;
             }
-        "#;
-        let placed = place(
-            LB,
-            "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-        );
+        }
+    "#;
+    let placed = place(
+        LB,
+        "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+    );
+    let mut rng = Rng::new(0x5eed_3001);
+    for _case in 0..32 {
+        let flow_h = rng.below(500);
+        let dst = rng.below(0x0300_0000);
+        let table_keys: std::collections::BTreeSet<u64> =
+            (0..1 + rng.below(39)).map(|_| rng.below(500)).collect();
         let mut full = DataPlaneState::new();
         for (i, k) in table_keys.iter().enumerate() {
             full.install("conn_table", *k, 0x0a00_0000 + i as u64);
@@ -228,32 +264,34 @@ proptest! {
         pkt.set("ipv4.dstAddr", dst);
         check_packet(&placed, &full, &pkt);
     }
+}
 
-    #[test]
-    fn random_packets_through_split_computation(
-        src in any::<u32>(),
-        thresh_src in any::<u32>(),
-    ) {
-        const PROG: &str = r#"
-            pipeline[P]{comp};
-            algorithm comp {
-                bit[32] t1;
-                bit[32] t2;
-                t1 = ipv4.srcAddr ^ other;
-                t2 = t1 + 13;
-                if (t2 > t1) {
-                    md_class = 1;
-                } else {
-                    md_class = 2;
-                }
-                ipv4.dstAddr = t2 | md_class;
+#[test]
+fn random_packets_through_split_computation() {
+    const PROG: &str = r#"
+        pipeline[P]{comp};
+        algorithm comp {
+            bit[32] t1;
+            bit[32] t2;
+            t1 = ipv4.srcAddr ^ other;
+            t2 = t1 + 13;
+            if (t2 > t1) {
+                md_class = 1;
+            } else {
+                md_class = 2;
             }
-        "#;
-        let placed = place(
-            PROG,
-            "comp: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-        );
-        let full = DataPlaneState::new();
+            ipv4.dstAddr = t2 | md_class;
+        }
+    "#;
+    let placed = place(
+        PROG,
+        "comp: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+    );
+    let full = DataPlaneState::new();
+    let mut rng = Rng::new(0x5eed_3002);
+    for _case in 0..32 {
+        let src = rng.next() as u32;
+        let thresh_src = rng.next() as u32;
         let mut pkt = PacketState::new();
         pkt.set("ipv4.srcAddr", src as u64);
         pkt.set("other", thresh_src as u64);

@@ -1,38 +1,97 @@
 //! Property tests across the full pipeline: randomly generated Lyra
-//! programs must either compile to valid code or fail with a clean error,
-//! and every successful compilation must uphold the placement invariants.
+//! programs must either compile to valid code or fail with a clean
+//! diagnostic, and every successful compilation must uphold the placement
+//! invariants.
+//!
+//! Randomness comes from a seeded xorshift generator (the workspace builds
+//! offline with no external crates), so every run explores the identical
+//! case set and failures reproduce from the printed case index.
 
-use lyra::{Compiler, CompileRequest};
+use lyra::{CompileRequest, Compiler};
 use lyra_topo::{Layer, Topology};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+}
 
 /// A random but well-formed Lyra algorithm body.
 #[derive(Debug, Clone)]
 enum GenStmt {
-    Assign { dst: usize, a: usize, b: usize, op: usize },
-    If { cond_var: usize, cmp_const: u8, then_assign: (usize, usize), has_else: bool },
-    TableCheck { table: usize, key: usize, assign: (usize, usize) },
-    GlobalBump { global: usize, idx: usize },
-    ActionCall { which: usize },
+    Assign {
+        dst: usize,
+        a: usize,
+        b: usize,
+        op: usize,
+    },
+    If {
+        cond_var: usize,
+        cmp_const: u8,
+        then_assign: (usize, usize),
+        has_else: bool,
+    },
+    TableCheck {
+        table: usize,
+        key: usize,
+        assign: (usize, usize),
+    },
+    GlobalBump {
+        global: usize,
+        idx: usize,
+    },
+    ActionCall {
+        which: usize,
+    },
 }
 
-fn gen_stmt() -> impl Strategy<Value = GenStmt> {
-    prop_oneof![
-        (0usize..6, 0usize..6, 0usize..6, 0usize..6)
-            .prop_map(|(dst, a, b, op)| GenStmt::Assign { dst, a, b, op }),
-        (0usize..6, any::<u8>(), (0usize..6, 0usize..6), any::<bool>()).prop_map(
-            |(cond_var, cmp_const, then_assign, has_else)| GenStmt::If {
-                cond_var,
-                cmp_const,
-                then_assign,
-                has_else
-            }
-        ),
-        (0usize..2, 0usize..6, (0usize..6, 0usize..6))
-            .prop_map(|(table, key, assign)| GenStmt::TableCheck { table, key, assign }),
-        (0usize..2, 0usize..6).prop_map(|(global, idx)| GenStmt::GlobalBump { global, idx }),
-        (0usize..3).prop_map(|which| GenStmt::ActionCall { which }),
-    ]
+fn gen_stmt(rng: &mut Rng) -> GenStmt {
+    match rng.below(5) {
+        0 => GenStmt::Assign {
+            dst: rng.below(6) as usize,
+            a: rng.below(6) as usize,
+            b: rng.below(6) as usize,
+            op: rng.below(6) as usize,
+        },
+        1 => GenStmt::If {
+            cond_var: rng.below(6) as usize,
+            cmp_const: rng.below(256) as u8,
+            then_assign: (rng.below(6) as usize, rng.below(6) as usize),
+            has_else: rng.next() & 1 == 1,
+        },
+        2 => GenStmt::TableCheck {
+            table: rng.below(2) as usize,
+            key: rng.below(6) as usize,
+            assign: (rng.below(6) as usize, rng.below(6) as usize),
+        },
+        3 => GenStmt::GlobalBump {
+            global: rng.below(2) as usize,
+            idx: rng.below(6) as usize,
+        },
+        _ => GenStmt::ActionCall {
+            which: rng.below(3) as usize,
+        },
+    }
 }
 
 fn render(stmts: &[GenStmt]) -> String {
@@ -51,7 +110,12 @@ fn render(stmts: &[GenStmt]) -> String {
                     var(*b)
                 ));
             }
-            GenStmt::If { cond_var, cmp_const, then_assign, has_else } => {
+            GenStmt::If {
+                cond_var,
+                cmp_const,
+                then_assign,
+                has_else,
+            } => {
                 body.push_str(&format!("    if ({} == {cmp_const}) {{\n", var(*cond_var)));
                 body.push_str(&format!(
                     "        {} = {} + 1;\n    }}\n",
@@ -105,61 +169,82 @@ fn single(asic: &str) -> Topology {
     t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_compile_and_validate(stmts in prop::collection::vec(gen_stmt(), 1..12)) {
+#[test]
+fn random_programs_compile_and_validate() {
+    let mut rng = Rng::new(0x5eed_2001);
+    for case in 0..48 {
+        let stmts: Vec<GenStmt> = (0..rng.range(1, 11)).map(|_| gen_stmt(&mut rng)).collect();
         let program = render(&stmts);
         for asic in ["tofino-32q", "trident4", "silicon-one"] {
-            let result = Compiler::new().native_backend().compile(&CompileRequest {
-                program: &program,
-                scopes: "generated: [ S1 | PER-SW | - ]",
-                topology: single(asic),
-            });
+            let result = Compiler::new()
+                .native_backend()
+                .compile(&CompileRequest::new(
+                    &program,
+                    "generated: [ S1 | PER-SW | - ]",
+                    single(asic),
+                ));
             match result {
                 Ok(out) => {
                     // Generated code must pass structural validation.
                     let v = out.validate_all();
-                    prop_assert!(v.is_ok(), "invalid code on {asic}: {:?}\nprogram:\n{program}\ncode:\n{}", v.err().map(|e| e.to_string()), out.artifacts[0].code);
+                    assert!(
+                        v.is_ok(),
+                        "case {case}: invalid code on {asic}: {:?}\nprogram:\n{program}\ncode:\n{}",
+                        v.err().map(|e| e.to_string()),
+                        out.artifacts[0].code
+                    );
                     // Placement covers the single switch.
-                    prop_assert!(out.placement.used_switches() <= 1);
+                    assert!(out.placement.used_switches() <= 1, "case {case}");
                 }
                 Err(e) => {
                     // Clean failures are acceptable (resource limits), panics
-                    // are not — reaching here means no panic occurred.
-                    let msg = e.to_string();
-                    prop_assert!(!msg.is_empty());
+                    // are not — and every failure must carry a structured
+                    // diagnostic.
+                    assert!(
+                        !e.diagnostics().is_empty(),
+                        "case {case}: error without diagnostics on {asic}:\n{program}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn backends_agree_on_random_programs(stmts in prop::collection::vec(gen_stmt(), 1..8)) {
+#[test]
+fn compilation_is_deterministic() {
+    let mut rng = Rng::new(0x5eed_2002);
+    for case in 0..24 {
+        let stmts: Vec<GenStmt> = (0..rng.range(1, 7)).map(|_| gen_stmt(&mut rng)).collect();
         let program = render(&stmts);
-        let native = Compiler::new().native_backend().compile(&CompileRequest {
-            program: &program,
-            scopes: "generated: [ S1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        });
-        #[cfg(feature = "z3-backend")]
-        {
-            let z3 = Compiler::new().compile(&CompileRequest {
-                program: &program,
-                scopes: "generated: [ S1 | PER-SW | - ]",
-                topology: single("tofino-32q"),
-            });
-            prop_assert_eq!(
-                native.is_ok(),
-                z3.is_ok(),
-                "backends disagree on feasibility for:\n{}",
-                program
-            );
-        }
-        #[cfg(not(feature = "z3-backend"))]
-        {
-            let _ = native;
+        let req = CompileRequest::new(
+            &program,
+            "generated: [ S1 | PER-SW | - ]",
+            single("tofino-32q"),
+        );
+        let compile = || Compiler::new().native_backend().compile(&req);
+        match (compile(), compile()) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.artifacts.len(), b.artifacts.len(), "case {case}");
+                for (x, y) in a.artifacts.iter().zip(&b.artifacts) {
+                    assert_eq!(x.code, y.code, "case {case}: nondeterministic codegen");
+                }
+                assert_eq!(
+                    a.solver.decisions, b.solver.decisions,
+                    "case {case}: nondeterministic search"
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "case {case}: nondeterministic error"
+                )
+            }
+            (a, b) => panic!(
+                "case {case}: feasibility flapped: {:?} vs {:?}",
+                a.map(|_| "ok"),
+                b.map(|_| "ok")
+            ),
         }
     }
 }
