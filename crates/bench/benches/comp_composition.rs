@@ -32,11 +32,11 @@ fn print_study() {
         let scopes = scopes_for(region);
         let t = std::time::Instant::now();
         let out = Compiler::new()
-            .compile(&CompileRequest {
-                program: &program,
-                scopes: &scopes,
-                topology: evaluation_testbed(),
-            })
+            .compile(&CompileRequest::new(
+                &program,
+                &scopes,
+                evaluation_testbed(),
+            ))
             .unwrap_or_else(|e| panic!("composition in `{region}`: {e}"));
         let elapsed = t.elapsed();
         println!(
@@ -73,11 +73,11 @@ fn main() {
         let scopes = scopes_for(region);
         harness.bench(&format!("composition/scope_{region}"), || {
             Compiler::new()
-                .compile(&CompileRequest {
-                    program: &program,
-                    scopes: &scopes,
-                    topology: evaluation_testbed(),
-                })
+                .compile(&CompileRequest::new(
+                    &program,
+                    &scopes,
+                    evaluation_testbed(),
+                ))
                 .unwrap()
         });
     }

@@ -24,11 +24,7 @@ fn run_case(conn_entries: u64) -> (std::time::Duration, usize, bool) {
     let program = programs::load_balancer(conn_entries);
     let t = std::time::Instant::now();
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &program,
-            scopes: SCOPES,
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(&program, SCOPES, figure1_network()))
         .unwrap_or_else(|e| panic!("{conn_entries}-entry LB: {e}"));
     let elapsed = t.elapsed();
     let holders = out
@@ -77,11 +73,7 @@ fn main() {
         let program = programs::load_balancer(entries);
         harness.bench(&format!("ext_conntable/conn_{entries}"), || {
             Compiler::new()
-                .compile(&CompileRequest {
-                    program: &program,
-                    scopes: SCOPES,
-                    topology: figure1_network(),
-                })
+                .compile(&CompileRequest::new(&program, SCOPES, figure1_network()))
                 .unwrap()
         });
     }

@@ -70,11 +70,7 @@ fn scopes_for(k: usize, program: &str, multi: bool) -> String {
 fn compile_once(program: &str, scopes: &str, topo: Topology) -> Duration {
     let t = Instant::now();
     Compiler::new()
-        .compile(&CompileRequest {
-            program,
-            scopes,
-            topology: topo,
-        })
+        .compile(&CompileRequest::new(program, scopes, topo))
         .expect("fig10 workload compiles");
     t.elapsed()
 }
@@ -148,11 +144,7 @@ fn main() {
             let scopes = scopes_for(k, &case.program, case.multi);
             harness.bench(&format!("fig10/{}@k{k}", case.name), || {
                 Compiler::new()
-                    .compile(&CompileRequest {
-                        program: &case.program,
-                        scopes: &scopes,
-                        topology: topo.clone(),
-                    })
+                    .compile(&CompileRequest::new(&case.program, &scopes, topo.clone()))
                     .unwrap()
             });
         }

@@ -47,11 +47,11 @@ fn print_table() {
         for asic in ["tofino-32q", "trident4"] {
             let t = std::time::Instant::now();
             let out = Compiler::new()
-                .compile(&CompileRequest {
-                    program: &entry.source,
-                    scopes: &single_scopes(&entry.scopes),
-                    topology: single(asic),
-                })
+                .compile(&CompileRequest::new(
+                    &entry.source,
+                    &single_scopes(&entry.scopes),
+                    single(asic),
+                ))
                 .unwrap_or_else(|e| panic!("{} on {asic}: {e}", entry.name));
             let elapsed = t.elapsed();
             let s = out.validate_all().expect("valid")[0].1.clone();
@@ -95,11 +95,11 @@ fn print_table() {
             .find(|r| r.program == name)
             .unwrap();
         let out = Compiler::new()
-            .compile(&CompileRequest {
-                program: &entry.source,
-                scopes: &single_scopes(&entry.scopes),
-                topology: single("tofino-32q"),
-            })
+            .compile(&CompileRequest::new(
+                &entry.source,
+                &single_scopes(&entry.scopes),
+                single("tofino-32q"),
+            ))
             .unwrap();
         let tables = out.validate_all().unwrap()[0].1.tables;
         1.0 - tables as f64 / row.manual_tables as f64
@@ -124,11 +124,7 @@ fn main() {
             let topo = single(asic);
             harness.bench(&format!("fig9_compile/{}@{asic}", entry.name), || {
                 Compiler::new()
-                    .compile(&CompileRequest {
-                        program: &entry.source,
-                        scopes: &scopes,
-                        topology: topo.clone(),
-                    })
+                    .compile(&CompileRequest::new(&entry.source, &scopes, topo.clone()))
                     .unwrap()
             });
         }

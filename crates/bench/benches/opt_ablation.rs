@@ -44,11 +44,11 @@ fn single(asic: &str) -> Topology {
 fn tables_with_hoisting(on: bool) -> u64 {
     let out = Compiler::new()
         .with_parser_hoisting(on)
-        .compile(&CompileRequest {
-            program: HOIST_PROGRAM,
-            scopes: "int_like: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        })
+        .compile(&CompileRequest::new(
+            HOIST_PROGRAM,
+            "int_like: [ ToR1 | PER-SW | - ]",
+            single("tofino-32q"),
+        ))
         .unwrap();
     out.validate_all().unwrap()[0].1.tables
 }
@@ -56,11 +56,11 @@ fn tables_with_hoisting(on: bool) -> u64 {
 fn switches_with_objective(objective: Objective) -> usize {
     let out = Compiler::new()
         .with_objective(objective)
-        .compile(&CompileRequest {
-            program: SPREAD_PROGRAM,
-            scopes: "small: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(
+            SPREAD_PROGRAM,
+            "small: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            figure1_network(),
+        ))
         .unwrap();
     out.placement.used_switches()
 }
@@ -82,11 +82,11 @@ algorithm staged {
     let t = std::time::Instant::now();
     Compiler::new()
         .with_stage_detail(on)
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: "staged: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        })
+            "staged: [ ToR1 | PER-SW | - ]",
+            single("tofino-32q"),
+        ))
         .expect("staged program compiles");
     t.elapsed()
 }

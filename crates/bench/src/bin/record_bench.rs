@@ -1,0 +1,351 @@
+//! `record_bench` — record solver-performance benchmark snapshots.
+//!
+//! Measures the Figure 10 scalability cases and the Figure 9 corpus under
+//! the current solver (portfolio + learned-clause reduction + synthesis
+//! cache) and writes machine-readable snapshots:
+//!
+//! * `BENCH_fig10.json` — per-case median wall time / conflicts /
+//!   decisions at k ∈ {4, 8, 16}, plus a sequential-vs-portfolio-vs-cached
+//!   comparison on the hardest case (LB MULTI-SW at k = 16);
+//! * `BENCH_fig9.json` — per-program median compile time, conflicts, and
+//!   synthesis-cache hit rate on a single-switch target.
+//!
+//! `--smoke` re-measures the k = 4 cases once each and fails (exit 1) if
+//! any is more than 3× slower than the committed `BENCH_fig10.json`
+//! baseline — CI's cheap performance-regression tripwire.
+
+use std::time::{Duration, Instant};
+
+use lyra::{CompileRequest, Compiler, SolverStrategy, SynthCache};
+use lyra_apps::{figure9_corpus, programs};
+use lyra_diag::json::{parse, Object, Value};
+use lyra_topo::{fat_tree_pod, Layer, Topology};
+
+/// Timed samples per measurement (median reported).
+const SAMPLES: usize = 5;
+/// Pod sizes recorded in the fig10 snapshot.
+const KS: [usize; 3] = [4, 8, 16];
+/// Smoke mode: allowed slowdown over the committed baseline.
+const SMOKE_FACTOR: f64 = 3.0;
+/// Smoke mode: absolute grace added to the bound, so sub-millisecond
+/// baselines don't trip on scheduler noise.
+const SMOKE_GRACE_MS: f64 = 500.0;
+
+struct Case {
+    name: &'static str,
+    program: String,
+    multi: bool,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "LB(MULTI-SW)",
+            program: programs::load_balancer(1_000_000),
+            multi: true,
+        },
+        Case {
+            name: "NetCache(PER-SW)",
+            program: programs::netcache(),
+            multi: false,
+        },
+        Case {
+            name: "NetCache(MULTI-SW)",
+            program: programs::netcache(),
+            multi: true,
+        },
+    ]
+}
+
+fn alg_of(program: &str) -> &'static str {
+    if program.contains("algorithm loadbalancer") {
+        "loadbalancer"
+    } else {
+        "netcache"
+    }
+}
+
+fn scopes_for(k: usize, program: &str, multi: bool) -> String {
+    let alg = alg_of(program);
+    if multi {
+        let aggs: Vec<String> = (1..=k / 2).map(|i| format!("Agg{i}")).collect();
+        let tors: Vec<String> = (1..=k / 2).map(|i| format!("ToR{i}")).collect();
+        format!(
+            "{alg}: [ ToR*,Agg* | MULTI-SW | ({}->{}) ]",
+            aggs.join(","),
+            tors.join(",")
+        )
+    } else {
+        format!("{alg}: [ ToR*,Agg* | PER-SW | - ]")
+    }
+}
+
+fn pod(k: usize) -> Topology {
+    fat_tree_pod(k, "tofino-32q", "trident4")
+}
+
+struct Measured {
+    median: Duration,
+    conflicts: u64,
+    decisions: u64,
+}
+
+/// Compile `samples` times under `compiler`/`strategy`; return the median
+/// wall time and the last run's solver counters.
+fn measure(
+    compiler: &Compiler,
+    program: &str,
+    scopes: &str,
+    topo: &Topology,
+    strategy: SolverStrategy,
+    samples: usize,
+) -> Measured {
+    let mut times = Vec::with_capacity(samples);
+    let mut conflicts = 0;
+    let mut decisions = 0;
+    for _ in 0..samples {
+        let req = CompileRequest::new(program, scopes, topo.clone()).with_solver_strategy(strategy);
+        let t = Instant::now();
+        let out = compiler.compile(&req).expect("benchmark workload compiles");
+        times.push(t.elapsed());
+        conflicts = out.solver.conflicts;
+        decisions = out.solver.decisions;
+    }
+    times.sort();
+    Measured {
+        median: times[times.len() / 2],
+        conflicts,
+        decisions,
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn record_fig10() -> Object {
+    let mut cases_json: Vec<Value> = Vec::new();
+    for case in cases() {
+        for &k in &KS {
+            let topo = pod(k);
+            let scopes = scopes_for(k, &case.program, case.multi);
+            let m = measure(
+                &Compiler::new(),
+                &case.program,
+                &scopes,
+                &topo,
+                SolverStrategy::default(),
+                SAMPLES,
+            );
+            println!(
+                "fig10 {:<20} k={k:<3} median {:>9.1?}  conflicts {:>6}  decisions {:>8}",
+                case.name, m.median, m.conflicts, m.decisions
+            );
+            let mut o = Object::new();
+            o.push("name", Value::str(case.name));
+            o.push("k", Value::Number(k as f64));
+            o.push("median_ms", Value::Number(ms(m.median)));
+            o.push("conflicts", Value::Number(m.conflicts as f64));
+            o.push("decisions", Value::Number(m.decisions as f64));
+            cases_json.push(Value::Object(o));
+        }
+    }
+
+    // Head-to-head on the hardest recorded case: LB MULTI-SW at k = 16.
+    // Sequential (no cache) vs portfolio (no cache) vs portfolio with a
+    // warm synthesis cache.
+    let k = 16;
+    let lb = &cases()[0];
+    let topo = pod(k);
+    let scopes = scopes_for(k, &lb.program, lb.multi);
+    let seq = measure(
+        &Compiler::new(),
+        &lb.program,
+        &scopes,
+        &topo,
+        SolverStrategy::Sequential,
+        SAMPLES,
+    );
+    let par = measure(
+        &Compiler::new(),
+        &lb.program,
+        &scopes,
+        &topo,
+        SolverStrategy::default(),
+        SAMPLES,
+    );
+    let cache = std::sync::Arc::new(SynthCache::new());
+    let cached_compiler = Compiler::new().with_synth_cache(cache.clone());
+    // One cold compile populates the cache; the measured samples are warm.
+    let req = CompileRequest::new(&lb.program, &scopes, topo.clone())
+        .with_solver_strategy(Default::default());
+    cached_compiler.compile(&req).expect("cold compile");
+    let warm = measure(
+        &cached_compiler,
+        &lb.program,
+        &scopes,
+        &topo,
+        SolverStrategy::default(),
+        SAMPLES,
+    );
+    let hit_rate = cache.hits() as f64 / (cache.hits() + cache.misses()) as f64;
+    println!(
+        "fig10 comparison LB(MULTI-SW)@k16: sequential {:?}  portfolio {:?}  \
+         portfolio+cache(warm) {:?}  (cache hit rate {:.2})",
+        seq.median, par.median, warm.median, hit_rate
+    );
+    let mut cmp = Object::new();
+    cmp.push("case", Value::str("LB(MULTI-SW)@k16"));
+    cmp.push("sequential_ms", Value::Number(ms(seq.median)));
+    cmp.push("portfolio_ms", Value::Number(ms(par.median)));
+    cmp.push("portfolio_cached_warm_ms", Value::Number(ms(warm.median)));
+    cmp.push(
+        "speedup_portfolio",
+        Value::Number(ms(seq.median) / ms(par.median).max(1e-9)),
+    );
+    cmp.push(
+        "speedup_portfolio_cached",
+        Value::Number(ms(seq.median) / ms(warm.median).max(1e-9)),
+    );
+    cmp.push("cache_hit_rate", Value::Number(hit_rate));
+
+    let mut root = Object::new();
+    root.push("bench", Value::str("fig10"));
+    root.push("samples", Value::Number(SAMPLES as f64));
+    root.push("cases", Value::Array(cases_json));
+    root.push("comparison", Value::Object(cmp));
+    root
+}
+
+fn record_fig9() -> Object {
+    let mut rows: Vec<Value> = Vec::new();
+    for entry in figure9_corpus() {
+        let mut topo = Topology::new();
+        topo.add_switch("ToR1", Layer::ToR, "tofino-32q");
+        let scopes: String = entry
+            .scopes
+            .lines()
+            .filter_map(|l| l.split(':').next())
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|a| format!("{a}: [ ToR1 | PER-SW | - ]"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let m = measure(
+            &Compiler::new(),
+            &entry.source,
+            &scopes,
+            &topo,
+            SolverStrategy::default(),
+            SAMPLES,
+        );
+        // Hit rate over repeat compiles with a shared cache: the first
+        // misses, the rest hit.
+        let cache = std::sync::Arc::new(SynthCache::new());
+        let compiler = Compiler::new().with_synth_cache(cache.clone());
+        for _ in 0..3 {
+            let req = CompileRequest::new(&entry.source, &scopes, topo.clone());
+            compiler.compile(&req).expect("corpus compiles");
+        }
+        let hit_rate = cache.hits() as f64 / (cache.hits() + cache.misses()) as f64;
+        println!(
+            "fig9  {:<20} median {:>9.1?}  conflicts {:>6}  cache hit rate {:.2}",
+            entry.name, m.median, m.conflicts, hit_rate
+        );
+        let mut o = Object::new();
+        o.push("name", Value::str(entry.name));
+        o.push("median_ms", Value::Number(ms(m.median)));
+        o.push("conflicts", Value::Number(m.conflicts as f64));
+        o.push("cache_hit_rate", Value::Number(hit_rate));
+        rows.push(Value::Object(o));
+    }
+    let mut root = Object::new();
+    root.push("bench", Value::str("fig9"));
+    root.push("samples", Value::Number(SAMPLES as f64));
+    root.push("programs", Value::Array(rows));
+    root
+}
+
+/// Smoke mode: single-sample the k = 4 fig10 cases against the committed
+/// baseline. Returns the number of regressions.
+fn smoke() -> usize {
+    let baseline = match std::fs::read_to_string("BENCH_fig10.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("record_bench --smoke: cannot read BENCH_fig10.json: {e}");
+            return 1;
+        }
+    };
+    let baseline = match parse(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("record_bench --smoke: BENCH_fig10.json is not valid JSON: {e:?}");
+            return 1;
+        }
+    };
+    let Some(cases_json) = baseline.get("cases").and_then(|c| c.as_array()) else {
+        eprintln!("record_bench --smoke: baseline has no `cases` array");
+        return 1;
+    };
+    let mut failures = 0;
+    for case in cases() {
+        let k = 4;
+        let recorded = cases_json.iter().find(|c| {
+            c.get("name").and_then(|n| n.as_str()) == Some(case.name)
+                && c.get("k").and_then(|v| v.as_number()) == Some(k as f64)
+        });
+        let Some(baseline_ms) = recorded
+            .and_then(|c| c.get("median_ms"))
+            .and_then(|v| v.as_number())
+        else {
+            eprintln!("smoke: no baseline for {} @k{k} — skipping", case.name);
+            continue;
+        };
+        let topo = pod(k);
+        let scopes = scopes_for(k, &case.program, case.multi);
+        let m = measure(
+            &Compiler::new(),
+            &case.program,
+            &scopes,
+            &topo,
+            SolverStrategy::default(),
+            1,
+        );
+        let bound = baseline_ms * SMOKE_FACTOR + SMOKE_GRACE_MS;
+        let status = if ms(m.median) > bound {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "smoke {:<20} k={k}: {:.1} ms (baseline {:.1} ms, bound {:.1} ms) {status}",
+            case.name,
+            ms(m.median),
+            baseline_ms,
+            bound
+        );
+        if ms(m.median) > bound {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        let failures = smoke();
+        if failures > 0 {
+            eprintln!("record_bench --smoke: {failures} case(s) regressed >3x over baseline");
+            std::process::exit(1);
+        }
+        println!("record_bench --smoke: all cases within bounds");
+        return;
+    }
+    let fig10 = record_fig10();
+    std::fs::write("BENCH_fig10.json", Value::Object(fig10).to_pretty())
+        .expect("write BENCH_fig10.json");
+    let fig9 = record_fig9();
+    std::fs::write("BENCH_fig9.json", Value::Object(fig9).to_pretty())
+        .expect("write BENCH_fig9.json");
+    println!("wrote BENCH_fig10.json and BENCH_fig9.json");
+}

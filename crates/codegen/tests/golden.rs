@@ -16,11 +16,11 @@ fn single(asic: &str) -> Topology {
 fn compile_on(program: &str, alg: &str, asic: &str) -> String {
     let out = Compiler::new()
         .native_backend()
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: &format!("{alg}: [ ToR1 | PER-SW | - ]"),
-            topology: single(asic),
-        })
+            &format!("{alg}: [ ToR1 | PER-SW | - ]"),
+            single(asic),
+        ))
         .unwrap_or_else(|e| panic!("{alg} on {asic}: {e}"));
     out.artifacts[0].code.clone()
 }
@@ -158,11 +158,11 @@ fn bridge_header_emitted_for_split_placement() {
     // Force a split: 4M entries exceed one ASIC.
     let out = Compiler::new()
         .native_backend()
-        .compile(&CompileRequest {
-            program: &programs::load_balancer(4_000_000),
-            scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(
+            &programs::load_balancer(4_000_000),
+            "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            figure1_network(),
+        ))
         .unwrap();
     // At least one artifact declares the bridge header carrying the
     // hit/miss bit between cooperating switches.
@@ -280,11 +280,11 @@ fn oversized_tcam_table_rejected() {
     "#;
     let err = Compiler::new()
         .native_backend()
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: "acl: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        })
+            "acl: [ ToR1 | PER-SW | - ]",
+            single("tofino-32q"),
+        ))
         .unwrap_err();
     assert!(err.to_string().contains("fit"), "{err}");
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! lyrac --program prog.lyra --scopes scopes.txt --topology topo.txt \
 //!       [--out DIR] [--objective min-switches] [--no-parser-hoisting] \
+//!       [--solver sequential|portfolio|portfolio:N] \
 //!       [--diag-format human|json] [--emit-stats FILE]
 //! ```
 //!
@@ -21,7 +22,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lyra::{Backend, CompileError, CompileRequest, Compiler, Objective};
+use lyra::{Backend, CompileError, CompileRequest, Compiler, Objective, SolverStrategy};
 use lyra_chips::TargetLang;
 use lyra_diag::json::{Object, Value};
 use lyra_topo::parse_topology;
@@ -40,6 +41,7 @@ struct Args {
     backend: Backend,
     objective: Objective,
     parser_hoisting: bool,
+    strategy: SolverStrategy,
     diag_format: DiagFormat,
     emit_stats: Option<PathBuf>,
 }
@@ -50,9 +52,23 @@ fn usage() -> ! {
          \x20            [--out DIR] [--backend native]\n\
          \x20            [--objective feasible|min-switches|max-use=SWITCH]\n\
          \x20            [--no-parser-hoisting]\n\
+         \x20            [--solver sequential|portfolio|portfolio:N]\n\
          \x20            [--diag-format human|json] [--emit-stats FILE]"
     );
     std::process::exit(2);
+}
+
+/// Parse `--solver` values: `sequential`, `portfolio` (auto-sized), or
+/// `portfolio:N` for an explicit worker count.
+fn parse_solver(v: &str) -> Option<SolverStrategy> {
+    match v {
+        "sequential" => Some(SolverStrategy::Sequential),
+        "portfolio" => Some(SolverStrategy::Portfolio { workers: 0 }),
+        _ => {
+            let n = v.strip_prefix("portfolio:")?.parse().ok()?;
+            Some(SolverStrategy::Portfolio { workers: n })
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -63,6 +79,7 @@ fn parse_args() -> Args {
     let mut backend = Backend::default();
     let mut objective = Objective::Feasible;
     let mut parser_hoisting = true;
+    let mut strategy = SolverStrategy::default();
     let mut diag_format = DiagFormat::Human;
     let mut emit_stats = None;
 
@@ -99,6 +116,16 @@ fn parse_args() -> Args {
                 };
             }
             "--no-parser-hoisting" => parser_hoisting = false,
+            "--solver" => {
+                let v = value(&mut it);
+                strategy = match parse_solver(&v) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("unknown solver strategy `{v}`");
+                        usage()
+                    }
+                }
+            }
             "--diag-format" => {
                 diag_format = match value(&mut it).as_str() {
                     "human" => DiagFormat::Human,
@@ -128,6 +155,7 @@ fn parse_args() -> Args {
         backend,
         objective,
         parser_hoisting,
+        strategy,
         diag_format,
         emit_stats,
     }
@@ -183,7 +211,7 @@ fn main() -> ExitCode {
         Err(e) => return tool_error(&args, e),
     };
 
-    let req = CompileRequest::new(&program, &scopes, topology);
+    let req = CompileRequest::new(&program, &scopes, topology).with_solver_strategy(args.strategy);
     let out = match Compiler::new()
         .with_backend(args.backend.clone())
         .with_objective(args.objective.clone())
@@ -228,6 +256,21 @@ fn main() -> ExitCode {
             out.ir.algorithms.len(),
             out.placement.used_switches(),
             out.stats.total
+        );
+        println!(
+            "  solver [{}]: {} decisions, {} conflicts, {} clauses deleted in {} reduction(s), \
+             {} worker(s) spawned ({} cancelled)",
+            args.strategy,
+            out.solver.decisions,
+            out.solver.conflicts,
+            out.solver.clauses_deleted,
+            out.solver.reductions,
+            out.solver.workers_spawned,
+            out.solver.workers_cancelled,
+        );
+        println!(
+            "  synth cache: {} hit(s), {} miss(es)",
+            out.stats.synth_cache_hits, out.stats.synth_cache_misses
         );
         for u in &out.utilization {
             println!(

@@ -63,8 +63,10 @@
 //! assert!(rendered.contains("^^^")); // the offending span, rustc-style
 //! ```
 
+pub mod cache;
 pub mod runtime;
 
+pub use cache::{synth_key, SynthCache};
 pub use runtime::{Runtime, RuntimeError};
 
 use std::sync::Arc;
@@ -73,7 +75,7 @@ use std::time::{Duration, Instant};
 pub use lyra_codegen::{Artifact, CodeSummary};
 pub use lyra_diag::{Diagnostic, Phase, SourceId, SourceMap};
 pub use lyra_solver::SearchStats;
-pub use lyra_synth::{Backend, EncodeOptions, Objective, P4Options, Placement};
+pub use lyra_synth::{Backend, EncodeOptions, Objective, P4Options, Placement, SolverStrategy};
 
 use lyra_diag::codes;
 use lyra_diag::json::{Object, Value};
@@ -87,7 +89,9 @@ pub const PROGRAM_SOURCE: SourceId = SourceId(0);
 /// [`CompileRequest::source_map`].
 pub const SCOPES_SOURCE: SourceId = SourceId(1);
 
-/// A compilation request: the three inputs of Figure 3.
+/// A compilation request: the three inputs of Figure 3, plus the solver
+/// strategy (sequential search or a portfolio race) used to discharge the
+/// placement constraints.
 pub struct CompileRequest<'a> {
     /// Lyra program source.
     pub program: &'a str,
@@ -95,16 +99,27 @@ pub struct CompileRequest<'a> {
     pub scopes: &'a str,
     /// Target network topology.
     pub topology: Topology,
+    /// How to run the solver. Defaults to a portfolio race sized to the
+    /// machine's available parallelism — the compile path is
+    /// solve-dominated, so racing diversified searchers is the default.
+    pub strategy: SolverStrategy,
 }
 
 impl<'a> CompileRequest<'a> {
-    /// Bundle the three compiler inputs.
+    /// Bundle the three compiler inputs (default solver strategy).
     pub fn new(program: &'a str, scopes: &'a str, topology: Topology) -> Self {
         CompileRequest {
             program,
             scopes,
             topology,
+            strategy: SolverStrategy::default(),
         }
+    }
+
+    /// Select the solver strategy for this request.
+    pub fn with_solver_strategy(mut self, strategy: SolverStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// A [`SourceMap`] over this request's two text inputs, for rendering
@@ -136,6 +151,11 @@ pub struct CompileStats {
     pub codegen: Duration,
     /// End-to-end.
     pub total: Duration,
+    /// Synthesis-cache hits this compile (0 unless a [`SynthCache`] is
+    /// registered with [`Compiler::with_synth_cache`]).
+    pub synth_cache_hits: u64,
+    /// Synthesis-cache misses this compile.
+    pub synth_cache_misses: u64,
 }
 
 impl CompileStats {
@@ -248,9 +268,29 @@ impl CompileSession {
         solver.push("conflicts", Value::Number(self.solver.conflicts as f64));
         solver.push("learned", Value::Number(self.solver.learned as f64));
         solver.push("restarts", Value::Number(self.solver.restarts as f64));
+        solver.push("reductions", Value::Number(self.solver.reductions as f64));
+        solver.push(
+            "clauses_deleted",
+            Value::Number(self.solver.clauses_deleted as f64),
+        );
+        solver.push(
+            "workers_spawned",
+            Value::Number(self.solver.workers_spawned as f64),
+        );
+        solver.push(
+            "workers_cancelled",
+            Value::Number(self.solver.workers_cancelled as f64),
+        );
+        let mut cache = Object::new();
+        cache.push("hits", Value::Number(self.stats.synth_cache_hits as f64));
+        cache.push(
+            "misses",
+            Value::Number(self.stats.synth_cache_misses as f64),
+        );
         let mut o = Object::new();
         o.push("phases_us", Value::Object(phases));
         o.push("solver", Value::Object(solver));
+        o.push("synth_cache", Value::Object(cache));
         o.push(
             "utilization",
             Value::Array(self.utilization.iter().map(|u| u.to_json()).collect()),
@@ -412,6 +452,7 @@ pub struct Compiler {
     backend: Backend,
     encode: EncodeOptions,
     observer: Option<Arc<dyn CompileObserver>>,
+    cache: Option<Arc<SynthCache>>,
 }
 
 impl Compiler {
@@ -462,6 +503,16 @@ impl Compiler {
     /// Register an event sink receiving phase start/end notifications.
     pub fn with_observer(mut self, observer: Arc<dyn CompileObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Share a [`SynthCache`] across compiles: synthesis results are
+    /// memoized by content hash ([`synth_key`]), so recompiling an
+    /// unchanged problem reuses the solved placement without any solver
+    /// effort. Hits and misses surface in
+    /// [`CompileStats::synth_cache_hits`] / `synth_cache_misses`.
+    pub fn with_synth_cache(mut self, cache: Arc<SynthCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -523,6 +574,43 @@ impl Compiler {
             obs.on_phase_end(ph, elapsed);
         }
         (out, elapsed)
+    }
+
+    /// Synthesize through the cache (when configured): consult it by
+    /// content key, fall back to a real [`lyra_synth::synthesize_full`]
+    /// run, and memoize successes. Returns the result plus whether it was
+    /// a cache hit — a hit spent no solver effort, so the caller must not
+    /// absorb its (historical) [`SearchStats`].
+    fn synthesize_cached(
+        &self,
+        ir: &IrProgram,
+        topo: &Topology,
+        scopes: &[ResolvedScope],
+        strategy: lyra_synth::SolverStrategy,
+        previous: Option<&Placement>,
+    ) -> Result<(Arc<lyra_synth::SynthResult>, bool), lyra_synth::SynthError> {
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| cache::synth_key(ir, topo, scopes, &self.encode, &self.backend));
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            if let Some(hit) = cache.lookup(key) {
+                return Ok((hit, true));
+            }
+        }
+        let result = Arc::new(lyra_synth::synthesize_full(
+            ir,
+            topo,
+            scopes,
+            &self.encode,
+            &self.backend,
+            strategy,
+            previous,
+        )?);
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(key, result.clone());
+        }
+        Ok((result, false))
     }
 
     fn compile_inner(
@@ -631,35 +719,50 @@ impl Compiler {
             .all(|s| s.deploy == lyra_lang::DeployMode::PerSwitch)
             && matches!(self.encode.objective, Objective::Feasible);
         let t1 = Instant::now();
-        let (placement, artifacts, solver, t_synth, t_codegen) = if all_per_sw {
+        let (placement, artifacts, solver, t_synth, t_codegen, hits, misses) = if all_per_sw {
             self.compile_per_switch(&ir, req, &resolved)?
         } else {
             if let Some(obs) = &self.observer {
                 obs.on_phase_start(Phase::Solve);
             }
-            let synth = lyra_synth::synthesize_hinted(
-                &ir,
-                &req.topology,
-                &resolved,
-                &self.encode,
-                &self.backend,
-                previous,
-            )
-            .map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
+            let (synth, was_hit) = self
+                .synthesize_cached(&ir, &req.topology, &resolved, req.strategy, previous)
+                .map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
             let t_synth = t1.elapsed();
             if let Some(obs) = &self.observer {
                 obs.on_phase_end(Phase::Solve, t_synth);
             }
-            let solver = synth.stats;
+            // A cache hit spent no solver effort this compile — its stats
+            // belong to the run that populated the cache.
+            let solver = if was_hit {
+                SearchStats::default()
+            } else {
+                synth.stats
+            };
+            let (hits, misses) = match (&self.cache, was_hit) {
+                (None, _) => (0, 0),
+                (Some(_), true) => (1, 0),
+                (Some(_), false) => (0, 1),
+            };
             let (artifacts, t_codegen) = self.phase(Phase::Codegen, || {
                 lyra_codegen::generate(&ir, &req.topology, &synth).map_err(|e| {
                     CompileError::Codegen(vec![Diagnostic::error(codes::CODEGEN, e.to_string())])
                 })
             });
-            (synth.placement, artifacts?, solver, t_synth, t_codegen)
+            (
+                synth.placement.clone(),
+                artifacts?,
+                solver,
+                t_synth,
+                t_codegen,
+                hits,
+                misses,
+            )
         };
         stats.synth = t_synth;
         stats.codegen = t_codegen;
+        stats.synth_cache_hits = hits;
+        stats.synth_cache_misses = misses;
 
         let flow_paths = resolved
             .iter()
@@ -700,7 +803,18 @@ impl Compiler {
         ir: &IrProgram,
         req: &CompileRequest,
         resolved: &[ResolvedScope],
-    ) -> Result<(Placement, Vec<Artifact>, SearchStats, Duration, Duration), CompileError> {
+    ) -> Result<
+        (
+            Placement,
+            Vec<Artifact>,
+            SearchStats,
+            Duration,
+            Duration,
+            u64,
+            u64,
+        ),
+        CompileError,
+    > {
         use std::collections::BTreeMap;
         let t1 = Instant::now();
         if let Some(obs) = &self.observer {
@@ -738,8 +852,8 @@ impl Compiler {
                 })
                 .collect()
         };
-        let mut synth_results: Vec<Result<lyra_synth::SynthResult, lyra_synth::SynthError>> =
-            Vec::with_capacity(group_list.len());
+        type SynthOutcome = Result<(Arc<lyra_synth::SynthResult>, bool), lyra_synth::SynthError>;
+        let mut synth_results: Vec<SynthOutcome> = Vec::with_capacity(group_list.len());
         if group_list.len() > 1 {
             let results = std::thread::scope(|s| {
                 let handles: Vec<_> = group_list
@@ -747,11 +861,10 @@ impl Compiler {
                     .map(|(_, members)| {
                         let rep = members[0];
                         let scopes = rep_scopes_of(rep);
-                        let encode = &self.encode;
-                        let backend = &self.backend;
                         let topology = &req.topology;
+                        let strategy = req.strategy;
                         s.spawn(move || {
-                            lyra_synth::synthesize(ir, topology, &scopes, encode, backend)
+                            self.synthesize_cached(ir, topology, &scopes, strategy, None)
                         })
                     })
                     .collect();
@@ -765,12 +878,12 @@ impl Compiler {
             for (_, members) in &group_list {
                 let rep = members[0];
                 let scopes = rep_scopes_of(rep);
-                synth_results.push(lyra_synth::synthesize(
+                synth_results.push(self.synthesize_cached(
                     ir,
                     &req.topology,
                     &scopes,
-                    &self.encode,
-                    &self.backend,
+                    req.strategy,
+                    None,
                 ));
             }
         }
@@ -779,10 +892,18 @@ impl Compiler {
         let mut artifacts = Vec::new();
         let mut solver = SearchStats::default();
         let mut t_codegen = Duration::ZERO;
+        let (mut hits, mut misses) = (0u64, 0u64);
         for ((_, members), synth) in group_list.iter().zip(synth_results) {
             let rep = members[0];
-            let synth = synth.map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
-            solver.absorb(synth.stats);
+            let (synth, was_hit) = synth.map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
+            if was_hit {
+                hits += 1;
+            } else {
+                if self.cache.is_some() {
+                    misses += 1;
+                }
+                solver.absorb(synth.stats);
+            }
             let tc = Instant::now();
             let rep_artifacts = lyra_codegen::generate(ir, &req.topology, &synth).map_err(|e| {
                 CompileError::Codegen(vec![Diagnostic::error(codes::CODEGEN, e.to_string())])
@@ -812,7 +933,9 @@ impl Compiler {
             obs.on_phase_start(Phase::Codegen);
             obs.on_phase_end(Phase::Codegen, t_codegen);
         }
-        Ok((placement, artifacts, solver, t_synth, t_codegen))
+        Ok((
+            placement, artifacts, solver, t_synth, t_codegen, hits, misses,
+        ))
     }
 }
 
@@ -894,6 +1017,95 @@ mod tests {
                 other => panic!("unexpected asic {other}"),
             }
         }
+    }
+
+    #[test]
+    fn sequential_and_portfolio_strategies_agree() {
+        let topo = figure1_network();
+        let seq = Compiler::new()
+            .compile(
+                &CompileRequest::new(INT_LB, SCOPES, topo.clone())
+                    .with_solver_strategy(SolverStrategy::Sequential),
+            )
+            .unwrap();
+        let par = Compiler::new()
+            .compile(
+                &CompileRequest::new(INT_LB, SCOPES, topo)
+                    .with_solver_strategy(SolverStrategy::Portfolio { workers: 4 }),
+            )
+            .unwrap();
+        // Both must solve; artifact coverage (which switches get code for
+        // PER-SW scopes) is identical.
+        assert_eq!(seq.artifacts.len() >= 4, par.artifacts.len() >= 4);
+        assert!(par.solver.workers_spawned >= 1);
+        assert_eq!(seq.solver.workers_cancelled, 0);
+    }
+
+    #[test]
+    fn synth_cache_hits_on_repeat_multi_sw_compile() {
+        let cache = Arc::new(SynthCache::new());
+        let compiler = Compiler::new().with_synth_cache(cache.clone());
+        // Mixed PER-SW + MULTI-SW scopes take the single-synthesis path.
+        let req = CompileRequest::new(INT_LB, SCOPES, figure1_network());
+        let first = compiler.compile(&req).unwrap();
+        assert_eq!(first.stats.synth_cache_hits, 0);
+        assert_eq!(first.stats.synth_cache_misses, 1);
+        let second = compiler.compile(&req).unwrap();
+        assert_eq!(second.stats.synth_cache_hits, 1);
+        assert_eq!(second.stats.synth_cache_misses, 0);
+        // The hit reuses the solved placement without solver effort.
+        assert_eq!(first.placement, second.placement);
+        assert_eq!(second.solver.decisions, 0);
+        assert_eq!(second.solver.propagations, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn synth_cache_misses_on_changed_program() {
+        let cache = Arc::new(SynthCache::new());
+        let compiler = Compiler::new().with_synth_cache(cache.clone());
+        let scopes = "a: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+        compiler
+            .compile(&CompileRequest::new(
+                "pipeline[P]{a}; algorithm a { x = 1; }",
+                scopes,
+                figure1_network(),
+            ))
+            .unwrap();
+        let out = compiler
+            .compile(&CompileRequest::new(
+                "pipeline[P]{a}; algorithm a { x = 2; }",
+                scopes,
+                figure1_network(),
+            ))
+            .unwrap();
+        assert_eq!(out.stats.synth_cache_hits, 0);
+        assert_eq!(out.stats.synth_cache_misses, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn session_json_carries_cache_and_portfolio_counters() {
+        let out = Compiler::new()
+            .compile(&CompileRequest::new(
+                "pipeline[P]{a}; algorithm a { x = 1; }",
+                "a: [ ToR1 | PER-SW | - ]",
+                figure1_network(),
+            ))
+            .unwrap();
+        let json = out.session().to_json();
+        let solver = json.get("solver").expect("solver");
+        for key in [
+            "reductions",
+            "clauses_deleted",
+            "workers_spawned",
+            "workers_cancelled",
+        ] {
+            assert!(solver.get(key).is_some(), "missing solver.{key}");
+        }
+        let cache = json.get("synth_cache").expect("synth_cache");
+        assert!(cache.get("hits").is_some());
+        assert!(cache.get("misses").is_some());
     }
 
     #[test]

@@ -226,8 +226,8 @@ mod tests {
     fn lb_output() -> CompileOutput {
         Compiler::new()
             .native_backend()
-            .compile(&CompileRequest {
-                program: r#"
+            .compile(&CompileRequest::new(
+                r#"
                     pipeline[LB]{loadbalancer};
                     algorithm loadbalancer {
                         extern dict<bit[32] h, bit[32] ip>[64] conn_table;
@@ -238,9 +238,9 @@ mod tests {
                         }
                     }
                 "#,
-                scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-                topology: figure1_network(),
-            })
+                "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+                figure1_network(),
+            ))
             .unwrap()
     }
 

@@ -50,11 +50,13 @@
 pub mod expr;
 pub mod flatten;
 pub mod model;
+pub mod portfolio;
 pub mod search;
 
 pub use expr::{Bx, Ix, LinExpr};
 pub use flatten::{flatten, FlatModel};
 pub use model::{BoolId, IntId, Model, Solution};
+pub use portfolio::{minimize_portfolio, solve_flat_portfolio, solve_portfolio};
 pub use search::{minimize, solve, solve_flat, SearchStats, SolverConfig};
 
 /// Outcome of a solver invocation.

@@ -1,0 +1,267 @@
+//! Portfolio solving: race diversified CDCL searchers, first verdict wins.
+//!
+//! Modern SAT practice (ManySAT, Hamadi et al., JSAT 2009) runs several
+//! differently-tuned copies of the same solver on one formula and takes
+//! whichever finishes first — diversification (seeds, restart schedules,
+//! activity decay, phase polarity) makes the copies explore the search
+//! space in genuinely different orders, so the *minimum* of their runtimes
+//! is often far below the median. This module implements that race on
+//! `std::thread::scope` with a shared [`AtomicBool`] cancellation flag that
+//! every worker polls once per propagation pass (see
+//! [`SolverConfig::cancel`]).
+//!
+//! Accounting follows the compile driver's needs: the returned
+//! [`SearchStats`] are the **winning worker's counters only**, plus the
+//! `workers_spawned` / `workers_cancelled` pair — raced losers never
+//! double-count into phase timings. When no worker reaches a verdict
+//! (budget exhaustion), every worker's effort is summed, since all of it
+//! was genuinely spent.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::flatten::{flatten, flatten_with_objective, FlatModel, FlatVar};
+use crate::model::{Model, Solution};
+use crate::search::{solve_flat, RawAssignment, SearchStats, SolverConfig};
+use crate::Outcome;
+
+/// Portfolio workers to spawn by default: the machine's available
+/// parallelism, capped at 8 (beyond that, diversification repeats and the
+/// marginal worker mostly burns cache bandwidth).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// The diversification table: worker `i`'s configuration, derived from a
+/// base configuration. Worker 0 runs the base configuration unchanged (the
+/// sequential twin), so a 1-worker portfolio degenerates to a sequential
+/// solve. Workers 1–3 vary the restart schedule, activity decay, and
+/// default polarity; workers ≥ 4 additionally draw pseudo-random initial
+/// phases from distinct seeds.
+pub fn diversify(base: &SolverConfig, i: usize) -> SolverConfig {
+    let mut cfg = base.clone();
+    match i {
+        0 => {}
+        1 => {
+            // Aggressive restarts, opposite polarity.
+            cfg.default_phase = !base.default_phase;
+            cfg.restart_interval = 64;
+        }
+        2 => {
+            // Slow decay (long memory), lazy restarts.
+            cfg.activity_decay = 0.90;
+            cfg.restart_interval = 256;
+        }
+        3 => {
+            // Fast decay (short memory), rapid restarts.
+            cfg.activity_decay = 0.99;
+            cfg.restart_interval = 32;
+        }
+        _ => {
+            // Random initial phases from a per-worker seed; stagger the
+            // restart schedule so seeds don't share a rhythm.
+            cfg.seed = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            cfg.default_phase = i % 2 == 1;
+            cfg.restart_interval = base.restart_interval.max(32) << (i % 3);
+        }
+    }
+    cfg
+}
+
+/// Race `workers` diversified searchers on a flattened model. The first
+/// worker reaching SAT or UNSAT wins and cancels the rest; the result
+/// carries the winner's counters plus the spawned/cancelled pair. When all
+/// workers exhaust their budget the outcome is [`Outcome::Unknown`] with
+/// every worker's effort summed.
+pub fn solve_flat_portfolio(
+    flat: &FlatModel,
+    base: &SolverConfig,
+    extra: &[(Vec<(i64, FlatVar)>, i64)],
+    workers: usize,
+) -> (Outcome, Option<RawAssignment>, SearchStats) {
+    let n = workers.max(1);
+    if n == 1 {
+        let (outcome, raw, mut stats) = solve_flat(flat, base, extra);
+        stats.workers_spawned += 1;
+        return (outcome, raw, stats);
+    }
+    let cancel = Arc::new(AtomicBool::new(false));
+    // Winner slot plus the effort of workers that reached no verdict.
+    let winner: Mutex<Option<(Outcome, Option<RawAssignment>, SearchStats)>> = Mutex::new(None);
+    let leftovers: Mutex<SearchStats> = Mutex::new(SearchStats::default());
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let mut cfg = diversify(base, i);
+            cfg.cancel = Some(cancel.clone());
+            let (winner, leftovers, cancel) = (&winner, &leftovers, &cancel);
+            scope.spawn(move || {
+                let (outcome, raw, stats) = solve_flat(flat, &cfg, extra);
+                match outcome {
+                    Outcome::Sat(_) | Outcome::Unsat => {
+                        let mut w = winner.lock().unwrap();
+                        if w.is_none() {
+                            *w = Some((outcome, raw, stats));
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                        // A verdict that arrives after the race is decided
+                        // is discarded like a cancelled worker.
+                    }
+                    Outcome::Unknown => {
+                        leftovers.lock().unwrap().absorb(stats);
+                    }
+                }
+            });
+        }
+    });
+    let won = winner.into_inner().unwrap();
+    match won {
+        Some((outcome, raw, mut stats)) => {
+            stats.workers_spawned += n as u64;
+            stats.workers_cancelled += (n - 1) as u64;
+            (outcome, raw, stats)
+        }
+        None => {
+            // Everyone exhausted the budget: all effort was real.
+            let mut stats = leftovers.into_inner().unwrap();
+            stats.workers_spawned += n as u64;
+            (Outcome::Unknown, None, stats)
+        }
+    }
+}
+
+/// Portfolio counterpart of [`crate::solve`]: flatten and race.
+pub fn solve_portfolio(
+    model: &Model,
+    cfg: &SolverConfig,
+    workers: usize,
+) -> (Outcome, SearchStats) {
+    let flat = flatten(model);
+    let (outcome, _, stats) = solve_flat_portfolio(&flat, cfg, &[], workers);
+    if let Outcome::Sat(ref s) = outcome {
+        debug_assert!(s.satisfies(model), "portfolio returned a non-model");
+    }
+    (outcome, stats)
+}
+
+/// Branch-and-bound minimization where every round — the initial model and
+/// each bound-tightening solve — is a portfolio race. Semantically
+/// identical to [`crate::search::minimize_with`]: the returned objective
+/// value is optimal; only which optimal *model* carries it may differ.
+pub fn minimize_portfolio(
+    model: &Model,
+    objective: &crate::expr::Ix,
+    cfg: &SolverConfig,
+    workers: usize,
+) -> (Option<(Solution, i64)>, SearchStats) {
+    let flat = flatten_with_objective(model, Some(objective));
+    let obj_terms = flat.objective.clone().expect("objective lowered");
+    let mut extra: Vec<(Vec<(i64, FlatVar)>, i64)> = Vec::new();
+    let mut best: Option<(Solution, i64)> = None;
+    let mut total = SearchStats::default();
+    loop {
+        let (outcome, raw, stats) = solve_flat_portfolio(&flat, cfg, &extra, workers);
+        total.absorb(stats);
+        match outcome {
+            Outcome::Sat(_) => {
+                let raw = raw.expect("raw assignment accompanies Sat");
+                let value = raw.eval_lin(&obj_terms) + flat.objective_constant;
+                let sol = raw.extract(&flat);
+                best = Some((sol, value));
+                // Require strictly better: Σ obj_terms ≤ value - constant - 1.
+                extra.push((obj_terms.clone(), value - flat.objective_constant - 1));
+            }
+            _ => return (best, total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Bx, Ix};
+    use crate::model::Model;
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<Vec<_>> = (0..pigeons)
+            .map(|p| {
+                (0..holes)
+                    .map(|h| m.bool_var(format!("p{p}h{h}")))
+                    .collect()
+            })
+            .collect();
+        for p in &vars {
+            m.require(Bx::or(p.iter().map(|&v| Bx::var(v)).collect()));
+        }
+        for h in 0..holes {
+            m.require(Bx::at_most_one(
+                vars.iter().map(|row| Bx::var(row[h])).collect(),
+            ));
+        }
+        m
+    }
+
+    #[test]
+    fn portfolio_sat() {
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        let b = m.bool_var("b");
+        m.require(Bx::or(vec![Bx::var(a), Bx::var(b)]));
+        m.require(Bx::not(Bx::var(a)));
+        let (outcome, stats) = solve_portfolio(&m, &SolverConfig::default(), 4);
+        let sol = outcome.solution().unwrap();
+        assert!(!sol.bool(a));
+        assert!(sol.bool(b));
+        assert_eq!(stats.workers_spawned, 4);
+        assert_eq!(stats.workers_cancelled, 3);
+    }
+
+    #[test]
+    fn portfolio_unsat() {
+        let m = pigeonhole(6, 5);
+        let (outcome, stats) = solve_portfolio(&m, &SolverConfig::default(), 3);
+        assert_eq!(outcome, Outcome::Unsat);
+        assert_eq!(stats.workers_spawned, 3);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 10);
+        m.require(Ix::var(x).ge(Ix::lit(3)));
+        let (outcome, stats) = solve_portfolio(&m, &SolverConfig::default(), 1);
+        assert!(outcome.is_sat());
+        assert_eq!(stats.workers_spawned, 1);
+        assert_eq!(stats.workers_cancelled, 0);
+    }
+
+    #[test]
+    fn minimize_portfolio_matches_sequential_value() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 100);
+        let y = m.int_var("y", 0, 100);
+        m.require(Ix::var(x).add(Ix::var(y)).ge(Ix::lit(23)));
+        let obj = Ix::var(x).add(Ix::var(y));
+        let cfg = SolverConfig::default();
+        let (seq, _) = crate::search::minimize_with(&m, &obj, &cfg);
+        let (par, stats) = minimize_portfolio(&m, &obj, &cfg, 4);
+        assert_eq!(seq.unwrap().1, par.unwrap().1);
+        assert!(stats.workers_spawned >= 4, "one race per bound round");
+    }
+
+    #[test]
+    fn diversify_worker0_is_base() {
+        let base = SolverConfig::default();
+        let d0 = diversify(&base, 0);
+        assert_eq!(d0.restart_interval, base.restart_interval);
+        assert_eq!(d0.seed, 0);
+        // Workers differ from each other in at least one dimension.
+        let d1 = diversify(&base, 1);
+        let d5 = diversify(&base, 5);
+        assert_ne!(d1.restart_interval, base.restart_interval);
+        assert_ne!(d5.seed, 0);
+    }
+}

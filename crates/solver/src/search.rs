@@ -13,6 +13,9 @@
 //! interval splitting, chronologically; exhausting the splits counts as a
 //! theory conflict for the boolean layer.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::flatten::{flatten, flatten_with_objective, FlatModel, FlatVar, Lit};
 use crate::model::{Model, Solution};
 use crate::Outcome;
@@ -35,6 +38,20 @@ pub struct SolverConfig {
     /// the solver tries these values first, which keeps successive
     /// placements stable under small program changes.
     pub phase_hints: Vec<(u32, bool)>,
+    /// Seed for pseudo-random initial phases (xorshift64*). `0` keeps the
+    /// deterministic `default_phase` initialization; portfolio workers use
+    /// distinct non-zero seeds to diversify their starting polarities.
+    /// Phase hints still override seeded phases.
+    pub seed: u64,
+    /// Live learned clauses tolerated before a database reduction halves
+    /// them (Glucose-style LBD policy; glue clauses with LBD ≤ 2 and reason
+    /// clauses of the current trail are never deleted). `0` disables
+    /// reduction entirely.
+    pub learned_limit: usize,
+    /// Cooperative cancellation flag shared between racing searches. The
+    /// propagation loop polls it once per pass; when set, the search stops
+    /// and reports [`Outcome::Unknown`].
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SolverConfig {
@@ -45,6 +62,9 @@ impl Default for SolverConfig {
             restart_interval: 128,
             activity_decay: 0.95,
             phase_hints: Vec::new(),
+            seed: 0,
+            learned_limit: 2_000,
+            cancel: None,
         }
     }
 }
@@ -66,17 +86,35 @@ pub struct SearchStats {
     pub learned: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Learned-clause database reductions performed.
+    pub reductions: u64,
+    /// Learned clauses deleted by database reductions.
+    pub clauses_deleted: u64,
+    /// Portfolio workers spawned on behalf of this solve (0 for a plain
+    /// sequential search; set by [`crate::portfolio`]).
+    pub workers_spawned: u64,
+    /// Portfolio workers whose results were discarded — either cancelled
+    /// mid-search or finished after another worker already won the race.
+    pub workers_cancelled: u64,
 }
 
 impl SearchStats {
     /// Accumulate another run's counters into this one (used when a solve
     /// is a sequence of searches, e.g. branch-and-bound minimization).
+    ///
+    /// Portfolio races absorb only the *winning* worker's counters (plus
+    /// the `workers_spawned` / `workers_cancelled` pair), so phase timings
+    /// never double-count raced searches.
     pub fn absorb(&mut self, other: SearchStats) {
         self.decisions += other.decisions;
         self.propagations += other.propagations;
         self.conflicts += other.conflicts;
         self.learned += other.learned;
         self.restarts += other.restarts;
+        self.reductions += other.reductions;
+        self.clauses_deleted += other.clauses_deleted;
+        self.workers_spawned += other.workers_spawned;
+        self.workers_cancelled += other.workers_cancelled;
     }
 }
 
@@ -242,6 +280,18 @@ struct Search<'a> {
     saved_phase: Vec<bool>,
     conflicts_since_restart: u64,
     restart_limit: u64,
+    /// LBD (literal block distance) per clause; 0 for original clauses.
+    lbd: Vec<u32>,
+    /// MiniSat-style activity per clause (bumped when a clause participates
+    /// in conflict analysis); only meaningful for learned clauses.
+    clause_act: Vec<f64>,
+    clause_act_inc: f64,
+    /// Learned clauses currently alive (not tombstoned by a reduction).
+    learned_live: usize,
+    /// Live-learned-clause count that triggers the next reduction.
+    reduce_limit: usize,
+    /// Set when the shared cancellation flag was observed.
+    cancelled: bool,
 }
 
 impl<'a> Search<'a> {
@@ -251,6 +301,7 @@ impl<'a> Search<'a> {
         extra: &[(Vec<(i64, FlatVar)>, i64)],
     ) -> Self {
         let nvars = flat.num_sat_vars;
+        let num_clauses = flat.clauses.len();
         let mut s = Search {
             flat,
             cfg,
@@ -273,7 +324,24 @@ impl<'a> Search<'a> {
             saved_phase: vec![cfg.default_phase; nvars],
             conflicts_since_restart: 0,
             restart_limit: cfg.restart_interval,
+            lbd: vec![0; num_clauses],
+            clause_act: vec![0.0; num_clauses],
+            clause_act_inc: 1.0,
+            learned_live: 0,
+            reduce_limit: cfg.learned_limit,
+            cancelled: false,
         };
+        if cfg.seed != 0 {
+            // Diversified initial polarities (xorshift64*); hints below
+            // still take precedence.
+            let mut x = cfg.seed;
+            for p in s.saved_phase.iter_mut() {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *p = x.wrapping_mul(0x2545_f491_4f6c_dd1d) & 1 == 1;
+            }
+        }
         for &(v, phase) in &cfg.phase_hints {
             if (v as usize) < s.saved_phase.len() {
                 s.saved_phase[v as usize] = phase;
@@ -314,6 +382,108 @@ impl<'a> Search<'a> {
         }
     }
 
+    fn bump_clause(&mut self, ci: usize) {
+        self.clause_act[ci] += self.clause_act_inc;
+        if self.clause_act[ci] > 1e100 {
+            for a in &mut self.clause_act {
+                *a *= 1e-100;
+            }
+            self.clause_act_inc *= 1e-100;
+        }
+    }
+
+    /// Literal block distance: distinct decision levels among the clause's
+    /// literals (level-0 facts excluded). Glue clauses (LBD ≤ 2) connect at
+    /// most two decision levels and are kept forever.
+    fn lbd_of(&self, clause: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = clause
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .filter(|&lv| lv > 0)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Halve the learned-clause database, keeping glue clauses (LBD ≤ 2),
+    /// reason clauses of the current trail or pending queue, and the
+    /// better (low-LBD / high-activity) half of the rest. Deleted clauses
+    /// are tombstoned (emptied and detached from their watch lists), so
+    /// surviving clause indices — and with them every `Reason::Clause`
+    /// reference and watch entry — stay valid.
+    fn reduce_learned(&mut self) {
+        self.stats.reductions += 1;
+        // Locked: clauses currently acting as a reason for an assigned
+        // variable or a queued implication must never be deleted.
+        let mut locked = vec![false; self.clauses.len()];
+        for item in &self.trail {
+            if let TrailItem::Sat(v) = item {
+                if let Reason::Clause(ci) = self.reason[*v as usize] {
+                    locked[ci] = true;
+                }
+            }
+        }
+        for (_, reason) in &self.queue {
+            if let Reason::Clause(ci) = reason {
+                locked[*ci] = true;
+            }
+        }
+        let mut cand: Vec<usize> = (self.num_original_clauses..self.clauses.len())
+            .filter(|&ci| !self.clauses[ci].is_empty() && self.lbd[ci] > 2 && !locked[ci])
+            .collect();
+        // Worst first: high LBD, then low activity.
+        cand.sort_by(|&a, &b| {
+            self.lbd[b].cmp(&self.lbd[a]).then(
+                self.clause_act[a]
+                    .partial_cmp(&self.clause_act[b])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        for &ci in cand.iter().take(cand.len() / 2) {
+            self.delete_clause(ci);
+        }
+        // Let the database grow before the next reduction.
+        self.reduce_limit += self.reduce_limit / 2;
+        #[cfg(debug_assertions)]
+        self.assert_reasons_alive();
+    }
+
+    /// Soundness invariant after a reduction: every clause still acting as
+    /// a reason — for an assigned variable or a queued implication — must
+    /// survive, or conflict analysis would resolve through a tombstone.
+    #[cfg(debug_assertions)]
+    fn assert_reasons_alive(&self) {
+        for item in &self.trail {
+            if let TrailItem::Sat(v) = item {
+                if let Reason::Clause(ci) = self.reason[*v as usize] {
+                    assert!(
+                        !self.clauses[ci].is_empty(),
+                        "reduction deleted reason clause {ci} of assigned var {v}"
+                    );
+                }
+            }
+        }
+        for (_, reason) in &self.queue {
+            if let Reason::Clause(ci) = reason {
+                assert!(
+                    !self.clauses[*ci].is_empty(),
+                    "reduction deleted reason clause {ci} of a queued implication"
+                );
+            }
+        }
+    }
+
+    fn delete_clause(&mut self, ci: usize) {
+        let cl = std::mem::take(&mut self.clauses[ci]);
+        debug_assert!(cl.len() >= 2, "only stored (len ≥ 2) clauses die");
+        for &w in &cl[..2] {
+            self.watches[w.0 as usize].retain(|&c| c != ci);
+        }
+        self.learned_live -= 1;
+        self.stats.clauses_deleted += 1;
+    }
+
     fn run(&mut self) -> (Outcome, Option<RawAssignment>) {
         // Top-level units and empty clauses.
         for ci in 0..self.num_original_clauses {
@@ -331,7 +501,7 @@ impl<'a> Search<'a> {
             return (Outcome::Unsat, None); // conflict at level 0
         }
         loop {
-            if self.stats.decisions > self.cfg.max_decisions {
+            if self.cancelled || self.stats.decisions > self.cfg.max_decisions {
                 return (Outcome::Unknown, None);
             }
             if let Some(v) = self.pick_bool() {
@@ -456,6 +626,10 @@ impl<'a> Search<'a> {
         self.stats.conflicts += 1;
         self.conflicts_since_restart += 1;
         self.activity_inc /= self.cfg.activity_decay;
+        self.clause_act_inc /= 0.999;
+        if let Conflict::Clause(ci) = conflict {
+            self.bump_clause(ci);
+        }
         // Integer splits are invalidated by any boolean backjump.
         while let Some(split) = self.int_splits.pop() {
             self.undo_to(split.trail_mark);
@@ -487,6 +661,10 @@ impl<'a> Search<'a> {
             learned.swap(1, best);
             self.level[learned[1].var() as usize]
         };
+        // LBD = distinct decision levels among the clause's literals,
+        // computed at creation while the conflict-time levels are valid
+        // (Audemard & Simon, IJCAI 2009).
+        let lbd = self.lbd_of(&learned);
         // Backjump.
         self.backjump(backjump_level);
         // Install the learned clause.
@@ -498,8 +676,15 @@ impl<'a> Search<'a> {
             let ci = self.clauses.len();
             self.watches[learned[0].0 as usize].push(ci);
             self.watches[learned[1].0 as usize].push(ci);
+            self.lbd.push(lbd);
+            self.clause_act.push(self.clause_act_inc);
+            self.learned_live += 1;
             self.clauses.push(learned);
             self.queue.push_back((asserting, Reason::Clause(ci)));
+        }
+        // Reduce the learned-clause database when it outgrew its budget.
+        if self.cfg.learned_limit > 0 && self.learned_live >= self.reduce_limit {
+            self.reduce_learned();
         }
         // Restart?
         if self.cfg.restart_interval > 0 && self.conflicts_since_restart >= self.restart_limit {
@@ -595,6 +780,7 @@ impl<'a> Search<'a> {
             }
             match self.reason[v as usize] {
                 Reason::Clause(ci) => {
+                    self.bump_clause(ci);
                     let lits = self.clauses[ci].clone();
                     absorb(
                         &lits,
@@ -678,8 +864,20 @@ impl<'a> Search<'a> {
     }
 
     /// Propagate the queue to fixpoint. `Some(conflict)` on failure.
+    ///
+    /// Polls the shared cancellation flag once per pass, so a raced worker
+    /// observes a cancel within one propagation pass and winds down by
+    /// pretending the pass succeeded; the decision loop then exits with
+    /// [`Outcome::Unknown`].
     fn propagate(&mut self) -> Option<Conflict> {
         loop {
+            if let Some(flag) = &self.cfg.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    self.cancelled = true;
+                    self.queue.clear();
+                    return None;
+                }
+            }
             while let Some((lit, reason)) = self.queue.pop_front() {
                 match self.value(lit) {
                     Some(true) => continue,
@@ -1097,5 +1295,104 @@ mod tests {
         let mut s = Search::new(&flat, &cfg, &[]);
         let (outcome, _) = s.run();
         assert!(outcome.is_sat() || outcome == Outcome::Unsat);
+    }
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<Vec<_>> = (0..pigeons)
+            .map(|p| {
+                (0..holes)
+                    .map(|h| m.bool_var(format!("p{p}h{h}")))
+                    .collect()
+            })
+            .collect();
+        for p in &vars {
+            m.require(Bx::or(p.iter().map(|&v| Bx::var(v)).collect()));
+        }
+        for h in 0..holes {
+            m.require(Bx::at_most_one(
+                vars.iter().map(|row| Bx::var(row[h])).collect(),
+            ));
+        }
+        m
+    }
+
+    #[test]
+    fn reduction_fires_and_preserves_reason_clauses() {
+        // A tiny learned limit forces many database reductions on a
+        // conflict-heavy UNSAT instance. `reduce_learned` asserts (in debug
+        // builds, which tests are) that no reason clause of the current
+        // trail or pending queue is ever deleted; here we additionally
+        // check the verdict survives aggressive clause deletion.
+        let m = pigeonhole(7, 6);
+        let flat = flatten(&m);
+        let cfg = SolverConfig {
+            learned_limit: 8,
+            ..Default::default()
+        };
+        let (outcome, _, stats) = solve_flat(&flat, &cfg, &[]);
+        assert_eq!(outcome, Outcome::Unsat);
+        assert!(stats.reductions > 0, "expected reductions: {stats:?}");
+        assert!(stats.clauses_deleted > 0);
+    }
+
+    #[test]
+    fn reduction_disabled_when_limit_zero() {
+        let m = pigeonhole(6, 5);
+        let flat = flatten(&m);
+        let cfg = SolverConfig {
+            learned_limit: 0,
+            ..Default::default()
+        };
+        let (outcome, _, stats) = solve_flat(&flat, &cfg, &[]);
+        assert_eq!(outcome, Outcome::Unsat);
+        assert_eq!(stats.reductions, 0);
+        assert_eq!(stats.clauses_deleted, 0);
+    }
+
+    #[test]
+    fn preset_cancel_flag_stops_immediately() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // A hard instance that would take far longer than the test budget;
+        // with the flag already set, the first propagation pass must bail.
+        let m = pigeonhole(10, 9);
+        let flat = flatten(&m);
+        let cfg = SolverConfig {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            ..Default::default()
+        };
+        let t = std::time::Instant::now();
+        let (outcome, _, _) = solve_flat(&flat, &cfg, &[]);
+        assert_eq!(outcome, Outcome::Unknown);
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(5),
+            "cancellation was not prompt: {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn delayed_cancel_interrupts_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let m = pigeonhole(11, 10);
+        let flat = flatten(&m);
+        let flag = Arc::new(AtomicBool::new(false));
+        let cfg = SolverConfig {
+            cancel: Some(flag.clone()),
+            ..Default::default()
+        };
+        std::thread::scope(|s| {
+            let setter = s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                flag.store(true, Ordering::Relaxed);
+            });
+            let (outcome, _, _) = solve_flat(&flat, &cfg, &[]);
+            // Either the solver finished first (fast machine) or it was
+            // cancelled; a cancelled search reports Unknown.
+            assert!(matches!(outcome, Outcome::Unknown | Outcome::Unsat));
+            setter.join().unwrap();
+        });
     }
 }

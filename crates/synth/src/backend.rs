@@ -16,8 +16,54 @@ pub enum Backend {
     Native,
 }
 
+/// How to run the native solver: one search, or a portfolio race of
+/// diversified searches (different seeds, restart schedules, activity
+/// decay, and phase polarity — see `lyra_solver::portfolio`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverStrategy {
+    /// One deterministic search per solve.
+    Sequential,
+    /// Race diversified workers; first SAT/UNSAT verdict wins and cancels
+    /// the rest. `workers == 0` means "use the machine's available
+    /// parallelism" (see [`SolverStrategy::effective_workers`]).
+    Portfolio {
+        /// Worker count; 0 = auto.
+        workers: usize,
+    },
+}
+
+impl Default for SolverStrategy {
+    /// Portfolio with auto-sized workers — the compile path is
+    /// solve-dominated (§7.2), so racing is the default.
+    fn default() -> Self {
+        SolverStrategy::Portfolio { workers: 0 }
+    }
+}
+
+impl SolverStrategy {
+    /// Resolve the worker count this strategy actually spawns.
+    pub fn effective_workers(&self) -> usize {
+        match self {
+            SolverStrategy::Sequential => 1,
+            SolverStrategy::Portfolio { workers: 0 } => lyra_solver::portfolio::default_workers(),
+            SolverStrategy::Portfolio { workers } => *workers,
+        }
+    }
+}
+
+impl std::fmt::Display for SolverStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverStrategy::Sequential => write!(f, "sequential"),
+            SolverStrategy::Portfolio { workers: 0 } => write!(f, "portfolio:auto"),
+            SolverStrategy::Portfolio { workers } => write!(f, "portfolio:{workers}"),
+        }
+    }
+}
+
 /// Solve `model`, optionally minimizing `objective`. Returns the verdict
 /// together with the search statistics accumulated while reaching it.
+/// Uses the default strategy (portfolio with auto-sized workers).
 pub fn solve(model: &Model, objective: Option<&Ix>, backend: &Backend) -> (Outcome, SearchStats) {
     solve_with_hints(model, objective, backend, &[])
 }
@@ -32,6 +78,17 @@ pub fn solve_with_hints(
     backend: &Backend,
     hints: &[(lyra_solver::BoolId, bool)],
 ) -> (Outcome, SearchStats) {
+    solve_with_strategy(model, objective, backend, hints, SolverStrategy::default())
+}
+
+/// [`solve_with_hints`] under an explicit [`SolverStrategy`].
+pub fn solve_with_strategy(
+    model: &Model,
+    objective: Option<&Ix>,
+    backend: &Backend,
+    hints: &[(lyra_solver::BoolId, bool)],
+    strategy: SolverStrategy,
+) -> (Outcome, SearchStats) {
     match backend {
         Backend::Native => {
             let cfg = SolverConfig {
@@ -41,8 +98,9 @@ pub fn solve_with_hints(
                     .collect(),
                 ..Default::default()
             };
+            let workers = strategy.effective_workers();
             match objective {
-                None => {
+                None if workers <= 1 => {
                     let flat = lyra_solver::flatten(model);
                     let (outcome, _, stats) = lyra_solver::solve_flat(&flat, &cfg, &[]);
                     if let Outcome::Sat(ref s) = outcome {
@@ -50,8 +108,13 @@ pub fn solve_with_hints(
                     }
                     (outcome, stats)
                 }
+                None => lyra_solver::solve_portfolio(model, &cfg, workers),
                 Some(obj) => {
-                    let (res, stats) = lyra_solver::search::minimize_with(model, obj, &cfg);
+                    let (res, stats) = if workers <= 1 {
+                        lyra_solver::search::minimize_with(model, obj, &cfg)
+                    } else {
+                        lyra_solver::minimize_portfolio(model, obj, &cfg, workers)
+                    };
                     let outcome = match res {
                         Some((sol, _)) => Outcome::Sat(sol),
                         None => Outcome::Unsat,

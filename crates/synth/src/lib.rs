@@ -30,7 +30,7 @@ pub mod place;
 pub mod table;
 pub mod util;
 
-pub use backend::Backend;
+pub use backend::{Backend, SolverStrategy};
 pub use encode::{encode, EncodeError, EncodeOptions, Encoded, Objective, SynthUnit};
 pub use explain::explain_infeasible;
 pub use p4::P4Options;
@@ -156,6 +156,28 @@ pub fn synthesize_hinted(
     backend: &Backend,
     previous: Option<&Placement>,
 ) -> Result<SynthResult, SynthError> {
+    synthesize_full(
+        ir,
+        topo,
+        scopes,
+        opts,
+        backend,
+        SolverStrategy::default(),
+        previous,
+    )
+}
+
+/// The fully-parameterized entry point: [`synthesize_hinted`] under an
+/// explicit [`SolverStrategy`] (sequential search or a portfolio race).
+pub fn synthesize_full(
+    ir: &IrProgram,
+    topo: &Topology,
+    scopes: &[ResolvedScope],
+    opts: &EncodeOptions,
+    backend: &Backend,
+    strategy: SolverStrategy,
+    previous: Option<&Placement>,
+) -> Result<SynthResult, SynthError> {
     let enc = encode(ir, topo, scopes, opts).map_err(SynthError::Encode)?;
     let hints: Vec<(lyra_solver::BoolId, bool)> = match previous {
         Some(prev) => enc
@@ -174,8 +196,13 @@ pub fn synthesize_hinted(
             .collect(),
         None => Vec::new(),
     };
-    let (outcome, stats) =
-        backend::solve_with_hints(&enc.model, enc.objective.as_ref(), backend, &hints);
+    let (outcome, stats) = backend::solve_with_strategy(
+        &enc.model,
+        enc.objective.as_ref(),
+        backend,
+        &hints,
+        strategy,
+    );
     match outcome {
         Outcome::Sat(sol) => {
             let placement = place::extract(&enc, ir, topo, &sol);

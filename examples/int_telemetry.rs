@@ -43,11 +43,7 @@ fn main() {
     "#;
 
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &program,
-            scopes,
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(&program, scopes, figure1_network()))
         .expect("INT deployment compiles");
 
     println!("INT deployed across the fabric in {:?}:", out.stats.total);

@@ -15,11 +15,7 @@ fn main() {
         let program = programs::load_balancer(conn_entries);
         let t = std::time::Instant::now();
         let out = Compiler::new()
-            .compile(&CompileRequest {
-                program: &program,
-                scopes,
-                topology: figure1_network(),
-            })
+            .compile(&CompileRequest::new(&program, scopes, figure1_network()))
             .unwrap_or_else(|e| panic!("{conn_entries}-entry LB failed: {e}"));
         println!(
             "ConnTable = {:>9} entries: compiled in {:?} (paper target: <10 s)",

@@ -38,11 +38,7 @@ fn main() {
                 .join("\n");
             let t = std::time::Instant::now();
             let out = Compiler::new()
-                .compile(&CompileRequest {
-                    program: &entry.source,
-                    scopes: &scopes,
-                    topology: topo,
-                })
+                .compile(&CompileRequest::new(&entry.source, &scopes, topo))
                 .unwrap_or_else(|e| panic!("{} on {asic}: {e}", entry.name));
             let elapsed = t.elapsed();
             let summary = &out.validate_all().expect("validates")[0].1;

@@ -40,11 +40,11 @@ fn main() {
     // the same Lyra program becomes P4_14 on the former and P4_16 on the
     // latter without changing a line.
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: PROGRAM,
-            scopes: "watch: [ ToR* | PER-SW | - ]",
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(
+            PROGRAM,
+            "watch: [ ToR* | PER-SW | - ]",
+            figure1_network(),
+        ))
         .expect("quickstart program compiles");
 
     println!(

@@ -29,11 +29,11 @@ const LB: &str = r#"
 
 fn main() {
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: LB,
-            scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(
+            LB,
+            "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            figure1_network(),
+        ))
         .expect("LB compiles");
     println!("compiled; table placement:");
     for (sw, plan) in &out.placement.switches {

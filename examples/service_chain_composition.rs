@@ -23,11 +23,11 @@ fn main() {
             .join("\n");
         let t = std::time::Instant::now();
         let out = Compiler::new()
-            .compile(&CompileRequest {
-                program: &program,
-                scopes: &scopes,
-                topology: evaluation_testbed(),
-            })
+            .compile(&CompileRequest::new(
+                &program,
+                &scopes,
+                evaluation_testbed(),
+            ))
             .unwrap_or_else(|e| panic!("composition in region `{region}` failed: {e}"));
         let elapsed = t.elapsed();
         println!(

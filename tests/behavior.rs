@@ -23,11 +23,7 @@ fn compile_single(program: &str, algs: &[&str], asic: &str) -> lyra::CompileOutp
         .join("\n");
     Compiler::new()
         .native_backend()
-        .compile(&CompileRequest {
-            program,
-            scopes: &scopes,
-            topology: single(asic),
-        })
+        .compile(&CompileRequest::new(program, &scopes, single(asic)))
         .expect("program compiles")
 }
 

@@ -31,11 +31,11 @@ fn corpus_compiles_to_every_programmable_asic() {
     for entry in figure9_corpus() {
         for asic in ["tofino-32q", "tofino-64q", "trident4", "silicon-one", "rmt"] {
             let out = Compiler::new()
-                .compile(&CompileRequest {
-                    program: &entry.source,
-                    scopes: &single_scopes(&entry.scopes),
-                    topology: single(asic),
-                })
+                .compile(&CompileRequest::new(
+                    &entry.source,
+                    &single_scopes(&entry.scopes),
+                    single(asic),
+                ))
                 .unwrap_or_else(|e| panic!("{} on {asic}: {e}", entry.name));
             assert_eq!(out.artifacts.len(), 1, "{} on {asic}", entry.name);
             let summaries = out
@@ -57,11 +57,13 @@ fn corpus_is_feasible_and_reports_solver_stats() {
     // solver effort it took to prove so.
     for entry in figure9_corpus() {
         let scopes = single_scopes(&entry.scopes);
-        let native = Compiler::new().native_backend().compile(&CompileRequest {
-            program: &entry.source,
-            scopes: &scopes,
-            topology: single("tofino-32q"),
-        });
+        let native = Compiler::new()
+            .native_backend()
+            .compile(&CompileRequest::new(
+                &entry.source,
+                &scopes,
+                single("tofino-32q"),
+            ));
         assert!(
             native.is_ok(),
             "{} infeasible for native backend: {:?}",
@@ -85,11 +87,11 @@ fn corpus_is_feasible_and_reports_solver_stats() {
 #[test]
 fn per_sw_placement_replicates_everything() {
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &programs::netcache(),
-            scopes: "netcache: [ ToR* | PER-SW | - ]",
-            topology: evaluation_testbed(),
-        })
+        .compile(&CompileRequest::new(
+            &programs::netcache(),
+            "netcache: [ ToR* | PER-SW | - ]",
+            evaluation_testbed(),
+        ))
         .unwrap();
     assert_eq!(out.placement.used_switches(), 4);
     // Every copy is identical in shape.
@@ -107,11 +109,11 @@ fn per_sw_placement_replicates_everything() {
 #[test]
 fn multi_sw_lb_respects_flow_paths() {
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &programs::load_balancer(1_000_000),
-            scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(
+            &programs::load_balancer(1_000_000),
+            "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            figure1_network(),
+        ))
         .unwrap();
     // Invariant (eq. 16): along each of the four Agg→ToR paths, conn_table
     // shards sum to the full size.
@@ -141,11 +143,11 @@ fn oversized_table_splits_when_one_switch_cannot_hold_it() {
     // 4M entries exceed a single ASIC's ~3M capacity (§7.2), so the table
     // must split across layers.
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &programs::load_balancer(4_000_000),
-            scopes: "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(
+            &programs::load_balancer(4_000_000),
+            "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]",
+            figure1_network(),
+        ))
         .expect("4M-entry LB must still be placeable by splitting");
     let holders: Vec<&String> = out
         .placement
@@ -180,11 +182,11 @@ fn composition_single_switch_holds_five_algorithms() {
         .collect::<Vec<_>>()
         .join("\n");
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &program,
-            scopes: &scopes,
-            topology: single("tofino-32q"),
-        })
+        .compile(&CompileRequest::new(
+            &program,
+            &scopes,
+            single("tofino-32q"),
+        ))
         .expect("five algorithms fit one Tofino");
     let plan = out.placement.switches.get("ToR1").unwrap();
     assert_eq!(plan.instrs.len(), 5, "all five algorithms co-resident");
@@ -207,18 +209,18 @@ fn generated_code_differs_per_language() {
         }
     "#;
     let p4 = Compiler::new()
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: "f: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        })
+            "f: [ ToR1 | PER-SW | - ]",
+            single("tofino-32q"),
+        ))
         .unwrap();
     let npl = Compiler::new()
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: "f: [ ToR1 | PER-SW | - ]",
-            topology: single("trident4"),
-        })
+            "f: [ ToR1 | PER-SW | - ]",
+            single("trident4"),
+        ))
         .unwrap();
     let p4_code = &p4.artifacts[0].code;
     let npl_code = &npl.artifacts[0].code;
@@ -239,11 +241,11 @@ fn generated_code_differs_per_language() {
 #[test]
 fn control_plane_stubs_cover_every_extern() {
     let out = Compiler::new()
-        .compile(&CompileRequest {
-            program: &programs::load_balancer(1024),
-            scopes: "loadbalancer: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        })
+        .compile(&CompileRequest::new(
+            &programs::load_balancer(1024),
+            "loadbalancer: [ ToR1 | PER-SW | - ]",
+            single("tofino-32q"),
+        ))
         .unwrap();
     let stub = &out.artifacts[0].control_plane;
     for table in ["conn_table", "vip_table"] {
@@ -259,11 +261,11 @@ fn infeasible_networks_fail_cleanly() {
     let mut topo = Topology::new();
     topo.add_switch("Core1", Layer::Core, "tomahawk");
     let err = Compiler::new()
-        .compile(&CompileRequest {
-            program: "pipeline[P]{a}; algorithm a { x = 1; }",
-            scopes: "a: [ Core* | PER-SW | - ]",
-            topology: topo,
-        })
+        .compile(&CompileRequest::new(
+            "pipeline[P]{a}; algorithm a { x = 1; }",
+            "a: [ Core* | PER-SW | - ]",
+            topo,
+        ))
         .unwrap_err();
     assert!(err.to_string().contains("programmable"));
 }
@@ -288,11 +290,11 @@ fn figure5a_wide_compare_splits_on_p416() {
         }
     "#;
     let out = Compiler::new()
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: "cmp: [ ToR1 | PER-SW | - ]",
-            topology: single("silicon-one"),
-        })
+            "cmp: [ ToR1 | PER-SW | - ]",
+            single("silicon-one"),
+        ))
         .unwrap();
     let code = &out.artifacts[0].code;
     assert!(
@@ -314,11 +316,7 @@ fn recirculation_packs_long_chains() {
         ));
     }
     let program = format!("pipeline[P]{{deep}};\nalgorithm deep {{\n{body}}}\n");
-    let req = |topology| CompileRequest {
-        program: &program,
-        scopes: "deep: [ ToR1 | PER-SW | - ]",
-        topology,
-    };
+    let req = |topology| CompileRequest::new(&program, "deep: [ ToR1 | PER-SW | - ]", topology);
 
     let without = Compiler::new()
         .native_backend()
@@ -360,11 +358,11 @@ fn stage_detail_mode_places_tables_in_stages() {
     let out = Compiler::new()
         .native_backend()
         .with_stage_detail(true)
-        .compile(&CompileRequest {
+        .compile(&CompileRequest::new(
             program,
-            scopes: "staged: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-32q"),
-        })
+            "staged: [ ToR1 | PER-SW | - ]",
+            single("tofino-32q"),
+        ))
         .expect("stage-detail placement feasible");
     assert!(out.placement.switches["ToR1"].tables.len() >= 2);
 
@@ -382,11 +380,11 @@ fn stage_detail_mode_places_tables_in_stages() {
     let err = Compiler::new()
         .native_backend()
         .with_stage_detail(true)
-        .compile(&CompileRequest {
-            program: &deep,
-            scopes: "deep: [ ToR1 | PER-SW | - ]",
-            topology: single("tofino-64q"),
-        });
+        .compile(&CompileRequest::new(
+            &deep,
+            "deep: [ ToR1 | PER-SW | - ]",
+            single("tofino-64q"),
+        ));
     assert!(err.is_err(), "15-deep chain cannot fit 12 stages");
 }
 
@@ -413,20 +411,12 @@ fn incremental_recompile_keeps_placement_stable() {
     let scopes = "inc: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
     let first = Compiler::new()
         .native_backend()
-        .compile(&CompileRequest {
-            program: base,
-            scopes,
-            topology: figure1_network(),
-        })
+        .compile(&CompileRequest::new(base, scopes, figure1_network()))
         .unwrap();
     let second = Compiler::new()
         .native_backend()
         .compile_incremental(
-            &CompileRequest {
-                program: &changed,
-                scopes,
-                topology: figure1_network(),
-            },
+            &CompileRequest::new(&changed, scopes, figure1_network()),
             &first.placement,
         )
         .unwrap();
