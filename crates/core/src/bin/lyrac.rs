@@ -44,6 +44,8 @@ struct Args {
     strategy: SolverStrategy,
     diag_format: DiagFormat,
     emit_stats: Option<PathBuf>,
+    deadline_ms: Option<u64>,
+    decision_budget: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -53,7 +55,12 @@ fn usage() -> ! {
          \x20            [--objective feasible|min-switches|max-use=SWITCH]\n\
          \x20            [--no-parser-hoisting]\n\
          \x20            [--solver sequential|portfolio|portfolio:N]\n\
-         \x20            [--diag-format human|json] [--emit-stats FILE]"
+         \x20            [--deadline-ms N] [--decision-budget N]\n\
+         \x20            [--diag-format human|json] [--emit-stats FILE]\n\
+         \n\
+         \x20 --deadline-ms / --decision-budget bound the solve phase; on\n\
+         \x20 expiry the degradation ladder still produces deployable code\n\
+         \x20 and a LYR0550 warning names the fallback rung used."
     );
     std::process::exit(2);
 }
@@ -82,6 +89,8 @@ fn parse_args() -> Args {
     let mut strategy = SolverStrategy::default();
     let mut diag_format = DiagFormat::Human;
     let mut emit_stats = None;
+    let mut deadline_ms = None;
+    let mut decision_budget = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -137,6 +146,26 @@ fn parse_args() -> Args {
                 }
             }
             "--emit-stats" => emit_stats = Some(PathBuf::from(value(&mut it))),
+            "--deadline-ms" => {
+                let v = value(&mut it);
+                deadline_ms = match v.parse::<u64>() {
+                    Ok(ms) => Some(ms),
+                    Err(_) => {
+                        eprintln!("invalid --deadline-ms value `{v}`");
+                        usage()
+                    }
+                }
+            }
+            "--decision-budget" => {
+                let v = value(&mut it);
+                decision_budget = match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("invalid --decision-budget value `{v}`");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -158,6 +187,8 @@ fn parse_args() -> Args {
         strategy,
         diag_format,
         emit_stats,
+        deadline_ms,
+        decision_budget,
     }
 }
 
@@ -211,7 +242,14 @@ fn main() -> ExitCode {
         Err(e) => return tool_error(&args, e),
     };
 
-    let req = CompileRequest::new(&program, &scopes, topology).with_solver_strategy(args.strategy);
+    let mut req =
+        CompileRequest::new(&program, &scopes, topology).with_solver_strategy(args.strategy);
+    if let Some(ms) = args.deadline_ms {
+        req = req.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = args.decision_budget {
+        req = req.with_decision_budget(n);
+    }
     let out = match Compiler::new()
         .with_backend(args.backend.clone())
         .with_objective(args.objective.clone())
@@ -272,6 +310,9 @@ fn main() -> ExitCode {
             "  synth cache: {} hit(s), {} miss(es)",
             out.stats.synth_cache_hits, out.stats.synth_cache_misses
         );
+        if let Some(rung) = out.degraded {
+            println!("  placement degraded: {rung} rung (LYR0550)");
+        }
         for u in &out.utilization {
             println!(
                 "  {}: {}/{} tables, {}/{} stages, {}/{} SRAM blocks, {} extern entries",

@@ -64,9 +64,11 @@
 //! ```
 
 pub mod cache;
+pub mod fault;
 pub mod runtime;
 
 pub use cache::{synth_key, SynthCache};
+pub use fault::{FaultRecompile, PlacementDiff};
 pub use runtime::{Runtime, RuntimeError};
 
 use std::sync::Arc;
@@ -75,12 +77,15 @@ use std::time::{Duration, Instant};
 pub use lyra_codegen::{Artifact, CodeSummary};
 pub use lyra_diag::{Diagnostic, Phase, SourceId, SourceMap};
 pub use lyra_solver::SearchStats;
-pub use lyra_synth::{Backend, EncodeOptions, Objective, P4Options, Placement, SolverStrategy};
+pub use lyra_synth::{
+    Backend, DegradeRung, EncodeOptions, Objective, P4Options, Placement, SolverStrategy,
+};
+pub use lyra_topo::{DegradeReport, FaultSet, ScopeHealth};
 
 use lyra_diag::codes;
 use lyra_diag::json::{Object, Value};
 use lyra_ir::IrProgram;
-use lyra_topo::{resolve_scope, ResolvedScope, Topology};
+use lyra_topo::{resolve_scope, resolve_scope_degraded, ResolvedScope, Topology};
 
 /// [`SourceId`] of the Lyra program source inside
 /// [`CompileRequest::source_map`].
@@ -103,6 +108,15 @@ pub struct CompileRequest<'a> {
     /// machine's available parallelism — the compile path is
     /// solve-dominated, so racing diversified searchers is the default.
     pub strategy: SolverStrategy,
+    /// Wall-clock budget for the solve phase. When it expires the compile
+    /// does not hang or fail: the degradation ladder runs (sequential with
+    /// aggressive restarts, then greedy first-fit) and the output carries a
+    /// `LYR0550` degraded-result warning naming the rung used.
+    pub deadline: Option<Duration>,
+    /// Decision budget per search (overrides the solver default). Like the
+    /// deadline, exhaustion triggers the degradation ladder rather than a
+    /// `BudgetExhausted` failure.
+    pub decision_budget: Option<u64>,
 }
 
 impl<'a> CompileRequest<'a> {
@@ -113,12 +127,28 @@ impl<'a> CompileRequest<'a> {
             scopes,
             topology,
             strategy: SolverStrategy::default(),
+            deadline: None,
+            decision_budget: None,
         }
     }
 
     /// Select the solver strategy for this request.
     pub fn with_solver_strategy(mut self, strategy: SolverStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Bound the solve phase by wall-clock time (the solver watchdog). See
+    /// [`CompileRequest::deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bound each search by a decision budget. See
+    /// [`CompileRequest::decision_budget`].
+    pub fn with_decision_budget(mut self, decisions: u64) -> Self {
+        self.decision_budget = Some(decisions);
         self
     }
 
@@ -336,6 +366,11 @@ pub struct CompileOutput {
     /// Checker warnings (implicit metadata and similar), as structured
     /// diagnostics spanned into the program source.
     pub warnings: Vec<Diagnostic>,
+    /// Which degradation-ladder rung produced the placement, when the
+    /// solver watchdog fired. `None` for a fully solver-verified placement;
+    /// `Some(_)` is mirrored by a `LYR0550` warning in
+    /// [`CompileOutput::warnings`].
+    pub degraded: Option<DegradeRung>,
 }
 
 impl CompileOutput {
@@ -554,12 +589,12 @@ impl Compiler {
         req: &CompileRequest,
         previous: &Placement,
     ) -> Result<CompileOutput, CompileError> {
-        self.compile_inner(req, Some(previous))
+        self.compile_inner(req, Some(previous), false)
     }
 
     /// Compile a request end to end.
     pub fn compile(&self, req: &CompileRequest) -> Result<CompileOutput, CompileError> {
-        self.compile_inner(req, None)
+        self.compile_inner(req, None, false)
     }
 
     /// Run `f` as phase `ph`, notifying the observer and timing it.
@@ -588,6 +623,7 @@ impl Compiler {
         scopes: &[ResolvedScope],
         strategy: lyra_synth::SolverStrategy,
         previous: Option<&Placement>,
+        limits: &lyra_synth::SynthLimits,
     ) -> Result<(Arc<lyra_synth::SynthResult>, bool), lyra_synth::SynthError> {
         let key = self
             .cache
@@ -598,7 +634,7 @@ impl Compiler {
                 return Ok((hit, true));
             }
         }
-        let result = Arc::new(lyra_synth::synthesize_full(
+        let result = Arc::new(lyra_synth::synthesize_limited(
             ir,
             topo,
             scopes,
@@ -606,9 +642,15 @@ impl Compiler {
             &self.backend,
             strategy,
             previous,
+            limits,
         )?);
-        if let (Some(cache), Some(key)) = (&self.cache, key) {
-            cache.insert(key, result.clone());
+        // Degraded results never enter the cache: the key ignores limits,
+        // so a later unlimited compile of the same problem must not be
+        // served a watchdog fallback placement.
+        if result.degraded.is_none() {
+            if let (Some(cache), Some(key)) = (&self.cache, key) {
+                cache.insert(key, result.clone());
+            }
         }
         Ok((result, false))
     }
@@ -617,9 +659,23 @@ impl Compiler {
         &self,
         req: &CompileRequest,
         previous: Option<&Placement>,
+        lenient_scopes: bool,
     ) -> Result<CompileOutput, CompileError> {
         let t0 = Instant::now();
         let mut stats = CompileStats::default();
+        // The watchdog's limits. The grace window for the sequential-restart
+        // rung scales with the requested deadline (a 1 ms deadline should
+        // still answer within ~100 ms; a 10 s one can afford a longer
+        // retry), clamped so it is never uselessly short nor unbounded.
+        let limits = lyra_synth::SynthLimits {
+            deadline: req.deadline.map(|d| t0 + d),
+            max_decisions: req.decision_budget,
+            grace: match (req.deadline, req.decision_budget) {
+                (Some(d), _) => (d * 4).clamp(Duration::from_millis(40), Duration::from_secs(5)),
+                (None, Some(_)) => Duration::from_secs(5),
+                (None, None) => Duration::ZERO,
+            },
+        };
 
         // --- Front-end (checker + preprocessor + code analyzer) ------------
         let (prog, t_parse) = self.phase(Phase::Parse, || {
@@ -698,7 +754,16 @@ impl Compiler {
             }
             scope_specs
                 .iter()
-                .map(|s| resolve_scope(&req.topology, s))
+                .map(|s| {
+                    if lenient_scopes {
+                        // Failover recompilation: tolerate MULTI-SW direction
+                        // endpoints that the fault removed, as long as at
+                        // least one ingress and one egress survive.
+                        resolve_scope_degraded(&req.topology, s)
+                    } else {
+                        resolve_scope(&req.topology, s)
+                    }
+                })
                 .collect::<Result<Vec<ResolvedScope>, _>>()
                 .map_err(|e| {
                     CompileError::Scope(vec![e.to_diagnostic().attach_source(SCOPES_SOURCE)])
@@ -719,46 +784,58 @@ impl Compiler {
             .all(|s| s.deploy == lyra_lang::DeployMode::PerSwitch)
             && matches!(self.encode.objective, Objective::Feasible);
         let t1 = Instant::now();
-        let (placement, artifacts, solver, t_synth, t_codegen, hits, misses) = if all_per_sw {
-            self.compile_per_switch(&ir, req, &resolved)?
-        } else {
-            if let Some(obs) = &self.observer {
-                obs.on_phase_start(Phase::Solve);
-            }
-            let (synth, was_hit) = self
-                .synthesize_cached(&ir, &req.topology, &resolved, req.strategy, previous)
-                .map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
-            let t_synth = t1.elapsed();
-            if let Some(obs) = &self.observer {
-                obs.on_phase_end(Phase::Solve, t_synth);
-            }
-            // A cache hit spent no solver effort this compile — its stats
-            // belong to the run that populated the cache.
-            let solver = if was_hit {
-                SearchStats::default()
+        let (placement, artifacts, solver, t_synth, t_codegen, hits, misses, degraded) =
+            if all_per_sw {
+                self.compile_per_switch(&ir, req, &resolved, &limits)?
             } else {
-                synth.stats
+                if let Some(obs) = &self.observer {
+                    obs.on_phase_start(Phase::Solve);
+                }
+                let (synth, was_hit) = self
+                    .synthesize_cached(
+                        &ir,
+                        &req.topology,
+                        &resolved,
+                        req.strategy,
+                        previous,
+                        &limits,
+                    )
+                    .map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
+                let t_synth = t1.elapsed();
+                if let Some(obs) = &self.observer {
+                    obs.on_phase_end(Phase::Solve, t_synth);
+                }
+                // A cache hit spent no solver effort this compile — its stats
+                // belong to the run that populated the cache.
+                let solver = if was_hit {
+                    SearchStats::default()
+                } else {
+                    synth.stats
+                };
+                let (hits, misses) = match (&self.cache, was_hit) {
+                    (None, _) => (0, 0),
+                    (Some(_), true) => (1, 0),
+                    (Some(_), false) => (0, 1),
+                };
+                let (artifacts, t_codegen) = self.phase(Phase::Codegen, || {
+                    lyra_codegen::generate(&ir, &req.topology, &synth).map_err(|e| {
+                        CompileError::Codegen(vec![Diagnostic::error(
+                            codes::CODEGEN,
+                            e.to_string(),
+                        )])
+                    })
+                });
+                (
+                    synth.placement.clone(),
+                    artifacts?,
+                    solver,
+                    t_synth,
+                    t_codegen,
+                    hits,
+                    misses,
+                    synth.degraded,
+                )
             };
-            let (hits, misses) = match (&self.cache, was_hit) {
-                (None, _) => (0, 0),
-                (Some(_), true) => (1, 0),
-                (Some(_), false) => (0, 1),
-            };
-            let (artifacts, t_codegen) = self.phase(Phase::Codegen, || {
-                lyra_codegen::generate(&ir, &req.topology, &synth).map_err(|e| {
-                    CompileError::Codegen(vec![Diagnostic::error(codes::CODEGEN, e.to_string())])
-                })
-            });
-            (
-                synth.placement.clone(),
-                artifacts?,
-                solver,
-                t_synth,
-                t_codegen,
-                hits,
-                misses,
-            )
-        };
         stats.synth = t_synth;
         stats.codegen = t_codegen;
         stats.synth_cache_hits = hits;
@@ -782,6 +859,22 @@ impl Compiler {
             .collect();
         stats.total = t0.elapsed();
         let utilization = utilization_of(&placement, &req.topology);
+        let mut warnings = warnings;
+        if let Some(rung) = degraded {
+            warnings.push(
+                Diagnostic::warning(
+                    codes::DEGRADED,
+                    format!(
+                        "placement produced by the degradation ladder ({rung} rung): the \
+                         solver could not reach a verdict within the configured limits"
+                    ),
+                )
+                .with_note(
+                    "the generated code is deployable but may be non-optimal; recompile \
+                     without a deadline for a solver-verified placement",
+                ),
+            );
+        }
         Ok(CompileOutput {
             artifacts,
             placement,
@@ -791,6 +884,7 @@ impl Compiler {
             solver,
             utilization,
             warnings,
+            degraded,
         })
     }
 
@@ -803,6 +897,7 @@ impl Compiler {
         ir: &IrProgram,
         req: &CompileRequest,
         resolved: &[ResolvedScope],
+        limits: &lyra_synth::SynthLimits,
     ) -> Result<
         (
             Placement,
@@ -812,6 +907,7 @@ impl Compiler {
             Duration,
             u64,
             u64,
+            Option<DegradeRung>,
         ),
         CompileError,
     > {
@@ -864,7 +960,7 @@ impl Compiler {
                         let topology = &req.topology;
                         let strategy = req.strategy;
                         s.spawn(move || {
-                            self.synthesize_cached(ir, topology, &scopes, strategy, None)
+                            self.synthesize_cached(ir, topology, &scopes, strategy, None, limits)
                         })
                     })
                     .collect();
@@ -884,6 +980,7 @@ impl Compiler {
                     &scopes,
                     req.strategy,
                     None,
+                    limits,
                 ));
             }
         }
@@ -893,9 +990,11 @@ impl Compiler {
         let mut solver = SearchStats::default();
         let mut t_codegen = Duration::ZERO;
         let (mut hits, mut misses) = (0u64, 0u64);
+        let mut degraded: Option<DegradeRung> = None;
         for ((_, members), synth) in group_list.iter().zip(synth_results) {
             let rep = members[0];
             let (synth, was_hit) = synth.map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
+            degraded = worst_rung(degraded, synth.degraded);
             if was_hit {
                 hits += 1;
             } else {
@@ -934,8 +1033,20 @@ impl Compiler {
             obs.on_phase_end(Phase::Codegen, t_codegen);
         }
         Ok((
-            placement, artifacts, solver, t_synth, t_codegen, hits, misses,
+            placement, artifacts, solver, t_synth, t_codegen, hits, misses, degraded,
         ))
+    }
+}
+
+/// The more-degraded of two ladder rungs (greedy first-fit is worse than a
+/// sequential-restart solve; any rung is worse than none) — used to report
+/// a single honest rung when parallel per-switch groups degrade unevenly.
+fn worst_rung(a: Option<DegradeRung>, b: Option<DegradeRung>) -> Option<DegradeRung> {
+    use DegradeRung::{GreedyFirstFit, SequentialRestarts};
+    match (a, b) {
+        (Some(GreedyFirstFit), _) | (_, Some(GreedyFirstFit)) => Some(GreedyFirstFit),
+        (Some(SequentialRestarts), _) | (_, Some(SequentialRestarts)) => Some(SequentialRestarts),
+        (None, None) => None,
     }
 }
 

@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use lyra_ir::{execute, DataPlaneState, Effect, InstrId, PacketState};
+use lyra_topo::FaultSet;
 
 use crate::CompileOutput;
 
@@ -40,6 +41,10 @@ pub struct Runtime<'a> {
     shards: BTreeMap<String, DataPlaneState>,
     /// Entries installed per (switch, table) — for capacity accounting.
     installed: BTreeMap<(String, String), u64>,
+    /// Elements failed at runtime ([`Runtime::fail_switch`] /
+    /// [`Runtime::fail_link`]). Failed switches hold no shards; paths
+    /// through failed elements reject traffic and receive no installs.
+    faults: FaultSet,
 }
 
 impl<'a> Runtime<'a> {
@@ -61,7 +66,13 @@ impl<'a> Runtime<'a> {
             output,
             shards,
             installed: BTreeMap::new(),
+            faults: FaultSet::new(),
         }
+    }
+
+    /// The elements failed so far.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
     }
 
     /// Capacity of `table` on `switch` per the solved placement.
@@ -95,21 +106,23 @@ impl<'a> Runtime<'a> {
             .placement
             .switches
             .iter()
-            .filter(|(_, p)| p.extern_entries.contains_key(table))
+            .filter(|(n, p)| p.extern_entries.contains_key(table) && !self.faults.switch_failed(n))
             .map(|(n, _)| n.clone())
             .collect();
         if holders.is_empty() {
             return Err(RuntimeError {
-                message: format!("no switch hosts extern table `{table}`"),
+                message: format!("no surviving switch hosts extern table `{table}`"),
             });
         }
-        // Paths that can reach this table (host at least one shard).
+        // Surviving paths that can reach this table (host at least one
+        // shard); paths through failed elements carry no traffic and need
+        // no entry.
         let mut paths: Vec<Vec<String>> = self
             .output
             .flow_paths
             .values()
             .flatten()
-            .filter(|p| p.iter().any(|sw| holders.contains(sw)))
+            .filter(|p| self.faults.path_survives(p) && p.iter().any(|sw| holders.contains(sw)))
             .cloned()
             .collect();
         if paths.is_empty() {
@@ -157,13 +170,84 @@ impl<'a> Runtime<'a> {
                 placed.push(sw.clone());
             }
         }
-        if placed.is_empty() {
-            // Entry was already present everywhere (duplicate install).
+        // An already-covered key is an idempotent no-op, not an error — the
+        // control plane may replay installs (e.g. after a failover re-sync)
+        // without tracking which entries survived.
+        Ok(placed)
+    }
+
+    /// Fail a switch at runtime: its shards vanish, and every logical entry
+    /// it held is re-installed on surviving holders (the control-plane
+    /// re-sync an operator would perform). Paths through the switch stop
+    /// carrying traffic. Returns the switches that received re-synced
+    /// entries; fails when some entry no longer fits anywhere.
+    pub fn fail_switch(&mut self, switch: &str) -> Result<Vec<String>, RuntimeError> {
+        if !self
+            .output
+            .flow_paths
+            .values()
+            .flatten()
+            .any(|p| p.iter().any(|s| s == switch))
+            && !self.output.placement.switches.contains_key(switch)
+        {
             return Err(RuntimeError {
-                message: format!("key {key} already installed in `{table}`"),
+                message: format!("unknown switch `{switch}`"),
             });
         }
-        Ok(placed)
+        if self.faults.switch_failed(switch) {
+            return Ok(Vec::new());
+        }
+        // Capture the dying shard's logical entries before discarding it.
+        let lost: Vec<(String, u64, u64)> = self
+            .shards
+            .get(switch)
+            .map(|dp| {
+                dp.externs
+                    .iter()
+                    .flat_map(|(t, entries)| entries.iter().map(|(&k, &v)| (t.clone(), k, v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.shards.remove(switch);
+        self.installed.retain(|(sw, _), _| sw != switch);
+        self.faults.add_switch(switch);
+        self.resync(lost)
+    }
+
+    /// Fail a link at runtime. No shard state is lost (entries live on
+    /// switches), but paths crossing the link stop carrying traffic; the
+    /// re-sync re-installs any logical entry whose only shard, for some
+    /// surviving path, sat beyond the dead link. Returns the switches that
+    /// received re-synced entries.
+    pub fn fail_link(&mut self, a: &str, b: &str) -> Result<Vec<String>, RuntimeError> {
+        self.faults.add_link(a, b);
+        // Replay every installed entry: surviving paths already covered are
+        // untouched (idempotent install), newly-uncovered ones get a shard.
+        let all: Vec<(String, u64, u64)> = self
+            .shards
+            .values()
+            .flat_map(|dp| {
+                dp.externs
+                    .iter()
+                    .flat_map(|(t, entries)| entries.iter().map(|(&k, &v)| (t.clone(), k, v)))
+            })
+            .collect();
+        self.resync(all)
+    }
+
+    /// Re-install logical entries after a failure. Entries whose surviving
+    /// paths are all still covered are no-ops; the rest land on surviving
+    /// holders with capacity, or the re-sync fails with a capacity error.
+    fn resync(&mut self, entries: Vec<(String, u64, u64)>) -> Result<Vec<String>, RuntimeError> {
+        let mut touched: Vec<String> = Vec::new();
+        for (table, key, value) in entries {
+            for sw in self.install(&table, key, value)? {
+                if !touched.contains(&sw) {
+                    touched.push(sw);
+                }
+            }
+        }
+        Ok(touched)
     }
 
     /// Entries currently installed in `table` on `switch`.
@@ -183,6 +267,19 @@ impl<'a> Runtime<'a> {
         path: &[&str],
         mut pkt: PacketState,
     ) -> Result<(PacketState, Vec<Effect>), RuntimeError> {
+        if let Some(dead) = path.iter().find(|s| self.faults.switch_failed(s)) {
+            return Err(RuntimeError {
+                message: format!("path traverses failed switch `{dead}`"),
+            });
+        }
+        if let Some(w) = path
+            .windows(2)
+            .find(|w| self.faults.link_failed(w[0], w[1]))
+        {
+            return Err(RuntimeError {
+                message: format!("path traverses failed link `{}` — `{}`", w[0], w[1]),
+            });
+        }
         let mut effects = Vec::new();
         for &switch in path {
             let Some(plan) = self.output.placement.switches.get(switch) else {
@@ -299,5 +396,89 @@ mod tests {
         let out = lb_output();
         let mut rt = Runtime::new(&out);
         assert!(rt.install("no_such_table", 1, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_install_is_idempotent() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        let first = rt.install("conn_table", 42, 7).unwrap();
+        assert!(!first.is_empty());
+        // Replaying the same key is a no-op, not an error, and consumes no
+        // extra capacity.
+        let again = rt.install("conn_table", 42, 7).unwrap();
+        assert!(again.is_empty(), "replay placed entries: {again:?}");
+        let used: u64 = first
+            .iter()
+            .map(|sw| rt.installed_on(sw, "conn_table"))
+            .sum();
+        assert_eq!(used as usize, first.len());
+    }
+
+    #[test]
+    fn fail_switch_resyncs_entries_and_refuses_traffic() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        rt.install("conn_table", 42, 0x0a000001).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+
+        // The dead switch no longer accepts traffic…
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 42);
+        pkt.set("ipv4.dstAddr", 0x02000001);
+        let err = rt.inject(&["Agg3", "ToR3"], pkt.clone()).unwrap_err();
+        assert!(err.message.contains("failed switch"), "{err}");
+
+        // …and the entry still hits on every surviving flow path that
+        // reaches a conn_table shard.
+        let surviving: Vec<Vec<String>> = out
+            .flow_paths
+            .values()
+            .flatten()
+            .filter(|p| rt.faults().path_survives(p))
+            .cloned()
+            .collect();
+        for path in &surviving {
+            let holders_on_path = path.iter().any(|sw| {
+                out.placement.switches.get(sw).is_some_and(|p| {
+                    p.extern_entries.contains_key("conn_table") && !rt.faults().switch_failed(sw)
+                })
+            });
+            if !holders_on_path {
+                continue;
+            }
+            let hops: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+            let (end, _) = rt.inject(&hops, pkt.clone()).unwrap();
+            assert_eq!(
+                end.get("ipv4.dstAddr"),
+                0x0a000001,
+                "entry lost on surviving path {path:?}"
+            );
+        }
+
+        // Failing the same switch again is a no-op.
+        assert_eq!(rt.fail_switch("Agg3").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fail_link_refuses_the_path() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        rt.install("conn_table", 42, 0x0a000001).unwrap();
+        rt.fail_link("Agg3", "ToR3").unwrap();
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 42);
+        let err = rt.inject(&["Agg3", "ToR3"], pkt.clone()).unwrap_err();
+        assert!(err.message.contains("failed link"), "{err}");
+        // The sibling path through the same Agg still works.
+        let (end, _) = rt.inject(&["Agg3", "ToR4"], pkt).unwrap();
+        assert_eq!(end.get("ipv4.dstAddr"), 0x0a000001);
+    }
+
+    #[test]
+    fn unknown_switch_failure_is_rejected() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        assert!(rt.fail_switch("Banana").is_err());
     }
 }

@@ -112,7 +112,8 @@ impl fmt::Display for Code {
 /// * `LYR02xx` — scope language and scope resolution over the topology
 /// * `LYR03xx` — SMT encoding (pre-solve structural errors)
 /// * `LYR04xx` — synthesis outcomes (infeasibility families, budget)
-/// * `LYR05xx` — code generation and backend validation
+/// * `LYR05xx` — code generation, backend validation, and robustness
+///   (`LYR055x` are degraded-result and fault-model codes)
 pub mod codes {
     use super::Code;
 
@@ -191,6 +192,16 @@ pub mod codes {
     pub const CODEGEN: Code = Code("LYR0501");
     /// Generated artifact failed backend validation.
     pub const VALIDATE: Code = Code("LYR0502");
+
+    /// Warning: the placement was produced by a degradation-ladder rung
+    /// (the solver deadline or decision budget expired); the message names
+    /// the rung (`sequential-restarts` or `greedy-first-fit`).
+    pub const DEGRADED: Code = Code("LYR0550");
+    /// A fault set left an algorithm scope with no surviving switch.
+    pub const FAULT_UNREACHABLE: Code = Code("LYR0551");
+    /// A fault set left an algorithm scope with switches but no surviving
+    /// flow path (the scope region is partitioned).
+    pub const FAULT_PARTITIONED: Code = Code("LYR0552");
 }
 
 /// Identifies one source text inside a [`SourceMap`].

@@ -17,13 +17,29 @@
 //! (budget exhaustion), every worker's effort is summed, since all of it
 //! was genuinely spent.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::flatten::{flatten, flatten_with_objective, FlatModel, FlatVar};
 use crate::model::{Model, Solution};
 use crate::search::{solve_flat, RawAssignment, SearchStats, SolverConfig};
 use crate::Outcome;
+
+/// Lock a mutex, recovering from poisoning. A poisoned mutex here only
+/// means some worker panicked mid-race; the guarded data (winner slot,
+/// leftover stats) is always written atomically from the reader's point of
+/// view — a worker either completed its insertion or never started it — so
+/// the stored value stays coherent and the race result remains usable.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Consume a mutex, recovering from poisoning (see [`lock_recovering`]).
+fn into_inner_recovering<T>(m: Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Portfolio workers to spawn by default: the machine's available
 /// parallelism, capped at 8 (beyond that, diversification repeats and the
@@ -98,10 +114,19 @@ pub fn solve_flat_portfolio(
             cfg.cancel = Some(cancel.clone());
             let (winner, leftovers, cancel) = (&winner, &leftovers, &cancel);
             scope.spawn(move || {
-                let (outcome, raw, stats) = solve_flat(flat, &cfg, extra);
+                // A panicking worker must not take the race down with it:
+                // `std::thread::scope` re-raises worker panics at the join
+                // point, and a panic while holding either mutex would
+                // poison it for every surviving worker. Catching here turns
+                // a crashed worker into one that simply never reports —
+                // its siblings keep racing and one of them decides.
+                let solved = catch_unwind(AssertUnwindSafe(|| solve_flat(flat, &cfg, extra)));
+                let Ok((outcome, raw, stats)) = solved else {
+                    return;
+                };
                 match outcome {
                     Outcome::Sat(_) | Outcome::Unsat => {
-                        let mut w = winner.lock().unwrap();
+                        let mut w = lock_recovering(winner);
                         if w.is_none() {
                             *w = Some((outcome, raw, stats));
                             cancel.store(true, Ordering::Relaxed);
@@ -110,13 +135,13 @@ pub fn solve_flat_portfolio(
                         // is discarded like a cancelled worker.
                     }
                     Outcome::Unknown => {
-                        leftovers.lock().unwrap().absorb(stats);
+                        lock_recovering(leftovers).absorb(stats);
                     }
                 }
             });
         }
     });
-    let won = winner.into_inner().unwrap();
+    let won = into_inner_recovering(winner);
     match won {
         Some((outcome, raw, mut stats)) => {
             stats.workers_spawned += n as u64;
@@ -125,7 +150,7 @@ pub fn solve_flat_portfolio(
         }
         None => {
             // Everyone exhausted the budget: all effort was real.
-            let mut stats = leftovers.into_inner().unwrap();
+            let mut stats = into_inner_recovering(leftovers);
             stats.workers_spawned += n as u64;
             (Outcome::Unknown, None, stats)
         }
@@ -250,6 +275,39 @@ mod tests {
         let (par, stats) = minimize_portfolio(&m, &obj, &cfg, 4);
         assert_eq!(seq.unwrap().1, par.unwrap().1);
         assert!(stats.workers_spawned >= 4, "one race per bound round");
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let m = Mutex::new(41);
+        // Poison the mutex by panicking while holding its guard.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(m.is_poisoned());
+        *lock_recovering(&m) += 1;
+        assert_eq!(into_inner_recovering(m), 42);
+    }
+
+    #[test]
+    fn portfolio_with_expired_deadline_returns_unknown_promptly() {
+        use std::time::{Duration, Instant};
+        let m = pigeonhole(12, 11); // far harder than the time allowed
+        let flat = flatten(&m);
+        let cfg = SolverConfig {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (outcome, _, stats) = solve_flat_portfolio(&flat, &cfg, &[], 4);
+        assert_eq!(outcome, Outcome::Unknown);
+        assert_eq!(stats.workers_spawned, 4);
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "expired deadline must stop all workers promptly: {:?}",
+            t.elapsed()
+        );
     }
 
     #[test]

@@ -52,7 +52,20 @@ pub struct SolverConfig {
     /// propagation loop polls it once per pass; when set, the search stops
     /// and reports [`Outcome::Unknown`].
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline. Checked before the search starts and polled
+    /// (decimated — every [`DEADLINE_POLL_MASK`]+1 propagation passes, to
+    /// keep `Instant::now` off the hot path) during propagation; on expiry
+    /// the search winds down with [`Outcome::Unknown`] and, when a shared
+    /// [`SolverConfig::cancel`] flag is present, stores `true` into it so
+    /// sibling portfolio workers observe the same deadline.
+    pub deadline: Option<std::time::Instant>,
 }
+
+/// The deadline is polled when `passes & DEADLINE_POLL_MASK == 0` — once
+/// every 64 propagation passes. Propagation passes are short (micro- to
+/// low-milliseconds), so expiry is still observed within single-digit
+/// milliseconds while `Instant::now` stays off the fast path.
+const DEADLINE_POLL_MASK: u64 = 63;
 
 impl Default for SolverConfig {
     fn default() -> Self {
@@ -65,6 +78,7 @@ impl Default for SolverConfig {
             seed: 0,
             learned_limit: 2_000,
             cancel: None,
+            deadline: None,
         }
     }
 }
@@ -292,6 +306,8 @@ struct Search<'a> {
     reduce_limit: usize,
     /// Set when the shared cancellation flag was observed.
     cancelled: bool,
+    /// Propagation passes completed; drives decimated deadline polling.
+    passes: u64,
 }
 
 impl<'a> Search<'a> {
@@ -330,6 +346,7 @@ impl<'a> Search<'a> {
             learned_live: 0,
             reduce_limit: cfg.learned_limit,
             cancelled: false,
+            passes: 0,
         };
         if cfg.seed != 0 {
             // Diversified initial polarities (xorshift64*); hints below
@@ -484,7 +501,26 @@ impl<'a> Search<'a> {
         self.stats.clauses_deleted += 1;
     }
 
+    /// Has the wall-clock deadline passed? On expiry, also broadcasts into
+    /// the shared cancel flag so racing siblings stop within one pass.
+    fn deadline_expired(&mut self) -> bool {
+        let Some(deadline) = self.cfg.deadline else {
+            return false;
+        };
+        if std::time::Instant::now() < deadline {
+            return false;
+        }
+        if let Some(flag) = &self.cfg.cancel {
+            flag.store(true, Ordering::Relaxed);
+        }
+        self.cancelled = true;
+        true
+    }
+
     fn run(&mut self) -> (Outcome, Option<RawAssignment>) {
+        if self.deadline_expired() {
+            return (Outcome::Unknown, None);
+        }
         // Top-level units and empty clauses.
         for ci in 0..self.num_original_clauses {
             let cl = &self.clauses[ci];
@@ -878,6 +914,11 @@ impl<'a> Search<'a> {
                     return None;
                 }
             }
+            if self.passes & DEADLINE_POLL_MASK == 0 && self.deadline_expired() {
+                self.queue.clear();
+                return None;
+            }
+            self.passes += 1;
             while let Some((lit, reason)) = self.queue.pop_front() {
                 match self.value(lit) {
                     Some(true) => continue,
@@ -1394,5 +1435,62 @@ mod tests {
             assert!(matches!(outcome, Outcome::Unknown | Outcome::Unsat));
             setter.join().unwrap();
         });
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_search() {
+        use std::time::{Duration, Instant};
+        let m = pigeonhole(10, 9);
+        let flat = flatten(&m);
+        let cfg = SolverConfig {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (outcome, _, stats) = solve_flat(&flat, &cfg, &[]);
+        assert_eq!(outcome, Outcome::Unknown);
+        assert_eq!(stats.decisions, 0, "no search past an expired deadline");
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deadline_interrupts_search_promptly() {
+        use std::time::{Duration, Instant};
+        // Hard enough to outlast a 20 ms deadline by orders of magnitude.
+        let m = pigeonhole(12, 11);
+        let flat = flatten(&m);
+        let cfg = SolverConfig {
+            deadline: Some(Instant::now() + Duration::from_millis(20)),
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let (outcome, _, _) = solve_flat(&flat, &cfg, &[]);
+        assert!(matches!(outcome, Outcome::Unknown | Outcome::Unsat));
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "deadline was not observed promptly: {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_expiry_broadcasts_into_cancel_flag() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let m = pigeonhole(10, 9);
+        let flat = flatten(&m);
+        let flag = Arc::new(AtomicBool::new(false));
+        let cfg = SolverConfig {
+            cancel: Some(flag.clone()),
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let (outcome, _, _) = solve_flat(&flat, &cfg, &[]);
+        assert_eq!(outcome, Outcome::Unknown);
+        assert!(
+            flag.load(Ordering::Relaxed),
+            "expiry must cancel portfolio siblings via the shared flag"
+        );
     }
 }

@@ -89,15 +89,61 @@ pub fn solve_with_strategy(
     hints: &[(lyra_solver::BoolId, bool)],
     strategy: SolverStrategy,
 ) -> (Outcome, SearchStats) {
+    solve_with_limits(
+        model,
+        objective,
+        backend,
+        hints,
+        strategy,
+        &SolveLimits::default(),
+    )
+}
+
+/// Resource limits on one solve — the watchdog's knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveLimits {
+    /// Wall-clock deadline; on expiry the search winds down with
+    /// [`Outcome::Unknown`] (never a wrong verdict).
+    pub deadline: Option<std::time::Instant>,
+    /// Decision budget override (`None` keeps the solver default).
+    pub max_decisions: Option<u64>,
+    /// Restart aggressively (short interval, slow activity decay) — the
+    /// configuration the degradation ladder uses for its sequential retry,
+    /// which tends to find *a* model quickly at the cost of proof power.
+    pub aggressive_restarts: bool,
+}
+
+/// [`solve_with_strategy`] under explicit [`SolveLimits`].
+///
+/// A minimization that times out after finding at least one model returns
+/// that model as [`Outcome::Sat`] — possibly non-optimal, which is exactly
+/// the degraded-result contract. A minimization that times out before any
+/// model returns [`Outcome::Unknown`], not `Unsat`: expiry proves nothing.
+pub fn solve_with_limits(
+    model: &Model,
+    objective: Option<&Ix>,
+    backend: &Backend,
+    hints: &[(lyra_solver::BoolId, bool)],
+    strategy: SolverStrategy,
+    limits: &SolveLimits,
+) -> (Outcome, SearchStats) {
     match backend {
         Backend::Native => {
-            let cfg = SolverConfig {
+            let mut cfg = SolverConfig {
                 phase_hints: hints
                     .iter()
                     .map(|&(id, v)| (id.index() as u32, v))
                     .collect(),
+                deadline: limits.deadline,
                 ..Default::default()
             };
+            if let Some(d) = limits.max_decisions {
+                cfg.max_decisions = d;
+            }
+            if limits.aggressive_restarts {
+                cfg.restart_interval = 32;
+                cfg.activity_decay = 0.99;
+            }
             let workers = strategy.effective_workers();
             match objective {
                 None if workers <= 1 => {
@@ -117,12 +163,24 @@ pub fn solve_with_strategy(
                     };
                     let outcome = match res {
                         Some((sol, _)) => Outcome::Sat(sol),
+                        // `None` is a refutation only if no limit could
+                        // have truncated the search.
+                        None if limits.expired() => Outcome::Unknown,
                         None => Outcome::Unsat,
                     };
                     (outcome, stats)
                 }
             }
         }
+    }
+}
+
+impl SolveLimits {
+    /// Has the wall-clock deadline passed? (Used to keep a truncated
+    /// minimization from being misread as a refutation.)
+    fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 }
 

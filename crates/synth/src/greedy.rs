@@ -1,0 +1,203 @@
+//! Greedy first-fit placement — the last rung of the degradation ladder.
+//!
+//! When the solver cannot reach a verdict inside its deadline, the compile
+//! must still answer. This module fabricates a placement *without search*:
+//! every MULTI-SW algorithm is hosted whole on the first switch of each
+//! flow path that fits a coarse capacity model (SRAM blocks and table
+//! slots), and PER-SW algorithms go everywhere their scope demands, as the
+//! encoding would force anyway.
+//!
+//! The result is deliberately conservative rather than optimal: no
+//! cross-switch splitting, no extern sharding, no objective optimization.
+//! It respects the constraint families a whole-algorithm-per-switch
+//! placement can violate — path coverage, instruction co-location with its
+//! dependencies (trivially, everything is co-located), and coarse memory /
+//! table capacity — but does *not* re-check fine-grained stage layout; the
+//! caller marks the output [`DegradeRung::GreedyFirstFit`](crate::DegradeRung)
+//! so downstream consumers know a solver-verified placement was not
+//! obtained.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lyra_chips::ChipModel;
+use lyra_diag::{codes, Diagnostic};
+use lyra_ir::{InstrId, IrProgram};
+use lyra_lang::DeployMode;
+use lyra_solver::Solution;
+use lyra_topo::{SwitchId, Topology};
+
+use crate::encode::Encoded;
+
+/// Remaining coarse capacity of one switch.
+struct SwitchBudget<'a> {
+    chip: &'a ChipModel,
+    sram_blocks_left: u64,
+    tables_left: u64,
+}
+
+/// The coarse per-switch cost of hosting one whole algorithm.
+struct AlgCost {
+    sram_blocks: u64,
+    tables: u64,
+}
+
+/// Externs each algorithm reads, from the IR.
+fn externs_of(ir: &IrProgram, alg: &str) -> Vec<String> {
+    let mut set = BTreeSet::new();
+    if let Some(a) = ir.algorithm(alg) {
+        for i in 0..a.instrs.len() {
+            if let Some(t) = a.instr(InstrId(i as u32)).op.table() {
+                set.insert(t.to_string());
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Cost of hosting `alg` whole on the switch owning `chip`.
+fn alg_cost(enc: &Encoded, ir: &IrProgram, alg: &str, sw: SwitchId, chip: &ChipModel) -> AlgCost {
+    let mut sram_blocks = 0u64;
+    for e in externs_of(ir, alg) {
+        if let Some(x) = ir.externs.get(&e) {
+            let width = (x.key_width() + x.value_width()) as u64;
+            sram_blocks += chip.table_blocks(x.size, width.max(1)).max(1);
+        }
+    }
+    let tables = enc
+        .units
+        .iter()
+        .find(|u| u.alg == alg && u.switch == sw)
+        .map(|u| u.group.tables.len() as u64)
+        .unwrap_or(1);
+    AlgCost {
+        sram_blocks,
+        tables,
+    }
+}
+
+/// Compute a first-fit placement and express it as a raw [`Solution`] over
+/// the encoded model's variables, so [`crate::place::extract`] can be
+/// reused unchanged. Returns diagnostics when some flow path has no switch
+/// with enough coarse capacity to host its algorithm whole.
+pub fn greedy_solution(
+    enc: &Encoded,
+    ir: &IrProgram,
+    topo: &Topology,
+) -> Result<Solution, Vec<Diagnostic>> {
+    // Per-algorithm programmable switch sets, from the encoding's own
+    // variable table (only programmable switches got deployment variables).
+    let mut prog_switches: BTreeMap<&str, BTreeSet<SwitchId>> = BTreeMap::new();
+    for (alg, sw, _) in enc.instr_var.keys() {
+        prog_switches.entry(alg).or_default().insert(*sw);
+    }
+    let chips: BTreeMap<SwitchId, &ChipModel> =
+        enc.units.iter().map(|u| (u.switch, &u.chip)).collect();
+    let mut budgets: BTreeMap<SwitchId, SwitchBudget> = chips
+        .iter()
+        .map(|(&sw, &chip)| {
+            (
+                sw,
+                SwitchBudget {
+                    chip,
+                    sram_blocks_left: chip.total_sram_blocks(),
+                    tables_left: (chip.stages * chip.max_tables_per_stage) as u64,
+                },
+            )
+        })
+        .collect();
+
+    // hosts[alg] = switches that carry the whole algorithm.
+    let mut hosts: BTreeMap<String, BTreeSet<SwitchId>> = BTreeMap::new();
+    let mut diagnostics = Vec::new();
+
+    let charge =
+        |budgets: &mut BTreeMap<SwitchId, SwitchBudget>, alg: &str, sw: SwitchId| -> bool {
+            let Some(b) = budgets.get_mut(&sw) else {
+                return false;
+            };
+            let cost = alg_cost(enc, ir, alg, sw, b.chip);
+            if cost.sram_blocks > b.sram_blocks_left || cost.tables > b.tables_left {
+                return false;
+            }
+            b.sram_blocks_left -= cost.sram_blocks;
+            b.tables_left -= cost.tables;
+            true
+        };
+
+    for (alg, scope) in &enc.scopes {
+        let alg_hosts = hosts.entry(alg.clone()).or_default();
+        match scope.deploy {
+            DeployMode::PerSwitch => {
+                // The encoding forces every scope switch to carry the whole
+                // algorithm; mirror that, and report (rather than mask) a
+                // coarse capacity overflow.
+                for &sw in prog_switches.get(alg.as_str()).into_iter().flatten() {
+                    if !charge(&mut budgets, alg, sw) {
+                        diagnostics.push(Diagnostic::error(
+                            codes::INFEASIBLE_MEMORY,
+                            format!(
+                                "greedy fallback: `{alg}` does not fit switch `{}`",
+                                topo.switch(sw).name
+                            ),
+                        ));
+                    }
+                    alg_hosts.insert(sw);
+                }
+            }
+            DeployMode::MultiSwitch => {
+                for path in &scope.paths {
+                    if path.iter().any(|s| alg_hosts.contains(s)) {
+                        continue; // an earlier host already covers this path
+                    }
+                    let placed = path.iter().copied().find(|&sw| {
+                        prog_switches
+                            .get(alg.as_str())
+                            .is_some_and(|p| p.contains(&sw))
+                            && charge(&mut budgets, alg, sw)
+                    });
+                    match placed {
+                        Some(sw) => {
+                            alg_hosts.insert(sw);
+                        }
+                        None => diagnostics.push(Diagnostic::error(
+                            codes::INFEASIBLE_MEMORY,
+                            format!(
+                                "greedy fallback: no switch on path {} can host `{alg}` whole",
+                                path.iter()
+                                    .map(|&s| topo.switch(s).name.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join("->")
+                            ),
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    if !diagnostics.is_empty() {
+        return Err(diagnostics);
+    }
+
+    // Express the assignment over the model's variables.
+    let mut bools = vec![false; enc.model.num_bools()];
+    let mut ints = vec![0i64; enc.model.num_ints()];
+    for ((alg, sw, _), var) in &enc.instr_var {
+        if hosts.get(alg).is_some_and(|h| h.contains(sw)) {
+            bools[var.index()] = true;
+        }
+    }
+    for ((e, sw), var) in &enc.extern_var {
+        let hosted = hosts
+            .iter()
+            .any(|(alg, h)| h.contains(sw) && externs_of(ir, alg).iter().any(|x| x == e));
+        if hosted {
+            ints[var.index()] = ir.externs.get(e).map(|x| x.size as i64).unwrap_or(1024);
+        }
+    }
+    for (sw, var) in &enc.switch_used {
+        if hosts.values().any(|h| h.contains(sw)) {
+            bools[var.index()] = true;
+        }
+    }
+    Ok(Solution::from_parts(bools, ints))
+}

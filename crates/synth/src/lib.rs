@@ -23,6 +23,7 @@
 pub mod backend;
 pub mod encode;
 pub mod explain;
+pub mod greedy;
 pub mod npl;
 pub mod p4;
 pub mod parser_deps;
@@ -30,7 +31,7 @@ pub mod place;
 pub mod table;
 pub mod util;
 
-pub use backend::{Backend, SolverStrategy};
+pub use backend::{Backend, SolveLimits, SolverStrategy};
 pub use encode::{encode, EncodeError, EncodeOptions, Encoded, Objective, SynthUnit};
 pub use explain::explain_infeasible;
 pub use p4::P4Options;
@@ -121,6 +122,31 @@ impl std::error::Error for SynthError {
     }
 }
 
+/// Which rung of the degradation ladder produced a result, when the
+/// requested strategy could not reach a verdict inside its limits.
+/// Absent (`None` on [`SynthResult::degraded`]) for a normal solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeRung {
+    /// The portfolio (or the configured strategy) timed out; a sequential
+    /// search with aggressive restarts found the placement during the
+    /// grace window. The placement satisfies every constraint but skipped
+    /// objective optimization guarantees.
+    SequentialRestarts,
+    /// All search rungs timed out; the placement came from greedy
+    /// first-fit ([`greedy::greedy_solution`]) — whole algorithms on
+    /// first-fitting path switches, checked against coarse capacity only.
+    GreedyFirstFit,
+}
+
+impl std::fmt::Display for DegradeRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeRung::SequentialRestarts => write!(f, "sequential-restarts"),
+            DegradeRung::GreedyFirstFit => write!(f, "greedy-first-fit"),
+        }
+    }
+}
+
 /// Result of a successful synthesis run.
 #[derive(Debug)]
 pub struct SynthResult {
@@ -130,6 +156,9 @@ pub struct SynthResult {
     pub encoded: Encoded,
     /// Solver search statistics for this run.
     pub stats: SearchStats,
+    /// Which degradation-ladder rung produced this result; `None` when the
+    /// requested strategy solved within its limits.
+    pub degraded: Option<DegradeRung>,
 }
 
 /// Run the full back-end: synthesize conditional implementations, encode,
@@ -178,6 +207,67 @@ pub fn synthesize_full(
     strategy: SolverStrategy,
     previous: Option<&Placement>,
 ) -> Result<SynthResult, SynthError> {
+    synthesize_limited(
+        ir,
+        topo,
+        scopes,
+        opts,
+        backend,
+        strategy,
+        previous,
+        &SynthLimits::default(),
+    )
+}
+
+/// Watchdog limits on a synthesis run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthLimits {
+    /// Wall-clock deadline for the *requested* strategy. Expiry does not
+    /// fail the compile: the degradation ladder runs instead.
+    pub deadline: Option<std::time::Instant>,
+    /// Decision budget per search (overrides the solver default).
+    pub max_decisions: Option<u64>,
+    /// Extra wall-clock granted to the sequential-restarts rung after the
+    /// main deadline expires. Zero with a set deadline means any expiry
+    /// falls straight through to greedy first-fit.
+    pub grace: std::time::Duration,
+}
+
+impl SynthLimits {
+    /// True when no limit is configured — the ladder never triggers and
+    /// budget exhaustion surfaces as [`SynthError::BudgetExhausted`],
+    /// preserving the historical contract.
+    fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_decisions.is_none()
+    }
+}
+
+/// [`synthesize_full`] under [`SynthLimits`], with graceful degradation.
+///
+/// The program is encoded **once**; on [`Outcome::Unknown`] from the
+/// requested strategy the ladder walks down on the same model:
+///
+/// 1. the requested strategy (portfolio by default) under the deadline;
+/// 2. one sequential search with aggressive restarts, given `grace` extra
+///    wall-clock — fast at finding *a* model, no optimality;
+/// 3. greedy first-fit placement (no search at all).
+///
+/// A result produced by rung 2 or 3 carries [`SynthResult::degraded`] so
+/// the driver can surface a degraded-result diagnostic. `Unsat` at rung 1
+/// or 2 is a genuine refutation and still fails with
+/// [`SynthError::Infeasible`]; only when every rung is exhausted does the
+/// compile fail with [`SynthError::BudgetExhausted`].
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_limited(
+    ir: &IrProgram,
+    topo: &Topology,
+    scopes: &[ResolvedScope],
+    opts: &EncodeOptions,
+    backend: &Backend,
+    strategy: SolverStrategy,
+    previous: Option<&Placement>,
+    limits: &SynthLimits,
+) -> Result<SynthResult, SynthError> {
     let enc = encode(ir, topo, scopes, opts).map_err(SynthError::Encode)?;
     let hints: Vec<(lyra_solver::BoolId, bool)> = match previous {
         Some(prev) => enc
@@ -196,27 +286,82 @@ pub fn synthesize_full(
             .collect(),
         None => Vec::new(),
     };
-    let (outcome, stats) = backend::solve_with_strategy(
+
+    // Rung 1: the requested strategy under the configured limits.
+    let mut total = SearchStats::default();
+    let (outcome, stats) = backend::solve_with_limits(
         &enc.model,
         enc.objective.as_ref(),
         backend,
         &hints,
         strategy,
+        &backend::SolveLimits {
+            deadline: limits.deadline,
+            max_decisions: limits.max_decisions,
+            aggressive_restarts: false,
+        },
     );
+    total.absorb(stats);
+    let finish = |enc: Encoded, sol, total, degraded| {
+        let placement = place::extract(&enc, ir, topo, &sol);
+        Ok(SynthResult {
+            placement,
+            encoded: enc,
+            stats: total,
+            degraded,
+        })
+    };
     match outcome {
-        Outcome::Sat(sol) => {
-            let placement = place::extract(&enc, ir, topo, &sol);
-            Ok(SynthResult {
-                placement,
-                encoded: enc,
-                stats,
+        Outcome::Sat(sol) => return finish(enc, sol, total, None),
+        Outcome::Unsat => {
+            return Err(SynthError::Infeasible {
+                diagnostics: explain::explain_infeasible(&enc, ir, topo, opts),
+                stats: total,
             })
         }
-        Outcome::Unsat => Err(SynthError::Infeasible {
-            diagnostics: explain::explain_infeasible(&enc, ir, topo, opts),
-            stats,
-        }),
-        Outcome::Unknown => Err(SynthError::BudgetExhausted { stats }),
+        Outcome::Unknown if limits.is_unlimited() => {
+            // No limit was set, so Unknown means the solver's own decision
+            // budget ran out — the historical failure, not a ladder case.
+            return Err(SynthError::BudgetExhausted { stats: total });
+        }
+        Outcome::Unknown => {}
+    }
+
+    // Rung 2: sequential, aggressive restarts, grace window.
+    if !limits.grace.is_zero() {
+        let (outcome, stats) = backend::solve_with_limits(
+            &enc.model,
+            enc.objective.as_ref(),
+            backend,
+            &hints,
+            SolverStrategy::Sequential,
+            &backend::SolveLimits {
+                deadline: Some(std::time::Instant::now() + limits.grace),
+                max_decisions: None,
+                aggressive_restarts: true,
+            },
+        );
+        total.absorb(stats);
+        match outcome {
+            Outcome::Sat(sol) => {
+                return finish(enc, sol, total, Some(DegradeRung::SequentialRestarts))
+            }
+            Outcome::Unsat => {
+                return Err(SynthError::Infeasible {
+                    diagnostics: explain::explain_infeasible(&enc, ir, topo, opts),
+                    stats: total,
+                })
+            }
+            Outcome::Unknown => {}
+        }
+    }
+
+    // Rung 3: no search at all.
+    match greedy::greedy_solution(&enc, ir, topo) {
+        Ok(sol) => finish(enc, sol, total, Some(DegradeRung::GreedyFirstFit)),
+        // Greedy failing is not a refutation — a real solver run might
+        // still succeed by splitting algorithms — so report exhaustion.
+        Err(_) => Err(SynthError::BudgetExhausted { stats: total }),
     }
 }
 
@@ -389,6 +534,95 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SynthError::Encode(_)));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_greedy() {
+        let (ir, topo, scopes) = lb_setup();
+        let limits = SynthLimits {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            max_decisions: None,
+            grace: std::time::Duration::ZERO,
+        };
+        let res = synthesize_limited(
+            &ir,
+            &topo,
+            &scopes,
+            &EncodeOptions::default(),
+            &Backend::Native,
+            SolverStrategy::Sequential,
+            None,
+            &limits,
+        )
+        .expect("ladder must produce a degraded placement, not fail");
+        assert_eq!(res.degraded, Some(DegradeRung::GreedyFirstFit));
+        // The greedy placement still covers every flow path's extern needs.
+        let total_conn: u64 = res
+            .placement
+            .switches
+            .values()
+            .filter_map(|p| p.extern_entries.get("conn_table"))
+            .sum();
+        assert!(total_conn >= 1024, "conn_table entries: {total_conn}");
+        assert!(res.placement.used_switches() >= 1);
+    }
+
+    #[test]
+    fn grace_window_runs_sequential_restarts_rung() {
+        let (ir, topo, scopes) = lb_setup();
+        let limits = SynthLimits {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            max_decisions: None,
+            grace: std::time::Duration::from_secs(30),
+        };
+        let res = synthesize_limited(
+            &ir,
+            &topo,
+            &scopes,
+            &EncodeOptions::default(),
+            &Backend::Native,
+            SolverStrategy::Sequential,
+            None,
+            &limits,
+        )
+        .expect("grace window is ample for the small LB model");
+        // The small LB model solves well inside the grace window, so the
+        // ladder stops at the sequential-restarts rung with a placement
+        // that satisfies the full constraint model.
+        assert_eq!(res.degraded, Some(DegradeRung::SequentialRestarts));
+    }
+
+    #[test]
+    fn unlimited_synthesis_is_undegraded() {
+        let (ir, topo, scopes) = lb_setup();
+        let res = synthesize(
+            &ir,
+            &topo,
+            &scopes,
+            &EncodeOptions::default(),
+            &Backend::Native,
+        )
+        .unwrap();
+        assert_eq!(res.degraded, None);
+    }
+
+    #[test]
+    fn greedy_solution_satisfies_placement_shape() {
+        let (ir, topo, scopes) = lb_setup();
+        let enc = encode(&ir, &topo, &scopes, &EncodeOptions::default()).unwrap();
+        let sol = greedy::greedy_solution(&enc, &ir, &topo).unwrap();
+        let placement = place::extract(&enc, &ir, &topo, &sol);
+        // Whole-algorithm hosting: each hosting switch carries every
+        // instruction of the algorithm.
+        let n_instrs = ir.algorithm("loadbalancer").unwrap().instrs.len();
+        for plan in placement.switches.values() {
+            if let Some(is) = plan.instrs.get("loadbalancer") {
+                assert_eq!(is.len(), n_instrs, "greedy never splits an algorithm");
+            }
+        }
+        // Both Agg->ToR path families are covered (Agg3 and Agg4 are the
+        // first programmable hops of their respective paths).
+        assert!(placement.used_switches() >= 1);
     }
 
     #[test]

@@ -9,14 +9,16 @@
 //! fat-tree pods used in the Figure 10 scalability experiment.
 
 pub mod builders;
+pub mod fault;
 pub mod parse;
 pub mod paths;
 pub mod scope;
 
 pub use builders::*;
+pub use fault::{scope_health, DegradeReport, FaultSet, ScopeHealth};
 pub use parse::{parse_topology, print_topology, TopologyParseError};
 pub use paths::enumerate_paths;
-pub use scope::{resolve_scope, ResolvedScope, ScopeResolutionError};
+pub use scope::{resolve_scope, resolve_scope_degraded, ResolvedScope, ScopeResolutionError};
 
 /// Index of a switch within a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -132,10 +132,58 @@ pub fn resolve_scope(
     })
 }
 
+/// Bind `spec` to a *degraded* topology, tolerating direction endpoints
+/// that the fault removed. Where [`resolve_scope`] rejects a MULTI-SW
+/// direction naming any switch absent from the topology
+/// (`SCOPE_UNKNOWN_SWITCH`), a failover recompile must accept the same
+/// scope text against a network that just lost switches: dead endpoints
+/// are silently dropped from the `from`/`to` lists, and only when *all*
+/// ingress or *all* egress endpoints are gone does resolution fail (with
+/// the usual no-path error, since no traffic can traverse the scope).
+///
+/// Scope-region wildcards already tolerate missing switches (they match
+/// whatever exists), so PER-SW scopes behave identically under both entry
+/// points.
+pub fn resolve_scope_degraded(
+    topo: &Topology,
+    spec: &ScopeSpec,
+) -> Result<ResolvedScope, ScopeResolutionError> {
+    match spec.deploy {
+        DeployMode::PerSwitch => resolve_scope(topo, spec),
+        DeployMode::MultiSwitch => {
+            let Some(direct) = spec.direct.as_ref() else {
+                return resolve_scope(topo, spec); // surfaces SCOPE_SYNTAX
+            };
+            let keep = |ns: &[String]| -> Vec<String> {
+                ns.iter()
+                    .filter(|n| topo.find(n).is_some())
+                    .cloned()
+                    .collect()
+            };
+            let (from, to) = (keep(&direct.from), keep(&direct.to));
+            if from.is_empty() || to.is_empty() {
+                return Err(ScopeResolutionError {
+                    message: format!(
+                        "no flow path exists through the scope of `{}` (all {} endpoints failed)",
+                        spec.algorithm,
+                        if from.is_empty() { "ingress" } else { "egress" },
+                    ),
+                    code: codes::SCOPE_NO_PATH,
+                    span: Some(spec.span),
+                });
+            }
+            let mut narrowed = spec.clone();
+            narrowed.direct = Some(lyra_lang::Direction { from, to });
+            resolve_scope(topo, &narrowed)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builders::figure1_network;
+    use crate::FaultSet;
     use lyra_lang::parse_scopes;
 
     #[test]
@@ -189,5 +237,47 @@ mod tests {
         let scopes = parse_scopes("lb: [ Agg1,ToR3 | MULTI-SW | (Agg1->ToR3) ]").unwrap();
         let err = resolve_scope(&topo, &scopes[0]).unwrap_err();
         assert!(err.message.contains("no flow path"));
+    }
+
+    #[test]
+    fn degraded_resolution_drops_dead_direction_endpoints() {
+        let topo = figure1_network();
+        let degraded = topo.degrade(&FaultSet::new().with_switch("Agg3")).topology;
+        let scopes =
+            parse_scopes("lb: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
+                .unwrap();
+        // Strict resolution rejects the now-unknown `Agg3` endpoint…
+        let err = resolve_scope(&degraded, &scopes[0]).unwrap_err();
+        assert_eq!(err.code, codes::SCOPE_UNKNOWN_SWITCH);
+        // …while the degraded entry point narrows the direction and succeeds.
+        let resolved = resolve_scope_degraded(&degraded, &scopes[0]).unwrap();
+        assert_eq!(resolved.switches.len(), 3);
+        assert_eq!(resolved.paths.len(), 2); // Agg4→ToR3, Agg4→ToR4
+    }
+
+    #[test]
+    fn degraded_resolution_fails_when_all_ingress_dead() {
+        let topo = figure1_network();
+        let degraded = topo
+            .degrade(&FaultSet::new().with_switch("Agg3").with_switch("Agg4"))
+            .topology;
+        let scopes =
+            parse_scopes("lb: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
+                .unwrap();
+        let err = resolve_scope_degraded(&degraded, &scopes[0]).unwrap_err();
+        assert_eq!(err.code, codes::SCOPE_NO_PATH);
+        assert!(err.message.contains("ingress"));
+    }
+
+    #[test]
+    fn degraded_resolution_matches_strict_on_healthy_topology() {
+        let topo = figure1_network();
+        let scopes =
+            parse_scopes("lb: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]")
+                .unwrap();
+        assert_eq!(
+            resolve_scope(&topo, &scopes[0]).unwrap(),
+            resolve_scope_degraded(&topo, &scopes[0]).unwrap()
+        );
     }
 }

@@ -1,0 +1,300 @@
+//! Fault-injection property harness.
+//!
+//! Random *survivable* fault scenarios (switch and link failures that
+//! leave the load-balancer scope with at least one working flow path) are
+//! injected into a compiled deployment two ways, and both must preserve
+//! packet semantics against the IR reference interpreter:
+//!
+//! * **failover recompilation** — `Compiler::recompile_for_faults`
+//!   produces a new placement on the survivors; every surviving flow path
+//!   must forward exactly like the unsplit reference algorithm running
+//!   against the full logical table;
+//! * **runtime failure** — `Runtime::fail_switch` / `fail_link` re-sync
+//!   entries onto surviving shards; surviving paths must keep hitting.
+//!
+//! Randomness comes from a seeded xorshift generator (the workspace builds
+//! offline with no external crates), so every run explores the identical
+//! scenario set and failures reproduce from the printed scenario index.
+//!
+//! The file also carries the solver-watchdog acceptance test: a 1 ms
+//! deadline on the k = 16 LB MULTI-SW case (the hardest Figure 10 pod)
+//! must return promptly with a `LYR0550` degraded-result warning instead
+//! of hanging or failing.
+
+use std::time::{Duration, Instant};
+
+use lyra::{CompileRequest, Compiler, Runtime, SolverStrategy};
+use lyra_ir::{execute_all, DataPlaneState, Effect, PacketState};
+use lyra_lang::parse_scopes;
+use lyra_topo::{fat_tree_pod, figure1_network, resolve_scope, scope_health, FaultSet};
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const LB: &str = r#"
+    pipeline[LB]{loadbalancer};
+    algorithm loadbalancer {
+        extern dict<bit[32] h, bit[32] ip>[1024] conn_table;
+        if (flow_h in conn_table) {
+            ipv4.dstAddr = conn_table[flow_h];
+        } else {
+            copy_to_cpu();
+        }
+    }
+"#;
+const LB_SCOPES: &str = "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+
+/// Scope switches and links a scenario may fail.
+const SWITCH_POOL: [&str; 4] = ["Agg3", "Agg4", "ToR3", "ToR4"];
+const LINK_POOL: [(&str, &str); 4] = [
+    ("Agg3", "ToR3"),
+    ("Agg3", "ToR4"),
+    ("Agg4", "ToR3"),
+    ("Agg4", "ToR4"),
+];
+
+/// Draw a random fault set over the LB scope, retrying until the scope
+/// survives it (at least one Agg→ToR path fully alive).
+fn survivable_faults(rng: &mut Rng) -> FaultSet {
+    let topo = figure1_network();
+    let spec = &parse_scopes(LB_SCOPES).unwrap()[0];
+    let resolved = resolve_scope(&topo, spec).unwrap();
+    loop {
+        let mut faults = FaultSet::new();
+        for sw in SWITCH_POOL {
+            if rng.below(4) == 0 {
+                faults.add_switch(sw);
+            }
+        }
+        for (a, b) in LINK_POOL {
+            if rng.below(4) == 0 {
+                faults.add_link(a, b);
+            }
+        }
+        if scope_health(&topo, &resolved, &faults).survivable() {
+            return faults;
+        }
+    }
+}
+
+/// Reference semantics: the unsplit algorithm against the full table.
+fn reference(ir: &lyra_ir::IrProgram, entries: &[(u64, u64)], flow_h: u64) -> (u64, Vec<Effect>) {
+    let alg = ir.algorithm("loadbalancer").unwrap();
+    let mut dp = DataPlaneState::new();
+    for &(k, v) in entries {
+        dp.install("conn_table", k, v);
+    }
+    let mut pkt = PacketState::new();
+    pkt.set("flow_h", flow_h);
+    pkt.set("ipv4.dstAddr", 0xdead);
+    let effects = execute_all(alg, &mut pkt, &mut dp);
+    (pkt.get("ipv4.dstAddr"), effects)
+}
+
+/// Check every surviving flow path of `rt` against the reference for the
+/// given packets. Paths with no surviving shard of the table are skipped —
+/// install() never covers them, exactly like a real control plane.
+fn check_paths(
+    rt: &mut Runtime,
+    out: &lyra::CompileOutput,
+    faults: &FaultSet,
+    entries: &[(u64, u64)],
+    probes: &[u64],
+    scenario: usize,
+) {
+    let (flow_paths, placement, ir) = (&out.flow_paths, &out.placement, &out.ir);
+    let holders: Vec<&String> = placement
+        .switches
+        .iter()
+        .filter(|(n, p)| p.extern_entries.contains_key("conn_table") && !faults.switch_failed(n))
+        .map(|(n, _)| n)
+        .collect();
+    for path in flow_paths.values().flatten() {
+        if !faults.path_survives(path) {
+            continue;
+        }
+        if !path.iter().any(|sw| holders.contains(&sw)) {
+            continue;
+        }
+        let hops: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+        for &flow_h in probes {
+            let (want_dst, want_effects) = reference(ir, entries, flow_h);
+            let mut pkt = PacketState::new();
+            pkt.set("flow_h", flow_h);
+            pkt.set("ipv4.dstAddr", 0xdead);
+            let (end, effects) = rt
+                .inject(&hops, pkt)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: inject on {path:?}: {e}"));
+            assert_eq!(
+                end.get("ipv4.dstAddr"),
+                want_dst,
+                "scenario {scenario}: path {path:?} flow_h={flow_h} diverged from reference"
+            );
+            assert_eq!(
+                effects.len(),
+                want_effects.len(),
+                "scenario {scenario}: path {path:?} flow_h={flow_h} effects diverged: \
+                 {effects:?} vs {want_effects:?}"
+            );
+        }
+    }
+}
+
+/// ≥200 random survivable fault scenarios, each differentially checked:
+/// recompile onto the survivors, install random entries, and compare every
+/// surviving flow path against the reference interpreter.
+#[test]
+fn failover_recompilation_preserves_semantics_across_200_scenarios() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let prior = compiler.compile(&req).expect("healthy compile");
+    let mut rng = Rng::new(0xfau64 * 0x1_0001);
+
+    let mut checked = 0usize;
+    for scenario in 0..200 {
+        let faults = survivable_faults(&mut rng);
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap_or_else(|e| panic!("scenario {scenario}: survivable faults {faults:?}: {e}"));
+        // The new placement never touches a dead switch.
+        for dead in faults.failed_switches() {
+            assert!(
+                !r.output.placement.switches.contains_key(dead),
+                "scenario {scenario}: placement uses failed switch {dead}"
+            );
+        }
+        // Install random entries through the runtime and probe random keys
+        // (some hit, some miss) on every surviving path.
+        let mut rt = Runtime::new(&r.output);
+        let n = 1 + rng.below(8);
+        let entries: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.below(64), 1 + rng.below(1 << 24)))
+            .collect();
+        let mut installed: Vec<(u64, u64)> = Vec::new();
+        for &(k, v) in &entries {
+            if installed.iter().any(|&(ik, _)| ik == k) {
+                continue; // duplicate key: the first value wins, as in a real table
+            }
+            rt.install("conn_table", k, v)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: install: {e}"));
+            installed.push((k, v));
+        }
+        let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+        check_paths(&mut rt, &r.output, &faults, &installed, &probes, scenario);
+        checked += 1;
+    }
+    assert!(checked >= 200, "ran only {checked} scenarios");
+}
+
+/// The same scenarios injected at runtime (shards die live, entries
+/// re-sync onto survivors) instead of through recompilation.
+#[test]
+fn runtime_fault_injection_resyncs_and_preserves_semantics() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let out = compiler.compile(&req).expect("healthy compile");
+    let mut rng = Rng::new(0xc0ffee);
+
+    for scenario in 0..100 {
+        let faults = survivable_faults(&mut rng);
+        let mut rt = Runtime::new(&out);
+        let n = 1 + rng.below(8);
+        let mut installed: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..n {
+            let (k, v) = (rng.below(64), 1 + rng.below(1 << 24));
+            if installed.iter().any(|&(ik, _)| ik == k) {
+                continue;
+            }
+            rt.install("conn_table", k, v)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: install: {e}"));
+            installed.push((k, v));
+        }
+        // Fail the scenario's elements live; re-sync must succeed because
+        // the scope survives and capacity (1024 per shard) is ample.
+        for sw in faults.failed_switches() {
+            rt.fail_switch(sw)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: fail_switch({sw}): {e}"));
+        }
+        for (a, b) in faults.failed_links() {
+            rt.fail_link(a, b)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: fail_link({a},{b}): {e}"));
+        }
+        // Dead paths refuse traffic.
+        for path in out.flow_paths.values().flatten() {
+            if faults.path_survives(path) {
+                continue;
+            }
+            let hops: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+            let mut pkt = PacketState::new();
+            pkt.set("flow_h", 1);
+            assert!(
+                rt.inject(&hops, pkt).is_err(),
+                "scenario {scenario}: dead path {path:?} accepted a packet"
+            );
+        }
+        let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+        check_paths(&mut rt, &out, &faults, &installed, &probes, scenario);
+    }
+}
+
+/// Watchdog acceptance: a 1 ms deadline on the hardest Figure 10 pod
+/// (k = 16, LB MULTI-SW) must come back promptly via the degradation
+/// ladder — `LYR0550` names the rung — rather than hang for the full
+/// solve or fail.
+#[test]
+fn one_ms_deadline_on_k16_lb_returns_promptly_and_degraded() {
+    let k = 16;
+    let topo = fat_tree_pod(k, "tofino-32q", "trident4");
+    let aggs: Vec<String> = (1..=k / 2).map(|i| format!("Agg{i}")).collect();
+    let tors: Vec<String> = (1..=k / 2).map(|i| format!("ToR{i}")).collect();
+    let scopes = format!(
+        "loadbalancer: [ ToR*,Agg* | MULTI-SW | ({}->{}) ]",
+        aggs.join(","),
+        tors.join(",")
+    );
+    let req = CompileRequest::new(LB, &scopes, topo).with_deadline(Duration::from_millis(1));
+
+    let t = Instant::now();
+    let out = Compiler::new().compile(&req).expect("ladder must not fail");
+    let elapsed = t.elapsed();
+
+    let rung = out
+        .degraded
+        .expect("a 1 ms deadline cannot be met by a real solve");
+    let warning = out
+        .warnings
+        .iter()
+        .find(|w| w.code == Some(lyra_diag::codes::DEGRADED))
+        .expect("degraded output must carry the LYR0550 warning");
+    assert!(
+        warning.message.contains(&rung.to_string()),
+        "warning must name the rung: {warning:?}"
+    );
+    // Release builds come back in ~100 ms (40 ms grace + greedy/codegen);
+    // allow debug-build slack but still catch a hang or a full solve.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "watchdog did not bound the compile: {elapsed:?}"
+    );
+}
