@@ -6,20 +6,25 @@
 //!
 //! * `BENCH_fig10.json` — per-case median wall time / conflicts /
 //!   decisions at k ∈ {4, 8, 16}, plus a sequential-vs-portfolio-vs-cached
-//!   comparison on the hardest case (LB MULTI-SW at k = 16);
+//!   comparison on the hardest case (LB MULTI-SW at k = 16) and a
+//!   `rollout` section (p50 transactional prepare+commit latency applying
+//!   a failover placement to the running k = 16 LB deployment);
 //! * `BENCH_fig9.json` — per-program median compile time, conflicts, and
 //!   synthesis-cache hit rate on a single-switch target.
 //!
-//! `--smoke` re-measures the k = 4 cases once each and fails (exit 1) if
-//! any is more than 3× slower than the committed `BENCH_fig10.json`
-//! baseline — CI's cheap performance-regression tripwire.
+//! `--smoke` re-measures the k = 4 cases and the rollout p50 once each and
+//! fails (exit 1) if any is more than 3× slower than the committed
+//! `BENCH_fig10.json` baseline — CI's cheap performance-regression
+//! tripwire.
 
 use std::time::{Duration, Instant};
 
-use lyra::{CompileRequest, Compiler, SolverStrategy, SynthCache};
+use lyra::{
+    CompileRequest, Compiler, ReliableChannel, RolloutConfig, Runtime, SolverStrategy, SynthCache,
+};
 use lyra_apps::{figure9_corpus, programs};
 use lyra_diag::json::{parse, Object, Value};
-use lyra_topo::{fat_tree_pod, Layer, Topology};
+use lyra_topo::{fat_tree_pod, FaultSet, Layer, Topology};
 
 /// Timed samples per measurement (median reported).
 const SAMPLES: usize = 5;
@@ -214,7 +219,62 @@ fn record_fig10() -> Object {
     root.push("samples", Value::Number(SAMPLES as f64));
     root.push("cases", Value::Array(cases_json));
     root.push("comparison", Value::Object(cmp));
+    root.push("rollout", Value::Object(record_rollout()));
     root
+}
+
+/// Entries installed before each measured rollout, spread across keys.
+const ROLLOUT_ENTRIES: u64 = 16;
+/// Smoke mode: absolute bound for the rollout p50 when the committed
+/// baseline predates the `rollout` section.
+const SMOKE_ROLLOUT_ABS_MS: f64 = 250.0;
+
+/// Median wall time of a full transactional rollout (prepare + commit
+/// across every switch, reliable channel) applying the Agg1-failover
+/// placement to a running k = 16 LB MULTI-SW deployment.
+fn measure_rollout(samples: usize) -> Duration {
+    let k = 16;
+    let lb = &cases()[0];
+    let topo = pod(k);
+    let scopes = scopes_for(k, &lb.program, lb.multi);
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(&lb.program, &scopes, topo)
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let healthy = compiler.compile(&req).expect("healthy k=16 compile");
+    let mut faults = FaultSet::new();
+    faults.add_switch("Agg1");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("Agg1 failover recompile");
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut rt = Runtime::new(&healthy);
+        for i in 0..ROLLOUT_ENTRIES {
+            rt.install("conn_table", i * 7, 0x0a00_0000 + i)
+                .expect("bench entry install");
+        }
+        rt.fail_switch("Agg1").expect("live failover");
+        let config = RolloutConfig::default().with_scope_health(r.scope_health.clone());
+        let t = Instant::now();
+        let report = rt
+            .apply_rollout(&r.output, &mut ReliableChannel::new(), &config)
+            .expect("rollout starts");
+        times.push(t.elapsed());
+        assert!(report.committed, "reliable rollout must commit");
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn record_rollout() -> Object {
+    let p50 = measure_rollout(SAMPLES);
+    println!("rollout LB(MULTI-SW)@k16 failover: p50 commit {p50:?}");
+    let mut o = Object::new();
+    o.push("case", Value::str("LB(MULTI-SW)@k16 Agg1-failover"));
+    o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
+    o.push("p50_commit_ms", Value::Number(ms(p50)));
+    o
 }
 
 fn record_fig9() -> Object {
@@ -327,6 +387,31 @@ fn smoke() -> usize {
         if ms(m.median) > bound {
             failures += 1;
         }
+    }
+
+    // Rollout-latency tripwire: p50 prepare+commit on the k = 16 LB
+    // failover. Bounded by the committed baseline when it carries the
+    // `rollout` section, by an absolute ceiling otherwise.
+    let rollout_baseline = baseline
+        .get("rollout")
+        .and_then(|r| r.get("p50_commit_ms"))
+        .and_then(|v| v.as_number());
+    let bound = match rollout_baseline {
+        Some(b) => b * SMOKE_FACTOR + SMOKE_GRACE_MS,
+        None => SMOKE_ROLLOUT_ABS_MS,
+    };
+    let p50 = ms(measure_rollout(1));
+    let status = if p50 > bound { "REGRESSED" } else { "ok" };
+    println!(
+        "smoke rollout LB(MULTI-SW)@k16: {p50:.2} ms (bound {bound:.1} ms{}) {status}",
+        if rollout_baseline.is_some() {
+            ""
+        } else {
+            ", absolute — no baseline"
+        }
+    );
+    if p50 > bound {
+        failures += 1;
     }
     failures
 }

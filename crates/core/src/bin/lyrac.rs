@@ -18,14 +18,25 @@
 //! CI integration. `--emit-stats FILE` writes the compile session record
 //! (phase timings, solver search statistics, per-switch resource
 //! utilization) as JSON.
+//!
+//! `--rollout-fail ELEMS` drives a transactional rollout end to end:
+//! compile, simulate the deployment, fail the named elements
+//! (`Agg3,ToR3-Agg4` = switch Agg3 plus the ToR3—Agg4 link), recompile for
+//! the survivors, and apply the new placement as a two-phase update over a
+//! seeded lossy control channel (`--rollout-drop-p`, `--rollout-seed`).
+//! The rollout report (per-switch phase timings, retries, rollbacks)
+//! prints to stdout and lands under `"rollout"` in `--emit-stats` JSON.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lyra::{Backend, CompileError, CompileRequest, Compiler, Objective, SolverStrategy};
+use lyra::{
+    Backend, CompileError, CompileRequest, Compiler, LossyChannel, Objective, RolloutConfig,
+    RolloutReport, Runtime, SolverStrategy,
+};
 use lyra_chips::TargetLang;
 use lyra_diag::json::{Object, Value};
-use lyra_topo::parse_topology;
+use lyra_topo::{parse_topology, FaultSet};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum DiagFormat {
@@ -46,6 +57,9 @@ struct Args {
     emit_stats: Option<PathBuf>,
     deadline_ms: Option<u64>,
     decision_budget: Option<u64>,
+    rollout_fail: Option<String>,
+    rollout_drop_p: f64,
+    rollout_seed: u64,
 }
 
 fn usage() -> ! {
@@ -57,10 +71,18 @@ fn usage() -> ! {
          \x20            [--solver sequential|portfolio|portfolio:N]\n\
          \x20            [--deadline-ms N] [--decision-budget N]\n\
          \x20            [--diag-format human|json] [--emit-stats FILE]\n\
+         \x20            [--rollout-fail ELEMS] [--rollout-drop-p P]\n\
+         \x20            [--rollout-seed N]\n\
          \n\
          \x20 --deadline-ms / --decision-budget bound the solve phase; on\n\
          \x20 expiry the degradation ladder still produces deployable code\n\
-         \x20 and a LYR0550 warning names the fallback rung used."
+         \x20 and a LYR0550 warning names the fallback rung used.\n\
+         \n\
+         \x20 --rollout-fail simulates failing the named elements (comma-\n\
+         \x20 separated; `A-B` is the link A—B), recompiles for the\n\
+         \x20 survivors, and applies the new placement as a transactional\n\
+         \x20 two-phase rollout over a seeded lossy control channel\n\
+         \x20 (message-drop probability --rollout-drop-p, default 0)."
     );
     std::process::exit(2);
 }
@@ -91,6 +113,9 @@ fn parse_args() -> Args {
     let mut emit_stats = None;
     let mut deadline_ms = None;
     let mut decision_budget = None;
+    let mut rollout_fail = None;
+    let mut rollout_drop_p = 0.0;
+    let mut rollout_seed = 0xC0FFEE;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -166,6 +191,27 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--rollout-fail" => rollout_fail = Some(value(&mut it)),
+            "--rollout-drop-p" => {
+                let v = value(&mut it);
+                rollout_drop_p = match v.parse::<f64>() {
+                    Ok(p) if (0.0..1.0).contains(&p) => p,
+                    _ => {
+                        eprintln!("invalid --rollout-drop-p value `{v}` (need 0 <= p < 1)");
+                        usage()
+                    }
+                }
+            }
+            "--rollout-seed" => {
+                let v = value(&mut it);
+                rollout_seed = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("invalid --rollout-seed value `{v}`");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -189,6 +235,9 @@ fn parse_args() -> Args {
         emit_stats,
         deadline_ms,
         decision_budget,
+        rollout_fail,
+        rollout_drop_p,
+        rollout_seed,
     }
 }
 
@@ -225,6 +274,102 @@ fn report_compile_error(args: &Args, req: &CompileRequest, err: &CompileError) -
     ExitCode::FAILURE
 }
 
+/// Simulate failing the elements in `spec` against the compiled
+/// deployment, recompile onto the survivors, and apply the new placement
+/// as a transactional two-phase rollout over a seeded lossy channel.
+fn drive_rollout(
+    args: &Args,
+    compiler: &Compiler,
+    req: &CompileRequest,
+    out: &lyra::CompileOutput,
+    spec: &str,
+) -> Result<RolloutReport, String> {
+    let mut faults = FaultSet::new();
+    for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match item.split_once('-') {
+            Some((a, b)) => faults.add_link(a.trim(), b.trim()),
+            None => faults.add_switch(item),
+        }
+    }
+    let r = compiler
+        .recompile_for_faults(req, out, &faults)
+        .map_err(|e| format!("failover recompilation failed: {e}"))?;
+    let mut rt = Runtime::new(out);
+    // Seed a few synthetic entries per extern table so the rollout has
+    // live state to carry across the epoch flip.
+    for table in out.ir.externs.keys() {
+        for k in 0..4u64 {
+            if rt.install(table, k, 0x0a00_0000 + k).is_err() {
+                break;
+            }
+        }
+    }
+    for sw in faults.failed_switches() {
+        rt.fail_switch(sw)
+            .map_err(|e| format!("fail_switch({sw}): {e}"))?;
+    }
+    for (a, b) in faults.failed_links() {
+        rt.fail_link(a, b)
+            .map_err(|e| format!("fail_link({a},{b}): {e}"))?;
+    }
+    let mut chan = LossyChannel::new(args.rollout_seed)
+        .with_drop_p(args.rollout_drop_p)
+        .with_ack_loss_p(args.rollout_drop_p / 2.0);
+    let config = RolloutConfig::default()
+        .with_seed(args.rollout_seed)
+        .with_scope_health(r.scope_health.clone());
+    rt.apply_rollout(&r.output, &mut chan, &config)
+        .map_err(|e| format!("rollout could not start: {e}"))
+}
+
+/// Print a rollout report in the human CLI format.
+fn print_rollout(report: &RolloutReport) {
+    let outcome = if report.committed {
+        "committed"
+    } else if report.rolled_back {
+        "ROLLED BACK"
+    } else {
+        "no-op"
+    };
+    println!(
+        "rollout: epoch {} {outcome} in {:?}",
+        report.epoch, report.elapsed
+    );
+    println!(
+        "  channel: {} attempt(s), {} retr{}, {} dropped, {} ack-lost, {} duplicated, \
+         {} late replay(s)",
+        report.messages_sent,
+        report.retries,
+        if report.retries == 1 { "y" } else { "ies" },
+        report.dropped,
+        report.ack_lost,
+        report.duplicates,
+        report.late_replays,
+    );
+    println!(
+        "  churn: {} instruction move(s), {} forced rollback(s)",
+        report.instr_churn, report.forced_rollbacks
+    );
+    for s in &report.switches {
+        println!(
+            "  {}: prepare {:?} (+{}/-{} entries), commit {:?}, {} retr{}",
+            s.switch,
+            s.prepare,
+            s.entries_added,
+            s.entries_removed,
+            s.commit,
+            s.retries,
+            if s.retries == 1 { "y" } else { "ies" },
+        );
+    }
+    for d in &report.diagnostics {
+        match d.code {
+            Some(c) => println!("  [{c}] {}", d.message),
+            None => println!("  {}", d.message),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let read = |p: &PathBuf| -> Result<String, String> {
@@ -250,12 +395,11 @@ fn main() -> ExitCode {
     if let Some(n) = args.decision_budget {
         req = req.with_decision_budget(n);
     }
-    let out = match Compiler::new()
+    let compiler = Compiler::new()
         .with_backend(args.backend.clone())
         .with_objective(args.objective.clone())
-        .with_parser_hoisting(args.parser_hoisting)
-        .compile(&req)
-    {
+        .with_parser_hoisting(args.parser_hoisting);
+    let out = match compiler.compile(&req) {
         Ok(out) => out,
         Err(e) => return report_compile_error(&args, &req, &e),
     };
@@ -267,8 +411,22 @@ fn main() -> ExitCode {
             DiagFormat::Json => println!("{}", w.to_json().to_pretty()),
         }
     }
+    let rollout_report = match &args.rollout_fail {
+        Some(spec) => match drive_rollout(&args, &compiler, &req, &out, spec) {
+            Ok(report) => {
+                print_rollout(&report);
+                Some(report)
+            }
+            Err(e) => return tool_error(&args, e),
+        },
+        None => None,
+    };
     if let Some(path) = &args.emit_stats {
-        let json = out.session().to_json().to_pretty();
+        let mut session = out.session();
+        if let Some(report) = rollout_report {
+            session = session.with_rollout(report);
+        }
+        let json = session.to_json().to_pretty();
         if let Err(e) = std::fs::write(path, json) {
             return tool_error(&args, format!("cannot write {}: {e}", path.display()));
         }

@@ -1,0 +1,328 @@
+//! The control channel between the rollout engine and each switch.
+//!
+//! A transactional rollout ([`crate::rollout`]) converges a running
+//! deployment onto a new placement by sending per-switch prepare / commit /
+//! rollback messages. Real control channels lose, delay, and duplicate
+//! those messages; this module interposes a [`ControlChannel`] trait that
+//! decides the *fate* of every transmission so tests can inject a
+//! deterministic, seeded fault model ([`LossyChannel`]) while production
+//! callers use the in-process [`ReliableChannel`].
+//!
+//! The channel never applies a message itself — it only rules on delivery.
+//! The rollout engine applies delivered messages to the per-switch state
+//! machines, which makes duplicated and late deliveries observable end to
+//! end (and is exactly what the idempotency tokens on [`ControlMsg`]
+//! exist to survive).
+
+use std::collections::VecDeque;
+
+use lyra_ir::DataPlaneState;
+
+/// The operation a control message carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Stage the full per-switch state of the next epoch. Carries the
+    /// payload so a duplicated or late prepare re-delivers *its own*
+    /// (possibly stale) snapshot, as on a real wire.
+    Prepare {
+        /// The staged data-plane state for the new epoch.
+        staged: DataPlaneState,
+    },
+    /// Flip the switch to its staged epoch and garbage-collect the old one
+    /// (the old state is retained switch-side until the rollout finalizes,
+    /// so a rollback can still revert).
+    Commit,
+    /// Abandon the staged epoch; if the switch already committed, revert
+    /// to the retained prior epoch.
+    Rollback,
+}
+
+impl ControlOp {
+    /// Short wire name (for reports and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlOp::Prepare { .. } => "prepare",
+            ControlOp::Commit => "commit",
+            ControlOp::Rollback => "rollback",
+        }
+    }
+}
+
+/// One control-plane message addressed to one switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlMsg {
+    /// Destination switch.
+    pub switch: String,
+    /// The epoch this message is about (the epoch being rolled out).
+    pub epoch: u64,
+    /// Idempotency token, unique per logical message. Retransmissions and
+    /// network duplicates reuse the token, so a switch that already
+    /// applied it acknowledges without re-applying.
+    pub token: u64,
+    /// What to do.
+    pub op: ControlOp,
+}
+
+/// The fate of one transmission attempt, as ruled by the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered once; the acknowledgement came back.
+    Delivered,
+    /// Delivered twice (network duplicate); the acknowledgement came back.
+    Duplicated,
+    /// Never delivered; the sender times out.
+    Dropped,
+    /// Delivered, but the acknowledgement was lost — the switch applied
+    /// the message while the sender times out and must retry. This is the
+    /// case idempotency tokens exist for.
+    AckLost,
+}
+
+/// Decides the fate of control messages between the rollout engine and
+/// the switches. Implementations must be deterministic for a fixed seed so
+/// chaos scenarios reproduce.
+pub trait ControlChannel {
+    /// Rule on one transmission attempt of `msg`.
+    fn transmit(&mut self, msg: &ControlMsg) -> Delivery;
+
+    /// Late (reordered) copies that are due for delivery now. The engine
+    /// drains this before every transmission and applies the returned
+    /// messages to the switches — their acknowledgements go nowhere, like
+    /// any packet that outlived its sender's patience.
+    fn drain_late(&mut self) -> Vec<ControlMsg> {
+        Vec::new()
+    }
+}
+
+/// A perfect channel: every message is delivered exactly once. The default
+/// for in-process use ([`crate::Runtime::fail_switch`] and friends).
+#[derive(Debug, Default)]
+pub struct ReliableChannel;
+
+impl ReliableChannel {
+    /// A new reliable channel.
+    pub fn new() -> Self {
+        ReliableChannel
+    }
+}
+
+impl ControlChannel for ReliableChannel {
+    fn transmit(&mut self, _msg: &ControlMsg) -> Delivery {
+        Delivery::Delivered
+    }
+}
+
+/// Deterministic xorshift64* generator (the workspace builds offline; all
+/// randomness is seeded and in-tree). Shared with the rollout engine's
+/// backoff jitter.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A seeded fault-injecting channel: drops, timeouts (acknowledgement
+/// loss), duplicates, late replays, and an optional mid-rollout switch
+/// death. All probabilities are per transmission attempt; the same seed
+/// replays the identical fault sequence.
+#[derive(Debug)]
+pub struct LossyChannel {
+    rng: Rng,
+    /// Probability the message never arrives.
+    pub drop_p: f64,
+    /// Probability the message arrives but its acknowledgement is lost.
+    pub ack_loss_p: f64,
+    /// Probability the message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a copy of the message is also delivered *late*, after
+    /// a few more transmissions (reordering).
+    pub late_p: f64,
+    /// `(switch, after_n_messages)` — the switch stops answering entirely
+    /// once this many messages (to anyone) have been transmitted. Models a
+    /// switch dying in the middle of a rollout.
+    kill: Option<(String, u64)>,
+    /// Pending late copies: `(deliveries_remaining, message)`.
+    late: VecDeque<(u64, ControlMsg)>,
+    sent: u64,
+}
+
+impl LossyChannel {
+    /// A lossless channel with the given seed; layer faults on with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        LossyChannel {
+            rng: Rng::new(seed),
+            drop_p: 0.0,
+            ack_loss_p: 0.0,
+            dup_p: 0.0,
+            late_p: 0.0,
+            kill: None,
+            late: VecDeque::new(),
+            sent: 0,
+        }
+    }
+
+    /// Set the message-drop probability.
+    pub fn with_drop_p(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Set the acknowledgement-loss probability.
+    pub fn with_ack_loss_p(mut self, p: f64) -> Self {
+        self.ack_loss_p = p;
+        self
+    }
+
+    /// Set the duplicate-delivery probability.
+    pub fn with_dup_p(mut self, p: f64) -> Self {
+        self.dup_p = p;
+        self
+    }
+
+    /// Set the late-replay probability.
+    pub fn with_late_p(mut self, p: f64) -> Self {
+        self.late_p = p;
+        self
+    }
+
+    /// Kill `switch` after `after` total transmissions: every later
+    /// message to it is dropped, as if the switch died mid-rollout.
+    pub fn with_switch_death(mut self, switch: impl Into<String>, after: u64) -> Self {
+        self.kill = Some((switch.into(), after));
+        self
+    }
+
+    /// Total transmission attempts ruled on so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn switch_dead(&self, switch: &str) -> bool {
+        self.kill
+            .as_ref()
+            .is_some_and(|(s, after)| s == switch && self.sent > *after)
+    }
+}
+
+impl ControlChannel for LossyChannel {
+    fn transmit(&mut self, msg: &ControlMsg) -> Delivery {
+        self.sent += 1;
+        if self.switch_dead(&msg.switch) {
+            return Delivery::Dropped;
+        }
+        if self.rng.next_f64() < self.late_p {
+            let countdown = 1 + self.rng.below(5);
+            self.late.push_back((countdown, msg.clone()));
+        }
+        if self.rng.next_f64() < self.drop_p {
+            return Delivery::Dropped;
+        }
+        if self.rng.next_f64() < self.ack_loss_p {
+            return Delivery::AckLost;
+        }
+        if self.rng.next_f64() < self.dup_p {
+            return Delivery::Duplicated;
+        }
+        Delivery::Delivered
+    }
+
+    fn drain_late(&mut self) -> Vec<ControlMsg> {
+        let mut due = Vec::new();
+        for (countdown, _) in self.late.iter_mut() {
+            *countdown = countdown.saturating_sub(1);
+        }
+        while let Some((0, _)) = self.late.front() {
+            let (_, msg) = self.late.pop_front().expect("front checked");
+            // A late copy to a dead switch is lost like everything else.
+            if !self.switch_dead(&msg.switch) {
+                due.push(msg);
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(switch: &str, token: u64) -> ControlMsg {
+        ControlMsg {
+            switch: switch.into(),
+            epoch: 1,
+            token,
+            op: ControlOp::Commit,
+        }
+    }
+
+    #[test]
+    fn reliable_always_delivers() {
+        let mut ch = ReliableChannel::new();
+        for t in 0..10 {
+            assert_eq!(ch.transmit(&msg("S", t)), Delivery::Delivered);
+        }
+        assert!(ch.drain_late().is_empty());
+    }
+
+    #[test]
+    fn lossy_is_deterministic_for_a_seed() {
+        let run = |seed: u64| -> Vec<Delivery> {
+            let mut ch = LossyChannel::new(seed)
+                .with_drop_p(0.3)
+                .with_ack_loss_p(0.2)
+                .with_dup_p(0.2);
+            (0..64).map(|t| ch.transmit(&msg("S", t))).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn dead_switch_drops_everything_after_the_cut() {
+        let mut ch = LossyChannel::new(7).with_switch_death("S", 3);
+        let fates: Vec<Delivery> = (0..8).map(|t| ch.transmit(&msg("S", t))).collect();
+        assert!(fates[..3].iter().all(|d| *d == Delivery::Delivered));
+        assert!(fates[3..].iter().all(|d| *d == Delivery::Dropped));
+        // Other switches are unaffected.
+        assert_eq!(ch.transmit(&msg("T", 99)), Delivery::Delivered);
+    }
+
+    #[test]
+    fn late_copies_surface_after_a_few_sends() {
+        let mut ch = LossyChannel::new(11).with_late_p(1.0);
+        let original = msg("S", 0);
+        ch.transmit(&original);
+        let mut seen = Vec::new();
+        for t in 1..16 {
+            seen.extend(ch.drain_late());
+            ch.transmit(&msg("S", t));
+        }
+        seen.extend(ch.drain_late());
+        assert!(
+            seen.iter().any(|m| m.token == original.token),
+            "the late copy of token 0 never surfaced"
+        );
+    }
+}

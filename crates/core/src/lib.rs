@@ -64,11 +64,15 @@
 //! ```
 
 pub mod cache;
+pub mod channel;
 pub mod fault;
+pub mod rollout;
 pub mod runtime;
 
 pub use cache::{synth_key, SynthCache};
+pub use channel::{ControlChannel, ControlMsg, ControlOp, Delivery, LossyChannel, ReliableChannel};
 pub use fault::{FaultRecompile, PlacementDiff};
+pub use rollout::{RolloutConfig, RolloutReport, SwitchRollout};
 pub use runtime::{Runtime, RuntimeError};
 
 use std::sync::Arc;
@@ -279,9 +283,19 @@ pub struct CompileSession {
     pub solver: SearchStats,
     /// Per-switch resource utilization of the solved placement.
     pub utilization: Vec<ResourceUtilization>,
+    /// The transactional rollout that applied this compile to a running
+    /// deployment, when one was driven (`lyrac --rollout-fail`); its
+    /// retries and rollbacks render under `"rollout"` in the JSON.
+    pub rollout: Option<RolloutReport>,
 }
 
 impl CompileSession {
+    /// Attach the [`RolloutReport`] of the rollout that deployed this
+    /// compile, so session JSON carries the full update story.
+    pub fn with_rollout(mut self, report: RolloutReport) -> Self {
+        self.rollout = Some(report);
+        self
+    }
     /// Serialize to a JSON value (phases in microseconds).
     pub fn to_json(&self) -> Value {
         let mut phases = Object::new();
@@ -325,6 +339,9 @@ impl CompileSession {
             "utilization",
             Value::Array(self.utilization.iter().map(|u| u.to_json()).collect()),
         );
+        if let Some(rollout) = &self.rollout {
+            o.push("rollout", rollout.to_json());
+        }
         Value::Object(o)
     }
 }
@@ -341,6 +358,13 @@ pub trait CompileObserver: Send + Sync {
     /// A phase finished.
     fn on_phase_end(&self, phase: Phase, elapsed: Duration) {
         let _ = (phase, elapsed);
+    }
+    /// A transactional rollout finished (committed or rolled back). Fired
+    /// by [`Runtime::apply_rollout`] and the failover re-sync paths when
+    /// an observer is registered via [`Runtime::set_observer`], after the
+    /// `Phase::Rollout` start/end pair.
+    fn on_rollout(&self, report: &RolloutReport) {
+        let _ = report;
     }
 }
 
@@ -381,6 +405,7 @@ impl CompileOutput {
             stats: self.stats,
             solver: self.solver,
             utilization: self.utilization.clone(),
+            rollout: None,
         }
     }
 

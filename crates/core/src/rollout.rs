@@ -1,0 +1,947 @@
+//! Transactional placement rollout: two-phase control-plane updates.
+//!
+//! Applying a recompiled placement ([`crate::fault::FaultRecompile`]) to a
+//! live [`Runtime`] with independent `install` calls has no atomicity — a
+//! failure halfway leaves the network matching *neither* placement. This
+//! module converges a deployment onto a new [`CompileOutput`] as a
+//! transaction:
+//!
+//! ```text
+//!            ┌───────── per switch ─────────┐
+//!  idle ──▶ prepare (stage epoch N+1) ──▶ commit (flip to N+1, keep N)
+//!    ▲          │ exhausted                   │ exhausted
+//!    │          ▼                             ▼
+//!    └────── rollback (abandon N+1; committed switches revert to N)
+//! ```
+//!
+//! * **Prepare** stages the complete per-switch table state of the next
+//!   epoch (validated against shard capacity and, when provided, scope
+//!   health) without touching the serving state.
+//! * **Commit** flips each switch to its staged epoch; the old state is
+//!   retained switch-side until the rollout finalizes, so a later failure
+//!   can still revert it.
+//! * Any failure triggers **rollback to the prior epoch** on every switch
+//!   — with a 4× retry budget, and a forced out-of-band revert as the
+//!   last resort (counted in [`RolloutReport::forced_rollbacks`]) — so the
+//!   deployment is always *entirely* on the old placement or *entirely* on
+//!   the new one, never mixed. [`Runtime::inject`] enforces the same
+//!   invariant at the data plane by refusing mixed-epoch paths.
+//!
+//! Messages travel through a fault-injectable [`ControlChannel`] with
+//! bounded retry, exponential backoff and seeded jitter; idempotency
+//! tokens make retransmissions, network duplicates and late replays safe.
+//! Epoch numbers are *burned* on rollback (never reused), so a stale
+//! message from an abandoned attempt can never corrupt a later one.
+//!
+//! Failover re-sync ([`Runtime::fail_switch`] / [`Runtime::fail_link`])
+//! runs on the same engine: the surviving entry layout is re-planned,
+//! staged, and committed as a transaction, which gives re-sync retry and
+//! rollback semantics for free.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use lyra_diag::json::{Object, Value};
+use lyra_diag::{codes, Diagnostic, Phase};
+use lyra_ir::DataPlaneState;
+use lyra_topo::ScopeHealth;
+
+use crate::channel::{ControlChannel, ControlMsg, ControlOp, Delivery, ReliableChannel, Rng};
+use crate::fault::PlacementDiff;
+use crate::runtime::{plan_entries, Runtime, RuntimeError, SwitchState};
+use crate::CompileOutput;
+
+/// Tuning knobs for one rollout: retry budget, backoff shape, jitter seed,
+/// and an optional scope-health gate.
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Transmission attempts per control message before giving up
+    /// (rollback messages get 4× this budget — abandoning a rollback is
+    /// worse than abandoning a rollout).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for backoff jitter (mixed with the epoch, so retries of
+    /// successive rollouts do not synchronize).
+    pub seed: u64,
+    /// Per-algorithm scope health under the fault set being rolled out
+    /// (from [`crate::fault::FaultRecompile::scope_health`]). Any
+    /// non-survivable entry gates the rollout with `LYR0564` before a
+    /// single message is sent. Empty = no gate.
+    pub scope_health: BTreeMap<String, ScopeHealth>,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(1),
+            seed: 1,
+            scope_health: BTreeMap::new(),
+        }
+    }
+}
+
+impl RolloutConfig {
+    /// Gate this rollout on the given per-algorithm scope health.
+    pub fn with_scope_health(mut self, health: BTreeMap<String, ScopeHealth>) -> Self {
+        self.scope_health = health;
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What one switch experienced during a rollout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwitchRollout {
+    /// Switch name.
+    pub switch: String,
+    /// Wall-clock spent in the prepare phase (including retries).
+    pub prepare: Duration,
+    /// Wall-clock spent in the commit phase (including retries).
+    pub commit: Duration,
+    /// Retransmissions this switch needed across both phases.
+    pub retries: u64,
+    /// Logical entries the new epoch adds on this switch.
+    pub entries_added: u64,
+    /// Logical entries the new epoch removes from this switch.
+    pub entries_removed: u64,
+}
+
+impl SwitchRollout {
+    fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.push("switch", Value::String(self.switch.clone()));
+        o.push("prepare_us", Value::Number(self.prepare.as_micros() as f64));
+        o.push("commit_us", Value::Number(self.commit.as_micros() as f64));
+        o.push("retries", Value::Number(self.retries as f64));
+        o.push("entries_added", Value::Number(self.entries_added as f64));
+        o.push(
+            "entries_removed",
+            Value::Number(self.entries_removed as f64),
+        );
+        Value::Object(o)
+    }
+}
+
+/// The outcome of one transactional rollout: exactly one of
+/// [`RolloutReport::committed`] / [`RolloutReport::rolled_back`] is set
+/// (both false only for a no-op), plus per-switch phase timings and
+/// channel-level fault counters.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutReport {
+    /// The epoch this rollout tried to install (burned if rolled back).
+    pub epoch: u64,
+    /// Every switch flipped to the new epoch.
+    pub committed: bool,
+    /// The rollout failed and every switch is back on the prior epoch.
+    pub rolled_back: bool,
+    /// Switches reverted out-of-band because even the rollback message
+    /// budget was exhausted (the last-resort path that preserves the
+    /// all-or-nothing invariant).
+    pub forced_rollbacks: u64,
+    /// Transmission attempts across all messages and phases.
+    pub messages_sent: u64,
+    /// Retransmissions (attempts beyond the first per logical message).
+    pub retries: u64,
+    /// Attempts the channel dropped outright.
+    pub dropped: u64,
+    /// Attempts delivered whose acknowledgement was lost (the switch
+    /// applied the message; the sender retried anyway).
+    pub ack_lost: u64,
+    /// Attempts delivered twice by the channel.
+    pub duplicates: u64,
+    /// Late (reordered) copies the channel replayed to switches.
+    pub late_replays: u64,
+    /// Instructions that changed host between the old and new placements.
+    pub instr_churn: usize,
+    /// Per-switch phase record.
+    pub switches: Vec<SwitchRollout>,
+    /// Structured diagnostics (LYR056x) describing any failure and the
+    /// rollback, in occurrence order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// End-to-end wall clock.
+    pub elapsed: Duration,
+}
+
+impl RolloutReport {
+    /// A rollout that had nothing to do (e.g. failing an already-failed
+    /// switch): no messages, no epoch change.
+    pub(crate) fn noop(epoch: u64) -> Self {
+        RolloutReport {
+            epoch,
+            ..Default::default()
+        }
+    }
+
+    /// Switches that gained at least one entry — what a failover re-sync
+    /// reports as "re-synced onto".
+    pub fn resynced(&self) -> Vec<String> {
+        self.switches
+            .iter()
+            .filter(|s| s.entries_added > 0)
+            .map(|s| s.switch.clone())
+            .collect()
+    }
+
+    /// Serialize for session JSON / the CLI (`--emit-stats`).
+    pub fn to_json(&self) -> Value {
+        let mut channel = Object::new();
+        channel.push("messages_sent", Value::Number(self.messages_sent as f64));
+        channel.push("retries", Value::Number(self.retries as f64));
+        channel.push("dropped", Value::Number(self.dropped as f64));
+        channel.push("ack_lost", Value::Number(self.ack_lost as f64));
+        channel.push("duplicates", Value::Number(self.duplicates as f64));
+        channel.push("late_replays", Value::Number(self.late_replays as f64));
+        let mut o = Object::new();
+        o.push("epoch", Value::Number(self.epoch as f64));
+        o.push("committed", Value::Bool(self.committed));
+        o.push("rolled_back", Value::Bool(self.rolled_back));
+        o.push(
+            "forced_rollbacks",
+            Value::Number(self.forced_rollbacks as f64),
+        );
+        o.push("instr_churn", Value::Number(self.instr_churn as f64));
+        o.push("channel", Value::Object(channel));
+        o.push("elapsed_us", Value::Number(self.elapsed.as_micros() as f64));
+        o.push(
+            "switches",
+            Value::Array(self.switches.iter().map(|s| s.to_json()).collect()),
+        );
+        o.push(
+            "diagnostics",
+            Value::Array(self.diagnostics.iter().map(|d| d.to_json()).collect()),
+        );
+        Value::Object(o)
+    }
+}
+
+/// Apply a delivered control message to its switch's state machine. This
+/// is the "switch agent": it rules only on what the message says and what
+/// the switch already knows — it cannot see the sender's intent, which is
+/// why the epoch guards below exist (stale late replays must lose).
+fn deliver(states: &mut BTreeMap<String, SwitchState>, msg: &ControlMsg) {
+    let Some(st) = states.get_mut(&msg.switch) else {
+        return; // message to a switch that no longer exists: lost on the floor
+    };
+    if st.tokens.contains(&msg.token) {
+        return; // duplicate or replay of an already-applied message
+    }
+    match &msg.op {
+        ControlOp::Prepare { staged } => {
+            // Stage only a *newer* epoch, and never clobber a staged epoch
+            // with an older one — a late prepare from a rolled-back
+            // attempt must not overwrite the current attempt's stage.
+            let newer_than_active = msg.epoch > st.epoch;
+            let not_stale = st.staged.as_ref().is_none_or(|(e, _)| msg.epoch >= *e);
+            if newer_than_active && not_stale {
+                st.staged = Some((msg.epoch, staged.clone()));
+            }
+        }
+        ControlOp::Commit => {
+            if st.epoch != msg.epoch {
+                if let Some((e, dp)) = st.staged.take() {
+                    if e == msg.epoch {
+                        let old = std::mem::replace(&mut st.dp, dp);
+                        st.prior = Some((st.epoch, old));
+                        st.epoch = msg.epoch;
+                    } else {
+                        st.staged = Some((e, dp)); // commit for a different epoch: ignore
+                    }
+                }
+            }
+        }
+        ControlOp::Rollback => {
+            if st.epoch == msg.epoch {
+                if let Some((e, dp)) = st.prior.take() {
+                    st.dp = dp;
+                    st.epoch = e;
+                }
+            }
+            if st.staged.as_ref().is_some_and(|(e, _)| *e == msg.epoch) {
+                st.staged = None;
+            }
+        }
+    }
+    st.tokens.insert(msg.token);
+}
+
+/// Revert one switch out-of-band (console access): the last resort when
+/// even rollback messages cannot get through.
+fn force_rollback(st: &mut SwitchState, epoch: u64) {
+    if st.epoch == epoch {
+        if let Some((e, dp)) = st.prior.take() {
+            st.dp = dp;
+            st.epoch = e;
+        }
+    }
+    st.staged = None;
+}
+
+/// Logical `(table, key)` pairs of a data-plane state.
+fn entry_keys(dp: &DataPlaneState) -> BTreeSet<(&str, u64)> {
+    dp.externs
+        .iter()
+        .flat_map(|(t, m)| m.keys().map(move |&k| (t.as_str(), k)))
+        .collect()
+}
+
+impl<'a> Runtime<'a> {
+    /// Transactionally converge this deployment onto `new_output`
+    /// (typically the result of
+    /// [`crate::Compiler::recompile_for_faults`]): stage every surviving
+    /// switch's next-epoch state (prepare), then flip them all (commit),
+    /// rolling every switch back to the current epoch if either phase
+    /// fails. On success the runtime serves `new_output` — including its
+    /// placement and flow paths — with all logical entries re-planned onto
+    /// the new shard layout; switches dropped by the new placement are
+    /// flushed. Global registers restart at zero on the new epoch, as on a
+    /// re-flashed device.
+    ///
+    /// Returns the [`RolloutReport`] for both outcomes; `Err` is reserved
+    /// for rollouts that could not *start* (scope-health gate `LYR0564`,
+    /// or prepare-side capacity validation `LYR0560` — nothing was sent,
+    /// nothing changed).
+    pub fn apply_rollout(
+        &mut self,
+        new_output: &'a CompileOutput,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+    ) -> Result<RolloutReport, RuntimeError> {
+        if let Some((alg, h)) = config.scope_health.iter().find(|(_, h)| !h.survivable()) {
+            return Err(RuntimeError::new(format!(
+                "rollout gated: the scope of `{alg}` is not survivable ({h:?}) — \
+                 traffic could not traverse the new placement"
+            ))
+            .with_code(codes::ROLLOUT_GATED));
+        }
+        let entries = self.logical_entries();
+        // Stage the complete next-epoch layout: fresh states under the new
+        // placement for surviving switches, empty states (a flush) for
+        // live switches the new placement dropped.
+        let mut staged: BTreeMap<String, DataPlaneState> = BTreeMap::new();
+        for sw in new_output.placement.switches.keys() {
+            if self.faults.switch_failed(sw) {
+                continue;
+            }
+            staged.insert(sw.clone(), SwitchState::fresh(new_output, 0).dp);
+        }
+        for sw in self.states.keys() {
+            staged.entry(sw.clone()).or_default();
+        }
+        plan_entries(new_output, &self.faults, &mut staged, &entries).map_err(|e| {
+            RuntimeError::new(format!("prepare validation failed: {}", e.message))
+                .with_code(codes::ROLLOUT_PREPARE_FAILED)
+        })?;
+        // A switch the new placement adds gets a live (empty) state first,
+        // at the current epoch, so it participates in the transaction.
+        for sw in staged.keys() {
+            if !self.states.contains_key(sw) {
+                self.states
+                    .insert(sw.clone(), SwitchState::fresh(new_output, self.epoch));
+            }
+        }
+        let churn =
+            PlacementDiff::between(&self.output.placement, &new_output.placement).total_churn();
+        let report = self.two_phase(staged, churn, channel, config);
+        if report.committed {
+            self.output = new_output;
+        }
+        Ok(report)
+    }
+
+    /// Fail `switch` and transactionally re-sync its lost entries onto
+    /// surviving shards through `channel`. The reliable-channel wrapper is
+    /// [`Runtime::fail_switch`]; this variant exists so chaos tests can
+    /// exercise re-sync over a lossy channel.
+    pub fn fail_switch_with_channel(
+        &mut self,
+        switch: &str,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+    ) -> Result<RolloutReport, RuntimeError> {
+        self.known_switch(switch)?;
+        if self.faults.switch_failed(switch) {
+            return Ok(RolloutReport::noop(self.epoch));
+        }
+        // Capture the logical view *before* the switch dies — its shard
+        // contributes the entries that must move.
+        let entries = self.logical_entries();
+        self.states.remove(switch);
+        self.faults.add_switch(switch);
+        self.resync_rollout(entries, channel, config)
+    }
+
+    /// Fail a switch at runtime: its shards are lost, paths through it
+    /// refuse traffic, and every entry it held is re-synced onto surviving
+    /// shards as a transaction (retry + rollback semantics come from the
+    /// rollout engine). Returns the switches that received re-synced
+    /// entries; failing an already-failed switch is a no-op.
+    pub fn fail_switch(&mut self, switch: &str) -> Result<Vec<String>, RuntimeError> {
+        let report = self.fail_switch_with_channel(
+            switch,
+            &mut ReliableChannel::new(),
+            &RolloutConfig::default(),
+        )?;
+        self.require_converged(&report, &format!("re-sync after `{switch}` failed"))?;
+        Ok(report.resynced())
+    }
+
+    /// Fail the link `a — b` and transactionally re-plan entry coverage
+    /// for the paths that no longer carry traffic. See
+    /// [`Runtime::fail_switch_with_channel`].
+    pub fn fail_link_with_channel(
+        &mut self,
+        a: &str,
+        b: &str,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+    ) -> Result<RolloutReport, RuntimeError> {
+        self.known_switch(a)?;
+        self.known_switch(b)?;
+        if self.faults.link_failed(a, b) {
+            return Ok(RolloutReport::noop(self.epoch));
+        }
+        let entries = self.logical_entries();
+        self.faults.add_link(a, b);
+        self.resync_rollout(entries, channel, config)
+    }
+
+    /// Fail a link at runtime (reliable channel); see
+    /// [`Runtime::fail_switch`] for the transaction semantics.
+    pub fn fail_link(&mut self, a: &str, b: &str) -> Result<Vec<String>, RuntimeError> {
+        let report = self.fail_link_with_channel(
+            a,
+            b,
+            &mut ReliableChannel::new(),
+            &RolloutConfig::default(),
+        )?;
+        self.require_converged(&report, &format!("re-sync after link `{a}` — `{b}` failed"))?;
+        Ok(report.resynced())
+    }
+
+    fn known_switch(&self, switch: &str) -> Result<(), RuntimeError> {
+        let known = self.states.contains_key(switch)
+            || self.output.placement.switches.contains_key(switch)
+            || self
+                .output
+                .flow_paths
+                .values()
+                .flatten()
+                .any(|p| p.iter().any(|s| s == switch));
+        if known {
+            Ok(())
+        } else {
+            Err(RuntimeError::new(format!("unknown switch `{switch}`")))
+        }
+    }
+
+    /// The reliable-channel wrappers promise convergence; surface a
+    /// rollback (impossible over [`ReliableChannel`], but the type system
+    /// cannot know that) as an error rather than losing it.
+    fn require_converged(&self, report: &RolloutReport, what: &str) -> Result<(), RuntimeError> {
+        if report.rolled_back {
+            return Err(RuntimeError::new(format!(
+                "{what} rolled back; the prior epoch {} is still serving",
+                self.epoch
+            ))
+            .with_code(codes::ROLLOUT_ROLLED_BACK));
+        }
+        Ok(())
+    }
+
+    /// Re-plan the logical entry set onto the current (post-fault)
+    /// topology and roll the result out. The planner is seeded with the
+    /// surviving shard contents, so entries still covered on all their
+    /// paths stay put — only lost coverage moves.
+    pub(crate) fn resync_rollout(
+        &mut self,
+        entries: Vec<(String, u64, u64)>,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+    ) -> Result<RolloutReport, RuntimeError> {
+        let mut staged: BTreeMap<String, DataPlaneState> = self
+            .states
+            .iter()
+            .map(|(sw, st)| (sw.clone(), st.dp.clone()))
+            .collect();
+        plan_entries(self.output, &self.faults, &mut staged, &entries).map_err(|e| {
+            RuntimeError::new(format!("re-sync planning failed: {}", e.message))
+                .with_code(codes::ROLLOUT_PREPARE_FAILED)
+        })?;
+        Ok(self.two_phase(staged, 0, channel, config))
+    }
+
+    /// The transaction core: prepare every target switch, then commit them
+    /// all, rolling everything back on any exhausted message budget.
+    /// Infallible in the `Result` sense — failure *is* a result here,
+    /// reported through [`RolloutReport::rolled_back`].
+    fn two_phase(
+        &mut self,
+        staged: BTreeMap<String, DataPlaneState>,
+        instr_churn: usize,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+    ) -> RolloutReport {
+        let t0 = Instant::now();
+        if let Some(obs) = &self.observer {
+            obs.on_phase_start(Phase::Rollout);
+        }
+        // Allocate the next epoch. Rolled-back epochs are burned: the
+        // counter never rewinds, so message epochs are unique per attempt.
+        self.epoch_counter += 1;
+        let epoch = self.epoch_counter;
+        let mut rng = Rng::new(config.seed ^ epoch.rotate_left(17));
+        let mut report = RolloutReport {
+            epoch,
+            instr_churn,
+            ..Default::default()
+        };
+        let targets: Vec<String> = staged.keys().cloned().collect();
+        for sw in &targets {
+            let current = self
+                .states
+                .get(sw)
+                .map(|st| entry_keys(&st.dp))
+                .unwrap_or_default();
+            let next = staged.get(sw).map(entry_keys).unwrap_or_default();
+            report.switches.push(SwitchRollout {
+                switch: sw.clone(),
+                entries_added: next.difference(&current).count() as u64,
+                entries_removed: current.difference(&next).count() as u64,
+                ..Default::default()
+            });
+        }
+        let mut token_seq = 0u64;
+        let mut next_token = || {
+            token_seq += 1;
+            (epoch << 20) | token_seq
+        };
+
+        let mut failure: Option<(lyra_diag::Code, String)> = None;
+        // --- Phase 1: prepare -------------------------------------------
+        for (i, sw) in targets.iter().enumerate() {
+            let msg = ControlMsg {
+                switch: sw.clone(),
+                epoch,
+                token: next_token(),
+                op: ControlOp::Prepare {
+                    staged: staged[sw].clone(),
+                },
+            };
+            let t = Instant::now();
+            let before = report.retries;
+            let sent = send(
+                &mut self.states,
+                channel,
+                &msg,
+                config.max_attempts,
+                config,
+                &mut rng,
+                &mut report,
+            );
+            report.switches[i].prepare = t.elapsed();
+            report.switches[i].retries += report.retries - before;
+            if !sent {
+                failure = Some((
+                    codes::ROLLOUT_PREPARE_FAILED,
+                    format!(
+                        "switch `{sw}` failed to prepare epoch {epoch}: control channel \
+                         exhausted after {} attempts",
+                        config.max_attempts
+                    ),
+                ));
+                break;
+            }
+        }
+        // --- Phase 2: commit --------------------------------------------
+        if failure.is_none() {
+            for (i, sw) in targets.iter().enumerate() {
+                let msg = ControlMsg {
+                    switch: sw.clone(),
+                    epoch,
+                    token: next_token(),
+                    op: ControlOp::Commit,
+                };
+                let t = Instant::now();
+                let before = report.retries;
+                let sent = send(
+                    &mut self.states,
+                    channel,
+                    &msg,
+                    config.max_attempts,
+                    config,
+                    &mut rng,
+                    &mut report,
+                );
+                report.switches[i].commit = t.elapsed();
+                report.switches[i].retries += report.retries - before;
+                if !sent {
+                    failure = Some((
+                        codes::ROLLOUT_COMMIT_TIMEOUT,
+                        format!(
+                            "switch `{sw}` did not acknowledge commit of epoch {epoch} \
+                             within {} attempts",
+                            config.max_attempts
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        match failure {
+            None => {
+                // Finalize: drop retained prior epochs and token logs; the
+                // deployment now serves `epoch` everywhere.
+                for st in self.states.values_mut() {
+                    debug_assert_eq!(
+                        st.epoch, epoch,
+                        "a committed switch must be on the new epoch"
+                    );
+                    st.staged = None;
+                    st.prior = None;
+                    st.tokens.clear();
+                }
+                self.epoch = epoch;
+                report.committed = true;
+            }
+            Some((code, message)) => {
+                report
+                    .diagnostics
+                    .push(Diagnostic::error(code, message.clone()));
+                // Roll every target back — including switches that already
+                // committed (they retained the prior epoch for exactly
+                // this). Rollback messages get a 4× budget; if even that
+                // is exhausted, revert out-of-band rather than leave a
+                // mixed deployment.
+                for sw in &targets {
+                    let msg = ControlMsg {
+                        switch: sw.clone(),
+                        epoch,
+                        token: next_token(),
+                        op: ControlOp::Rollback,
+                    };
+                    let sent = send(
+                        &mut self.states,
+                        channel,
+                        &msg,
+                        config.max_attempts.saturating_mul(4),
+                        config,
+                        &mut rng,
+                        &mut report,
+                    );
+                    if !sent {
+                        if let Some(st) = self.states.get_mut(sw) {
+                            force_rollback(st, epoch);
+                        }
+                        report.forced_rollbacks += 1;
+                        report.diagnostics.push(Diagnostic::warning(
+                            codes::ROLLOUT_CHANNEL_EXHAUSTED,
+                            format!(
+                                "rollback of `{sw}` exhausted the control channel \
+                                 ({} attempts); reverted out-of-band",
+                                config.max_attempts.saturating_mul(4)
+                            ),
+                        ));
+                    }
+                }
+                for st in self.states.values_mut() {
+                    debug_assert_eq!(
+                        st.epoch, self.epoch,
+                        "rollback must restore the prior epoch"
+                    );
+                    st.staged = None;
+                    st.prior = None;
+                    st.tokens.clear();
+                }
+                report.rolled_back = true;
+                report.diagnostics.push(
+                    Diagnostic::warning(
+                        codes::ROLLOUT_ROLLED_BACK,
+                        format!(
+                            "rollout to epoch {epoch} rolled back; epoch {} is serving \
+                             on every switch",
+                            self.epoch
+                        ),
+                    )
+                    .with_note("the burned epoch is never reused; retry allocates a fresh one"),
+                );
+            }
+        }
+        report.elapsed = t0.elapsed();
+        if let Some(obs) = &self.observer {
+            obs.on_phase_end(Phase::Rollout, report.elapsed);
+            obs.on_rollout(&report);
+        }
+        report
+    }
+}
+
+/// Transmit one logical message with bounded retry, exponential backoff
+/// and jitter, applying every delivery (including duplicates and drained
+/// late replays) to the switch state machines. Returns whether an
+/// acknowledgement was obtained within the budget.
+fn send(
+    states: &mut BTreeMap<String, SwitchState>,
+    channel: &mut dyn ControlChannel,
+    msg: &ControlMsg,
+    attempts: u32,
+    config: &RolloutConfig,
+    rng: &mut Rng,
+    report: &mut RolloutReport,
+) -> bool {
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            report.retries += 1;
+            std::thread::sleep(backoff(config, attempt, rng));
+        }
+        // Reordered copies of earlier messages may arrive at any time;
+        // deliver the due ones first. Their acks go nowhere.
+        for late in channel.drain_late() {
+            report.late_replays += 1;
+            deliver(states, &late);
+        }
+        report.messages_sent += 1;
+        match channel.transmit(msg) {
+            Delivery::Delivered => {
+                deliver(states, msg);
+                return true;
+            }
+            Delivery::Duplicated => {
+                report.duplicates += 1;
+                deliver(states, msg);
+                deliver(states, msg); // the duplicate: a token-guarded no-op
+                return true;
+            }
+            Delivery::AckLost => {
+                // The switch applied it; the sender cannot know. The retry
+                // will be acknowledged as a duplicate by the token guard.
+                report.ack_lost += 1;
+                deliver(states, msg);
+            }
+            Delivery::Dropped => {
+                report.dropped += 1;
+            }
+        }
+    }
+    false
+}
+
+/// Exponential backoff for retry `attempt` (≥ 1), with seeded jitter of up
+/// to +50% so racing rollouts do not retry in lockstep.
+fn backoff(config: &RolloutConfig, attempt: u32, rng: &mut Rng) -> Duration {
+    let factor = 1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX);
+    let base = config
+        .base_backoff
+        .saturating_mul(factor)
+        .min(config.max_backoff);
+    base.mul_f64(1.0 + 0.5 * rng.next_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::LossyChannel;
+    use crate::{CompileRequest, Compiler, SolverStrategy};
+    use lyra_ir::PacketState;
+    use lyra_topo::{figure1_network, FaultSet};
+
+    const LB: &str = r#"
+        pipeline[LB]{loadbalancer};
+        algorithm loadbalancer {
+            extern dict<bit[32] h, bit[32] ip>[1024] conn_table;
+            if (flow_h in conn_table) {
+                ipv4.dstAddr = conn_table[flow_h];
+            } else {
+                copy_to_cpu();
+            }
+        }
+    "#;
+    const LB_SCOPES: &str =
+        "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+
+    fn lb_request() -> CompileRequest<'static> {
+        CompileRequest::new(LB, LB_SCOPES, figure1_network())
+            .with_solver_strategy(SolverStrategy::Sequential)
+    }
+
+    #[test]
+    fn reliable_rollout_commits_and_flips_the_output() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 42, 0xabcd).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+
+        let config = RolloutConfig::default().with_scope_health(r.scope_health.clone());
+        let report = rt
+            .apply_rollout(&r.output, &mut ReliableChannel::new(), &config)
+            .unwrap();
+        assert!(report.committed && !report.rolled_back, "{report:?}");
+        assert_eq!(report.forced_rollbacks, 0);
+        assert!(rt.epoch() > epoch_before);
+        assert!(rt.epochs_coherent());
+        assert!(std::ptr::eq(rt.output(), &r.output), "output must flip");
+
+        // The logical entry survived the re-plan onto the new placement.
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 42);
+        let (end, _) = rt.inject(&["Agg4", "ToR3"], pkt).unwrap();
+        assert_eq!(end.get("ipv4.dstAddr"), 0xabcd);
+    }
+
+    #[test]
+    fn dead_commit_channel_rolls_back_to_the_old_epoch() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 7, 0x0a00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+        let logical_before = rt.logical_entries();
+
+        // Kill the first target (alphabetically Agg4) right after its
+        // prepare lands: the commit starves and the rollout must revert —
+        // via forced out-of-band rollback for the dead switch. A tiny
+        // retry budget keeps the test fast.
+        let mut chan = LossyChannel::new(3).with_switch_death("Agg4", 1);
+        let config = RolloutConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(5),
+            max_backoff: Duration::from_micros(50),
+            ..Default::default()
+        };
+        let report = rt.apply_rollout(&r.output, &mut chan, &config).unwrap();
+        assert!(report.rolled_back && !report.committed, "{report:?}");
+        assert!(
+            report.forced_rollbacks >= 1,
+            "the dead switch cannot ack a rollback: {report:?}"
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Some(codes::ROLLOUT_ROLLED_BACK)),
+            "{:?}",
+            report.diagnostics
+        );
+        // Fully back on the old epoch: same epoch, same logical entries,
+        // coherent switches, old output still serving.
+        assert_eq!(rt.epoch(), epoch_before);
+        assert!(rt.epochs_coherent());
+        assert_eq!(rt.logical_entries(), logical_before);
+        assert!(std::ptr::eq(rt.output(), &prior));
+        // The burned epoch is never reused.
+        let report2 = rt
+            .apply_rollout(
+                &r.output,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(report2.committed);
+        assert!(report2.epoch > report.epoch);
+    }
+
+    #[test]
+    fn unsurvivable_scope_health_gates_the_rollout() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        let mut health = BTreeMap::new();
+        health.insert("loadbalancer".to_string(), ScopeHealth::Partitioned);
+        let err = rt
+            .apply_rollout(
+                &prior,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default().with_scope_health(health),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, Some(codes::ROLLOUT_GATED));
+        assert!(rt.epochs_coherent());
+    }
+
+    #[test]
+    fn ack_loss_retries_are_idempotent() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 9, 0x0b00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+
+        // Every message loses its first ack, so every logical message is
+        // applied + retried + token-acknowledged. Duplicates galore.
+        let mut chan = LossyChannel::new(5).with_ack_loss_p(0.6).with_dup_p(0.3);
+        let config = RolloutConfig {
+            base_backoff: Duration::from_micros(5),
+            max_backoff: Duration::from_micros(50),
+            ..Default::default()
+        };
+        let report = rt.apply_rollout(&r.output, &mut chan, &config).unwrap();
+        assert!(report.committed, "{report:?}");
+        assert!(
+            report.retries > 0,
+            "ack loss must force retries: {report:?}"
+        );
+        assert!(rt.epochs_coherent());
+        // Exactly one copy of the entry semantics: the key still resolves.
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 9);
+        let (end, _) = rt.inject(&["Agg4", "ToR4"], pkt).unwrap();
+        assert_eq!(end.get("ipv4.dstAddr"), 0x0b00);
+    }
+
+    #[test]
+    fn report_json_names_the_channel_counters() {
+        let report = RolloutReport {
+            epoch: 3,
+            committed: true,
+            messages_sent: 12,
+            retries: 2,
+            dropped: 1,
+            ack_lost: 1,
+            ..Default::default()
+        };
+        let json = report.to_json().to_pretty();
+        for key in [
+            "\"epoch\"",
+            "\"committed\"",
+            "\"rolled_back\"",
+            "\"messages_sent\"",
+            "\"retries\"",
+            "\"late_replays\"",
+            "\"switches\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

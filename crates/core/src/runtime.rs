@@ -9,65 +9,274 @@
 //! packets along switch paths, executing each hop's placed instructions
 //! with the IR reference interpreter.
 //!
+//! Every switch carries an *epoch tag*: the version of the placement it
+//! serves. Placement changes (failover re-sync, or a full
+//! [`Runtime::apply_rollout`] onto a recompiled placement) go through the
+//! two-phase rollout engine in [`crate::rollout`], which guarantees that
+//! after any control-plane operation returns, all switches share one
+//! epoch — [`Runtime::inject`] refuses to execute a path whose hops
+//! disagree, so a packet can never observe a mixed old/new table set.
+//!
 //! It exists for tests and examples; it is not a performance simulator.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
+use lyra_diag::Code;
 use lyra_ir::{execute, DataPlaneState, Effect, InstrId, PacketState};
 use lyra_topo::FaultSet;
 
-use crate::CompileOutput;
+use crate::{CompileObserver, CompileOutput};
 
 /// Errors from runtime operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeError {
     /// Problem description.
     pub message: String,
+    /// Stable diagnostic code classifying the failure, when one applies
+    /// (rollout failures carry `LYR056x` codes).
+    pub code: Option<Code>,
+}
+
+impl RuntimeError {
+    /// An error with a message and no code.
+    pub fn new(message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+            code: None,
+        }
+    }
+
+    /// Attach a stable diagnostic code.
+    pub fn with_code(mut self, code: Code) -> Self {
+        self.code = Some(code);
+        self
+    }
 }
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "runtime error: {}", self.message)
+        match self.code {
+            Some(c) => write!(f, "runtime error [{c}]: {}", self.message),
+            None => write!(f, "runtime error: {}", self.message),
+        }
     }
 }
 
 impl std::error::Error for RuntimeError {}
 
+/// Per-switch state: the active data plane plus the two-phase bookkeeping
+/// the rollout engine drives (staged next epoch, retained prior epoch,
+/// idempotency tokens already applied).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SwitchState {
+    /// The active (serving) data-plane state.
+    pub(crate) dp: DataPlaneState,
+    /// The epoch the active state belongs to.
+    pub(crate) epoch: u64,
+    /// A prepared-but-uncommitted next epoch: `(epoch, state)`.
+    pub(crate) staged: Option<(u64, DataPlaneState)>,
+    /// The previous epoch retained after a commit, until the rollout
+    /// finalizes — what a rollback restores.
+    pub(crate) prior: Option<(u64, DataPlaneState)>,
+    /// Idempotency tokens of control messages already applied; replays
+    /// and network duplicates of these are acknowledged without effect.
+    pub(crate) tokens: BTreeSet<u64>,
+}
+
+impl SwitchState {
+    /// A fresh switch at `epoch` with globals sized from `output`.
+    pub(crate) fn fresh(output: &CompileOutput, epoch: u64) -> Self {
+        let mut dp = DataPlaneState::new();
+        for (global, &(_, len)) in &output.ir.globals {
+            dp.global(global, len as usize);
+        }
+        SwitchState {
+            dp,
+            epoch,
+            staged: None,
+            prior: None,
+            tokens: BTreeSet::new(),
+        }
+    }
+}
+
 /// A simulated deployment: per-switch data-plane state plus the logical
 /// view the control plane uses.
 pub struct Runtime<'a> {
-    output: &'a CompileOutput,
-    /// Per-switch state (table shards + globals).
-    shards: BTreeMap<String, DataPlaneState>,
-    /// Entries installed per (switch, table) — for capacity accounting.
-    installed: BTreeMap<(String, String), u64>,
+    pub(crate) output: &'a CompileOutput,
+    /// Per-switch state (table shards + globals + epoch bookkeeping).
+    pub(crate) states: BTreeMap<String, SwitchState>,
     /// Elements failed at runtime ([`Runtime::fail_switch`] /
-    /// [`Runtime::fail_link`]). Failed switches hold no shards; paths
+    /// [`Runtime::fail_link`]). Failed switches hold no state; paths
     /// through failed elements reject traffic and receive no installs.
-    faults: FaultSet,
+    pub(crate) faults: FaultSet,
+    /// The epoch every switch currently serves (all switches agree
+    /// whenever control is outside the rollout engine).
+    pub(crate) epoch: u64,
+    /// Monotonic epoch allocator. Rolled-back epochs are burned, never
+    /// reused, so a late message from an abandoned rollout can never be
+    /// mistaken for one from a newer attempt.
+    pub(crate) epoch_counter: u64,
+    /// Optional event sink notified of rollout phases and reports.
+    pub(crate) observer: Option<Arc<dyn CompileObserver>>,
+}
+
+/// Compute the switches that must receive logical entry `(table, key)` so
+/// every surviving flow path sees it — the §5.8 placement decision, shared
+/// between live [`Runtime::install`] and the rollout engine's staged-layout
+/// planner so both place entries identically.
+///
+/// `holds(sw)` reports whether the switch already holds the key;
+/// `used(sw)` reports how many keys its shard of `table` currently holds.
+pub(crate) fn entry_targets(
+    output: &CompileOutput,
+    faults: &FaultSet,
+    table: &str,
+    key: u64,
+    holds: impl Fn(&str) -> bool,
+    used: impl Fn(&str) -> u64,
+) -> Result<Vec<String>, RuntimeError> {
+    let holders: Vec<String> = output
+        .placement
+        .switches
+        .iter()
+        .filter(|(n, p)| p.extern_entries.contains_key(table) && !faults.switch_failed(n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    if holders.is_empty() {
+        return Err(RuntimeError::new(format!(
+            "no surviving switch hosts extern table `{table}`"
+        )));
+    }
+    // Surviving paths that can reach this table (host at least one shard);
+    // paths through failed elements carry no traffic and need no entry.
+    let mut paths: Vec<Vec<String>> = output
+        .flow_paths
+        .values()
+        .flatten()
+        .filter(|p| faults.path_survives(p) && p.iter().any(|sw| holders.contains(sw)))
+        .cloned()
+        .collect();
+    if paths.is_empty() {
+        // Degenerate single-switch deployments.
+        paths = holders.iter().map(|h| vec![h.clone()]).collect();
+    }
+    let capacity = |sw: &str| -> u64 {
+        output
+            .placement
+            .switches
+            .get(sw)
+            .and_then(|p| p.extern_entries.get(table))
+            .copied()
+            .unwrap_or(0)
+    };
+    let mut targets: Vec<String> = Vec::new();
+    for path in &paths {
+        // Already covered (an existing shard, or one chosen for an
+        // earlier path of this same entry)?
+        let covered = path
+            .iter()
+            .any(|sw| holds(sw) || targets.iter().any(|t| t == sw));
+        if covered {
+            continue;
+        }
+        let slot = path.iter().find(|sw| {
+            holders.contains(sw) && {
+                let pending = targets.iter().any(|t| t == *sw) as u64;
+                used(sw) + pending < capacity(sw)
+            }
+        });
+        let Some(sw) = slot else {
+            return Err(RuntimeError::new(format!(
+                "table `{table}` is full along path {path:?}"
+            )));
+        };
+        if !targets.contains(sw) {
+            targets.push(sw.clone());
+        }
+    }
+    let _ = key; // the key itself does not influence shard choice
+    Ok(targets)
+}
+
+/// Place every logical entry into `staged` (per-switch data-plane states)
+/// under `output`'s placement and the given fault set. Entries already
+/// covered on all their surviving paths are no-ops, so seeding `staged`
+/// with the current shard contents reproduces the idempotent-replay
+/// semantics of a control-plane re-sync. Returns the switches that
+/// received at least one entry.
+pub(crate) fn plan_entries(
+    output: &CompileOutput,
+    faults: &FaultSet,
+    staged: &mut BTreeMap<String, DataPlaneState>,
+    entries: &[(String, u64, u64)],
+) -> Result<Vec<String>, RuntimeError> {
+    let mut touched: Vec<String> = Vec::new();
+    for (table, key, value) in entries {
+        let targets = entry_targets(
+            output,
+            faults,
+            table,
+            *key,
+            |sw| {
+                staged
+                    .get(sw)
+                    .and_then(|dp| dp.externs.get(table))
+                    .map(|t| t.contains_key(key))
+                    .unwrap_or(false)
+            },
+            |sw| {
+                staged
+                    .get(sw)
+                    .and_then(|dp| dp.externs.get(table))
+                    .map(|t| t.len() as u64)
+                    .unwrap_or(0)
+            },
+        )?;
+        for sw in targets {
+            staged
+                .entry(sw.clone())
+                .or_default()
+                .install(table, *key, *value);
+            if !touched.contains(&sw) {
+                touched.push(sw);
+            }
+        }
+    }
+    Ok(touched)
 }
 
 impl<'a> Runtime<'a> {
     /// Build a runtime over a compilation result. Globals are sized from
     /// the program's declarations on every hosting switch.
     pub fn new(output: &'a CompileOutput) -> Self {
-        let mut shards: BTreeMap<String, DataPlaneState> = BTreeMap::new();
-        for (switch, plan) in &output.placement.switches {
-            let mut dp = DataPlaneState::new();
-            for instrs in plan.instrs.values() {
-                let _ = instrs;
-            }
-            for (global, &(_, len)) in &output.ir.globals {
-                dp.global(global, len as usize);
-            }
-            shards.insert(switch.clone(), dp);
-        }
+        let states = output
+            .placement
+            .switches
+            .keys()
+            .map(|switch| (switch.clone(), SwitchState::fresh(output, 0)))
+            .collect();
         Runtime {
             output,
-            shards,
-            installed: BTreeMap::new(),
+            states,
             faults: FaultSet::new(),
+            epoch: 0,
+            epoch_counter: 0,
+            observer: None,
         }
+    }
+
+    /// Register an event sink notified of rollout phases and reports
+    /// (shares the [`CompileObserver`] trait with the compiler).
+    pub fn set_observer(&mut self, observer: Arc<dyn CompileObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// The compilation this runtime currently serves (flips to the new
+    /// output when a rollout commits).
+    pub fn output(&self) -> &'a CompileOutput {
+        self.output
     }
 
     /// The elements failed so far.
@@ -75,15 +284,40 @@ impl<'a> Runtime<'a> {
         &self.faults
     }
 
-    /// Capacity of `table` on `switch` per the solved placement.
-    fn capacity(&self, switch: &str, table: &str) -> u64 {
-        self.output
-            .placement
-            .switches
-            .get(switch)
-            .and_then(|p| p.extern_entries.get(table))
-            .copied()
-            .unwrap_or(0)
+    /// The placement epoch every switch currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch one switch serves (`None` for unknown/failed switches).
+    pub fn switch_epoch(&self, switch: &str) -> Option<u64> {
+        self.states.get(switch).map(|st| st.epoch)
+    }
+
+    /// True when every switch serves the runtime's epoch with no staged or
+    /// retained side state — the invariant the rollout engine restores
+    /// before returning, asserted by the chaos tests.
+    pub fn epochs_coherent(&self) -> bool {
+        self.states
+            .values()
+            .all(|st| st.epoch == self.epoch && st.staged.is_none() && st.prior.is_none())
+    }
+
+    /// All logical entries currently installed, as `(table, key, value)`
+    /// triples (the union over every shard — the control plane's view).
+    pub fn logical_entries(&self) -> Vec<(String, u64, u64)> {
+        let mut merged: BTreeMap<(String, u64), u64> = BTreeMap::new();
+        for st in self.states.values() {
+            for (table, entries) in &st.dp.externs {
+                for (&k, &v) in entries {
+                    merged.entry((table.clone(), k)).or_insert(v);
+                }
+            }
+        }
+        merged
+            .into_iter()
+            .map(|((table, k), v)| (table, k, v))
+            .collect()
     }
 
     /// Install a logical entry into `table`. The control plane does not
@@ -94,167 +328,54 @@ impl<'a> Runtime<'a> {
     /// not need to know exactly how each table is mapped to target
     /// devices").
     ///
-    /// Returns the switches that received the entry.
+    /// Returns the switches that received the entry. An already-covered
+    /// key is an idempotent no-op, not an error — the control plane may
+    /// replay installs (e.g. after a failover re-sync) without tracking
+    /// which entries survived.
     pub fn install(
         &mut self,
         table: &str,
         key: u64,
         value: u64,
     ) -> Result<Vec<String>, RuntimeError> {
-        let holders: Vec<String> = self
-            .output
-            .placement
-            .switches
-            .iter()
-            .filter(|(n, p)| p.extern_entries.contains_key(table) && !self.faults.switch_failed(n))
-            .map(|(n, _)| n.clone())
-            .collect();
-        if holders.is_empty() {
-            return Err(RuntimeError {
-                message: format!("no surviving switch hosts extern table `{table}`"),
-            });
-        }
-        // Surviving paths that can reach this table (host at least one
-        // shard); paths through failed elements carry no traffic and need
-        // no entry.
-        let mut paths: Vec<Vec<String>> = self
-            .output
-            .flow_paths
-            .values()
-            .flatten()
-            .filter(|p| self.faults.path_survives(p) && p.iter().any(|sw| holders.contains(sw)))
-            .cloned()
-            .collect();
-        if paths.is_empty() {
-            // Degenerate single-switch deployments.
-            paths = holders.iter().map(|h| vec![h.clone()]).collect();
-        }
-        let mut placed: Vec<String> = Vec::new();
-        for path in &paths {
-            // Already covered (a shared shard from an earlier path)?
-            let covered = path.iter().any(|sw| {
-                self.shards
+        let targets = entry_targets(
+            self.output,
+            &self.faults,
+            table,
+            key,
+            |sw| {
+                self.states
                     .get(sw)
-                    .and_then(|dp| dp.externs.get(table))
+                    .and_then(|st| st.dp.externs.get(table))
                     .map(|t| t.contains_key(&key))
                     .unwrap_or(false)
-            });
-            if covered {
-                continue;
-            }
-            let slot = path.iter().find(|sw| {
-                holders.contains(sw) && {
-                    let cap = self.capacity(sw, table);
-                    let used = self
-                        .installed
-                        .get(&((*sw).clone(), table.to_string()))
-                        .copied()
-                        .unwrap_or(0);
-                    used < cap
-                }
-            });
-            let Some(sw) = slot else {
-                return Err(RuntimeError {
-                    message: format!("table `{table}` is full along path {path:?}"),
-                });
-            };
-            self.shards
-                .get_mut(sw)
-                .expect("shard exists")
-                .install(table, key, value);
-            *self
-                .installed
-                .entry((sw.clone(), table.to_string()))
-                .or_insert(0) += 1;
-            if !placed.contains(sw) {
-                placed.push(sw.clone());
-            }
+            },
+            |sw| {
+                self.states
+                    .get(sw)
+                    .and_then(|st| st.dp.externs.get(table))
+                    .map(|t| t.len() as u64)
+                    .unwrap_or(0)
+            },
+        )?;
+        for sw in &targets {
+            // A chosen holder always has live state: entry_targets only
+            // proposes unfailed placement switches, which `new` seeded and
+            // only `fail_switch` removes.
+            let st = self.states.get_mut(sw).ok_or_else(|| {
+                RuntimeError::new(format!("internal: placement switch `{sw}` has no state"))
+            })?;
+            st.dp.install(table, key, value);
         }
-        // An already-covered key is an idempotent no-op, not an error — the
-        // control plane may replay installs (e.g. after a failover re-sync)
-        // without tracking which entries survived.
-        Ok(placed)
-    }
-
-    /// Fail a switch at runtime: its shards vanish, and every logical entry
-    /// it held is re-installed on surviving holders (the control-plane
-    /// re-sync an operator would perform). Paths through the switch stop
-    /// carrying traffic. Returns the switches that received re-synced
-    /// entries; fails when some entry no longer fits anywhere.
-    pub fn fail_switch(&mut self, switch: &str) -> Result<Vec<String>, RuntimeError> {
-        if !self
-            .output
-            .flow_paths
-            .values()
-            .flatten()
-            .any(|p| p.iter().any(|s| s == switch))
-            && !self.output.placement.switches.contains_key(switch)
-        {
-            return Err(RuntimeError {
-                message: format!("unknown switch `{switch}`"),
-            });
-        }
-        if self.faults.switch_failed(switch) {
-            return Ok(Vec::new());
-        }
-        // Capture the dying shard's logical entries before discarding it.
-        let lost: Vec<(String, u64, u64)> = self
-            .shards
-            .get(switch)
-            .map(|dp| {
-                dp.externs
-                    .iter()
-                    .flat_map(|(t, entries)| entries.iter().map(|(&k, &v)| (t.clone(), k, v)))
-                    .collect()
-            })
-            .unwrap_or_default();
-        self.shards.remove(switch);
-        self.installed.retain(|(sw, _), _| sw != switch);
-        self.faults.add_switch(switch);
-        self.resync(lost)
-    }
-
-    /// Fail a link at runtime. No shard state is lost (entries live on
-    /// switches), but paths crossing the link stop carrying traffic; the
-    /// re-sync re-installs any logical entry whose only shard, for some
-    /// surviving path, sat beyond the dead link. Returns the switches that
-    /// received re-synced entries.
-    pub fn fail_link(&mut self, a: &str, b: &str) -> Result<Vec<String>, RuntimeError> {
-        self.faults.add_link(a, b);
-        // Replay every installed entry: surviving paths already covered are
-        // untouched (idempotent install), newly-uncovered ones get a shard.
-        let all: Vec<(String, u64, u64)> = self
-            .shards
-            .values()
-            .flat_map(|dp| {
-                dp.externs
-                    .iter()
-                    .flat_map(|(t, entries)| entries.iter().map(|(&k, &v)| (t.clone(), k, v)))
-            })
-            .collect();
-        self.resync(all)
-    }
-
-    /// Re-install logical entries after a failure. Entries whose surviving
-    /// paths are all still covered are no-ops; the rest land on surviving
-    /// holders with capacity, or the re-sync fails with a capacity error.
-    fn resync(&mut self, entries: Vec<(String, u64, u64)>) -> Result<Vec<String>, RuntimeError> {
-        let mut touched: Vec<String> = Vec::new();
-        for (table, key, value) in entries {
-            for sw in self.install(&table, key, value)? {
-                if !touched.contains(&sw) {
-                    touched.push(sw);
-                }
-            }
-        }
-        Ok(touched)
+        Ok(targets)
     }
 
     /// Entries currently installed in `table` on `switch`.
     pub fn installed_on(&self, switch: &str, table: &str) -> u64 {
-        self.installed
-            .get(&(switch.to_string(), table.to_string()))
-            .copied()
+        self.states
+            .get(switch)
+            .and_then(|st| st.dp.externs.get(table))
+            .map(|t| t.len() as u64)
             .unwrap_or(0)
     }
 
@@ -262,23 +383,39 @@ impl<'a> Runtime<'a> {
     /// Executes each hop's placed instructions for every algorithm, in
     /// program order, sharing the packet state across hops (the bridge
     /// header). Returns the final packet state and all fired effects.
+    ///
+    /// Refuses paths through failed elements, and paths whose hops serve
+    /// different placement epochs — the per-switch consistency guarantee
+    /// of the rollout engine, enforced at the data plane.
     pub fn inject(
         &mut self,
         path: &[&str],
         mut pkt: PacketState,
     ) -> Result<(PacketState, Vec<Effect>), RuntimeError> {
         if let Some(dead) = path.iter().find(|s| self.faults.switch_failed(s)) {
-            return Err(RuntimeError {
-                message: format!("path traverses failed switch `{dead}`"),
-            });
+            return Err(RuntimeError::new(format!(
+                "path traverses failed switch `{dead}`"
+            )));
         }
         if let Some(w) = path
             .windows(2)
             .find(|w| self.faults.link_failed(w[0], w[1]))
         {
-            return Err(RuntimeError {
-                message: format!("path traverses failed link `{}` — `{}`", w[0], w[1]),
-            });
+            return Err(RuntimeError::new(format!(
+                "path traverses failed link `{}` — `{}`",
+                w[0], w[1]
+            )));
+        }
+        if let Some((sw, e)) = path
+            .iter()
+            .filter_map(|sw| self.states.get(*sw).map(|st| (*sw, st.epoch)))
+            .find(|&(_, e)| e != self.epoch)
+        {
+            return Err(RuntimeError::new(format!(
+                "switch `{sw}` serves epoch {e} but the deployment is at epoch {}; \
+                 refusing a mixed-epoch path",
+                self.epoch
+            )));
         }
         let mut effects = Vec::new();
         for &switch in path {
@@ -287,18 +424,20 @@ impl<'a> Runtime<'a> {
                 // transit-only.
                 continue;
             };
-            let dp = self.shards.entry(switch.to_string()).or_default();
+            let Some(st) = self.states.get_mut(switch) else {
+                // A placement switch with no live state would mean traffic
+                // through a dead element — already refused above.
+                return Err(RuntimeError::new(format!(
+                    "placement switch `{switch}` has no live state"
+                )));
+            };
             for (alg_name, instrs) in &plan.instrs {
-                let alg = self
-                    .output
-                    .ir
-                    .algorithm(alg_name)
-                    .ok_or_else(|| RuntimeError {
-                        message: format!("placement names unknown algorithm `{alg_name}`"),
-                    })?;
+                let alg = self.output.ir.algorithm(alg_name).ok_or_else(|| {
+                    RuntimeError::new(format!("placement names unknown algorithm `{alg_name}`"))
+                })?;
                 let mut ordered: Vec<InstrId> = instrs.clone();
                 ordered.sort();
-                effects.extend(execute(alg, &ordered, &mut pkt, dp));
+                effects.extend(execute(alg, &ordered, &mut pkt, &mut st.dp));
             }
         }
         Ok((pkt, effects))
@@ -306,9 +445,9 @@ impl<'a> Runtime<'a> {
 
     /// Read a global register on a switch (for assertions in tests).
     pub fn global(&self, switch: &str, name: &str, index: usize) -> Option<u64> {
-        self.shards
+        self.states
             .get(switch)
-            .and_then(|dp| dp.globals.get(name))
+            .and_then(|st| st.dp.globals.get(name))
             .and_then(|arr| arr.get(index))
             .copied()
     }
@@ -416,6 +555,23 @@ mod tests {
     }
 
     #[test]
+    fn logical_entries_merge_all_shards() {
+        let out = lb_output();
+        let mut rt = Runtime::new(&out);
+        rt.install("conn_table", 1, 10).unwrap();
+        rt.install("conn_table", 2, 20).unwrap();
+        let mut entries = rt.logical_entries();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![
+                ("conn_table".to_string(), 1, 10),
+                ("conn_table".to_string(), 2, 20)
+            ]
+        );
+    }
+
+    #[test]
     fn fail_switch_resyncs_entries_and_refuses_traffic() {
         let out = lb_output();
         let mut rt = Runtime::new(&out);
@@ -455,6 +611,11 @@ mod tests {
                 "entry lost on surviving path {path:?}"
             );
         }
+
+        // The re-sync went through the rollout engine: the epoch advanced
+        // and every survivor agrees on it.
+        assert!(rt.epoch() > 0, "re-sync must bump the epoch");
+        assert!(rt.epochs_coherent());
 
         // Failing the same switch again is a no-op.
         assert_eq!(rt.fail_switch("Agg3").unwrap(), Vec::<String>::new());

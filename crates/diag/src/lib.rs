@@ -113,7 +113,8 @@ impl fmt::Display for Code {
 /// * `LYR03xx` — SMT encoding (pre-solve structural errors)
 /// * `LYR04xx` — synthesis outcomes (infeasibility families, budget)
 /// * `LYR05xx` — code generation, backend validation, and robustness
-///   (`LYR055x` are degraded-result and fault-model codes)
+///   (`LYR055x` are degraded-result and fault-model codes, `LYR056x` are
+///   transactional-rollout codes)
 pub mod codes {
     use super::Code;
 
@@ -202,6 +203,23 @@ pub mod codes {
     /// A fault set left an algorithm scope with switches but no surviving
     /// flow path (the scope region is partitioned).
     pub const FAULT_PARTITIONED: Code = Code("LYR0552");
+
+    /// A transactional rollout could not stage its new placement on some
+    /// switch (capacity refused, switch dead, or the prepare message never
+    /// got through).
+    pub const ROLLOUT_PREPARE_FAILED: Code = Code("LYR0560");
+    /// A rollout prepared everywhere but a commit was never acknowledged
+    /// within the retry budget.
+    pub const ROLLOUT_COMMIT_TIMEOUT: Code = Code("LYR0561");
+    /// Warning: the rollout was rolled back; every switch serves the prior
+    /// epoch (the message names the failure that triggered it).
+    pub const ROLLOUT_ROLLED_BACK: Code = Code("LYR0562");
+    /// The control channel to one switch exhausted its bounded retries
+    /// (drops/timeouts on every attempt).
+    pub const ROLLOUT_CHANNEL_EXHAUSTED: Code = Code("LYR0563");
+    /// A rollout was refused up front: an algorithm scope is not
+    /// survivable under the current fault set (gating check).
+    pub const ROLLOUT_GATED: Code = Code("LYR0564");
 }
 
 /// Identifies one source text inside a [`SourceMap`].
@@ -503,6 +521,14 @@ pub fn lookup_code(s: &str) -> Option<Code> {
         SOLVER_BUDGET,
         CODEGEN,
         VALIDATE,
+        DEGRADED,
+        FAULT_UNREACHABLE,
+        FAULT_PARTITIONED,
+        ROLLOUT_PREPARE_FAILED,
+        ROLLOUT_COMMIT_TIMEOUT,
+        ROLLOUT_ROLLED_BACK,
+        ROLLOUT_CHANNEL_EXHAUSTED,
+        ROLLOUT_GATED,
     ];
     ALL.iter().copied().find(|c| c.0 == s)
 }
@@ -538,6 +564,9 @@ pub enum Phase {
     Synthesize,
     /// Per-switch backend code generation.
     Codegen,
+    /// Transactional control-plane rollout of a placement onto a running
+    /// deployment (prepare/commit across switches).
+    Rollout,
 }
 
 impl Phase {
@@ -552,6 +581,7 @@ impl Phase {
             Phase::Solve => "solve",
             Phase::Synthesize => "synthesize",
             Phase::Codegen => "codegen",
+            Phase::Rollout => "rollout",
         }
     }
 }

@@ -23,7 +23,7 @@
 
 use std::time::{Duration, Instant};
 
-use lyra::{CompileRequest, Compiler, Runtime, SolverStrategy};
+use lyra::{CompileRequest, Compiler, LossyChannel, RolloutConfig, Runtime, SolverStrategy};
 use lyra_ir::{execute_all, DataPlaneState, Effect, PacketState};
 use lyra_lang::parse_scopes;
 use lyra_topo::{fat_tree_pod, figure1_network, resolve_scope, scope_health, FaultSet};
@@ -255,6 +255,257 @@ fn runtime_fault_injection_resyncs_and_preserves_semantics() {
         }
         let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
         check_paths(&mut rt, &out, &faults, &installed, &probes, scenario);
+    }
+}
+
+/// Chaos acceptance for the transactional rollout engine (§ tentpole):
+/// ≥200 seeded scenarios drive `Runtime::apply_rollout` over a lossy
+/// control channel — drop probability 0.3, ack loss, duplicates, late
+/// replays, and (every fourth scenario) a switch whose control session
+/// dies mid-rollout. Every scenario must leave the deployment serving
+/// either the full old placement or the full new placement — never a
+/// mix — and the post-rollout data plane must match the reference
+/// interpreter for whichever epoch won.
+#[test]
+fn rollout_chaos_commits_fully_or_rolls_back_fully_across_200_scenarios() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let mut rng = Rng::new(0x0_5eed_fa11);
+
+    let (mut committed_n, mut rolled_back_n, mut mixed_epoch_n) = (0usize, 0usize, 0usize);
+    for scenario in 0..200 {
+        let faults = survivable_faults(&mut rng);
+        let r = compiler
+            .recompile_for_faults(&req, &healthy, &faults)
+            .unwrap_or_else(|e| panic!("scenario {scenario}: recompile: {e}"));
+
+        // Bring up the old placement, install entries, and apply the
+        // faults live (reliable re-sync) so the rollout starts from a
+        // coherent degraded deployment.
+        let mut rt = Runtime::new(&healthy);
+        let mut installed: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..(1 + rng.below(8)) {
+            let (k, v) = (rng.below(64), 1 + rng.below(1 << 24));
+            if installed.iter().any(|&(ik, _)| ik == k) {
+                continue;
+            }
+            rt.install("conn_table", k, v)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: install: {e}"));
+            installed.push((k, v));
+        }
+        for sw in faults.failed_switches() {
+            rt.fail_switch(sw)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: fail_switch({sw}): {e}"));
+        }
+        for (a, b) in faults.failed_links() {
+            rt.fail_link(a, b)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: fail_link({a},{b}): {e}"));
+        }
+
+        // The chaos channel: heavy loss, plus a mid-rollout control-session
+        // death on one of the new placement's switches every 4th scenario.
+        let mut chan = LossyChannel::new(1 + rng.next())
+            .with_drop_p(0.3)
+            .with_ack_loss_p(0.15)
+            .with_dup_p(0.15)
+            .with_late_p(0.1);
+        if scenario % 4 == 0 {
+            if let Some(victim) = r.output.placement.switches.keys().next() {
+                chan = chan.with_switch_death(victim.clone(), 1 + rng.below(4));
+            }
+        }
+        let config = RolloutConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            seed: rng.next(),
+            scope_health: r.scope_health.clone(),
+        };
+
+        let old_epoch = rt.epoch();
+        let report = rt
+            .apply_rollout(&r.output, &mut chan, &config)
+            .unwrap_or_else(|e| panic!("scenario {scenario}: apply_rollout: {e}"));
+
+        // All-or-nothing: exactly one outcome, and no switch may be left
+        // serving a stale epoch or carrying staged/prior side state.
+        assert!(
+            report.committed ^ report.rolled_back,
+            "scenario {scenario}: rollout neither committed nor rolled back cleanly"
+        );
+        if !rt.epochs_coherent() {
+            mixed_epoch_n += 1;
+        }
+        if report.committed {
+            committed_n += 1;
+            assert!(
+                rt.epoch() > old_epoch,
+                "scenario {scenario}: commit did not advance the epoch"
+            );
+            let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+            check_paths(&mut rt, &r.output, &faults, &installed, &probes, scenario);
+        } else {
+            rolled_back_n += 1;
+            assert_eq!(
+                rt.epoch(),
+                old_epoch,
+                "scenario {scenario}: rollback did not restore the old epoch"
+            );
+            let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+            check_paths(&mut rt, &healthy, &faults, &installed, &probes, scenario);
+        }
+    }
+    assert_eq!(
+        mixed_epoch_n, 0,
+        "{mixed_epoch_n} scenarios observed mixed-epoch state"
+    );
+    assert!(
+        committed_n > 0 && rolled_back_n > 0,
+        "chaos must exercise both outcomes: {committed_n} commits, {rolled_back_n} rollbacks"
+    );
+}
+
+/// Runtime switch failure over a *lossy* control channel: the re-sync
+/// transaction either commits (entries live on survivors, semantics match
+/// the reference) or rolls back (old epoch restored everywhere) — and the
+/// epoch invariant holds either way.
+#[test]
+fn lossy_fail_switch_resync_commits_or_rolls_back_cleanly() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let out = compiler.compile(&req).expect("healthy compile");
+    let mut rng = Rng::new(0xdead_10cc);
+
+    let (mut committed_n, mut rolled_back_n) = (0usize, 0usize);
+    for scenario in 0..40 {
+        let mut rt = Runtime::new(&out);
+        let mut installed: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..4 {
+            let (k, v) = (rng.below(64), 1 + rng.below(1 << 24));
+            if installed.iter().any(|&(ik, _)| ik == k) {
+                continue;
+            }
+            rt.install("conn_table", k, v).unwrap();
+            installed.push((k, v));
+        }
+        let victim = SWITCH_POOL[rng.below(2) as usize]; // Agg3 or Agg4: always survivable
+        let mut chan = LossyChannel::new(1 + rng.next())
+            .with_drop_p(0.35)
+            .with_ack_loss_p(0.2)
+            .with_dup_p(0.2);
+        let config = RolloutConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            ..RolloutConfig::default()
+        };
+        let old_epoch = rt.epoch();
+        let report = rt
+            .fail_switch_with_channel(victim, &mut chan, &config)
+            .unwrap_or_else(|e| panic!("scenario {scenario}: fail_switch({victim}): {e}"));
+
+        assert!(
+            rt.epochs_coherent(),
+            "scenario {scenario}: lossy re-sync left mixed-epoch state"
+        );
+        // The failed switch refuses traffic regardless of outcome.
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 1);
+        assert!(rt.inject(&[victim], pkt).is_err());
+        if report.committed {
+            committed_n += 1;
+            let mut faults = FaultSet::new();
+            faults.add_switch(victim);
+            let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+            check_paths(&mut rt, &out, &faults, &installed, &probes, scenario);
+        } else {
+            rolled_back_n += 1;
+            assert_eq!(rt.epoch(), old_epoch);
+        }
+    }
+    assert!(
+        committed_n > 0,
+        "no lossy re-sync ever committed ({rolled_back_n} rollbacks)"
+    );
+}
+
+/// The rollout engine is fully deterministic for a fixed seed: replaying
+/// the same scenario (same channel seed, same config seed, same mid-
+/// rollout death) reproduces the exact channel counters and outcome.
+#[test]
+fn rollout_outcome_is_deterministic_for_a_fixed_seed() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let mut faults = FaultSet::new();
+    faults.add_switch("ToR3");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("recompile");
+
+    let run = || {
+        let mut rt = Runtime::new(&healthy);
+        rt.install("conn_table", 7, 0x0a00_0007).unwrap();
+        rt.fail_switch("ToR3").unwrap();
+        let victim = r.output.placement.switches.keys().next().unwrap().clone();
+        let mut chan = LossyChannel::new(0xabad_cafe)
+            .with_drop_p(0.3)
+            .with_ack_loss_p(0.15)
+            .with_switch_death(victim, 2);
+        let config = RolloutConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            seed: 99,
+            scope_health: r.scope_health.clone(),
+        };
+        rt.apply_rollout(&r.output, &mut chan, &config).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.rolled_back, b.rolled_back);
+    assert_eq!(a.forced_rollbacks, b.forced_rollbacks);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.retries, b.retries);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.ack_lost, b.ack_lost);
+    assert_eq!(a.duplicates, b.duplicates);
+}
+
+/// Retries and rollbacks surface in the compile-session JSON (`lyrac
+/// --emit-stats` carries the same object).
+#[test]
+fn rollout_report_lands_in_session_json() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solver_strategy(SolverStrategy::Sequential);
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let mut faults = FaultSet::new();
+    faults.add_switch("Agg3");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("recompile");
+
+    let mut rt = Runtime::new(&healthy);
+    rt.install("conn_table", 3, 0x0a00_0003).unwrap();
+    rt.fail_switch("Agg3").unwrap();
+    let mut chan = LossyChannel::new(11).with_ack_loss_p(0.8);
+    let config = RolloutConfig::default().with_scope_health(r.scope_health.clone());
+    let report = rt.apply_rollout(&r.output, &mut chan, &config).unwrap();
+    assert!(report.retries > 0, "ack loss at 0.8 must force retries");
+
+    let json = healthy.session().with_rollout(report).to_json().to_string();
+    for key in [
+        "\"rollout\"",
+        "\"retries\"",
+        "\"rolled_back\"",
+        "\"forced_rollbacks\"",
+    ] {
+        assert!(json.contains(key), "session JSON missing {key}: {json}");
     }
 }
 
