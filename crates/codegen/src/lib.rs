@@ -12,6 +12,7 @@
 pub mod control;
 pub mod emit;
 pub mod npl;
+pub mod oracle;
 pub mod p414;
 pub mod p416;
 pub mod validate;

@@ -320,4 +320,51 @@ program main {
         let code = "program main {\n    ghost.lookup(0);\n}\n";
         assert!(validate_npl(code).is_err());
     }
+
+    #[test]
+    fn npl_detects_undeclared_function_call() {
+        let code = "function real_fn() {\n}\nprogram main {\n    ghost_fn();\n}\n";
+        let err = validate_npl(code).unwrap_err();
+        assert!(err.message.contains("ghost_fn"), "{err}");
+        let ok = "function real_fn() {\n}\nprogram main {\n    real_fn();\n}\n";
+        assert!(validate_npl(ok).is_ok());
+    }
+
+    #[test]
+    fn p416_detects_undeclared_apply() {
+        let code = "control LyraIngress {\n    apply {\n        ghost.apply();\n    }\n}\n";
+        let err = validate_p416(code).unwrap_err();
+        assert!(err.message.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn p416_counts() {
+        let code = r#"
+register<bit<32>>(16) r0;
+action set_x() { md.x = 1; }
+table t1 {
+    key = { md.x : exact; }
+    actions = { set_x; NoAction; }
+}
+control LyraIngress {
+    apply {
+        t1.apply();
+    }
+}
+"#;
+        let s = validate_p416(code).unwrap();
+        assert_eq!(s.tables, 1);
+        assert_eq!(s.actions, 1);
+        assert_eq!(s.registers, 1);
+    }
+
+    #[test]
+    fn brace_errors_name_the_problem() {
+        // The two brace failure modes carry distinct messages: a premature
+        // `}` reports its line; a missing `}` reports the open count.
+        let early = check_braces("}\n").unwrap_err();
+        assert!(early.message.contains("line 1"), "{early}");
+        let open = check_braces("a {\nb {\n").unwrap_err();
+        assert!(open.message.contains("2 unclosed"), "{open}");
+    }
 }

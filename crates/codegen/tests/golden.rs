@@ -288,3 +288,33 @@ fn oversized_tcam_table_rejected() {
         .unwrap_err();
     assert!(err.to_string().contains("fit"), "{err}");
 }
+
+#[test]
+fn npl_interleaved_statement_runs_in_previous_pass() {
+    // Regression: `v4 = v4 | v3` sits between two lookups of the same
+    // extern, so the merged logical table carries it in fields_assign.
+    // Pass k's key is constructed before its fields_assign runs, so the
+    // statement must be guarded by the *previous* pass (`_LOOKUP1`), not
+    // the pass whose key it feeds — the oracle caught lookup 2 reading a
+    // stale v4 under the old `_LOOKUP2` guard.
+    let program = r#"
+        pipeline[P]{a};
+        algorithm a {
+            extern dict<bit[32] k, bit[32] v>[64] t;
+            if (v0 in t) { v4 = t[v0]; }
+            v4 = v4 | v3;
+            if (v4 in t) { v4 = t[v4]; }
+        }
+    "#;
+    let code = compile_on(program, "a", "trident4");
+    let stmt = code
+        .find("lyra_bus.a_v4 = lyra_bus.a_v4 | lyra_bus.a_v3;")
+        .unwrap_or_else(|| panic!("or-statement missing:\n{code}"));
+    let guard = code[..stmt]
+        .rfind("if (_LOOKUP")
+        .map(|g| &code[g..g + "if (_LOOKUPn".len()])
+        .expect("guarded statement");
+    assert_eq!(guard, "if (_LOOKUP1", "wrong pass guard:\n{code}");
+    // Pass 2 still reads the post-or v4 as its key.
+    assert!(code.contains("if (_LOOKUP2)"), "{code}");
+}

@@ -60,6 +60,9 @@ struct Args {
     rollout_fail: Option<String>,
     rollout_drop_p: f64,
     rollout_seed: u64,
+    oracle: bool,
+    oracle_cases: u64,
+    oracle_seed: u64,
 }
 
 fn usage() -> ! {
@@ -73,6 +76,12 @@ fn usage() -> ! {
          \x20            [--diag-format human|json] [--emit-stats FILE]\n\
          \x20            [--rollout-fail ELEMS] [--rollout-drop-p P]\n\
          \x20            [--rollout-seed N]\n\
+         \x20            [--oracle] [--oracle-cases N] [--oracle-seed N]\n\
+         \n\
+         \x20 --oracle re-parses every emitted artifact and executes seeded\n\
+         \x20 packets through it, comparing against the IR reference\n\
+         \x20 interpreter; a divergence prints a minimized counterexample\n\
+         \x20 (LYR06xx) and fails the build.\n\
          \n\
          \x20 --deadline-ms / --decision-budget bound the solve phase; on\n\
          \x20 expiry the degradation ladder still produces deployable code\n\
@@ -116,6 +125,9 @@ fn parse_args() -> Args {
     let mut rollout_fail = None;
     let mut rollout_drop_p = 0.0;
     let mut rollout_seed = 0xC0FFEE;
+    let mut oracle = false;
+    let mut oracle_cases = lyra::OracleConfig::default().cases;
+    let mut oracle_seed = lyra::OracleConfig::default().seed;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -212,6 +224,29 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--oracle" => oracle = true,
+            "--oracle-cases" => {
+                let v = value(&mut it);
+                oracle_cases = match v.parse::<u64>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("invalid --oracle-cases value `{v}`");
+                        usage()
+                    }
+                };
+                oracle = true;
+            }
+            "--oracle-seed" => {
+                let v = value(&mut it);
+                oracle_seed = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("invalid --oracle-seed value `{v}`");
+                        usage()
+                    }
+                };
+                oracle = true;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -238,6 +273,9 @@ fn parse_args() -> Args {
         rollout_fail,
         rollout_drop_p,
         rollout_seed,
+        oracle,
+        oracle_cases,
+        oracle_seed,
     }
 }
 
@@ -447,6 +485,40 @@ fn main() -> ExitCode {
                 .map_err(|e| format!("cannot write {}: {e}", ctl_path.display()))?;
         }
         out.validate_all().map_err(|e| e.to_string())?;
+        if args.oracle {
+            let cfg = lyra::OracleConfig {
+                cases: args.oracle_cases,
+                seed: args.oracle_seed,
+            };
+            let report = lyra::check_output(&out, &cfg);
+            println!(
+                "oracle: {} case(s) x {} artifact(s), seed {:#x} — {}",
+                report.cases_per_artifact,
+                report.artifacts_checked,
+                args.oracle_seed,
+                if report.is_clean() {
+                    "clean"
+                } else {
+                    "DIVERGED"
+                }
+            );
+            for d in &report.diagnostics {
+                match d.code {
+                    Some(c) => println!("  [{c}] {}", d.message),
+                    None => println!("  {}", d.message),
+                }
+                for n in &d.notes {
+                    println!("    note: {n}");
+                }
+            }
+            if !report.is_clean() {
+                return Err(format!(
+                    "oracle found {} divergence(s); artifacts in {} are unsound",
+                    report.diagnostics.len(),
+                    args.out.display()
+                ));
+            }
+        }
         println!(
             "compiled {} algorithm(s) onto {} switch(es) in {:?}",
             out.ir.algorithms.len(),

@@ -66,12 +66,14 @@
 pub mod cache;
 pub mod channel;
 pub mod fault;
+pub mod oracle;
 pub mod rollout;
 pub mod runtime;
 
 pub use cache::{synth_key, SynthCache};
 pub use channel::{ControlChannel, ControlMsg, ControlOp, Delivery, LossyChannel, ReliableChannel};
 pub use fault::{FaultRecompile, PlacementDiff};
+pub use oracle::{check_output, OracleConfig, OracleReport};
 pub use rollout::{RolloutConfig, RolloutReport, SwitchRollout};
 pub use runtime::{Runtime, RuntimeError};
 

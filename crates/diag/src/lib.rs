@@ -115,6 +115,8 @@ impl fmt::Display for Code {
 /// * `LYR05xx` — code generation, backend validation, and robustness
 ///   (`LYR055x` are degraded-result and fault-model codes, `LYR056x` are
 ///   transactional-rollout codes)
+/// * `LYR06xx` — semantic-oracle and IR-invariant codes (differential
+///   checking of emitted artifacts against the IR interpreter)
 pub mod codes {
     use super::Code;
 
@@ -220,6 +222,25 @@ pub mod codes {
     /// A rollout was refused up front: an algorithm scope is not
     /// survivable under the current fault set (gating check).
     pub const ROLLOUT_GATED: Code = Code("LYR0564");
+
+    /// The semantic oracle found a divergence between the IR interpreter
+    /// and the model recovered from one emitted artifact (the message
+    /// names the switch, backend, and first differing field/effect).
+    pub const ORACLE_DIVERGENCE: Code = Code("LYR0601");
+    /// The semantic oracle found a divergence between two emitted
+    /// backends compiled from the same program (cross-backend pair check).
+    pub const ORACLE_PAIR_DIVERGENCE: Code = Code("LYR0602");
+    /// The oracle could not parse an emitted artifact back into an
+    /// executable model (unknown statement shape, name collision after
+    /// sanitization, or a malformed table block).
+    pub const ORACLE_PARSE: Code = Code("LYR0603");
+    /// An IR invariant was violated at a front-end pass boundary (SSA
+    /// single definition, def-before-use, width consistency, predication
+    /// exclusivity, or dependency acyclicity).
+    pub const IR_INVARIANT: Code = Code("LYR0604");
+    /// The control-plane stub disagrees with the placement: a hosted
+    /// table is missing its driver functions, capacity, or action rules.
+    pub const ORACLE_CONTROL: Code = Code("LYR0605");
 }
 
 /// Identifies one source text inside a [`SourceMap`].

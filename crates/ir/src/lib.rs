@@ -28,6 +28,7 @@ pub mod interp;
 pub mod lower;
 pub mod ssa;
 pub mod types;
+pub mod verify;
 
 pub use blocks::{predicate_blocks, predicate_blocks_of, PredBlock};
 pub use deps::{dependency_graph, DepGraph};
@@ -36,6 +37,7 @@ pub use interp::{execute, execute_all, DataPlaneState, Effect, PacketState};
 pub use lower::{lower_program, LowerError, RawInstr, RawOp, RawOperand};
 pub use ssa::to_ssa;
 pub use types::infer_widths;
+pub use verify::{debug_verify, verify_algorithm, verify_program, Stage};
 
 use lyra_lang::{check_program, parse_program, CheckError, ParseError, Program};
 
@@ -99,6 +101,9 @@ pub fn frontend_ast(prog: &Program) -> Result<IrProgram, FrontendError> {
     let raw = lower_program(prog, &info).map_err(FrontendError::Lower)?;
     let mut ir = to_ssa(raw);
     infer_widths(&mut ir);
+    // Pass-boundary invariant check (debug builds only): width inference
+    // must leave the SSA structure intact and every width consistent.
+    verify::debug_verify(&ir, verify::Stage::PostWidths);
     Ok(ir)
 }
 

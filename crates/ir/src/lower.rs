@@ -172,6 +172,14 @@ pub fn lower_program(prog: &Program, info: &CheckInfo) -> Result<RawProgram, Low
             declared: cx.declared,
         });
     }
+    // Pass-boundary sanity check (debug builds only): lowering synthesizes
+    // `%t` temporaries in evaluation order, so every temp (operand or
+    // predicate) must be written before it is read.
+    if cfg!(debug_assertions) {
+        for a in &algorithms {
+            debug_check_raw(a);
+        }
+    }
     Ok(RawProgram {
         algorithms,
         pipelines: prog.pipelines.clone(),
@@ -185,6 +193,45 @@ pub fn lower_program(prog: &Program, info: &CheckInfo) -> Result<RawProgram, Low
         packets: prog.packets.clone(),
         parser_nodes: prog.parser_nodes.clone(),
     })
+}
+
+/// Debug-build sanity check for one lowered algorithm: `%t` temporaries
+/// are single-assignment by construction and must be defined before any
+/// read (operand or predicate position).
+fn debug_check_raw(alg: &RawAlgorithm) {
+    use std::collections::BTreeSet;
+    let mut written: BTreeSet<&str> = BTreeSet::new();
+    let read_ok =
+        |written: &BTreeSet<&str>, name: &str| !name.starts_with('%') || written.contains(name);
+    for (idx, instr) in alg.instrs.iter().enumerate() {
+        if let Some(p) = &instr.pred {
+            assert!(
+                read_ok(&written, p),
+                "[LYR0604] {}: instr {idx} predicated on unwritten temp {p}",
+                alg.name
+            );
+        }
+        let reads: Vec<&RawOperand> = match &instr.op {
+            RawOp::Assign(a) | RawOp::Unary { a, .. } | RawOp::Slice { a, .. } => vec![a],
+            RawOp::Binary { a, b, .. } => vec![a, b],
+            RawOp::Call { args, .. } | RawOp::Action { args, .. } => args.iter().collect(),
+            RawOp::TableLookup { key, .. } | RawOp::TableMember { key, .. } => vec![key],
+            RawOp::GlobalRead { index, .. } => vec![index],
+            RawOp::GlobalWrite { index, value, .. } => vec![index, value],
+        };
+        for r in reads {
+            if let RawOperand::Name(n) = r {
+                assert!(
+                    read_ok(&written, n),
+                    "[LYR0604] {}: instr {idx} reads unwritten temp {n}",
+                    alg.name
+                );
+            }
+        }
+        if let Some(d) = &instr.dst {
+            written.insert(d);
+        }
+    }
 }
 
 struct Lowerer<'p> {

@@ -17,7 +17,7 @@ use lyra_lang::UnOp;
 /// Convert a raw program into SSA form.
 pub fn to_ssa(raw: RawProgram) -> IrProgram {
     let algorithms = raw.algorithms.iter().map(ssa_algorithm).collect();
-    IrProgram {
+    let ir = IrProgram {
         algorithms,
         pipelines: raw.pipelines,
         externs: raw.externs,
@@ -25,7 +25,12 @@ pub fn to_ssa(raw: RawProgram) -> IrProgram {
         headers: raw.headers,
         packets: raw.packets,
         parser_nodes: raw.parser_nodes,
-    }
+    };
+    // Pass-boundary invariant check (debug builds only): SSA conversion
+    // must produce single definitions, def-before-use, and sound negation
+    // links before width inference runs.
+    crate::verify::debug_verify(&ir, crate::verify::Stage::PostSsa);
+    ir
 }
 
 struct SsaCx {

@@ -181,7 +181,7 @@ pub fn synthesize_npl(
     // --- Plain computation: function bodies grouped by dependency layer ---
     // NPL functions execute straight-line code; group the remaining
     // instructions into dependency layers, each layer one function table.
-    let layers = layer_instrs(alg, deps, &plumbing, &plain);
+    let layers = layer_instrs(alg, deps, &plumbing, subset, &plain);
     for (li, layer) in layers.iter().enumerate() {
         let name = format!("{}_fn{}", alg.name, li);
         tables.push(SynthTable {
@@ -222,6 +222,7 @@ pub fn synthesize_npl(
         }
         tables[ti].depends_on = dlist;
     }
+    crate::util::add_storage_hazards(alg, &plumbing, &mut tables);
 
     // --- Bus usage ---------------------------------------------------------
     let mut bus_vars = std::collections::BTreeSet::new();
@@ -255,6 +256,7 @@ pub fn synthesize_npl(
         critical_path: 0,
     };
     group.fuse_cycles();
+    group.sort_topological();
     group.compute_critical_path();
     (
         group,
@@ -271,25 +273,38 @@ fn layer_instrs(
     alg: &IrAlgorithm,
     deps: &DepGraph,
     plumbing: &std::collections::BTreeSet<InstrId>,
+    subset: &[InstrId],
     instrs: &[InstrId],
 ) -> Vec<Vec<InstrId>> {
-    let in_set: std::collections::BTreeSet<InstrId> = instrs.iter().copied().collect();
-    let mut layer_of: BTreeMap<InstrId, usize> = BTreeMap::new();
-    let mut layers: Vec<Vec<InstrId>> = Vec::new();
-    for &i in instrs {
-        let mut layer = 0usize;
+    // Rank EVERY subset instruction, not just the plain ones: an extern
+    // lookup sits strictly between the instructions computing its key and
+    // the instructions consuming its result, so a key producer and a
+    // result consumer must never share a function layer. (Ranking only
+    // within `instrs` collapsed that distance to zero, grouping both into
+    // one function table — a genuine cycle with the logical table, which
+    // `fuse_cycles` then "resolved" by pushing the key producer into
+    // `fields_assign`, *after* `key_construct` read the stale key. The
+    // differential oracle caught the stale read.)
+    let mut rank_of: BTreeMap<InstrId, usize> = BTreeMap::new();
+    for &i in subset {
+        if plumbing.contains(&i) {
+            continue;
+        }
+        let mut rank = 0usize;
         for p in real_deps(alg, deps, plumbing, i) {
-            if in_set.contains(&p) {
-                if let Some(&pl) = layer_of.get(&p) {
-                    layer = layer.max(pl + 1);
-                }
+            if let Some(&pr) = rank_of.get(&p) {
+                rank = rank.max(pr + 1);
             }
         }
-        layer_of.insert(i, layer);
-        while layers.len() <= layer {
+        rank_of.insert(i, rank);
+    }
+    let mut layers: Vec<Vec<InstrId>> = Vec::new();
+    for &i in instrs {
+        let rank = rank_of.get(&i).copied().unwrap_or(0);
+        while layers.len() <= rank {
             layers.push(Vec::new());
         }
-        layers[layer].push(i);
+        layers[rank].push(i);
     }
     layers.retain(|l| !l.is_empty());
     layers
@@ -399,6 +414,110 @@ mod tests {
         assert!(extras.bus_vars.contains(&"y".to_string()));
         assert!(extras.bus_vars.contains(&"z".to_string()));
         assert!(extras.bus_vars.iter().all(|v| !v.starts_with('%')));
+    }
+
+    #[test]
+    fn lookup_key_producer_precedes_logical_table() {
+        // Regression: the hash function computing a lookup key must come
+        // before the logical table that consumes it — the emitters execute
+        // tables in group order, and the oracle caught the lookup reading
+        // a stale (zero) key when the extern table sorted first.
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[64] t;
+                h = crc32_hash(ipv4.srcAddr, ipv4.dstAddr);
+                if (h in t) { ipv4.dstAddr = t[h]; }
+            }
+        "#;
+        let (group, _) = synth(src);
+        let fn_pos = group
+            .tables
+            .iter()
+            .position(|t| matches!(t.kind, TableKind::DirectAction))
+            .expect("hash function table");
+        let tbl_pos = group
+            .tables
+            .iter()
+            .position(|t| matches!(t.kind, TableKind::NplLogical { .. }))
+            .expect("logical table");
+        assert!(
+            fn_pos < tbl_pos,
+            "key producer must precede its consumer: {:#?}",
+            group.tables
+        );
+        // depends_on indices were remapped along with the reorder.
+        assert!(group.tables[tbl_pos].depends_on.contains(&fn_pos));
+    }
+
+    #[test]
+    fn guard_reading_old_version_precedes_lookup_rewrite() {
+        // Regression: `v1 = v0 + 1` is guarded by the *pre-lookup* v4, and
+        // the lookup then rewrites v4's storage. Def-use edges alone miss
+        // this anti-dependence (the comparison is plumbing, so the WAR edge
+        // dissolves), and the oracle caught the function reading the
+        // looked-up v4 in its guard. The storage-hazard pass must order the
+        // function before the logical table.
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[64] t;
+                if (v4 > 237) { v1 = v0 + 1; }
+                if (v4 in t) { v4 = t[v4]; }
+            }
+        "#;
+        let (group, _) = synth(src);
+        let fn_pos = group
+            .tables
+            .iter()
+            .position(|t| matches!(t.kind, TableKind::DirectAction))
+            .expect("guarded function table");
+        let tbl_pos = group
+            .tables
+            .iter()
+            .position(|t| matches!(t.kind, TableKind::NplLogical { .. }))
+            .expect("logical table");
+        assert!(
+            fn_pos < tbl_pos,
+            "anti-dependent function must precede the lookup that rewrites \
+             its guard operand: {:#?}",
+            group.tables
+        );
+        assert!(group.tables[tbl_pos].depends_on.contains(&fn_pos));
+    }
+
+    #[test]
+    fn key_producer_not_layered_with_lookup_consumer() {
+        // Regression: `v2 = v1 + 1` feeds the lookup key and the final xor
+        // consumes the lookup result. Ranking layers only among plain
+        // instructions put both in one function layer — a genuine cycle
+        // with the logical table, which fuse_cycles resolved by pushing the
+        // key producer into fields_assign *after* key_construct read the
+        // stale key. Ranking across the whole subset keeps them apart.
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[64] t;
+                if (v3 > 46) { v2 = v1 + 1; }
+                if (v2 in t) { v1 = t[v2]; }
+                ipv4.dstAddr = v1 ^ ipv4.dstAddr;
+            }
+        "#;
+        let (group, _) = synth(src);
+        let logical = group
+            .tables
+            .iter()
+            .find(|t| matches!(t.kind, TableKind::NplLogical { .. }))
+            .expect("logical table");
+        // The logical table carries only its own member/lookup ops — no
+        // fused-in computation.
+        assert_eq!(logical.instrs.len(), 2, "{:#?}", group.tables);
+        let fns = group
+            .tables
+            .iter()
+            .filter(|t| matches!(t.kind, TableKind::DirectAction))
+            .count();
+        assert_eq!(fns, 2, "producer and consumer layers: {:#?}", group.tables);
     }
 
     #[test]

@@ -155,9 +155,25 @@ pub fn synthesize_p4(
         }
     }
 
+    // A fold is only honored when its target itself materializes as a
+    // table: a child whose parent block was folded away would otherwise be
+    // silently dropped — lost code. (The differential oracle caught a
+    // trailing predicated block vanishing exactly this way: its predicate
+    // read a looked-up value, so it folded toward the lookup's consumer
+    // block, which had itself folded into the extern table.) Such a block
+    // keeps its own table instead.
+    for bi in 0..blocks.len() {
+        if let Some(t) = folds_into[bi] {
+            if folds_into[t].is_some() {
+                folds_into[bi] = None;
+            }
+        }
+    }
+
     // --- Emit tables ------------------------------------------------------
-    // Representative blocks that don't fold become tables; merged and folded
-    // blocks contribute actions to their representative/parent table.
+    // Representative blocks that don't fold become tables; every other
+    // block contributes an action to its resolved home table. The emission
+    // is total: each predicate block lands in exactly one table.
     let mut table_index: BTreeMap<usize, usize> = BTreeMap::new();
     let mut tables: Vec<SynthTable> = Vec::new();
     for (bi, block) in blocks.iter().enumerate() {
@@ -168,37 +184,25 @@ pub fn synthesize_p4(
         table_index.insert(bi, idx);
         tables.push(block_to_table(ir, alg, block, idx));
     }
-    // Attach merged siblings as extra actions.
+    // Attach merged siblings and folded children as actions of their home
+    // table: the representative's own table, or — when the representative
+    // folded — its parent's.
     for (bi, block) in blocks.iter().enumerate() {
         let rep = merged_into[bi];
-        if rep != bi {
-            if let Some(&ti) = table_index.get(&rep) {
-                let n = tables[ti].actions.len();
-                let act_name = format!("{}_act{}", tables[ti].name, n);
-                tables[ti].actions.push(SynthAction {
-                    name: act_name,
-                    instrs: block.instrs.clone(),
-                });
-                tables[ti].instrs.extend(&block.instrs);
-            }
+        if bi == rep && folds_into[bi].is_none() {
+            continue; // already emitted as a table
         }
-    }
-    // Attach folded children as actions of their parent's table.
-    for (bi, block) in blocks.iter().enumerate() {
-        if merged_into[bi] != bi {
-            continue;
-        }
-        if let Some(parent_rep) = folds_into[bi] {
-            if let Some(&ti) = table_index.get(&parent_rep) {
-                let n = tables[ti].actions.len();
-                let act_name = format!("{}_act{}", tables[ti].name, n);
-                tables[ti].actions.push(SynthAction {
-                    name: act_name,
-                    instrs: block.instrs.clone(),
-                });
-                tables[ti].instrs.extend(&block.instrs);
-            }
-        }
+        let home = folds_into[rep].unwrap_or(rep);
+        let &ti = table_index
+            .get(&home)
+            .expect("fold/merge target must materialize as a table");
+        let n = tables[ti].actions.len();
+        let act_name = format!("{}_act{}", tables[ti].name, n);
+        tables[ti].actions.push(SynthAction {
+            name: act_name,
+            instrs: block.instrs.clone(),
+        });
+        tables[ti].instrs.extend(&block.instrs);
     }
 
     // --- Table dependencies ----------------------------------------------
@@ -221,6 +225,7 @@ pub fn synthesize_p4(
         }
         tables[ti].depends_on = deps_t;
     }
+    crate::util::add_storage_hazards(alg, &plumbing, &mut tables);
 
     let registers = count_registers(alg, &working);
     let mut group = TableGroup {
@@ -229,6 +234,7 @@ pub fn synthesize_p4(
         critical_path: 0,
     };
     group.fuse_cycles();
+    group.sort_topological();
     group.compute_critical_path();
     (group, hoists)
 }
@@ -435,6 +441,43 @@ mod tests {
             "tables: {:#?}",
             group.tables
         );
+    }
+
+    #[test]
+    fn chained_fold_keeps_every_block() {
+        // Regression (caught by the differential oracle): the trailing
+        // predicated block's predicate reads `v0`, written by the lookup
+        // consumer, which itself folds into the extern table. The trailing
+        // block's fold then targeted a block with no table of its own and
+        // was silently dropped — `v2 = v4 + 1` vanished from the artifact.
+        let src = r#"
+            pipeline[P]{a};
+            algorithm a {
+                extern dict<bit[32] k, bit[32] v>[64] t1;
+                v4 = v3 & v2;
+                if (v4 in t1) { v0 = t1[v4]; }
+                if (v0 > 179) { v2 = v4 + 1; }
+            }
+        "#;
+        let ir = frontend(src).unwrap();
+        let alg = &ir.algorithms[0];
+        let deps = dependency_graph(alg);
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let (group, hoists) = synthesize_p4(&ir, alg, &deps, &subset, &P4Options::default());
+        let plumbing = compute_plumbing(alg, &subset);
+        let covered: std::collections::BTreeSet<InstrId> = group
+            .tables
+            .iter()
+            .flat_map(|t| t.instrs.iter().copied())
+            .chain(hoists.instrs.iter().copied())
+            .collect();
+        for id in alg.instr_ids() {
+            assert!(
+                plumbing.contains(&id) || covered.contains(&id),
+                "instr {id:?} is in no table (lost code): {:#?}",
+                group.tables
+            );
+        }
     }
 
     #[test]

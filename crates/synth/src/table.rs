@@ -212,6 +212,62 @@ impl TableGroup {
         self.compute_critical_path();
     }
 
+    /// Reorder `tables` so every table appears after all the tables it
+    /// depends on, keeping the current relative order among unordered
+    /// tables (stable Kahn). The emitters execute tables in `tables`
+    /// order — a consumer placed before its producer (e.g. an NPL lookup
+    /// whose key a later function computes) silently reads stale state.
+    /// Call after `fuse_cycles`: any residual cycle's members are left in
+    /// their current order at the tail.
+    pub fn sort_topological(&mut self) {
+        let n = self.tables.len();
+        if n <= 1 {
+            return;
+        }
+        let mut indeg: Vec<usize> = vec![0; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ti, t) in self.tables.iter().enumerate() {
+            for &d in &t.depends_on {
+                if d < n && d != ti {
+                    indeg[ti] += 1;
+                    dependents[d].push(ti);
+                }
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        loop {
+            // Smallest ready index first keeps the sort stable.
+            let Some(next) = (0..n).find(|&i| !placed[i] && indeg[i] == 0) else {
+                break;
+            };
+            placed[next] = true;
+            order.push(next);
+            for &w in &dependents[next] {
+                indeg[w] -= 1;
+            }
+        }
+        // Residual cycle (callers fuse first, so normally empty).
+        order.extend((0..n).filter(|&i| !placed[i]));
+        if order.iter().enumerate().all(|(pos, &i)| pos == i) {
+            return;
+        }
+        let mut new_index = vec![usize::MAX; n];
+        for (pos, &old) in order.iter().enumerate() {
+            new_index[old] = pos;
+        }
+        let mut reordered: Vec<SynthTable> =
+            order.iter().map(|&old| self.tables[old].clone()).collect();
+        for t in &mut reordered {
+            for d in &mut t.depends_on {
+                if *d < n {
+                    *d = new_index[*d];
+                }
+            }
+        }
+        self.tables = reordered;
+    }
+
     /// Recompute the dependency critical path (in tables). Edges may point
     /// in either index direction as long as the graph is acyclic (run
     /// [`TableGroup::fuse_cycles`] first).
@@ -290,6 +346,44 @@ mod tests {
         assert_eq!(g.critical_path, 3);
         assert_eq!(g.table_count(), 3);
         assert_eq!(g.action_count(), 3);
+    }
+
+    #[test]
+    fn topological_sort_moves_producer_first() {
+        // `a` depends on `c` (listed later): after sorting, `c` precedes
+        // `a` and the dependency indices are remapped.
+        let mut g = TableGroup {
+            tables: vec![
+                mk_table("a", vec![2]),
+                mk_table("b", vec![0]),
+                mk_table("c", vec![]),
+            ],
+            registers: 0,
+            critical_path: 0,
+        };
+        g.sort_topological();
+        let names: Vec<&str> = g.tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+        assert_eq!(g.tables[1].depends_on, vec![0]); // a -> c
+        assert_eq!(g.tables[2].depends_on, vec![1]); // b -> a
+        g.compute_critical_path();
+        assert_eq!(g.critical_path, 3);
+    }
+
+    #[test]
+    fn topological_sort_is_stable_when_ordered() {
+        let mut g = TableGroup {
+            tables: vec![
+                mk_table("a", vec![]),
+                mk_table("b", vec![]),
+                mk_table("c", vec![0, 1]),
+            ],
+            registers: 0,
+            critical_path: 0,
+        };
+        g.sort_topological();
+        let names: Vec<&str> = g.tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
     }
 
     #[test]

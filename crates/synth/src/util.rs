@@ -68,6 +68,69 @@ pub fn compute_plumbing(alg: &IrAlgorithm, subset: &[InstrId]) -> BTreeSet<Instr
             plumbing.remove(&e);
         }
     }
+    // Stability pass: a plumbing instruction is *inlined* into the gateway
+    // conditions of its (transitively) predicated consumers, which re-reads
+    // its operands at gate time. That is only sound when no operand base is
+    // overwritten between the producer and the last gate consuming it —
+    // e.g. `c = x == 5; x = 2; if (c) { ... }` must gate on the stored `c`,
+    // not re-evaluate `x == 5` against the new `x`. Evict unstable
+    // candidates; they are materialized as real statements instead.
+    let mut write_at: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for &i in subset {
+        if let Some(d) = alg.instr(i).dst {
+            write_at
+                .entry(alg.value(d).base.as_str())
+                .or_default()
+                .push(i.index());
+        }
+    }
+    loop {
+        // Horizon H(i): the largest instruction index that (transitively)
+        // gates on i's result. Consumers always follow producers, so one
+        // pass in decreasing index order suffices.
+        let mut horizon: BTreeMap<InstrId, usize> = BTreeMap::new();
+        let mut ordered: Vec<InstrId> = plumbing.iter().copied().collect();
+        ordered.sort_by_key(|b| std::cmp::Reverse(b.index()));
+        for &i in &ordered {
+            let Some(d) = alg.instr(i).dst else { continue };
+            let mut h = pred_uses
+                .get(&d)
+                .map(|us| us.iter().map(|u| u.index()).max().unwrap_or(0))
+                .unwrap_or(0);
+            for u in operand_uses.get(&d).map(Vec::as_slice).unwrap_or(&[]) {
+                if plumbing.contains(u) {
+                    h = h.max(horizon.get(u).copied().unwrap_or(0));
+                }
+            }
+            horizon.insert(i, h);
+        }
+        let mut evict: Vec<InstrId> = Vec::new();
+        for &i in &plumbing {
+            let h = horizon.get(&i).copied().unwrap_or(0);
+            let unstable = alg.instr(i).op.reads().iter().any(|o| {
+                let Operand::Value(v) = o else { return false };
+                // Operands with plumbing defs are themselves inlined, not
+                // read from storage — their own stability is checked
+                // directly.
+                if alg.value(*v).def.map(|d| plumbing.contains(&d)) == Some(true) {
+                    return false;
+                }
+                write_at
+                    .get(alg.value(*v).base.as_str())
+                    .map(|ws| ws.iter().any(|&w| w > i.index() && w < h))
+                    .unwrap_or(false)
+            });
+            if unstable {
+                evict.push(i);
+            }
+        }
+        if evict.is_empty() {
+            break;
+        }
+        for e in evict {
+            plumbing.remove(&e);
+        }
+    }
     plumbing
 }
 
@@ -94,6 +157,105 @@ pub fn real_deps(
     }
     let _ = alg;
     out
+}
+
+/// Add write-after-read / write-after-write edges between tables touching
+/// the same storage base. SSA versions of one base share one physical
+/// field, and the emitters execute tables in group order, so a table
+/// overwriting a base must be ordered after every table still reading the
+/// previous version — including reads performed by an *inlined* gateway
+/// condition, which are attributed to the tables gating on it at the
+/// plumbing instruction's original position. Without these edges the
+/// topological sort is free to hoist e.g. an extern lookup that rewrites
+/// `v4` above a function still guarded by the old `v4`.
+pub fn add_storage_hazards(
+    alg: &IrAlgorithm,
+    plumbing: &BTreeSet<InstrId>,
+    tables: &mut [crate::table::SynthTable],
+) {
+    // Which tables each instruction belongs to: its own table for
+    // materialized instructions, the gating consumers for plumbing.
+    let mut owner: BTreeMap<InstrId, Vec<usize>> = BTreeMap::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for &i in &t.instrs {
+            owner.entry(i).or_default().push(ti);
+        }
+    }
+    for (ti, t) in tables.iter().enumerate() {
+        for &i in &t.instrs.clone() {
+            let Some(p) = alg.instr(i).pred else { continue };
+            let mut stack = vec![p];
+            let mut seen = BTreeSet::new();
+            while let Some(v) = stack.pop() {
+                if !seen.insert(v) {
+                    continue;
+                }
+                let Some(def) = alg.value(v).def else {
+                    continue;
+                };
+                if plumbing.contains(&def) {
+                    let owners = owner.entry(def).or_default();
+                    if !owners.contains(&ti) {
+                        owners.push(ti);
+                    }
+                    for o in alg.instr(def).op.reads() {
+                        if let Operand::Value(src) = o {
+                            stack.push(src);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // One pass in IR order, mirroring the hazard walk of
+    // `lyra_ir::dependency_graph` at table granularity.
+    let mut readers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut last_writer: BTreeMap<String, usize> = BTreeMap::new();
+    let add_edge = |tables: &mut [crate::table::SynthTable], after: usize, before: usize| {
+        if after != before && !tables[after].depends_on.contains(&before) {
+            tables[after].depends_on.push(before);
+        }
+    };
+    for (bi, instr) in alg.instrs.iter().enumerate() {
+        let id = InstrId(bi as u32);
+        let Some(owners) = owner.get(&id).cloned() else {
+            continue;
+        };
+        let mut read_bases: Vec<String> = Vec::new();
+        for o in instr.op.reads() {
+            if let Operand::Value(v) = o {
+                read_bases.push(alg.value(v).base.clone());
+            }
+        }
+        if let Some(p) = instr.pred {
+            // A stored (non-inlined) predicate is read from its base at
+            // gate time; inlined chains were attributed above.
+            if alg.value(p).def.map(|d| plumbing.contains(&d)) != Some(true) {
+                read_bases.push(alg.value(p).base.clone());
+            }
+        }
+        for base in read_bases {
+            let rs = readers.entry(base).or_default();
+            for &t in &owners {
+                if !rs.contains(&t) {
+                    rs.push(t);
+                }
+            }
+        }
+        if let Some(d) = instr.dst {
+            let base = alg.value(d).base.clone();
+            for &w in &owners {
+                for &r in readers.get(&base).map(Vec::as_slice).unwrap_or(&[]) {
+                    add_edge(tables, w, r);
+                }
+                if let Some(&v) = last_writer.get(&base) {
+                    add_edge(tables, w, v);
+                }
+            }
+            readers.remove(&base);
+            last_writer.insert(base, owners[0]);
+        }
+    }
 }
 
 /// If predicate value `v` is rooted (through plumbing / copies) in an
@@ -181,6 +343,49 @@ mod tests {
         let plumbing = compute_plumbing(alg, &subset);
         // The cmp's value feeds a data assign (md.flag = c) → not plumbing.
         assert!(plumbing.is_empty(), "{plumbing:?}\n{}", alg.to_text());
+    }
+
+    #[test]
+    fn comparison_with_clobbered_operand_is_materialized() {
+        // `x` is overwritten between the comparison and the gate that
+        // consumes it — inlining `x == 5` into the gateway would test the
+        // *new* x, so the comparison must be materialized.
+        let ir = frontend("pipeline[P]{a}; algorithm a { c = x == 5; x = 2; if (c) { y = 1; } }")
+            .unwrap();
+        let alg = &ir.algorithms[0];
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        assert!(plumbing.is_empty(), "{plumbing:?}\n{}", alg.to_text());
+    }
+
+    #[test]
+    fn comparison_with_late_clobber_stays_plumbing() {
+        // Same shape, but the overwrite happens *after* the last gate — the
+        // inlined condition still sees the original x, so inlining is sound.
+        let ir = frontend("pipeline[P]{a}; algorithm a { c = x == 5; if (c) { y = 1; } x = 2; }")
+            .unwrap();
+        let alg = &ir.algorithms[0];
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        assert_eq!(plumbing.len(), 1, "{plumbing:?}\n{}", alg.to_text());
+    }
+
+    #[test]
+    fn branch_writing_tested_var_materializes_comparison() {
+        // The then-branch overwrites the tested variable; the else gate
+        // (negation of the comparison) must not re-test the new value.
+        let ir = frontend("pipeline[P]{a}; algorithm a { if (x == 5) { x = 1; } else { x = 2; } }")
+            .unwrap();
+        let alg = &ir.algorithms[0];
+        let subset: Vec<InstrId> = alg.instr_ids().collect();
+        let plumbing = compute_plumbing(alg, &subset);
+        for &i in &plumbing {
+            assert!(
+                !matches!(alg.instr(i).op, IrOp::Binary { .. }),
+                "comparison wrongly plumbing: {plumbing:?}\n{}",
+                alg.to_text()
+            );
+        }
     }
 
     #[test]
