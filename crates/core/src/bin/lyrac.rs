@@ -32,7 +32,7 @@ use std::process::ExitCode;
 
 use lyra::{
     Backend, CompileError, CompileRequest, Compiler, LossyChannel, Objective, RolloutConfig,
-    RolloutReport, Runtime, SolverStrategy,
+    RolloutReport, Runtime, SolveProfile, SolverStrategy,
 };
 use lyra_chips::TargetLang;
 use lyra_diag::json::{Object, Value};
@@ -52,7 +52,8 @@ struct Args {
     backend: Backend,
     objective: Objective,
     parser_hoisting: bool,
-    strategy: SolverStrategy,
+    solve_profile: Option<SolveProfile>,
+    strategy: Option<SolverStrategy>,
     diag_format: DiagFormat,
     emit_stats: Option<PathBuf>,
     deadline_ms: Option<u64>,
@@ -71,6 +72,7 @@ fn usage() -> ! {
          \x20            [--out DIR] [--backend native]\n\
          \x20            [--objective feasible|min-switches|max-use=SWITCH]\n\
          \x20            [--no-parser-hoisting]\n\
+         \x20            [--solve-profile fast|thorough|deadline:MS]\n\
          \x20            [--solver sequential|portfolio|portfolio:N]\n\
          \x20            [--deadline-ms N] [--decision-budget N]\n\
          \x20            [--diag-format human|json] [--emit-stats FILE]\n\
@@ -82,6 +84,13 @@ fn usage() -> ! {
          \x20 packets through it, comparing against the IR reference\n\
          \x20 interpreter; a divergence prints a minimized counterexample\n\
          \x20 (LYR06xx) and fails the build.\n\
+         \n\
+         \x20 --solve-profile picks a solver preset: `fast` (one sequential\n\
+         \x20 search, accelerations on), `thorough` (monolithic portfolio\n\
+         \x20 race, accelerations off — the reference configuration), or\n\
+         \x20 `deadline:MS` (balanced default bounded by a wall-clock\n\
+         \x20 deadline). --solver / --deadline-ms / --decision-budget\n\
+         \x20 override individual fields of the chosen profile.\n\
          \n\
          \x20 --deadline-ms / --decision-budget bound the solve phase; on\n\
          \x20 expiry the degradation ladder still produces deployable code\n\
@@ -109,6 +118,18 @@ fn parse_solver(v: &str) -> Option<SolverStrategy> {
     }
 }
 
+/// Parse `--solve-profile` values: `fast`, `thorough`, or `deadline:MS`.
+fn parse_profile(v: &str) -> Option<SolveProfile> {
+    match v {
+        "fast" => Some(SolveProfile::fast()),
+        "thorough" => Some(SolveProfile::thorough()),
+        _ => {
+            let ms: u64 = v.strip_prefix("deadline:")?.parse().ok()?;
+            Some(SolveProfile::deadline(std::time::Duration::from_millis(ms)))
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut program = None;
     let mut scopes = None;
@@ -117,7 +138,8 @@ fn parse_args() -> Args {
     let mut backend = Backend::default();
     let mut objective = Objective::Feasible;
     let mut parser_hoisting = true;
-    let mut strategy = SolverStrategy::default();
+    let mut solve_profile = None;
+    let mut strategy = None;
     let mut diag_format = DiagFormat::Human;
     let mut emit_stats = None;
     let mut deadline_ms = None;
@@ -165,9 +187,19 @@ fn parse_args() -> Args {
             "--solver" => {
                 let v = value(&mut it);
                 strategy = match parse_solver(&v) {
-                    Some(s) => s,
+                    Some(s) => Some(s),
                     None => {
                         eprintln!("unknown solver strategy `{v}`");
+                        usage()
+                    }
+                }
+            }
+            "--solve-profile" => {
+                let v = value(&mut it);
+                solve_profile = match parse_profile(&v) {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("unknown solve profile `{v}`");
                         usage()
                     }
                 }
@@ -265,6 +297,7 @@ fn parse_args() -> Args {
         backend,
         objective,
         parser_hoisting,
+        solve_profile,
         strategy,
         diag_format,
         emit_stats,
@@ -425,14 +458,20 @@ fn main() -> ExitCode {
         Err(e) => return tool_error(&args, e),
     };
 
-    let mut req =
-        CompileRequest::new(&program, &scopes, topology).with_solver_strategy(args.strategy);
+    // Start from the chosen preset (balanced default when none), then let
+    // the individual legacy flags override single fields.
+    let mut profile = args.solve_profile.clone().unwrap_or_default();
+    if let Some(s) = args.strategy {
+        profile.strategy = s;
+    }
     if let Some(ms) = args.deadline_ms {
-        req = req.with_deadline(std::time::Duration::from_millis(ms));
+        profile.deadline = Some(std::time::Duration::from_millis(ms));
     }
     if let Some(n) = args.decision_budget {
-        req = req.with_decision_budget(n);
+        profile.decision_budget = Some(n);
     }
+    let req =
+        CompileRequest::new(&program, &scopes, topology).with_solve_profile(profile.clone());
     let compiler = Compiler::new()
         .with_backend(args.backend.clone())
         .with_objective(args.objective.clone())
@@ -528,7 +567,7 @@ fn main() -> ExitCode {
         println!(
             "  solver [{}]: {} decisions, {} conflicts, {} clauses deleted in {} reduction(s), \
              {} worker(s) spawned ({} cancelled)",
-            args.strategy,
+            profile.strategy,
             out.solver.decisions,
             out.solver.conflicts,
             out.solver.clauses_deleted,
@@ -539,6 +578,10 @@ fn main() -> ExitCode {
         println!(
             "  synth cache: {} hit(s), {} miss(es)",
             out.stats.synth_cache_hits, out.stats.synth_cache_misses
+        );
+        println!(
+            "  warm start: {} hit(s), {} miss(es)",
+            out.stats.warm_hits, out.stats.warm_misses
         );
         if let Some(rung) = out.degraded {
             println!("  placement degraded: {rung} rung (LYR0550)");

@@ -235,9 +235,7 @@ impl Compiler {
             program: req.program,
             scopes: req.scopes,
             topology: report.topology.clone(),
-            strategy: req.strategy,
-            deadline: req.deadline,
-            decision_budget: req.decision_budget,
+            profile: req.profile.clone(),
         };
         let output = self.compile_inner(&degraded_req, Some(&prior.placement), true)?;
         let diff = PlacementDiff::between(&prior.placement, &output.placement);
@@ -253,7 +251,7 @@ impl Compiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SolverStrategy;
+    use crate::SolveProfile;
     use lyra_topo::figure1_network;
 
     const LB: &str = r#"
@@ -271,8 +269,7 @@ mod tests {
         "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
 
     fn lb_request() -> CompileRequest<'static> {
-        CompileRequest::new(LB, LB_SCOPES, figure1_network())
-            .with_solver_strategy(SolverStrategy::Sequential)
+        CompileRequest::new(LB, LB_SCOPES, figure1_network()).with_solve_profile(SolveProfile::fast())
     }
 
     #[test]

@@ -82,9 +82,10 @@ use std::time::{Duration, Instant};
 
 pub use lyra_codegen::{Artifact, CodeSummary};
 pub use lyra_diag::{Diagnostic, Phase, SourceId, SourceMap};
-pub use lyra_solver::SearchStats;
+pub use lyra_solver::{ClauseStore, SearchStats};
 pub use lyra_synth::{
-    Backend, DegradeRung, EncodeOptions, Objective, P4Options, Placement, SolverStrategy,
+    Backend, DegradeRung, EncodeOptions, Objective, P4Options, Placement, SolveProfile,
+    SolverStrategy,
 };
 pub use lyra_topo::{DegradeReport, FaultSet, ScopeHealth};
 
@@ -100,9 +101,9 @@ pub const PROGRAM_SOURCE: SourceId = SourceId(0);
 /// [`CompileRequest::source_map`].
 pub const SCOPES_SOURCE: SourceId = SourceId(1);
 
-/// A compilation request: the three inputs of Figure 3, plus the solver
-/// strategy (sequential search or a portfolio race) used to discharge the
-/// placement constraints.
+/// A compilation request: the three inputs of Figure 3, plus the
+/// [`SolveProfile`] describing how to discharge the placement constraints
+/// (strategy, watchdog limits, and the datacenter-scale accelerations).
 pub struct CompileRequest<'a> {
     /// Lyra program source.
     pub program: &'a str,
@@ -110,51 +111,76 @@ pub struct CompileRequest<'a> {
     pub scopes: &'a str,
     /// Target network topology.
     pub topology: Topology,
-    /// How to run the solver. Defaults to a portfolio race sized to the
-    /// machine's available parallelism — the compile path is
-    /// solve-dominated, so racing diversified searchers is the default.
-    pub strategy: SolverStrategy,
-    /// Wall-clock budget for the solve phase. When it expires the compile
-    /// does not hang or fail: the degradation ladder runs (sequential with
-    /// aggressive restarts, then greedy first-fit) and the output carries a
-    /// `LYR0550` degraded-result warning naming the rung used.
-    pub deadline: Option<Duration>,
-    /// Decision budget per search (overrides the solver default). Like the
-    /// deadline, exhaustion triggers the degradation ladder rather than a
-    /// `BudgetExhausted` failure.
-    pub decision_budget: Option<u64>,
+    /// How to solve: strategy, deadline, decision budget, symmetry
+    /// breaking, decomposition, warm start. The default is a portfolio race
+    /// with every scale acceleration on; see [`SolveProfile`] for the
+    /// `fast()` / `thorough()` / `deadline(d)` presets.
+    pub profile: SolveProfile,
 }
 
 impl<'a> CompileRequest<'a> {
-    /// Bundle the three compiler inputs (default solver strategy).
+    /// Bundle the three compiler inputs (default solve profile).
     pub fn new(program: &'a str, scopes: &'a str, topology: Topology) -> Self {
         CompileRequest {
             program,
             scopes,
             topology,
-            strategy: SolverStrategy::default(),
-            deadline: None,
-            decision_budget: None,
+            profile: SolveProfile::default(),
         }
     }
 
-    /// Select the solver strategy for this request.
+    /// Select the complete solver configuration for this request.
+    ///
+    /// ```
+    /// use lyra::{CompileRequest, SolveProfile};
+    /// use lyra_topo::figure1_network;
+    ///
+    /// let req = CompileRequest::new("pipeline[P]{a}; algorithm a { x = 1; }",
+    ///                               "a: [ ToR1 | PER-SW | - ]",
+    ///                               figure1_network())
+    ///     .with_solve_profile(SolveProfile::deadline(std::time::Duration::from_secs(2)));
+    /// assert!(req.profile.deadline.is_some());
+    /// ```
+    pub fn with_solve_profile(mut self, profile: SolveProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Deprecated alias: set the strategy through
+    /// [`CompileRequest::with_solve_profile`] instead.
+    ///
+    /// ```
+    /// #![allow(deprecated)]
+    /// use lyra::{CompileRequest, SolverStrategy};
+    /// use lyra_topo::figure1_network;
+    ///
+    /// let req = CompileRequest::new("pipeline[P]{a}; algorithm a { x = 1; }",
+    ///                               "a: [ ToR1 | PER-SW | - ]",
+    ///                               figure1_network())
+    ///     .with_solver_strategy(SolverStrategy::Sequential)
+    ///     .with_deadline(std::time::Duration::from_secs(1))
+    ///     .with_decision_budget(10_000);
+    /// assert_eq!(req.profile.strategy, SolverStrategy::Sequential);
+    /// ```
+    #[deprecated(since = "0.2.0", note = "use `with_solve_profile`")]
     pub fn with_solver_strategy(mut self, strategy: SolverStrategy) -> Self {
-        self.strategy = strategy;
+        self.profile.strategy = strategy;
         self
     }
 
-    /// Bound the solve phase by wall-clock time (the solver watchdog). See
-    /// [`CompileRequest::deadline`].
+    /// Deprecated alias: set the deadline through
+    /// [`CompileRequest::with_solve_profile`] instead.
+    #[deprecated(since = "0.2.0", note = "use `with_solve_profile`")]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
+        self.profile.deadline = Some(deadline);
         self
     }
 
-    /// Bound each search by a decision budget. See
-    /// [`CompileRequest::decision_budget`].
+    /// Deprecated alias: set the budget through
+    /// [`CompileRequest::with_solve_profile`] instead.
+    #[deprecated(since = "0.2.0", note = "use `with_solve_profile`")]
     pub fn with_decision_budget(mut self, decisions: u64) -> Self {
-        self.decision_budget = Some(decisions);
+        self.profile.decision_budget = Some(decisions);
         self
     }
 
@@ -192,6 +218,12 @@ pub struct CompileStats {
     pub synth_cache_hits: u64,
     /// Synthesis-cache misses this compile.
     pub synth_cache_misses: u64,
+    /// Warm-start clause-store hits this compile: solves that replayed a
+    /// learned-clause bundle from an earlier solve of the same formula
+    /// (0 unless [`SolveProfile::warm_start`] is enabled).
+    pub warm_hits: u64,
+    /// Warm-start clause-store misses this compile.
+    pub warm_misses: u64,
 }
 
 impl CompileStats {
@@ -333,10 +365,14 @@ impl CompileSession {
             "misses",
             Value::Number(self.stats.synth_cache_misses as f64),
         );
+        let mut warm = Object::new();
+        warm.push("hits", Value::Number(self.stats.warm_hits as f64));
+        warm.push("misses", Value::Number(self.stats.warm_misses as f64));
         let mut o = Object::new();
         o.push("phases_us", Value::Object(phases));
         o.push("solver", Value::Object(solver));
         o.push("synth_cache", Value::Object(cache));
+        o.push("warm_start", Value::Object(warm));
         o.push(
             "utilization",
             Value::Array(self.utilization.iter().map(|u| u.to_json()).collect()),
@@ -515,6 +551,11 @@ pub struct Compiler {
     encode: EncodeOptions,
     observer: Option<Arc<dyn CompileObserver>>,
     cache: Option<Arc<SynthCache>>,
+    /// Learned-clause store shared by every compile this `Compiler` (and
+    /// its clones) runs. Consulted only when the request's
+    /// [`SolveProfile::warm_start`] is on; keyed by encoding fingerprint so
+    /// a changed formula can never replay stale clauses.
+    warm: Arc<ClauseStore>,
 }
 
 impl Compiler {
@@ -648,6 +689,7 @@ impl Compiler {
         ir: &IrProgram,
         topo: &Topology,
         scopes: &[ResolvedScope],
+        opts: &EncodeOptions,
         strategy: lyra_synth::SolverStrategy,
         previous: Option<&Placement>,
         limits: &lyra_synth::SynthLimits,
@@ -655,7 +697,7 @@ impl Compiler {
         let key = self
             .cache
             .as_ref()
-            .map(|_| cache::synth_key(ir, topo, scopes, &self.encode, &self.backend));
+            .map(|_| cache::synth_key(ir, topo, scopes, opts, &self.backend));
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             if let Some(hit) = cache.lookup(key) {
                 return Ok((hit, true));
@@ -665,7 +707,7 @@ impl Compiler {
             ir,
             topo,
             scopes,
-            &self.encode,
+            opts,
             &self.backend,
             strategy,
             previous,
@@ -690,19 +732,30 @@ impl Compiler {
     ) -> Result<CompileOutput, CompileError> {
         let t0 = Instant::now();
         let mut stats = CompileStats::default();
+        let profile = &req.profile;
         // The watchdog's limits. The grace window for the sequential-restart
         // rung scales with the requested deadline (a 1 ms deadline should
         // still answer within ~100 ms; a 10 s one can afford a longer
         // retry), clamped so it is never uselessly short nor unbounded.
         let limits = lyra_synth::SynthLimits {
-            deadline: req.deadline.map(|d| t0 + d),
-            max_decisions: req.decision_budget,
-            grace: match (req.deadline, req.decision_budget) {
+            deadline: profile.deadline.map(|d| t0 + d),
+            max_decisions: profile.decision_budget,
+            grace: match (profile.deadline, profile.decision_budget) {
                 (Some(d), _) => (d * 4).clamp(Duration::from_millis(40), Duration::from_secs(5)),
                 (None, Some(_)) => Duration::from_secs(5),
                 (None, None) => Duration::ZERO,
             },
+            decomposition: profile.decomposition,
+            warm: profile.warm_start.then(|| self.warm.clone()),
         };
+        // The request's symmetry toggle rides into the encoder through the
+        // options (and therefore into the synthesis-cache key).
+        let encode_opts = {
+            let mut e = self.encode.clone();
+            e.symmetry_breaking = profile.symmetry_breaking;
+            e
+        };
+        let warm_before = (self.warm.hit_count(), self.warm.miss_count());
 
         // --- Front-end (checker + preprocessor + code analyzer) ------------
         let (prog, t_parse) = self.phase(Phase::Parse, || {
@@ -813,7 +866,7 @@ impl Compiler {
         let t1 = Instant::now();
         let (placement, artifacts, solver, t_synth, t_codegen, hits, misses, degraded) =
             if all_per_sw {
-                self.compile_per_switch(&ir, req, &resolved, &limits)?
+                self.compile_per_switch(&ir, req, &resolved, &encode_opts, &limits)?
             } else {
                 if let Some(obs) = &self.observer {
                     obs.on_phase_start(Phase::Solve);
@@ -823,7 +876,8 @@ impl Compiler {
                         &ir,
                         &req.topology,
                         &resolved,
-                        req.strategy,
+                        &encode_opts,
+                        profile.strategy,
                         previous,
                         &limits,
                     )
@@ -852,6 +906,9 @@ impl Compiler {
                         )])
                     })
                 });
+                // A hit's rung (always `None` by the cache invariant) must
+                // not be confused with this compile's own outcome.
+                let degraded = if was_hit { None } else { synth.degraded };
                 (
                     synth.placement.clone(),
                     artifacts?,
@@ -860,13 +917,15 @@ impl Compiler {
                     t_codegen,
                     hits,
                     misses,
-                    synth.degraded,
+                    degraded,
                 )
             };
         stats.synth = t_synth;
         stats.codegen = t_codegen;
         stats.synth_cache_hits = hits;
         stats.synth_cache_misses = misses;
+        stats.warm_hits = self.warm.hit_count().saturating_sub(warm_before.0);
+        stats.warm_misses = self.warm.miss_count().saturating_sub(warm_before.1);
 
         let flow_paths = resolved
             .iter()
@@ -924,6 +983,7 @@ impl Compiler {
         ir: &IrProgram,
         req: &CompileRequest,
         resolved: &[ResolvedScope],
+        opts: &EncodeOptions,
         limits: &lyra_synth::SynthLimits,
     ) -> Result<
         (
@@ -985,9 +1045,11 @@ impl Compiler {
                         let rep = members[0];
                         let scopes = rep_scopes_of(rep);
                         let topology = &req.topology;
-                        let strategy = req.strategy;
+                        let strategy = req.profile.strategy;
                         s.spawn(move || {
-                            self.synthesize_cached(ir, topology, &scopes, strategy, None, limits)
+                            self.synthesize_cached(
+                                ir, topology, &scopes, opts, strategy, None, limits,
+                            )
                         })
                     })
                     .collect();
@@ -1005,7 +1067,8 @@ impl Compiler {
                     ir,
                     &req.topology,
                     &scopes,
-                    req.strategy,
+                    opts,
+                    req.profile.strategy,
                     None,
                     limits,
                 ));
@@ -1021,10 +1084,14 @@ impl Compiler {
         for ((_, members), synth) in group_list.iter().zip(synth_results) {
             let rep = members[0];
             let (synth, was_hit) = synth.map_err(|e| CompileError::Synth(e.to_diagnostics()))?;
-            degraded = worst_rung(degraded, synth.degraded);
             if was_hit {
                 hits += 1;
             } else {
+                // A cache hit spent no solver effort and, by the cache's
+                // only-store-clean-results invariant, cannot have degraded
+                // *this* compile — so the rung (like the stats) is absorbed
+                // only from real synthesis runs, never from hits.
+                degraded = worst_rung(degraded, synth.degraded);
                 if self.cache.is_some() {
                     misses += 1;
                 }
@@ -1163,14 +1230,13 @@ mod tests {
         let seq = Compiler::new()
             .compile(
                 &CompileRequest::new(INT_LB, SCOPES, topo.clone())
-                    .with_solver_strategy(SolverStrategy::Sequential),
+                    .with_solve_profile(SolveProfile::fast()),
             )
             .unwrap();
         let par = Compiler::new()
-            .compile(
-                &CompileRequest::new(INT_LB, SCOPES, topo)
-                    .with_solver_strategy(SolverStrategy::Portfolio { workers: 4 }),
-            )
+            .compile(&CompileRequest::new(INT_LB, SCOPES, topo).with_solve_profile(
+                SolveProfile::default().with_strategy(SolverStrategy::Portfolio { workers: 4 }),
+            ))
             .unwrap();
         // Both must solve; artifact coverage (which switches get code for
         // PER-SW scopes) is identical.
@@ -1196,6 +1262,58 @@ mod tests {
         assert_eq!(second.solver.decisions, 0);
         assert_eq!(second.solver.propagations, 0);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_hit_does_not_inherit_degraded_rung() {
+        let cache = Arc::new(SynthCache::new());
+        let compiler = Compiler::new().with_synth_cache(cache.clone());
+        let program = "pipeline[P]{a}; algorithm a { x = 1; }";
+        let scopes = "a: [ ToR1 | PER-SW | - ]";
+        let limited = CompileRequest::new(program, scopes, figure1_network())
+            .with_solve_profile(SolveProfile::deadline(Duration::ZERO));
+        let first = compiler.compile(&limited).unwrap();
+        assert!(
+            first.degraded.is_some(),
+            "an already-expired deadline must degrade"
+        );
+        // Degraded results never enter the cache…
+        assert_eq!(cache.len(), 0);
+        // …so an unlimited compile of the same problem populates it cleanly.
+        let clean = compiler
+            .compile(&CompileRequest::new(program, scopes, figure1_network()))
+            .unwrap();
+        assert!(clean.degraded.is_none());
+        assert_eq!(cache.len(), 1);
+        // A repeat limited compile hits the cache: no solver effort spent,
+        // and no degraded rung inherited from any earlier compile.
+        let hit = compiler.compile(&limited).unwrap();
+        assert_eq!(hit.stats.synth_cache_hits, 1);
+        assert_eq!(hit.degraded, None, "cache hit must not report a rung");
+        assert_eq!(hit.solver.decisions, 0);
+    }
+
+    #[test]
+    fn warm_start_counters_surface_in_stats_and_json() {
+        let compiler = Compiler::new();
+        let first = compiler
+            .compile(&CompileRequest::new(INT_LB, SCOPES, figure1_network()))
+            .unwrap();
+        assert!(
+            first.stats.warm_hits + first.stats.warm_misses >= 1,
+            "the default profile consults the learned-clause store"
+        );
+        let json = first.session().to_json();
+        let warm = json.get("warm_start").expect("warm_start object");
+        assert!(warm.get("hits").is_some() && warm.get("misses").is_some());
+        // thorough() turns warm start off: the store is never consulted.
+        let cold = Compiler::new()
+            .compile(
+                &CompileRequest::new(INT_LB, SCOPES, figure1_network())
+                    .with_solve_profile(SolveProfile::thorough()),
+            )
+            .unwrap();
+        assert_eq!((cold.stats.warm_hits, cold.stats.warm_misses), (0, 0));
     }
 
     #[test]

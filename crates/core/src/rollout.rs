@@ -751,7 +751,7 @@ fn backoff(config: &RolloutConfig, attempt: u32, rng: &mut Rng) -> Duration {
 mod tests {
     use super::*;
     use crate::channel::LossyChannel;
-    use crate::{CompileRequest, Compiler, SolverStrategy};
+    use crate::{CompileRequest, Compiler, SolveProfile};
     use lyra_ir::PacketState;
     use lyra_topo::{figure1_network, FaultSet};
 
@@ -770,8 +770,7 @@ mod tests {
         "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
 
     fn lb_request() -> CompileRequest<'static> {
-        CompileRequest::new(LB, LB_SCOPES, figure1_network())
-            .with_solver_strategy(SolverStrategy::Sequential)
+        CompileRequest::new(LB, LB_SCOPES, figure1_network()).with_solve_profile(SolveProfile::fast())
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! algorithms pinned to their switches. `PlacementDiff` (built for the
 //! fault-recompilation path) is the churn meter.
 
-use lyra::{CompileRequest, Compiler, PlacementDiff, SolverStrategy};
+use lyra::{CompileRequest, Compiler, PlacementDiff, SolveProfile};
 use lyra_topo::figure1_network;
 
 const TWO_ALGS: &str = r#"
@@ -32,7 +32,7 @@ const SCOPES: &str = r#"
 
 fn request(program: &str) -> CompileRequest<'_> {
     CompileRequest::new(program, SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential)
+        .with_solve_profile(SolveProfile::fast())
 }
 
 #[test]

@@ -1,0 +1,734 @@
+//! The unified [`Solver`] API: one dispatch point over the sequential
+//! search, the portfolio race, and connected-component decomposition, plus
+//! the fingerprint-keyed [`ClauseStore`] that carries learned clauses and
+//! variable activity between solves of the same formula (warm start).
+//!
+//! ## Engines
+//!
+//! * [`Sequential`] — one deterministic CDCL(T) search;
+//! * [`Portfolio`] — race diversified searchers (see [`crate::portfolio`]);
+//! * [`Decomposed`] — split the flat formula into connected components over
+//!   variable sharing, solve the components independently (in parallel),
+//!   and stitch the sub-assignments back together. Components are exact —
+//!   two components share no variable — so the split is a pure win: the
+//!   conjunction is satisfiable iff every component is, and any component
+//!   refutation refutes the whole. When the formula is one component (or an
+//!   objective / branch-and-bound bound couples everything), `Decomposed`
+//!   falls back to the monolithic engine.
+//!
+//! ## Warm start
+//!
+//! Every engine consults the optional [`ClauseStore`] in its
+//! [`SolveCtx`]: before searching it looks up a [`WarmStart`] bundle under
+//! the formula's [`FlatModel::fingerprint`] (with the active bound
+//! constraints mixed in), and after searching it stores the export back.
+//! Keying by exact fingerprint is what makes replay sound — a learned
+//! clause is implied by the formula it was learned from, so it may only be
+//! replayed into a structurally identical formula; stale bundles can never
+//! match.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::flatten::{flatten, flatten_with_objective, FlatModel, FlatVar, LinAtom};
+use crate::model::{Model, Solution};
+use crate::portfolio::{default_workers, solve_flat_portfolio_warm};
+use crate::search::{solve_flat_warm, RawAssignment, SearchStats, SolverConfig, WarmStart};
+use crate::Outcome;
+
+/// An always-active linear bound `Σ terms ≤ k` — the branch-and-bound
+/// rounds' tightening constraints.
+pub type BoundConstraint = (Vec<(i64, FlatVar)>, i64);
+
+/// Fingerprint-keyed store of [`WarmStart`] bundles shared across solves
+/// (typically across `recompile_for_faults` rounds, or across identical
+/// per-pod subproblems).
+///
+/// Lookup and store are keyed by [`FlatModel::fingerprint`]; a bundle can
+/// therefore only ever seed a search over the exact formula it was exported
+/// from, which keeps replay sound. Hit/miss counters expose reuse to the
+/// compile driver's stats.
+#[derive(Debug, Default)]
+pub struct ClauseStore {
+    entries: Mutex<HashMap<u64, WarmStart>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Crude memory bound: a store that outgrows this many distinct formulas
+/// is cleared rather than evicted piecemeal (re-learning is cheap relative
+/// to unbounded growth across long fault sequences).
+const CLAUSE_STORE_CAP: usize = 512;
+
+impl ClauseStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, WarmStart>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Fetch the bundle stored under `key`, counting a hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<WarmStart> {
+        let got = self.lock().get(&key).cloned();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Store `warm` under `key`, replacing any previous bundle for the same
+    /// formula (the newest export carries the freshest clause database).
+    pub fn store(&self, key: u64, warm: WarmStart) {
+        if warm.is_empty() {
+            return;
+        }
+        let mut map = self.lock();
+        if map.len() >= CLAUSE_STORE_CAP && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, warm);
+    }
+
+    /// Lookups that found a bundle.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct formulas currently warm.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no bundle is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything an engine needs besides the formula: the base search
+/// configuration (deadline, decision budget, cancellation flag, phase
+/// hints, restart/decay tuning) and the optional warm-start store.
+#[derive(Debug, Clone, Default)]
+pub struct SolveCtx {
+    /// Base configuration handed to every underlying search.
+    pub config: SolverConfig,
+    /// Warm-start store consulted (and refreshed) around every solve.
+    pub warm: Option<Arc<ClauseStore>>,
+}
+
+impl SolveCtx {
+    /// A context wrapping just a configuration, with no warm-start store.
+    pub fn from_config(config: SolverConfig) -> Self {
+        SolveCtx { config, warm: None }
+    }
+}
+
+/// A solver engine: the single dispatch point `lyra-synth` calls instead of
+/// matching on a strategy enum inline.
+///
+/// All engines agree on verdicts — SAT/UNSAT and optimal objective values
+/// are properties of the formula, not the schedule — and differ only in how
+/// the search is run (one searcher, a race, or per-component).
+pub trait Solver: Send + Sync {
+    /// Engine name, for logs and summaries.
+    fn name(&self) -> &'static str;
+
+    /// Solve a flattened formula under `extra` always-active bounds.
+    fn solve_flat(
+        &self,
+        flat: &FlatModel,
+        extra: &[BoundConstraint],
+        ctx: &SolveCtx,
+    ) -> (Outcome, Option<RawAssignment>, SearchStats);
+
+    /// Flatten and solve a model (decision problem).
+    fn solve(&self, model: &Model, ctx: &SolveCtx) -> (Outcome, SearchStats) {
+        let flat = flatten(model);
+        let (outcome, _, stats) = self.solve_flat(&flat, &[], ctx);
+        if let Outcome::Sat(ref s) = outcome {
+            debug_assert!(s.satisfies(model), "engine returned a non-model");
+        }
+        (outcome, stats)
+    }
+
+    /// Minimize `objective` subject to the model, by branch-and-bound where
+    /// each bound-tightening round goes through [`Solver::solve_flat`] (so
+    /// every round benefits from the engine's scheduling and, per-round
+    /// fingerprint, from warm starts).
+    fn minimize(
+        &self,
+        model: &Model,
+        objective: &crate::expr::Ix,
+        ctx: &SolveCtx,
+    ) -> (Option<(Solution, i64)>, SearchStats) {
+        let flat = flatten_with_objective(model, Some(objective));
+        let obj_terms = flat.objective.clone().expect("objective lowered");
+        let mut extra: Vec<BoundConstraint> = Vec::new();
+        let mut best: Option<(Solution, i64)> = None;
+        let mut total = SearchStats::default();
+        loop {
+            let (outcome, raw, stats) = self.solve_flat(&flat, &extra, ctx);
+            total.absorb(stats);
+            match outcome {
+                Outcome::Sat(_) => {
+                    let raw = raw.expect("raw assignment accompanies Sat");
+                    let value = raw.eval_lin(&obj_terms) + flat.objective_constant;
+                    best = Some((raw.extract(&flat), value));
+                    // Require strictly better: Σ ≤ value - constant - 1.
+                    extra.push((obj_terms.clone(), value - flat.objective_constant - 1));
+                }
+                _ => return (best, total),
+            }
+        }
+    }
+}
+
+/// Warm lookup key for a formula under the active bounds.
+fn warm_key(flat: &FlatModel, extra: &[BoundConstraint], ctx: &SolveCtx) -> Option<u64> {
+    ctx.warm.as_ref().map(|_| flat.fingerprint(extra))
+}
+
+/// One deterministic CDCL(T) search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sequential;
+
+impl Solver for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn solve_flat(
+        &self,
+        flat: &FlatModel,
+        extra: &[BoundConstraint],
+        ctx: &SolveCtx,
+    ) -> (Outcome, Option<RawAssignment>, SearchStats) {
+        let key = warm_key(flat, extra, ctx);
+        let seed = match (&ctx.warm, key) {
+            (Some(store), Some(k)) => store.lookup(k),
+            _ => None,
+        };
+        let (outcome, raw, stats, export) =
+            solve_flat_warm(flat, &ctx.config, extra, seed.as_ref());
+        if let (Some(store), Some(k)) = (&ctx.warm, key) {
+            store.store(k, export);
+        }
+        (outcome, raw, stats)
+    }
+}
+
+/// Race diversified searchers; first verdict wins (see [`crate::portfolio`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Portfolio {
+    /// Worker count; 0 = the machine's available parallelism, capped at 8.
+    pub workers: usize,
+}
+
+impl Solver for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn solve_flat(
+        &self,
+        flat: &FlatModel,
+        extra: &[BoundConstraint],
+        ctx: &SolveCtx,
+    ) -> (Outcome, Option<RawAssignment>, SearchStats) {
+        let n = if self.workers == 0 {
+            default_workers()
+        } else {
+            self.workers
+        };
+        let key = warm_key(flat, extra, ctx);
+        let seed = match (&ctx.warm, key) {
+            (Some(store), Some(k)) => store.lookup(k),
+            _ => None,
+        };
+        let (outcome, raw, stats, export) =
+            solve_flat_portfolio_warm(flat, &ctx.config, extra, n, seed.as_ref());
+        if let (Some(store), Some(k), Some(w)) = (&ctx.warm, key, export) {
+            store.store(k, w);
+        }
+        (outcome, raw, stats)
+    }
+}
+
+/// Split the formula into connected components over variable sharing and
+/// solve them independently; fall back to the monolithic engine when the
+/// formula does not decompose (or an objective/bound couples everything).
+#[derive(Debug, Clone, Copy)]
+pub struct Decomposed {
+    /// Worker budget: bounds both the component-solving thread pool and the
+    /// fallback engine (0 = auto; ≤ 1 falls back to [`Sequential`]).
+    pub workers: usize,
+}
+
+impl Decomposed {
+    fn fallback(&self) -> Box<dyn Solver> {
+        if self.workers == 1 {
+            Box::new(Sequential)
+        } else {
+            Box::new(Portfolio {
+                workers: self.workers,
+            })
+        }
+    }
+}
+
+/// Union-find with path halving over the unified variable id space:
+/// SAT variable `v` ↦ `v`, integer variable `i` ↦ `num_sat_vars + i`.
+struct UnionFind(Vec<u32>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n as u32).collect())
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.0[x as usize] != x {
+            self.0[x as usize] = self.0[self.0[x as usize] as usize];
+            x = self.0[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+}
+
+fn unified_id(flat: &FlatModel, v: FlatVar) -> u32 {
+    match v {
+        FlatVar::Bool(b) => b,
+        FlatVar::Int(i) => flat.num_sat_vars as u32 + i,
+    }
+}
+
+/// One connected component of the formula, remapped to a dense local
+/// variable space.
+struct SubProblem {
+    flat: FlatModel,
+    /// Global SAT variable per local SAT index.
+    bools: Vec<u32>,
+    /// Global integer variable per local integer index.
+    ints: Vec<u32>,
+}
+
+/// Partition `flat` into connected components over variable sharing.
+/// Returns `None` when the formula is a single component (no win).
+fn split_components(flat: &FlatModel) -> Option<Vec<SubProblem>> {
+    let n_sat = flat.num_sat_vars;
+    let n_int = flat.int_bounds.len();
+    let mut uf = UnionFind::new(n_sat + n_int);
+    for cl in &flat.clauses {
+        for w in cl.windows(2) {
+            uf.union(w[0].var(), w[1].var());
+        }
+    }
+    for atom in &flat.atoms {
+        for &(_, v) in &atom.terms {
+            uf.union(atom.var, unified_id(flat, v));
+        }
+    }
+    // Group constrained variables by component root, in deterministic
+    // (ascending-root) order.
+    let mut roots: Vec<u32> = Vec::new();
+    let mut comp_of_root: HashMap<u32, usize> = HashMap::new();
+    let mut comp_index = |root: u32, roots: &mut Vec<u32>| -> usize {
+        *comp_of_root.entry(root).or_insert_with(|| {
+            roots.push(root);
+            roots.len() - 1
+        })
+    };
+    let mut clause_comp: Vec<Option<usize>> = Vec::with_capacity(flat.clauses.len());
+    for cl in &flat.clauses {
+        clause_comp.push(match cl.first() {
+            Some(l) => Some(comp_index(uf.find(l.var()), &mut roots)),
+            None => None,
+        });
+    }
+    let atom_comp: Vec<usize> = flat
+        .atoms
+        .iter()
+        .map(|a| comp_index(uf.find(a.var), &mut roots))
+        .collect();
+    if roots.len() <= 1 {
+        return None;
+    }
+    // Collect each component's variables (ascending, so layouts are
+    // deterministic) and build the remapped sub-formulas.
+    let mut subs: Vec<SubProblem> = roots
+        .iter()
+        .map(|_| SubProblem {
+            flat: FlatModel::default(),
+            bools: Vec::new(),
+            ints: Vec::new(),
+        })
+        .collect();
+    let mut sat_local: Vec<u32> = vec![u32::MAX; n_sat];
+    let mut int_local: Vec<u32> = vec![u32::MAX; n_int];
+    for v in 0..n_sat as u32 {
+        if let Some(&ci) = comp_of_root.get(&uf.find(v)) {
+            sat_local[v as usize] = subs[ci].bools.len() as u32;
+            subs[ci].bools.push(v);
+        }
+    }
+    for i in 0..n_int as u32 {
+        if let Some(&ci) = comp_of_root.get(&uf.find(n_sat as u32 + i)) {
+            int_local[i as usize] = subs[ci].ints.len() as u32;
+            subs[ci]
+                .flat
+                .int_bounds
+                .push(flat.int_bounds[i as usize]);
+            subs[ci].ints.push(i);
+        }
+    }
+    for sub in &mut subs {
+        sub.flat.num_sat_vars = sub.bools.len();
+        // Raw merge never projects through `extract`, but keep the model
+        // prefix fields coherent for debugging.
+        sub.flat.num_model_bools = sub.bools.len();
+        sub.flat.num_model_ints = sub.ints.len();
+    }
+    let map_lit = |l: crate::flatten::Lit| {
+        let local = sat_local[l.var() as usize];
+        if l.is_neg() {
+            crate::flatten::Lit::neg(local)
+        } else {
+            crate::flatten::Lit::pos(local)
+        }
+    };
+    let map_var = |v: FlatVar| match v {
+        FlatVar::Bool(b) => FlatVar::Bool(sat_local[b as usize]),
+        FlatVar::Int(i) => FlatVar::Int(int_local[i as usize]),
+    };
+    for (cl, comp) in flat.clauses.iter().zip(&clause_comp) {
+        if let Some(ci) = comp {
+            subs[*ci]
+                .flat
+                .clauses
+                .push(cl.iter().map(|&l| map_lit(l)).collect());
+        }
+    }
+    for (atom, &ci) in flat.atoms.iter().zip(&atom_comp) {
+        let sub = &mut subs[ci].flat;
+        let idx = sub.atoms.len();
+        let var = sat_local[atom.var as usize];
+        sub.atoms.push(LinAtom {
+            var,
+            terms: atom.terms.iter().map(|&(c, v)| (c, map_var(v))).collect(),
+            k: atom.k,
+        });
+        sub.atom_of_var.insert(var, idx);
+    }
+    Some(subs)
+}
+
+impl Solver for Decomposed {
+    fn name(&self) -> &'static str {
+        "decomposed"
+    }
+
+    fn solve_flat(
+        &self,
+        flat: &FlatModel,
+        extra: &[BoundConstraint],
+        ctx: &SolveCtx,
+    ) -> (Outcome, Option<RawAssignment>, SearchStats) {
+        // Objectives and branch-and-bound bounds couple otherwise-independent
+        // variables; the monolithic engine handles those rounds.
+        if flat.objective.is_some() || !extra.is_empty() {
+            return self.fallback().solve_flat(flat, extra, ctx);
+        }
+        if flat.clauses.iter().any(|c| c.is_empty()) {
+            return (Outcome::Unsat, None, SearchStats::default());
+        }
+        let Some(subs) = split_components(flat) else {
+            return self.fallback().solve_flat(flat, extra, ctx);
+        };
+        // Solve components in parallel, each with the sequential engine
+        // (warm-started per sub-formula fingerprint: identical components —
+        // e.g. symmetric pods — reuse each other's learned clauses across
+        // solves). The shared cancel flag / deadline in `ctx.config` keeps
+        // cross-component winddown prompt.
+        let results: Vec<Mutex<Option<(Outcome, Option<RawAssignment>, SearchStats)>>> =
+            subs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let pool = if self.workers == 0 {
+            default_workers()
+        } else {
+            self.workers
+        }
+        .min(subs.len())
+        .max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                let (subs, results, next, ctx) = (&subs, &results, &next, ctx);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= subs.len() {
+                        return;
+                    }
+                    let solved = Sequential.solve_flat(&subs[i].flat, &[], ctx);
+                    *results[i]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(solved);
+                });
+            }
+        });
+        // Stitch: UNSAT anywhere refutes the conjunction; Unknown anywhere
+        // (budget/deadline/cancel) leaves the verdict open; otherwise merge
+        // the sub-assignments over lower-bound defaults (unconstrained
+        // variables belong to no component).
+        let mut total = SearchStats::default();
+        let mut sat = vec![false; flat.num_sat_vars];
+        let mut ints: Vec<i64> = flat.int_bounds.iter().map(|b| b.0).collect();
+        let mut unknown = false;
+        for (sub, slot) in subs.iter().zip(&results) {
+            let solved = slot
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take();
+            let Some((outcome, raw, stats)) = solved else {
+                unknown = true;
+                continue;
+            };
+            total.absorb(stats);
+            match outcome {
+                Outcome::Unsat => return (Outcome::Unsat, None, total),
+                Outcome::Unknown => unknown = true,
+                Outcome::Sat(_) => {
+                    let raw = raw.expect("raw assignment accompanies Sat");
+                    for (local, &global) in sub.bools.iter().enumerate() {
+                        sat[global as usize] = raw.sat[local];
+                    }
+                    for (local, &global) in sub.ints.iter().enumerate() {
+                        ints[global as usize] = raw.ints[local];
+                    }
+                }
+            }
+        }
+        if unknown {
+            return (Outcome::Unknown, None, total);
+        }
+        let merged = RawAssignment { sat, ints };
+        let sol = merged.extract(flat);
+        (Outcome::Sat(sol), Some(merged), total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Bx, Ix};
+
+    /// Two structurally independent blocks in one model: a chain of
+    /// implications and an integer budget.
+    fn two_block_model(unsat_second: bool) -> Model {
+        let mut m = Model::new();
+        let vs: Vec<_> = (0..5).map(|i| m.bool_var(format!("a{i}"))).collect();
+        for w in vs.windows(2) {
+            m.require(Bx::implies(Bx::var(w[0]), Bx::var(w[1])));
+        }
+        m.require(Bx::var(vs[0]));
+        let x = m.int_var("x", 0, 10);
+        let y = m.int_var("y", 0, 10);
+        m.require(Ix::var(x).add(Ix::var(y)).ge(Ix::lit(if unsat_second {
+            25
+        } else {
+            15
+        })));
+        m
+    }
+
+    #[test]
+    fn decomposed_agrees_sat() {
+        let m = two_block_model(false);
+        let ctx = SolveCtx::default();
+        let (o, _) = Decomposed { workers: 2 }.solve(&m, &ctx);
+        let sol = o.solution().expect("both blocks satisfiable");
+        assert!(sol.satisfies(&m));
+    }
+
+    #[test]
+    fn decomposed_agrees_unsat() {
+        let m = two_block_model(true);
+        let ctx = SolveCtx::default();
+        let (seq, _) = Sequential.solve(&m, &ctx);
+        let (dec, _) = Decomposed { workers: 2 }.solve(&m, &ctx);
+        assert_eq!(seq, Outcome::Unsat);
+        assert_eq!(dec, Outcome::Unsat);
+    }
+
+    #[test]
+    fn split_finds_components() {
+        let m = two_block_model(false);
+        let flat = flatten(&m);
+        let subs = split_components(&flat).expect("two independent blocks");
+        assert!(subs.len() >= 2, "got {} components", subs.len());
+        // Every constrained variable lands in exactly one component.
+        let mapped: usize = subs.iter().map(|s| s.bools.len()).sum();
+        assert!(mapped <= flat.num_sat_vars);
+    }
+
+    #[test]
+    fn single_component_falls_back() {
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        let b = m.bool_var("b");
+        m.require(Bx::or(vec![Bx::var(a), Bx::var(b)]));
+        let flat = flatten(&m);
+        // The TRUE-constant variable forms its own component, but the
+        // or-clause couples a, b, and the Tseitin node.
+        let subs = split_components(&flat);
+        if let Some(subs) = &subs {
+            assert!(subs.len() >= 2);
+        }
+        let (o, _) = Decomposed { workers: 1 }.solve(&m, &SolveCtx::default());
+        assert!(o.solution().expect("trivially SAT").satisfies(&m));
+    }
+
+    #[test]
+    fn engines_agree_on_random_models() {
+        // Seeded differential over mixed bool/int models with several
+        // independent groups; a root-level suite does the same end-to-end
+        // through the compiler.
+        let mut seed = 0x5eed_dec0_u64;
+        let mut rng = move || {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for case in 0..60 {
+            let mut m = Model::new();
+            let groups = 2 + (rng() % 3) as usize;
+            for g in 0..groups {
+                let bs: Vec<_> = (0..3).map(|i| m.bool_var(format!("g{g}b{i}"))).collect();
+                let x = m.int_var(format!("g{g}x"), 0, 8);
+                m.require(Bx::or(bs.iter().map(|&b| Bx::var(b)).collect()));
+                if rng() % 2 == 0 {
+                    m.require(Bx::implies(
+                        Bx::var(bs[0]),
+                        Ix::var(x).ge(Ix::lit((rng() % 12) as i64)),
+                    ));
+                }
+                if rng() % 3 == 0 {
+                    m.require(Bx::var(bs[0]));
+                }
+                if rng() % 4 == 0 {
+                    m.require(Ix::var(x).le(Ix::lit((rng() % 6) as i64)));
+                }
+            }
+            let ctx = SolveCtx::default();
+            let (seq, _) = Sequential.solve(&m, &ctx);
+            let (dec, _) = Decomposed { workers: 2 }.solve(&m, &ctx);
+            match (&seq, &dec) {
+                (Outcome::Sat(_), Outcome::Sat(s)) => {
+                    assert!(s.satisfies(&m), "case {case}: stitched non-model")
+                }
+                (Outcome::Unsat, Outcome::Unsat) => {}
+                other => panic!("case {case}: engines disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clause_store_counts_hits_and_misses() {
+        let m = two_block_model(false);
+        let flat = flatten(&m);
+        let store = Arc::new(ClauseStore::new());
+        let ctx = SolveCtx {
+            config: SolverConfig::default(),
+            warm: Some(store.clone()),
+        };
+        let (first, _, _) = Sequential.solve_flat(&flat, &[], &ctx);
+        assert!(first.is_sat());
+        assert_eq!(store.hit_count(), 0);
+        let misses_after_first = store.miss_count();
+        assert!(misses_after_first >= 1);
+        let (second, _, _) = Sequential.solve_flat(&flat, &[], &ctx);
+        assert!(second.is_sat());
+        // A trivial solve may export an empty bundle (nothing learned), in
+        // which case the second lookup is a miss again; either way the
+        // counters moved and the verdict is unchanged.
+        assert!(store.hit_count() + store.miss_count() > misses_after_first);
+    }
+
+    #[test]
+    fn clause_store_warms_resolves() {
+        // A conflict-heavy UNSAT formula: the second solve through the same
+        // store must hit and stay UNSAT.
+        let mut m = Model::new();
+        let vars: Vec<Vec<_>> = (0..6)
+            .map(|p| (0..5).map(|h| m.bool_var(format!("p{p}h{h}"))).collect())
+            .collect();
+        for p in &vars {
+            m.require(Bx::or(p.iter().map(|&v| Bx::var(v)).collect()));
+        }
+        for h in 0..5 {
+            m.require(Bx::at_most_one(
+                vars.iter().map(|row| Bx::var(row[h])).collect(),
+            ));
+        }
+        let flat = flatten(&m);
+        let store = Arc::new(ClauseStore::new());
+        let ctx = SolveCtx {
+            config: SolverConfig::default(),
+            warm: Some(store.clone()),
+        };
+        let (first, _, _) = Sequential.solve_flat(&flat, &[], &ctx);
+        assert_eq!(first, Outcome::Unsat);
+        let (second, _, _) = Sequential.solve_flat(&flat, &[], &ctx);
+        assert_eq!(second, Outcome::Unsat);
+        assert_eq!(store.hit_count(), 1, "second solve must reuse the bundle");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_bounds() {
+        let m = two_block_model(false);
+        let flat = flatten(&m);
+        let bound: BoundConstraint = (vec![(1, FlatVar::Int(0))], 3);
+        assert_ne!(
+            flat.fingerprint(&[]),
+            flat.fingerprint(std::slice::from_ref(&bound)),
+            "branch-and-bound rounds must key separately"
+        );
+        let flat2 = flatten(&two_block_model(true));
+        assert_ne!(flat.fingerprint(&[]), flat2.fingerprint(&[]));
+    }
+
+    #[test]
+    fn minimize_via_trait_matches_direct() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 100);
+        let y = m.int_var("y", 0, 100);
+        m.require(Ix::var(x).add(Ix::var(y)).ge(Ix::lit(23)));
+        let obj = Ix::var(x).add(Ix::var(y));
+        let ctx = SolveCtx::default();
+        for engine in [
+            &Sequential as &dyn Solver,
+            &Portfolio { workers: 3 },
+            &Decomposed { workers: 2 },
+        ] {
+            let (best, _) = engine.minimize(&m, &obj, &ctx);
+            assert_eq!(best.expect("feasible").1, 23, "engine {}", engine.name());
+        }
+    }
+}

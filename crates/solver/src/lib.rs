@@ -47,17 +47,26 @@
 //! assert!(sol.bool(deploy_a) || sol.bool(deploy_b));
 //! ```
 
+pub mod decompose;
 pub mod expr;
 pub mod flatten;
 pub mod model;
 pub mod portfolio;
 pub mod search;
 
+pub use decompose::{
+    BoundConstraint, ClauseStore, Decomposed, Portfolio, Sequential, SolveCtx, Solver,
+};
 pub use expr::{Bx, Ix, LinExpr};
-pub use flatten::{flatten, FlatModel};
+pub use flatten::{flatten, FlatModel, FlatVar};
 pub use model::{BoolId, IntId, Model, Solution};
-pub use portfolio::{minimize_portfolio, solve_flat_portfolio, solve_portfolio};
-pub use search::{minimize, solve, solve_flat, SearchStats, SolverConfig};
+pub use portfolio::{
+    minimize_portfolio, solve_flat_portfolio, solve_flat_portfolio_warm, solve_portfolio,
+};
+pub use search::{
+    minimize, solve, solve_flat, solve_flat_warm, RawAssignment, SearchStats, SolverConfig,
+    WarmStart,
+};
 
 /// Outcome of a solver invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]

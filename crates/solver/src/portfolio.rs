@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::flatten::{flatten, flatten_with_objective, FlatModel, FlatVar};
 use crate::model::{Model, Solution};
-use crate::search::{solve_flat, RawAssignment, SearchStats, SolverConfig};
+use crate::search::{solve_flat_warm, RawAssignment, SearchStats, SolverConfig, WarmStart};
 use crate::Outcome;
 
 /// Lock a mutex, recovering from poisoning. A poisoned mutex here only
@@ -98,15 +98,32 @@ pub fn solve_flat_portfolio(
     extra: &[(Vec<(i64, FlatVar)>, i64)],
     workers: usize,
 ) -> (Outcome, Option<RawAssignment>, SearchStats) {
+    let (outcome, raw, stats, _) = solve_flat_portfolio_warm(flat, base, extra, workers, None);
+    (outcome, raw, stats)
+}
+
+/// [`solve_flat_portfolio`] with warm-start seeding: every worker is seeded
+/// with the same bundle (diversification still varies their schedules), and
+/// the **winning worker's** export is returned so callers can persist the
+/// freshest learned-clause database. `None` export when no worker reached a
+/// verdict.
+pub fn solve_flat_portfolio_warm(
+    flat: &FlatModel,
+    base: &SolverConfig,
+    extra: &[(Vec<(i64, FlatVar)>, i64)],
+    workers: usize,
+    warm: Option<&WarmStart>,
+) -> (Outcome, Option<RawAssignment>, SearchStats, Option<WarmStart>) {
     let n = workers.max(1);
     if n == 1 {
-        let (outcome, raw, mut stats) = solve_flat(flat, base, extra);
+        let (outcome, raw, mut stats, export) = solve_flat_warm(flat, base, extra, warm);
         stats.workers_spawned += 1;
-        return (outcome, raw, stats);
+        return (outcome, raw, stats, Some(export));
     }
     let cancel = Arc::new(AtomicBool::new(false));
     // Winner slot plus the effort of workers that reached no verdict.
-    let winner: Mutex<Option<(Outcome, Option<RawAssignment>, SearchStats)>> = Mutex::new(None);
+    type Verdict = (Outcome, Option<RawAssignment>, SearchStats, WarmStart);
+    let winner: Mutex<Option<Verdict>> = Mutex::new(None);
     let leftovers: Mutex<SearchStats> = Mutex::new(SearchStats::default());
     std::thread::scope(|scope| {
         for i in 0..n {
@@ -120,15 +137,16 @@ pub fn solve_flat_portfolio(
                 // poison it for every surviving worker. Catching here turns
                 // a crashed worker into one that simply never reports —
                 // its siblings keep racing and one of them decides.
-                let solved = catch_unwind(AssertUnwindSafe(|| solve_flat(flat, &cfg, extra)));
-                let Ok((outcome, raw, stats)) = solved else {
+                let solved =
+                    catch_unwind(AssertUnwindSafe(|| solve_flat_warm(flat, &cfg, extra, warm)));
+                let Ok((outcome, raw, stats, export)) = solved else {
                     return;
                 };
                 match outcome {
                     Outcome::Sat(_) | Outcome::Unsat => {
                         let mut w = lock_recovering(winner);
                         if w.is_none() {
-                            *w = Some((outcome, raw, stats));
+                            *w = Some((outcome, raw, stats, export));
                             cancel.store(true, Ordering::Relaxed);
                         }
                         // A verdict that arrives after the race is decided
@@ -143,16 +161,16 @@ pub fn solve_flat_portfolio(
     });
     let won = into_inner_recovering(winner);
     match won {
-        Some((outcome, raw, mut stats)) => {
+        Some((outcome, raw, mut stats, export)) => {
             stats.workers_spawned += n as u64;
             stats.workers_cancelled += (n - 1) as u64;
-            (outcome, raw, stats)
+            (outcome, raw, stats, Some(export))
         }
         None => {
             // Everyone exhausted the budget: all effort was real.
             let mut stats = into_inner_recovering(leftovers);
             stats.workers_spawned += n as u64;
-            (Outcome::Unknown, None, stats)
+            (Outcome::Unknown, None, stats, None)
         }
     }
 }

@@ -225,9 +225,51 @@ pub fn solve_flat(
     cfg: &SolverConfig,
     extra: &[(Vec<(i64, FlatVar)>, i64)],
 ) -> (Outcome, Option<RawAssignment>, SearchStats) {
-    let mut s = Search::new(flat, cfg, extra);
+    let mut s = Search::new(flat, cfg, extra, None);
     let (outcome, raw) = s.run();
     (outcome, raw, s.stats)
+}
+
+/// A warm-start bundle exported from a finished search: the learned clauses
+/// still alive at export time (with their creation LBD), the per-variable
+/// VSIDS activity, and the saved phases.
+///
+/// Seeding a new search over the **same formula** with this bundle installs
+/// the clauses as if they had just been learned again, which is sound
+/// because every learned clause is implied by the formula (plus the `extra`
+/// bounds) it was learned from. Callers must guarantee the formulas match —
+/// [`crate::decompose::ClauseStore`] does so by keying bundles with
+/// [`FlatModel::fingerprint`], `extra` included.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Surviving learned clauses, each with the LBD recorded at creation.
+    pub clauses: Vec<(Vec<Lit>, u32)>,
+    /// VSIDS-lite activity per SAT variable.
+    pub activity: Vec<f64>,
+    /// Saved decision phase per SAT variable.
+    pub phases: Vec<bool>,
+}
+
+impl WarmStart {
+    /// True when the bundle carries nothing a fresh search would use.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty() && self.activity.is_empty() && self.phases.is_empty()
+    }
+}
+
+/// [`solve_flat`] seeded with an optional [`WarmStart`] bundle; always
+/// returns the finished search's own bundle so callers can persist it for
+/// the next solve of the same formula.
+pub fn solve_flat_warm(
+    flat: &FlatModel,
+    cfg: &SolverConfig,
+    extra: &[(Vec<(i64, FlatVar)>, i64)],
+    warm: Option<&WarmStart>,
+) -> (Outcome, Option<RawAssignment>, SearchStats, WarmStart) {
+    let mut s = Search::new(flat, cfg, extra, warm);
+    let (outcome, raw) = s.run();
+    let export = s.export_warm();
+    (outcome, raw, s.stats, export)
 }
 
 /// Why a SAT variable holds its value.
@@ -315,6 +357,7 @@ impl<'a> Search<'a> {
         flat: &'a FlatModel,
         cfg: &'a SolverConfig,
         extra: &[(Vec<(i64, FlatVar)>, i64)],
+        warm: Option<&WarmStart>,
     ) -> Self {
         let nvars = flat.num_sat_vars;
         let num_clauses = flat.clauses.len();
@@ -349,14 +392,36 @@ impl<'a> Search<'a> {
             passes: 0,
         };
         if cfg.seed != 0 {
-            // Diversified initial polarities (xorshift64*); hints below
-            // still take precedence.
+            // Diversified initial polarities (xorshift64*); warm phases and
+            // hints below still take precedence.
             let mut x = cfg.seed;
             for p in s.saved_phase.iter_mut() {
                 x ^= x >> 12;
                 x ^= x << 25;
                 x ^= x >> 27;
                 *p = x.wrapping_mul(0x2545_f491_4f6c_dd1d) & 1 == 1;
+            }
+        }
+        if let Some(w) = warm {
+            // Warm-start seeding. Phases and activity apply only when the
+            // bundle's dimensions match this formula exactly (they always
+            // do under fingerprint-keyed lookup; anything else is stale and
+            // silently dropped). Clauses are installed as learned clauses —
+            // watched, LBD-scored, and eligible for the usual database
+            // reduction — before `init_watches` wires the watch lists.
+            if w.phases.len() == nvars {
+                s.saved_phase.copy_from_slice(&w.phases);
+            }
+            if w.activity.len() == nvars {
+                s.activity.copy_from_slice(&w.activity);
+            }
+            for (cl, lbd) in &w.clauses {
+                if cl.len() >= 2 && cl.iter().all(|l| (l.var() as usize) < nvars) {
+                    s.lbd.push(*lbd);
+                    s.clause_act.push(0.0);
+                    s.learned_live += 1;
+                    s.clauses.push(cl.clone());
+                }
             }
         }
         for &(v, phase) in &cfg.phase_hints {
@@ -366,6 +431,22 @@ impl<'a> Search<'a> {
         }
         s.init_watches();
         s
+    }
+
+    /// Export the warm-start bundle of this search: surviving learned
+    /// clauses (seeded ones included — they sit past
+    /// `num_original_clauses` like any learned clause), activity, and
+    /// saved phases.
+    fn export_warm(&self) -> WarmStart {
+        let clauses = (self.num_original_clauses..self.clauses.len())
+            .filter(|&ci| !self.clauses[ci].is_empty())
+            .map(|ci| (self.clauses[ci].clone(), self.lbd[ci]))
+            .collect();
+        WarmStart {
+            clauses,
+            activity: self.activity.clone(),
+            phases: self.saved_phase.clone(),
+        }
     }
 
     fn init_watches(&mut self) {
@@ -1333,9 +1414,71 @@ mod tests {
         ]));
         let flat = flatten(&m);
         let cfg = SolverConfig::default();
-        let mut s = Search::new(&flat, &cfg, &[]);
+        let mut s = Search::new(&flat, &cfg, &[], None);
         let (outcome, _) = s.run();
         assert!(outcome.is_sat() || outcome == Outcome::Unsat);
+    }
+
+    #[test]
+    fn warm_start_replays_learned_clauses() {
+        // Solve a conflict-heavy UNSAT instance cold, then re-solve the
+        // identical formula seeded with the exported bundle: the verdict
+        // must match, and the seeded clauses must cut the second search's
+        // own learning effort.
+        let m = pigeonhole(6, 5);
+        let flat = flatten(&m);
+        let cfg = SolverConfig::default();
+        let (cold, _, cold_stats, export) = solve_flat_warm(&flat, &cfg, &[], None);
+        assert_eq!(cold, Outcome::Unsat);
+        assert!(!export.clauses.is_empty(), "UNSAT proof learns clauses");
+        let (seeded, _, warm_stats, _) = solve_flat_warm(&flat, &cfg, &[], Some(&export));
+        assert_eq!(seeded, Outcome::Unsat);
+        assert!(
+            warm_stats.conflicts <= cold_stats.conflicts,
+            "warm start must not make the search harder: cold {} vs warm {}",
+            cold_stats.conflicts,
+            warm_stats.conflicts
+        );
+    }
+
+    #[test]
+    fn warm_start_preserves_sat_verdict() {
+        let mut m = Model::new();
+        let vs: Vec<_> = (0..6).map(|i| m.bool_var(format!("v{i}"))).collect();
+        for w in vs.windows(2) {
+            m.require(Bx::or(vec![Bx::not(Bx::var(w[0])), Bx::var(w[1])]));
+        }
+        m.require(Bx::var(vs[0]));
+        let x = m.int_var("x", 0, 50);
+        m.require(Ix::var(x).ge(Ix::lit(12)));
+        let flat = flatten(&m);
+        let cfg = SolverConfig::default();
+        let (cold, _, _, export) = solve_flat_warm(&flat, &cfg, &[], None);
+        assert!(cold.is_sat());
+        let (seeded, _, _, _) = solve_flat_warm(&flat, &cfg, &[], Some(&export));
+        let sol = seeded.solution().expect("warm re-solve stays SAT");
+        assert!(sol.satisfies(&m));
+    }
+
+    #[test]
+    fn stale_warm_bundle_is_ignored_safely() {
+        // Defensive handling of a dimensionally-stale bundle (semantic
+        // staleness is prevented one level up by fingerprint-keyed lookup):
+        // mismatched phase/activity vectors are dropped and clauses
+        // referencing out-of-range variables are skipped.
+        let stale = WarmStart {
+            clauses: vec![(vec![Lit::pos(40), Lit::neg(41)], 2)],
+            activity: vec![5.0; 99],
+            phases: vec![true; 99],
+        };
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        m.require(Bx::var(a));
+        let flat = flatten(&m);
+        let (outcome, _, _, export) =
+            solve_flat_warm(&flat, &SolverConfig::default(), &[], Some(&stale));
+        assert!(outcome.solution().expect("still SAT").bool(a));
+        assert!(export.clauses.is_empty(), "stale clauses were not adopted");
     }
 
     fn pigeonhole(pigeons: usize, holes: usize) -> Model {

@@ -3,7 +3,10 @@
 //! SMT the encoding actually emits, and reports [`lyra_solver::SearchStats`]
 //! with every verdict so the compile driver can surface solver effort.
 
-use lyra_solver::{Ix, Model, Outcome, SearchStats, Solution, SolverConfig};
+use std::sync::Arc;
+
+use lyra_solver::decompose::{Decomposed, Portfolio, Sequential, SolveCtx, Solver};
+use lyra_solver::{ClauseStore, Ix, Model, Outcome, SearchStats, Solution, SolverConfig};
 
 /// Which solver to use. Only the native solver exists today; the enum is
 /// kept (non-exhaustively) so an external SMT backend can slot in without
@@ -99,8 +102,10 @@ pub fn solve_with_strategy(
     )
 }
 
-/// Resource limits on one solve — the watchdog's knobs.
-#[derive(Debug, Clone, Copy, Default)]
+/// Resource limits on one solve — the watchdog's knobs — plus the
+/// decomposition toggle and warm-start store that ride along with them
+/// into the engine's [`SolveCtx`].
+#[derive(Debug, Clone, Default)]
 pub struct SolveLimits {
     /// Wall-clock deadline; on expiry the search winds down with
     /// [`Outcome::Unknown`] (never a wrong verdict).
@@ -111,6 +116,12 @@ pub struct SolveLimits {
     /// configuration the degradation ladder uses for its sequential retry,
     /// which tends to find *a* model quickly at the cost of proof power.
     pub aggressive_restarts: bool,
+    /// Split the flattened formula into connected components and solve
+    /// them independently (see `lyra_solver::decompose::Decomposed`).
+    pub decomposition: bool,
+    /// Learned-clause store consulted and refreshed around each solve,
+    /// keyed by encoding fingerprint (warm-start re-solve).
+    pub warm: Option<Arc<ClauseStore>>,
 }
 
 /// [`solve_with_strategy`] under explicit [`SolveLimits`].
@@ -145,22 +156,21 @@ pub fn solve_with_limits(
                 cfg.activity_decay = 0.99;
             }
             let workers = strategy.effective_workers();
+            let engine: Box<dyn Solver> = if limits.decomposition {
+                Box::new(Decomposed { workers })
+            } else if workers <= 1 {
+                Box::new(Sequential)
+            } else {
+                Box::new(Portfolio { workers })
+            };
+            let ctx = SolveCtx {
+                config: cfg,
+                warm: limits.warm.clone(),
+            };
             match objective {
-                None if workers <= 1 => {
-                    let flat = lyra_solver::flatten(model);
-                    let (outcome, _, stats) = lyra_solver::solve_flat(&flat, &cfg, &[]);
-                    if let Outcome::Sat(ref s) = outcome {
-                        debug_assert!(s.satisfies(model));
-                    }
-                    (outcome, stats)
-                }
-                None => lyra_solver::solve_portfolio(model, &cfg, workers),
+                None => engine.solve(model, &ctx),
                 Some(obj) => {
-                    let (res, stats) = if workers <= 1 {
-                        lyra_solver::search::minimize_with(model, obj, &cfg)
-                    } else {
-                        lyra_solver::minimize_portfolio(model, obj, &cfg, workers)
-                    };
+                    let (res, stats) = engine.minimize(model, obj, &ctx);
                     let outcome = match res {
                         Some((sol, _)) => Outcome::Sat(sol),
                         // `None` is a refutation only if no limit could

@@ -32,16 +32,20 @@ pub mod table;
 pub mod util;
 
 pub use backend::{Backend, SolveLimits, SolverStrategy};
+pub use lyra_solver::ClauseStore as SolverClauseStore;
 pub use encode::{encode, EncodeError, EncodeOptions, Encoded, Objective, SynthUnit};
 pub use explain::explain_infeasible;
 pub use p4::P4Options;
 pub use place::{CarriedValue, Placement, SwitchPlan};
 pub use table::{SynthAction, SynthTable, TableGroup, TableKind};
 
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
 use lyra_diag::{codes, Diagnostic};
 use lyra_ir::IrProgram;
-use lyra_solver::{Outcome, SearchStats};
-use lyra_topo::{ResolvedScope, Topology};
+use lyra_solver::{ClauseStore, Outcome, SearchStats, Solution};
+use lyra_topo::{interchangeable_classes, ResolvedScope, SwitchId, Topology};
 
 /// Synthesis failure.
 #[derive(Debug)]
@@ -219,8 +223,10 @@ pub fn synthesize_full(
     )
 }
 
-/// Watchdog limits on a synthesis run.
-#[derive(Debug, Clone, Copy, Default)]
+/// Watchdog limits on a synthesis run, plus the scale accelerations
+/// (quotient decomposition and warm-start clause reuse) that ride along
+/// into the solver.
+#[derive(Debug, Clone, Default)]
 pub struct SynthLimits {
     /// Wall-clock deadline for the *requested* strategy. Expiry does not
     /// fail the compile: the degradation ladder runs instead.
@@ -231,6 +237,127 @@ pub struct SynthLimits {
     /// main deadline expires. Zero with a set deadline means any expiry
     /// falls straight through to greedy first-fit.
     pub grace: std::time::Duration,
+    /// Try scope-based decomposition first: solve a quotient model over
+    /// interchangeable-switch class representatives, replicate the
+    /// solution, and verify it against the full encoding — falling back to
+    /// the monolithic solve on any mismatch. Also enables
+    /// connected-component splitting inside the solver.
+    pub decomposition: bool,
+    /// Learned-clause store shared across synthesis runs (warm-start
+    /// re-solve), keyed by encoding fingerprint so stale clauses never
+    /// replay.
+    pub warm: Option<Arc<ClauseStore>>,
+}
+
+/// One typed bundle of every solver-configuration knob: strategy, watchdog
+/// limits, and the datacenter-scale accelerations (symmetry breaking,
+/// decomposition, warm start). This is the single public entry point for
+/// configuring how placements are solved — `CompileRequest::with_solve_profile`
+/// in the driver, `--solve-profile` in `lyrac`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveProfile {
+    /// How to run the solver (one search or a portfolio race).
+    pub strategy: SolverStrategy,
+    /// Wall-clock budget for the solve phase; expiry triggers the
+    /// degradation ladder rather than a failure.
+    pub deadline: Option<std::time::Duration>,
+    /// Decision budget per search (overrides the solver default).
+    pub decision_budget: Option<u64>,
+    /// Emit lexicographic tie-breaking constraints over interchangeable
+    /// switches (see `lyra_topo::symmetry`).
+    pub symmetry_breaking: bool,
+    /// Solve per-pod quotient subproblems and replicate, with verified
+    /// stitching and monolithic fallback.
+    pub decomposition: bool,
+    /// Persist learned clauses and variable activity across solves of the
+    /// same encoding (incremental re-solve after faults).
+    pub warm_start: bool,
+}
+
+impl Default for SolveProfile {
+    /// The balanced default: portfolio race with every scale acceleration
+    /// enabled.
+    fn default() -> Self {
+        SolveProfile {
+            strategy: SolverStrategy::default(),
+            deadline: None,
+            decision_budget: None,
+            symmetry_breaking: true,
+            decomposition: true,
+            warm_start: true,
+        }
+    }
+}
+
+impl SolveProfile {
+    /// Lowest-latency preset: one sequential search with every scale
+    /// acceleration on. Best for small problems and tight compile loops
+    /// where portfolio spawn overhead dominates.
+    pub fn fast() -> Self {
+        SolveProfile {
+            strategy: SolverStrategy::Sequential,
+            ..SolveProfile::default()
+        }
+    }
+
+    /// Reference preset: a monolithic portfolio race with symmetry
+    /// breaking, decomposition, and warm start all *disabled* — the
+    /// encoding the accelerations are differentially tested against.
+    pub fn thorough() -> Self {
+        SolveProfile {
+            strategy: SolverStrategy::Portfolio { workers: 0 },
+            deadline: None,
+            decision_budget: None,
+            symmetry_breaking: false,
+            decomposition: false,
+            warm_start: false,
+        }
+    }
+
+    /// The default profile under a wall-clock deadline (the degradation
+    /// ladder runs on expiry).
+    pub fn deadline(d: std::time::Duration) -> Self {
+        SolveProfile {
+            deadline: Some(d),
+            ..SolveProfile::default()
+        }
+    }
+
+    /// Replace the solver strategy.
+    pub fn with_strategy(mut self, strategy: SolverStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_deadline(mut self, d: std::time::Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the per-search decision budget.
+    pub fn with_decision_budget(mut self, decisions: u64) -> Self {
+        self.decision_budget = Some(decisions);
+        self
+    }
+
+    /// Toggle symmetry breaking.
+    pub fn with_symmetry_breaking(mut self, on: bool) -> Self {
+        self.symmetry_breaking = on;
+        self
+    }
+
+    /// Toggle quotient/component decomposition.
+    pub fn with_decomposition(mut self, on: bool) -> Self {
+        self.decomposition = on;
+        self
+    }
+
+    /// Toggle warm-start clause reuse.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
 }
 
 impl SynthLimits {
@@ -268,6 +395,36 @@ pub fn synthesize_limited(
     previous: Option<&Placement>,
     limits: &SynthLimits,
 ) -> Result<SynthResult, SynthError> {
+    // Quotient fast path: for symmetric MULTI-SW problems, solve over one
+    // representative per interchangeable-switch class, replicate, and
+    // verify against the full model. Any failure (ineligible topology,
+    // solver timeout, verification mismatch) falls through to the
+    // monolithic ladder below — the quotient can only ever *add* a faster
+    // route to the same verified answer. Incremental re-solves (with a
+    // previous placement as hints) stay monolithic: replication would
+    // override the stability hints.
+    let mut quotient_stats = SearchStats::default();
+    if limits.decomposition
+        && previous.is_none()
+        && !opts.stage_detail
+        && opts.objective == Objective::Feasible
+        && scopes
+            .iter()
+            .any(|s| s.deploy == lyra_lang::DeployMode::MultiSwitch)
+    {
+        let classes = interchangeable_classes(topo, scopes);
+        if !classes.is_empty() {
+            let (result, stats) =
+                try_quotient(ir, topo, scopes, opts, backend, strategy, limits, &classes);
+            match result {
+                Some(res) => return Ok(res),
+                // Carry any effort the failed attempt spent into the
+                // monolithic run's totals, so reporting stays honest.
+                None => quotient_stats = stats,
+            }
+        }
+    }
+
     let enc = encode(ir, topo, scopes, opts).map_err(SynthError::Encode)?;
     let hints: Vec<(lyra_solver::BoolId, bool)> = match previous {
         Some(prev) => enc
@@ -288,7 +445,7 @@ pub fn synthesize_limited(
     };
 
     // Rung 1: the requested strategy under the configured limits.
-    let mut total = SearchStats::default();
+    let mut total = quotient_stats;
     let (outcome, stats) = backend::solve_with_limits(
         &enc.model,
         enc.objective.as_ref(),
@@ -299,6 +456,8 @@ pub fn synthesize_limited(
             deadline: limits.deadline,
             max_decisions: limits.max_decisions,
             aggressive_restarts: false,
+            decomposition: limits.decomposition,
+            warm: limits.warm.clone(),
         },
     );
     total.absorb(stats);
@@ -339,6 +498,8 @@ pub fn synthesize_limited(
                 deadline: Some(std::time::Instant::now() + limits.grace),
                 max_decisions: None,
                 aggressive_restarts: true,
+                decomposition: false,
+                warm: limits.warm.clone(),
             },
         );
         total.absorb(stats);
@@ -363,6 +524,163 @@ pub fn synthesize_limited(
         // still succeed by splitting algorithms — so report exhaustion.
         Err(_) => Err(SynthError::BudgetExhausted { stats: total }),
     }
+}
+
+/// Quotient solving: collapse every interchangeable-switch class to its
+/// smallest member, solve the (much smaller) quotient encoding, replicate
+/// the representative's assignment onto every class member, and verify the
+/// replicated solution against the *full* encoding with
+/// [`Solution::satisfies`]. Returns `(None, effort)` whenever anything
+/// disqualifies the attempt — the caller falls back to the monolithic
+/// solve, so this path never changes what is solvable, only how fast.
+///
+/// Soundness does not rest on the class analysis: whatever the quotient
+/// produces is accepted *only* after the full model check passes, so a
+/// wrong class could at worst waste the quotient solve. The class analysis
+/// (`lyra_topo::symmetry`) exists to make the check overwhelmingly likely
+/// to pass: verified transpositions map constraints to constraints, so a
+/// per-class-constant assignment satisfying the quotient constraints
+/// satisfies the full path/resource families too.
+///
+/// The quotient encodes with symmetry breaking *off*: lex tie-breaking aux
+/// variables are internal to the monolithic encoding and are not recorded
+/// in [`Encoded`]'s maps, so replication could not populate them; and the
+/// quotient has already collapsed the orbits lex ordering would prune.
+#[allow(clippy::too_many_arguments)]
+fn try_quotient(
+    ir: &IrProgram,
+    topo: &Topology,
+    scopes: &[ResolvedScope],
+    opts: &EncodeOptions,
+    backend: &Backend,
+    strategy: SolverStrategy,
+    limits: &SynthLimits,
+    classes: &[Vec<SwitchId>],
+) -> (Option<SynthResult>, SearchStats) {
+    let mut rep_map: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+    for class in classes {
+        let r = class[0]; // classes are sorted; the smallest id represents
+        for &s in class {
+            rep_map.insert(s, r);
+        }
+    }
+    let rep = |s: SwitchId| rep_map.get(&s).copied().unwrap_or(s);
+
+    // Quotient scopes: representative switches, mapped + deduplicated
+    // paths. A mapped path revisiting a switch (two hops collapsing into
+    // one representative) has no counterpart in the path encoding — give
+    // up before solving anything.
+    let mut q_scopes: Vec<ResolvedScope> = Vec::with_capacity(scopes.len());
+    for scope in scopes {
+        let mut switches: Vec<SwitchId> = scope.switches.iter().map(|&s| rep(s)).collect();
+        switches.sort_unstable();
+        switches.dedup();
+        let mut paths: Vec<Vec<SwitchId>> = Vec::new();
+        for p in &scope.paths {
+            let mapped: Vec<SwitchId> = p.iter().map(|&s| rep(s)).collect();
+            let distinct: BTreeSet<SwitchId> = mapped.iter().copied().collect();
+            if distinct.len() != mapped.len() {
+                return (None, SearchStats::default());
+            }
+            if !paths.contains(&mapped) {
+                paths.push(mapped);
+            }
+        }
+        q_scopes.push(ResolvedScope {
+            algorithm: scope.algorithm.clone(),
+            switches,
+            deploy: scope.deploy,
+            paths,
+        });
+    }
+    if q_scopes
+        .iter()
+        .zip(scopes)
+        .all(|(q, s)| q.switches.len() == s.switches.len())
+    {
+        return (None, SearchStats::default()); // quotient is no smaller
+    }
+
+    let mut q_opts = opts.clone();
+    q_opts.symmetry_breaking = false;
+    let Ok(full) = encode(ir, topo, scopes, &q_opts) else {
+        return (None, SearchStats::default());
+    };
+    let Ok(q_enc) = encode(ir, topo, &q_scopes, &q_opts) else {
+        return (None, SearchStats::default());
+    };
+
+    let (outcome, stats) = backend::solve_with_limits(
+        &q_enc.model,
+        None,
+        backend,
+        &[],
+        strategy,
+        &backend::SolveLimits {
+            deadline: limits.deadline,
+            max_decisions: limits.max_decisions,
+            aggressive_restarts: false,
+            decomposition: true,
+            warm: limits.warm.clone(),
+        },
+    );
+    let Outcome::Sat(q_sol) = outcome else {
+        // Unknown → monolithic retry. Unsat is *not* propagated as a
+        // refutation of the full problem: the quotient forces per-class-
+        // uniform placements, a strictly stronger model.
+        return (None, stats);
+    };
+
+    // Replicate: every full-model variable takes its representative's
+    // value; anything unmapped keeps a safe default and is caught by the
+    // verification below.
+    let replicate = || -> Option<Solution> {
+        let mut bools = vec![false; full.model.num_bools()];
+        let mut ints: Vec<i64> = full.model.int_decls().map(|(_, d)| d.lo).collect();
+        for ((alg, sw, instr), &v) in &full.instr_var {
+            let q = q_enc.instr_var.get(&(alg.clone(), rep(*sw), *instr))?;
+            bools[v.index()] = q_sol.bool(*q);
+        }
+        for ((e, sw), &v) in &full.extern_var {
+            let q = q_enc.extern_var.get(&(e.clone(), rep(*sw)))?;
+            ints[v.index()] = q_sol.int(*q);
+        }
+        for (&sw, &v) in &full.switch_used {
+            let q = q_enc.switch_used.get(&rep(sw))?;
+            bools[v.index()] = q_sol.bool(*q);
+        }
+        for ((sw, alg, table), &v) in &full.table_valid {
+            let q = q_enc
+                .table_valid
+                .get(&(rep(*sw), alg.clone(), table.clone()))?;
+            bools[v.index()] = q_sol.bool(*q);
+        }
+        for ((sw, alg, table), &v) in &full.table_depth {
+            let q = q_enc
+                .table_depth
+                .get(&(rep(*sw), alg.clone(), table.clone()))?;
+            ints[v.index()] = q_sol.int(*q);
+        }
+        Some(Solution::from_parts(bools, ints))
+    };
+    let Some(sol) = replicate() else {
+        return (None, stats);
+    };
+    // The load-bearing check: the replicated assignment must satisfy every
+    // constraint of the full encoding, or the quotient result is discarded.
+    if !sol.satisfies(&full.model) {
+        return (None, stats);
+    }
+    let placement = place::extract(&full, ir, topo, &sol);
+    (
+        Some(SynthResult {
+            placement,
+            encoded: full,
+            stats,
+            degraded: None,
+        }),
+        SearchStats::default(),
+    )
 }
 
 #[cfg(test)]
@@ -541,8 +859,8 @@ mod tests {
         let (ir, topo, scopes) = lb_setup();
         let limits = SynthLimits {
             deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
-            max_decisions: None,
             grace: std::time::Duration::ZERO,
+            ..Default::default()
         };
         let res = synthesize_limited(
             &ir,
@@ -572,8 +890,8 @@ mod tests {
         let (ir, topo, scopes) = lb_setup();
         let limits = SynthLimits {
             deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
-            max_decisions: None,
             grace: std::time::Duration::from_secs(30),
+            ..Default::default()
         };
         let res = synthesize_limited(
             &ir,

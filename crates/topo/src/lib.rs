@@ -13,12 +13,14 @@ pub mod fault;
 pub mod parse;
 pub mod paths;
 pub mod scope;
+pub mod symmetry;
 
 pub use builders::*;
 pub use fault::{scope_health, DegradeReport, FaultSet, ScopeHealth};
 pub use parse::{parse_topology, print_topology, TopologyParseError};
 pub use paths::enumerate_paths;
 pub use scope::{resolve_scope, resolve_scope_degraded, ResolvedScope, ScopeResolutionError};
+pub use symmetry::interchangeable_classes;
 
 /// Index of a switch within a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -23,7 +23,7 @@
 
 use std::time::{Duration, Instant};
 
-use lyra::{CompileRequest, Compiler, LossyChannel, RolloutConfig, Runtime, SolverStrategy};
+use lyra::{CompileRequest, Compiler, LossyChannel, RolloutConfig, Runtime, SolveProfile};
 use lyra_ir::{execute_all, DataPlaneState, Effect, PacketState};
 use lyra_lang::parse_scopes;
 use lyra_topo::{fat_tree_pod, figure1_network, resolve_scope, scope_health, FaultSet};
@@ -166,7 +166,7 @@ fn check_paths(
 fn failover_recompilation_preserves_semantics_across_200_scenarios() {
     let compiler = Compiler::new();
     let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential);
+        .with_solve_profile(SolveProfile::fast());
     let prior = compiler.compile(&req).expect("healthy compile");
     let mut rng = Rng::new(0xfau64 * 0x1_0001);
 
@@ -212,7 +212,7 @@ fn failover_recompilation_preserves_semantics_across_200_scenarios() {
 fn runtime_fault_injection_resyncs_and_preserves_semantics() {
     let compiler = Compiler::new();
     let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential);
+        .with_solve_profile(SolveProfile::fast());
     let out = compiler.compile(&req).expect("healthy compile");
     let mut rng = Rng::new(0xc0ffee);
 
@@ -270,7 +270,7 @@ fn runtime_fault_injection_resyncs_and_preserves_semantics() {
 fn rollout_chaos_commits_fully_or_rolls_back_fully_across_200_scenarios() {
     let compiler = Compiler::new();
     let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential);
+        .with_solve_profile(SolveProfile::fast());
     let healthy = compiler.compile(&req).expect("healthy compile");
     let mut rng = Rng::new(0x0_5eed_fa11);
 
@@ -375,7 +375,7 @@ fn rollout_chaos_commits_fully_or_rolls_back_fully_across_200_scenarios() {
 fn lossy_fail_switch_resync_commits_or_rolls_back_cleanly() {
     let compiler = Compiler::new();
     let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential);
+        .with_solve_profile(SolveProfile::fast());
     let out = compiler.compile(&req).expect("healthy compile");
     let mut rng = Rng::new(0xdead_10cc);
 
@@ -439,7 +439,7 @@ fn lossy_fail_switch_resync_commits_or_rolls_back_cleanly() {
 fn rollout_outcome_is_deterministic_for_a_fixed_seed() {
     let compiler = Compiler::new();
     let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential);
+        .with_solve_profile(SolveProfile::fast());
     let healthy = compiler.compile(&req).expect("healthy compile");
     let mut faults = FaultSet::new();
     faults.add_switch("ToR3");
@@ -482,7 +482,7 @@ fn rollout_outcome_is_deterministic_for_a_fixed_seed() {
 fn rollout_report_lands_in_session_json() {
     let compiler = Compiler::new();
     let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
-        .with_solver_strategy(SolverStrategy::Sequential);
+        .with_solve_profile(SolveProfile::fast());
     let healthy = compiler.compile(&req).expect("healthy compile");
     let mut faults = FaultSet::new();
     faults.add_switch("Agg3");
@@ -524,7 +524,7 @@ fn one_ms_deadline_on_k16_lb_returns_promptly_and_degraded() {
         aggs.join(","),
         tors.join(",")
     );
-    let req = CompileRequest::new(LB, &scopes, topo).with_deadline(Duration::from_millis(1));
+    let req = CompileRequest::new(LB, &scopes, topo).with_solve_profile(SolveProfile::deadline(Duration::from_millis(1)));
 
     let t = Instant::now();
     let out = Compiler::new().compile(&req).expect("ladder must not fail");
