@@ -13,18 +13,28 @@
 //! * `BENCH_fig9.json` — per-program median compile time, conflicts, and
 //!   synthesis-cache hit rate on a single-switch target.
 //!
+//! * `BENCH_pps.json` — data-plane throughput: seeded traffic replayed
+//!   through the NetCache k = 8 MULTI-SW deployment on the reference
+//!   interpreter versus the compiled batched engine (single worker and all
+//!   cores), plus two lossy-channel rollout-under-traffic scenarios with
+//!   their packet-loss and mixed-epoch-exposure counts.
+//!
 //! `--smoke` re-measures the k = 4 cases and the rollout p50 once each and
 //! fails (exit 1) if any is more than 3× slower than the committed
 //! `BENCH_fig10.json` baseline — CI's cheap performance-regression
 //! tripwire. Two datacenter-scale tripwires ride along: NetCache MULTI-SW
 //! must stay within 2× of its snapshot at k = 16 and under one second
-//! absolute at k = 32.
+//! absolute at k = 32. The data-plane tripwire also runs: the compiled
+//! engine must beat the interpreter by a fixed floor and a lossy rollout
+//! under traffic must show zero mixed-epoch exposure. `--pps-smoke` runs
+//! only that data-plane tripwire.
 
 use std::time::{Duration, Instant};
 
 use lyra::{
-    CompileRequest, Compiler, ReliableChannel, RolloutConfig, Runtime, SolveProfile,
-    SolverStrategy, SynthCache,
+    replay_compiled, replay_interpreted, replay_under_rollout, CompileRequest, Compiler,
+    LossyChannel, ReliableChannel, ReplayConfig, ReplayReport, RolloutConfig, Runtime,
+    SolveProfile, SolverStrategy, SynthCache,
 };
 use lyra_apps::{figure9_corpus, programs};
 use lyra_diag::json::{parse, Object, Value};
@@ -197,7 +207,10 @@ fn record_fig10() -> Object {
                 o.push("best_effort", Value::Bool(true));
                 cases_json.push(Value::Object(o));
             }
-            Ok(_) => println!("fig10 {} k={k}: degraded within deadline — row skipped", nc.name),
+            Ok(_) => println!(
+                "fig10 {} k={k}: degraded within deadline — row skipped",
+                nc.name
+            ),
             Err(e) => println!("fig10 {} k={k}: {e} — row skipped", nc.name),
         }
     }
@@ -333,6 +346,264 @@ fn record_rollout() -> Object {
     o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
     o.push("p50_commit_ms", Value::Number(ms(p50)));
     o
+}
+
+/// Packets replayed through the compiled engine per pps measurement.
+const PPS_PACKETS: u64 = 400_000;
+/// Packets for the interpreter baseline (same seed, slower engine).
+const PPS_INTERP_PACKETS: u64 = 100_000;
+/// Packets replayed while each rollout scenario flips epochs.
+const PPS_ROLLOUT_PACKETS: u64 = 120_000;
+/// Traffic seed shared by every pps measurement.
+const PPS_SEED: u64 = 0x9e37_79b9;
+/// Smoke mode: the compiled single-worker engine must beat the
+/// interpreter by at least this factor on the NetCache k = 8 deployment.
+const PPS_SMOKE_FLOOR: f64 = 8.0;
+/// Smoke mode: packet budgets for the quick pps tripwire.
+const PPS_SMOKE_PACKETS: u64 = 60_000;
+const PPS_SMOKE_INTERP_PACKETS: u64 = 20_000;
+
+/// The pps workload: NetCache at k = 8, MULTI-SW, with cache entries
+/// installed so replayed traffic exercises hit, miss, and hot-key paths.
+fn pps_workload() -> (Compiler, CompileRequest<'static>, lyra::CompileOutput) {
+    let program = programs::netcache().leak();
+    let scopes = scopes_for(8, program, true).leak();
+    let req = CompileRequest::new(program, scopes, pod(8)).with_solve_profile(SolveProfile::fast());
+    let compiler = Compiler::new();
+    let out = compiler.compile(&req).expect("NetCache k=8 compiles");
+    (compiler, req, out)
+}
+
+fn seeded_runtime(out: &lyra::CompileOutput) -> Runtime<'_> {
+    let mut rt = Runtime::new(out);
+    for i in 0..64u64 {
+        if rt.install("cache_lookup", i * 5, i % 97).is_err() {
+            break;
+        }
+    }
+    rt
+}
+
+fn replay_json(r: &ReplayReport) -> Object {
+    let mut o = Object::new();
+    o.push("packets", Value::Number(r.packets as f64));
+    o.push("delivered", Value::Number(r.delivered as f64));
+    o.push(
+        "refused_epoch_mismatch",
+        Value::Number(r.refused_epoch_mismatch as f64),
+    );
+    o.push(
+        "mixed_epoch_exposure",
+        Value::Number(r.mixed_epoch_exposure as f64),
+    );
+    o.push("effects", Value::Number(r.effects as f64));
+    o.push("workers", Value::Number(r.workers as f64));
+    o.push("elapsed_ms", Value::Number(ms(r.elapsed)));
+    o.push("pps", Value::Number(r.pps));
+    o
+}
+
+/// Replay traffic while a two-phase rollout flips the deployment over a
+/// lossy channel; returns the scenario row and the exposure count.
+fn pps_rollout_scenario(
+    name: &str,
+    compiler: &Compiler,
+    req: &CompileRequest,
+    out: &lyra::CompileOutput,
+    packets: u64,
+    kill_first_target: bool,
+) -> (Object, u64) {
+    let faults = FaultSet::new().with_switch("Agg1");
+    let r = compiler
+        .recompile_for_faults(req, out, &faults)
+        .expect("Agg1 failover recompile");
+    let mut rt = seeded_runtime(out);
+    rt.fail_switch("Agg1").expect("live failover");
+    let mut chan = LossyChannel::new(3)
+        .with_drop_p(0.2)
+        .with_ack_loss_p(0.1)
+        .with_dup_p(0.05);
+    let mut config = RolloutConfig::default().with_scope_health(r.scope_health.clone());
+    if kill_first_target {
+        // Kill the alphabetically-first switch of the new placement right
+        // after its prepare lands: the commit starves and the rollout must
+        // roll every switch back while traffic keeps flowing.
+        let victim = r
+            .output
+            .placement
+            .switches
+            .keys()
+            .next()
+            .expect("new placement has switches")
+            .clone();
+        chan = LossyChannel::new(3).with_switch_death(&victim, 1);
+        config.max_attempts = 3;
+        config.base_backoff = Duration::from_micros(5);
+        config.max_backoff = Duration::from_micros(50);
+    }
+    let replay_cfg = ReplayConfig::default()
+        .with_packets(packets)
+        .with_workers(2)
+        .with_seed(PPS_SEED);
+    let outcome = replay_under_rollout(&mut rt, &r.output, &mut chan, &config, &replay_cfg)
+        .expect("rollout starts");
+    let state = if outcome.rollout.committed {
+        "committed"
+    } else if outcome.rollout.rolled_back {
+        "rolled_back"
+    } else {
+        "no-op"
+    };
+    println!(
+        "pps   rollout[{name}]: {state}, {} delivered, {} refused (loss), {} mixed-epoch, \
+         {} forced rollback(s)",
+        outcome.replay.delivered,
+        outcome.replay.refused_epoch_mismatch,
+        outcome.replay.mixed_epoch_exposure,
+        outcome.rollout.forced_rollbacks,
+    );
+    let exposure = outcome.replay.mixed_epoch_exposure;
+    let mut o = Object::new();
+    o.push("name", Value::str(name));
+    o.push("outcome", Value::str(state));
+    o.push("replay", Value::Object(replay_json(&outcome.replay)));
+    let mut ro = Object::new();
+    ro.push("committed", Value::Bool(outcome.rollout.committed));
+    ro.push("rolled_back", Value::Bool(outcome.rollout.rolled_back));
+    ro.push(
+        "forced_rollbacks",
+        Value::Number(outcome.rollout.forced_rollbacks as f64),
+    );
+    ro.push(
+        "messages_sent",
+        Value::Number(outcome.rollout.messages_sent as f64),
+    );
+    ro.push("dropped", Value::Number(outcome.rollout.dropped as f64));
+    ro.push("retries", Value::Number(outcome.rollout.retries as f64));
+    o.push("rollout", Value::Object(ro));
+    (o, exposure)
+}
+
+fn record_pps() -> Object {
+    let (compiler, req, out) = pps_workload();
+    let rt = seeded_runtime(&out);
+    let interp = replay_interpreted(
+        &rt,
+        &ReplayConfig::default()
+            .with_packets(PPS_INTERP_PACKETS)
+            .with_seed(PPS_SEED),
+    );
+    let single = replay_compiled(
+        &rt,
+        &ReplayConfig::default()
+            .with_packets(PPS_PACKETS)
+            .with_workers(1)
+            .with_seed(PPS_SEED),
+    );
+    let batched = replay_compiled(
+        &rt,
+        &ReplayConfig::default()
+            .with_packets(PPS_PACKETS)
+            .with_seed(PPS_SEED),
+    );
+    println!(
+        "pps   NetCache(MULTI-SW)@k8: interpreter {:.0} pps, compiled(1w) {:.0} pps ({:.1}x), \
+         compiled({}w) {:.0} pps ({:.1}x)",
+        interp.pps,
+        single.pps,
+        single.pps / interp.pps.max(1e-9),
+        batched.workers,
+        batched.pps,
+        batched.pps / interp.pps.max(1e-9),
+    );
+    let (lossy_commit, e1) = pps_rollout_scenario(
+        "lossy-commit",
+        &compiler,
+        &req,
+        &out,
+        PPS_ROLLOUT_PACKETS,
+        false,
+    );
+    let (lossy_rollback, e2) = pps_rollout_scenario(
+        "lossy-rollback",
+        &compiler,
+        &req,
+        &out,
+        PPS_ROLLOUT_PACKETS,
+        true,
+    );
+    assert_eq!(e1 + e2, 0, "a packet executed under two epochs");
+
+    let mut root = Object::new();
+    root.push("bench", Value::str("pps"));
+    root.push("case", Value::str("NetCache(MULTI-SW)@k8"));
+    root.push("interpreter", Value::Object(replay_json(&interp)));
+    root.push("compiled_single", Value::Object(replay_json(&single)));
+    root.push("compiled_batched", Value::Object(replay_json(&batched)));
+    root.push(
+        "speedup_single",
+        Value::Number(single.pps / interp.pps.max(1e-9)),
+    );
+    root.push(
+        "speedup_batched",
+        Value::Number(batched.pps / interp.pps.max(1e-9)),
+    );
+    root.push(
+        "rollout_scenarios",
+        Value::Array(vec![
+            Value::Object(lossy_commit),
+            Value::Object(lossy_rollback),
+        ]),
+    );
+    root
+}
+
+/// Quick data-plane tripwire: the compiled engine must beat the
+/// interpreter by [`PPS_SMOKE_FLOOR`], and a lossy rollout under traffic
+/// must keep mixed-epoch exposure at zero. Returns the failure count.
+fn pps_smoke() -> usize {
+    let (compiler, req, out) = pps_workload();
+    let rt = seeded_runtime(&out);
+    let interp = replay_interpreted(
+        &rt,
+        &ReplayConfig::default()
+            .with_packets(PPS_SMOKE_INTERP_PACKETS)
+            .with_seed(PPS_SEED),
+    );
+    let single = replay_compiled(
+        &rt,
+        &ReplayConfig::default()
+            .with_packets(PPS_SMOKE_PACKETS)
+            .with_workers(1)
+            .with_seed(PPS_SEED),
+    );
+    let speedup = single.pps / interp.pps.max(1e-9);
+    let mut failures = 0;
+    let status = if speedup < PPS_SMOKE_FLOOR {
+        failures += 1;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "smoke pps NetCache(MULTI-SW)@k8: compiled {:.0} pps vs interpreter {:.0} pps — \
+         {speedup:.1}x (floor {PPS_SMOKE_FLOOR:.0}x) {status}",
+        single.pps, interp.pps
+    );
+    drop(rt);
+    let (_, exposure) = pps_rollout_scenario(
+        "lossy-rollback",
+        &compiler,
+        &req,
+        &out,
+        PPS_SMOKE_PACKETS,
+        true,
+    );
+    if exposure > 0 {
+        println!("smoke pps: {exposure} packet(s) executed under two epochs REGRESSED");
+        failures += 1;
+    }
+    failures
 }
 
 fn record_fig9() -> Object {
@@ -510,7 +781,11 @@ fn smoke() -> usize {
             SolveProfile::default(),
             1,
         );
-        let status = if ms(m.median) > bound { "REGRESSED" } else { "ok" };
+        let status = if ms(m.median) > bound {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
         println!(
             "smoke {:<20} k={k}: {:.1} ms (bound {:.1} ms, {label}) {status}",
             nc.name,
@@ -521,14 +796,23 @@ fn smoke() -> usize {
             failures += 1;
         }
     }
-    failures
+    failures + pps_smoke()
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--pps-smoke") {
+        let failures = pps_smoke();
+        if failures > 0 {
+            eprintln!("record_bench --pps-smoke: {failures} data-plane tripwire(s) failed");
+            std::process::exit(1);
+        }
+        println!("record_bench --pps-smoke: data plane within bounds");
+        return;
+    }
     if std::env::args().any(|a| a == "--smoke") {
         let failures = smoke();
         if failures > 0 {
-            eprintln!("record_bench --smoke: {failures} case(s) regressed >3x over baseline");
+            eprintln!("record_bench --smoke: {failures} case(s) regressed over baseline");
             std::process::exit(1);
         }
         println!("record_bench --smoke: all cases within bounds");
@@ -540,5 +824,7 @@ fn main() {
     let fig9 = record_fig9();
     std::fs::write("BENCH_fig9.json", Value::Object(fig9).to_pretty())
         .expect("write BENCH_fig9.json");
-    println!("wrote BENCH_fig10.json and BENCH_fig9.json");
+    let pps = record_pps();
+    std::fs::write("BENCH_pps.json", Value::Object(pps).to_pretty()).expect("write BENCH_pps.json");
+    println!("wrote BENCH_fig10.json, BENCH_fig9.json, and BENCH_pps.json");
 }

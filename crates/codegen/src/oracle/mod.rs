@@ -25,7 +25,7 @@ pub mod rules;
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use lyra_ir::interp::reference_hash;
+use lyra_ir::interp::{global_read, global_write, reference_hash};
 
 use expr::{mask, parse_expr, Env, Expr};
 use rules::{TableRule, When};
@@ -146,17 +146,11 @@ pub struct OracleOutcome {
     pub effects: Vec<(String, Vec<u64>)>,
 }
 
-/// Value-producing builtins with the IR interpreter's exact semantics.
-/// P4₁₆ `lyra_`-prefixed shims resolve to the underlying builtin name.
+/// Value-producing builtins with the IR interpreter's exact semantics —
+/// a thin re-export of the one shared dispatch in `lyra_ir::interp`, so
+/// the artifact oracle and the IR interpreter can never drift.
 pub fn builtin_call(name: &str, args: &[u64]) -> u64 {
-    let name = name.strip_prefix("lyra_").unwrap_or(name);
-    match name {
-        "crc32_hash" | "identity_hash" => reference_hash(args) & 0xffff_ffff,
-        "crc16_hash" => reference_hash(args) & 0xffff,
-        "min" => args.iter().copied().min().unwrap_or(0),
-        "max" => args.iter().copied().max().unwrap_or(0),
-        other => reference_hash(&[other.len() as u64]) & 0xffff_ffff,
-    }
+    lyra_ir::interp::builtin_call(name, args)
 }
 
 /// Map backend intrinsic field spellings to the IR builtin they realize,
@@ -222,8 +216,7 @@ impl Env for ExecEnv<'_> {
         let g = name.strip_suffix(".value").unwrap_or(name);
         self.globals
             .get(g)
-            .and_then(|a| a.get(idx as usize))
-            .copied()
+            .map(|a| global_read(a, idx))
             .unwrap_or(0)
     }
 }
@@ -252,13 +245,10 @@ impl ExecEnv<'_> {
                     self.write(dst, v);
                 }
                 OStmt::RegWrite { reg, idx, val } => {
-                    let i = idx.eval(self) as usize;
+                    let i = idx.eval(self);
                     let v = val.eval(self);
                     let arr = self.globals.entry(reg.clone()).or_default();
-                    if i >= arr.len() {
-                        arr.resize(i + 1, 0);
-                    }
-                    arr[i] = v;
+                    global_write(arr, i, v);
                 }
                 OStmt::Effect { name, args } => {
                     let vals: Vec<u64> = args.iter().map(|a| a.eval(self)).collect();
@@ -459,9 +449,9 @@ fn parse_rule_tuple(line: &str) -> Result<TableRule, String> {
     let mut rest = t;
     for _ in 0..4 {
         let r = rest.trim_start().trim_start_matches(',').trim_start();
-        if r.starts_with("None") {
+        if let Some(after) = r.strip_prefix("None") {
             fields.push(None);
-            rest = &r[4..];
+            rest = after;
         } else if let Some(body) = r.strip_prefix('"') {
             let end = body
                 .find('"')
@@ -480,7 +470,7 @@ fn parse_rule_tuple(line: &str) -> Result<TableRule, String> {
     Ok(TableRule {
         table: get(0)?,
         action: get(1)?,
-        when: When::from_str(&get(2)?).ok_or_else(|| format!("bad rule `when` in `{line}`"))?,
+        when: When::parse(&get(2)?).ok_or_else(|| format!("bad rule `when` in `{line}`"))?,
         cond: fields[3].clone(),
     })
 }

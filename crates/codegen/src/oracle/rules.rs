@@ -56,7 +56,7 @@ impl When {
     }
 
     /// Parse the wire name back.
-    pub fn from_str(s: &str) -> Option<When> {
+    pub fn parse(s: &str) -> Option<When> {
         match s {
             "hit" => Some(When::Hit),
             "miss" => Some(When::Miss),

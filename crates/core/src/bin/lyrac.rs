@@ -31,7 +31,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lyra::{
-    Backend, CompileError, CompileRequest, Compiler, LossyChannel, Objective, RolloutConfig,
+    replay_compiled, replay_interpreted, replay_under_rollout, Backend, CompileError,
+    CompileRequest, Compiler, LossyChannel, Objective, ReplayConfig, ReplayReport, RolloutConfig,
     RolloutReport, Runtime, SolveProfile, SolverStrategy,
 };
 use lyra_chips::TargetLang;
@@ -61,6 +62,9 @@ struct Args {
     rollout_fail: Option<String>,
     rollout_drop_p: f64,
     rollout_seed: u64,
+    replay: Option<u64>,
+    replay_workers: usize,
+    replay_seed: u64,
     oracle: bool,
     oracle_cases: u64,
     oracle_seed: u64,
@@ -78,6 +82,8 @@ fn usage() -> ! {
          \x20            [--diag-format human|json] [--emit-stats FILE]\n\
          \x20            [--rollout-fail ELEMS] [--rollout-drop-p P]\n\
          \x20            [--rollout-seed N]\n\
+         \x20            [--replay PACKETS] [--replay-workers N]\n\
+         \x20            [--replay-seed N]\n\
          \x20            [--oracle] [--oracle-cases N] [--oracle-seed N]\n\
          \n\
          \x20 --oracle re-parses every emitted artifact and executes seeded\n\
@@ -100,7 +106,13 @@ fn usage() -> ! {
          \x20 separated; `A-B` is the link A—B), recompiles for the\n\
          \x20 survivors, and applies the new placement as a transactional\n\
          \x20 two-phase rollout over a seeded lossy control channel\n\
-         \x20 (message-drop probability --rollout-drop-p, default 0)."
+         \x20 (message-drop probability --rollout-drop-p, default 0).\n\
+         \n\
+         \x20 --replay pushes PACKETS seeded packets through the deployment\n\
+         \x20 on the compiled batched engine and the reference interpreter\n\
+         \x20 and prints both throughputs. Combined with --rollout-fail, the\n\
+         \x20 traffic runs *while* the two-phase rollout flips epochs, and\n\
+         \x20 the replay reports packet loss and mixed-epoch exposure."
     );
     std::process::exit(2);
 }
@@ -147,6 +159,9 @@ fn parse_args() -> Args {
     let mut rollout_fail = None;
     let mut rollout_drop_p = 0.0;
     let mut rollout_seed = 0xC0FFEE;
+    let mut replay = None;
+    let mut replay_workers = 0usize;
+    let mut replay_seed = ReplayConfig::default().seed;
     let mut oracle = false;
     let mut oracle_cases = lyra::OracleConfig::default().cases;
     let mut oracle_seed = lyra::OracleConfig::default().seed;
@@ -256,6 +271,36 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--replay" => {
+                let v = value(&mut it);
+                replay = match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("invalid --replay value `{v}`");
+                        usage()
+                    }
+                }
+            }
+            "--replay-workers" => {
+                let v = value(&mut it);
+                replay_workers = match v.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("invalid --replay-workers value `{v}`");
+                        usage()
+                    }
+                }
+            }
+            "--replay-seed" => {
+                let v = value(&mut it);
+                replay_seed = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("invalid --replay-seed value `{v}`");
+                        usage()
+                    }
+                }
+            }
             "--oracle" => oracle = true,
             "--oracle-cases" => {
                 let v = value(&mut it);
@@ -306,6 +351,9 @@ fn parse_args() -> Args {
         rollout_fail,
         rollout_drop_p,
         rollout_seed,
+        replay,
+        replay_workers,
+        replay_seed,
         oracle,
         oracle_cases,
         oracle_seed,
@@ -348,6 +396,60 @@ fn report_compile_error(args: &Args, req: &CompileRequest, err: &CompileError) -
 /// Simulate failing the elements in `spec` against the compiled
 /// deployment, recompile onto the survivors, and apply the new placement
 /// as a transactional two-phase rollout over a seeded lossy channel.
+fn replay_config(args: &Args) -> ReplayConfig {
+    let mut cfg = ReplayConfig::default().with_seed(args.replay_seed);
+    if let Some(packets) = args.replay {
+        cfg = cfg.with_packets(packets);
+    }
+    if args.replay_workers > 0 {
+        cfg = cfg.with_workers(args.replay_workers);
+    }
+    cfg
+}
+
+/// Print a replay report in the human CLI format.
+fn print_replay(label: &str, report: &ReplayReport) {
+    println!(
+        "replay[{label}]: {} packet(s) on {} worker(s) in {:?} — {:.0} pps",
+        report.delivered, report.workers, report.elapsed, report.pps
+    );
+    if report.refused_epoch_mismatch > 0 || report.mixed_epoch_exposure > 0 {
+        println!(
+            "  loss: {} refused (mixed-epoch path), {} mixed-epoch exposure(s)",
+            report.refused_epoch_mismatch, report.mixed_epoch_exposure
+        );
+    }
+    println!("  effects: {}, digest {:#x}", report.effects, report.digest);
+}
+
+/// Replay traffic through a quiescent deployment: the compiled batched
+/// engine against the reference interpreter, identical seeded packets.
+fn drive_replay(args: &Args, out: &lyra::CompileOutput) -> Result<(), String> {
+    let mut rt = Runtime::new(out);
+    for table in out.ir.externs.keys() {
+        for k in 0..4u64 {
+            if rt.install(table, k, 0x0a00_0000 + k).is_err() {
+                break;
+            }
+        }
+    }
+    let cfg = replay_config(args);
+    let interp = replay_interpreted(&rt, &cfg);
+    let compiled = replay_compiled(&rt, &cfg);
+    print_replay("interpreter", &interp);
+    print_replay("compiled", &compiled);
+    if interp.pps > 0.0 {
+        println!("  speedup: {:.1}x", compiled.pps / interp.pps);
+    }
+    if compiled.mixed_epoch_exposure > 0 {
+        return Err(format!(
+            "{} packet(s) executed under two epochs on a quiescent plane",
+            compiled.mixed_epoch_exposure
+        ));
+    }
+    Ok(())
+}
+
 fn drive_rollout(
     args: &Args,
     compiler: &Compiler,
@@ -389,6 +491,22 @@ fn drive_rollout(
     let config = RolloutConfig::default()
         .with_seed(args.rollout_seed)
         .with_scope_health(r.scope_health.clone());
+    if args.replay.is_some() {
+        // Flip the epochs *under* live traffic: workers replay seeded
+        // packets through the compiled plane while the two-phase protocol
+        // runs, and the replay reports loss and mixed-epoch exposure.
+        let outcome =
+            replay_under_rollout(&mut rt, &r.output, &mut chan, &config, &replay_config(args))
+                .map_err(|e| format!("rollout could not start: {e}"))?;
+        print_replay("under-rollout", &outcome.replay);
+        if outcome.replay.mixed_epoch_exposure > 0 {
+            return Err(format!(
+                "{} packet(s) executed under two epochs during the rollout",
+                outcome.replay.mixed_epoch_exposure
+            ));
+        }
+        return Ok(outcome.rollout);
+    }
     rt.apply_rollout(&r.output, &mut chan, &config)
         .map_err(|e| format!("rollout could not start: {e}"))
 }
@@ -470,8 +588,7 @@ fn main() -> ExitCode {
     if let Some(n) = args.decision_budget {
         profile.decision_budget = Some(n);
     }
-    let req =
-        CompileRequest::new(&program, &scopes, topology).with_solve_profile(profile.clone());
+    let req = CompileRequest::new(&program, &scopes, topology).with_solve_profile(profile.clone());
     let compiler = Compiler::new()
         .with_backend(args.backend.clone())
         .with_objective(args.objective.clone())
@@ -498,6 +615,11 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    if args.replay.is_some() && args.rollout_fail.is_none() {
+        if let Err(e) = drive_replay(&args, &out) {
+            return tool_error(&args, e);
+        }
+    }
     if let Some(path) = &args.emit_stats {
         let mut session = out.session();
         if let Some(report) = rollout_report {

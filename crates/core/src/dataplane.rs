@@ -1,0 +1,946 @@
+//! # Line-rate data-plane execution under live rollouts
+//!
+//! The runtime's [`Runtime::inject`](crate::Runtime::inject) interprets the
+//! IR per packet — fine for semantics, far too slow for measuring a rollout
+//! under traffic. This module compiles each placement into slot-indexed
+//! bytecode ([`lyra_ir::compiled`]) once at deployment time and replays
+//! seeded traffic through it on every core:
+//!
+//! * [`CompiledDeployment`] — a [`CompileOutput`] flattened to per-switch
+//!   bytecode streams sharing one [`ProgramLayout`] register file.
+//! * [`LiveTrafficPlane`] — the switches as the *data plane* sees them:
+//!   per-switch `RwLock<Arc<EpochPlane>>` snapshots (program + sealed table
+//!   snapshot + epoch), flipped atomically by control messages. Workers pin
+//!   a packet to one epoch per path; a packet never executes under two.
+//! * [`TrafficChannel`] — wraps any [`ControlChannel`] so every message the
+//!   rollout engine sends (including lossy fates and late replays) is also
+//!   applied to the live plane, exactly as the switch agent would.
+//! * [`replay_compiled`] / [`replay_interpreted`] — throughput harnesses
+//!   over identical seeded traffic, for the compiled-vs-interpreter bench.
+//! * [`replay_under_rollout`] — runs [`Runtime::apply_rollout`] *while*
+//!   worker threads push packets, then reports packet loss and mixed-epoch
+//!   exposure alongside the rollout report.
+//!
+//! ## Epoch pinning
+//!
+//! Each worker caches the per-switch serving planes and revalidates the
+//! cache against a generation counter bumped on every commit/rollback flip.
+//! Before executing a packet it checks that every hop on the packet's path
+//! serves the same epoch; a disagreeing path refuses the packet (counted as
+//! `refused_epoch_mismatch`, the replay's packet loss) rather than exposing
+//! it to two placements — the same guarantee `inject` enforces, kept under
+//! concurrency by checking the exact `Arc` snapshots the packet would run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use lyra_ir::{
+    execute, CompiledAlgorithm, DataPlaneState, GlobalAccess, GlobalOverlay, InstrId, IrAlgorithm,
+    Machine, PacketState, ProgramLayout, TableSnapshot,
+};
+
+use crate::channel::{ControlChannel, ControlMsg, ControlOp, Delivery};
+use crate::rollout::{RolloutConfig, RolloutReport};
+use crate::runtime::{Runtime, RuntimeError};
+use crate::CompileOutput;
+
+/// A placement compiled to per-switch bytecode streams. Built once per
+/// deployment; packets then execute with zero name lookups and zero
+/// allocation.
+pub struct CompiledDeployment {
+    layout: Arc<ProgramLayout>,
+    switches: BTreeMap<String, Arc<Vec<CompiledAlgorithm>>>,
+    paths: Vec<Vec<String>>,
+    live_in: Vec<u32>,
+}
+
+impl CompiledDeployment {
+    /// Compile `output` against its own program's layout.
+    pub fn new(output: &CompileOutput) -> Self {
+        Self::with_layout(output, Arc::new(ProgramLayout::new(&output.ir)))
+    }
+
+    /// Compile `output` against a caller-provided layout — use
+    /// [`ProgramLayout::unioned`] when two deployments (current and next
+    /// epoch of a rollout) must share one register file.
+    pub fn with_layout(output: &CompileOutput, layout: Arc<ProgramLayout>) -> Self {
+        let mut switches = BTreeMap::new();
+        let mut live_in: BTreeSet<u32> = BTreeSet::new();
+        for (sw, plan) in &output.placement.switches {
+            let mut algs = Vec::new();
+            // Mirror `Runtime::inject`: algorithms in BTreeMap order, each
+            // stream's instruction ids sorted into program order.
+            for (alg_name, ids) in &plan.instrs {
+                let Some(alg) = output.ir.algorithm(alg_name) else {
+                    continue; // placement of an unknown algorithm: no code
+                };
+                let mut ordered: Vec<InstrId> = ids.clone();
+                ordered.sort();
+                let compiled = CompiledAlgorithm::compile(alg, &ordered, &layout);
+                live_in.extend(compiled.live_in().iter().copied());
+                algs.push(compiled);
+            }
+            switches.insert(sw.clone(), Arc::new(algs));
+        }
+        let mut paths: Vec<Vec<String>> = output
+            .flow_paths
+            .values()
+            .flatten()
+            .filter(|p| !p.is_empty())
+            .cloned()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if paths.is_empty() {
+            // Degenerate single-switch deployments (PER-SW scopes without
+            // recorded flow paths): every holder is its own one-hop path.
+            paths = switches.keys().map(|sw| vec![sw.clone()]).collect();
+        }
+        CompiledDeployment {
+            layout,
+            switches,
+            paths,
+            live_in: live_in.into_iter().collect(),
+        }
+    }
+
+    /// The shared register-file layout.
+    pub fn layout(&self) -> &Arc<ProgramLayout> {
+        &self.layout
+    }
+
+    /// Slots a packet must provide (union over every compiled stream).
+    pub fn live_in(&self) -> &[u32] {
+        &self.live_in
+    }
+
+    /// The replayable paths (deduped union of the placement's flow paths).
+    pub fn paths(&self) -> &[Vec<String>] {
+        &self.paths
+    }
+
+    /// Number of switches holding code.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Total compiled ops across all switches and algorithms.
+    pub fn op_count(&self) -> usize {
+        self.switches
+            .values()
+            .map(|algs| algs.iter().map(|a| a.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Everything one switch serves for one epoch: the compiled programs and a
+/// sealed, sorted snapshot of its tables and global registers. Immutable
+/// once built — epoch flips swap the `Arc`, never mutate in place.
+struct EpochPlane {
+    epoch: u64,
+    algs: Arc<Vec<CompiledAlgorithm>>,
+    snap: TableSnapshot,
+}
+
+/// The control-side view of one switch, mirroring the rollout engine's
+/// switch-agent state machine (`rollout::deliver`) message for message.
+struct PlaneControl {
+    epoch: u64,
+    staged: Option<(u64, Arc<EpochPlane>)>,
+    prior: Option<(u64, Arc<EpochPlane>)>,
+    tokens: BTreeSet<u64>,
+}
+
+/// The switches as worker threads see them: read-mostly per-switch serving
+/// planes plus the control state that flips them. Shared by reference into
+/// a [`std::thread::scope`].
+pub struct LiveTrafficPlane {
+    layout: Arc<ProgramLayout>,
+    names: Vec<String>,
+    index: BTreeMap<String, usize>,
+    serving: Vec<RwLock<Arc<EpochPlane>>>,
+    control: Mutex<Vec<PlaneControl>>,
+    /// Per-switch programs of the *next* deployment; a `Prepare` pairs the
+    /// staged table state with these.
+    staged_algs: Vec<Arc<Vec<CompiledAlgorithm>>>,
+    paths: Vec<Vec<usize>>,
+    live_in: Vec<u32>,
+    /// Bumped (release) on every serving flip; workers revalidate their
+    /// plane cache against it with one acquire load per packet.
+    generation: AtomicU64,
+}
+
+impl LiveTrafficPlane {
+    /// A static plane for pure-throughput replay: every switch serves the
+    /// runtime's current epoch and will never be flipped.
+    pub fn for_replay(rt: &Runtime<'_>, dep: &CompiledDeployment) -> Self {
+        Self::build(rt, dep, dep)
+    }
+
+    /// A plane that will live through a rollout from the deployment of
+    /// `rt.output()` (`dep_cur`) to `dep_next`. Covers the union of both
+    /// placements' switches so prepares to newly added switches land.
+    pub fn for_rollout(
+        rt: &Runtime<'_>,
+        dep_cur: &CompiledDeployment,
+        dep_next: &CompiledDeployment,
+    ) -> Self {
+        Self::build(rt, dep_cur, dep_next)
+    }
+
+    fn build(
+        rt: &Runtime<'_>,
+        dep_cur: &CompiledDeployment,
+        dep_next: &CompiledDeployment,
+    ) -> Self {
+        let empty = DataPlaneState::new();
+        let empty_algs: Arc<Vec<CompiledAlgorithm>> = Arc::new(Vec::new());
+        let mut names: BTreeSet<String> = dep_cur.switches.keys().cloned().collect();
+        names.extend(dep_next.switches.keys().cloned());
+        names.extend(rt.states.keys().cloned());
+        let names: Vec<String> = names.into_iter().collect();
+        let index: BTreeMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let mut serving = Vec::with_capacity(names.len());
+        let mut control = Vec::with_capacity(names.len());
+        let mut staged_algs = Vec::with_capacity(names.len());
+        for name in &names {
+            let (epoch, dp) = match rt.states.get(name) {
+                Some(st) => (st.epoch, &st.dp),
+                None => (rt.epoch, &empty),
+            };
+            let algs = dep_cur.switches.get(name).unwrap_or(&empty_algs).clone();
+            serving.push(RwLock::new(Arc::new(EpochPlane {
+                epoch,
+                algs,
+                snap: TableSnapshot::build(&dep_cur.layout, dp),
+            })));
+            control.push(PlaneControl {
+                epoch,
+                staged: None,
+                prior: None,
+                tokens: BTreeSet::new(),
+            });
+            staged_algs.push(dep_next.switches.get(name).unwrap_or(&empty_algs).clone());
+        }
+        let paths = dep_cur
+            .paths
+            .iter()
+            .map(|p| p.iter().filter_map(|h| index.get(h).copied()).collect())
+            .collect();
+        let mut live_in: BTreeSet<u32> = dep_cur.live_in.iter().copied().collect();
+        live_in.extend(dep_next.live_in.iter().copied());
+        LiveTrafficPlane {
+            layout: dep_cur.layout.clone(),
+            names,
+            index,
+            serving,
+            control: Mutex::new(control),
+            staged_algs,
+            paths,
+            live_in: live_in.into_iter().collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The epoch a switch currently serves (`None` if unknown here).
+    pub fn serving_epoch(&self, switch: &str) -> Option<u64> {
+        let i = *self.index.get(switch)?;
+        Some(self.serving[i].read().unwrap().epoch)
+    }
+
+    /// Apply one delivered control message, mirroring the rollout engine's
+    /// switch agent: token idempotency, stale-prepare guards, commit flip
+    /// with retained prior, rollback restore.
+    pub fn apply(&self, msg: &ControlMsg) {
+        let Some(&i) = self.index.get(&msg.switch) else {
+            return; // message to a switch the plane does not know: dropped
+        };
+        let mut control = self.control.lock().unwrap();
+        let ctl = &mut control[i];
+        if ctl.tokens.contains(&msg.token) {
+            return;
+        }
+        match &msg.op {
+            ControlOp::Prepare { staged } => {
+                let newer_than_active = msg.epoch > ctl.epoch;
+                let not_stale = ctl.staged.as_ref().is_none_or(|(e, _)| msg.epoch >= *e);
+                if newer_than_active && not_stale {
+                    let plane = Arc::new(EpochPlane {
+                        epoch: msg.epoch,
+                        algs: self.staged_algs[i].clone(),
+                        snap: TableSnapshot::build(&self.layout, staged),
+                    });
+                    ctl.staged = Some((msg.epoch, plane));
+                }
+            }
+            ControlOp::Commit => {
+                if ctl.epoch != msg.epoch {
+                    if let Some((e, plane)) = ctl.staged.take() {
+                        if e == msg.epoch {
+                            let old = {
+                                let mut s = self.serving[i].write().unwrap();
+                                std::mem::replace(&mut *s, plane)
+                            };
+                            ctl.prior = Some((ctl.epoch, old));
+                            ctl.epoch = msg.epoch;
+                            self.generation.fetch_add(1, Ordering::Release);
+                        } else {
+                            ctl.staged = Some((e, plane)); // wrong epoch: ignore
+                        }
+                    }
+                }
+            }
+            ControlOp::Rollback => {
+                if ctl.epoch == msg.epoch {
+                    if let Some((e, plane)) = ctl.prior.take() {
+                        *self.serving[i].write().unwrap() = plane;
+                        ctl.epoch = e;
+                        self.generation.fetch_add(1, Ordering::Release);
+                    }
+                }
+                if ctl.staged.as_ref().is_some_and(|(e, _)| *e == msg.epoch) {
+                    ctl.staged = None;
+                }
+            }
+        }
+        ctl.tokens.insert(msg.token);
+    }
+
+    /// Resynchronise the plane with the runtime after a rollout returns —
+    /// covers the paths messages alone cannot: out-of-band forced rollbacks
+    /// and the finalize sweep that clears staged/prior/tokens. `winner` is
+    /// the deployment of whichever output the runtime now serves.
+    pub fn align(&self, rt: &Runtime<'_>, winner: &CompiledDeployment) {
+        let empty = DataPlaneState::new();
+        let empty_algs: Arc<Vec<CompiledAlgorithm>> = Arc::new(Vec::new());
+        let mut control = self.control.lock().unwrap();
+        for (i, name) in self.names.iter().enumerate() {
+            let (epoch, dp) = match rt.states.get(name) {
+                Some(st) => (st.epoch, &st.dp),
+                None => (rt.epoch, &empty),
+            };
+            let algs = winner.switches.get(name).unwrap_or(&empty_algs).clone();
+            *self.serving[i].write().unwrap() = Arc::new(EpochPlane {
+                epoch,
+                algs,
+                snap: TableSnapshot::build(&self.layout, dp),
+            });
+            control[i] = PlaneControl {
+                epoch,
+                staged: None,
+                prior: None,
+                tokens: BTreeSet::new(),
+            };
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// A [`ControlChannel`] adapter that forwards every transmit to an inner
+/// channel (which decides the fate) and applies each *delivered* copy to a
+/// [`LiveTrafficPlane`], so the data plane flips in lock-step with the
+/// runtime's switch states — duplicates, late replays, lost acks and all.
+pub struct TrafficChannel<'a> {
+    inner: &'a mut dyn ControlChannel,
+    plane: &'a LiveTrafficPlane,
+}
+
+impl<'a> TrafficChannel<'a> {
+    /// Wrap `inner`, mirroring deliveries onto `plane`.
+    pub fn new(inner: &'a mut dyn ControlChannel, plane: &'a LiveTrafficPlane) -> Self {
+        TrafficChannel { inner, plane }
+    }
+}
+
+impl ControlChannel for TrafficChannel<'_> {
+    fn transmit(&mut self, msg: &ControlMsg) -> Delivery {
+        let fate = self.inner.transmit(msg);
+        match fate {
+            Delivery::Delivered | Delivery::AckLost => self.plane.apply(msg),
+            Delivery::Duplicated => {
+                self.plane.apply(msg);
+                self.plane.apply(msg);
+            }
+            Delivery::Dropped => {}
+        }
+        fate
+    }
+
+    fn drain_late(&mut self) -> Vec<ControlMsg> {
+        let msgs = self.inner.drain_late();
+        for m in &msgs {
+            self.plane.apply(m);
+        }
+        msgs
+    }
+}
+
+/// Replay-harness knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Total packets to push (shared across all workers).
+    pub packets: u64,
+    /// Worker threads. `replay_interpreted` ignores this (the interpreter
+    /// baseline is single-threaded, like `inject`).
+    pub workers: usize,
+    /// Seed for the packet generator. A packet's contents and path are a
+    /// pure function of `(seed, packet index)`, so results do not depend on
+    /// which worker claims which packet.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            packets: 200_000,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0x017a_5eed,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// Set the packet budget.
+    pub fn with_packets(mut self, packets: u64) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the traffic seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What a replay observed.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Packets attempted (delivered + refused).
+    pub packets: u64,
+    /// Packets that executed end to end under one pinned epoch.
+    pub delivered: u64,
+    /// Packets refused because their path's hops disagreed on the serving
+    /// epoch mid-rollout — the harness's packet-loss figure.
+    pub refused_epoch_mismatch: u64,
+    /// Packets that *executed* under two different epochs. The pinning
+    /// check makes this structurally zero; it is counted (not assumed) so
+    /// the invariant is measured, and asserted in the chaos tests.
+    pub mixed_epoch_exposure: u64,
+    /// Total effects fired (actions recorded by executed packets).
+    pub effects: u64,
+    /// XOR-fold of every packet's machine digest — order-independent, so
+    /// equal traffic must produce the same digest for any worker count.
+    pub digest: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the replay.
+    pub elapsed: Duration,
+    /// Delivered packets per second.
+    pub pps: f64,
+}
+
+impl ReplayReport {
+    /// Serialise for logs and the bench recorder.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"packets\":{},\"delivered\":{},\"refused_epoch_mismatch\":{},\
+             \"mixed_epoch_exposure\":{},\"effects\":{},\"digest\":\"{:#x}\",\
+             \"workers\":{},\"elapsed_us\":{},\"pps\":{:.0}}}",
+            self.packets,
+            self.delivered,
+            self.refused_epoch_mismatch,
+            self.mixed_epoch_exposure,
+            self.effects,
+            self.digest,
+            self.workers,
+            self.elapsed.as_micros(),
+            self.pps,
+        )
+    }
+}
+
+/// A replay and the rollout it ran under.
+#[derive(Debug)]
+pub struct RolloutReplayOutcome {
+    /// The traffic-side observations.
+    pub replay: ReplayReport,
+    /// The control-side report from [`Runtime::apply_rollout`].
+    pub rollout: RolloutReport,
+}
+
+/// splitmix64 finalizer — the replay's only randomness. Deterministic per
+/// packet index so worker scheduling cannot change the traffic.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-packet base state from the seed and the global packet index.
+fn packet_base(seed: u64, idx: u64) -> u64 {
+    splitmix(seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The value of live-in field `j` for a packet: a mix of small values
+/// (branch selectors, opcodes, table keys that collide) and wide ones.
+fn field_value(base: u64, j: usize) -> u64 {
+    let r = splitmix(base ^ ((j as u64) << 17));
+    match r & 3 {
+        0 => r >> 59,
+        1 => (r >> 48) & 0xff,
+        _ => r >> 2,
+    }
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    delivered: u64,
+    refused: u64,
+    mixed: u64,
+    effects: u64,
+    digest: u64,
+}
+
+fn run_worker(
+    plane: &LiveTrafficPlane,
+    cfg: &ReplayConfig,
+    next: &AtomicU64,
+    stop: &AtomicBool,
+) -> WorkerOut {
+    let mut machine = Machine::new(&plane.layout);
+    let mut overlay = GlobalOverlay::new();
+    let mut cache: Vec<Arc<EpochPlane>> = Vec::new();
+    let mut cache_gen = u64::MAX;
+    let mut out = WorkerOut::default();
+    loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        if idx >= cfg.packets || stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Revalidate the per-switch plane cache: one acquire load per
+        // packet in steady state, a full re-read only after a flip.
+        let gen = plane.generation.load(Ordering::Acquire);
+        if gen != cache_gen {
+            cache = plane
+                .serving
+                .iter()
+                .map(|l| l.read().unwrap().clone())
+                .collect();
+            cache_gen = gen;
+        }
+        let base = packet_base(cfg.seed, idx);
+        if plane.paths.is_empty() {
+            out.delivered += 1;
+            continue;
+        }
+        let path = &plane.paths[(base % plane.paths.len() as u64) as usize];
+        // Epoch pinning: the packet runs only if every hop serves the same
+        // epoch. The check is on the exact snapshots the packet would
+        // execute, so a concurrent flip cannot slip a second epoch in.
+        if let Some(&first) = path.first() {
+            let pin = cache[first].epoch;
+            if path.iter().any(|&h| cache[h].epoch != pin) {
+                out.refused += 1;
+                continue;
+            }
+        }
+        machine.reset();
+        for (j, &slot) in plane.live_in.iter().enumerate() {
+            machine.set_slot(slot, field_value(base, j));
+        }
+        let mut pinned: Option<u64> = None;
+        for &h in path {
+            let ep = &cache[h];
+            if let Some(pin) = pinned {
+                if ep.epoch != pin {
+                    out.mixed += 1; // measured, never expected: see pinning
+                    break;
+                }
+            }
+            pinned = Some(ep.epoch);
+            // Globals are per-switch, so the overlay resets at each hop;
+            // within a hop, reads see this packet's earlier writes.
+            overlay.clear();
+            let mut globals = GlobalAccess::Isolated {
+                baseline: &ep.snap.globals,
+                overlay: &mut overlay,
+            };
+            for alg in ep.algs.iter() {
+                machine.run(alg, &ep.snap, &mut globals);
+            }
+        }
+        out.delivered += 1;
+        out.effects += machine.effect_count() as u64;
+        out.digest ^= splitmix(machine.digest() ^ base);
+    }
+    out
+}
+
+fn aggregate(outs: Vec<WorkerOut>, workers: usize, elapsed: Duration) -> ReplayReport {
+    let mut report = ReplayReport {
+        packets: 0,
+        delivered: 0,
+        refused_epoch_mismatch: 0,
+        mixed_epoch_exposure: 0,
+        effects: 0,
+        digest: 0,
+        workers,
+        elapsed,
+        pps: 0.0,
+    };
+    for o in outs {
+        report.delivered += o.delivered;
+        report.refused_epoch_mismatch += o.refused;
+        report.mixed_epoch_exposure += o.mixed;
+        report.effects += o.effects;
+        report.digest ^= o.digest;
+    }
+    report.packets = report.delivered + report.refused_epoch_mismatch;
+    report.pps = report.delivered as f64 / elapsed.as_secs_f64().max(1e-9);
+    report
+}
+
+fn run_replay(plane: &LiveTrafficPlane, cfg: &ReplayConfig) -> ReplayReport {
+    let workers = cfg.workers.max(1);
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| s.spawn(|| run_worker(plane, cfg, &next, &stop)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    });
+    aggregate(outs, workers, t0.elapsed())
+}
+
+/// Replay seeded traffic through the *compiled* engine on a static plane
+/// (no rollout in flight) and measure throughput.
+pub fn replay_compiled(rt: &Runtime<'_>, cfg: &ReplayConfig) -> ReplayReport {
+    let dep = CompiledDeployment::new(rt.output());
+    let plane = LiveTrafficPlane::for_replay(rt, &dep);
+    run_replay(&plane, cfg)
+}
+
+/// Replay the *same* seeded traffic through the reference interpreter,
+/// single-threaded, as the throughput baseline. State handling matches
+/// [`Runtime::inject`]: one persistent mutable [`DataPlaneState`] clone per
+/// switch, shared packet state across hops.
+pub fn replay_interpreted(rt: &Runtime<'_>, cfg: &ReplayConfig) -> ReplayReport {
+    let output = rt.output();
+    let dep = CompiledDeployment::new(output);
+    let layout = dep.layout.clone();
+    let mut states: BTreeMap<&str, DataPlaneState> = BTreeMap::new();
+    let mut streams: BTreeMap<&str, Vec<(&IrAlgorithm, Vec<InstrId>)>> = BTreeMap::new();
+    for (sw, plan) in &output.placement.switches {
+        let dp = rt
+            .states
+            .get(sw)
+            .map(|st| st.dp.clone())
+            .unwrap_or_default();
+        states.insert(sw.as_str(), dp);
+        let mut algs = Vec::new();
+        for (alg_name, ids) in &plan.instrs {
+            if let Some(alg) = output.ir.algorithm(alg_name) {
+                let mut ordered: Vec<InstrId> = ids.clone();
+                ordered.sort();
+                algs.push((alg, ordered));
+            }
+        }
+        streams.insert(sw.as_str(), algs);
+    }
+    let paths: Vec<Vec<&str>> = dep
+        .paths()
+        .iter()
+        .map(|p| {
+            p.iter()
+                .map(String::as_str)
+                .filter(|h| streams.contains_key(h))
+                .collect()
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut delivered = 0u64;
+    let mut effects = 0u64;
+    for idx in 0..cfg.packets {
+        let base = packet_base(cfg.seed, idx);
+        let mut pkt = PacketState::new();
+        for (j, &slot) in dep.live_in().iter().enumerate() {
+            pkt.set(layout.slot_name(slot), field_value(base, j));
+        }
+        if !paths.is_empty() {
+            let path = &paths[(base % paths.len() as u64) as usize];
+            for &sw in path {
+                let dp = states.get_mut(sw).expect("stream switches have state");
+                for (alg, ids) in &streams[sw] {
+                    effects += execute(alg, ids, &mut pkt, dp).len() as u64;
+                }
+            }
+        }
+        delivered += 1;
+    }
+    let elapsed = t0.elapsed();
+    ReplayReport {
+        packets: delivered,
+        delivered,
+        refused_epoch_mismatch: 0,
+        mixed_epoch_exposure: 0,
+        effects,
+        digest: 0,
+        workers: 1,
+        elapsed,
+        pps: delivered as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Run [`Runtime::apply_rollout`] while worker threads replay traffic
+/// through the live plane, then report both sides.
+///
+/// The current and next deployments are compiled against one unioned
+/// layout, so a worker's machine can execute either epoch. Workers push a
+/// tenth of the packet budget on the old epoch first (so the flip happens
+/// under load), the rollout runs over a [`TrafficChannel`] wrapping
+/// `channel`, the plane is re-aligned with the runtime's final state
+/// (forced rollbacks, finalize), and the remaining traffic drains on
+/// whichever epoch won.
+///
+/// On a gated rollout (`Err`), traffic stops and the error is returned.
+pub fn replay_under_rollout<'a>(
+    rt: &mut Runtime<'a>,
+    new_output: &'a CompileOutput,
+    channel: &mut dyn ControlChannel,
+    rollout_cfg: &RolloutConfig,
+    replay_cfg: &ReplayConfig,
+) -> Result<RolloutReplayOutcome, RuntimeError> {
+    let layout = Arc::new(ProgramLayout::unioned(&[&rt.output().ir, &new_output.ir]));
+    let dep_cur = CompiledDeployment::with_layout(rt.output(), layout.clone());
+    let dep_next = CompiledDeployment::with_layout(new_output, layout);
+    let plane = LiveTrafficPlane::for_rollout(rt, &dep_cur, &dep_next);
+    let workers = replay_cfg.workers.max(1);
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (outs, rollout) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| s.spawn(|| run_worker(&plane, replay_cfg, &next, &stop)))
+            .collect();
+        // Let traffic establish itself on the old epoch before flipping.
+        let warm = replay_cfg.packets / 10;
+        while next.load(Ordering::Relaxed) < warm && !handles.iter().all(|h| h.is_finished()) {
+            std::thread::yield_now();
+        }
+        let mut traffic = TrafficChannel::new(channel, &plane);
+        let rollout = rt.apply_rollout(new_output, &mut traffic, rollout_cfg);
+        match &rollout {
+            Ok(report) => {
+                let winner = if report.committed {
+                    &dep_next
+                } else {
+                    &dep_cur
+                };
+                plane.align(rt, winner);
+            }
+            Err(_) => stop.store(true, Ordering::Relaxed),
+        }
+        let outs: Vec<WorkerOut> = handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect();
+        (outs, rollout)
+    });
+    let elapsed = t0.elapsed();
+    let rollout = rollout?;
+    Ok(RolloutReplayOutcome {
+        replay: aggregate(outs, workers, elapsed),
+        rollout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{LossyChannel, ReliableChannel};
+    use crate::{CompileRequest, Compiler, FaultSet, SolveProfile};
+    use lyra_topo::figure1_network;
+
+    const LB: &str = r#"
+        pipeline[LB]{loadbalancer};
+        algorithm loadbalancer {
+            extern dict<bit[32] h, bit[32] ip>[64] conn_table;
+            if (flow_h in conn_table) {
+                ipv4.dstAddr = conn_table[flow_h];
+            } else {
+                copy_to_cpu();
+            }
+        }
+    "#;
+    const LB_SCOPES: &str =
+        "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+
+    fn lb_request() -> CompileRequest<'static> {
+        CompileRequest::new(LB, LB_SCOPES, figure1_network())
+            .with_solve_profile(SolveProfile::fast())
+    }
+
+    #[test]
+    fn compiled_replay_matches_interpreter_effect_stream() {
+        let out = Compiler::new().compile(&lb_request()).unwrap();
+        let mut rt = Runtime::new(&out);
+        rt.install("conn_table", 42, 0xabcd).unwrap();
+        let cfg = ReplayConfig::default()
+            .with_packets(2_000)
+            .with_workers(1)
+            .with_seed(7);
+        let compiled = replay_compiled(&rt, &cfg);
+        let interp = replay_interpreted(&rt, &cfg);
+        assert_eq!(compiled.delivered, 2_000);
+        assert_eq!(interp.delivered, 2_000);
+        // The LB program is stateless outside its tables, so persistent
+        // (interpreter) and isolated (compiled) replay see identical
+        // traffic and must fire identical effect counts.
+        assert_eq!(compiled.effects, interp.effects);
+        assert_eq!(compiled.mixed_epoch_exposure, 0);
+        assert_eq!(compiled.refused_epoch_mismatch, 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_digest() {
+        let out = Compiler::new().compile(&lb_request()).unwrap();
+        let mut rt = Runtime::new(&out);
+        rt.install("conn_table", 9, 0x0b00).unwrap();
+        let base = ReplayConfig::default().with_packets(4_000).with_seed(11);
+        let one = replay_compiled(&rt, &base.clone().with_workers(1));
+        let four = replay_compiled(&rt, &base.clone().with_workers(4));
+        assert_eq!(one.digest, four.digest, "replay must be deterministic");
+        assert_eq!(one.effects, four.effects);
+        assert_eq!(one.delivered, four.delivered);
+    }
+
+    #[test]
+    fn reliable_rollout_under_traffic_commits_with_zero_exposure() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 42, 0xabcd).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let config = RolloutConfig::default().with_scope_health(r.scope_health.clone());
+        let mut chan = ReliableChannel::new();
+        let outcome = replay_under_rollout(
+            &mut rt,
+            &r.output,
+            &mut chan,
+            &config,
+            &ReplayConfig::default().with_packets(30_000).with_workers(3),
+        )
+        .unwrap();
+        assert!(outcome.rollout.committed, "{:?}", outcome.rollout);
+        assert_eq!(outcome.replay.mixed_epoch_exposure, 0);
+        assert_eq!(
+            outcome.replay.delivered + outcome.replay.refused_epoch_mismatch,
+            30_000
+        );
+        // Post-rollout the plane serves the new epoch everywhere.
+        assert!(rt.epochs_coherent());
+    }
+
+    #[test]
+    fn lossy_rollback_under_traffic_restores_the_old_epoch() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 7, 0x0a00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+        let mut chan = LossyChannel::new(3).with_switch_death("Agg4", 1);
+        let config = RolloutConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(5),
+            max_backoff: Duration::from_micros(50),
+            ..Default::default()
+        };
+        let outcome = replay_under_rollout(
+            &mut rt,
+            &r.output,
+            &mut chan,
+            &config,
+            &ReplayConfig::default().with_packets(30_000).with_workers(3),
+        )
+        .unwrap();
+        assert!(outcome.rollout.rolled_back, "{:?}", outcome.rollout);
+        assert_eq!(outcome.replay.mixed_epoch_exposure, 0);
+        assert_eq!(rt.epoch(), epoch_before);
+        // After align, every plane switch is back on the old epoch.
+        let plane = LiveTrafficPlane::for_replay(&rt, &CompiledDeployment::new(rt.output()));
+        for sw in ["Agg3", "Agg4", "ToR3", "ToR4"] {
+            if let Some(epoch) = plane.serving_epoch(sw) {
+                assert_eq!(epoch, epoch_before, "{sw} must serve the prior epoch");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_channel_mirrors_duplicates_and_ignores_drops() {
+        let out = Compiler::new().compile(&lb_request()).unwrap();
+        let rt = Runtime::new(&out);
+        let dep = CompiledDeployment::new(&out);
+        let plane = LiveTrafficPlane::for_rollout(&rt, &dep, &dep);
+        let epoch0 = plane.serving_epoch("Agg3").unwrap();
+        // Hand-deliver a prepare+commit pair for the next epoch.
+        let staged = DataPlaneState::new();
+        plane.apply(&ControlMsg {
+            switch: "Agg3".into(),
+            epoch: epoch0 + 1,
+            token: 1,
+            op: ControlOp::Prepare {
+                staged: staged.clone(),
+            },
+        });
+        assert_eq!(plane.serving_epoch("Agg3"), Some(epoch0), "prepare stages");
+        let commit = ControlMsg {
+            switch: "Agg3".into(),
+            epoch: epoch0 + 1,
+            token: 2,
+            op: ControlOp::Commit,
+        };
+        plane.apply(&commit);
+        plane.apply(&commit); // duplicate: token-idempotent
+        assert_eq!(plane.serving_epoch("Agg3"), Some(epoch0 + 1));
+        // Rollback restores the retained prior.
+        plane.apply(&ControlMsg {
+            switch: "Agg3".into(),
+            epoch: epoch0 + 1,
+            token: 3,
+            op: ControlOp::Rollback,
+        });
+        assert_eq!(plane.serving_epoch("Agg3"), Some(epoch0));
+    }
+}

@@ -65,6 +65,7 @@
 
 pub mod cache;
 pub mod channel;
+pub mod dataplane;
 pub mod fault;
 pub mod oracle;
 pub mod rollout;
@@ -72,6 +73,10 @@ pub mod runtime;
 
 pub use cache::{synth_key, SynthCache};
 pub use channel::{ControlChannel, ControlMsg, ControlOp, Delivery, LossyChannel, ReliableChannel};
+pub use dataplane::{
+    replay_compiled, replay_interpreted, replay_under_rollout, CompiledDeployment,
+    LiveTrafficPlane, ReplayConfig, ReplayReport, RolloutReplayOutcome, TrafficChannel,
+};
 pub use fault::{FaultRecompile, PlacementDiff};
 pub use oracle::{check_output, OracleConfig, OracleReport};
 pub use rollout::{RolloutConfig, RolloutReport, SwitchRollout};
@@ -684,6 +689,7 @@ impl Compiler {
     /// run, and memoize successes. Returns the result plus whether it was
     /// a cache hit — a hit spent no solver effort, so the caller must not
     /// absorb its (historical) [`SearchStats`].
+    #[allow(clippy::too_many_arguments)]
     fn synthesize_cached(
         &self,
         ir: &IrProgram,
@@ -1234,9 +1240,11 @@ mod tests {
             )
             .unwrap();
         let par = Compiler::new()
-            .compile(&CompileRequest::new(INT_LB, SCOPES, topo).with_solve_profile(
-                SolveProfile::default().with_strategy(SolverStrategy::Portfolio { workers: 4 }),
-            ))
+            .compile(
+                &CompileRequest::new(INT_LB, SCOPES, topo).with_solve_profile(
+                    SolveProfile::default().with_strategy(SolverStrategy::Portfolio { workers: 4 }),
+                ),
+            )
             .unwrap();
         // Both must solve; artifact coverage (which switches get code for
         // PER-SW scopes) is identical.

@@ -174,6 +174,21 @@ struct SwitchCtx<'a> {
     observables: BTreeMap<String, (usize, String)>,
     /// Extern name → emitted table names backed by it.
     extern_tables: BTreeMap<String, Vec<String>>,
+    /// Declared global register lengths. The reference data plane must be
+    /// sized exactly like the emitted registers so out-of-range indices
+    /// wrap identically on both sides.
+    global_lens: BTreeMap<String, usize>,
+}
+
+impl SwitchCtx<'_> {
+    /// A data-plane state with every declared register sized.
+    fn fresh_dp(&self) -> DataPlaneState {
+        let mut dp = DataPlaneState::new();
+        for (g, &len) in &self.global_lens {
+            dp.global(g, len);
+        }
+        dp
+    }
 }
 
 fn switch_ctx<'a>(out: &'a CompileOutput, plan: &'a SwitchPlan) -> SwitchCtx<'a> {
@@ -247,11 +262,18 @@ fn switch_ctx<'a>(out: &'a CompileOutput, plan: &'a SwitchPlan) -> SwitchCtx<'a>
                 .push(t.name.clone());
         }
     }
+    let global_lens = out
+        .ir
+        .globals
+        .iter()
+        .map(|(g, &(_, len))| (g.clone(), len as usize))
+        .collect();
     SwitchCtx {
         algs,
         inputs,
         observables,
         extern_tables,
+        global_lens,
     }
 }
 
@@ -259,7 +281,7 @@ fn switch_ctx<'a>(out: &'a CompileOutput, plan: &'a SwitchPlan) -> SwitchCtx<'a>
 /// own local namespace (matching the emitted per-algorithm metadata
 /// prefixes) while header fields and the data-plane state are shared.
 fn reference_case(ctx: &SwitchCtx, input: &CaseInput) -> OracleCase {
-    let mut dp = DataPlaneState::new();
+    let mut dp = ctx.fresh_dp();
     for (ext, entries) in &input.entries {
         for (&k, &v) in entries {
             dp.install(ext, k, v);
@@ -384,7 +406,7 @@ fn gen_case_input(ctx: &SwitchCtx, seed: u64) -> CaseInput {
     }
     // Hit-biasing dry run: step the reference one instruction at a time and
     // capture the key value each table op would look up right now.
-    let mut dp = DataPlaneState::new();
+    let mut dp = ctx.fresh_dp();
     for (ext, entries) in &input.entries {
         for (&k, &v) in entries {
             dp.install(ext, k, v);

@@ -770,7 +770,8 @@ mod tests {
         "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
 
     fn lb_request() -> CompileRequest<'static> {
-        CompileRequest::new(LB, LB_SCOPES, figure1_network()).with_solve_profile(SolveProfile::fast())
+        CompileRequest::new(LB, LB_SCOPES, figure1_network())
+            .with_solve_profile(SolveProfile::fast())
     }
 
     #[test]

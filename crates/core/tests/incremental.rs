@@ -31,8 +31,7 @@ const SCOPES: &str = r#"
 "#;
 
 fn request(program: &str) -> CompileRequest<'_> {
-    CompileRequest::new(program, SCOPES, figure1_network())
-        .with_solve_profile(SolveProfile::fast())
+    CompileRequest::new(program, SCOPES, figure1_network()).with_solve_profile(SolveProfile::fast())
 }
 
 #[test]

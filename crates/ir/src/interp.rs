@@ -95,7 +95,7 @@ pub enum Effect {
 }
 
 /// Truncate `v` to `width` bits (width 0 = untouched).
-fn mask(v: u64, width: u32) -> u64 {
+pub(crate) fn mask(v: u64, width: u32) -> u64 {
     if width == 0 || width >= 64 {
         v
     } else {
@@ -115,6 +115,48 @@ pub fn reference_hash(args: &[u64]) -> u64 {
     acc
 }
 
+/// Value-producing builtin dispatch — the single point every interpreter in
+/// the workspace (this reference interpreter, the emitted-artifact oracle
+/// models, the compiled data-plane engine) routes through, so the hash
+/// masking can never drift between them. P4₁₆ `lyra_`-prefixed shims
+/// resolve to the underlying builtin name. Unknown names are environment
+/// reads, deterministic per name.
+pub fn builtin_call(name: &str, args: &[u64]) -> u64 {
+    let name = name.strip_prefix("lyra_").unwrap_or(name);
+    match name {
+        "crc32_hash" | "identity_hash" => reference_hash(args) & 0xffff_ffff,
+        "crc16_hash" => reference_hash(args) & 0xffff,
+        "min" => args.iter().copied().min().unwrap_or(0),
+        "max" => args.iter().copied().max().unwrap_or(0),
+        other => reference_hash(&[other.len() as u64]) & 0xffff_ffff,
+    }
+}
+
+/// Read a global register array at `i`. A sized array wraps the index —
+/// hash-indexed sketches fold into the array exactly as the masked hash
+/// does on hardware — while an unsized (never-declared) array reads 0.
+pub fn global_read(arr: &[u64], i: u64) -> u64 {
+    if arr.is_empty() {
+        0
+    } else {
+        arr[(i % arr.len() as u64) as usize]
+    }
+}
+
+/// Write a global register array at `i` with the same wrapping rule; an
+/// unsized array grows to fit, preserving the legacy behavior of ad-hoc
+/// states built without [`DataPlaneState::global`].
+pub fn global_write(arr: &mut Vec<u64>, i: u64, v: u64) {
+    if arr.is_empty() {
+        arr.resize(i as usize + 1, 0);
+        let last = arr.len() - 1;
+        arr[last] = v;
+    } else {
+        let len = arr.len() as u64;
+        arr[(i % len) as usize] = v;
+    }
+}
+
 /// Execute `subset` (in the order given) of `alg` against the states.
 /// Returns the effects fired.
 pub fn execute(
@@ -123,34 +165,79 @@ pub fn execute(
     pkt: &mut PacketState,
     dp: &mut DataPlaneState,
 ) -> Vec<Effect> {
+    execute_ids(alg, subset.iter().copied(), pkt, dp)
+}
+
+/// Execute the whole algorithm (without materializing the id list).
+pub fn execute_all(
+    alg: &IrAlgorithm,
+    pkt: &mut PacketState,
+    dp: &mut DataPlaneState,
+) -> Vec<Effect> {
+    execute_ids(alg, alg.instr_ids(), pkt, dp)
+}
+
+/// The interpreter core. Operand storage is resolved *once per execution*:
+/// every SSA value's base name maps to a dense register slot (all versions
+/// of a base share one slot, exactly as code generation shares their
+/// storage), the slots are loaded from the packet up front, and the
+/// instruction loop runs on integer indices — no string-keyed map probe
+/// per operand. Written bases are stored back at the end, so the packet
+/// state observes exactly the keys the old per-operand path inserted.
+fn execute_ids(
+    alg: &IrAlgorithm,
+    ids: impl Iterator<Item = InstrId>,
+    pkt: &mut PacketState,
+    dp: &mut DataPlaneState,
+) -> Vec<Effect> {
+    // Base name → slot; value id → slot.
+    let mut index: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut bases: Vec<&str> = Vec::new();
+    let mut slot_of: Vec<u32> = Vec::with_capacity(alg.values.len());
+    for info in &alg.values {
+        let next = bases.len() as u32;
+        let slot = *index.entry(info.base.as_str()).or_insert_with(|| {
+            bases.push(info.base.as_str());
+            next
+        });
+        slot_of.push(slot);
+    }
+    let mut regs: Vec<u64> = bases.iter().map(|b| pkt.get(b)).collect();
+    let mut written: Vec<bool> = vec![false; bases.len()];
+
     let mut effects = Vec::new();
-    let read = |pkt: &PacketState, o: &Operand| -> u64 {
+    let mut argbuf: Vec<u64> = Vec::new();
+    let read = |regs: &[u64], o: &Operand| -> u64 {
         match o {
             Operand::Const(c) => *c,
-            Operand::Value(v) => pkt.get(&alg.value(*v).base),
+            Operand::Value(v) => regs[slot_of[v.index()] as usize],
         }
     };
-    for &id in subset {
+    for id in ids {
         let instr = alg.instr(id);
         // Predicate gate.
         if let Some(p) = instr.pred {
-            if pkt.get(&alg.value(p).base) == 0 {
+            if regs[slot_of[p.index()] as usize] == 0 {
                 continue;
             }
         }
-        let dst_info = instr.dst.map(|d| alg.value(d));
-        let write = |pkt: &mut PacketState, v: u64| {
-            if let Some(info) = dst_info {
-                pkt.values.insert(info.base.clone(), mask(v, info.width));
+        let dst = instr.dst.map(|d| {
+            let info = alg.value(d);
+            (slot_of[d.index()] as usize, info.width)
+        });
+        let write = |regs: &mut Vec<u64>, written: &mut Vec<bool>, v: u64| {
+            if let Some((slot, width)) = dst {
+                regs[slot] = mask(v, width);
+                written[slot] = true;
             }
         };
         match &instr.op {
             IrOp::Assign(a) => {
-                let v = read(pkt, a);
-                write(pkt, v);
+                let v = read(&regs, a);
+                write(&mut regs, &mut written, v);
             }
             IrOp::Binary { op, a, b } => {
-                let (x, y) = (read(pkt, a), read(pkt, b));
+                let (x, y) = (read(&regs, a), read(&regs, b));
                 let v = match op {
                     BinOp::Add => x.wrapping_add(y),
                     BinOp::Sub => x.wrapping_sub(y),
@@ -171,39 +258,32 @@ pub fn execute(
                     BinOp::LAnd => ((x != 0) && (y != 0)) as u64,
                     BinOp::LOr => ((x != 0) || (y != 0)) as u64,
                 };
-                write(pkt, v);
+                write(&mut regs, &mut written, v);
             }
             IrOp::Unary { op, a } => {
-                let x = read(pkt, a);
+                let x = read(&regs, a);
                 let v = match op {
                     UnOp::Not => (x == 0) as u64,
                     UnOp::BitNot => !x,
                     UnOp::Neg => x.wrapping_neg(),
                 };
-                write(pkt, v);
+                write(&mut regs, &mut written, v);
             }
             IrOp::Call { name, args } => {
-                let vals: Vec<u64> = args.iter().map(|a| read(pkt, a)).collect();
-                let v = match name.as_str() {
-                    "crc32_hash" | "identity_hash" => reference_hash(&vals) & 0xffff_ffff,
-                    "crc16_hash" => reference_hash(&vals) & 0xffff,
-                    "min" => vals.iter().copied().min().unwrap_or(0),
-                    "max" => vals.iter().copied().max().unwrap_or(0),
-                    // Environment reads are deterministic per name so the
-                    // reference run and the split run agree.
-                    other => reference_hash(&[other.len() as u64]) & 0xffff_ffff,
-                };
-                write(pkt, v);
+                argbuf.clear();
+                argbuf.extend(args.iter().map(|a| read(&regs, a)));
+                let v = builtin_call(name, &argbuf);
+                write(&mut regs, &mut written, v);
             }
             IrOp::Action { name, args } => {
-                let vals: Vec<u64> = args.iter().map(|a| read(pkt, a)).collect();
+                let vals: Vec<u64> = args.iter().map(|a| read(&regs, a)).collect();
                 effects.push(Effect::Action {
                     name: name.clone(),
                     args: vals,
                 });
             }
             IrOp::TableMember { table, key } => {
-                let k = read(pkt, key);
+                let k = read(&regs, key);
                 let hit = dp
                     .externs
                     .get(table)
@@ -211,57 +291,49 @@ pub fn execute(
                     .unwrap_or(false) as u64;
                 // Sticky OR: a replicated lookup over a split table behaves
                 // like one logical lookup.
-                let prev = dst_info.map(|i| pkt.get(&i.base)).unwrap_or(0);
-                write(pkt, prev | hit);
+                let prev = dst.map(|(slot, _)| regs[slot]).unwrap_or(0);
+                write(&mut regs, &mut written, prev | hit);
             }
             IrOp::TableLookup { table, key } => {
-                let k = read(pkt, key);
+                let k = read(&regs, key);
                 if let Some(v) = dp.externs.get(table).and_then(|t| t.get(&k)) {
-                    write(pkt, *v);
+                    let v = *v;
+                    write(&mut regs, &mut written, v);
                 }
                 // Miss: leave the destination unchanged (sticky).
             }
             IrOp::GlobalRead { global, index } => {
-                let i = read(pkt, index) as usize;
+                let i = read(&regs, index);
                 let v = dp
                     .globals
                     .get(global)
-                    .and_then(|g| g.get(i))
-                    .copied()
+                    .map(|g| global_read(g, i))
                     .unwrap_or(0);
-                write(pkt, v);
+                write(&mut regs, &mut written, v);
             }
             IrOp::GlobalWrite {
                 global,
                 index,
                 value,
             } => {
-                let i = read(pkt, index) as usize;
-                let v = read(pkt, value);
+                let i = read(&regs, index);
+                let v = read(&regs, value);
                 let arr = dp.globals.entry(global.clone()).or_default();
-                if i >= arr.len() {
-                    arr.resize(i + 1, 0);
-                }
-                arr[i] = v;
+                global_write(arr, i, v);
             }
             IrOp::Slice { a, hi, lo } => {
-                let x = read(pkt, a);
+                let x = read(&regs, a);
                 let width = hi - lo + 1;
-                write(pkt, mask(x >> lo, width.min(63)));
+                write(&mut regs, &mut written, mask(x >> lo, width.min(63)));
             }
         }
     }
+    for (slot, base) in bases.iter().enumerate() {
+        if written[slot] {
+            pkt.values.insert((*base).to_string(), regs[slot]);
+        }
+    }
     effects
-}
-
-/// Execute the whole algorithm.
-pub fn execute_all(
-    alg: &IrAlgorithm,
-    pkt: &mut PacketState,
-    dp: &mut DataPlaneState,
-) -> Vec<Effect> {
-    let ids: Vec<InstrId> = alg.instr_ids().collect();
-    execute(alg, &ids, pkt, dp)
 }
 
 #[cfg(test)]

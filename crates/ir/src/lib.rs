@@ -22,6 +22,7 @@
 //! The result, [`IrProgram`], is the paper's "context-aware IR".
 
 pub mod blocks;
+pub mod compiled;
 pub mod deps;
 pub mod instr;
 pub mod interp;
@@ -31,9 +32,15 @@ pub mod types;
 pub mod verify;
 
 pub use blocks::{predicate_blocks, predicate_blocks_of, PredBlock};
+pub use compiled::{
+    CompiledAlgorithm, GlobalAccess, GlobalOverlay, Machine, ProgramLayout, TableSnapshot,
+};
 pub use deps::{dependency_graph, DepGraph};
 pub use instr::*;
-pub use interp::{execute, execute_all, DataPlaneState, Effect, PacketState};
+pub use interp::{
+    builtin_call, execute, execute_all, global_read, global_write, reference_hash, DataPlaneState,
+    Effect, PacketState,
+};
 pub use lower::{lower_program, LowerError, RawInstr, RawOp, RawOperand};
 pub use ssa::to_ssa;
 pub use types::infer_widths;

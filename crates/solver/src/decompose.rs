@@ -41,6 +41,9 @@ use crate::Outcome;
 /// rounds' tightening constraints.
 pub type BoundConstraint = (Vec<(i64, FlatVar)>, i64);
 
+/// What one component solve produced: verdict, witness, and search stats.
+type SolveResult = (Outcome, Option<RawAssignment>, SearchStats);
+
 /// Fingerprint-keyed store of [`WarmStart`] bundles shared across solves
 /// (typically across `recompile_for_faults` rounds, or across identical
 /// per-pod subproblems).
@@ -358,10 +361,7 @@ fn split_components(flat: &FlatModel) -> Option<Vec<SubProblem>> {
     };
     let mut clause_comp: Vec<Option<usize>> = Vec::with_capacity(flat.clauses.len());
     for cl in &flat.clauses {
-        clause_comp.push(match cl.first() {
-            Some(l) => Some(comp_index(uf.find(l.var()), &mut roots)),
-            None => None,
-        });
+        clause_comp.push(cl.first().map(|l| comp_index(uf.find(l.var()), &mut roots)));
     }
     let atom_comp: Vec<usize> = flat
         .atoms
@@ -392,10 +392,7 @@ fn split_components(flat: &FlatModel) -> Option<Vec<SubProblem>> {
     for i in 0..n_int as u32 {
         if let Some(&ci) = comp_of_root.get(&uf.find(n_sat as u32 + i)) {
             int_local[i as usize] = subs[ci].ints.len() as u32;
-            subs[ci]
-                .flat
-                .int_bounds
-                .push(flat.int_bounds[i as usize]);
+            subs[ci].flat.int_bounds.push(flat.int_bounds[i as usize]);
             subs[ci].ints.push(i);
         }
     }
@@ -467,7 +464,7 @@ impl Solver for Decomposed {
         // e.g. symmetric pods — reuse each other's learned clauses across
         // solves). The shared cancel flag / deadline in `ctx.config` keeps
         // cross-component winddown prompt.
-        let results: Vec<Mutex<Option<(Outcome, Option<RawAssignment>, SearchStats)>>> =
+        let results: Vec<Mutex<Option<SolveResult>>> =
             subs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let pool = if self.workers == 0 {
@@ -549,11 +546,11 @@ mod tests {
         m.require(Bx::var(vs[0]));
         let x = m.int_var("x", 0, 10);
         let y = m.int_var("y", 0, 10);
-        m.require(Ix::var(x).add(Ix::var(y)).ge(Ix::lit(if unsat_second {
-            25
-        } else {
-            15
-        })));
+        m.require(
+            Ix::var(x)
+                .add(Ix::var(y))
+                .ge(Ix::lit(if unsat_second { 25 } else { 15 })),
+        );
         m
     }
 

@@ -113,7 +113,12 @@ pub fn solve_flat_portfolio_warm(
     extra: &[(Vec<(i64, FlatVar)>, i64)],
     workers: usize,
     warm: Option<&WarmStart>,
-) -> (Outcome, Option<RawAssignment>, SearchStats, Option<WarmStart>) {
+) -> (
+    Outcome,
+    Option<RawAssignment>,
+    SearchStats,
+    Option<WarmStart>,
+) {
     let n = workers.max(1);
     if n == 1 {
         let (outcome, raw, mut stats, export) = solve_flat_warm(flat, base, extra, warm);
@@ -137,8 +142,9 @@ pub fn solve_flat_portfolio_warm(
                 // poison it for every surviving worker. Catching here turns
                 // a crashed worker into one that simply never reports —
                 // its siblings keep racing and one of them decides.
-                let solved =
-                    catch_unwind(AssertUnwindSafe(|| solve_flat_warm(flat, &cfg, extra, warm)));
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    solve_flat_warm(flat, &cfg, extra, warm)
+                }));
                 let Ok((outcome, raw, stats, export)) = solved else {
                     return;
                 };

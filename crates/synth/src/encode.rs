@@ -457,10 +457,7 @@ fn encode_symmetry_breaking(
                 if i + 1 < elems.len() {
                     // prefix-equal chain: pᵢ₊₁ ↔ pᵢ ∧ (aᵢ = bᵢ).
                     let p = model.bool_var(format!("lex[{tag}][{i}]"));
-                    model.require(Bx::iff(
-                        Bx::var(p),
-                        Bx::and(vec![prefix.clone(), e.eq()]),
-                    ));
+                    model.require(Bx::iff(Bx::var(p), Bx::and(vec![prefix.clone(), e.eq()])));
                     prefix = Bx::var(p);
                 }
             }

@@ -32,9 +32,9 @@ pub mod table;
 pub mod util;
 
 pub use backend::{Backend, SolveLimits, SolverStrategy};
-pub use lyra_solver::ClauseStore as SolverClauseStore;
 pub use encode::{encode, EncodeError, EncodeOptions, Encoded, Objective, SynthUnit};
 pub use explain::explain_infeasible;
+pub use lyra_solver::ClauseStore as SolverClauseStore;
 pub use p4::P4Options;
 pub use place::{CarriedValue, Placement, SwitchPlan};
 pub use table::{SynthAction, SynthTable, TableGroup, TableKind};

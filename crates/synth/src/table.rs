@@ -236,11 +236,8 @@ impl TableGroup {
         }
         let mut order: Vec<usize> = Vec::with_capacity(n);
         let mut placed = vec![false; n];
-        loop {
-            // Smallest ready index first keeps the sort stable.
-            let Some(next) = (0..n).find(|&i| !placed[i] && indeg[i] == 0) else {
-                break;
-            };
+        // Smallest ready index first keeps the sort stable.
+        while let Some(next) = (0..n).find(|&i| !placed[i] && indeg[i] == 0) {
             placed[next] = true;
             order.push(next);
             for &w in &dependents[next] {

@@ -148,8 +148,7 @@ fn symmetry_breaking_preserves_verdicts_and_respects_automorphisms() {
                     }
                 };
                 let mut bools = vec![false; base.model.num_bools()];
-                let mut ints: Vec<i64> =
-                    base.model.int_decls().map(|(_, d)| d.lo).collect();
+                let mut ints: Vec<i64> = base.model.int_decls().map(|(_, d)| d.lo).collect();
                 for ((alg, s, i), v) in &base.instr_var {
                     let src = base.instr_var[&(alg.clone(), swap(*s), *i)];
                     bools[v.index()] = sym_sol.bool(src);
@@ -185,5 +184,8 @@ fn symmetry_breaking_preserves_verdicts_and_respects_automorphisms() {
     }
     assert!(sat_cases >= 20, "only {sat_cases} SAT cases explored");
     assert!(unsat_cases >= 8, "only {unsat_cases} UNSAT cases explored");
-    assert_eq!(mapped, sat_cases, "every SAT case must exercise the mapping");
+    assert_eq!(
+        mapped, sat_cases,
+        "every SAT case must exercise the mapping"
+    );
 }

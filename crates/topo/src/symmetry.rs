@@ -140,7 +140,10 @@ pub fn interchangeable_classes(topo: &Topology, scopes: &[ResolvedScope]) -> Vec
     // grouping never over-approximates.
     let mut classes: BTreeMap<usize, Vec<SwitchId>> = BTreeMap::new();
     for i in 0..topo.len() {
-        classes.entry(uf.find(i)).or_default().push(SwitchId(i as u32));
+        classes
+            .entry(uf.find(i))
+            .or_default()
+            .push(SwitchId(i as u32));
     }
     classes.into_values().filter(|c| c.len() >= 2).collect()
 }
@@ -192,7 +195,9 @@ mod tests {
         let tor3 = topo.find("ToR3").unwrap();
         let tor4 = topo.find("ToR4").unwrap();
         assert!(
-            classes.iter().any(|c| c.contains(&tor3) && c.contains(&tor4)),
+            classes
+                .iter()
+                .any(|c| c.contains(&tor3) && c.contains(&tor4)),
             "silicon-one ToRs should pair: {classes:?}"
         );
         let tor1 = topo.find("ToR1").unwrap();

@@ -13,9 +13,7 @@
 //! offline with no external crates), so every run explores the identical
 //! case set and failures reproduce from the printed case index.
 
-use lyra::{
-    CompileError, CompileOutput, CompileRequest, Compiler, SolveProfile, SolverStrategy,
-};
+use lyra::{CompileError, CompileOutput, CompileRequest, Compiler, SolveProfile, SolverStrategy};
 use lyra_topo::fat_tree_pod;
 
 /// Deterministic xorshift64* PRNG.
@@ -197,12 +195,15 @@ fn accelerated_profile_agrees_with_monolithic_reference() {
                 "case {case} (k={k}): accelerated profile placed what the \
                  monolithic reference calls infeasible\n{program}"
             ),
-            (Verdict::Infeasible, Verdict::Placed(_)) => panic!(
-                "case {case} (k={k}): accelerations lost a feasible placement\n{program}"
-            ),
+            (Verdict::Infeasible, Verdict::Placed(_)) => {
+                panic!("case {case} (k={k}): accelerations lost a feasible placement\n{program}")
+            }
         }
     }
     assert!(cases_run >= 200, "only {cases_run} instances compiled");
     assert!(placed >= 100, "only {placed} SAT agreements explored");
-    assert!(infeasible >= 20, "only {infeasible} UNSAT agreements explored");
+    assert!(
+        infeasible >= 20,
+        "only {infeasible} UNSAT agreements explored"
+    );
 }
