@@ -32,9 +32,9 @@
 use std::time::{Duration, Instant};
 
 use lyra::{
-    replay_compiled, replay_interpreted, replay_under_rollout, CompileRequest, Compiler,
-    LossyChannel, ReliableChannel, ReplayConfig, ReplayReport, RolloutConfig, Runtime,
-    SolveProfile, SolverStrategy, SynthCache,
+    replay_compiled, replay_interpreted, replay_under_rollout, CompileRequest, Compiler, CrashPlan,
+    CrashPoint, DriftOp, LossyChannel, MemIntentStore, ReliableChannel, ReplayConfig, ReplayReport,
+    RolloutConfig, Runtime, SolveProfile, SolverStrategy, SynthCache,
 };
 use lyra_apps::{figure9_corpus, programs};
 use lyra_diag::json::{parse, Object, Value};
@@ -291,6 +291,7 @@ fn record_fig10() -> Object {
     root.push("cases", Value::Array(cases_json));
     root.push("comparison", Value::Object(cmp));
     root.push("rollout", Value::Object(record_rollout()));
+    root.push("recovery", Value::Object(record_recovery()));
     root
 }
 
@@ -346,6 +347,147 @@ fn record_rollout() -> Object {
     o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
     o.push("p50_commit_ms", Value::Number(ms(p50)));
     o
+}
+
+/// Smoke mode: absolute bound for the recovery p50 when the committed
+/// baseline predates the `recovery` section.
+const SMOKE_RECOVERY_ABS_MS: f64 = 250.0;
+
+/// Median wall time of a controller restart recovery: the same k = 16
+/// Agg1-failover rollout crashes right after the commit decision is
+/// journaled (the most expensive recovery path — every switch must be
+/// queried and the commit re-driven), and the restarted controller drives
+/// it home from the intent log over a reliable channel.
+fn measure_recovery(samples: usize) -> Duration {
+    let k = 16;
+    let lb = &cases()[0];
+    let topo = pod(k);
+    let scopes = scopes_for(k, &lb.program, lb.multi);
+    let compiler = Compiler::new();
+    let req =
+        CompileRequest::new(&lb.program, &scopes, topo).with_solve_profile(SolveProfile::fast());
+    let healthy = compiler.compile(&req).expect("healthy k=16 compile");
+    let mut faults = FaultSet::new();
+    faults.add_switch("Agg1");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("Agg1 failover recompile");
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut rt = Runtime::new(&healthy);
+        for i in 0..ROLLOUT_ENTRIES {
+            rt.install("conn_table", i * 7, 0x0a00_0000 + i)
+                .expect("bench entry install");
+        }
+        rt.fail_switch("Agg1").expect("live failover");
+        let mut store = MemIntentStore::new();
+        let crash_cfg = RolloutConfig::default()
+            .with_scope_health(r.scope_health.clone())
+            .with_crash(CrashPlan::at(CrashPoint::AfterCommitDecision));
+        rt.apply_rollout_logged(
+            &r.output,
+            &mut ReliableChannel::new(),
+            &crash_cfg,
+            &mut store,
+        )
+        .expect_err("instrumented rollout must crash");
+        let config = RolloutConfig::default().with_scope_health(r.scope_health.clone());
+        let t = Instant::now();
+        let rep = rt
+            .recover(&r.output, &mut store, &mut ReliableChannel::new(), &config)
+            .expect("recovery runs");
+        times.push(t.elapsed());
+        assert!(
+            rep.committed,
+            "journaled commit decision must be driven home"
+        );
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn record_recovery() -> Object {
+    let p50 = measure_recovery(SAMPLES);
+    println!("recovery LB(MULTI-SW)@k16 crash@commit-decision: p50 recover {p50:?}");
+    let mut o = Object::new();
+    o.push(
+        "case",
+        Value::str("LB(MULTI-SW)@k16 Agg1-failover crash@commit-decision"),
+    );
+    o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
+    o.push("p50_recover_ms", Value::Number(ms(p50)));
+    o
+}
+
+/// Table sizes swept by `--audit-cost` (entries installed before the
+/// audit; the numbers land in EXPERIMENTS.md).
+const AUDIT_SIZES: [u64; 4] = [16, 64, 256, 1024];
+
+/// Anti-entropy audit cost vs table size on the k = 16 LB deployment:
+/// one clean pass (digest compare only) and one pass over a fleet with
+/// seeded drift (digest mismatch forces the key-by-key diff + repairs).
+fn audit_cost() {
+    let k = 16;
+    let lb = &cases()[0];
+    let topo = pod(k);
+    let scopes = scopes_for(k, &lb.program, lb.multi);
+    let compiler = Compiler::new();
+    let req =
+        CompileRequest::new(&lb.program, &scopes, topo).with_solve_profile(SolveProfile::fast());
+    let out = compiler.compile(&req).expect("healthy k=16 compile");
+    for entries in AUDIT_SIZES {
+        let mut rt = Runtime::new(&out);
+        for i in 0..entries {
+            rt.install("conn_table", i, 0x0a00_0000 + i)
+                .expect("bench entry install");
+        }
+        let mut clean_times = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            let rep = rt.audit_switches();
+            clean_times.push(t.elapsed());
+            assert!(rep.clean(), "clean deployment must audit clean");
+        }
+        clean_times.sort();
+        let digests = rt.audit_switches().digests_compared;
+
+        // Seed drift on every hosting switch: one foreign entry plus one
+        // corrupted value, so each shard pays the full diff path.
+        let hosts: Vec<String> = out
+            .placement
+            .switches
+            .iter()
+            .filter(|(_, p)| p.extern_entries.contains_key("conn_table"))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let mut drifted_times = Vec::with_capacity(SAMPLES);
+        let mut findings = 0;
+        for round in 0..SAMPLES {
+            let mut seeded = 0;
+            for (i, sw) in hosts.iter().enumerate() {
+                let op = DriftOp::Insert {
+                    table: "conn_table".into(),
+                    key: 0xd41f_7000 + (round * hosts.len() + i) as u64,
+                    value: 0xbad,
+                };
+                rt.inject_drift(sw, &op).expect("drift injects");
+                seeded += 1;
+            }
+            let t = Instant::now();
+            let rep = rt.audit_switches();
+            drifted_times.push(t.elapsed());
+            assert_eq!(rep.findings.len(), seeded, "audit must find every seed");
+            findings = seeded;
+        }
+        drifted_times.sort();
+        println!(
+            "audit LB(MULTI-SW)@k16 entries={entries:>5}: clean p50 {:>9.1?} \
+             ({digests} digests), drifted p50 {:>9.1?} ({findings} repairs)",
+            clean_times[SAMPLES / 2],
+            drifted_times[SAMPLES / 2],
+        );
+    }
 }
 
 /// Packets replayed through the compiled engine per pps measurement.
@@ -743,6 +885,32 @@ fn smoke() -> usize {
         failures += 1;
     }
 
+    // Restart-recovery tripwire: p50 of driving a crash@commit-decision
+    // rollout home from the intent log. Bounded by the committed baseline
+    // when it carries the `recovery` section, by an absolute ceiling
+    // otherwise.
+    let recovery_baseline = baseline
+        .get("recovery")
+        .and_then(|r| r.get("p50_recover_ms"))
+        .and_then(|v| v.as_number());
+    let bound = match recovery_baseline {
+        Some(b) => b * SMOKE_FACTOR + SMOKE_GRACE_MS,
+        None => SMOKE_RECOVERY_ABS_MS,
+    };
+    let p50 = ms(measure_recovery(1));
+    let status = if p50 > bound { "REGRESSED" } else { "ok" };
+    println!(
+        "smoke recovery LB(MULTI-SW)@k16: {p50:.2} ms (bound {bound:.1} ms{}) {status}",
+        if recovery_baseline.is_some() {
+            ""
+        } else {
+            ", absolute — no baseline"
+        }
+    );
+    if p50 > bound {
+        failures += 1;
+    }
+
     // Datacenter-scale tripwires: the symmetry-breaking + decomposition
     // path must keep the MULTI-SW curve bent. k = 16 is bounded against
     // the committed snapshot at 2x (tighter than the generic 3x above,
@@ -800,6 +968,10 @@ fn smoke() -> usize {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--audit-cost") {
+        audit_cost();
+        return;
+    }
     if std::env::args().any(|a| a == "--pps-smoke") {
         let failures = pps_smoke();
         if failures > 0 {

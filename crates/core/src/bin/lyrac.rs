@@ -31,9 +31,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lyra::{
-    replay_compiled, replay_interpreted, replay_under_rollout, Backend, CompileError,
-    CompileRequest, Compiler, LossyChannel, Objective, ReplayConfig, ReplayReport, RolloutConfig,
-    RolloutReport, Runtime, SolveProfile, SolverStrategy,
+    replay_compiled, replay_interpreted, replay_under_recovery, replay_under_rollout, AuditReport,
+    Backend, CompileError, CompileRequest, Compiler, CrashPlan, CrashPoint, DriftOp,
+    FileIntentStore, IntentStore, LossyChannel, MemIntentStore, Objective, RecoveryReport,
+    ReplayConfig, ReplayReport, RolloutConfig, RolloutReport, Runtime, SolveProfile,
+    SolverStrategy,
 };
 use lyra_chips::TargetLang;
 use lyra_diag::json::{Object, Value};
@@ -62,6 +64,11 @@ struct Args {
     rollout_fail: Option<String>,
     rollout_drop_p: f64,
     rollout_seed: u64,
+    crash_at: Option<CrashPlan>,
+    recover: bool,
+    intent_log: Option<PathBuf>,
+    audit: bool,
+    audit_drift: u64,
     replay: Option<u64>,
     replay_workers: usize,
     replay_seed: u64,
@@ -82,6 +89,9 @@ fn usage() -> ! {
          \x20            [--diag-format human|json] [--emit-stats FILE]\n\
          \x20            [--rollout-fail ELEMS] [--rollout-drop-p P]\n\
          \x20            [--rollout-seed N]\n\
+         \x20            [--crash-at POINT|sends:N] [--recover]\n\
+         \x20            [--intent-log FILE]\n\
+         \x20            [--audit] [--audit-drift N]\n\
          \x20            [--replay PACKETS] [--replay-workers N]\n\
          \x20            [--replay-seed N]\n\
          \x20            [--oracle] [--oracle-cases N] [--oracle-seed N]\n\
@@ -112,7 +122,25 @@ fn usage() -> ! {
          \x20 on the compiled batched engine and the reference interpreter\n\
          \x20 and prints both throughputs. Combined with --rollout-fail, the\n\
          \x20 traffic runs *while* the two-phase rollout flips epochs, and\n\
-         \x20 the replay reports packet loss and mixed-epoch exposure."
+         \x20 the replay reports packet loss and mixed-epoch exposure.\n\
+         \n\
+         \x20 --crash-at kills the controller mid-rollout (requires\n\
+         \x20 --rollout-fail) at a transaction boundary (before-prepare,\n\
+         \x20 after-prepare, commit-decision, before-finalize,\n\
+         \x20 rollback-decision) or after the Nth journaled message intent\n\
+         \x20 (`sends:N`). Every decision and token is journaled write-ahead\n\
+         \x20 (--intent-log FILE for a durable log; in-memory otherwise).\n\
+         \x20 --recover then restarts the controller: it replays the intent\n\
+         \x20 log, queries every switch, and drives the in-flight rollout to\n\
+         \x20 all-commit or all-rollback (LYR0571/LYR0572). With --replay,\n\
+         \x20 traffic flows through the crashed fleet during recovery.\n\
+         \n\
+         \x20 --audit runs the anti-entropy reconciliation: switch-held\n\
+         \x20 state is diffed against the controller's expected state by\n\
+         \x20 per-table content digest, drift is classified\n\
+         \x20 (missing/extra/stale/stale-epoch, LYR0575) and repaired\n\
+         \x20 minimally (LYR0576). --audit-drift N first corrupts N seeded\n\
+         \x20 entries behind the controller's back to prove detection."
     );
     std::process::exit(2);
 }
@@ -159,6 +187,11 @@ fn parse_args() -> Args {
     let mut rollout_fail = None;
     let mut rollout_drop_p = 0.0;
     let mut rollout_seed = 0xC0FFEE;
+    let mut crash_at = None;
+    let mut recover = false;
+    let mut intent_log = None;
+    let mut audit = false;
+    let mut audit_drift = 0u64;
     let mut replay = None;
     let mut replay_workers = 0usize;
     let mut replay_seed = ReplayConfig::default().seed;
@@ -271,6 +304,47 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--crash-at" => {
+                let v = value(&mut it);
+                crash_at = if let Some(n) = v.strip_prefix("sends:") {
+                    match n.parse::<u64>() {
+                        Ok(n) if n > 0 => Some(CrashPlan::after_sends(n)),
+                        _ => {
+                            eprintln!("invalid --crash-at value `{v}` (need sends:N, N >= 1)");
+                            usage()
+                        }
+                    }
+                } else {
+                    match CrashPoint::parse(&v) {
+                        Some(p) => Some(CrashPlan::at(p)),
+                        None => {
+                            eprintln!(
+                                "unknown crash point `{v}` (expected one of: {}, or sends:N)",
+                                CrashPoint::ALL
+                                    .iter()
+                                    .map(|p| p.name())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            );
+                            usage()
+                        }
+                    }
+                }
+            }
+            "--recover" => recover = true,
+            "--intent-log" => intent_log = Some(PathBuf::from(value(&mut it))),
+            "--audit" => audit = true,
+            "--audit-drift" => {
+                let v = value(&mut it);
+                audit_drift = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("invalid --audit-drift value `{v}`");
+                        usage()
+                    }
+                };
+                audit = true;
+            }
             "--replay" => {
                 let v = value(&mut it);
                 replay = match v.parse::<u64>() {
@@ -351,6 +425,11 @@ fn parse_args() -> Args {
         rollout_fail,
         rollout_drop_p,
         rollout_seed,
+        crash_at,
+        recover,
+        intent_log,
+        audit,
+        audit_drift,
         replay,
         replay_workers,
         replay_seed,
@@ -450,13 +529,131 @@ fn drive_replay(args: &Args, out: &lyra::CompileOutput) -> Result<(), String> {
     Ok(())
 }
 
+/// Print a recovery report in the human CLI format.
+fn print_recovery(report: &RecoveryReport) {
+    let outcome = if !report.in_flight {
+        "nothing in flight".to_string()
+    } else if report.committed {
+        format!("epoch {} COMMITTED", report.epoch)
+    } else {
+        format!(
+            "epoch {} rolled back (serving epoch {})",
+            report.epoch, report.prior_epoch
+        )
+    };
+    println!("recovery: {outcome} in {:?}", report.elapsed);
+    println!(
+        "  journal: {} record(s) replayed, {} token(s) reused, {} fresh",
+        report.replayed_records, report.reused_tokens, report.fresh_tokens
+    );
+    println!(
+        "  switches: {} queried, {} query failure(s), {} forced rollback(s)",
+        report.queried, report.query_failures, report.forced_rollbacks
+    );
+    for d in &report.diagnostics {
+        match d.code {
+            Some(c) => println!("  [{c}] {}", d.message),
+            None => println!("  {}", d.message),
+        }
+    }
+}
+
+/// Print an anti-entropy audit report in the human CLI format.
+fn print_audit(report: &AuditReport) {
+    println!(
+        "audit: {} switch(es), {} digest(s) compared, {} — {:?}",
+        report.switches_audited,
+        report.digests_compared,
+        if report.clean() {
+            "clean".to_string()
+        } else {
+            format!(
+                "{} drifted entr{} repaired ({} repair(s))",
+                report.findings.len(),
+                if report.findings.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.repaired
+            )
+        },
+        report.elapsed
+    );
+    for (kind, n) in report.counts() {
+        println!("  drift[{kind}]: {n}");
+    }
+    for d in &report.diagnostics {
+        match d.code {
+            Some(c) => println!("  [{c}] {}", d.message),
+            None => println!("  {}", d.message),
+        }
+    }
+}
+
+/// Corrupt `n` seeded entries behind the controller's back so `--audit`
+/// has drift to prove detection on. Deterministic in `seed`.
+fn seed_drift(rt: &mut Runtime, out: &lyra::CompileOutput, n: u64, seed: u64) -> u64 {
+    let switches: Vec<String> = out
+        .placement
+        .switches
+        .keys()
+        .filter(|sw| rt.switch_epoch(sw).is_some())
+        .cloned()
+        .collect();
+    let tables: Vec<String> = out.ir.externs.keys().cloned().collect();
+    if switches.is_empty() || tables.is_empty() {
+        return 0;
+    }
+    let mut injected = 0;
+    for i in 0..n {
+        let sw = &switches[(seed.wrapping_add(i) % switches.len() as u64) as usize];
+        let table = &tables[(i % tables.len() as u64) as usize];
+        let op = if i % 3 == 2 && rt.epoch() > 0 {
+            DriftOp::RegressEpoch
+        } else {
+            DriftOp::Insert {
+                table: table.clone(),
+                key: 0x000d_41f7_0000 + seed.wrapping_add(i) % 0xFFFF,
+                value: 0xbad0 + i,
+            }
+        };
+        if rt.inject_drift(sw, &op).is_ok() {
+            injected += 1;
+        }
+    }
+    injected
+}
+
+/// Run the anti-entropy audit (optionally after seeding drift) and fail
+/// if a second pass still finds divergence.
+fn run_audit(args: &Args, rt: &mut Runtime, out: &lyra::CompileOutput) -> Result<(), String> {
+    if args.audit_drift > 0 {
+        let injected = seed_drift(rt, out, args.audit_drift, args.rollout_seed);
+        println!("audit: injected {injected} seeded drift op(s) behind the controller");
+    }
+    let report = rt.audit_switches();
+    print_audit(&report);
+    if args.audit_drift > 0 && report.clean() {
+        return Err("audit found no drift despite seeded corruption".to_string());
+    }
+    let second = rt.audit_switches();
+    if !second.clean() {
+        return Err(format!(
+            "audit repairs did not converge: {} finding(s) on the second pass",
+            second.findings.len()
+        ));
+    }
+    Ok(())
+}
+
 fn drive_rollout(
     args: &Args,
     compiler: &Compiler,
     req: &CompileRequest,
     out: &lyra::CompileOutput,
     spec: &str,
-) -> Result<RolloutReport, String> {
+) -> Result<Option<RolloutReport>, String> {
     let mut faults = FaultSet::new();
     for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         match item.split_once('-') {
@@ -491,7 +688,73 @@ fn drive_rollout(
     let config = RolloutConfig::default()
         .with_seed(args.rollout_seed)
         .with_scope_health(r.scope_health.clone());
-    if args.replay.is_some() {
+    let mut store: Box<dyn IntentStore> = match &args.intent_log {
+        Some(path) => Box::new(FileIntentStore::open(path.clone())),
+        None => Box::new(MemIntentStore::new()),
+    };
+
+    if let Some(plan) = &args.crash_at {
+        // Crash injection: journal write-ahead, kill the controller at
+        // the requested point, then (with --recover) restart it against
+        // the same channel — the network outlives the controller.
+        let crash_cfg = config.clone().with_crash(plan.clone());
+        let err = match rt.apply_rollout_logged(&r.output, &mut chan, &crash_cfg, store.as_mut()) {
+            Ok(report) => {
+                // The transaction finished before the crash point was
+                // reached (e.g. sends:N past the last message).
+                print_rollout(&report);
+                return Ok(Some(report));
+            }
+            Err(e) => e,
+        };
+        println!(
+            "rollout: controller CRASHED mid-flight ([{}] {})",
+            err.code.map(|c| c.0).unwrap_or("-"),
+            err.message
+        );
+        if !args.recover {
+            return Err(
+                "controller crashed mid-rollout and --recover was not given; \
+                 the deployment is mid-transaction"
+                    .to_string(),
+            );
+        }
+        let recovery = if args.replay.is_some() {
+            // Traffic keeps flowing through the crashed fleet while the
+            // restarted controller converges it.
+            let outcome = replay_under_recovery(
+                &mut rt,
+                &r.output,
+                store.as_mut(),
+                &mut chan,
+                &config,
+                &replay_config(args),
+            )
+            .map_err(|e| format!("recovery failed: {e}"))?;
+            print_replay("under-recovery", &outcome.replay);
+            if outcome.replay.mixed_epoch_exposure > 0 {
+                return Err(format!(
+                    "{} packet(s) executed under two epochs during recovery",
+                    outcome.replay.mixed_epoch_exposure
+                ));
+            }
+            outcome.recovery
+        } else {
+            rt.recover(&r.output, store.as_mut(), &mut chan, &config)
+                .map_err(|e| format!("recovery failed: {e}"))?
+        };
+        print_recovery(&recovery);
+        if !rt.epochs_coherent() {
+            return Err("recovery left the deployment epoch-incoherent".to_string());
+        }
+        if args.audit {
+            let serving = rt.output();
+            run_audit(args, &mut rt, serving)?;
+        }
+        return Ok(None);
+    }
+
+    let report = if args.replay.is_some() {
         // Flip the epochs *under* live traffic: workers replay seeded
         // packets through the compiled plane while the two-phase protocol
         // runs, and the replay reports loss and mixed-epoch exposure.
@@ -505,10 +768,19 @@ fn drive_rollout(
                 outcome.replay.mixed_epoch_exposure
             ));
         }
-        return Ok(outcome.rollout);
+        outcome.rollout
+    } else if args.intent_log.is_some() {
+        rt.apply_rollout_logged(&r.output, &mut chan, &config, store.as_mut())
+            .map_err(|e| format!("rollout could not start: {e}"))?
+    } else {
+        rt.apply_rollout(&r.output, &mut chan, &config)
+            .map_err(|e| format!("rollout could not start: {e}"))?
+    };
+    if args.audit {
+        let serving = rt.output();
+        run_audit(args, &mut rt, serving)?;
     }
-    rt.apply_rollout(&r.output, &mut chan, &config)
-        .map_err(|e| format!("rollout could not start: {e}"))
+    Ok(Some(report))
 }
 
 /// Print a rollout report in the human CLI format.
@@ -607,9 +879,13 @@ fn main() -> ExitCode {
     }
     let rollout_report = match &args.rollout_fail {
         Some(spec) => match drive_rollout(&args, &compiler, &req, &out, spec) {
+            // A crash+recover run converges without a rollout report to
+            // print (the recovery report was printed instead).
             Ok(report) => {
-                print_rollout(&report);
-                Some(report)
+                if let Some(report) = &report {
+                    print_rollout(report);
+                }
+                report
             }
             Err(e) => return tool_error(&args, e),
         },
@@ -617,6 +893,21 @@ fn main() -> ExitCode {
     };
     if args.replay.is_some() && args.rollout_fail.is_none() {
         if let Err(e) = drive_replay(&args, &out) {
+            return tool_error(&args, e);
+        }
+    }
+    if args.audit && args.rollout_fail.is_none() {
+        // Standalone anti-entropy audit of the fresh deployment (with
+        // --audit-drift, seeded corruption proves detection first).
+        let mut rt = Runtime::new(&out);
+        for table in out.ir.externs.keys() {
+            for k in 0..4u64 {
+                if rt.install(table, k, 0x0a00_0000 + k).is_err() {
+                    break;
+                }
+            }
+        }
+        if let Err(e) = run_audit(&args, &mut rt, &out) {
             return tool_error(&args, e);
         }
     }

@@ -35,6 +35,12 @@ pub enum ControlOp {
     /// Abandon the staged epoch; if the switch already committed, revert
     /// to the retained prior epoch.
     Rollback,
+    /// Ask the switch to report its serving epoch and any staged/prior
+    /// epoch it retains. Read-only: a restarted controller sends this
+    /// during [`crate::Runtime::recover`] to learn how far an in-flight
+    /// rollout got before the crash. Queries carry no idempotency token
+    /// state — they never mutate the switch.
+    Query,
 }
 
 impl ControlOp {
@@ -44,6 +50,7 @@ impl ControlOp {
             ControlOp::Prepare { .. } => "prepare",
             ControlOp::Commit => "commit",
             ControlOp::Rollback => "rollback",
+            ControlOp::Query => "query",
         }
     }
 }
@@ -253,8 +260,10 @@ impl ControlChannel for LossyChannel {
         for (countdown, _) in self.late.iter_mut() {
             *countdown = countdown.saturating_sub(1);
         }
-        while let Some((0, _)) = self.late.front() {
-            let (_, msg) = self.late.pop_front().expect("front checked");
+        while matches!(self.late.front(), Some((0, _))) {
+            let Some((_, msg)) = self.late.pop_front() else {
+                break; // front was just checked; defensive rather than panicking
+            };
             // A late copy to a dead switch is lost like everything else.
             if !self.switch_dead(&msg.switch) {
                 due.push(msg);

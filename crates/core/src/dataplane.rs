@@ -20,6 +20,10 @@
 //! * [`replay_under_rollout`] — runs [`Runtime::apply_rollout`] *while*
 //!   worker threads push packets, then reports packet loss and mixed-epoch
 //!   exposure alongside the rollout report.
+//! * [`replay_under_recovery`] — the same harness around
+//!   [`Runtime::recover`]: traffic keeps flowing through the mid-flight
+//!   remnants a crashed controller left behind while the restarted
+//!   controller drives them to all-commit or all-rollback.
 //!
 //! ## Epoch pinning
 //!
@@ -42,9 +46,28 @@ use lyra_ir::{
 };
 
 use crate::channel::{ControlChannel, ControlMsg, ControlOp, Delivery};
-use crate::rollout::{RolloutConfig, RolloutReport};
+use crate::recovery::RecoveryReport;
+use crate::rollout::{IntentStore, RolloutConfig, RolloutReport};
 use crate::runtime::{Runtime, RuntimeError};
 use crate::CompileOutput;
+
+/// Recover a lock even if a worker panicked while holding it: the plane's
+/// data is epoch snapshots swapped whole (never partially written), so the
+/// poisoned contents are still consistent and refusing to serve would turn
+/// one worker's panic into a total outage.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// See [`read_lock`].
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// See [`read_lock`].
+fn lock_control<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A placement compiled to per-switch bytecode streams. Built once per
 /// deployment; packets then execute with zero name lookups and zero
@@ -210,23 +233,57 @@ impl LiveTrafficPlane {
         let mut control = Vec::with_capacity(names.len());
         let mut staged_algs = Vec::with_capacity(names.len());
         for name in &names {
-            let (epoch, dp) = match rt.states.get(name) {
+            let st = rt.states.get(name);
+            let (epoch, dp) = match st {
                 Some(st) => (st.epoch, &st.dp),
                 None => (rt.epoch, &empty),
             };
-            let algs = dep_cur.switches.get(name).unwrap_or(&empty_algs).clone();
+            let next_algs = dep_next.switches.get(name).unwrap_or(&empty_algs).clone();
+            // A switch that retains a prior epoch already flipped to the
+            // *next* deployment mid-rollout (a crashed controller can leave
+            // the fleet like this); its serving program is the next one.
+            let flipped = st.is_some_and(|st| st.prior.is_some());
+            let cur_algs = dep_cur.switches.get(name).unwrap_or(&empty_algs).clone();
+            let algs = if flipped {
+                next_algs.clone()
+            } else {
+                cur_algs.clone()
+            };
             serving.push(RwLock::new(Arc::new(EpochPlane {
                 epoch,
                 algs,
                 snap: TableSnapshot::build(&dep_cur.layout, dp),
             })));
+            // Mirror any mid-flight staged/prior/token remnants so a plane
+            // built *after* a controller crash agrees with the runtime's
+            // switch agents message for message during recovery.
+            let staged = st.and_then(|st| st.staged.as_ref()).map(|(e, dp)| {
+                (
+                    *e,
+                    Arc::new(EpochPlane {
+                        epoch: *e,
+                        algs: next_algs.clone(),
+                        snap: TableSnapshot::build(&dep_cur.layout, dp),
+                    }),
+                )
+            });
+            let prior = st.and_then(|st| st.prior.as_ref()).map(|(e, dp)| {
+                (
+                    *e,
+                    Arc::new(EpochPlane {
+                        epoch: *e,
+                        algs: cur_algs,
+                        snap: TableSnapshot::build(&dep_cur.layout, dp),
+                    }),
+                )
+            });
             control.push(PlaneControl {
                 epoch,
-                staged: None,
-                prior: None,
-                tokens: BTreeSet::new(),
+                staged,
+                prior,
+                tokens: st.map(|st| st.tokens.clone()).unwrap_or_default(),
             });
-            staged_algs.push(dep_next.switches.get(name).unwrap_or(&empty_algs).clone());
+            staged_algs.push(next_algs);
         }
         let paths = dep_cur
             .paths
@@ -251,7 +308,26 @@ impl LiveTrafficPlane {
     /// The epoch a switch currently serves (`None` if unknown here).
     pub fn serving_epoch(&self, switch: &str) -> Option<u64> {
         let i = *self.index.get(switch)?;
-        Some(self.serving[i].read().unwrap().epoch)
+        Some(read_lock(&self.serving[i]).epoch)
+    }
+
+    /// True when the plane agrees with the runtime on every switch the
+    /// runtime knows: the serving epoch matches, and the plane retains
+    /// staged/prior state exactly where the runtime's switch agent does.
+    /// This is the traffic-plane half of
+    /// [`Runtime::epochs_coherent_with_plane`](crate::Runtime::epochs_coherent_with_plane).
+    pub fn mirrors(&self, rt: &Runtime<'_>) -> bool {
+        let control = lock_control(&self.control);
+        self.names.iter().enumerate().all(|(i, name)| {
+            let Some(st) = rt.states.get(name) else {
+                return true; // failed/unknown switch: no runtime state to mirror
+            };
+            let ctl = &control[i];
+            read_lock(&self.serving[i]).epoch == st.epoch
+                && ctl.epoch == st.epoch
+                && ctl.staged.as_ref().map(|(e, _)| *e) == st.staged.as_ref().map(|(e, _)| *e)
+                && ctl.prior.as_ref().map(|(e, _)| *e) == st.prior.as_ref().map(|(e, _)| *e)
+        })
     }
 
     /// Apply one delivered control message, mirroring the rollout engine's
@@ -261,7 +337,12 @@ impl LiveTrafficPlane {
         let Some(&i) = self.index.get(&msg.switch) else {
             return; // message to a switch the plane does not know: dropped
         };
-        let mut control = self.control.lock().unwrap();
+        if matches!(msg.op, ControlOp::Query) {
+            // Read-only state probe (recovery): nothing to apply, and no
+            // token is recorded — a retried query must never be suppressed.
+            return;
+        }
+        let mut control = lock_control(&self.control);
         let ctl = &mut control[i];
         if ctl.tokens.contains(&msg.token) {
             return;
@@ -279,12 +360,13 @@ impl LiveTrafficPlane {
                     ctl.staged = Some((msg.epoch, plane));
                 }
             }
+            ControlOp::Query => return, // handled above; kept for exhaustiveness
             ControlOp::Commit => {
                 if ctl.epoch != msg.epoch {
                     if let Some((e, plane)) = ctl.staged.take() {
                         if e == msg.epoch {
                             let old = {
-                                let mut s = self.serving[i].write().unwrap();
+                                let mut s = write_lock(&self.serving[i]);
                                 std::mem::replace(&mut *s, plane)
                             };
                             ctl.prior = Some((ctl.epoch, old));
@@ -299,7 +381,7 @@ impl LiveTrafficPlane {
             ControlOp::Rollback => {
                 if ctl.epoch == msg.epoch {
                     if let Some((e, plane)) = ctl.prior.take() {
-                        *self.serving[i].write().unwrap() = plane;
+                        *write_lock(&self.serving[i]) = plane;
                         ctl.epoch = e;
                         self.generation.fetch_add(1, Ordering::Release);
                     }
@@ -317,16 +399,31 @@ impl LiveTrafficPlane {
     /// and the finalize sweep that clears staged/prior/tokens. `winner` is
     /// the deployment of whichever output the runtime now serves.
     pub fn align(&self, rt: &Runtime<'_>, winner: &CompiledDeployment) {
+        self.resync(rt, winner, &self.names);
+    }
+
+    /// Re-snapshot only the named switches from the runtime — the targeted
+    /// form of [`LiveTrafficPlane::align`] the anti-entropy audit uses:
+    /// after [`Runtime::audit_switches`](crate::Runtime::audit_switches)
+    /// repairs drift, pass
+    /// [`AuditReport::drifted_switches`](crate::AuditReport::drifted_switches)
+    /// so repaired state becomes servable without rebuilding the healthy
+    /// majority. `winner` is the deployment of the output the runtime
+    /// serves. Unknown names are ignored.
+    pub fn resync(&self, rt: &Runtime<'_>, winner: &CompiledDeployment, switches: &[String]) {
         let empty = DataPlaneState::new();
         let empty_algs: Arc<Vec<CompiledAlgorithm>> = Arc::new(Vec::new());
-        let mut control = self.control.lock().unwrap();
-        for (i, name) in self.names.iter().enumerate() {
+        let mut control = lock_control(&self.control);
+        for name in switches {
+            let Some(&i) = self.index.get(name) else {
+                continue;
+            };
             let (epoch, dp) = match rt.states.get(name) {
                 Some(st) => (st.epoch, &st.dp),
                 None => (rt.epoch, &empty),
             };
             let algs = winner.switches.get(name).unwrap_or(&empty_algs).clone();
-            *self.serving[i].write().unwrap() = Arc::new(EpochPlane {
+            *write_lock(&self.serving[i]) = Arc::new(EpochPlane {
                 epoch,
                 algs,
                 snap: TableSnapshot::build(&self.layout, dp),
@@ -537,11 +634,7 @@ fn run_worker(
         // packet in steady state, a full re-read only after a flip.
         let gen = plane.generation.load(Ordering::Acquire);
         if gen != cache_gen {
-            cache = plane
-                .serving
-                .iter()
-                .map(|l| l.read().unwrap().clone())
-                .collect();
+            cache = plane.serving.iter().map(|l| read_lock(l).clone()).collect();
             cache_gen = gen;
         }
         let base = packet_base(cfg.seed, idx);
@@ -690,8 +783,15 @@ pub fn replay_interpreted(rt: &Runtime<'_>, cfg: &ReplayConfig) -> ReplayReport 
         if !paths.is_empty() {
             let path = &paths[(base % paths.len() as u64) as usize];
             for &sw in path {
-                let dp = states.get_mut(sw).expect("stream switches have state");
-                for (alg, ids) in &streams[sw] {
+                // Paths are pre-filtered to stream switches, but a hop
+                // without state is a skip, not a panic, in a replay loop.
+                let Some(dp) = states.get_mut(sw) else {
+                    continue;
+                };
+                let Some(algs) = streams.get(sw) else {
+                    continue;
+                };
+                for (alg, ids) in algs {
                     effects += execute(alg, ids, &mut pkt, dp).len() as u64;
                 }
             }
@@ -772,6 +872,81 @@ pub fn replay_under_rollout<'a>(
     Ok(RolloutReplayOutcome {
         replay: aggregate(outs, workers, elapsed),
         rollout,
+    })
+}
+
+/// A replay and the restart recovery it ran under.
+#[derive(Debug)]
+pub struct RecoveryReplayOutcome {
+    /// The traffic-side observations.
+    pub replay: ReplayReport,
+    /// The control-side report from [`Runtime::recover`].
+    pub recovery: RecoveryReport,
+}
+
+/// Run [`Runtime::recover`] while worker threads replay traffic through
+/// the mid-flight state a crashed controller left behind.
+///
+/// The plane is built from the runtime *as the crash left it* — staged
+/// epochs, retained priors, switches already flipped, and the idempotency
+/// tokens each switch consumed — so recovery's re-driven messages land on
+/// the traffic plane exactly as they land on the switch agents. Traffic
+/// establishes itself first (a tenth of the packet budget), recovery runs
+/// over a [`TrafficChannel`] wrapping `channel` (the same channel instance
+/// the crashed rollout used: the network outlives the controller), the
+/// plane is re-aligned with whichever epoch won, and the rest of the
+/// traffic drains. Epoch pinning holds throughout, so
+/// [`ReplayReport::mixed_epoch_exposure`] must come back zero even though
+/// the fleet is mid-transaction when traffic starts.
+pub fn replay_under_recovery<'a>(
+    rt: &mut Runtime<'a>,
+    new_output: &'a CompileOutput,
+    store: &mut dyn IntentStore,
+    channel: &mut dyn ControlChannel,
+    rollout_cfg: &RolloutConfig,
+    replay_cfg: &ReplayConfig,
+) -> Result<RecoveryReplayOutcome, RuntimeError> {
+    let layout = Arc::new(ProgramLayout::unioned(&[&rt.output().ir, &new_output.ir]));
+    let dep_cur = CompiledDeployment::with_layout(rt.output(), layout.clone());
+    let dep_next = CompiledDeployment::with_layout(new_output, layout);
+    let plane = LiveTrafficPlane::for_rollout(rt, &dep_cur, &dep_next);
+    let workers = replay_cfg.workers.max(1);
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (outs, recovery) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| s.spawn(|| run_worker(&plane, replay_cfg, &next, &stop)))
+            .collect();
+        // Traffic flows through the crashed fleet before recovery starts.
+        let warm = replay_cfg.packets / 10;
+        while next.load(Ordering::Relaxed) < warm && !handles.iter().all(|h| h.is_finished()) {
+            std::thread::yield_now();
+        }
+        let mut traffic = TrafficChannel::new(channel, &plane);
+        let recovery = rt.recover(new_output, store, &mut traffic, rollout_cfg);
+        match &recovery {
+            Ok(report) => {
+                let winner = if report.committed {
+                    &dep_next
+                } else {
+                    &dep_cur
+                };
+                plane.align(rt, winner);
+            }
+            Err(_) => stop.store(true, Ordering::Relaxed),
+        }
+        let outs: Vec<WorkerOut> = handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect();
+        (outs, recovery)
+    });
+    let elapsed = t0.elapsed();
+    let recovery = recovery?;
+    Ok(RecoveryReplayOutcome {
+        replay: aggregate(outs, workers, elapsed),
+        recovery,
     })
 }
 

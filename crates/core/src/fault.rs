@@ -18,6 +18,91 @@ use lyra_topo::{scope_health, DegradeReport, FaultSet, ScopeHealth};
 
 use crate::{CompileError, CompileOutput, CompileRequest, Compiler, SCOPES_SOURCE};
 
+/// How one switch-held table entry (or epoch tag) diverged from the
+/// controller-expected state — the drift classes the anti-entropy audit
+/// ([`crate::Runtime::audit_switches`]) detects and repairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// The controller expects the entry; the switch lost it (bit rot,
+    /// reboot from stale flash, an operator delete behind the
+    /// controller's back).
+    Missing,
+    /// The switch holds an entry the controller never installed.
+    Extra,
+    /// The entry exists on both sides with different values (a stale
+    /// value from an earlier epoch that never got overwritten).
+    Stale,
+    /// The switch's epoch tag regressed from the deployment epoch (a
+    /// reboot into an old image); its whole shard is suspect.
+    StaleEpoch,
+}
+
+impl DriftKind {
+    /// Stable name for reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftKind::Missing => "missing",
+            DriftKind::Extra => "extra",
+            DriftKind::Stale => "stale",
+            DriftKind::StaleEpoch => "stale-epoch",
+        }
+    }
+}
+
+/// One drifted entry (or epoch tag) found by the anti-entropy audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftFinding {
+    /// The switch whose held state diverged.
+    pub switch: String,
+    /// The extern table the entry belongs to (empty for
+    /// [`DriftKind::StaleEpoch`], which is per-switch).
+    pub table: String,
+    /// The drifted key (0 for [`DriftKind::StaleEpoch`]).
+    pub key: u64,
+    /// How it diverged.
+    pub kind: DriftKind,
+    /// The value the controller expects (`None` for
+    /// [`DriftKind::Extra`]).
+    pub expected: Option<u64>,
+    /// The value the switch holds (`None` for [`DriftKind::Missing`]).
+    pub found: Option<u64>,
+}
+
+/// A deliberate switch-state corruption, for seeding drift in audit
+/// tests and `lyrac --audit-drift` demonstrations. Applied behind the
+/// controller's back with [`crate::Runtime::inject_drift`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriftOp {
+    /// Silently delete an entry the controller installed.
+    Remove {
+        /// Table to corrupt.
+        table: String,
+        /// Key to delete.
+        key: u64,
+    },
+    /// Overwrite an installed entry's value.
+    Corrupt {
+        /// Table to corrupt.
+        table: String,
+        /// Key whose value to overwrite.
+        key: u64,
+        /// The wrong value.
+        value: u64,
+    },
+    /// Insert an entry the controller never installed.
+    Insert {
+        /// Table to pollute.
+        table: String,
+        /// The foreign key.
+        key: u64,
+        /// Its value.
+        value: u64,
+    },
+    /// Regress the switch's epoch tag (simulates a reboot into an old
+    /// image).
+    RegressEpoch,
+}
+
 /// One extern whose shard layout changed between two placements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExternShardChange {

@@ -68,18 +68,24 @@ pub mod channel;
 pub mod dataplane;
 pub mod fault;
 pub mod oracle;
+pub mod recovery;
 pub mod rollout;
 pub mod runtime;
 
 pub use cache::{synth_key, SynthCache};
 pub use channel::{ControlChannel, ControlMsg, ControlOp, Delivery, LossyChannel, ReliableChannel};
 pub use dataplane::{
-    replay_compiled, replay_interpreted, replay_under_rollout, CompiledDeployment,
-    LiveTrafficPlane, ReplayConfig, ReplayReport, RolloutReplayOutcome, TrafficChannel,
+    replay_compiled, replay_interpreted, replay_under_recovery, replay_under_rollout,
+    CompiledDeployment, LiveTrafficPlane, RecoveryReplayOutcome, ReplayConfig, ReplayReport,
+    RolloutReplayOutcome, TrafficChannel,
 };
-pub use fault::{FaultRecompile, PlacementDiff};
+pub use fault::{DriftFinding, DriftKind, DriftOp, FaultRecompile, PlacementDiff};
 pub use oracle::{check_output, OracleConfig, OracleReport};
-pub use rollout::{RolloutConfig, RolloutReport, SwitchRollout};
+pub use recovery::{AuditReport, RecoveryReport, SwitchProbe};
+pub use rollout::{
+    CrashPlan, CrashPoint, FileIntentStore, IntentRecord, IntentStore, MemIntentStore,
+    RolloutConfig, RolloutReport, SwitchRollout,
+};
 pub use runtime::{Runtime, RuntimeError};
 
 use std::sync::Arc;

@@ -1,0 +1,1165 @@
+//! Controller restart recovery and switch-state anti-entropy.
+//!
+//! The rollout engine ([`crate::rollout`]) keeps switches epoch-coherent
+//! while the controller stays alive. This module makes the control plane
+//! survive its *own* failures:
+//!
+//! * **Restart recovery** ([`Runtime::recover`]): after a controller
+//!   crash mid-rollout (injected by a
+//!   [`CrashPlan`](crate::rollout::CrashPlan), `LYR0570`), the restarted
+//!   controller replays the write-ahead intent log, queries each switch's
+//!   epoch and staged state over the control channel
+//!   ([`ControlOp::Query`]), and drives the in-flight transaction to a
+//!   deterministic **all-commit** or **all-rollback** outcome. Commit is
+//!   driven only when the log proves it completable — a journaled commit
+//!   decision *and* every switch answering with the staged (or already
+//!   serving) epoch; anything less rolls back, reusing the journaled
+//!   idempotency tokens so re-driven messages are duplicate-safe across
+//!   the restart.
+//! * **Anti-entropy** ([`Runtime::audit_switches`]): diffs
+//!   controller-expected [`DataPlaneState`](lyra_ir::DataPlaneState)
+//!   against switch-held state using per-table content digests,
+//!   classifies drift ([`DriftKind`]: missing / extra / stale /
+//!   stale-epoch), and issues minimal repair installs. Pair with
+//!   [`crate::LiveTrafficPlane::resync`] to make repaired state
+//!   immediately servable on the traffic plane.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use lyra_diag::json::{Object, Value};
+use lyra_diag::{codes, Diagnostic};
+
+use crate::channel::{ControlChannel, ControlMsg, ControlOp, Rng};
+use crate::fault::{DriftFinding, DriftKind, DriftOp};
+use crate::rollout::{
+    force_rollback, send, IntentRecord, IntentStore, RolloutConfig, RolloutReport,
+};
+use crate::runtime::{Runtime, RuntimeError};
+use crate::CompileOutput;
+
+/// What one switch answered to a recovery state query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchProbe {
+    /// The epoch the switch is serving.
+    pub epoch: u64,
+    /// The staged-but-uncommitted epoch it retains, if any.
+    pub staged_epoch: Option<u64>,
+    /// The retained prior epoch, if any (set after a commit until the
+    /// rollout finalizes).
+    pub prior_epoch: Option<u64>,
+}
+
+/// The outcome of one [`Runtime::recover`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// The in-flight epoch the recovery drove (0 when nothing was in
+    /// flight).
+    pub epoch: u64,
+    /// The epoch a rollback restores (from the journal's `Begin` record).
+    pub prior_epoch: u64,
+    /// A crashed rollout was found (in the journal or on the switches).
+    pub in_flight: bool,
+    /// Recovery completed the commit: every switch serves [`Self::epoch`].
+    pub committed: bool,
+    /// Recovery rolled the in-flight epoch back everywhere (the epoch is
+    /// burned, never reused).
+    pub rolled_back: bool,
+    /// Journal records replayed.
+    pub replayed_records: usize,
+    /// Switches queried over the channel.
+    pub queried: u64,
+    /// Queries that exhausted their retry budget (each forces the
+    /// rollback outcome, `LYR0573`).
+    pub query_failures: u64,
+    /// Re-driven messages that reused a token journaled before the crash.
+    pub reused_tokens: u64,
+    /// Re-driven messages that needed a fresh token (allocated past every
+    /// journaled token, so they can never collide).
+    pub fresh_tokens: u64,
+    /// Switches reverted out-of-band because even the recovery rollback
+    /// budget was exhausted.
+    pub forced_rollbacks: u64,
+    /// Transmission attempts across queries and re-driven messages.
+    pub messages_sent: u64,
+    /// Retransmissions beyond the first attempt per logical message.
+    pub retries: u64,
+    /// Structured diagnostics (`LYR057x`), in occurrence order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// End-to-end wall clock.
+    pub elapsed: Duration,
+}
+
+impl RecoveryReport {
+    /// Serialize for the CLI (`--recover` with `--emit-stats`).
+    pub fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.push("epoch", Value::Number(self.epoch as f64));
+        o.push("prior_epoch", Value::Number(self.prior_epoch as f64));
+        o.push("in_flight", Value::Bool(self.in_flight));
+        o.push("committed", Value::Bool(self.committed));
+        o.push("rolled_back", Value::Bool(self.rolled_back));
+        o.push(
+            "replayed_records",
+            Value::Number(self.replayed_records as f64),
+        );
+        o.push("queried", Value::Number(self.queried as f64));
+        o.push("query_failures", Value::Number(self.query_failures as f64));
+        o.push("reused_tokens", Value::Number(self.reused_tokens as f64));
+        o.push("fresh_tokens", Value::Number(self.fresh_tokens as f64));
+        o.push(
+            "forced_rollbacks",
+            Value::Number(self.forced_rollbacks as f64),
+        );
+        o.push("messages_sent", Value::Number(self.messages_sent as f64));
+        o.push("retries", Value::Number(self.retries as f64));
+        o.push("elapsed_us", Value::Number(self.elapsed.as_micros() as f64));
+        o.push(
+            "diagnostics",
+            Value::Array(self.diagnostics.iter().map(|d| d.to_json()).collect()),
+        );
+        Value::Object(o)
+    }
+}
+
+/// The outcome of one [`Runtime::audit_switches`] anti-entropy pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Live switches audited.
+    pub switches_audited: u64,
+    /// Per-table content digests compared (the cheap pass; only tables
+    /// whose digests disagree are diffed key by key).
+    pub digests_compared: u64,
+    /// Every drifted entry / epoch tag found, in switch order.
+    pub findings: Vec<DriftFinding>,
+    /// Repairs issued (installs, removals, epoch-tag resets).
+    pub repaired: u64,
+    /// Switches that held at least one drifted entry — what a traffic
+    /// plane must re-snapshot ([`crate::LiveTrafficPlane::resync`]).
+    pub drifted_switches: Vec<String>,
+    /// Structured diagnostics (`LYR0575` / `LYR0576`).
+    pub diagnostics: Vec<Diagnostic>,
+    /// End-to-end wall clock.
+    pub elapsed: Duration,
+}
+
+impl AuditReport {
+    /// True when switch-held state matched the controller's expectation
+    /// everywhere.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Finding counts per drift class.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut c: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *c.entry(f.kind.name()).or_default() += 1;
+        }
+        c
+    }
+
+    /// Serialize for the CLI (`--audit` with `--emit-stats`).
+    pub fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        o.push(
+            "switches_audited",
+            Value::Number(self.switches_audited as f64),
+        );
+        o.push(
+            "digests_compared",
+            Value::Number(self.digests_compared as f64),
+        );
+        o.push("repaired", Value::Number(self.repaired as f64));
+        let mut counts = Object::new();
+        for (k, v) in self.counts() {
+            counts.push(k, Value::Number(v as f64));
+        }
+        o.push("drift", Value::Object(counts));
+        o.push(
+            "findings",
+            Value::Array(
+                self.findings
+                    .iter()
+                    .map(|f| {
+                        let mut fo = Object::new();
+                        fo.push("switch", Value::str(f.switch.clone()));
+                        fo.push("table", Value::str(f.table.clone()));
+                        fo.push("key", Value::Number(f.key as f64));
+                        fo.push("kind", Value::str(f.kind.name()));
+                        Value::Object(fo)
+                    })
+                    .collect(),
+            ),
+        );
+        o.push("elapsed_us", Value::Number(self.elapsed.as_micros() as f64));
+        Value::Object(o)
+    }
+}
+
+/// FNV-1a content digest of one table shard — the cheap comparison the
+/// audit runs before diffing a table key by key.
+pub(crate) fn table_digest(entries: &BTreeMap<u64, u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (&k, &v) in entries {
+        for word in [k, v] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// The token sequence number embedded in an idempotency token
+/// (`(epoch << 20) | seq`).
+fn token_seq(token: u64) -> u64 {
+    token & 0xF_FFFF
+}
+
+impl<'a> Runtime<'a> {
+    /// Restart recovery: replay the write-ahead intent log, query every
+    /// switch's epoch state over `channel`, and drive any in-flight
+    /// rollout to a deterministic all-commit or all-rollback outcome.
+    ///
+    /// The decision rule is conservative and deterministic:
+    ///
+    /// * **Commit** only when the journal holds a commit decision for the
+    ///   in-flight epoch *and* every target switch answered the state
+    ///   query with that epoch staged or already serving. Re-driven
+    ///   commits reuse the journaled tokens, so switches that applied
+    ///   them before the crash acknowledge without re-applying.
+    /// * **Rollback** otherwise — including when the only evidence of the
+    ///   in-flight rollout is switch-held staged state (an empty or
+    ///   missing journal never drives a commit). Rollback messages get
+    ///   the engine's 4x budget with out-of-band revert as the last
+    ///   resort, exactly like a live rollout.
+    ///
+    /// Controller-volatile knowledge is rebuilt rather than trusted: the
+    /// epoch allocator is restored past every journaled epoch, so burned
+    /// epochs stay burned across the restart. Calling `recover` when
+    /// nothing is in flight (or twice in a row) is a safe no-op.
+    ///
+    /// `new_output` is the compilation the crashed rollout was applying
+    /// (the restarted controller re-derives it; a commit outcome flips
+    /// the runtime to it, a rollback leaves the prior output serving).
+    pub fn recover(
+        &mut self,
+        new_output: &'a CompileOutput,
+        store: &mut dyn IntentStore,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+    ) -> Result<RecoveryReport, RuntimeError> {
+        let t0 = Instant::now();
+        let records = store.load()?;
+        let mut report = RecoveryReport {
+            replayed_records: records.len(),
+            ..Default::default()
+        };
+
+        // Burned epochs stay burned: restore the allocator past every
+        // journaled epoch before anything else.
+        let max_logged = records.iter().map(|r| r.epoch()).max().unwrap_or(0);
+        self.epoch_counter = self.epoch_counter.max(max_logged);
+
+        // Replay the journal: the in-flight rollout is the last `Begin`
+        // without a matching `End`; collect its decision and tokens.
+        let mut inflight: Option<(u64, u64, Vec<String>)> = None;
+        let mut decision: Option<bool> = None;
+        let mut logged_tokens: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut max_seq = 0u64;
+        for rec in &records {
+            match rec {
+                IntentRecord::Begin {
+                    epoch,
+                    prior_epoch,
+                    targets,
+                } => {
+                    inflight = Some((*epoch, *prior_epoch, targets.clone()));
+                    decision = None;
+                    logged_tokens.clear();
+                    max_seq = 0;
+                }
+                IntentRecord::Sent {
+                    epoch,
+                    switch,
+                    token,
+                    op,
+                } => {
+                    if inflight.as_ref().is_some_and(|(e, ..)| e == epoch) {
+                        logged_tokens.insert((switch.clone(), op.clone()), *token);
+                        max_seq = max_seq.max(token_seq(*token));
+                    }
+                }
+                IntentRecord::Decision { epoch, commit } => {
+                    if inflight.as_ref().is_some_and(|(e, ..)| e == epoch) {
+                        decision = Some(*commit);
+                    }
+                }
+                IntentRecord::End { epoch, .. } => {
+                    if inflight.as_ref().is_some_and(|(e, ..)| e == epoch) {
+                        inflight = None;
+                    }
+                }
+            }
+        }
+
+        // No journal evidence? The switches themselves may still hold an
+        // in-flight rollout (a crash with no intent store attached): any
+        // staged or off-epoch state names the epoch to roll back. Commit
+        // is never driven without a journaled decision.
+        let (epoch, prior_epoch, targets, from_log) = match inflight {
+            Some((e, p, t)) => (e, p, t, true),
+            None => {
+                let stray = self
+                    .states
+                    .values()
+                    .flat_map(|st| {
+                        let staged = st.staged.as_ref().map(|(e, _)| *e);
+                        [
+                            Some(st.epoch).filter(|e| *e != self.epoch),
+                            staged.filter(|e| *e > self.epoch),
+                        ]
+                    })
+                    .flatten()
+                    .max();
+                match stray {
+                    None => {
+                        // Nothing in flight anywhere: drop any leftover
+                        // tokens and report the no-op.
+                        for st in self.states.values_mut() {
+                            st.tokens.clear();
+                        }
+                        report.elapsed = t0.elapsed();
+                        return Ok(report);
+                    }
+                    Some(e) => (e, self.epoch, self.states.keys().cloned().collect(), false),
+                }
+            }
+        };
+        self.epoch_counter = self.epoch_counter.max(epoch);
+        report.epoch = epoch;
+        report.prior_epoch = prior_epoch;
+        report.in_flight = true;
+
+        let mut rng = Rng::new(config.seed ^ epoch.rotate_left(23) ^ 0x5eed_c0de);
+        let mut seq = max_seq;
+        let mut scratch = RolloutReport::default();
+
+        // Query every target switch's epoch state over the channel.
+        let mut probes: BTreeMap<String, Option<SwitchProbe>> = BTreeMap::new();
+        for sw in &targets {
+            if !self.states.contains_key(sw) {
+                // The switch is gone (died after the crash); it cannot
+                // confirm anything, which forces the rollback outcome.
+                report.query_failures += 1;
+                probes.insert(sw.clone(), None);
+                continue;
+            }
+            seq += 1;
+            let msg = ControlMsg {
+                switch: sw.clone(),
+                epoch,
+                token: (epoch << 20) | seq,
+                op: ControlOp::Query,
+            };
+            report.queried += 1;
+            let ok = send(
+                &mut self.states,
+                channel,
+                &msg,
+                config.max_attempts,
+                config,
+                &mut rng,
+                &mut scratch,
+            );
+            if ok {
+                let probe = self.states.get(sw).map(|st| SwitchProbe {
+                    epoch: st.epoch,
+                    staged_epoch: st.staged.as_ref().map(|(e, _)| *e),
+                    prior_epoch: st.prior.as_ref().map(|(e, _)| *e),
+                });
+                probes.insert(sw.clone(), probe);
+            } else {
+                report.query_failures += 1;
+                probes.insert(sw.clone(), None);
+                report.diagnostics.push(Diagnostic::warning(
+                    codes::RECOVERY_QUERY_FAILED,
+                    format!(
+                        "switch `{sw}` did not answer the recovery state query within \
+                         {} attempts; its state is unknown, forcing rollback",
+                        config.max_attempts
+                    ),
+                ));
+            }
+        }
+
+        // Deterministic outcome: commit only when provably completable.
+        let can_commit = from_log
+            && decision == Some(true)
+            && targets.iter().all(|sw| {
+                probes
+                    .get(sw)
+                    .and_then(|p| *p)
+                    .is_some_and(|p| p.epoch == epoch || p.staged_epoch == Some(epoch))
+            });
+
+        let mut commit_failed = false;
+        if can_commit {
+            for sw in &targets {
+                if self.states.get(sw).is_some_and(|st| st.epoch == epoch) {
+                    continue; // already flipped before the crash
+                }
+                let reused = logged_tokens.get(&(sw.clone(), "commit".to_string()));
+                let token = match reused {
+                    Some(&t) => {
+                        report.reused_tokens += 1;
+                        t
+                    }
+                    None => {
+                        seq += 1;
+                        report.fresh_tokens += 1;
+                        (epoch << 20) | seq
+                    }
+                };
+                let msg = ControlMsg {
+                    switch: sw.clone(),
+                    epoch,
+                    token,
+                    op: ControlOp::Commit,
+                };
+                // Write-ahead even while recovering: a second crash must
+                // find these tokens too.
+                store.append(&IntentRecord::Sent {
+                    epoch,
+                    switch: sw.clone(),
+                    token,
+                    op: "commit".to_string(),
+                })?;
+                if !send(
+                    &mut self.states,
+                    channel,
+                    &msg,
+                    config.max_attempts,
+                    config,
+                    &mut rng,
+                    &mut scratch,
+                ) {
+                    commit_failed = true;
+                    break;
+                }
+            }
+            // A reused token may have been consumed without a flip (the
+            // switch recorded it but never staged); verify before
+            // finalizing — anything short of all-flipped rolls back.
+            let all_flipped = !commit_failed
+                && targets
+                    .iter()
+                    .all(|sw| self.states.get(sw).is_none_or(|st| st.epoch == epoch));
+            if all_flipped {
+                for st in self.states.values_mut() {
+                    st.staged = None;
+                    st.prior = None;
+                    st.tokens.clear();
+                }
+                self.epoch = epoch;
+                self.output = new_output;
+                report.committed = true;
+                report.diagnostics.push(Diagnostic::warning(
+                    codes::RECOVERY_COMMITTED,
+                    format!(
+                        "restart recovery completed the in-flight rollout: epoch {epoch} \
+                         committed on every switch"
+                    ),
+                ));
+                store.append(&IntentRecord::End {
+                    epoch,
+                    committed: true,
+                })?;
+                self.refresh_expected();
+                report.messages_sent = scratch.messages_sent;
+                report.retries = scratch.retries;
+                report.elapsed = t0.elapsed();
+                return Ok(report);
+            }
+        }
+
+        // Rollback: revert every target to the prior epoch, reusing
+        // journaled rollback tokens where the crashed controller had
+        // already issued them.
+        for sw in &targets {
+            let Some(_) = self.states.get(sw) else {
+                continue; // gone: nothing to revert
+            };
+            let reused = logged_tokens.get(&(sw.clone(), "rollback".to_string()));
+            let token = match reused {
+                Some(&t) => {
+                    report.reused_tokens += 1;
+                    t
+                }
+                None => {
+                    seq += 1;
+                    report.fresh_tokens += 1;
+                    (epoch << 20) | seq
+                }
+            };
+            let msg = ControlMsg {
+                switch: sw.clone(),
+                epoch,
+                token,
+                op: ControlOp::Rollback,
+            };
+            store.append(&IntentRecord::Sent {
+                epoch,
+                switch: sw.clone(),
+                token,
+                op: "rollback".to_string(),
+            })?;
+            if !send(
+                &mut self.states,
+                channel,
+                &msg,
+                config.max_attempts.saturating_mul(4),
+                config,
+                &mut rng,
+                &mut scratch,
+            ) {
+                if let Some(st) = self.states.get_mut(sw) {
+                    force_rollback(st, epoch);
+                }
+                report.forced_rollbacks += 1;
+                report.diagnostics.push(Diagnostic::warning(
+                    codes::ROLLOUT_CHANNEL_EXHAUSTED,
+                    format!(
+                        "recovery rollback of `{sw}` exhausted the control channel \
+                         ({} attempts); reverted out-of-band",
+                        config.max_attempts.saturating_mul(4)
+                    ),
+                ));
+            }
+        }
+        // Finalize sweep, exactly like a live rollout: drop every
+        // staged/prior remnant (including ones from older crashed
+        // attempts the targeted rollback cannot name) and all tokens.
+        for st in self.states.values_mut() {
+            if st.epoch == epoch {
+                force_rollback(st, epoch);
+            }
+            st.staged = None;
+            st.prior = None;
+            st.tokens.clear();
+            debug_assert_eq!(
+                st.epoch, prior_epoch,
+                "recovery rollback must restore the prior epoch"
+            );
+        }
+        self.epoch = prior_epoch;
+        report.rolled_back = true;
+        report.diagnostics.push(
+            Diagnostic::warning(
+                codes::RECOVERY_ROLLED_BACK,
+                format!(
+                    "restart recovery rolled the in-flight rollout back; epoch \
+                     {prior_epoch} is serving on every switch"
+                ),
+            )
+            .with_note("the burned epoch is never reused; retry allocates a fresh one"),
+        );
+        if commit_failed || (from_log && decision == Some(true) && !can_commit) {
+            // The commit had been decided but could not be proven or
+            // completed — say why the conservative outcome won.
+            report.diagnostics.push(Diagnostic::warning(
+                codes::RECOVERY_ROLLED_BACK,
+                "a journaled commit decision could not be completed (unreachable or \
+                 unconfirmed switches); rolled back to preserve all-or-nothing"
+                    .to_string(),
+            ));
+        }
+        store.append(&IntentRecord::End {
+            epoch,
+            committed: false,
+        })?;
+        self.refresh_expected();
+        report.messages_sent = scratch.messages_sent;
+        report.retries = scratch.retries;
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Anti-entropy reconciliation: diff controller-expected state
+    /// against switch-held state and repair the drift in place.
+    ///
+    /// Per live switch, per extern table, a content digest of the
+    /// expected and held shards is compared; only tables whose digests
+    /// disagree are diffed key by key. Every divergence is classified
+    /// ([`DriftKind`]) and repaired minimally — missing entries
+    /// re-installed, foreign entries removed, stale values overwritten,
+    /// regressed epoch tags reset. Globals are traffic-mutable and out
+    /// of scope; extern tables are control-plane-owned ground truth.
+    ///
+    /// The repairs touch only runtime switch state. When a
+    /// [`crate::LiveTrafficPlane`] is serving this runtime, pass
+    /// [`AuditReport::drifted_switches`] to
+    /// [`crate::LiveTrafficPlane::resync`] so repaired state is
+    /// immediately servable.
+    pub fn audit_switches(&mut self) -> AuditReport {
+        let t0 = Instant::now();
+        let mut report = AuditReport::default();
+        let deployment_epoch = self.epoch;
+        let empty: BTreeMap<u64, u64> = BTreeMap::new();
+        for (sw, st) in self.states.iter_mut() {
+            report.switches_audited += 1;
+            let before = report.findings.len();
+            // Epoch-tag drift first: a regressed switch is reset to the
+            // deployment epoch (its entries are repaired below anyway).
+            if st.epoch != deployment_epoch {
+                report.findings.push(DriftFinding {
+                    switch: sw.clone(),
+                    table: String::new(),
+                    key: 0,
+                    kind: DriftKind::StaleEpoch,
+                    expected: Some(deployment_epoch),
+                    found: Some(st.epoch),
+                });
+                st.epoch = deployment_epoch;
+                st.staged = None;
+                st.prior = None;
+                report.repaired += 1;
+            }
+            let expected = self.expected.get(sw);
+            let exp_tables = expected.map(|dp| &dp.externs);
+            let table_names: BTreeSet<String> = exp_tables
+                .into_iter()
+                .flat_map(|t| t.keys().cloned())
+                .chain(st.dp.externs.keys().cloned())
+                .collect();
+            for table in &table_names {
+                let exp = exp_tables.and_then(|t| t.get(table)).unwrap_or(&empty);
+                let held = st.dp.externs.get(table).unwrap_or(&empty);
+                report.digests_compared += 1;
+                if table_digest(exp) == table_digest(held) {
+                    continue;
+                }
+                // Digest mismatch: diff the shard key by key and collect
+                // the minimal repair set.
+                let mut repairs: Vec<(u64, Option<u64>)> = Vec::new();
+                let keys: BTreeSet<u64> = exp.keys().chain(held.keys()).copied().collect();
+                for k in keys {
+                    let (kind, expect, found) = match (exp.get(&k), held.get(&k)) {
+                        (Some(&e), None) => (DriftKind::Missing, Some(e), None),
+                        (None, Some(&f)) => (DriftKind::Extra, None, Some(f)),
+                        (Some(&e), Some(&f)) if e != f => (DriftKind::Stale, Some(e), Some(f)),
+                        _ => continue,
+                    };
+                    report.findings.push(DriftFinding {
+                        switch: sw.clone(),
+                        table: table.clone(),
+                        key: k,
+                        kind,
+                        expected: expect,
+                        found,
+                    });
+                    repairs.push((k, expect));
+                }
+                let shard = st.dp.externs.entry(table.clone()).or_default();
+                for (k, v) in repairs {
+                    match v {
+                        Some(v) => {
+                            shard.insert(k, v);
+                        }
+                        None => {
+                            shard.remove(&k);
+                        }
+                    }
+                    report.repaired += 1;
+                }
+            }
+            if report.findings.len() > before {
+                report.drifted_switches.push(sw.clone());
+            }
+        }
+        if !report.findings.is_empty() {
+            let counts = report
+                .counts()
+                .into_iter()
+                .map(|(k, v)| format!("{v} {k}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            report.diagnostics.push(Diagnostic::warning(
+                codes::DRIFT_DETECTED,
+                format!(
+                    "anti-entropy audit found {} drifted entries across {} switches ({counts})",
+                    report.findings.len(),
+                    report.drifted_switches.len()
+                ),
+            ));
+            report.diagnostics.push(Diagnostic::warning(
+                codes::DRIFT_REPAIRED,
+                format!(
+                    "issued {} minimal repairs; switch-held state matches the \
+                     controller-expected state again",
+                    report.repaired
+                ),
+            ));
+        }
+        report.elapsed = t0.elapsed();
+        report
+    }
+
+    /// Corrupt switch-held state behind the controller's back — the
+    /// seeded drift the anti-entropy audit exists to catch. Test-facing:
+    /// a real deployment drifts on its own.
+    pub fn inject_drift(&mut self, switch: &str, op: &DriftOp) -> Result<(), RuntimeError> {
+        let st = self
+            .states
+            .get_mut(switch)
+            .ok_or_else(|| RuntimeError::new(format!("unknown or failed switch `{switch}`")))?;
+        match op {
+            DriftOp::Remove { table, key } => {
+                st.dp
+                    .externs
+                    .get_mut(table)
+                    .and_then(|t| t.remove(key))
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!(
+                            "switch `{switch}` holds no `{table}[{key}]` to remove"
+                        ))
+                    })?;
+            }
+            DriftOp::Corrupt { table, key, value } => {
+                let slot = st
+                    .dp
+                    .externs
+                    .get_mut(table)
+                    .and_then(|t| t.get_mut(key))
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!(
+                            "switch `{switch}` holds no `{table}[{key}]` to corrupt"
+                        ))
+                    })?;
+                *slot = *value;
+            }
+            DriftOp::Insert { table, key, value } => {
+                st.dp.install(table, *key, *value);
+            }
+            DriftOp::RegressEpoch => {
+                st.epoch = st.epoch.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{LossyChannel, ReliableChannel};
+    use crate::rollout::{CrashPlan, CrashPoint, MemIntentStore};
+    use crate::{CompileRequest, Compiler, SolveProfile};
+    use lyra_ir::PacketState;
+    use lyra_topo::{figure1_network, FaultSet};
+
+    const LB: &str = r#"
+        pipeline[LB]{loadbalancer};
+        algorithm loadbalancer {
+            extern dict<bit[32] h, bit[32] ip>[1024] conn_table;
+            if (flow_h in conn_table) {
+                ipv4.dstAddr = conn_table[flow_h];
+            } else {
+                copy_to_cpu();
+            }
+        }
+    "#;
+    const LB_SCOPES: &str =
+        "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+
+    fn lb_request() -> CompileRequest<'static> {
+        CompileRequest::new(LB, LB_SCOPES, figure1_network())
+            .with_solve_profile(SolveProfile::fast())
+    }
+
+    fn crashed_rollout<'a>(
+        rt: &mut Runtime<'a>,
+        new_output: &'a CompileOutput,
+        store: &mut MemIntentStore,
+        plan: CrashPlan,
+    ) -> RuntimeError {
+        let config = RolloutConfig::default().with_crash(plan);
+        rt.apply_rollout_logged(new_output, &mut ReliableChannel::new(), &config, store)
+            .unwrap_err()
+    }
+
+    #[test]
+    fn crash_after_commit_decision_recovers_to_commit() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 42, 0xabcd).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let mut store = MemIntentStore::new();
+        let err = crashed_rollout(
+            &mut rt,
+            &r.output,
+            &mut store,
+            CrashPlan::at(CrashPoint::AfterCommitDecision),
+        );
+        assert_eq!(err.code, Some(codes::CONTROLLER_CRASHED));
+        assert!(!rt.epochs_coherent(), "crash must leave mid-flight state");
+
+        let rep = rt
+            .recover(
+                &r.output,
+                &mut store,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(
+            rep.in_flight && rep.committed && !rep.rolled_back,
+            "{rep:?}"
+        );
+        assert!(rt.epochs_coherent());
+        assert_eq!(rt.epoch(), rep.epoch);
+        assert!(std::ptr::eq(rt.output(), &r.output), "output must flip");
+        // The logical entry survived the recovered commit.
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 42);
+        let (end, _) = rt.inject(&["Agg4", "ToR3"], pkt).unwrap();
+        assert_eq!(end.get("ipv4.dstAddr"), 0xabcd);
+        // Recovery is idempotent: a second pass is a no-op.
+        let rep2 = rt
+            .recover(
+                &r.output,
+                &mut store,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(!rep2.in_flight && !rep2.committed && !rep2.rolled_back);
+    }
+
+    #[test]
+    fn crash_before_commit_decision_recovers_to_rollback() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 7, 0x0a00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+        let entries_before = rt.logical_entries();
+        let mut store = MemIntentStore::new();
+        // Crash after every prepare is staged but before the commit
+        // decision is journaled: the log cannot prove a commit.
+        let err = crashed_rollout(
+            &mut rt,
+            &r.output,
+            &mut store,
+            CrashPlan::at(CrashPoint::AfterPrepare),
+        );
+        assert_eq!(err.code, Some(codes::CONTROLLER_CRASHED));
+
+        let rep = rt
+            .recover(
+                &r.output,
+                &mut store,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(
+            rep.in_flight && rep.rolled_back && !rep.committed,
+            "{rep:?}"
+        );
+        assert_eq!(rt.epoch(), epoch_before);
+        assert!(rt.epochs_coherent());
+        assert_eq!(rt.logical_entries(), entries_before);
+        assert!(
+            std::ptr::eq(rt.output(), &prior),
+            "rollback keeps the old output"
+        );
+        // The burned epoch is never reused after recovery.
+        let report = rt
+            .apply_rollout(
+                &r.output,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(report.committed);
+        assert!(report.epoch > rep.epoch, "recovered epoch must stay burned");
+    }
+
+    #[test]
+    fn commit_decision_with_unreachable_switch_rolls_back() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 9, 0x0b00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+        let mut store = MemIntentStore::new();
+        let err = crashed_rollout(
+            &mut rt,
+            &r.output,
+            &mut store,
+            CrashPlan::at(CrashPoint::AfterCommitDecision),
+        );
+        assert_eq!(err.code, Some(codes::CONTROLLER_CRASHED));
+
+        // The first target dies before recovery can query it: the
+        // journaled commit decision cannot be proven, so rollback wins.
+        let mut chan = LossyChannel::new(11).with_switch_death("Agg4", 0);
+        let rep = rt
+            .recover(&r.output, &mut store, &mut chan, &RolloutConfig::default())
+            .unwrap();
+        assert!(rep.rolled_back && !rep.committed, "{rep:?}");
+        assert!(rep.query_failures >= 1);
+        assert!(
+            rep.forced_rollbacks >= 1 || rep.rolled_back,
+            "the dead switch reverts out-of-band: {rep:?}"
+        );
+        assert_eq!(rt.epoch(), epoch_before);
+        assert!(rt.epochs_coherent());
+        assert!(rep
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Some(codes::RECOVERY_QUERY_FAILED)));
+    }
+
+    #[test]
+    fn recovery_without_a_journal_rolls_back_from_switch_state() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 3, 0x0c00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+        // Crash with NO intent store attached: only the switches remember.
+        let config = RolloutConfig::default().with_crash(CrashPlan::at(CrashPoint::BeforeFinalize));
+        let err = rt
+            .apply_rollout(&r.output, &mut ReliableChannel::new(), &config)
+            .unwrap_err();
+        assert_eq!(err.code, Some(codes::CONTROLLER_CRASHED));
+
+        // An empty journal never drives a commit, even though every
+        // switch already flipped — conservative all-rollback.
+        let mut empty = MemIntentStore::new();
+        let rep = rt
+            .recover(
+                &r.output,
+                &mut empty,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(rep.in_flight && rep.rolled_back, "{rep:?}");
+        assert_eq!(rt.epoch(), epoch_before);
+        assert!(rt.epochs_coherent());
+    }
+
+    #[test]
+    fn failing_intent_store_halts_the_rollout_like_a_crash() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 5, 0x0d00).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+        // The third append (the commit decision) fails: the journal ends
+        // with a staged prepare and no decision, so recovery rolls back.
+        let mut store = MemIntentStore::failing_after(2);
+        let err = rt
+            .apply_rollout_logged(
+                &r.output,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+                &mut store,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, Some(codes::INTENT_STORE_IO));
+
+        // The partial journal still recovers the deployment.
+        let mut readable = MemIntentStore::new();
+        for rec in store.load().unwrap() {
+            readable.append(&rec).unwrap();
+        }
+        let rep = rt
+            .recover(
+                &r.output,
+                &mut readable,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(rep.rolled_back, "{rep:?}");
+        assert_eq!(rt.epoch(), epoch_before);
+        assert!(rt.epochs_coherent());
+    }
+
+    #[test]
+    fn audit_detects_and_repairs_every_drift_class() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let out = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&out);
+        let on = rt.install("conn_table", 1, 100).unwrap();
+        rt.install("conn_table", 2, 200).unwrap();
+        let victim = on[0].clone();
+
+        rt.inject_drift(
+            &victim,
+            &DriftOp::Remove {
+                table: "conn_table".into(),
+                key: 1,
+            },
+        )
+        .unwrap();
+        rt.inject_drift(
+            &victim,
+            &DriftOp::Insert {
+                table: "conn_table".into(),
+                key: 999,
+                value: 7,
+            },
+        )
+        .unwrap();
+        // Corrupt key 2 wherever it lives.
+        let holder = rt
+            .states
+            .iter()
+            .find(|(_, st)| {
+                st.dp
+                    .externs
+                    .get("conn_table")
+                    .is_some_and(|t| t.contains_key(&2))
+            })
+            .map(|(sw, _)| sw.clone())
+            .unwrap();
+        rt.inject_drift(
+            &holder,
+            &DriftOp::Corrupt {
+                table: "conn_table".into(),
+                key: 2,
+                value: 555,
+            },
+        )
+        .unwrap();
+
+        let report = rt.audit_switches();
+        let counts = report.counts();
+        assert_eq!(counts.get("missing"), Some(&1), "{report:?}");
+        assert_eq!(counts.get("extra"), Some(&1), "{report:?}");
+        assert_eq!(counts.get("stale"), Some(&1), "{report:?}");
+        assert!(report.repaired >= 3);
+        assert!(!report.drifted_switches.is_empty());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Some(codes::DRIFT_DETECTED)));
+
+        // Repaired: a second audit is clean and the semantics are back.
+        let again = rt.audit_switches();
+        assert!(again.clean(), "{again:?}");
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 1);
+        let (end, _) = rt.inject(&["Agg3", "ToR3"], pkt).unwrap();
+        assert_eq!(end.get("ipv4.dstAddr"), 100);
+        let mut pkt = PacketState::new();
+        pkt.set("flow_h", 999);
+        let (_, effects) = rt.inject(&["Agg3", "ToR3"], pkt).unwrap();
+        assert!(
+            effects.iter().any(
+                |e| matches!(e, lyra_ir::Effect::Action { name, .. } if name == "copy_to_cpu")
+            ),
+            "the foreign entry must be gone: {effects:?}"
+        );
+    }
+
+    #[test]
+    fn audit_resets_a_regressed_epoch_tag() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 4, 44).unwrap();
+        rt.fail_switch("Agg3").unwrap(); // bumps the epoch past zero
+        assert!(rt.epoch() > 0);
+        rt.inject_drift("Agg4", &DriftOp::RegressEpoch).unwrap();
+        assert!(!rt.epochs_coherent());
+
+        let report = rt.audit_switches();
+        assert_eq!(report.counts().get("stale-epoch"), Some(&1), "{report:?}");
+        assert!(rt.epochs_coherent(), "audit must restore coherence");
+    }
+
+    #[test]
+    fn clean_deployment_audits_clean() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let out = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&out);
+        for k in 0..32 {
+            rt.install("conn_table", k, k * 10).unwrap();
+        }
+        let report = rt.audit_switches();
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.repaired, 0);
+        assert!(report.diagnostics.is_empty());
+        assert!(report.digests_compared > 0);
+    }
+
+    #[test]
+    fn recovery_report_json_names_the_counters() {
+        let rep = RecoveryReport {
+            epoch: 5,
+            in_flight: true,
+            committed: true,
+            queried: 3,
+            reused_tokens: 2,
+            ..Default::default()
+        };
+        let json = rep.to_json().to_pretty();
+        for key in [
+            "\"epoch\"",
+            "\"in_flight\"",
+            "\"committed\"",
+            "\"rolled_back\"",
+            "\"queried\"",
+            "\"reused_tokens\"",
+            "\"fresh_tokens\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

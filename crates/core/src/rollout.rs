@@ -39,6 +39,8 @@
 //! rollback semantics for free.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use lyra_diag::json::{Object, Value};
@@ -71,6 +73,11 @@ pub struct RolloutConfig {
     /// non-survivable entry gates the rollout with `LYR0564` before a
     /// single message is sent. Empty = no gate.
     pub scope_health: BTreeMap<String, ScopeHealth>,
+    /// Controller-crash injection: when set, the rollout aborts with
+    /// `LYR0570` at the planned point, leaving the switches and the
+    /// intent log exactly as they were — [`crate::Runtime::recover`]
+    /// must then finish the transaction. `None` = never crash.
+    pub crash: Option<CrashPlan>,
 }
 
 impl Default for RolloutConfig {
@@ -81,6 +88,7 @@ impl Default for RolloutConfig {
             max_backoff: Duration::from_millis(1),
             seed: 1,
             scope_health: BTreeMap::new(),
+            crash: None,
         }
     }
 }
@@ -96,6 +104,448 @@ impl RolloutConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Inject a controller crash at the planned point (chaos testing).
+    pub fn with_crash(mut self, plan: CrashPlan) -> Self {
+        self.crash = Some(plan);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead intent log
+// ---------------------------------------------------------------------------
+
+/// One record of the write-ahead intent log.
+///
+/// The rollout engine journals every decision and idempotency token
+/// *before* the corresponding [`ControlChannel`] send, so a controller
+/// crash between journal and wire is indistinguishable from a dropped
+/// message — which the tokens already make safe to re-drive. After a
+/// restart, [`crate::Runtime::recover`] replays these records to find the
+/// in-flight rollout, its decision point, and the tokens it was using.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentRecord {
+    /// A rollout began: the epoch was allocated and the target set chosen;
+    /// nothing has been sent yet.
+    Begin {
+        /// The epoch being rolled out.
+        epoch: u64,
+        /// The epoch that was serving when the rollout began (what a
+        /// rollback restores).
+        prior_epoch: u64,
+        /// Every switch the transaction touches.
+        targets: Vec<String>,
+    },
+    /// The controller is about to transmit one control message.
+    Sent {
+        /// The epoch the message is about.
+        epoch: u64,
+        /// Destination switch.
+        switch: String,
+        /// Idempotency token the message carries. Recovery re-drives the
+        /// same logical message with the same token, so a switch that
+        /// already applied it before the crash acknowledges without
+        /// re-applying.
+        token: u64,
+        /// Wire name of the operation (`prepare` / `commit` / `rollback`).
+        op: String,
+    },
+    /// The controller decided the transaction's outcome (journaled before
+    /// the first message of the corresponding phase).
+    Decision {
+        /// The in-flight epoch.
+        epoch: u64,
+        /// `true` = commit everywhere; `false` = roll everything back.
+        commit: bool,
+    },
+    /// The rollout — or its restart recovery — finalized.
+    End {
+        /// The epoch that finalized.
+        epoch: u64,
+        /// `true` = the epoch committed; `false` = it was rolled back
+        /// (and burned).
+        committed: bool,
+    },
+}
+
+impl IntentRecord {
+    /// The epoch this record is about.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            IntentRecord::Begin { epoch, .. }
+            | IntentRecord::Sent { epoch, .. }
+            | IntentRecord::Decision { epoch, .. }
+            | IntentRecord::End { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Serialize as one JSON object — one line of the file-backed log.
+    pub fn to_json(&self) -> Value {
+        let mut o = Object::new();
+        match self {
+            IntentRecord::Begin {
+                epoch,
+                prior_epoch,
+                targets,
+            } => {
+                o.push("t", Value::str("begin"));
+                o.push("epoch", Value::Number(*epoch as f64));
+                o.push("prior_epoch", Value::Number(*prior_epoch as f64));
+                o.push(
+                    "targets",
+                    Value::Array(targets.iter().map(|s| Value::str(s.clone())).collect()),
+                );
+            }
+            IntentRecord::Sent {
+                epoch,
+                switch,
+                token,
+                op,
+            } => {
+                o.push("t", Value::str("sent"));
+                o.push("epoch", Value::Number(*epoch as f64));
+                o.push("switch", Value::str(switch.clone()));
+                o.push("token", Value::Number(*token as f64));
+                o.push("op", Value::str(op.clone()));
+            }
+            IntentRecord::Decision { epoch, commit } => {
+                o.push("t", Value::str("decision"));
+                o.push("epoch", Value::Number(*epoch as f64));
+                o.push("commit", Value::Bool(*commit));
+            }
+            IntentRecord::End { epoch, committed } => {
+                o.push("t", Value::str("end"));
+                o.push("epoch", Value::Number(*epoch as f64));
+                o.push("committed", Value::Bool(*committed));
+            }
+        }
+        Value::Object(o)
+    }
+
+    /// Parse a record serialized by [`IntentRecord::to_json`]. `None` on
+    /// any unknown or malformed shape (a torn tail line after a crash).
+    pub fn from_json(v: &Value) -> Option<IntentRecord> {
+        let num = |k: &str| v.get(k).and_then(|x| x.as_number()).map(|n| n as u64);
+        let epoch = num("epoch")?;
+        match v.get("t")?.as_str()? {
+            "begin" => Some(IntentRecord::Begin {
+                epoch,
+                prior_epoch: num("prior_epoch")?,
+                targets: v
+                    .get("targets")?
+                    .as_array()?
+                    .iter()
+                    .map(|s| s.as_str().map(str::to_string))
+                    .collect::<Option<Vec<String>>>()?,
+            }),
+            "sent" => Some(IntentRecord::Sent {
+                epoch,
+                switch: v.get("switch")?.as_str()?.to_string(),
+                token: num("token")?,
+                op: v.get("op")?.as_str()?.to_string(),
+            }),
+            "decision" => Some(IntentRecord::Decision {
+                epoch,
+                commit: v.get("commit")?.as_bool()?,
+            }),
+            "end" => Some(IntentRecord::End {
+                epoch,
+                committed: v.get("committed")?.as_bool()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A durable, append-only store for the write-ahead intent log.
+///
+/// Implementations must make [`IntentStore::append`] durable before
+/// returning — the rollout engine journals before every send, and
+/// recovery correctness rests on the journal never lagging the wire. An
+/// append error halts the rollout as a crash would (`LYR0577`), because
+/// an un-journaled send could not be recovered.
+pub trait IntentStore {
+    /// Durably append one record.
+    fn append(&mut self, record: &IntentRecord) -> Result<(), RuntimeError>;
+
+    /// Read every record back, oldest first. Fails with `LYR0574` when
+    /// the log is unreadable or holds a torn non-tail record.
+    fn load(&self) -> Result<Vec<IntentRecord>, RuntimeError>;
+}
+
+/// In-memory [`IntentStore`] with injectable append faults, for chaos
+/// tests (a store whose disk "fails" mid-rollout).
+#[derive(Debug, Clone, Default)]
+pub struct MemIntentStore {
+    records: Vec<IntentRecord>,
+    appends: u64,
+    fail_after: Option<u64>,
+}
+
+impl MemIntentStore {
+    /// An empty, never-failing store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store whose appends succeed `n` times and then fail with
+    /// `LYR0577` forever (injected store fault).
+    pub fn failing_after(n: u64) -> Self {
+        MemIntentStore {
+            fail_after: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl IntentStore for MemIntentStore {
+    fn append(&mut self, record: &IntentRecord) -> Result<(), RuntimeError> {
+        self.appends += 1;
+        if self.fail_after.is_some_and(|n| self.appends > n) {
+            return Err(RuntimeError::new(
+                "intent store append failed (injected fault)".to_string(),
+            )
+            .with_code(codes::INTENT_STORE_IO));
+        }
+        self.records.push(record.clone());
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Vec<IntentRecord>, RuntimeError> {
+        Ok(self.records.clone())
+    }
+}
+
+/// File-backed [`IntentStore`]: one JSON record per line, append-only,
+/// synced per append. A torn *tail* line (the crash cut a record short)
+/// is tolerated on load — exactly like a real write-ahead log — but a
+/// torn record followed by intact ones means corruption (`LYR0574`).
+#[derive(Debug, Clone)]
+pub struct FileIntentStore {
+    path: PathBuf,
+}
+
+impl FileIntentStore {
+    /// Use (creating on first append if absent) the log at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        FileIntentStore { path: path.into() }
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl IntentStore for FileIntentStore {
+    fn append(&mut self, record: &IntentRecord) -> Result<(), RuntimeError> {
+        let io_err = |e: std::io::Error| {
+            RuntimeError::new(format!(
+                "intent log `{}`: append failed: {e}",
+                self.path.display()
+            ))
+            .with_code(codes::INTENT_STORE_IO)
+        };
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        let mut line = record.to_json().to_pretty();
+        line.retain(|c| c != '\n');
+        writeln!(f, "{line}").map_err(io_err)?;
+        f.sync_data().map_err(io_err)?;
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Vec<IntentRecord>, RuntimeError> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => {
+                return Err(RuntimeError::new(format!(
+                    "intent log `{}`: unreadable: {e}",
+                    self.path.display()
+                ))
+                .with_code(codes::INTENT_LOG_CORRUPT))
+            }
+        };
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut records = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = lyra_diag::json::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(IntentRecord::from_json);
+            match parsed {
+                Some(r) => records.push(r),
+                // The crash can cut the *last* record short; anything
+                // torn earlier means the log cannot be trusted.
+                None if i + 1 == lines.len() => break,
+                None => {
+                    return Err(RuntimeError::new(format!(
+                        "intent log `{}`: torn record at line {} (not the tail); \
+                         the log cannot be trusted",
+                        self.path.display(),
+                        i + 1
+                    ))
+                    .with_code(codes::INTENT_LOG_CORRUPT))
+                }
+            }
+        }
+        Ok(records)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller crash injection
+// ---------------------------------------------------------------------------
+
+/// A named boundary of the rollout transaction where a [`CrashPlan`] can
+/// kill the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the `Begin` record is journaled, before any message is sent.
+    BeforePrepare,
+    /// After every prepare was acknowledged, before the commit decision
+    /// is journaled.
+    AfterPrepare,
+    /// After the commit decision is journaled, before the first commit
+    /// message is sent.
+    AfterCommitDecision,
+    /// After every commit was acknowledged, before the rollout finalizes
+    /// (retained prior epochs and tokens not yet dropped).
+    BeforeFinalize,
+    /// After a rollback decision is journaled, before the first rollback
+    /// message is sent.
+    AfterRollbackDecision,
+}
+
+impl CrashPoint {
+    /// Every boundary, in transaction order — chaos sweeps iterate this.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::BeforePrepare,
+        CrashPoint::AfterPrepare,
+        CrashPoint::AfterCommitDecision,
+        CrashPoint::BeforeFinalize,
+        CrashPoint::AfterRollbackDecision,
+    ];
+
+    /// Stable name (what `lyrac --crash-at` accepts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::BeforePrepare => "before-prepare",
+            CrashPoint::AfterPrepare => "after-prepare",
+            CrashPoint::AfterCommitDecision => "commit-decision",
+            CrashPoint::BeforeFinalize => "before-finalize",
+            CrashPoint::AfterRollbackDecision => "rollback-decision",
+        }
+    }
+
+    /// Parse a [`CrashPoint::name`].
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.iter().copied().find(|p| p.name() == s)
+    }
+}
+
+/// [`LossyChannel`](crate::channel::LossyChannel)-style controller-crash
+/// injection: kills the controller at a planned point inside
+/// [`crate::Runtime::apply_rollout`]. The rollout aborts with `LYR0570`,
+/// leaving the switches and the intent log exactly as the crash found
+/// them; [`crate::Runtime::recover`] must then finish the transaction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    at: Option<CrashPoint>,
+    after_sends: Option<u64>,
+}
+
+impl CrashPlan {
+    /// Crash at the named transaction boundary.
+    pub fn at(point: CrashPoint) -> Self {
+        CrashPlan {
+            at: Some(point),
+            after_sends: None,
+        }
+    }
+
+    /// Crash immediately after the `n`-th (1-based) message intent is
+    /// journaled, before that message reaches the wire. Varying `n`
+    /// sweeps every mid-phase point of the transaction.
+    pub fn after_sends(n: u64) -> Self {
+        CrashPlan {
+            at: None,
+            after_sends: Some(n.max(1)),
+        }
+    }
+}
+
+/// Controller-side journaling context for one rollout: the optional
+/// intent store, the crash plan, and the running message-intent count.
+pub(crate) struct Journal<'j> {
+    store: Option<&'j mut dyn IntentStore>,
+    crash: Option<CrashPlan>,
+    sends: u64,
+}
+
+impl<'j> Journal<'j> {
+    pub(crate) fn new(store: Option<&'j mut dyn IntentStore>, crash: Option<CrashPlan>) -> Self {
+        Journal {
+            store,
+            crash,
+            sends: 0,
+        }
+    }
+
+    fn append(&mut self, rec: IntentRecord) -> Result<(), RuntimeError> {
+        if let Some(store) = self.store.as_deref_mut() {
+            store.append(&rec)?;
+        }
+        Ok(())
+    }
+
+    fn crash_error() -> RuntimeError {
+        RuntimeError::new(
+            "controller crashed (injected by crash plan); the intent log and switch-held \
+             state are the only surviving record — run recovery"
+                .to_string(),
+        )
+        .with_code(codes::CONTROLLER_CRASHED)
+    }
+
+    /// Journal-free crash check at a named boundary.
+    fn boundary(&mut self, point: CrashPoint) -> Result<(), RuntimeError> {
+        if self.crash.as_ref().and_then(|c| c.at) == Some(point) {
+            return Err(Self::crash_error());
+        }
+        Ok(())
+    }
+
+    /// Journal the intent to send one message (write-ahead), then apply
+    /// the crash plan's send counter.
+    fn intent(&mut self, msg: &ControlMsg) -> Result<(), RuntimeError> {
+        self.append(IntentRecord::Sent {
+            epoch: msg.epoch,
+            switch: msg.switch.clone(),
+            token: msg.token,
+            op: msg.op.name().to_string(),
+        })?;
+        self.sends += 1;
+        if self.crash.as_ref().and_then(|c| c.after_sends) == Some(self.sends) {
+            return Err(Self::crash_error());
+        }
+        Ok(())
     }
 }
 
@@ -228,7 +678,7 @@ impl RolloutReport {
 /// is the "switch agent": it rules only on what the message says and what
 /// the switch already knows — it cannot see the sender's intent, which is
 /// why the epoch guards below exist (stale late replays must lose).
-fn deliver(states: &mut BTreeMap<String, SwitchState>, msg: &ControlMsg) {
+pub(crate) fn deliver(states: &mut BTreeMap<String, SwitchState>, msg: &ControlMsg) {
     let Some(st) = states.get_mut(&msg.switch) else {
         return; // message to a switch that no longer exists: lost on the floor
     };
@@ -270,13 +720,19 @@ fn deliver(states: &mut BTreeMap<String, SwitchState>, msg: &ControlMsg) {
                 st.staged = None;
             }
         }
+        ControlOp::Query => {
+            // Read-only: the switch reports its epochs in the ack. Never
+            // mutates and records no token, so a retried query is not
+            // suppressed by the guard.
+            return;
+        }
     }
     st.tokens.insert(msg.token);
 }
 
 /// Revert one switch out-of-band (console access): the last resort when
 /// even rollback messages cannot get through.
-fn force_rollback(st: &mut SwitchState, epoch: u64) {
+pub(crate) fn force_rollback(st: &mut SwitchState, epoch: u64) {
     if st.epoch == epoch {
         if let Some((e, dp)) = st.prior.take() {
             st.dp = dp;
@@ -316,6 +772,34 @@ impl<'a> Runtime<'a> {
         channel: &mut dyn ControlChannel,
         config: &RolloutConfig,
     ) -> Result<RolloutReport, RuntimeError> {
+        self.rollout_inner(new_output, channel, config, None)
+    }
+
+    /// Like [`Runtime::apply_rollout`], but with a durable write-ahead
+    /// intent log: every prepare/commit/rollback decision and idempotency
+    /// token is journaled to `store` *before* the corresponding channel
+    /// send. If the controller crashes mid-rollout (`LYR0570`, injected
+    /// via [`RolloutConfig::crash`]) — or the store itself fails
+    /// (`LYR0577`) — the switches and the journal are left exactly as the
+    /// crash found them, and [`Runtime::recover`] drives the in-flight
+    /// transaction to a deterministic all-commit or all-rollback outcome.
+    pub fn apply_rollout_logged(
+        &mut self,
+        new_output: &'a CompileOutput,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+        store: &mut dyn IntentStore,
+    ) -> Result<RolloutReport, RuntimeError> {
+        self.rollout_inner(new_output, channel, config, Some(store))
+    }
+
+    fn rollout_inner(
+        &mut self,
+        new_output: &'a CompileOutput,
+        channel: &mut dyn ControlChannel,
+        config: &RolloutConfig,
+        store: Option<&mut dyn IntentStore>,
+    ) -> Result<RolloutReport, RuntimeError> {
         if let Some((alg, h)) = config.scope_health.iter().find(|(_, h)| !h.survivable()) {
             return Err(RuntimeError::new(format!(
                 "rollout gated: the scope of `{alg}` is not survivable ({h:?}) — \
@@ -351,7 +835,8 @@ impl<'a> Runtime<'a> {
         }
         let churn =
             PlacementDiff::between(&self.output.placement, &new_output.placement).total_churn();
-        let report = self.two_phase(staged, churn, channel, config);
+        let mut journal = Journal::new(store, config.crash.clone());
+        let report = self.two_phase(staged, churn, channel, config, &mut journal)?;
         if report.committed {
             self.output = new_output;
         }
@@ -477,20 +962,25 @@ impl<'a> Runtime<'a> {
             RuntimeError::new(format!("re-sync planning failed: {}", e.message))
                 .with_code(codes::ROLLOUT_PREPARE_FAILED)
         })?;
-        Ok(self.two_phase(staged, 0, channel, config))
+        let mut journal = Journal::new(None, config.crash.clone());
+        self.two_phase(staged, 0, channel, config, &mut journal)
     }
 
     /// The transaction core: prepare every target switch, then commit them
-    /// all, rolling everything back on any exhausted message budget.
-    /// Infallible in the `Result` sense — failure *is* a result here,
-    /// reported through [`RolloutReport::rolled_back`].
+    /// all, rolling everything back on any exhausted message budget. A
+    /// channel failure *is* a result here, reported through
+    /// [`RolloutReport::rolled_back`]; `Err` means the *controller* died
+    /// — an injected crash (`LYR0570`) or an intent-store fault
+    /// (`LYR0577`) — leaving switches and journal mid-flight for
+    /// [`Runtime::recover`].
     fn two_phase(
         &mut self,
         staged: BTreeMap<String, DataPlaneState>,
         instr_churn: usize,
         channel: &mut dyn ControlChannel,
         config: &RolloutConfig,
-    ) -> RolloutReport {
+        journal: &mut Journal<'_>,
+    ) -> Result<RolloutReport, RuntimeError> {
         let t0 = Instant::now();
         if let Some(obs) = &self.observer {
             obs.on_phase_start(Phase::Rollout);
@@ -526,17 +1016,32 @@ impl<'a> Runtime<'a> {
             (epoch << 20) | token_seq
         };
 
+        journal.append(IntentRecord::Begin {
+            epoch,
+            prior_epoch: self.epoch,
+            targets: targets.clone(),
+        })?;
+        journal.boundary(CrashPoint::BeforePrepare)?;
+
         let mut failure: Option<(lyra_diag::Code, String)> = None;
         // --- Phase 1: prepare -------------------------------------------
         for (i, sw) in targets.iter().enumerate() {
+            // Targets come from `staged.keys()`; a miss would be an
+            // engine bug, handled gracefully rather than by indexing.
+            let Some(dp) = staged.get(sw) else {
+                failure = Some((
+                    codes::ROLLOUT_PREPARE_FAILED,
+                    format!("switch `{sw}` has no staged state for epoch {epoch}"),
+                ));
+                break;
+            };
             let msg = ControlMsg {
                 switch: sw.clone(),
                 epoch,
                 token: next_token(),
-                op: ControlOp::Prepare {
-                    staged: staged[sw].clone(),
-                },
+                op: ControlOp::Prepare { staged: dp.clone() },
             };
+            journal.intent(&msg)?;
             let t = Instant::now();
             let before = report.retries;
             let sent = send(
@@ -564,6 +1069,12 @@ impl<'a> Runtime<'a> {
         }
         // --- Phase 2: commit --------------------------------------------
         if failure.is_none() {
+            journal.boundary(CrashPoint::AfterPrepare)?;
+            journal.append(IntentRecord::Decision {
+                epoch,
+                commit: true,
+            })?;
+            journal.boundary(CrashPoint::AfterCommitDecision)?;
             for (i, sw) in targets.iter().enumerate() {
                 let msg = ControlMsg {
                     switch: sw.clone(),
@@ -571,6 +1082,7 @@ impl<'a> Runtime<'a> {
                     token: next_token(),
                     op: ControlOp::Commit,
                 };
+                journal.intent(&msg)?;
                 let t = Instant::now();
                 let before = report.retries;
                 let sent = send(
@@ -600,6 +1112,7 @@ impl<'a> Runtime<'a> {
 
         match failure {
             None => {
+                journal.boundary(CrashPoint::BeforeFinalize)?;
                 // Finalize: drop retained prior epochs and token logs; the
                 // deployment now serves `epoch` everywhere.
                 for st in self.states.values_mut() {
@@ -613,11 +1126,20 @@ impl<'a> Runtime<'a> {
                 }
                 self.epoch = epoch;
                 report.committed = true;
+                journal.append(IntentRecord::End {
+                    epoch,
+                    committed: true,
+                })?;
             }
             Some((code, message)) => {
                 report
                     .diagnostics
                     .push(Diagnostic::error(code, message.clone()));
+                journal.append(IntentRecord::Decision {
+                    epoch,
+                    commit: false,
+                })?;
+                journal.boundary(CrashPoint::AfterRollbackDecision)?;
                 // Roll every target back — including switches that already
                 // committed (they retained the prior epoch for exactly
                 // this). Rollback messages get a 4× budget; if even that
@@ -630,6 +1152,7 @@ impl<'a> Runtime<'a> {
                         token: next_token(),
                         op: ControlOp::Rollback,
                     };
+                    journal.intent(&msg)?;
                     let sent = send(
                         &mut self.states,
                         channel,
@@ -675,14 +1198,22 @@ impl<'a> Runtime<'a> {
                     )
                     .with_note("the burned epoch is never reused; retry allocates a fresh one"),
                 );
+                journal.append(IntentRecord::End {
+                    epoch,
+                    committed: false,
+                })?;
             }
         }
+        // Either way the deployment converged; the controller's shadow of
+        // switch-held state (what `audit_switches` diffs against) is
+        // refreshed from the finalized states.
+        self.refresh_expected();
         report.elapsed = t0.elapsed();
         if let Some(obs) = &self.observer {
             obs.on_phase_end(Phase::Rollout, report.elapsed);
             obs.on_rollout(&report);
         }
-        report
+        Ok(report)
     }
 }
 
@@ -690,7 +1221,7 @@ impl<'a> Runtime<'a> {
 /// and jitter, applying every delivery (including duplicates and drained
 /// late replays) to the switch state machines. Returns whether an
 /// acknowledgement was obtained within the budget.
-fn send(
+pub(crate) fn send(
     states: &mut BTreeMap<String, SwitchState>,
     channel: &mut dyn ControlChannel,
     msg: &ControlMsg,

@@ -118,6 +118,13 @@ pub struct Runtime<'a> {
     /// reused, so a late message from an abandoned rollout can never be
     /// mistaken for one from a newer attempt.
     pub(crate) epoch_counter: u64,
+    /// The controller's shadow of what each switch *should* hold: a copy
+    /// of every switch's data-plane state, refreshed whenever a
+    /// control-plane operation finalizes. [`Runtime::audit_switches`]
+    /// diffs switch-held state against this to detect drift. Globals are
+    /// traffic-mutable and outside the audit's scope; only extern tables
+    /// (control-plane-owned) are compared.
+    pub(crate) expected: BTreeMap<String, DataPlaneState>,
     /// Optional event sink notified of rollout phases and reports.
     pub(crate) observer: Option<Arc<dyn CompileObserver>>,
 }
@@ -251,11 +258,15 @@ impl<'a> Runtime<'a> {
     /// Build a runtime over a compilation result. Globals are sized from
     /// the program's declarations on every hosting switch.
     pub fn new(output: &'a CompileOutput) -> Self {
-        let states = output
+        let states: BTreeMap<String, SwitchState> = output
             .placement
             .switches
             .keys()
             .map(|switch| (switch.clone(), SwitchState::fresh(output, 0)))
+            .collect();
+        let expected = states
+            .iter()
+            .map(|(sw, st)| (sw.clone(), st.dp.clone()))
             .collect();
         Runtime {
             output,
@@ -263,8 +274,20 @@ impl<'a> Runtime<'a> {
             faults: FaultSet::new(),
             epoch: 0,
             epoch_counter: 0,
+            expected,
             observer: None,
         }
+    }
+
+    /// Rebuild the controller-expected shadow from the (just-finalized)
+    /// switch states. Called whenever a control-plane transaction
+    /// converges — the switches are ground truth at that instant.
+    pub(crate) fn refresh_expected(&mut self) {
+        self.expected = self
+            .states
+            .iter()
+            .map(|(sw, st)| (sw.clone(), st.dp.clone()))
+            .collect();
     }
 
     /// Register an event sink notified of rollout phases and reports
@@ -301,6 +324,16 @@ impl<'a> Runtime<'a> {
         self.states
             .values()
             .all(|st| st.epoch == self.epoch && st.staged.is_none() && st.prior.is_none())
+    }
+
+    /// [`Runtime::epochs_coherent`] extended to the traffic plane: also
+    /// asserts that a [`crate::LiveTrafficPlane`] mirror of this runtime
+    /// agrees — every compiled switch serves the runtime's epoch with no
+    /// staged or retained plane-side state. Traffic-plane drift (a flip
+    /// the plane missed, or finalize-sweep leftovers after
+    /// [`crate::LiveTrafficPlane::align`]) fails this loudly in tests.
+    pub fn epochs_coherent_with_plane(&self, plane: &crate::LiveTrafficPlane) -> bool {
+        self.epochs_coherent() && plane.mirrors(self)
     }
 
     /// All logical entries currently installed, as `(table, key, value)`
@@ -366,6 +399,12 @@ impl<'a> Runtime<'a> {
                 RuntimeError::new(format!("internal: placement switch `{sw}` has no state"))
             })?;
             st.dp.install(table, key, value);
+            // Mirror into the controller's expected shadow so the
+            // anti-entropy audit knows this switch should hold the entry.
+            self.expected
+                .entry(sw.clone())
+                .or_default()
+                .install(table, key, value);
         }
         Ok(targets)
     }

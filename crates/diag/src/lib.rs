@@ -114,7 +114,8 @@ impl fmt::Display for Code {
 /// * `LYR04xx` — synthesis outcomes (infeasibility families, budget)
 /// * `LYR05xx` — code generation, backend validation, and robustness
 ///   (`LYR055x` are degraded-result and fault-model codes, `LYR056x` are
-///   transactional-rollout codes)
+///   transactional-rollout codes, `LYR057x` are controller-crash
+///   recovery and anti-entropy codes)
 /// * `LYR06xx` — semantic-oracle and IR-invariant codes (differential
 ///   checking of emitted artifacts against the IR interpreter)
 pub mod codes {
@@ -222,6 +223,35 @@ pub mod codes {
     /// A rollout was refused up front: an algorithm scope is not
     /// survivable under the current fault set (gating check).
     pub const ROLLOUT_GATED: Code = Code("LYR0564");
+
+    /// The controller crashed (injected by a `CrashPlan`) partway through
+    /// a rollout; the intent log and switch-held state are the only
+    /// surviving record, and `Runtime::recover` must be run.
+    pub const CONTROLLER_CRASHED: Code = Code("LYR0570");
+    /// Warning: restart recovery drove an in-flight rollout forward to an
+    /// all-commit outcome (the commit decision was journaled and every
+    /// switch held or served the staged epoch).
+    pub const RECOVERY_COMMITTED: Code = Code("LYR0571");
+    /// Warning: restart recovery drove an in-flight rollout to an
+    /// all-rollback outcome (the burned epoch is never reused).
+    pub const RECOVERY_ROLLED_BACK: Code = Code("LYR0572");
+    /// Warning: a switch could not be queried during restart recovery
+    /// (its state is unknown), which forces the rollback outcome.
+    pub const RECOVERY_QUERY_FAILED: Code = Code("LYR0573");
+    /// The write-ahead intent log is unreadable or holds a torn/corrupt
+    /// record; recovery cannot trust it.
+    pub const INTENT_LOG_CORRUPT: Code = Code("LYR0574");
+    /// Warning: the anti-entropy audit found switch-held state diverging
+    /// from the controller-expected state (the message names the drift
+    /// classes and counts).
+    pub const DRIFT_DETECTED: Code = Code("LYR0575");
+    /// Warning: the anti-entropy audit repaired drifted entries in place
+    /// (minimal repair installs/removals against the expected state).
+    pub const DRIFT_REPAIRED: Code = Code("LYR0576");
+    /// Appending to the write-ahead intent log failed (I/O error or
+    /// injected store fault); the rollout halts as if the controller
+    /// crashed, because un-journaled sends would be unrecoverable.
+    pub const INTENT_STORE_IO: Code = Code("LYR0577");
 
     /// The semantic oracle found a divergence between the IR interpreter
     /// and the model recovered from one emitted artifact (the message
@@ -550,6 +580,14 @@ pub fn lookup_code(s: &str) -> Option<Code> {
         ROLLOUT_ROLLED_BACK,
         ROLLOUT_CHANNEL_EXHAUSTED,
         ROLLOUT_GATED,
+        CONTROLLER_CRASHED,
+        RECOVERY_COMMITTED,
+        RECOVERY_ROLLED_BACK,
+        RECOVERY_QUERY_FAILED,
+        INTENT_LOG_CORRUPT,
+        DRIFT_DETECTED,
+        DRIFT_REPAIRED,
+        INTENT_STORE_IO,
     ];
     ALL.iter().copied().find(|c| c.0 == s)
 }

@@ -530,6 +530,7 @@ fn lossy_rollout_replay_has_zero_mixed_epoch_exposure() {
         max_backoff: std::time::Duration::from_micros(50),
         seed: 0x70a5,
         scope_health: r.scope_health.clone(),
+        crash: None,
     };
     let outcome = replay_under_rollout(
         &mut rt,

@@ -23,7 +23,11 @@
 
 use std::time::{Duration, Instant};
 
-use lyra::{CompileRequest, Compiler, LossyChannel, RolloutConfig, Runtime, SolveProfile};
+use lyra::{
+    replay_under_recovery, CompileRequest, Compiler, CrashPlan, CrashPoint, DriftOp, IntentStore,
+    LossyChannel, MemIntentStore, ReliableChannel, ReplayConfig, RolloutConfig, Runtime,
+    SolveProfile,
+};
 use lyra_ir::{execute_all, DataPlaneState, Effect, PacketState};
 use lyra_lang::parse_scopes;
 use lyra_topo::{fat_tree_pod, figure1_network, resolve_scope, scope_health, FaultSet};
@@ -322,6 +326,7 @@ fn rollout_chaos_commits_fully_or_rolls_back_fully_across_200_scenarios() {
             max_backoff: Duration::from_micros(10),
             seed: rng.next(),
             scope_health: r.scope_health.clone(),
+            crash: None,
         };
 
         let old_epoch = rt.epoch();
@@ -462,6 +467,7 @@ fn rollout_outcome_is_deterministic_for_a_fixed_seed() {
             max_backoff: Duration::from_micros(10),
             seed: 99,
             scope_health: r.scope_health.clone(),
+            crash: None,
         };
         rt.apply_rollout(&r.output, &mut chan, &config).unwrap()
     };
@@ -550,5 +556,503 @@ fn one_ms_deadline_on_k16_lb_returns_promptly_and_degraded() {
     assert!(
         elapsed < Duration::from_secs(10),
         "watchdog did not bound the compile: {elapsed:?}"
+    );
+}
+
+/// Controller crash-and-restart chaos: ≥150 seeded scenarios crash the
+/// controller at every rollout phase boundary (and after the Nth journaled
+/// intent) under a heavily lossy channel, then restart it over the SAME
+/// channel — the network outlives the controller. Recovery must drive every
+/// in-flight rollout to a coherent all-commit or all-rollback, with the
+/// winning placement differentially checked against the IR interpreter and
+/// zero scenarios left in mixed-epoch state.
+#[test]
+fn controller_crash_recovery_converges_across_150_scenarios() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let mut rng = Rng::new(0xc7a5_4ed0_c0de);
+
+    // Crash-point coverage: the five phase boundaries plus send-count
+    // crashes (`after_sends`), which land between a journaled intent and
+    // its wire transmit.
+    let mut crashed_by_pick = [0usize; 6];
+    let (mut committed_n, mut rolled_back_n, mut mixed_epoch_n) = (0usize, 0usize, 0usize);
+    let mut crashed_n = 0usize;
+    let mut scenario = 0usize;
+    while crashed_n < 156 && scenario < 400 {
+        scenario += 1;
+        let faults = survivable_faults(&mut rng);
+        let r = compiler
+            .recompile_for_faults(&req, &healthy, &faults)
+            .unwrap_or_else(|e| panic!("scenario {scenario}: recompile: {e}"));
+
+        let mut rt = Runtime::new(&healthy);
+        let mut installed: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..(1 + rng.below(8)) {
+            let (k, v) = (rng.below(64), 1 + rng.below(1 << 24));
+            if installed.iter().any(|&(ik, _)| ik == k) {
+                continue;
+            }
+            rt.install("conn_table", k, v)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: install: {e}"));
+            installed.push((k, v));
+        }
+        for sw in faults.failed_switches() {
+            rt.fail_switch(sw)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: fail_switch({sw}): {e}"));
+        }
+        for (a, b) in faults.failed_links() {
+            rt.fail_link(a, b)
+                .unwrap_or_else(|e| panic!("scenario {scenario}: fail_link({a},{b}): {e}"));
+        }
+
+        // Not every boundary is reached on every run (rollback-decision
+        // only fires on the failure path, before-finalize only on the
+        // commit path), so the sweep oversamples until ≥156 real crashes.
+        let pick = scenario % 6;
+        let plan = if pick < 5 {
+            CrashPlan::at(CrashPoint::ALL[pick])
+        } else {
+            CrashPlan::after_sends(1 + rng.below(2))
+        };
+        let mut chan = LossyChannel::new(1 + rng.next())
+            .with_drop_p(0.3)
+            .with_ack_loss_p(0.15)
+            .with_dup_p(0.15)
+            .with_late_p(0.1);
+        if scenario.is_multiple_of(4) {
+            if let Some(victim) = r.output.placement.switches.keys().next() {
+                chan = chan.with_switch_death(victim.clone(), 1 + rng.below(4));
+            }
+        }
+        let config = RolloutConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            seed: rng.next(),
+            scope_health: r.scope_health.clone(),
+            crash: None,
+        }
+        .with_crash(plan);
+
+        let old_epoch = rt.epoch();
+        let mut store = MemIntentStore::new();
+        match rt.apply_rollout_logged(&r.output, &mut chan, &config, &mut store) {
+            Ok(report) => {
+                // The crash point was never reached; the rollout must have
+                // behaved exactly like the uninstrumented engine.
+                assert!(
+                    report.committed ^ report.rolled_back,
+                    "scenario {scenario}: uncrashed rollout was not all-or-nothing"
+                );
+                assert!(
+                    rt.epochs_coherent(),
+                    "scenario {scenario}: uncrashed mixed state"
+                );
+            }
+            Err(err) => {
+                assert_eq!(
+                    err.code,
+                    Some(lyra_diag::codes::CONTROLLER_CRASHED),
+                    "scenario {scenario}: unexpected rollout error: {err:?}"
+                );
+                crashed_n += 1;
+                crashed_by_pick[pick] += 1;
+
+                // Restart: a fresh controller process replays the journal
+                // over the same (still lossy) network.
+                let recover_cfg = RolloutConfig {
+                    max_attempts: 4,
+                    base_backoff: Duration::from_micros(1),
+                    max_backoff: Duration::from_micros(10),
+                    seed: rng.next(),
+                    scope_health: r.scope_health.clone(),
+                    crash: None,
+                };
+                let rep = rt
+                    .recover(&r.output, &mut store, &mut chan, &recover_cfg)
+                    .unwrap_or_else(|e| panic!("scenario {scenario}: recover: {e}"));
+                assert!(
+                    rep.in_flight,
+                    "scenario {scenario}: crash left a journal but recovery saw nothing in flight"
+                );
+                assert!(
+                    rep.committed ^ rep.rolled_back,
+                    "scenario {scenario}: recovery was not all-or-nothing: {rep:?}"
+                );
+                if !rt.epochs_coherent() {
+                    mixed_epoch_n += 1;
+                }
+                let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+                if rep.committed {
+                    committed_n += 1;
+                    assert!(
+                        rt.epoch() > old_epoch,
+                        "scenario {scenario}: recovered commit did not advance the epoch"
+                    );
+                    assert!(
+                        std::ptr::eq(rt.output(), &r.output),
+                        "scenario {scenario}: recovered commit must serve the new output"
+                    );
+                    check_paths(&mut rt, &r.output, &faults, &installed, &probes, scenario);
+                } else {
+                    rolled_back_n += 1;
+                    assert_eq!(
+                        rt.epoch(),
+                        old_epoch,
+                        "scenario {scenario}: recovered rollback did not restore the old epoch"
+                    );
+                    assert!(
+                        std::ptr::eq(rt.output(), &healthy),
+                        "scenario {scenario}: recovered rollback must keep the prior output"
+                    );
+                    check_paths(&mut rt, &healthy, &faults, &installed, &probes, scenario);
+                }
+            }
+        }
+    }
+
+    assert!(
+        crashed_n >= 156,
+        "only {crashed_n} of {scenario} scenarios actually crashed"
+    );
+    assert_eq!(
+        mixed_epoch_n, 0,
+        "{mixed_epoch_n} recoveries left mixed-epoch state"
+    );
+    assert!(
+        committed_n > 0 && rolled_back_n > 0,
+        "recovery chaos must exercise both outcomes: \
+         {committed_n} commits, {rolled_back_n} rollbacks"
+    );
+    // Every phase boundary and the send-count crash must have fired.
+    for (pick, n) in crashed_by_pick.iter().enumerate() {
+        assert!(
+            *n > 0,
+            "crash pick {pick} never fired across {scenario} scenarios: {crashed_by_pick:?}"
+        );
+    }
+}
+
+/// Restart recovery under live traffic: worker threads replay packets
+/// through the mid-flight state a crashed controller left behind while
+/// `recover` drives the fleet to an outcome. Epoch pinning must hold the
+/// whole way through — zero packets may execute under two epochs.
+#[test]
+fn recovery_under_live_replay_sees_no_mixed_epochs() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let faults = FaultSet::new().with_switch("Agg3");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("failover recompile");
+    let mut rng = Rng::new(0x11fe_7afc);
+
+    let mut fired = 0usize;
+    for scenario in 0..12 {
+        let mut rt = Runtime::new(&healthy);
+        for i in 0..6u64 {
+            rt.install("conn_table", i * 7, 0x0a00 + i).unwrap();
+        }
+        rt.fail_switch("Agg3").unwrap();
+
+        let pick = scenario % 6;
+        let plan = if pick < 5 {
+            CrashPlan::at(CrashPoint::ALL[pick])
+        } else {
+            CrashPlan::after_sends(1 + rng.below(2))
+        };
+        let mut chan = LossyChannel::new(1 + rng.next())
+            .with_drop_p(0.15)
+            .with_ack_loss_p(0.1);
+        let config = RolloutConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            seed: rng.next(),
+            scope_health: r.scope_health.clone(),
+            crash: None,
+        }
+        .with_crash(plan);
+
+        let mut store = MemIntentStore::new();
+        let crashed = rt
+            .apply_rollout_logged(&r.output, &mut chan, &config, &mut store)
+            .is_err();
+        if !crashed {
+            continue; // the boundary was not on this run's path
+        }
+        fired += 1;
+
+        let recover_cfg = RolloutConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            seed: rng.next(),
+            scope_health: r.scope_health.clone(),
+            crash: None,
+        };
+        let replay_cfg = ReplayConfig::default()
+            .with_packets(20_000)
+            .with_workers(2)
+            .with_seed(rng.next());
+        let outcome = replay_under_recovery(
+            &mut rt,
+            &r.output,
+            &mut store,
+            &mut chan,
+            &recover_cfg,
+            &replay_cfg,
+        )
+        .unwrap_or_else(|e| panic!("scenario {scenario}: replay_under_recovery: {e}"));
+
+        assert_eq!(
+            outcome.replay.mixed_epoch_exposure, 0,
+            "scenario {scenario}: traffic executed under two epochs during recovery"
+        );
+        assert!(
+            outcome.replay.delivered > 0,
+            "scenario {scenario}: no packet survived the recovery window"
+        );
+        assert!(
+            outcome.recovery.committed ^ outcome.recovery.rolled_back,
+            "scenario {scenario}: recovery was not all-or-nothing: {:?}",
+            outcome.recovery
+        );
+        assert!(
+            rt.epochs_coherent(),
+            "scenario {scenario}: recovery under traffic left mixed-epoch state"
+        );
+    }
+    assert!(
+        fired >= 8,
+        "only {fired}/12 replay scenarios actually crashed"
+    );
+}
+
+/// Anti-entropy chaos: seed every drift class behind the controller's back
+/// (lost entries, foreign entries, stale values, regressed epoch tags),
+/// then audit. Every injected op must surface as exactly one finding, every
+/// finding must be repaired, a second audit must come back clean, and the
+/// repaired deployment must again match the reference interpreter.
+#[test]
+fn audit_detects_and_repairs_seeded_drift_across_40_scenarios() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let faults = FaultSet::new().with_switch("Agg3");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("failover recompile");
+    let mut rng = Rng::new(0x00d2_1f75_eed1);
+
+    for scenario in 0..40 {
+        let mut rt = Runtime::new(&healthy);
+        let mut installed: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..(2 + rng.below(6)) {
+            let (k, v) = (rng.below(64), 1 + rng.below(1 << 24));
+            if installed.iter().any(|&(ik, _)| ik == k) {
+                continue;
+            }
+            rt.install("conn_table", k, v).unwrap();
+            installed.push((k, v));
+        }
+        rt.fail_switch("Agg3").unwrap();
+        // Advance past epoch 0 so a regressed tag is representable.
+        let report = rt
+            .apply_rollout(
+                &r.output,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("scenario {scenario}: rollout: {e}"));
+        assert!(report.committed);
+
+        // Drift targets: live switches of the serving placement.
+        let alive: Vec<String> = r
+            .output
+            .placement
+            .switches
+            .keys()
+            .filter(|sw| rt.switch_epoch(sw).is_some())
+            .cloned()
+            .collect();
+        assert!(!alive.is_empty());
+
+        // Seed 1..6 drift ops, deduplicated per (switch, key) so each
+        // successful injection maps to exactly one audit finding.
+        let mut injected = 0usize;
+        let mut touched: Vec<(String, u64)> = Vec::new();
+        let mut regressed: Vec<String> = Vec::new();
+        let mut foreign_key = 0xd41f_7000u64 + rng.below(1 << 10);
+        for _ in 0..(1 + rng.below(5)) {
+            let sw = alive[rng.below(alive.len() as u64) as usize].clone();
+            let op = match rng.below(4) {
+                0 if !installed.is_empty() => {
+                    let (k, _) = installed[rng.below(installed.len() as u64) as usize];
+                    DriftOp::Remove {
+                        table: "conn_table".into(),
+                        key: k,
+                    }
+                }
+                1 if !installed.is_empty() => {
+                    let (k, v) = installed[rng.below(installed.len() as u64) as usize];
+                    DriftOp::Corrupt {
+                        table: "conn_table".into(),
+                        key: k,
+                        value: v ^ 0xffff,
+                    }
+                }
+                2 => {
+                    foreign_key += 1;
+                    DriftOp::Insert {
+                        table: "conn_table".into(),
+                        key: foreign_key,
+                        value: 0xbad,
+                    }
+                }
+                _ => DriftOp::RegressEpoch,
+            };
+            match &op {
+                DriftOp::RegressEpoch => {
+                    if regressed.contains(&sw) {
+                        continue;
+                    }
+                    if rt.inject_drift(&sw, &op).is_ok() {
+                        regressed.push(sw);
+                        injected += 1;
+                    }
+                }
+                DriftOp::Remove { key, .. }
+                | DriftOp::Corrupt { key, .. }
+                | DriftOp::Insert { key, .. } => {
+                    if touched.iter().any(|(s, k)| *s == sw && k == key) {
+                        continue;
+                    }
+                    // Remove/Corrupt miss when this switch's shard does not
+                    // hold the key — that is not drift, just a bad draw.
+                    if rt.inject_drift(&sw, &op).is_ok() {
+                        touched.push((sw, *key));
+                        injected += 1;
+                    }
+                }
+            }
+        }
+        if injected == 0 {
+            continue;
+        }
+
+        let audit = rt.audit_switches();
+        assert_eq!(
+            audit.findings.len(),
+            injected,
+            "scenario {scenario}: audit found {} of {injected} seeded drifts: {:?}",
+            audit.findings.len(),
+            audit.counts()
+        );
+        assert_eq!(
+            audit.repaired as usize,
+            audit.findings.len(),
+            "scenario {scenario}: audit left findings unrepaired"
+        );
+        let second = rt.audit_switches();
+        assert!(
+            second.clean(),
+            "scenario {scenario}: second audit still drifted: {:?}",
+            second.counts()
+        );
+        assert!(
+            rt.epochs_coherent(),
+            "scenario {scenario}: audit broke coherence"
+        );
+        // Repaired semantics match the reference again.
+        let probes: Vec<u64> = (0..4).map(|_| rng.below(80)).collect();
+        check_paths(&mut rt, &r.output, &faults, &installed, &probes, scenario);
+    }
+}
+
+/// A failing intent store halts the rollout exactly like a crash
+/// (`LYR0577`), and whatever prefix of the journal survived still recovers
+/// the fleet to a coherent outcome: no journaled decision can only mean
+/// rollback, a journaled commit decision drives the commit home.
+#[test]
+fn failing_intent_store_halts_and_partial_journal_recovers() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let healthy = compiler.compile(&req).expect("healthy compile");
+    let faults = FaultSet::new().with_switch("Agg3");
+    let r = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("failover recompile");
+
+    let (mut committed_n, mut rolled_back_n, mut survived_n) = (0usize, 0usize, 0usize);
+    for budget in 1..=8u64 {
+        let mut rt = Runtime::new(&healthy);
+        rt.install("conn_table", 3, 0x0c0ffee).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch_before = rt.epoch();
+
+        let mut store = MemIntentStore::failing_after(budget);
+        match rt.apply_rollout_logged(
+            &r.output,
+            &mut ReliableChannel::new(),
+            &RolloutConfig::default(),
+            &mut store,
+        ) {
+            Ok(report) => {
+                // The journal fit the budget — a plain committed rollout.
+                assert!(report.committed, "budget {budget}: {report:?}");
+                survived_n += 1;
+                continue;
+            }
+            Err(err) => {
+                assert_eq!(
+                    err.code,
+                    Some(lyra_diag::codes::INTENT_STORE_IO),
+                    "budget {budget}: {err:?}"
+                );
+            }
+        }
+
+        // The surviving journal prefix is what a restarted controller
+        // finds on disk; recovery reads it from a healthy store.
+        let mut readable = MemIntentStore::new();
+        for rec in store.load().unwrap() {
+            readable.append(&rec).unwrap();
+        }
+        let rep = rt
+            .recover(
+                &r.output,
+                &mut readable,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("budget {budget}: recover: {e}"));
+        assert!(
+            rep.committed ^ rep.rolled_back,
+            "budget {budget}: recovery was not all-or-nothing: {rep:?}"
+        );
+        assert!(rt.epochs_coherent(), "budget {budget}: mixed state");
+        if rep.committed {
+            committed_n += 1;
+            assert!(rt.epoch() > epoch_before);
+        } else {
+            rolled_back_n += 1;
+            assert_eq!(rt.epoch(), epoch_before);
+        }
+    }
+    // The sweep must see both recovery outcomes (short prefixes can only
+    // roll back; a journaled decision drives the commit) and at least one
+    // budget large enough for the whole journal.
+    assert!(
+        committed_n > 0 && rolled_back_n > 0 && survived_n > 0,
+        "sweep degenerate: {committed_n} commits, {rolled_back_n} rollbacks, \
+         {survived_n} survived"
     );
 }
