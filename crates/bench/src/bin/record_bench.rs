@@ -32,9 +32,10 @@
 use std::time::{Duration, Instant};
 
 use lyra::{
-    replay_compiled, replay_interpreted, replay_under_rollout, CompileRequest, Compiler, CrashPlan,
-    CrashPoint, DriftOp, LossyChannel, MemIntentStore, ReliableChannel, ReplayConfig, ReplayReport,
-    RolloutConfig, Runtime, SolveProfile, SolverStrategy, SynthCache,
+    replay_compiled, replay_interpreted, replay_under_rollout, run_selfheal, ChaosSchedule,
+    CompileRequest, Compiler, CrashPlan, CrashPoint, DriftOp, HealthConfig, LossyChannel,
+    MemIntentStore, ReliableChannel, ReplayConfig, ReplayReport, RolloutConfig, Runtime,
+    SelfHealConfig, SolveProfile, SolverStrategy, SynthCache, Target,
 };
 use lyra_apps::{figure9_corpus, programs};
 use lyra_diag::json::{parse, Object, Value};
@@ -292,6 +293,7 @@ fn record_fig10() -> Object {
     root.push("comparison", Value::Object(cmp));
     root.push("rollout", Value::Object(record_rollout()));
     root.push("recovery", Value::Object(record_recovery()));
+    root.push("mttr", Value::Object(record_mttr()));
     root
 }
 
@@ -417,6 +419,68 @@ fn record_recovery() -> Object {
     );
     o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
     o.push("p50_recover_ms", Value::Number(ms(p50)));
+    o
+}
+
+/// Smoke mode: absolute bound for the MTTR p50 when the committed
+/// baseline predates the `mttr` section.
+const SMOKE_MTTR_ABS_MS: f64 = 400.0;
+/// Tick the MTTR bench kills its victim on.
+const MTTR_KILL_TICK: u64 = 4;
+
+/// Median wall time of one closed-loop remediation round — detection
+/// confirmed to rollout committed and audited — when the health monitor
+/// catches a seeded kill of Agg1 on the running k = 16 LB MULTI-SW
+/// deployment. Also returns the virtual detect→healed tick count, which
+/// is deterministic (the healer fires the round on the confirming tick).
+fn measure_mttr(samples: usize) -> (Duration, u64) {
+    let k = 16;
+    let lb = &cases()[0];
+    let topo = pod(k);
+    let scopes = scopes_for(k, &lb.program, lb.multi);
+    let compiler = Compiler::new();
+    let req =
+        CompileRequest::new(&lb.program, &scopes, topo).with_solve_profile(SolveProfile::fast());
+    let entries: Vec<(String, u64, u64)> = (0..ROLLOUT_ENTRIES)
+        .map(|i| ("conn_table".to_string(), i * 7, 0x0a00_0000 + i))
+        .collect();
+    let schedule = ChaosSchedule::new().kill(MTTR_KILL_TICK, Target::switch("Agg1"));
+    let cfg = SelfHealConfig {
+        health: HealthConfig::default(),
+        ticks: 24,
+        ..SelfHealConfig::default()
+    };
+
+    let mut times = Vec::with_capacity(samples);
+    let mut mttr_ticks = 0;
+    for _ in 0..samples {
+        let outcome =
+            run_selfheal(&compiler, &req, &entries, &schedule, &cfg).expect("mttr selfheal");
+        assert!(outcome.converged, "mttr bench run did not converge");
+        let round = outcome
+            .remediations
+            .iter()
+            .find(|r| r.committed)
+            .expect("kill must be remediated");
+        assert!(round.audit_clean, "mttr remediation audited dirty");
+        times.push(round.elapsed);
+        mttr_ticks = round.mttr_ticks().expect("healed round has a tick span");
+    }
+    times.sort();
+    (times[times.len() / 2], mttr_ticks)
+}
+
+fn record_mttr() -> Object {
+    let (p50, ticks) = measure_mttr(SAMPLES);
+    println!(
+        "mttr  LB(MULTI-SW)@k16 kill@t{MTTR_KILL_TICK}: p50 detect→healed {p50:?} ({ticks} ticks)"
+    );
+    let mut o = Object::new();
+    o.push("case", Value::str("LB(MULTI-SW)@k16 Agg1-kill closed loop"));
+    o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
+    o.push("kill_tick", Value::Number(MTTR_KILL_TICK as f64));
+    o.push("p50_heal_ms", Value::Number(ms(p50)));
+    o.push("mttr_ticks", Value::Number(ticks as f64));
     o
 }
 
@@ -902,6 +966,33 @@ fn smoke() -> usize {
     println!(
         "smoke recovery LB(MULTI-SW)@k16: {p50:.2} ms (bound {bound:.1} ms{}) {status}",
         if recovery_baseline.is_some() {
+            ""
+        } else {
+            ", absolute — no baseline"
+        }
+    );
+    if p50 > bound {
+        failures += 1;
+    }
+
+    // Self-healing tripwire: p50 of one closed-loop remediation round
+    // (seeded Agg1 kill detected, recompiled, rolled out, audited) on the
+    // k = 16 LB deployment. Bounded by the committed baseline when it
+    // carries the `mttr` section, by an absolute ceiling otherwise.
+    let mttr_baseline = baseline
+        .get("mttr")
+        .and_then(|r| r.get("p50_heal_ms"))
+        .and_then(|v| v.as_number());
+    let bound = match mttr_baseline {
+        Some(b) => b * SMOKE_FACTOR + SMOKE_GRACE_MS,
+        None => SMOKE_MTTR_ABS_MS,
+    };
+    let (p50, ticks) = measure_mttr(1);
+    let p50 = ms(p50);
+    let status = if p50 > bound { "REGRESSED" } else { "ok" };
+    println!(
+        "smoke mttr LB(MULTI-SW)@k16: {p50:.2} ms / {ticks} ticks (bound {bound:.1} ms{}) {status}",
+        if mttr_baseline.is_some() {
             ""
         } else {
             ", absolute — no baseline"

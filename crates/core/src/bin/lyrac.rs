@@ -37,6 +37,7 @@ use lyra::{
     ReplayConfig, ReplayReport, RolloutConfig, RolloutReport, Runtime, SolveProfile,
     SolverStrategy,
 };
+use lyra::{run_selfheal, ChaosSchedule, HealthConfig, SelfHealConfig, SelfHealOutcome, Target};
 use lyra_chips::TargetLang;
 use lyra_diag::json::{Object, Value};
 use lyra_topo::{parse_topology, FaultSet};
@@ -75,6 +76,9 @@ struct Args {
     oracle: bool,
     oracle_cases: u64,
     oracle_seed: u64,
+    monitor: bool,
+    monitor_ticks: u64,
+    monitor_seed: u64,
 }
 
 fn usage() -> ! {
@@ -95,6 +99,18 @@ fn usage() -> ! {
          \x20            [--replay PACKETS] [--replay-workers N]\n\
          \x20            [--replay-seed N]\n\
          \x20            [--oracle] [--oracle-cases N] [--oracle-seed N]\n\
+         \x20            [--monitor] [--monitor-ticks N] [--monitor-seed N]\n\
+         \n\
+         \x20 --monitor runs the closed self-healing loop against the\n\
+         \x20 compiled deployment: a seeded chaos schedule kills (and later\n\
+         \x20 revives) a placement switch while the health monitor probes\n\
+         \x20 every switch and link on a virtual clock, confirms the\n\
+         \x20 failure (phi-accrual suspicion, LYR0580-LYR0583), and the\n\
+         \x20 self-healer recompiles, rolls out, audits, and restores\n\
+         \x20 automatically (LYR0584-LYR0587). --monitor-ticks bounds the\n\
+         \x20 virtual clock (default 64); --monitor-seed fixes the run.\n\
+         \x20 With --replay PACKETS, traffic flows through every\n\
+         \x20 remediation rollout and the final serving check.\n\
          \n\
          \x20 --oracle re-parses every emitted artifact and executes seeded\n\
          \x20 packets through it, comparing against the IR reference\n\
@@ -198,6 +214,9 @@ fn parse_args() -> Args {
     let mut oracle = false;
     let mut oracle_cases = lyra::OracleConfig::default().cases;
     let mut oracle_seed = lyra::OracleConfig::default().seed;
+    let mut monitor = false;
+    let mut monitor_ticks = 64u64;
+    let mut monitor_seed = lyra::HealthConfig::default().seed;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -398,6 +417,27 @@ fn parse_args() -> Args {
                 };
                 oracle = true;
             }
+            "--monitor" => monitor = true,
+            "--monitor-ticks" => {
+                let v = value(&mut it);
+                monitor_ticks = match v.parse::<u64>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("invalid --monitor-ticks value `{v}` (need N >= 1)");
+                        usage()
+                    }
+                }
+            }
+            "--monitor-seed" => {
+                let v = value(&mut it);
+                monitor_seed = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("invalid --monitor-seed value `{v}`");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -436,6 +476,9 @@ fn parse_args() -> Args {
         oracle,
         oracle_cases,
         oracle_seed,
+        monitor,
+        monitor_ticks,
+        monitor_seed,
     }
 }
 
@@ -831,6 +874,115 @@ fn print_rollout(report: &RolloutReport) {
     }
 }
 
+/// Drive the closed self-healing loop (`--monitor`) against the compiled
+/// deployment: build a seeded chaos schedule that kills one placement
+/// switch early and revives it at half time, then let the monitor and
+/// healer detect, remediate, and restore on the virtual clock.
+fn drive_monitor(
+    args: &Args,
+    compiler: &Compiler,
+    req: &CompileRequest<'_>,
+    out: &lyra::CompileOutput,
+) -> Result<SelfHealOutcome, String> {
+    // Seeded victim choice across the placement (deterministic per seed).
+    let switches: Vec<&String> = out.placement.switches.keys().collect();
+    if switches.is_empty() {
+        return Err("--monitor needs a placement with at least one switch".into());
+    }
+    let victim = switches[(args.monitor_seed as usize) % switches.len()].clone();
+    let kill_at = (args.monitor_ticks / 8).max(2);
+    let mut schedule = ChaosSchedule::new().kill(kill_at, Target::switch(victim.clone()));
+    if args.monitor_ticks >= 48 {
+        // Long enough runs also demo restore-on-recovery: the victim
+        // revives at half time and must ride out the probation window.
+        schedule = schedule.restore(args.monitor_ticks / 2, Target::switch(victim.clone()));
+    }
+    let entries: Vec<(String, u64, u64)> = out
+        .ir
+        .externs
+        .keys()
+        .flat_map(|table| (0..4u64).map(move |k| (table.clone(), k, 0x0a00_0000 + k)))
+        .collect();
+    let cfg = SelfHealConfig {
+        health: HealthConfig::default().with_seed(args.monitor_seed),
+        rollout: RolloutConfig::default(),
+        ticks: args.monitor_ticks,
+        traffic_packets: args.replay.unwrap_or(0),
+        workers: if args.replay_workers == 0 {
+            2
+        } else {
+            args.replay_workers
+        },
+    };
+    println!(
+        "self-heal monitor: {} tick(s), seed {:#x}, chaos victim `{victim}` (kill@{kill_at})",
+        args.monitor_ticks, args.monitor_seed
+    );
+    run_selfheal(compiler, req, &entries, &schedule, &cfg).map_err(|e| e.to_string())
+}
+
+/// Print a human summary of a self-heal run.
+fn print_selfheal(outcome: &SelfHealOutcome) {
+    let h = &outcome.health;
+    println!(
+        "  probes: {} sent ({} ok, {} degraded, {} lost), {} transition(s)",
+        h.probes_sent, h.probes_ok, h.probes_degraded, h.probes_lost, h.transitions
+    );
+    for r in &outcome.remediations {
+        let mttr = match r.mttr_ticks() {
+            Some(t) => format!("mttr {t} tick(s)"),
+            None => "no mttr".to_string(),
+        };
+        println!(
+            "  round {}: failed [{}] restored [{}] — {} ({mttr}, audit {}, churn {})",
+            r.round,
+            r.failed.join(", "),
+            r.restored.join(", "),
+            if r.committed {
+                "committed"
+            } else if r.rolled_back {
+                "rolled back"
+            } else {
+                "failed"
+            },
+            if r.audit_clean { "clean" } else { "DIRTY" },
+            r.instr_churn,
+        );
+    }
+    for t in &h.targets {
+        if t.state != lyra::HealthState::Healthy {
+            println!(
+                "  verdict: {} is {} (phi {:.1}, flap penalty {:.2})",
+                t.target.wire(),
+                t.state.name(),
+                t.phi,
+                t.flap_penalty
+            );
+        }
+    }
+    if outcome.traffic_delivered > 0 || outcome.mixed_epoch_exposure > 0 {
+        println!(
+            "  traffic: {} delivered, {} refused, {} mixed-epoch, {} worker panic(s)",
+            outcome.traffic_delivered,
+            outcome.traffic_refused,
+            outcome.mixed_epoch_exposure,
+            outcome.worker_panics
+        );
+    }
+    println!(
+        "  converged: {} (final audit {}, {} recompile(s), {} restore(s), {} deferral(s))",
+        outcome.converged,
+        if outcome.final_audit_clean {
+            "clean"
+        } else {
+            "DIRTY"
+        },
+        outcome.recompiles,
+        outcome.restores,
+        outcome.rate_limited_deferrals,
+    );
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let read = |p: &PathBuf| -> Result<String, String> {
@@ -891,11 +1043,32 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    if args.replay.is_some() && args.rollout_fail.is_none() {
+    if args.replay.is_some() && args.rollout_fail.is_none() && !args.monitor {
         if let Err(e) = drive_replay(&args, &out) {
             return tool_error(&args, e);
         }
     }
+    let selfheal_outcome = if args.monitor {
+        match drive_monitor(&args, &compiler, &req, &out) {
+            Ok(outcome) => {
+                print_selfheal(&outcome);
+                if !outcome.converged || outcome.mixed_epoch_exposure > 0 {
+                    return tool_error(
+                        &args,
+                        format!(
+                            "self-heal loop did not converge cleanly \
+                             (converged: {}, mixed-epoch: {})",
+                            outcome.converged, outcome.mixed_epoch_exposure
+                        ),
+                    );
+                }
+                Some(outcome)
+            }
+            Err(e) => return tool_error(&args, e),
+        }
+    } else {
+        None
+    };
     if args.audit && args.rollout_fail.is_none() {
         // Standalone anti-entropy audit of the fresh deployment (with
         // --audit-drift, seeded corruption proves detection first).
@@ -915,6 +1088,9 @@ fn main() -> ExitCode {
         let mut session = out.session();
         if let Some(report) = rollout_report {
             session = session.with_rollout(report);
+        }
+        if let Some(outcome) = selfheal_outcome {
+            session = session.with_selfheal(outcome);
         }
         let json = session.to_json().to_pretty();
         if let Err(e) = std::fs::write(path, json) {

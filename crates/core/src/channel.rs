@@ -41,6 +41,13 @@ pub enum ControlOp {
     /// rollout got before the crash. Queries carry no idempotency token
     /// state — they never mutate the switch.
     Query,
+    /// A heartbeat from the health monitor ([`crate::HealthMonitor`]): the
+    /// switch (or the agent at one end of a probed link) answers with its
+    /// liveness and epoch tags (`lyra_health_probe()` in the emitted
+    /// control stub). Read-only like [`ControlOp::Query`] — it never
+    /// mutates the switch and records no idempotency token, so a dropped
+    /// probe is pure evidence, not protocol state.
+    Probe,
 }
 
 impl ControlOp {
@@ -51,6 +58,7 @@ impl ControlOp {
             ControlOp::Commit => "commit",
             ControlOp::Rollback => "rollback",
             ControlOp::Query => "query",
+            ControlOp::Probe => "probe",
         }
     }
 }

@@ -337,9 +337,10 @@ impl LiveTrafficPlane {
         let Some(&i) = self.index.get(&msg.switch) else {
             return; // message to a switch the plane does not know: dropped
         };
-        if matches!(msg.op, ControlOp::Query) {
-            // Read-only state probe (recovery): nothing to apply, and no
-            // token is recorded — a retried query must never be suppressed.
+        if matches!(msg.op, ControlOp::Query | ControlOp::Probe) {
+            // Read-only state query (recovery) or health probe: nothing to
+            // apply, and no token is recorded — a retried copy must never
+            // be suppressed.
             return;
         }
         let mut control = lock_control(&self.control);
@@ -360,7 +361,7 @@ impl LiveTrafficPlane {
                     ctl.staged = Some((msg.epoch, plane));
                 }
             }
-            ControlOp::Query => return, // handled above; kept for exhaustiveness
+            ControlOp::Query | ControlOp::Probe => return, // handled above; kept for exhaustiveness
             ControlOp::Commit => {
                 if ctl.epoch != msg.epoch {
                     if let Some((e, plane)) = ctl.staged.take() {
@@ -538,6 +539,10 @@ pub struct ReplayReport {
     /// check makes this structurally zero; it is counted (not assumed) so
     /// the invariant is measured, and asserted in the chaos tests.
     pub mixed_epoch_exposure: u64,
+    /// Worker threads that panicked mid-replay. Their partial counts are
+    /// lost but the replay completes on the survivors — a poisoned worker
+    /// must not take the serving plane down with it.
+    pub worker_panics: u64,
     /// Total effects fired (actions recorded by executed packets).
     pub effects: u64,
     /// XOR-fold of every packet's machine digest — order-independent, so
@@ -556,12 +561,13 @@ impl ReplayReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"packets\":{},\"delivered\":{},\"refused_epoch_mismatch\":{},\
-             \"mixed_epoch_exposure\":{},\"effects\":{},\"digest\":\"{:#x}\",\
-             \"workers\":{},\"elapsed_us\":{},\"pps\":{:.0}}}",
+             \"mixed_epoch_exposure\":{},\"worker_panics\":{},\"effects\":{},\
+             \"digest\":\"{:#x}\",\"workers\":{},\"elapsed_us\":{},\"pps\":{:.0}}}",
             self.packets,
             self.delivered,
             self.refused_epoch_mismatch,
             self.mixed_epoch_exposure,
+            self.worker_panics,
             self.effects,
             self.digest,
             self.workers,
@@ -685,12 +691,37 @@ fn run_worker(
     out
 }
 
-fn aggregate(outs: Vec<WorkerOut>, workers: usize, elapsed: Duration) -> ReplayReport {
+/// Join replay workers without letting one panicked worker take the
+/// harness down: a panicked worker's partial counts are lost, but the
+/// replay (and the serving plane behind it) completes on the survivors.
+/// The panic is counted on the report instead of re-raised — the
+/// thread-side counterpart of the poison-recovering lock helpers above.
+fn join_workers(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, WorkerOut>>,
+) -> (Vec<WorkerOut>, u64) {
+    let mut outs = Vec::with_capacity(handles.len());
+    let mut panics = 0u64;
+    for h in handles {
+        match h.join() {
+            Ok(o) => outs.push(o),
+            Err(_) => panics += 1,
+        }
+    }
+    (outs, panics)
+}
+
+fn aggregate(
+    outs: Vec<WorkerOut>,
+    worker_panics: u64,
+    workers: usize,
+    elapsed: Duration,
+) -> ReplayReport {
     let mut report = ReplayReport {
         packets: 0,
         delivered: 0,
         refused_epoch_mismatch: 0,
         mixed_epoch_exposure: 0,
+        worker_panics,
         effects: 0,
         digest: 0,
         workers,
@@ -714,16 +745,13 @@ fn run_replay(plane: &LiveTrafficPlane, cfg: &ReplayConfig) -> ReplayReport {
     let next = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
-    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+    let (outs, panics) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| s.spawn(|| run_worker(plane, cfg, &next, &stop)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
-            .collect()
+        join_workers(handles)
     });
-    aggregate(outs, workers, t0.elapsed())
+    aggregate(outs, panics, workers, t0.elapsed())
 }
 
 /// Replay seeded traffic through the *compiled* engine on a static plane
@@ -804,6 +832,7 @@ pub fn replay_interpreted(rt: &Runtime<'_>, cfg: &ReplayConfig) -> ReplayReport 
         delivered,
         refused_epoch_mismatch: 0,
         mixed_epoch_exposure: 0,
+        worker_panics: 0,
         effects,
         digest: 0,
         workers: 1,
@@ -861,16 +890,14 @@ pub fn replay_under_rollout<'a>(
             }
             Err(_) => stop.store(true, Ordering::Relaxed),
         }
-        let outs: Vec<WorkerOut> = handles
-            .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
-            .collect();
+        let outs = join_workers(handles);
         (outs, rollout)
     });
     let elapsed = t0.elapsed();
+    let (outs, panics) = outs;
     let rollout = rollout?;
     Ok(RolloutReplayOutcome {
-        replay: aggregate(outs, workers, elapsed),
+        replay: aggregate(outs, panics, workers, elapsed),
         rollout,
     })
 }
@@ -936,16 +963,14 @@ pub fn replay_under_recovery<'a>(
             }
             Err(_) => stop.store(true, Ordering::Relaxed),
         }
-        let outs: Vec<WorkerOut> = handles
-            .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
-            .collect();
+        let outs = join_workers(handles);
         (outs, recovery)
     });
     let elapsed = t0.elapsed();
+    let (outs, panics) = outs;
     let recovery = recovery?;
     Ok(RecoveryReplayOutcome {
-        replay: aggregate(outs, workers, elapsed),
+        replay: aggregate(outs, panics, workers, elapsed),
         recovery,
     })
 }

@@ -67,6 +67,7 @@ pub mod cache;
 pub mod channel;
 pub mod dataplane;
 pub mod fault;
+pub mod health;
 pub mod oracle;
 pub mod recovery;
 pub mod rollout;
@@ -80,6 +81,11 @@ pub use dataplane::{
     RolloutReplayOutcome, TrafficChannel,
 };
 pub use fault::{DriftFinding, DriftKind, DriftOp, FaultRecompile, PlacementDiff};
+pub use health::{
+    run_selfheal, ChaosChannel, ChaosEvent, ChaosSchedule, HealthConfig, HealthEvent,
+    HealthMonitor, HealthReport, HealthState, PlanOutcome, ProbeOutcome, RemediationPlan,
+    RemediationReport, SelfHealConfig, SelfHealOutcome, SelfHealer, Target, TargetStatus,
+};
 pub use oracle::{check_output, OracleConfig, OracleReport};
 pub use recovery::{AuditReport, RecoveryReport, SwitchProbe};
 pub use rollout::{
@@ -332,6 +338,10 @@ pub struct CompileSession {
     /// deployment, when one was driven (`lyrac --rollout-fail`); its
     /// retries and rollbacks render under `"rollout"` in the JSON.
     pub rollout: Option<RolloutReport>,
+    /// The closed self-healing loop driven against this compile, when one
+    /// ran (`lyrac --monitor`); detection verdicts and remediation rounds
+    /// render under `"selfheal"` in the JSON.
+    pub selfheal: Option<SelfHealOutcome>,
 }
 
 impl CompileSession {
@@ -339,6 +349,14 @@ impl CompileSession {
     /// compile, so session JSON carries the full update story.
     pub fn with_rollout(mut self, report: RolloutReport) -> Self {
         self.rollout = Some(report);
+        self
+    }
+
+    /// Attach the [`SelfHealOutcome`] of a monitoring run driven against
+    /// this compile, so session JSON carries the detection and
+    /// remediation story.
+    pub fn with_selfheal(mut self, outcome: SelfHealOutcome) -> Self {
+        self.selfheal = Some(outcome);
         self
     }
     /// Serialize to a JSON value (phases in microseconds).
@@ -390,6 +408,9 @@ impl CompileSession {
         );
         if let Some(rollout) = &self.rollout {
             o.push("rollout", rollout.to_json());
+        }
+        if let Some(selfheal) = &self.selfheal {
+            o.push("selfheal", selfheal.to_json());
         }
         Value::Object(o)
     }
@@ -455,6 +476,7 @@ impl CompileOutput {
             solver: self.solver,
             utilization: self.utilization.clone(),
             rollout: None,
+            selfheal: None,
         }
     }
 

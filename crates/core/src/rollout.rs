@@ -720,9 +720,10 @@ pub(crate) fn deliver(states: &mut BTreeMap<String, SwitchState>, msg: &ControlM
                 st.staged = None;
             }
         }
-        ControlOp::Query => {
-            // Read-only: the switch reports its epochs in the ack. Never
-            // mutates and records no token, so a retried query is not
+        ControlOp::Query | ControlOp::Probe => {
+            // Read-only: the switch reports its epochs (query) or its
+            // liveness (health probe) in the ack. Never mutates and
+            // records no token, so a retried query/probe is not
             // suppressed by the guard.
             return;
         }
@@ -925,7 +926,11 @@ impl<'a> Runtime<'a> {
         if known {
             Ok(())
         } else {
-            Err(RuntimeError::new(format!("unknown switch `{switch}`")))
+            // Same stable code the fault model uses when a `FaultSet` names
+            // an element outside the topology — the self-healer calls the
+            // `fail_*` entry points repeatedly and matches on this.
+            Err(RuntimeError::new(format!("unknown switch `{switch}`"))
+                .with_code(codes::SCOPE_UNKNOWN_SWITCH))
         }
     }
 
@@ -1474,5 +1479,65 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn fail_switch_is_total_unknown_name_carries_a_coded_error() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        let err = rt.fail_switch("Banana").unwrap_err();
+        assert_eq!(err.code, Some(lyra_diag::codes::SCOPE_UNKNOWN_SWITCH));
+        assert!(err.message.contains("Banana"), "unhelpful message: {err}");
+        // A bad name must not poison any state: the runtime still works.
+        assert_eq!(rt.epoch(), 0);
+        rt.install("conn_table", 7, 8).unwrap();
+        let err = rt.fail_link("Agg3", "Durian").unwrap_err();
+        assert_eq!(err.code, Some(lyra_diag::codes::SCOPE_UNKNOWN_SWITCH));
+    }
+
+    #[test]
+    fn fail_switch_is_idempotent_repeat_is_a_noop() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 42, 0xabcd).unwrap();
+        rt.fail_switch("Agg3").unwrap();
+        let epoch = rt.epoch();
+        // Failing it again: no new epoch, no re-sync traffic, Ok(empty).
+        let again = rt.fail_switch("Agg3").unwrap();
+        assert!(again.is_empty(), "noop re-fail re-synced {again:?}");
+        assert_eq!(rt.epoch(), epoch, "a noop must not burn an epoch");
+        let report = rt
+            .fail_switch_with_channel(
+                "Agg3",
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(report.messages_sent, 0, "noop report sent messages");
+        assert!(!report.committed && !report.rolled_back);
+    }
+
+    #[test]
+    fn fail_link_is_idempotent_and_covered_by_switch_failure() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        rt.install("conn_table", 1, 2).unwrap();
+        rt.fail_link("Agg3", "ToR3").unwrap();
+        let epoch = rt.epoch();
+        // Same link, either endpoint order: noop.
+        assert!(rt.fail_link("ToR3", "Agg3").unwrap().is_empty());
+        assert_eq!(rt.epoch(), epoch);
+        // A link whose endpoint switch already failed is also a noop —
+        // the switch failure subsumes it.
+        rt.fail_switch("Agg4").unwrap();
+        let epoch = rt.epoch();
+        assert!(rt.fail_link("Agg4", "ToR4").unwrap().is_empty());
+        assert_eq!(rt.epoch(), epoch);
     }
 }

@@ -115,7 +115,8 @@ impl fmt::Display for Code {
 /// * `LYR05xx` — code generation, backend validation, and robustness
 ///   (`LYR055x` are degraded-result and fault-model codes, `LYR056x` are
 ///   transactional-rollout codes, `LYR057x` are controller-crash
-///   recovery and anti-entropy codes)
+///   recovery and anti-entropy codes, `LYR058x` are failure-detection
+///   and self-healing codes)
 /// * `LYR06xx` — semantic-oracle and IR-invariant codes (differential
 ///   checking of emitted artifacts against the IR interpreter)
 pub mod codes {
@@ -252,6 +253,36 @@ pub mod codes {
     /// injected store fault); the rollout halts as if the controller
     /// crashed, because un-journaled sends would be unrecoverable.
     pub const INTENT_STORE_IO: Code = Code("LYR0577");
+
+    /// The health monitor confirmed a switch or link dead: its
+    /// phi-accrual suspicion crossed the dead threshold (the message
+    /// names the target, the score, and the probe evidence).
+    pub const HEALTH_DEAD: Code = Code("LYR0580");
+    /// Warning: the health monitor confirmed a *gray* failure — the
+    /// target answers probes but slowly or lossily (sustained degraded /
+    /// lost fraction above the gray threshold without crossing dead).
+    pub const HEALTH_GRAY: Code = Code("LYR0581");
+    /// Warning: a target's failure signal is flapping (repeated down/up
+    /// edges inside the damping window); its flap penalty is accruing.
+    pub const HEALTH_FLAPPING: Code = Code("LYR0582");
+    /// Warning: a flapping target was quarantined — it stays failed out
+    /// and is not restored on apparent recovery until its flap penalty
+    /// decays, so an oscillating element converges to one recompile
+    /// instead of a recompile storm.
+    pub const HEALTH_QUARANTINED: Code = Code("LYR0583");
+    /// Warning: the self-healer completed a remediation round
+    /// (fail + recompile + rollout + audit) for confirmed suspicions.
+    pub const HEAL_REMEDIATED: Code = Code("LYR0584");
+    /// Warning: a healed target passed its probation window and was
+    /// reinstated (placement re-expanded, entries re-synced).
+    pub const HEAL_RESTORED: Code = Code("LYR0585");
+    /// Warning: a remediation was deferred by the healer's rate limit /
+    /// damped backoff; the confirmed faults stay coalesced for the next
+    /// round.
+    pub const HEAL_RATE_LIMITED: Code = Code("LYR0586");
+    /// A remediation round failed (the recompile was refused or the
+    /// rollout rolled back); the healer backs off and retries.
+    pub const HEAL_FAILED: Code = Code("LYR0587");
 
     /// The semantic oracle found a divergence between the IR interpreter
     /// and the model recovered from one emitted artifact (the message

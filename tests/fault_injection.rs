@@ -24,9 +24,9 @@
 use std::time::{Duration, Instant};
 
 use lyra::{
-    replay_under_recovery, CompileRequest, Compiler, CrashPlan, CrashPoint, DriftOp, IntentStore,
-    LossyChannel, MemIntentStore, ReliableChannel, ReplayConfig, RolloutConfig, Runtime,
-    SolveProfile,
+    replay_under_recovery, run_selfheal, ChaosSchedule, CompileRequest, Compiler, CrashPlan,
+    CrashPoint, DriftOp, HealthConfig, HealthState, IntentStore, LossyChannel, MemIntentStore,
+    ReliableChannel, ReplayConfig, RolloutConfig, Runtime, SelfHealConfig, SolveProfile, Target,
 };
 use lyra_ir::{execute_all, DataPlaneState, Effect, PacketState};
 use lyra_lang::parse_scopes;
@@ -1055,4 +1055,240 @@ fn failing_intent_store_halts_and_partial_journal_recovers() {
         "sweep degenerate: {committed_n} commits, {rolled_back_n} rollbacks, \
          {survived_n} survived"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop self-healing under seeded chaos (lyra::health)
+// ---------------------------------------------------------------------------
+
+/// Draw a random chaos schedule over the LB scope whose *worst case* —
+/// every scheduled target faulted at once — still leaves the scope
+/// survivable, so `recompile_for_faults` always has a placement to heal
+/// onto. Events quiesce early enough that the healer can restore whatever
+/// comes back (including quarantined flappers waiting out penalty decay)
+/// inside the tick budget.
+fn survivable_chaos(rng: &mut Rng) -> (ChaosSchedule, bool) {
+    let topo = figure1_network();
+    let spec = &parse_scopes(LB_SCOPES).unwrap()[0];
+    let resolved = resolve_scope(&topo, spec).unwrap();
+    loop {
+        let n = 1 + rng.below(3);
+        let mut targets: Vec<Target> = Vec::new();
+        let mut faults = FaultSet::new();
+        while targets.len() < n as usize {
+            let t = if rng.below(2) == 0 {
+                Target::switch(SWITCH_POOL[rng.below(4) as usize])
+            } else {
+                let (a, b) = LINK_POOL[rng.below(4) as usize];
+                Target::link(a, b)
+            };
+            if targets.contains(&t) {
+                continue;
+            }
+            match &t {
+                Target::Switch(s) => faults.add_switch(s),
+                Target::Link(a, b) => faults.add_link(a, b),
+            }
+            targets.push(t);
+        }
+        if !scope_health(&topo, &resolved, &faults).survivable() {
+            continue;
+        }
+        let mut schedule = ChaosSchedule::new();
+        let mut has_kill = false;
+        for t in targets {
+            match rng.below(5) {
+                0 => {
+                    has_kill = true;
+                    schedule = schedule.kill(4 + rng.below(12), t);
+                }
+                1 => {
+                    has_kill = true;
+                    let at = 4 + rng.below(8);
+                    let back = at + 8 + rng.below(10);
+                    schedule = schedule.kill(at, t.clone()).restore(back, t);
+                }
+                2 => {
+                    schedule =
+                        schedule.flap(4 + rng.below(8), t, 2 + rng.below(3), 3 + rng.below(4));
+                }
+                3 => {
+                    let at = 4 + rng.below(8);
+                    schedule = schedule.slow(at, at + 8 + rng.below(16), t);
+                }
+                _ => {
+                    let at = 4 + rng.below(8);
+                    let p = 0.55 + 0.1 * rng.below(3) as f64;
+                    schedule = schedule.lossy(at, at + 8 + rng.below(16), t, p);
+                }
+            }
+        }
+        return (schedule, has_kill);
+    }
+}
+
+/// ≥200 random chaos schedules — kills, kill+restore cycles, flaps, slow
+/// and lossy windows over the LB scope — each driven through the full
+/// closed loop. Every scenario must end converged (desired == active,
+/// epochs coherent), pass the final anti-entropy audit, and never expose
+/// mixed-epoch state; every committed remediation must audit clean.
+#[test]
+fn selfheal_chaos_converges_across_200_scenarios() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let entries: Vec<(String, u64, u64)> = (0..4u64)
+        .map(|k| ("conn_table".to_string(), k, 0x0a00_0100 + k))
+        .collect();
+    let mut rng = Rng::new(0x5e1f_4ea1);
+
+    let (mut remediated_total, mut restored_total, mut quarantined_total) = (0u64, 0u64, 0usize);
+    for scenario in 0..200usize {
+        let (schedule, has_kill) = survivable_chaos(&mut rng);
+        let mut cfg = SelfHealConfig {
+            health: HealthConfig::default().with_seed(0x9_0000 + scenario as u64),
+            ticks: 240,
+            ..SelfHealConfig::default()
+        };
+        if scenario % 20 == 0 {
+            cfg.traffic_packets = 1500;
+            cfg.workers = 2;
+        }
+        let outcome = run_selfheal(&compiler, &req, &entries, &schedule, &cfg)
+            .unwrap_or_else(|e| panic!("scenario {scenario}: selfheal: {e}"));
+        assert!(
+            outcome.converged,
+            "scenario {scenario}: did not converge: {} remediations, health {:?}",
+            outcome.remediations.len(),
+            outcome
+                .health
+                .targets
+                .iter()
+                .filter(|t| t.state != HealthState::Healthy)
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            outcome.final_audit_clean,
+            "scenario {scenario}: final audit found drift"
+        );
+        assert_eq!(
+            outcome.mixed_epoch_exposure, 0,
+            "scenario {scenario}: mixed-epoch packets escaped"
+        );
+        assert_eq!(
+            outcome.worker_panics, 0,
+            "scenario {scenario}: replay worker panicked"
+        );
+        for (i, r) in outcome.remediations.iter().enumerate() {
+            if r.committed {
+                assert!(
+                    r.audit_clean,
+                    "scenario {scenario}: remediation {i} committed but audited dirty"
+                );
+            }
+        }
+        if has_kill {
+            assert!(
+                outcome.recompiles >= 1,
+                "scenario {scenario}: a kill was scheduled but nothing was remediated"
+            );
+        }
+        remediated_total += outcome.rollouts_committed;
+        restored_total += outcome.restores;
+        // Quarantines are often served and *exited* (penalty decays, the
+        // target is restored) before the run ends, so count the verdicts
+        // the monitor raised rather than the final states.
+        quarantined_total += outcome
+            .health
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Some(lyra_diag::codes::HEALTH_QUARANTINED))
+            .count();
+    }
+    // The sweep must actually exercise the loop: remediations commit,
+    // restores bring targets back, and at least one flapper is quarantined.
+    assert!(
+        remediated_total > 0 && restored_total > 0 && quarantined_total > 0,
+        "sweep degenerate: {remediated_total} commits, {restored_total} restores, \
+         {quarantined_total} quarantines"
+    );
+}
+
+/// The flap-damping acceptance test: a link flapping 8 times inside the
+/// damping window triggers exactly ONE recompile+rollout — the penalty
+/// quarantines the target instead of chasing every edge — and the final
+/// health report carries the quarantine verdict.
+#[test]
+fn flapping_link_is_damped_to_one_recompile_and_quarantined() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let victim = Target::link("Agg3", "ToR3");
+    let schedule = ChaosSchedule::new().flap(5, victim.clone(), 3, 8);
+    let cfg = SelfHealConfig {
+        ticks: 80,
+        ..SelfHealConfig::default()
+    };
+    let outcome = run_selfheal(&compiler, &req, &[], &schedule, &cfg).expect("selfheal");
+
+    assert_eq!(
+        outcome.recompiles, 1,
+        "flap storm caused {} recompiles; damping must hold it to one",
+        outcome.recompiles
+    );
+    assert_eq!(outcome.rollouts_committed, 1);
+    let status = outcome
+        .health
+        .targets
+        .iter()
+        .find(|t| t.target == victim)
+        .expect("victim watched");
+    assert_eq!(
+        status.state,
+        HealthState::Quarantined,
+        "flapper ended {:?}, expected quarantine",
+        status.state
+    );
+    assert!(
+        outcome
+            .health
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Some(lyra_diag::codes::HEALTH_QUARANTINED)),
+        "no LYR0583 quarantine diagnostic was raised"
+    );
+    assert_eq!(outcome.mixed_epoch_exposure, 0);
+}
+
+/// A slow flapper (long up phases that clear probation) is allowed to be
+/// restored and re-remediated — but the cycle count stays bounded well
+/// below one rollout per edge, and the loop still converges.
+#[test]
+fn slow_flap_restore_refail_cycles_stay_bounded() {
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(LB, LB_SCOPES, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let victim = Target::switch("Agg4");
+    // Down [5,25) up [25,45) down [45,65) up [65,85): 3 down edges.
+    let schedule = ChaosSchedule::new().flap(5, victim, 20, 3);
+    let cfg = SelfHealConfig {
+        ticks: 160,
+        ..SelfHealConfig::default()
+    };
+    let outcome = run_selfheal(&compiler, &req, &[], &schedule, &cfg).expect("selfheal");
+
+    assert!(
+        outcome.converged,
+        "slow flap did not converge: {:?}",
+        outcome.health.targets
+    );
+    // Each down edge may cost a fail round and each recovery a restore
+    // round, but damping/backoff must keep the total bounded.
+    assert!(
+        (2..=6).contains(&outcome.recompiles),
+        "slow flap drove {} recompiles (expected a handful, not a storm)",
+        outcome.recompiles
+    );
+    assert_eq!(outcome.mixed_epoch_exposure, 0);
+    assert!(outcome.final_audit_clean);
 }
