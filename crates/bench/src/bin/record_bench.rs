@@ -39,7 +39,7 @@ use lyra::{
 };
 use lyra_apps::{figure9_corpus, programs};
 use lyra_diag::json::{parse, Object, Value};
-use lyra_topo::{fat_tree_pod, FaultSet, Layer, Topology};
+use lyra_topo::{fat_tree_pod, figure1_network, FaultSet, Layer, Topology};
 
 /// Timed samples per measurement (median reported).
 const SAMPLES: usize = 5;
@@ -348,7 +348,169 @@ fn record_rollout() -> Object {
     o.push("case", Value::str("LB(MULTI-SW)@k16 Agg1-failover"));
     o.push("entries", Value::Number(ROLLOUT_ENTRIES as f64));
     o.push("p50_commit_ms", Value::Number(ms(p50)));
+    o.push("scale", Value::Array(record_rollout_scale()));
     o
+}
+
+/// Entry counts for the rollout wire-cost study, with the `conn_table`
+/// size each needs so the per-path capacity constraint admits it.
+const ROLLOUT_SCALES: [(usize, u64); 3] =
+    [(1_000, 4_096), (100_000, 262_144), (1_000_000, 1 << 21)];
+/// Modeled control-channel rate for the in-band commit-latency figure:
+/// 1 Gbps, i.e. 125 bytes per microsecond.
+const WIRE_BYTES_PER_MS: f64 = 125_000.0;
+/// Modeled per-message overhead (serialization + RTT) for the same figure.
+const WIRE_MSG_MS: f64 = 0.05;
+/// Smoke mode: minimum snapshot/delta prepare-bytes ratio at the smallest
+/// scale row — the O(delta) tripwire.
+const SMOKE_DELTA_RATIO_FLOOR: f64 = 10.0;
+
+/// One measured row of the wire-cost study.
+struct ScaleRow {
+    entries: usize,
+    p50_wall_delta: Duration,
+    p50_wall_snapshot: Duration,
+    bytes_delta: u64,
+    bytes_snapshot: u64,
+    wire_ms_delta: f64,
+    wire_ms_snapshot: f64,
+}
+
+/// Seeded xorshift64* entry generator (ascending unique keys), mirroring
+/// the `tests/common` one so bench and test suites agree on workloads.
+fn scale_entries(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut x = seed.max(1);
+    let mut step = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut entries = Vec::with_capacity(n);
+    let mut key = 0u64;
+    for _ in 0..n {
+        key += 1 + step() % 7;
+        entries.push((key, step()));
+    }
+    entries
+}
+
+/// An Agg3 failover over `n` installed entries on the Figure 1 pod,
+/// measured twice: delta prepares vs. snapshots forced. Wall clock covers
+/// the whole transactional rollout (staging + prepare + commit); the
+/// modeled wire figure isolates what the control channel actually ships
+/// (prepare payload at 1 Gbps plus per-message overhead), which is the
+/// number a real fleet's commit latency tracks.
+fn measure_rollout_scale(n: usize, table_size: u64, samples: usize) -> ScaleRow {
+    let program = format!(
+        r#"
+        pipeline[LB]{{loadbalancer}};
+        algorithm loadbalancer {{
+            extern dict<bit[32] h, bit[32] ip>[{table_size}] conn_table;
+            if (flow_h in conn_table) {{
+                ipv4.dstAddr = conn_table[flow_h];
+            }} else {{
+                copy_to_cpu();
+            }}
+        }}
+    "#
+    );
+    let scopes = "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+    let compiler = Compiler::new();
+    let req = CompileRequest::new(&program, scopes, figure1_network())
+        .with_solve_profile(SolveProfile::fast());
+    let healthy = compiler.compile(&req).expect("scaled LB compiles");
+    let mut faults = FaultSet::new();
+    faults.add_switch("Agg3");
+    let failover = compiler
+        .recompile_for_faults(&req, &healthy, &faults)
+        .expect("Agg3 failover recompile");
+    let entries = scale_entries(n, 0x5ca1e + n as u64);
+
+    let run = |force_snapshot: bool| -> (Duration, u64, u64) {
+        let mut walls = Vec::with_capacity(samples);
+        let mut bytes = 0u64;
+        let mut msgs = 0u64;
+        for _ in 0..samples {
+            let mut rt = Runtime::new(&healthy);
+            rt.install_many("conn_table", &entries)
+                .expect("bulk install");
+            rt.fail_switch("Agg3").expect("live failover");
+            let config = RolloutConfig::default()
+                .with_scope_health(failover.scope_health.clone())
+                .with_force_snapshot(force_snapshot);
+            let t = Instant::now();
+            let report = rt
+                .apply_rollout(&failover.output, &mut ReliableChannel::new(), &config)
+                .expect("failover rollout starts");
+            walls.push(t.elapsed());
+            assert!(report.committed, "reliable scaled rollout must commit");
+            bytes = report.prepare_bytes;
+            msgs = report.messages_sent;
+        }
+        walls.sort();
+        (walls[walls.len() / 2], bytes, msgs)
+    };
+    let (p50_wall_delta, bytes_delta, msgs_delta) = run(false);
+    let (p50_wall_snapshot, bytes_snapshot, msgs_snapshot) = run(true);
+    ScaleRow {
+        entries: n,
+        p50_wall_delta,
+        p50_wall_snapshot,
+        bytes_delta,
+        bytes_snapshot,
+        wire_ms_delta: bytes_delta as f64 / WIRE_BYTES_PER_MS + msgs_delta as f64 * WIRE_MSG_MS,
+        wire_ms_snapshot: bytes_snapshot as f64 / WIRE_BYTES_PER_MS
+            + msgs_snapshot as f64 * WIRE_MSG_MS,
+    }
+}
+
+/// The rollout wire-cost study: p50 commit latency and prepare bytes at
+/// 10³ / 10⁵ / 10⁶ installed entries, delta prepares vs. forced
+/// snapshots. The 10⁶-entry row is the ROADMAP item-5 acceptance: the
+/// delta path must beat snapshots by ≥10x on both prepare bytes and the
+/// modeled in-band commit latency.
+fn record_rollout_scale() -> Vec<Value> {
+    let mut rows = Vec::new();
+    for (n, table_size) in ROLLOUT_SCALES {
+        // Million-entry samples are seconds each; the median over 3 is
+        // stable because the work is deterministic.
+        let samples = if n >= 1_000_000 { 3 } else { SAMPLES };
+        let row = measure_rollout_scale(n, table_size, samples);
+        println!(
+            "rollout scale {n}: delta p50 {:?} / {}B wire, snapshot p50 {:?} / {}B wire",
+            row.p50_wall_delta, row.bytes_delta, row.p50_wall_snapshot, row.bytes_snapshot
+        );
+        if n >= 1_000_000 {
+            assert!(
+                row.bytes_snapshot >= 10 * row.bytes_delta.max(1),
+                "10^6-entry delta rollout no longer beats snapshots >=10x on prepare bytes"
+            );
+            assert!(
+                row.wire_ms_snapshot >= 10.0 * row.wire_ms_delta.max(f64::EPSILON),
+                "10^6-entry delta rollout no longer beats snapshots >=10x on wire latency"
+            );
+        }
+        let mut o = Object::new();
+        o.push("entries", Value::Number(row.entries as f64));
+        o.push("p50_commit_ms_delta", Value::Number(ms(row.p50_wall_delta)));
+        o.push(
+            "p50_commit_ms_snapshot",
+            Value::Number(ms(row.p50_wall_snapshot)),
+        );
+        o.push("prepare_bytes_delta", Value::Number(row.bytes_delta as f64));
+        o.push(
+            "prepare_bytes_snapshot",
+            Value::Number(row.bytes_snapshot as f64),
+        );
+        o.push("wire_ms_delta_1gbps", Value::Number(row.wire_ms_delta));
+        o.push(
+            "wire_ms_snapshot_1gbps",
+            Value::Number(row.wire_ms_snapshot),
+        );
+        rows.push(Value::Object(o));
+    }
+    rows
 }
 
 /// Smoke mode: absolute bound for the recovery p50 when the committed
@@ -946,6 +1108,26 @@ fn smoke() -> usize {
         }
     );
     if p50 > bound {
+        failures += 1;
+    }
+
+    // O(delta) tripwire: at the smallest scale row, delta prepares must
+    // still beat forced snapshots by the floor on prepare bytes — this is
+    // deterministic wire accounting, not timing, so no grace is needed.
+    let (n, table_size) = ROLLOUT_SCALES[0];
+    let row = measure_rollout_scale(n, table_size, 1);
+    let ratio = row.bytes_snapshot as f64 / row.bytes_delta.max(1) as f64;
+    let status = if ratio < SMOKE_DELTA_RATIO_FLOOR {
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "smoke rollout-delta @{n} entries: snapshot {}B / delta {}B = {ratio:.1}x \
+         (floor {SMOKE_DELTA_RATIO_FLOOR:.0}x) {status}",
+        row.bytes_snapshot, row.bytes_delta
+    );
+    if ratio < SMOKE_DELTA_RATIO_FLOOR {
         failures += 1;
     }
 

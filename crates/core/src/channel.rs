@@ -14,19 +14,81 @@
 //! end (and is exactly what the idempotency tokens on [`ControlMsg`]
 //! exist to survive).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use lyra_ir::DataPlaneState;
+
+/// One entry-level change in a delta prepare: the unit of a batched
+/// install message. A rollout that touched 1% of a million-entry table
+/// ships ~10⁴ of these instead of the 10⁶-entry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryOp {
+    /// Install or overwrite `table[key] = value` in the staged epoch.
+    Set {
+        /// Extern table name.
+        table: String,
+        /// Entry key.
+        key: u64,
+        /// Entry value.
+        value: u64,
+    },
+    /// Remove `table[key]` from the staged epoch.
+    Remove {
+        /// Extern table name.
+        table: String,
+        /// Entry key.
+        key: u64,
+    },
+}
+
+impl EntryOp {
+    /// Estimated wire size: a one-byte opcode, the 8-byte key (and value
+    /// for sets), plus the table name (amortized to a 2-byte table id on
+    /// a real SDK wire; we charge the name once per op to stay
+    /// conservative).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            EntryOp::Set { table, .. } => 1 + table.len() + 16,
+            EntryOp::Remove { table, .. } => 1 + table.len() + 8,
+        }
+    }
+}
 
 /// The operation a control message carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlOp {
     /// Stage the full per-switch state of the next epoch. Carries the
     /// payload so a duplicated or late prepare re-delivers *its own*
-    /// (possibly stale) snapshot, as on a real wire.
+    /// (possibly stale) snapshot, as on a real wire. This is the
+    /// fallback path — fresh switches, drift-repaired switches, and
+    /// base-epoch mismatches take it; everything else prepares via
+    /// [`ControlOp::PrepareDelta`].
     Prepare {
         /// The staged data-plane state for the new epoch.
         staged: DataPlaneState,
+    },
+    /// Stage the next epoch as a batch of entry-level changes against the
+    /// switch's *serving* state. Batch 0 opens the staged epoch (cloning
+    /// the serving state and replacing the globals); later batches append
+    /// to it. Each batch is its own message with its own idempotency
+    /// token, so the lossy-channel fault model rules on every batch
+    /// independently — exactly like a real SDK's bounded-size install
+    /// RPCs.
+    PrepareDelta {
+        /// The serving epoch this delta was diffed against. A switch
+        /// whose serving epoch differs must refuse the batch (the
+        /// controller falls back to a snapshot prepare).
+        base_epoch: u64,
+        /// Entry-level changes, applied in order.
+        ops: Vec<EntryOp>,
+        /// The complete global register arrays of the new epoch
+        /// (globals are tiny next to million-entry tables, so they ride
+        /// whole in batch 0 and empty afterwards).
+        globals: BTreeMap<String, Vec<u64>>,
+        /// Position of this batch in the prepare stream for this switch.
+        batch_index: u32,
+        /// Total batches in the stream (for acknowledgement accounting).
+        batches_total: u32,
     },
     /// Flip the switch to its staged epoch and garbage-collect the old one
     /// (the old state is retained switch-side until the rollout finalizes,
@@ -55,10 +117,52 @@ impl ControlOp {
     pub fn name(&self) -> &'static str {
         match self {
             ControlOp::Prepare { .. } => "prepare",
+            ControlOp::PrepareDelta { .. } => "prepare-delta",
             ControlOp::Commit => "commit",
             ControlOp::Rollback => "rollback",
             ControlOp::Query => "query",
             ControlOp::Probe => "probe",
+        }
+    }
+
+    /// True for either prepare flavor (snapshot or delta).
+    pub fn is_prepare(&self) -> bool {
+        matches!(
+            self,
+            ControlOp::Prepare { .. } | ControlOp::PrepareDelta { .. }
+        )
+    }
+
+    /// Estimated payload size on a real wire, in bytes. Snapshot prepares
+    /// charge every entry and global word; delta prepares charge only
+    /// their ops (plus globals in batch 0); control-only ops are a fixed
+    /// header. This is the number the bench harness tracks to prove
+    /// prepare cost scales with the delta, not the state.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            ControlOp::Prepare { staged } => {
+                let entries: usize = staged
+                    .externs
+                    .iter()
+                    .map(|(name, t)| t.len() * 16 + name.len())
+                    .sum();
+                let globals: usize = staged
+                    .globals
+                    .iter()
+                    .map(|(name, arr)| name.len() + arr.len() * 8)
+                    .sum();
+                entries + globals
+            }
+            ControlOp::PrepareDelta { ops, globals, .. } => {
+                let ops: usize = ops.iter().map(|o| o.wire_bytes()).sum();
+                let globals: usize = globals
+                    .iter()
+                    .map(|(name, arr)| name.len() + arr.len() * 8)
+                    .sum();
+                // base_epoch + batch_index + batches_total.
+                ops + globals + 16
+            }
+            ControlOp::Commit | ControlOp::Rollback | ControlOp::Query | ControlOp::Probe => 0,
         }
     }
 }
@@ -76,6 +180,14 @@ pub struct ControlMsg {
     pub token: u64,
     /// What to do.
     pub op: ControlOp,
+}
+
+impl ControlMsg {
+    /// Estimated total wire size: a fixed header (switch id, epoch,
+    /// token, opcode) plus the op payload.
+    pub fn wire_bytes(&self) -> usize {
+        self.switch.len() + 8 + 8 + 1 + self.op.wire_bytes()
+    }
 }
 
 /// The fate of one transmission attempt, as ruled by the channel.
@@ -324,6 +436,31 @@ mod tests {
         assert!(fates[3..].iter().all(|d| *d == Delivery::Dropped));
         // Other switches are unaffected.
         assert_eq!(ch.transmit(&msg("T", 99)), Delivery::Delivered);
+    }
+
+    #[test]
+    fn wire_bytes_charge_delta_by_ops_and_snapshot_by_state() {
+        let mut staged = DataPlaneState::new();
+        for k in 0..10_000u64 {
+            staged.install("t", k, k);
+        }
+        let snapshot = ControlOp::Prepare { staged };
+        let delta = ControlOp::PrepareDelta {
+            base_epoch: 1,
+            ops: (0..100u64)
+                .map(|k| EntryOp::Set {
+                    table: "t".into(),
+                    key: k,
+                    value: k,
+                })
+                .collect(),
+            globals: BTreeMap::new(),
+            batch_index: 0,
+            batches_total: 1,
+        };
+        assert!(snapshot.wire_bytes() >= 10_000 * 16);
+        assert!(delta.wire_bytes() < snapshot.wire_bytes() / 50);
+        assert_eq!(ControlOp::Commit.wire_bytes(), 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use lyra_ir::{
     Machine, PacketState, ProgramLayout, TableSnapshot,
 };
 
-use crate::channel::{ControlChannel, ControlMsg, ControlOp, Delivery};
+use crate::channel::{ControlChannel, ControlMsg, ControlOp, Delivery, EntryOp};
 use crate::recovery::RecoveryReport;
 use crate::rollout::{IntentStore, RolloutConfig, RolloutReport};
 use crate::runtime::{Runtime, RuntimeError};
@@ -160,7 +160,10 @@ impl CompiledDeployment {
 
 /// Everything one switch serves for one epoch: the compiled programs and a
 /// sealed, sorted snapshot of its tables and global registers. Immutable
-/// once built — epoch flips swap the `Arc`, never mutate in place.
+/// once built — epoch flips swap the `Arc`, never mutate in place. (Delta
+/// prepares mutate the *staged* plane via `Arc::make_mut` before it is
+/// ever served, which is why this is `Clone`.)
+#[derive(Clone)]
 struct EpochPlane {
     epoch: u64,
     algs: Arc<Vec<CompiledAlgorithm>>,
@@ -361,6 +364,47 @@ impl LiveTrafficPlane {
                     ctl.staged = Some((msg.epoch, plane));
                 }
             }
+            ControlOp::PrepareDelta {
+                base_epoch,
+                ops,
+                globals,
+                batch_index,
+                ..
+            } => {
+                if *batch_index == 0 {
+                    // Opening batch: clone the *serving* snapshot once
+                    // (sorted-array memcpy, never repeated per batch),
+                    // swap in the next epoch's globals, and fold the ops
+                    // in — the full next-epoch `DataPlaneState` is never
+                    // materialized on the mirror. Same guards as the
+                    // switch agent, plus the delta-specific check that
+                    // the serving epoch is the base the diff was cut
+                    // against.
+                    let newer_than_active = msg.epoch > ctl.epoch;
+                    let not_stale = ctl.staged.as_ref().is_none_or(|(e, _)| msg.epoch >= *e);
+                    if newer_than_active && not_stale && *base_epoch == ctl.epoch {
+                        let mut snap = read_lock(&self.serving[i]).snap.clone();
+                        let mut gdp = DataPlaneState::new();
+                        gdp.globals = globals.clone();
+                        snap.globals = self.layout.globals_from(&gdp);
+                        apply_delta_ops(&self.layout, &mut snap, ops);
+                        let plane = Arc::new(EpochPlane {
+                            epoch: msg.epoch,
+                            algs: self.staged_algs[i].clone(),
+                            snap,
+                        });
+                        ctl.staged = Some((msg.epoch, plane));
+                    }
+                } else if let Some((e, plane)) = ctl.staged.as_mut() {
+                    // Later batches append onto the staged plane — which
+                    // is not serving yet, so in-place mutation behind
+                    // `make_mut` cannot be observed by a worker.
+                    if *e == msg.epoch {
+                        let ep = Arc::make_mut(plane);
+                        apply_delta_ops(&self.layout, &mut ep.snap, ops);
+                    }
+                }
+            }
             ControlOp::Query | ControlOp::Probe => return, // handled above; kept for exhaustiveness
             ControlOp::Commit => {
                 if ctl.epoch != msg.epoch {
@@ -437,6 +481,26 @@ impl LiveTrafficPlane {
             };
         }
         self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Fold a delta prepare's entry ops into a staged [`TableSnapshot`]. Ops
+/// naming tables the layout does not know are dropped, matching how the
+/// interpreter-side switch agent ignores installs into undeclared tables.
+fn apply_delta_ops(layout: &ProgramLayout, snap: &mut TableSnapshot, ops: &[EntryOp]) {
+    for op in ops {
+        match op {
+            EntryOp::Set { table, key, value } => {
+                if let Some(t) = layout.table(table) {
+                    snap.set(t, *key, *value);
+                }
+            }
+            EntryOp::Remove { table, key } => {
+                if let Some(t) = layout.table(table) {
+                    snap.remove(t, *key);
+                }
+            }
+        }
     }
 }
 

@@ -212,6 +212,19 @@ impl PlacementDiff {
             .map(|is| is.len())
             .sum()
     }
+
+    /// Total table entries the re-shard moves: the sum of per-switch entry
+    /// count deltas across every re-sharded extern. This is the number a
+    /// delta rollout's wire traffic scales with, so the incremental solver
+    /// hints exist to keep it proportional to what the fault destroyed —
+    /// not the fleet's total entry count.
+    pub fn entry_churn(&self) -> u64 {
+        self.resharded
+            .values()
+            .flatten()
+            .map(|c| c.before.abs_diff(c.after))
+            .sum()
+    }
 }
 
 /// A successful failover recompilation.
@@ -370,6 +383,51 @@ mod tests {
         assert!(r.diff.is_empty(), "expected zero churn, got {:?}", r.diff);
         assert_eq!(r.report.removed_switches.len(), 0);
         assert!(r.scope_health["loadbalancer"].survivable());
+    }
+
+    #[test]
+    fn failover_replan_moves_only_the_dead_switchs_entries() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let shard = |placement: &lyra_synth::Placement, sw: &str| -> u64 {
+            placement
+                .switches
+                .get(sw)
+                .and_then(|p| p.extern_entries.get("conn_table"))
+                .copied()
+                .unwrap_or(0)
+        };
+        let lost = shard(&prior.placement, "Agg3");
+        assert!(lost > 0, "Agg3 must hold a shard for this test to bite");
+        let faults = FaultSet::new().with_switch("Agg3");
+        let r = compiler
+            .recompile_for_faults(&req, &prior, &faults)
+            .unwrap();
+        // The integer stability hints keep every surviving shard where it
+        // was: churn counts the dead switch's entries leaving (once) and
+        // landing on survivors (once) — 2x the lost shard — and nothing
+        // else. Without the hints the solver is free to re-deal all 1024
+        // entries from scratch.
+        let churn = r.diff.entry_churn();
+        assert!(
+            churn <= 2 * lost,
+            "re-plan moved {churn} entry-slots but Agg3 only held {lost}: {:?}",
+            r.diff.resharded
+        );
+        // Survivors that are not absorbing the lost shard keep their exact
+        // counts — specifically, no surviving switch shrinks.
+        for change in r.diff.resharded.values().flatten() {
+            if change.switch != "Agg3" {
+                assert!(
+                    change.after >= change.before,
+                    "survivor `{}` shed entries ({} -> {}) during failover",
+                    change.switch,
+                    change.before,
+                    change.after
+                );
+            }
+        }
     }
 
     #[test]

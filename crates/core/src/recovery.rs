@@ -29,11 +29,12 @@ use std::time::{Duration, Instant};
 
 use lyra_diag::json::{Object, Value};
 use lyra_diag::{codes, Diagnostic};
+use lyra_ir::ExternTable;
 
 use crate::channel::{ControlChannel, ControlMsg, ControlOp, Rng};
 use crate::fault::{DriftFinding, DriftKind, DriftOp};
 use crate::rollout::{
-    force_rollback, send, IntentRecord, IntentStore, RolloutConfig, RolloutReport,
+    force_rollback, mint_token, send, IntentRecord, IntentStore, RolloutConfig, RolloutReport,
 };
 use crate::runtime::{Runtime, RuntimeError};
 use crate::CompileOutput;
@@ -198,24 +199,17 @@ impl AuditReport {
 }
 
 /// FNV-1a content digest of one table shard — the cheap comparison the
-/// audit runs before diffing a table key by key.
-pub(crate) fn table_digest(entries: &BTreeMap<u64, u64>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for (&k, &v) in entries {
-        for word in [k, v] {
-            for b in word.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        }
-    }
-    h
+/// audit runs before diffing a table key by key. Delegates to
+/// [`ExternTable::digest`]; the generated control stubs'
+/// `<t>_state_digest()` mirrors the same fold.
+pub(crate) fn table_digest(entries: &ExternTable) -> u64 {
+    entries.digest()
 }
 
 /// The token sequence number embedded in an idempotency token
-/// (`(epoch << 20) | seq`).
+/// (`(epoch << 32) | seq`).
 fn token_seq(token: u64) -> u64 {
-    token & 0xF_FFFF
+    token & 0xFFFF_FFFF
 }
 
 impl<'a> Runtime<'a> {
@@ -361,7 +355,7 @@ impl<'a> Runtime<'a> {
             let msg = ControlMsg {
                 switch: sw.clone(),
                 epoch,
-                token: (epoch << 20) | seq,
+                token: mint_token(epoch, seq)?,
                 op: ControlOp::Query,
             };
             report.queried += 1;
@@ -420,7 +414,7 @@ impl<'a> Runtime<'a> {
                     None => {
                         seq += 1;
                         report.fresh_tokens += 1;
-                        (epoch << 20) | seq
+                        mint_token(epoch, seq)?
                     }
                 };
                 let msg = ControlMsg {
@@ -501,7 +495,7 @@ impl<'a> Runtime<'a> {
                 None => {
                     seq += 1;
                     report.fresh_tokens += 1;
-                    (epoch << 20) | seq
+                    mint_token(epoch, seq)?
                 }
             };
             let msg = ControlMsg {
@@ -607,7 +601,7 @@ impl<'a> Runtime<'a> {
         let t0 = Instant::now();
         let mut report = AuditReport::default();
         let deployment_epoch = self.epoch;
-        let empty: BTreeMap<u64, u64> = BTreeMap::new();
+        let empty = ExternTable::new();
         for (sw, st) in self.states.iter_mut() {
             report.switches_audited += 1;
             let before = report.findings.len();
@@ -641,16 +635,17 @@ impl<'a> Runtime<'a> {
                 if table_digest(exp) == table_digest(held) {
                     continue;
                 }
-                // Digest mismatch: diff the shard key by key and collect
-                // the minimal repair set.
+                // Digest mismatch: structural diff of the shard —
+                // O(pages + drifted entries) when expected and held state
+                // still share pages, never worse than one sorted merge —
+                // and collect the minimal repair set.
                 let mut repairs: Vec<(u64, Option<u64>)> = Vec::new();
-                let keys: BTreeSet<u64> = exp.keys().chain(held.keys()).copied().collect();
-                for k in keys {
-                    let (kind, expect, found) = match (exp.get(&k), held.get(&k)) {
-                        (Some(&e), None) => (DriftKind::Missing, Some(e), None),
-                        (None, Some(&f)) => (DriftKind::Extra, None, Some(f)),
-                        (Some(&e), Some(&f)) if e != f => (DriftKind::Stale, Some(e), Some(f)),
-                        _ => continue,
+                exp.for_each_delta(held, |k, expect, found| {
+                    let kind = match (expect, found) {
+                        (Some(_), None) => DriftKind::Missing,
+                        (None, Some(_)) => DriftKind::Extra,
+                        (Some(_), Some(_)) => DriftKind::Stale,
+                        (None, None) => return,
                     };
                     report.findings.push(DriftFinding {
                         switch: sw.clone(),
@@ -661,7 +656,7 @@ impl<'a> Runtime<'a> {
                         found,
                     });
                     repairs.push((k, expect));
-                }
+                });
                 let shard = st.dp.externs.entry(table.clone()).or_default();
                 for (k, v) in repairs {
                     match v {
@@ -669,7 +664,7 @@ impl<'a> Runtime<'a> {
                             shard.insert(k, v);
                         }
                         None => {
-                            shard.remove(&k);
+                            shard.remove(k);
                         }
                     }
                     report.repaired += 1;
@@ -679,6 +674,11 @@ impl<'a> Runtime<'a> {
                 report.drifted_switches.push(sw.clone());
             }
         }
+        // A repaired switch's page structure no longer matches the
+        // controller's retained base: its next prepare falls back to a
+        // full snapshot instead of a delta.
+        self.needs_snapshot
+            .extend(report.drifted_switches.iter().cloned());
         if !report.findings.is_empty() {
             let counts = report
                 .counts()
@@ -720,7 +720,7 @@ impl<'a> Runtime<'a> {
                 st.dp
                     .externs
                     .get_mut(table)
-                    .and_then(|t| t.remove(key))
+                    .and_then(|t| t.remove(*key))
                     .ok_or_else(|| {
                         RuntimeError::new(format!(
                             "switch `{switch}` holds no `{table}[{key}]` to remove"
@@ -728,17 +728,17 @@ impl<'a> Runtime<'a> {
                     })?;
             }
             DriftOp::Corrupt { table, key, value } => {
-                let slot = st
+                let shard = st
                     .dp
                     .externs
                     .get_mut(table)
-                    .and_then(|t| t.get_mut(key))
+                    .filter(|t| t.contains_key(*key))
                     .ok_or_else(|| {
                         RuntimeError::new(format!(
                             "switch `{switch}` holds no `{table}[{key}]` to corrupt"
                         ))
                     })?;
-                *slot = *value;
+                shard.insert(*key, *value);
             }
             DriftOp::Insert { table, key, value } => {
                 st.dp.install(table, *key, *value);
@@ -1062,7 +1062,7 @@ mod tests {
                 st.dp
                     .externs
                     .get("conn_table")
-                    .is_some_and(|t| t.contains_key(&2))
+                    .is_some_and(|t| t.contains_key(2))
             })
             .map(|(sw, _)| sw.clone())
             .unwrap();

@@ -45,10 +45,12 @@ use std::time::{Duration, Instant};
 
 use lyra_diag::json::{Object, Value};
 use lyra_diag::{codes, Diagnostic, Phase};
-use lyra_ir::DataPlaneState;
+use lyra_ir::{DataPlaneState, ExternTable};
 use lyra_topo::ScopeHealth;
 
-use crate::channel::{ControlChannel, ControlMsg, ControlOp, Delivery, ReliableChannel, Rng};
+use crate::channel::{
+    ControlChannel, ControlMsg, ControlOp, Delivery, EntryOp, ReliableChannel, Rng,
+};
 use crate::fault::PlacementDiff;
 use crate::runtime::{plan_entries, Runtime, RuntimeError, SwitchState};
 use crate::CompileOutput;
@@ -78,6 +80,11 @@ pub struct RolloutConfig {
     /// intent log exactly as they were — [`crate::Runtime::recover`]
     /// must then finish the transaction. `None` = never crash.
     pub crash: Option<CrashPlan>,
+    /// Force every prepare to carry a full state snapshot even where a
+    /// delta would do. The escape hatch for operators who distrust a
+    /// switch's held state, and the bench baseline that the O(delta)
+    /// path is measured against.
+    pub force_snapshot: bool,
 }
 
 impl Default for RolloutConfig {
@@ -89,6 +96,7 @@ impl Default for RolloutConfig {
             seed: 1,
             scope_health: BTreeMap::new(),
             crash: None,
+            force_snapshot: false,
         }
     }
 }
@@ -109,6 +117,12 @@ impl RolloutConfig {
     /// Inject a controller crash at the planned point (chaos testing).
     pub fn with_crash(mut self, plan: CrashPlan) -> Self {
         self.crash = Some(plan);
+        self
+    }
+
+    /// Force full-snapshot prepares (disable the O(delta) path).
+    pub fn with_force_snapshot(mut self, force: bool) -> Self {
+        self.force_snapshot = force;
         self
     }
 }
@@ -564,6 +578,10 @@ pub struct SwitchRollout {
     pub entries_added: u64,
     /// Logical entries the new epoch removes from this switch.
     pub entries_removed: u64,
+    /// Entries whose key survives but whose value changes — counted apart
+    /// from adds/removes so a value-only update is neither invisible in
+    /// the report nor dropped from the wire delta.
+    pub entries_modified: u64,
 }
 
 impl SwitchRollout {
@@ -577,6 +595,10 @@ impl SwitchRollout {
         o.push(
             "entries_removed",
             Value::Number(self.entries_removed as f64),
+        );
+        o.push(
+            "entries_modified",
+            Value::Number(self.entries_modified as f64),
         );
         Value::Object(o)
     }
@@ -611,6 +633,18 @@ pub struct RolloutReport {
     pub duplicates: u64,
     /// Late (reordered) copies the channel replayed to switches.
     pub late_replays: u64,
+    /// Estimated wire payload of every prepare message of this rollout
+    /// (counted once per logical message; retransmissions do not
+    /// multiply it). Delta-based prepares make this scale with what
+    /// changed, not with total table state.
+    pub prepare_bytes: u64,
+    /// Switches prepared with a delta (add/remove/modify records against
+    /// their serving state).
+    pub delta_prepares: u64,
+    /// Switches prepared with a full state snapshot — the fallback for
+    /// fresh switches and for switches whose retained base the
+    /// controller no longer trusts (e.g. after a drift repair).
+    pub snapshot_prepares: u64,
     /// Instructions that changed host between the old and new placements.
     pub instr_churn: usize,
     /// Per-switch phase record.
@@ -660,6 +694,12 @@ impl RolloutReport {
             Value::Number(self.forced_rollbacks as f64),
         );
         o.push("instr_churn", Value::Number(self.instr_churn as f64));
+        o.push("prepare_bytes", Value::Number(self.prepare_bytes as f64));
+        o.push("delta_prepares", Value::Number(self.delta_prepares as f64));
+        o.push(
+            "snapshot_prepares",
+            Value::Number(self.snapshot_prepares as f64),
+        );
         o.push("channel", Value::Object(channel));
         o.push("elapsed_us", Value::Number(self.elapsed.as_micros() as f64));
         o.push(
@@ -694,6 +734,39 @@ pub(crate) fn deliver(states: &mut BTreeMap<String, SwitchState>, msg: &ControlM
             let not_stale = st.staged.as_ref().is_none_or(|(e, _)| msg.epoch >= *e);
             if newer_than_active && not_stale {
                 st.staged = Some((msg.epoch, staged.clone()));
+            }
+        }
+        ControlOp::PrepareDelta {
+            base_epoch,
+            ops,
+            globals,
+            batch_index,
+            ..
+        } => {
+            let newer_than_active = msg.epoch > st.epoch;
+            let not_stale = st.staged.as_ref().is_none_or(|(e, _)| msg.epoch >= *e);
+            if *batch_index == 0 {
+                // The first batch opens the staged epoch: an O(pages)
+                // copy-on-write clone of the serving state with the new
+                // epoch's globals swapped in. It obeys the same epoch
+                // guards as a full-snapshot prepare, plus one more: the
+                // switch must still be on the epoch the controller
+                // computed the delta against, or applying the operations
+                // would converge on the wrong state.
+                if newer_than_active && not_stale && *base_epoch == st.epoch {
+                    let mut dp = st.dp.clone();
+                    dp.globals = globals.clone();
+                    apply_entry_ops(&mut dp, ops);
+                    st.staged = Some((msg.epoch, dp));
+                }
+            } else if let Some((e, dp)) = st.staged.as_mut() {
+                // Later batches append to the already-open staged epoch.
+                // A batch for any other epoch — a replay from a burned
+                // attempt — is dropped; the idempotency token still gets
+                // recorded below, exactly like a refused stale prepare.
+                if *e == msg.epoch {
+                    apply_entry_ops(dp, ops);
+                }
             }
         }
         ControlOp::Commit => {
@@ -743,12 +816,123 @@ pub(crate) fn force_rollback(st: &mut SwitchState, epoch: u64) {
     st.staged = None;
 }
 
-/// Logical `(table, key)` pairs of a data-plane state.
-fn entry_keys(dp: &DataPlaneState) -> BTreeSet<(&str, u64)> {
-    dp.externs
-        .iter()
-        .flat_map(|(t, m)| m.keys().map(move |&k| (t.as_str(), k)))
+/// Apply one batch of entry operations to a staged data-plane state.
+fn apply_entry_ops(dp: &mut DataPlaneState, ops: &[EntryOp]) {
+    for op in ops {
+        match op {
+            EntryOp::Set { table, key, value } => {
+                dp.install(table, *key, *value);
+            }
+            EntryOp::Remove { table, key } => {
+                dp.uninstall(table, *key);
+            }
+        }
+    }
+}
+
+/// One switch's diff between its serving state and a staged next epoch:
+/// the wire operations that turn the former into the latter, with adds,
+/// removes and value-only modifications counted separately (a value
+/// rewrite is neither an add nor a remove — conflating them under-counts
+/// churn and, worse, drops the entry from a delta entirely).
+#[derive(Debug, Clone, Default)]
+struct SwitchDelta {
+    ops: Vec<EntryOp>,
+    added: u64,
+    removed: u64,
+    modified: u64,
+}
+
+/// Diff two per-switch data-plane states. Built on
+/// [`ExternTable::for_each_delta`], so the cost is O(pages + changed
+/// entries) when `next` was derived from `current` by copy-on-write
+/// mutation — the common staged-epoch case — never worse than one sorted
+/// merge.
+fn entry_delta(current: &DataPlaneState, next: &DataPlaneState) -> SwitchDelta {
+    let mut d = SwitchDelta::default();
+    let empty = ExternTable::new();
+    let tables: BTreeSet<&String> = current.externs.keys().chain(next.externs.keys()).collect();
+    for table in tables {
+        let base = current.externs.get(table).unwrap_or(&empty);
+        let target = next.externs.get(table).unwrap_or(&empty);
+        base.for_each_delta(target, |key, old, new| match (old, new) {
+            (None, Some(value)) => {
+                d.added += 1;
+                d.ops.push(EntryOp::Set {
+                    table: table.clone(),
+                    key,
+                    value,
+                });
+            }
+            (Some(_), Some(value)) => {
+                d.modified += 1;
+                d.ops.push(EntryOp::Set {
+                    table: table.clone(),
+                    key,
+                    value,
+                });
+            }
+            (Some(_), None) => {
+                d.removed += 1;
+                d.ops.push(EntryOp::Remove {
+                    table: table.clone(),
+                    key,
+                });
+            }
+            (None, None) => {}
+        });
+    }
+    d
+}
+
+/// Entry operations per [`ControlOp::PrepareDelta`] batch. Bounds the
+/// per-message payload so the lossy-channel fault model (drop, duplicate,
+/// late replay — ruled per transmission) applies at a realistic message
+/// granularity instead of one arbitrarily large frame per switch.
+const DELTA_BATCH_OPS: usize = 4096;
+
+/// Split one switch's delta into batched prepare operations. Batch 0
+/// carries the staged epoch's complete globals map — globals are replaced
+/// wholesale, not diffed; they are a handful of registers next to
+/// million-entry tables. An empty delta still produces batch 0, so an
+/// untouched switch opens the staged epoch and takes part in the commit.
+fn delta_batches(
+    base_epoch: u64,
+    delta: &SwitchDelta,
+    globals: &BTreeMap<String, Vec<u64>>,
+) -> Vec<ControlOp> {
+    let batches_total = delta.ops.len().div_ceil(DELTA_BATCH_OPS).max(1) as u32;
+    let mut chunks = delta.ops.chunks(DELTA_BATCH_OPS);
+    (0..batches_total)
+        .map(|batch_index| ControlOp::PrepareDelta {
+            base_epoch,
+            ops: chunks.next().unwrap_or_default().to_vec(),
+            globals: if batch_index == 0 {
+                globals.clone()
+            } else {
+                BTreeMap::new()
+            },
+            batch_index,
+            batches_total,
+        })
         .collect()
+}
+
+/// Mint the idempotency token for message `seq` (1-based) of `epoch`:
+/// `(epoch << 32) | seq`. Each half gets a full 32 bits; overflowing
+/// either is a hard controller error (`LYR0590`) rather than a silent
+/// collision with another epoch's tokens — the failure mode of the old
+/// 20-bit split, where message 2²⁰+1 of epoch N wore the same token as
+/// message 1 of epoch N+1 and was swallowed as a duplicate.
+pub(crate) fn mint_token(epoch: u64, seq: u64) -> Result<u64, RuntimeError> {
+    if epoch > u64::from(u32::MAX) || seq > u64::from(u32::MAX) {
+        return Err(RuntimeError::new(format!(
+            "idempotency token space exhausted: epoch {epoch} / message sequence {seq} \
+             do not fit the (epoch << 32) | seq token split"
+        ))
+        .with_code(codes::TOKEN_OVERFLOW));
+    }
+    Ok((epoch << 32) | seq)
 }
 
 impl<'a> Runtime<'a> {
@@ -832,6 +1016,9 @@ impl<'a> Runtime<'a> {
             if !self.states.contains_key(sw) {
                 self.states
                     .insert(sw.clone(), SwitchState::fresh(new_output, self.epoch));
+                // A fresh switch has no retained base to delta against;
+                // its first prepare carries a full snapshot.
+                self.needs_snapshot.insert(sw.clone());
             }
         }
         let churn =
@@ -958,15 +1145,37 @@ impl<'a> Runtime<'a> {
         channel: &mut dyn ControlChannel,
         config: &RolloutConfig,
     ) -> Result<RolloutReport, RuntimeError> {
+        // O(pages) copy-on-write clones: staging every switch copies page
+        // directories, never entries. The planner then rebuilds state only
+        // for switches whose entry coverage actually moved; every other
+        // staged state keeps sharing pages with the serving one, so its
+        // delta is empty and its prepare is a single open-epoch batch.
         let mut staged: BTreeMap<String, DataPlaneState> = self
             .states
             .iter()
             .map(|(sw, st)| (sw.clone(), st.dp.clone()))
             .collect();
-        plan_entries(self.output, &self.faults, &mut staged, &entries).map_err(|e| {
-            RuntimeError::new(format!("re-sync planning failed: {}", e.message))
-                .with_code(codes::ROLLOUT_PREPARE_FAILED)
-        })?;
+        let touched =
+            plan_entries(self.output, &self.faults, &mut staged, &entries).map_err(|e| {
+                RuntimeError::new(format!("re-sync planning failed: {}", e.message))
+                    .with_code(codes::ROLLOUT_PREPARE_FAILED)
+            })?;
+        // Untouched switches must still share every page with their
+        // serving state — the re-plan must not rebuild them wholesale.
+        debug_assert!(
+            staged.iter().all(|(sw, dp)| {
+                touched.contains(sw)
+                    || self.states.get(sw).is_none_or(|st| {
+                        dp.externs.len() == st.dp.externs.len()
+                            && dp
+                                .externs
+                                .iter()
+                                .zip(&st.dp.externs)
+                                .all(|((an, at), (bn, bt))| an == bn && at.same_pages(bt))
+                    })
+            }),
+            "re-sync rebuilt extern state for a switch the re-plan did not touch"
+        );
         let mut journal = Journal::new(None, config.crash.clone());
         self.two_phase(staged, 0, channel, config, &mut journal)
     }
@@ -1001,25 +1210,25 @@ impl<'a> Runtime<'a> {
             ..Default::default()
         };
         let targets: Vec<String> = staged.keys().cloned().collect();
+        // One structural diff per switch drives both the report counters
+        // and the delta prepares — O(pages + changed entries) per switch,
+        // because the staged states share pages with the serving ones.
+        let empty_dp = DataPlaneState::default();
+        let mut deltas: Vec<SwitchDelta> = Vec::with_capacity(targets.len());
         for sw in &targets {
-            let current = self
-                .states
-                .get(sw)
-                .map(|st| entry_keys(&st.dp))
-                .unwrap_or_default();
-            let next = staged.get(sw).map(entry_keys).unwrap_or_default();
+            let current = self.states.get(sw).map(|st| &st.dp).unwrap_or(&empty_dp);
+            let next = staged.get(sw).unwrap_or(&empty_dp);
+            let d = entry_delta(current, next);
             report.switches.push(SwitchRollout {
                 switch: sw.clone(),
-                entries_added: next.difference(&current).count() as u64,
-                entries_removed: current.difference(&next).count() as u64,
+                entries_added: d.added,
+                entries_removed: d.removed,
+                entries_modified: d.modified,
                 ..Default::default()
             });
+            deltas.push(d);
         }
         let mut token_seq = 0u64;
-        let mut next_token = || {
-            token_seq += 1;
-            (epoch << 20) | token_seq
-        };
 
         journal.append(IntentRecord::Begin {
             epoch,
@@ -1030,7 +1239,12 @@ impl<'a> Runtime<'a> {
 
         let mut failure: Option<(lyra_diag::Code, String)> = None;
         // --- Phase 1: prepare -------------------------------------------
-        for (i, sw) in targets.iter().enumerate() {
+        // Delta by default: each switch receives only the batched entry
+        // operations that turn its serving state into the staged epoch.
+        // A switch whose retained base the controller cannot trust —
+        // fresh under this placement, or repaired after drift — falls
+        // back to a full-snapshot prepare.
+        'prepare: for (i, sw) in targets.iter().enumerate() {
             // Targets come from `staged.keys()`; a miss would be an
             // engine bug, handled gracefully rather than by indexing.
             let Some(dp) = staged.get(sw) else {
@@ -1040,37 +1254,56 @@ impl<'a> Runtime<'a> {
                 ));
                 break;
             };
-            let msg = ControlMsg {
-                switch: sw.clone(),
-                epoch,
-                token: next_token(),
-                op: ControlOp::Prepare { staged: dp.clone() },
+            let snapshot = config.force_snapshot
+                || self.needs_snapshot.contains(sw)
+                || self.states.get(sw).is_none_or(|st| st.epoch != self.epoch);
+            let batches: Vec<ControlOp> = if snapshot {
+                report.snapshot_prepares += 1;
+                vec![ControlOp::Prepare { staged: dp.clone() }]
+            } else {
+                report.delta_prepares += 1;
+                delta_batches(self.epoch, &deltas[i], &dp.globals)
             };
-            journal.intent(&msg)?;
             let t = Instant::now();
             let before = report.retries;
-            let sent = send(
-                &mut self.states,
-                channel,
-                &msg,
-                config.max_attempts,
-                config,
-                &mut rng,
-                &mut report,
-            );
+            for op in batches {
+                token_seq += 1;
+                let msg = ControlMsg {
+                    switch: sw.clone(),
+                    epoch,
+                    token: mint_token(epoch, token_seq)?,
+                    op,
+                };
+                report.prepare_bytes += msg.wire_bytes() as u64;
+                journal.intent(&msg)?;
+                // Batches are sent strictly in order, each acknowledged
+                // before the next: batch 0 opens the staged epoch, later
+                // ones append to it.
+                let sent = send(
+                    &mut self.states,
+                    channel,
+                    &msg,
+                    config.max_attempts,
+                    config,
+                    &mut rng,
+                    &mut report,
+                );
+                if !sent {
+                    report.switches[i].prepare = t.elapsed();
+                    report.switches[i].retries += report.retries - before;
+                    failure = Some((
+                        codes::ROLLOUT_PREPARE_FAILED,
+                        format!(
+                            "switch `{sw}` failed to prepare epoch {epoch}: control channel \
+                             exhausted after {} attempts",
+                            config.max_attempts
+                        ),
+                    ));
+                    break 'prepare;
+                }
+            }
             report.switches[i].prepare = t.elapsed();
             report.switches[i].retries += report.retries - before;
-            if !sent {
-                failure = Some((
-                    codes::ROLLOUT_PREPARE_FAILED,
-                    format!(
-                        "switch `{sw}` failed to prepare epoch {epoch}: control channel \
-                         exhausted after {} attempts",
-                        config.max_attempts
-                    ),
-                ));
-                break;
-            }
         }
         // --- Phase 2: commit --------------------------------------------
         if failure.is_none() {
@@ -1081,10 +1314,11 @@ impl<'a> Runtime<'a> {
             })?;
             journal.boundary(CrashPoint::AfterCommitDecision)?;
             for (i, sw) in targets.iter().enumerate() {
+                token_seq += 1;
                 let msg = ControlMsg {
                     switch: sw.clone(),
                     epoch,
-                    token: next_token(),
+                    token: mint_token(epoch, token_seq)?,
                     op: ControlOp::Commit,
                 };
                 journal.intent(&msg)?;
@@ -1129,6 +1363,11 @@ impl<'a> Runtime<'a> {
                     st.prior = None;
                     st.tokens.clear();
                 }
+                // Committed switches now hold exactly the state the
+                // controller staged — deltas are trustworthy again.
+                for sw in &targets {
+                    self.needs_snapshot.remove(sw);
+                }
                 self.epoch = epoch;
                 report.committed = true;
                 journal.append(IntentRecord::End {
@@ -1151,10 +1390,11 @@ impl<'a> Runtime<'a> {
                 // is exhausted, revert out-of-band rather than leave a
                 // mixed deployment.
                 for sw in &targets {
+                    token_seq += 1;
                     let msg = ControlMsg {
                         switch: sw.clone(),
                         epoch,
-                        token: next_token(),
+                        token: mint_token(epoch, token_seq)?,
                         op: ControlOp::Rollback,
                     };
                     journal.intent(&msg)?;
@@ -1519,6 +1759,245 @@ mod tests {
             .unwrap();
         assert_eq!(report.messages_sent, 0, "noop report sent messages");
         assert!(!report.committed && !report.rolled_back);
+    }
+
+    #[test]
+    fn token_split_is_collision_free_and_errors_at_the_32_bit_boundary() {
+        // Both halves get the full 32 bits.
+        let max = u64::from(u32::MAX);
+        assert_eq!(mint_token(0, 1).unwrap(), 1);
+        assert_eq!(mint_token(max, max).unwrap(), u64::MAX);
+        // The old 20-bit split's collision: message 2^20 + 1 of epoch 0
+        // wore the same token as message 1 of epoch 1. Not any more.
+        let high_seq = mint_token(0, (1 << 20) + 1).unwrap();
+        let next_epoch = mint_token(1, 1).unwrap();
+        assert_ne!(
+            high_seq, next_epoch,
+            "tokens must never collide across epochs"
+        );
+        // Overflowing either half is a hard coded error, never a wrap.
+        for (epoch, seq) in [(max + 1, 1), (1, max + 1)] {
+            let err = mint_token(epoch, seq).unwrap_err();
+            assert_eq!(err.code, Some(codes::TOKEN_OVERFLOW), "{err}");
+        }
+    }
+
+    #[test]
+    fn entry_delta_sees_value_only_updates() {
+        let mut current = DataPlaneState::new();
+        current.install("t", 1, 10);
+        current.install("t", 2, 20);
+        current.install("t", 3, 30);
+        let mut next = current.clone();
+        next.install("t", 2, 99); // value-only rewrite: same key set
+        next.install("t", 4, 40); // add
+        next.uninstall("t", 3); // remove
+        let d = entry_delta(&current, &next);
+        assert_eq!((d.added, d.removed, d.modified), (1, 1, 1), "{d:?}");
+        // The regression: a key-set diff would drop the `2 -> 99` rewrite
+        // from the wire entirely. It must be an explicit Set op.
+        assert!(
+            d.ops.iter().any(|op| matches!(
+                op,
+                EntryOp::Set { table, key: 2, value: 99 } if table == "t"
+            )),
+            "value-only update missing from delta ops: {:?}",
+            d.ops
+        );
+        // Untouched key 1 generates no op at all.
+        assert_eq!(d.ops.len(), 3, "{:?}", d.ops);
+    }
+
+    #[test]
+    fn value_only_divergence_converges_under_delta_prepares() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        for k in 0..16 {
+            rt.install("conn_table", k, 0x1000 + k).unwrap();
+        }
+        // Rewrite one replica's value behind the controller's back. The
+        // key set is now identical on every holder but the *values*
+        // disagree — exactly the difference the old key-only diff could
+        // not see, which under delta prepares would leave the replicas
+        // divergent forever.
+        let (victim, key) = rt
+            .states
+            .iter()
+            .find_map(|(sw, st)| {
+                st.dp
+                    .externs
+                    .get("conn_table")
+                    .and_then(|t| t.iter().next())
+                    .map(|(k, _)| (sw.clone(), k))
+            })
+            .expect("some switch must hold entries");
+        rt.inject_drift(
+            &victim,
+            &crate::DriftOp::Corrupt {
+                table: "conn_table".into(),
+                key,
+                value: 0xdead,
+            },
+        )
+        .unwrap();
+        let report = rt
+            .apply_rollout(
+                &prior,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(report.committed, "{report:?}");
+        assert!(report.delta_prepares > 0, "{report:?}");
+        let modified: u64 = report.switches.iter().map(|s| s.entries_modified).sum();
+        assert!(
+            modified >= 1,
+            "value-only rewrite invisible to the rollout: {report:?}"
+        );
+        // Every holder of the key agrees again: the value rewrite made it
+        // onto the wire as a Set op instead of being dropped.
+        let values: BTreeSet<u64> = rt
+            .states
+            .values()
+            .filter_map(|st| st.dp.externs.get("conn_table").and_then(|t| t.get(key)))
+            .collect();
+        assert_eq!(
+            values.len(),
+            1,
+            "replicas still disagree on conn_table[{key}]: {values:?}"
+        );
+    }
+
+    #[test]
+    fn delta_prepares_beat_snapshots_on_wire_bytes() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let run = |force_snapshot: bool| {
+            let mut rt = Runtime::new(&prior);
+            for k in 0..300 {
+                rt.install("conn_table", k, k + 1).unwrap();
+            }
+            let config = RolloutConfig::default().with_force_snapshot(force_snapshot);
+            rt.apply_rollout(&prior, &mut ReliableChannel::new(), &config)
+                .unwrap()
+        };
+        let delta = run(false);
+        let snap = run(true);
+        assert!(delta.committed && snap.committed);
+        assert_eq!(delta.snapshot_prepares, 0, "{delta:?}");
+        assert!(delta.delta_prepares > 0, "{delta:?}");
+        assert_eq!(snap.delta_prepares, 0, "{snap:?}");
+        // Identical placement, unchanged entries: the delta path sends
+        // only batch-0 frames while the snapshot path re-ships all 300
+        // entries. The gap must be at least the 10x the paper's
+        // incremental-update claim needs.
+        assert!(
+            snap.prepare_bytes >= 10 * delta.prepare_bytes,
+            "delta {} bytes vs snapshot {} bytes",
+            delta.prepare_bytes,
+            snap.prepare_bytes
+        );
+    }
+
+    #[test]
+    fn delta_prepare_refuses_wrong_base_and_wrong_epoch_batches() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut states = BTreeMap::new();
+        let mut st = SwitchState::fresh(&prior, 5);
+        st.dp.install("conn_table", 1, 10);
+        states.insert("SW".to_string(), st);
+        let delta_msg = |epoch, base_epoch, batch_index, token, ops: Vec<EntryOp>| ControlMsg {
+            switch: "SW".into(),
+            epoch,
+            token,
+            op: ControlOp::PrepareDelta {
+                base_epoch,
+                ops,
+                globals: BTreeMap::new(),
+                batch_index,
+                batches_total: 2,
+            },
+        };
+        // Batch 0 against the wrong base epoch: refused — the switch is
+        // not on the state the controller diffed against.
+        deliver(&mut states, &delta_msg(6, 4, 0, 1, vec![]));
+        assert!(states["SW"].staged.is_none(), "wrong-base delta staged");
+        // Correct base: opens the staged epoch from the serving state.
+        deliver(&mut states, &delta_msg(6, 5, 0, 2, vec![]));
+        assert_eq!(states["SW"].staged.as_ref().map(|(e, _)| *e), Some(6));
+        // A later batch wearing a different epoch (late replay of a
+        // burned attempt) must not leak into the open stage.
+        let foreign = EntryOp::Set {
+            table: "conn_table".into(),
+            key: 7,
+            value: 77,
+        };
+        deliver(&mut states, &delta_msg(9, 5, 1, 3, vec![foreign.clone()]));
+        let staged = states["SW"].staged.as_ref().unwrap();
+        assert!(
+            !staged.1.externs["conn_table"].contains_key(7),
+            "foreign-epoch batch applied"
+        );
+        // The matching epoch's batch 1 does apply.
+        deliver(&mut states, &delta_msg(6, 5, 1, 4, vec![foreign]));
+        let staged = states["SW"].staged.as_ref().unwrap();
+        assert_eq!(staged.1.externs["conn_table"].get(7), Some(77));
+        // The serving state never moved: prepares stage, they do not flip.
+        assert_eq!(states["SW"].epoch, 5);
+        assert_eq!(states["SW"].dp.externs["conn_table"].get(1), Some(10));
+    }
+
+    #[test]
+    fn audit_repaired_switches_fall_back_to_snapshot_prepares() {
+        let compiler = Compiler::new();
+        let req = lb_request();
+        let prior = compiler.compile(&req).unwrap();
+        let mut rt = Runtime::new(&prior);
+        for k in 0..8 {
+            rt.install("conn_table", k, k + 1).unwrap();
+        }
+        let (victim, key) = rt
+            .states
+            .iter()
+            .find_map(|(sw, st)| {
+                st.dp
+                    .externs
+                    .get("conn_table")
+                    .and_then(|t| t.iter().next())
+                    .map(|(k, _)| (sw.clone(), k))
+            })
+            .expect("some switch must hold entries");
+        rt.inject_drift(
+            &victim,
+            &crate::DriftOp::Remove {
+                table: "conn_table".into(),
+                key,
+            },
+        )
+        .unwrap();
+        let audit = rt.audit_switches();
+        assert!(audit.drifted_switches.contains(&victim));
+        // The repaired switch's page structure no longer matches what a
+        // COW-derived delta assumes, so its next prepare is a snapshot;
+        // untouched switches still take the delta path.
+        let report = rt
+            .apply_rollout(
+                &prior,
+                &mut ReliableChannel::new(),
+                &RolloutConfig::default(),
+            )
+            .unwrap();
+        assert!(report.committed, "{report:?}");
+        assert!(report.snapshot_prepares >= 1, "{report:?}");
+        assert!(
+            report.snapshot_prepares + report.delta_prepares >= 2,
+            "{report:?}"
+        );
     }
 
     #[test]

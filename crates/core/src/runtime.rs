@@ -125,6 +125,13 @@ pub struct Runtime<'a> {
     /// traffic-mutable and outside the audit's scope; only extern tables
     /// (control-plane-owned) are compared.
     pub(crate) expected: BTreeMap<String, DataPlaneState>,
+    /// Switches whose next prepare must carry a full state snapshot
+    /// instead of a delta: fresh switches the placement just added, and
+    /// switches the anti-entropy audit repaired (their page structure no
+    /// longer matches the controller's retained base, so a delta computed
+    /// against it cannot be trusted to be minimal). Cleared when a
+    /// rollout touching them finalizes.
+    pub(crate) needs_snapshot: BTreeSet<String>,
     /// Optional event sink notified of rollout phases and reports.
     pub(crate) observer: Option<Arc<dyn CompileObserver>>,
 }
@@ -144,67 +151,112 @@ pub(crate) fn entry_targets(
     holds: impl Fn(&str) -> bool,
     used: impl Fn(&str) -> u64,
 ) -> Result<Vec<String>, RuntimeError> {
-    let holders: Vec<String> = output
-        .placement
-        .switches
-        .iter()
-        .filter(|(n, p)| p.extern_entries.contains_key(table) && !faults.switch_failed(n))
-        .map(|(n, _)| n.clone())
-        .collect();
-    if holders.is_empty() {
-        return Err(RuntimeError::new(format!(
-            "no surviving switch hosts extern table `{table}`"
-        )));
-    }
-    // Surviving paths that can reach this table (host at least one shard);
-    // paths through failed elements carry no traffic and need no entry.
-    let mut paths: Vec<Vec<String>> = output
-        .flow_paths
-        .values()
-        .flatten()
-        .filter(|p| faults.path_survives(p) && p.iter().any(|sw| holders.contains(sw)))
-        .cloned()
-        .collect();
-    if paths.is_empty() {
-        // Degenerate single-switch deployments.
-        paths = holders.iter().map(|h| vec![h.clone()]).collect();
-    }
-    let capacity = |sw: &str| -> u64 {
-        output
+    let _ = key; // the key itself does not influence shard choice
+    EntryPlanner::new(output, faults, table)?.targets(holds, used)
+}
+
+/// The per-table placement context of [`entry_targets`], hoisted out of the
+/// per-entry loop: the surviving holders, the surviving flow paths that can
+/// reach the table, and each holder's shard capacity depend only on the
+/// placement and the fault set — never on the key — so million-entry bulk
+/// operations build this once and reuse it for every entry instead of
+/// re-cloning every flow path per key.
+pub(crate) struct EntryPlanner {
+    table: String,
+    holders: Vec<String>,
+    paths: Vec<Vec<String>>,
+    capacity: BTreeMap<String, u64>,
+}
+
+impl EntryPlanner {
+    pub(crate) fn new(
+        output: &CompileOutput,
+        faults: &FaultSet,
+        table: &str,
+    ) -> Result<Self, RuntimeError> {
+        let holders: Vec<String> = output
             .placement
             .switches
-            .get(sw)
-            .and_then(|p| p.extern_entries.get(table))
-            .copied()
-            .unwrap_or(0)
-    };
-    let mut targets: Vec<String> = Vec::new();
-    for path in &paths {
-        // Already covered (an existing shard, or one chosen for an
-        // earlier path of this same entry)?
-        let covered = path
             .iter()
-            .any(|sw| holds(sw) || targets.iter().any(|t| t == sw));
-        if covered {
-            continue;
-        }
-        let slot = path.iter().find(|sw| {
-            holders.contains(sw) && {
-                let pending = targets.iter().any(|t| t == *sw) as u64;
-                used(sw) + pending < capacity(sw)
-            }
-        });
-        let Some(sw) = slot else {
+            .filter(|(n, p)| p.extern_entries.contains_key(table) && !faults.switch_failed(n))
+            .map(|(n, _)| n.clone())
+            .collect();
+        if holders.is_empty() {
             return Err(RuntimeError::new(format!(
-                "table `{table}` is full along path {path:?}"
+                "no surviving switch hosts extern table `{table}`"
             )));
-        };
-        if !targets.contains(sw) {
-            targets.push(sw.clone());
         }
+        // Surviving paths that can reach this table (host at least one
+        // shard); paths through failed elements carry no traffic and need
+        // no entry.
+        let mut paths: Vec<Vec<String>> = output
+            .flow_paths
+            .values()
+            .flatten()
+            .filter(|p| faults.path_survives(p) && p.iter().any(|sw| holders.contains(sw)))
+            .cloned()
+            .collect();
+        if paths.is_empty() {
+            // Degenerate single-switch deployments.
+            paths = holders.iter().map(|h| vec![h.clone()]).collect();
+        }
+        let capacity = holders
+            .iter()
+            .map(|sw| {
+                let cap = output
+                    .placement
+                    .switches
+                    .get(sw)
+                    .and_then(|p| p.extern_entries.get(table))
+                    .copied()
+                    .unwrap_or(0);
+                (sw.clone(), cap)
+            })
+            .collect();
+        Ok(EntryPlanner {
+            table: table.to_string(),
+            holders,
+            paths,
+            capacity,
+        })
     }
-    let _ = key; // the key itself does not influence shard choice
-    Ok(targets)
+
+    /// The switches one logical entry must land on so every surviving flow
+    /// path sees it. `holds(sw)` reports whether the switch already holds
+    /// the key; `used(sw)` reports how many keys its shard currently holds.
+    pub(crate) fn targets(
+        &self,
+        holds: impl Fn(&str) -> bool,
+        used: impl Fn(&str) -> u64,
+    ) -> Result<Vec<String>, RuntimeError> {
+        let mut targets: Vec<String> = Vec::new();
+        for path in &self.paths {
+            // Already covered (an existing shard, or one chosen for an
+            // earlier path of this same entry)?
+            let covered = path
+                .iter()
+                .any(|sw| holds(sw) || targets.iter().any(|t| t == sw));
+            if covered {
+                continue;
+            }
+            let slot = path.iter().find(|sw| {
+                self.holders.contains(sw) && {
+                    let pending = targets.iter().any(|t| t == *sw) as u64;
+                    used(sw) + pending < self.capacity.get(*sw).copied().unwrap_or(0)
+                }
+            });
+            let Some(sw) = slot else {
+                return Err(RuntimeError::new(format!(
+                    "table `{}` is full along path {path:?}",
+                    self.table
+                )));
+            };
+            if !targets.contains(sw) {
+                targets.push(sw.clone());
+            }
+        }
+        Ok(targets)
+    }
 }
 
 /// Place every logical entry into `staged` (per-switch data-plane states)
@@ -220,17 +272,24 @@ pub(crate) fn plan_entries(
     entries: &[(String, u64, u64)],
 ) -> Result<Vec<String>, RuntimeError> {
     let mut touched: Vec<String> = Vec::new();
+    // One placement context per table for the whole batch — at a million
+    // entries, rebuilding holders and flow paths per entry is the
+    // difference between milliseconds and minutes.
+    let mut planners: BTreeMap<&str, EntryPlanner> = BTreeMap::new();
     for (table, key, value) in entries {
-        let targets = entry_targets(
-            output,
-            faults,
-            table,
-            *key,
+        let planner = match planners.get(table.as_str()) {
+            Some(p) => p,
+            None => {
+                let p = EntryPlanner::new(output, faults, table)?;
+                planners.entry(table.as_str()).or_insert(p)
+            }
+        };
+        let targets = planner.targets(
             |sw| {
                 staged
                     .get(sw)
                     .and_then(|dp| dp.externs.get(table))
-                    .map(|t| t.contains_key(key))
+                    .map(|t| t.contains_key(*key))
                     .unwrap_or(false)
             },
             |sw| {
@@ -275,6 +334,7 @@ impl<'a> Runtime<'a> {
             epoch: 0,
             epoch_counter: 0,
             expected,
+            needs_snapshot: BTreeSet::new(),
             observer: None,
         }
     }
@@ -342,7 +402,7 @@ impl<'a> Runtime<'a> {
         let mut merged: BTreeMap<(String, u64), u64> = BTreeMap::new();
         for st in self.states.values() {
             for (table, entries) in &st.dp.externs {
-                for (&k, &v) in entries {
+                for (k, v) in entries {
                     merged.entry((table.clone(), k)).or_insert(v);
                 }
             }
@@ -380,7 +440,7 @@ impl<'a> Runtime<'a> {
                 self.states
                     .get(sw)
                     .and_then(|st| st.dp.externs.get(table))
-                    .map(|t| t.contains_key(&key))
+                    .map(|t| t.contains_key(key))
                     .unwrap_or(false)
             },
             |sw| {
@@ -407,6 +467,52 @@ impl<'a> Runtime<'a> {
                 .install(table, key, value);
         }
         Ok(targets)
+    }
+
+    /// Bulk [`Runtime::install`]: place every `(key, value)` entry of
+    /// `table`, reusing one placement context for the whole batch. Same
+    /// semantics as calling `install` per entry — already-covered keys are
+    /// idempotent no-ops — but the per-entry cost drops from "re-derive
+    /// holders and flow paths" to two shard probes, which is what makes
+    /// seeding a million-entry control plane practical. Returns the number
+    /// of (entry, switch) placements performed.
+    pub fn install_many(
+        &mut self,
+        table: &str,
+        entries: &[(u64, u64)],
+    ) -> Result<u64, RuntimeError> {
+        let planner = EntryPlanner::new(self.output, &self.faults, table)?;
+        let mut placed = 0u64;
+        for &(key, value) in entries {
+            let targets = planner.targets(
+                |sw| {
+                    self.states
+                        .get(sw)
+                        .and_then(|st| st.dp.externs.get(table))
+                        .map(|t| t.contains_key(key))
+                        .unwrap_or(false)
+                },
+                |sw| {
+                    self.states
+                        .get(sw)
+                        .and_then(|st| st.dp.externs.get(table))
+                        .map(|t| t.len() as u64)
+                        .unwrap_or(0)
+                },
+            )?;
+            for sw in &targets {
+                let st = self.states.get_mut(sw).ok_or_else(|| {
+                    RuntimeError::new(format!("internal: placement switch `{sw}` has no state"))
+                })?;
+                st.dp.install(table, key, value);
+                self.expected
+                    .entry(sw.clone())
+                    .or_default()
+                    .install(table, key, value);
+                placed += 1;
+            }
+        }
+        Ok(placed)
     }
 
     /// Entries currently installed in `table` on `switch`.

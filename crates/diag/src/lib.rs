@@ -284,6 +284,14 @@ pub mod codes {
     /// rollout rolled back); the healer backs off and retries.
     pub const HEAL_FAILED: Code = Code("LYR0587");
 
+    /// The idempotency-token space was exhausted: the rollout epoch or
+    /// its per-message sequence number no longer fits the
+    /// `(epoch << 32) | seq` token split. Minting stops with a hard
+    /// error — a wrapped token would silently collide with another
+    /// epoch's tokens and make a switch swallow a live message as a
+    /// duplicate.
+    pub const TOKEN_OVERFLOW: Code = Code("LYR0590");
+
     /// The semantic oracle found a divergence between the IR interpreter
     /// and the model recovered from one emitted artifact (the message
     /// names the switch, backend, and first differing field/effect).

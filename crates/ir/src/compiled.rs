@@ -591,7 +591,7 @@ impl TableSnapshot {
             .table_names
             .iter()
             .map(|name| match dp.externs.get(name) {
-                Some(entries) => entries.iter().map(|(&k, &v)| (k, v)).collect(),
+                Some(entries) => entries.iter().collect(),
                 None => Vec::new(),
             })
             .collect();
@@ -612,6 +612,26 @@ impl TableSnapshot {
     /// Total entries across all tables (for reports).
     pub fn entries(&self) -> usize {
         self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Insert or overwrite one entry of table handle `table`, keeping the
+    /// sorted-array invariant. This is how a delta prepare is merged into
+    /// a staged snapshot on the live-traffic mirror without ever
+    /// materializing the full next-epoch `DataPlaneState`.
+    pub fn set(&mut self, table: u32, key: u64, value: u64) {
+        let t = &mut self.tables[table as usize];
+        match t.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => t[i].1 = value,
+            Err(i) => t.insert(i, (key, value)),
+        }
+    }
+
+    /// Remove one entry of table handle `table` (no-op when absent).
+    pub fn remove(&mut self, table: u32, key: u64) {
+        let t = &mut self.tables[table as usize];
+        if let Ok(i) = t.binary_search_by_key(&key, |&(k, _)| k) {
+            t.remove(i);
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 use std::collections::BTreeMap;
 
 use crate::instr::*;
+use crate::table::ExternTable;
 use lyra_lang::{BinOp, UnOp};
 
 /// Per-packet state: storage base name → value.
@@ -52,10 +53,15 @@ impl PacketState {
 }
 
 /// Switch-resident state: extern table contents and global register arrays.
+///
+/// Extern tables use the paged, structurally-shared [`ExternTable`]
+/// storage: clones are O(pages) pointer copies and diffing two states
+/// that share structure is O(delta) — the properties the transactional
+/// rollout engine's delta-based prepare relies on.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DataPlaneState {
-    /// Extern tables: name → (key → value). Lists store value 1.
-    pub externs: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// Extern tables: name → paged (key → value) map. Lists store value 1.
+    pub externs: BTreeMap<String, ExternTable>,
     /// Globals: name → register array.
     pub globals: BTreeMap<String, Vec<u64>>,
 }
@@ -75,10 +81,23 @@ impl DataPlaneState {
         self
     }
 
+    /// Remove a table entry (no-op when absent).
+    pub fn uninstall(&mut self, table: &str, key: u64) -> &mut Self {
+        if let Some(t) = self.externs.get_mut(table) {
+            t.remove(key);
+        }
+        self
+    }
+
     /// Size a global register array.
     pub fn global(&mut self, name: &str, len: usize) -> &mut Self {
         self.globals.insert(name.to_string(), vec![0; len]);
         self
+    }
+
+    /// Total installed entries across all extern tables.
+    pub fn total_entries(&self) -> usize {
+        self.externs.values().map(|t| t.len()).sum()
     }
 }
 
@@ -287,7 +306,7 @@ fn execute_ids(
                 let hit = dp
                     .externs
                     .get(table)
-                    .map(|t| t.contains_key(&k))
+                    .map(|t| t.contains_key(k))
                     .unwrap_or(false) as u64;
                 // Sticky OR: a replicated lookup over a split table behaves
                 // like one logical lookup.
@@ -296,8 +315,7 @@ fn execute_ids(
             }
             IrOp::TableLookup { table, key } => {
                 let k = read(&regs, key);
-                if let Some(v) = dp.externs.get(table).and_then(|t| t.get(&k)) {
-                    let v = *v;
+                if let Some(v) = dp.externs.get(table).and_then(|t| t.get(k)) {
                     write(&mut regs, &mut written, v);
                 }
                 // Miss: leave the destination unchanged (sticky).

@@ -28,6 +28,7 @@ pub mod instr;
 pub mod interp;
 pub mod lower;
 pub mod ssa;
+pub mod table;
 pub mod types;
 pub mod verify;
 
@@ -43,6 +44,7 @@ pub use interp::{
 };
 pub use lower::{lower_program, LowerError, RawInstr, RawOp, RawOperand};
 pub use ssa::to_ssa;
+pub use table::{ExternTable, PAGE_CAP};
 pub use types::infer_widths;
 pub use verify::{debug_verify, verify_algorithm, verify_program, Stage};
 

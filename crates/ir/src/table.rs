@@ -1,0 +1,453 @@
+//! Compact, structurally-shared extern-table storage.
+//!
+//! A million-entry control plane cannot afford per-entry `BTreeMap`s that
+//! are cloned wholesale every time an epoch is staged: the clone alone is
+//! O(state), and diffing two epochs walks every entry even when nothing
+//! changed. [`ExternTable`] stores entries as a vector of sorted,
+//! immutable *pages* behind `Arc`s:
+//!
+//! * **Clones are O(pages)** — they copy `Arc` pointers, not entries, so
+//!   staging an epoch or retaining a prior one is cheap no matter how big
+//!   the table is.
+//! * **Mutation is copy-on-write per page** — an insert or remove clones
+//!   only the ~[`PAGE_CAP`]-entry page it lands in; every other page stays
+//!   shared with all other clones.
+//! * **Equality and diffing skip shared pages** — two tables that share a
+//!   page (by pointer) provably agree on that page's entries, so comparing
+//!   a staged epoch against its base costs O(pages + changed entries), not
+//!   O(entries). This is what makes delta-based rollout prepare
+//!   ([`lyra` `rollout`]) O(delta).
+//!
+//! Lookup binary-searches the page directory, then the page: O(log n)
+//! with far better cache behavior than a pointer-chasing tree.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Entries per page before a split. Large enough that the page directory
+/// stays tiny (a 10⁶-entry table is ~2048 pages), small enough that
+/// copy-on-write touches only a few KiB per mutation.
+pub const PAGE_CAP: usize = 512;
+
+/// A sorted, paged `u64 → u64` map with structural sharing between
+/// clones. The storage behind every extern table in
+/// [`crate::DataPlaneState`].
+#[derive(Debug, Clone, Default)]
+pub struct ExternTable {
+    /// Non-empty pages, each sorted by key, covering strictly ascending
+    /// disjoint key ranges.
+    pages: Vec<Arc<Vec<(u64, u64)>>>,
+    /// Total entries (maintained incrementally).
+    len: usize,
+}
+
+impl ExternTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the first page whose last key is `>= key` (the only page
+    /// that could contain `key`), or `pages.len()` when every page ends
+    /// below it.
+    fn page_for(&self, key: u64) -> usize {
+        self.pages
+            .partition_point(|p| p.last().is_some_and(|&(k, _)| k < key))
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let pi = self.page_for(key);
+        let page = self.pages.get(pi)?;
+        page.binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| page[i].1)
+    }
+
+    /// True when `key` has an entry.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert or overwrite `key`, returning the previous value if any.
+    /// Copy-on-write: only the page containing `key` is cloned.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        if self.pages.is_empty() {
+            self.pages.push(Arc::new(vec![(key, value)]));
+            self.len = 1;
+            return None;
+        }
+        // Clamp to the last page so appends extend it instead of growing
+        // a fresh page per key.
+        let pi = self.page_for(key).min(self.pages.len() - 1);
+        match self.pages[pi].binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => {
+                let old = self.pages[pi][i].1;
+                // A redundant overwrite keeps the page shared, so
+                // structural diffs stay O(entries that actually changed)
+                // even when a planner re-installs identical entries.
+                if old != value {
+                    Arc::make_mut(&mut self.pages[pi])[i].1 = value;
+                }
+                Some(old)
+            }
+            Err(i) => {
+                let page = Arc::make_mut(&mut self.pages[pi]);
+                page.insert(i, (key, value));
+                self.len += 1;
+                if page.len() > PAGE_CAP {
+                    let upper = page.split_off(page.len() / 2);
+                    self.pages.insert(pi + 1, Arc::new(upper));
+                }
+                None
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let pi = self.page_for(key);
+        let hit = self
+            .pages
+            .get(pi)?
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()?;
+        let page = Arc::make_mut(&mut self.pages[pi]);
+        let (_, old) = page.remove(hit);
+        self.len -= 1;
+        if page.is_empty() {
+            self.pages.remove(pi);
+        }
+        Some(old)
+    }
+
+    /// Iterate entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pages.iter().flat_map(|p| p.iter().copied())
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Build from entries already sorted by strictly ascending key —
+    /// O(n) bulk load straight into full pages. Panics (debug) on
+    /// unsorted input.
+    pub fn from_sorted(entries: Vec<(u64, u64)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly ascending keys"
+        );
+        let len = entries.len();
+        let mut pages = Vec::with_capacity(len.div_ceil(PAGE_CAP));
+        let mut it = entries.into_iter().peekable();
+        while it.peek().is_some() {
+            pages.push(Arc::new(it.by_ref().take(PAGE_CAP).collect::<Vec<_>>()));
+        }
+        ExternTable { pages, len }
+    }
+
+    /// FNV-1a digest over `(key, value)` little-endian words in key
+    /// order — the anti-entropy audit's cheap comparison, and the fold
+    /// the generated control stub's `<t>_state_digest()` mirrors.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, v) in self.iter() {
+            for w in [k, v] {
+                for b in w.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Walk the delta from `self` (the base) to `target`: `f(key, old,
+    /// new)` fires for every key present in exactly one table or mapped
+    /// to different values. Pages shared by pointer between the two
+    /// tables are skipped wholesale, so the cost is O(pages + differing
+    /// entries) when the tables share structure (one was cloned from the
+    /// other), never worse than a full sorted merge.
+    pub fn for_each_delta(&self, target: &Self, mut f: impl FnMut(u64, Option<u64>, Option<u64>)) {
+        let (a, b) = (&self.pages, &target.pages);
+        let (mut ia, mut ja) = (0usize, 0usize);
+        let (mut ib, mut jb) = (0usize, 0usize);
+        loop {
+            if ja == 0 && jb == 0 {
+                while ia < a.len() && ib < b.len() && Arc::ptr_eq(&a[ia], &b[ib]) {
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+            let av = a.get(ia).map(|p| p[ja]);
+            let bv = b.get(ib).map(|p| p[jb]);
+            let mut step_a = || {
+                ja += 1;
+                if ja == a[ia].len() {
+                    ia += 1;
+                    ja = 0;
+                }
+            };
+            match (av, bv) {
+                (None, None) => break,
+                (Some((k, v)), None) => {
+                    f(k, Some(v), None);
+                    step_a();
+                }
+                (None, Some((k, v))) => {
+                    f(k, None, Some(v));
+                    jb += 1;
+                    if jb == b[ib].len() {
+                        ib += 1;
+                        jb = 0;
+                    }
+                }
+                (Some((ka, va)), Some((kb, vb))) => {
+                    if ka <= kb {
+                        if ka < kb {
+                            f(ka, Some(va), None);
+                        } else {
+                            if va != vb {
+                                f(ka, Some(va), Some(vb));
+                            }
+                            jb += 1;
+                            if jb == b[ib].len() {
+                                ib += 1;
+                                jb = 0;
+                            }
+                        }
+                        step_a();
+                    } else {
+                        f(kb, None, Some(vb));
+                        jb += 1;
+                        if jb == b[ib].len() {
+                            ib += 1;
+                            jb = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the two tables share every page by pointer — a cheap
+    /// sufficient (not necessary) condition for equality, used to skip
+    /// work on untouched switches.
+    pub fn same_pages(&self, other: &Self) -> bool {
+        self.pages.len() == other.pages.len()
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(x, y)| Arc::ptr_eq(x, y))
+    }
+}
+
+impl PartialEq for ExternTable {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        if self.same_pages(other) {
+            return true;
+        }
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for ExternTable {}
+
+impl FromIterator<(u64, u64)> for ExternTable {
+    /// Collect arbitrary (possibly unsorted, possibly duplicated)
+    /// entries; later duplicates win, as with `BTreeMap::insert`.
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        let sorted: BTreeMap<u64, u64> = iter.into_iter().collect();
+        Self::from_sorted(sorted.into_iter().collect())
+    }
+}
+
+impl From<BTreeMap<u64, u64>> for ExternTable {
+    fn from(m: BTreeMap<u64, u64>) -> Self {
+        Self::from_sorted(m.into_iter().collect())
+    }
+}
+
+impl Extend<(u64, u64)> for ExternTable {
+    fn extend<T: IntoIterator<Item = (u64, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ExternTable {
+    type Item = (u64, u64);
+    type IntoIter = Box<dyn Iterator<Item = (u64, u64)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(entries: impl IntoIterator<Item = (u64, u64)>) -> ExternTable {
+        entries.into_iter().collect()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = ExternTable::new();
+        assert!(t.is_empty());
+        for k in 0..2000u64 {
+            assert_eq!(t.insert(k * 3, k), None);
+        }
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.get(3), Some(1));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.insert(3, 99), Some(1));
+        assert_eq!(t.len(), 2000, "overwrite must not change len");
+        assert_eq!(t.remove(3), Some(99));
+        assert_eq!(t.remove(3), None);
+        assert_eq!(t.len(), 1999);
+        let keys: Vec<u64> = t.keys().collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        // Seeded xorshift mirror of the map semantics.
+        let mut x: u64 = 0x1234_5678;
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut t = ExternTable::new();
+        let mut m = BTreeMap::new();
+        for _ in 0..20_000 {
+            let k = next() % 4096;
+            let v = next();
+            if v % 5 == 0 {
+                assert_eq!(t.remove(k), m.remove(&k));
+            } else {
+                assert_eq!(t.insert(k, v), m.insert(k, v));
+            }
+            assert_eq!(t.len(), m.len());
+        }
+        assert!(t.iter().eq(m.iter().map(|(&k, &v)| (k, v))));
+        for k in 0..4096 {
+            assert_eq!(t.get(k), m.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn clones_share_pages_and_cow_isolates_mutation() {
+        let t = table_of((0..10_000u64).map(|k| (k, k + 1)));
+        let mut u = t.clone();
+        assert!(t.same_pages(&u));
+        u.insert(7, 8); // redundant overwrite: must not break sharing
+        assert!(t.same_pages(&u));
+        u.insert(5, 0xdead);
+        assert_eq!(t.get(5), Some(6), "base unaffected by clone mutation");
+        assert_eq!(u.get(5), Some(0xdead));
+        // All pages but the mutated one stay shared.
+        let shared = t
+            .pages
+            .iter()
+            .filter(|p| u.pages.iter().any(|q| Arc::ptr_eq(p, q)))
+            .count();
+        assert_eq!(shared, t.pages.len() - 1);
+    }
+
+    #[test]
+    fn delta_between_clone_and_base_is_exactly_the_mutations() {
+        let base = table_of((0..100_000u64).map(|k| (k, k)));
+        let mut next = base.clone();
+        next.insert(200_000, 1); // add
+        next.remove(17); // remove
+        next.insert(40_000, 7); // modify
+        let mut delta = Vec::new();
+        base.for_each_delta(&next, |k, old, new| delta.push((k, old, new)));
+        delta.sort();
+        assert_eq!(
+            delta,
+            vec![
+                (17, Some(17), None),
+                (40_000, Some(40_000), Some(7)),
+                (200_000, None, Some(1)),
+            ]
+        );
+        // And a table diffed against itself is silent.
+        let mut none = 0;
+        base.for_each_delta(&base, |_, _, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn delta_between_unrelated_tables_is_a_full_merge() {
+        let a = table_of([(1, 1), (2, 2), (3, 3)]);
+        let b = table_of([(2, 2), (3, 9), (4, 4)]);
+        let mut delta = Vec::new();
+        a.for_each_delta(&b, |k, old, new| delta.push((k, old, new)));
+        assert_eq!(
+            delta,
+            vec![
+                (1, Some(1), None),
+                (3, Some(3), Some(9)),
+                (4, None, Some(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_is_logical_not_structural() {
+        let a = table_of((0..3000u64).map(|k| (k, k)));
+        // Same contents, different page structure (built by inserts in
+        // reverse order).
+        let mut b = ExternTable::new();
+        for k in (0..3000u64).rev() {
+            b.insert(k, k);
+        }
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.insert(1, 999);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_sorted_bulk_load_matches_inserts() {
+        let entries: Vec<(u64, u64)> = (0..5000u64).map(|k| (k * 2, k)).collect();
+        let bulk = ExternTable::from_sorted(entries.clone());
+        let slow: ExternTable = entries.into_iter().collect();
+        assert_eq!(bulk, slow);
+        assert_eq!(bulk.len(), 5000);
+    }
+
+    #[test]
+    fn digest_tracks_content_only() {
+        let a = table_of((0..1000u64).map(|k| (k, k)));
+        let mut b = ExternTable::new();
+        for k in (0..1000u64).rev() {
+            b.insert(k, k);
+        }
+        assert_eq!(a.digest(), b.digest());
+        b.insert(0, 5);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

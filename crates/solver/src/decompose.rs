@@ -466,6 +466,33 @@ impl Solver for Decomposed {
         // cross-component winddown prompt.
         let results: Vec<Mutex<Option<SolveResult>>> =
             subs.iter().map(|_| Mutex::new(None)).collect();
+        // Hints arrive in *global* variable indices; each component solves
+        // in its own dense local space, so project the hints through the
+        // component's variable map (both lists are ascending — binary
+        // search). Without this, stability hints silently land on the
+        // wrong variables whenever decomposition kicks in.
+        let sub_ctxs: Vec<SolveCtx> = subs
+            .iter()
+            .map(|sub| {
+                let mut config = ctx.config.clone();
+                config.phase_hints = ctx
+                    .config
+                    .phase_hints
+                    .iter()
+                    .filter_map(|&(g, ph)| sub.bools.binary_search(&g).ok().map(|l| (l as u32, ph)))
+                    .collect();
+                config.int_hints = ctx
+                    .config
+                    .int_hints
+                    .iter()
+                    .filter_map(|&(g, t)| sub.ints.binary_search(&g).ok().map(|l| (l as u32, t)))
+                    .collect();
+                SolveCtx {
+                    config,
+                    warm: ctx.warm.clone(),
+                }
+            })
+            .collect();
         let next = AtomicUsize::new(0);
         let pool = if self.workers == 0 {
             default_workers()
@@ -476,13 +503,13 @@ impl Solver for Decomposed {
         .max(1);
         std::thread::scope(|scope| {
             for _ in 0..pool {
-                let (subs, results, next, ctx) = (&subs, &results, &next, ctx);
+                let (subs, results, next, sub_ctxs) = (&subs, &results, &next, &sub_ctxs);
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= subs.len() {
                         return;
                     }
-                    let solved = Sequential.solve_flat(&subs[i].flat, &[], ctx);
+                    let solved = Sequential.solve_flat(&subs[i].flat, &[], &sub_ctxs[i]);
                     *results[i]
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(solved);

@@ -38,6 +38,16 @@ pub struct SolverConfig {
     /// the solver tries these values first, which keeps successive
     /// placements stable under small program changes.
     pub phase_hints: Vec<(u32, bool)>,
+    /// Value hints per integer variable (flat index), from a previous
+    /// solution. Where the bounds still admit it, the integer phase
+    /// branches straight to `[hint, hi]` before bisecting, so solution
+    /// extraction (which reads the lower bound) lands on the hinted value
+    /// when it is feasible. This is the integer half of incremental
+    /// re-solving: entry-shard sizes stay where a previous placement put
+    /// them instead of collapsing to whatever the bisection finds first,
+    /// which is what keeps table-entry churn proportional to the fault
+    /// rather than the fleet.
+    pub int_hints: Vec<(u32, i64)>,
     /// Seed for pseudo-random initial phases (xorshift64*). `0` keeps the
     /// deterministic `default_phase` initialization; portfolio workers use
     /// distinct non-zero seeds to diversify their starting polarities.
@@ -75,6 +85,7 @@ impl Default for SolverConfig {
             restart_interval: 128,
             activity_decay: 0.95,
             phase_hints: Vec::new(),
+            int_hints: Vec::new(),
             seed: 0,
             learned_limit: 2_000,
             cancel: None,
@@ -291,12 +302,17 @@ enum TrailItem {
     Activated,
 }
 
-/// An integer split decision (the post-boolean phase).
+/// An integer split decision (the post-boolean phase). The split point
+/// `mid` partitions the interval into `[lo, mid]` and `[mid+1, hi]`;
+/// `upper_first` says which half the first branch took (true for hinted
+/// variables branching straight to their hint), `flipped` whether the
+/// other half has been tried after a conflict.
 #[derive(Debug, Clone, Copy)]
 struct IntSplit {
     var: u32,
     mid: i64,
-    upper_tried: bool,
+    upper_first: bool,
+    flipped: bool,
     trail_mark: usize,
 }
 
@@ -330,6 +346,8 @@ struct Search<'a> {
     queue: std::collections::VecDeque<(Lit, Reason)>,
     /// Integer split stack (post-boolean phase).
     int_splits: Vec<IntSplit>,
+    /// Value hint per integer variable (dense over flat int indices).
+    int_hint: Vec<Option<i64>>,
     /// VSIDS-lite activity per variable.
     activity: Vec<f64>,
     activity_inc: f64,
@@ -378,6 +396,15 @@ impl<'a> Search<'a> {
             active: extra.to_vec(),
             queue: std::collections::VecDeque::new(),
             int_splits: Vec::new(),
+            int_hint: {
+                let mut hints = vec![None; flat.int_bounds.len()];
+                for &(v, t) in &cfg.int_hints {
+                    if (v as usize) < hints.len() {
+                        hints[v as usize] = Some(t);
+                    }
+                }
+                hints
+            },
             activity: vec![0.0; nvars],
             activity_inc: 1.0,
             saved_phase: vec![cfg.default_phase; nvars],
@@ -671,7 +698,25 @@ impl<'a> Search<'a> {
                 best = Some((i as u32, w));
             }
         }
-        if best.is_some() && self.all_lo_satisfies() {
+        best?;
+        // Prefer a hinted variable whose extraction value (the lower
+        // bound) has not reached its still-feasible hint: deciding it now
+        // branches straight to the hint, before bisection spreads the
+        // remaining slack over unhinted variables. This runs *before* the
+        // all-lo short-circuit — lo-values satisfying every constraint is
+        // how the unhinted search finishes, but a pending hint means the
+        // previous placement sat higher in the domain, and stopping early
+        // would collapse the shard back to the lower bound.
+        for i in 0..self.lo.len() {
+            if self.hi[i] > self.lo[i] {
+                if let Some(t) = self.int_hint[i] {
+                    if t > self.lo[i] && t <= self.hi[i] {
+                        return Some(i as u32);
+                    }
+                }
+            }
+        }
+        if self.all_lo_satisfies() {
             return None;
         }
         best.map(|(i, _)| i)
@@ -694,14 +739,27 @@ impl<'a> Search<'a> {
 
     fn push_int_split(&mut self, var: u32) {
         let (l, h) = (self.lo[var as usize], self.hi[var as usize]);
-        let mid = l + (h - l) / 2;
+        // A hinted variable branches straight to `[hint, hi]`: raising the
+        // lower bound to the hint means extraction lands exactly on it when
+        // the rest of the formula tolerates it, and the fallback half
+        // `[lo, hint-1]` keeps completeness.
+        let hint = self.int_hint[var as usize].filter(|&t| t > l && t <= h);
+        let (mid, upper_first) = match hint {
+            Some(t) => (t - 1, true),
+            None => (l + (h - l) / 2, false),
+        };
         self.int_splits.push(IntSplit {
             var,
             mid,
-            upper_tried: false,
+            upper_first,
+            flipped: false,
             trail_mark: self.trail.len(),
         });
-        self.set_hi(var, mid);
+        if upper_first {
+            self.set_lo(var, mid + 1);
+        } else {
+            self.set_hi(var, mid);
+        }
     }
 
     /// Chronological handling within the integer phase. Returns false when
@@ -709,13 +767,18 @@ impl<'a> Search<'a> {
     fn resolve_int_conflict(&mut self) -> bool {
         loop {
             match self.int_splits.pop() {
-                Some(split) if !split.upper_tried => {
+                Some(split) if !split.flipped => {
                     self.undo_to(split.trail_mark);
                     self.int_splits.push(IntSplit {
-                        upper_tried: true,
+                        flipped: true,
                         ..split
                     });
-                    self.set_lo(split.var, split.mid + 1);
+                    // Try the half the first branch skipped.
+                    if split.upper_first {
+                        self.set_hi(split.var, split.mid);
+                    } else {
+                        self.set_lo(split.var, split.mid + 1);
+                    }
                     if self.hi[split.var as usize] >= self.lo[split.var as usize]
                         && self.propagate().is_none()
                     {

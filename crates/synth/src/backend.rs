@@ -122,6 +122,11 @@ pub struct SolveLimits {
     /// Learned-clause store consulted and refreshed around each solve,
     /// keyed by encoding fingerprint (warm-start re-solve).
     pub warm: Option<Arc<ClauseStore>>,
+    /// Integer value hints (a previous solution's entry-shard sizes): the
+    /// solver branches to these values first where still feasible, so an
+    /// incremental re-solve keeps table shards where the fleet already
+    /// holds them — the placement half of O(delta) rollouts.
+    pub int_hints: Vec<(lyra_solver::IntId, i64)>,
 }
 
 /// [`solve_with_strategy`] under explicit [`SolveLimits`].
@@ -142,6 +147,11 @@ pub fn solve_with_limits(
         Backend::Native => {
             let mut cfg = SolverConfig {
                 phase_hints: hints
+                    .iter()
+                    .map(|&(id, v)| (id.index() as u32, v))
+                    .collect(),
+                int_hints: limits
+                    .int_hints
                     .iter()
                     .map(|&(id, v)| (id.index() as u32, v))
                     .collect(),
@@ -235,6 +245,44 @@ mod tests {
         let (_, stats) = solve(&m, None, &Backend::Native);
         // The tiny model must at least propagate something.
         assert!(stats.decisions + stats.propagations > 0);
+    }
+
+    #[test]
+    fn int_hints_steer_the_model_toward_the_previous_value() {
+        // `x` can be anything in [0, 100]; unhinted extraction lands on the
+        // lower bound. A hint at 73 must make the solver branch there first
+        // and keep it — the mechanism churn-aware placement relies on.
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 100);
+        m.require(Ix::var(x).ge(Ix::lit(0)));
+        let limits = SolveLimits {
+            int_hints: vec![(x, 73)],
+            ..Default::default()
+        };
+        let (outcome, _) = solve_with_limits(
+            &m,
+            None,
+            &Backend::Native,
+            &[],
+            SolverStrategy::Sequential,
+            &limits,
+        );
+        assert_eq!(outcome.solution().unwrap().int(x), 73);
+
+        // An infeasible hint (outside the domain) must not break the solve.
+        let limits = SolveLimits {
+            int_hints: vec![(x, 999)],
+            ..Default::default()
+        };
+        let (outcome, _) = solve_with_limits(
+            &m,
+            None,
+            &Backend::Native,
+            &[],
+            SolverStrategy::Sequential,
+            &limits,
+        );
+        assert!(outcome.solution().is_some());
     }
 
     #[test]

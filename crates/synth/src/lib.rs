@@ -443,6 +443,28 @@ pub fn synthesize_limited(
             .collect(),
         None => Vec::new(),
     };
+    // Integer stability hints: the previous placement's per-switch entry
+    // shard sizes, keyed to this encoding's extern-count variables. The
+    // solver branches to these sizes first where the new topology still
+    // admits them, so a fault re-plan moves only the entries the fault
+    // forces to move instead of re-dealing every shard from scratch.
+    let int_hints: Vec<(lyra_solver::IntId, i64)> = match previous {
+        Some(prev) => enc
+            .extern_var
+            .iter()
+            .map(|((e, sw), &var)| {
+                let name = &topo.switch(*sw).name;
+                let count = prev
+                    .switches
+                    .get(name)
+                    .and_then(|p| p.extern_entries.get(e))
+                    .copied()
+                    .unwrap_or(0);
+                (var, count as i64)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
 
     // Rung 1: the requested strategy under the configured limits.
     let mut total = quotient_stats;
@@ -458,6 +480,7 @@ pub fn synthesize_limited(
             aggressive_restarts: false,
             decomposition: limits.decomposition,
             warm: limits.warm.clone(),
+            int_hints: int_hints.clone(),
         },
     );
     total.absorb(stats);
@@ -500,6 +523,7 @@ pub fn synthesize_limited(
                 aggressive_restarts: true,
                 decomposition: false,
                 warm: limits.warm.clone(),
+                int_hints: int_hints.clone(),
             },
         );
         total.absorb(stats);
@@ -622,6 +646,7 @@ fn try_quotient(
             aggressive_restarts: false,
             decomposition: true,
             warm: limits.warm.clone(),
+            int_hints: Vec::new(),
         },
     );
     let Outcome::Sat(q_sol) = outcome else {

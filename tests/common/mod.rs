@@ -1,0 +1,69 @@
+//! Shared helpers for the scale suites: a deterministic PRNG, a
+//! parameterized load-balancer program, and a seeded large-entry-set
+//! generator. The workspace builds offline with no external crates, so
+//! randomness is the same xorshift64* the other property harnesses use —
+//! every run explores the identical scenario set and failures reproduce
+//! from the printed seed/scenario index.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+/// Deterministic xorshift64* PRNG.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The Figure-1 load balancer with a parameterized `conn_table` size —
+/// the scale suites grow it from 10³ to 2²¹ so a million logical entries
+/// fit under the per-path capacity constraint (each flow path's shard
+/// sizes must sum to the declared size).
+pub fn lb_program(table_size: u64) -> String {
+    format!(
+        r#"
+        pipeline[LB]{{loadbalancer}};
+        algorithm loadbalancer {{
+            extern dict<bit[32] h, bit[32] ip>[{table_size}] conn_table;
+            if (flow_h in conn_table) {{
+                ipv4.dstAddr = conn_table[flow_h];
+            }} else {{
+                copy_to_cpu();
+            }}
+        }}
+    "#
+    )
+}
+
+/// The LB deployment scope over pod 2 of the Figure 1 network.
+pub const LB_SCOPES: &str =
+    "loadbalancer: [ ToR3,ToR4,Agg3,Agg4 | MULTI-SW | (Agg3,Agg4->ToR3,ToR4) ]";
+
+/// Seeded entry-set generator: `n` unique keys in ascending order (gaps
+/// drawn from the PRNG) with pseudo-random values. Ascending keys keep
+/// bulk installs append-mostly in the page store, which is what makes
+/// seeding 10⁶ entries practical even in debug builds.
+pub fn scaled_entries(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = Rng::new(seed);
+    let mut entries = Vec::with_capacity(n);
+    let mut key = 0u64;
+    for _ in 0..n {
+        key += 1 + rng.below(7);
+        entries.push((key, rng.next()));
+    }
+    entries
+}

@@ -531,6 +531,7 @@ fn lossy_rollout_replay_has_zero_mixed_epoch_exposure() {
         seed: 0x70a5,
         scope_health: r.scope_health.clone(),
         crash: None,
+        force_snapshot: false,
     };
     let outcome = replay_under_rollout(
         &mut rt,

@@ -114,12 +114,8 @@ fn shard_tables(
                 for (table, &count) in counts {
                     if let Some(entries) = full.externs.get(table) {
                         let start = *dealt.get(table).unwrap_or(&0);
-                        let shard: std::collections::BTreeMap<u64, u64> = entries
-                            .iter()
-                            .skip(start)
-                            .take(count as usize)
-                            .map(|(&k, &v)| (k, v))
-                            .collect();
+                        let shard: lyra_ir::ExternTable =
+                            entries.iter().skip(start).take(count as usize).collect();
                         dealt.insert(table.clone(), start + shard.len());
                         dp.externs.insert(table.clone(), shard);
                     }

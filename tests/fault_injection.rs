@@ -327,6 +327,7 @@ fn rollout_chaos_commits_fully_or_rolls_back_fully_across_200_scenarios() {
             seed: rng.next(),
             scope_health: r.scope_health.clone(),
             crash: None,
+            force_snapshot: false,
         };
 
         let old_epoch = rt.epoch();
@@ -468,6 +469,7 @@ fn rollout_outcome_is_deterministic_for_a_fixed_seed() {
             seed: 99,
             scope_health: r.scope_health.clone(),
             crash: None,
+            force_snapshot: false,
         };
         rt.apply_rollout(&r.output, &mut chan, &config).unwrap()
     };
@@ -634,6 +636,7 @@ fn controller_crash_recovery_converges_across_150_scenarios() {
             seed: rng.next(),
             scope_health: r.scope_health.clone(),
             crash: None,
+            force_snapshot: false,
         }
         .with_crash(plan);
 
@@ -670,6 +673,7 @@ fn controller_crash_recovery_converges_across_150_scenarios() {
                     seed: rng.next(),
                     scope_health: r.scope_health.clone(),
                     crash: None,
+                    force_snapshot: false,
                 };
                 let rep = rt
                     .recover(&r.output, &mut store, &mut chan, &recover_cfg)
@@ -776,6 +780,7 @@ fn recovery_under_live_replay_sees_no_mixed_epochs() {
             seed: rng.next(),
             scope_health: r.scope_health.clone(),
             crash: None,
+            force_snapshot: false,
         }
         .with_crash(plan);
 
@@ -795,6 +800,7 @@ fn recovery_under_live_replay_sees_no_mixed_epochs() {
             seed: rng.next(),
             scope_health: r.scope_health.clone(),
             crash: None,
+            force_snapshot: false,
         };
         let replay_cfg = ReplayConfig::default()
             .with_packets(20_000)
